@@ -1,0 +1,104 @@
+//! Microbenchmarks of the hot kernels underlying both repair algorithms:
+//! DL distance, violation detection, equivalence-class operations,
+//! LHS-index validation, and nearest-value search.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfd_bench::workload;
+use cfd_cfd::violation::{detect, Engine};
+use cfd_gen::{inject, NoiseConfig};
+use cfd_model::{AttrId, TupleId, Value};
+use cfd_repair::cluster::ValueIndex;
+use cfd_repair::distance::{dl_distance, dl_distance_bounded};
+use cfd_repair::equivalence::{Cell, EqClasses};
+use cfd_repair::lhs_index::LhsIndexes;
+
+fn bench_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dl_distance");
+    for (a, b) in [("19014", "10012"), ("Springfield", "Sprignfeild"), ("Walnut St", "Wall St")] {
+        g.bench_with_input(BenchmarkId::new("exact", format!("{a}/{b}")), &(a, b), |bench, (a, b)| {
+            bench.iter(|| dl_distance(black_box(a), black_box(b)))
+        });
+        g.bench_with_input(BenchmarkId::new("bounded2", format!("{a}/{b}")), &(a, b), |bench, (a, b)| {
+            bench.iter(|| dl_distance_bounded(black_box(a), black_box(b), 2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let w = workload(2_000, 7);
+    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+    let mut g = c.benchmark_group("violation_detection");
+    g.sample_size(10);
+    g.bench_function("detect_2k_5pct", |b| {
+        b.iter(|| detect(black_box(&noise.dirty), black_box(&w.sigma)))
+    });
+    let engine = Engine::build(&noise.dirty, &w.sigma);
+    let probe = noise.dirty.tuple(TupleId(0)).unwrap().clone();
+    g.bench_function("vio_of_candidate", |b| {
+        b.iter(|| engine.vio_of(black_box(&noise.dirty), black_box(&probe), None))
+    });
+    g.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("equivalence");
+    g.bench_function("merge_chain_10k", |b| {
+        b.iter(|| {
+            let mut eq = EqClasses::new(10_000, 1, |_, _| 1.0);
+            for t in 1..10_000u32 {
+                eq.merge(
+                    Cell::new(TupleId(t - 1), AttrId(0)),
+                    Cell::new(TupleId(t), AttrId(0)),
+                )
+                .unwrap();
+            }
+            black_box(eq.class_count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_lhs_index(c: &mut Criterion) {
+    let w = workload(5_000, 9);
+    let idx = LhsIndexes::build(&w.dopt, &w.sigma);
+    let probe = w.dopt.tuple(TupleId(17)).unwrap().clone();
+    let variable: Vec<_> = w.sigma.iter().filter(|n| !n.is_constant()).collect();
+    let mut g = c.benchmark_group("lhs_index");
+    g.bench_function("validate_tuple_all_variable_cfds", |b| {
+        b.iter(|| {
+            variable
+                .iter()
+                .all(|n| idx.satisfies(black_box(n), black_box(&probe)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_value_index(c: &mut Criterion) {
+    // active domain of the street attribute of a 5k workload
+    let w = workload(5_000, 11);
+    let adom = cfd_model::ActiveDomain::of_relation(&w.dopt);
+    let str_attr = w.dopt.schema().attr("STR").unwrap();
+    let idx = ValueIndex::build(&adom, str_attr);
+    let probe = Value::str("Walnot St");
+    let mut g = c.benchmark_group("value_index");
+    g.bench_function("nearest_banded", |b| {
+        b.iter(|| idx.nearest(black_box(&probe), 6, false))
+    });
+    g.bench_function("nearest_naive", |b| {
+        b.iter(|| idx.nearest_naive(black_box(&probe), 6, false))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance,
+    bench_detection,
+    bench_equivalence,
+    bench_lhs_index,
+    bench_value_index
+);
+criterion_main!(benches);

@@ -1,0 +1,371 @@
+//! # cfd-bench — the experiment harness of §7
+//!
+//! One runner per figure of the paper's evaluation, shared by the
+//! `experiments` binary and the Criterion benches:
+//!
+//! | id | paper figure | runner |
+//! |----|--------------|--------|
+//! | F8  | Efficacy of CFDs vs FDs          | [`fig8`] |
+//! | F9  | Precision vs noise rate          | [`fig9_10_13`] |
+//! | F10 | Recall vs noise rate             | [`fig9_10_13`] |
+//! | F11 | Scalability of BATCHREPAIR       | [`fig11`] |
+//! | F12 | Scalability of INCREPAIR         | [`fig12`] |
+//! | F13 | Runtime vs noise rate            | [`fig9_10_13`] |
+//! | F14 | Accuracy vs % constant-CFD noise | [`fig14_15`] |
+//! | F15 | Time vs % constant-CFD noise     | [`fig14_15`] |
+//!
+//! The paper ran 60k–300k tuples on a 2007 Xserve; [`Scale`] defaults to a
+//! 10× reduction so the full suite finishes in minutes, `Scale::Full`
+//! restores the paper's sizes. Absolute numbers differ from the paper —
+//! the *shapes* (who wins, how curves trend) are the reproduction target;
+//! EXPERIMENTS.md records both sides.
+
+use std::time::Instant;
+
+use cfd_gen::{generate, inject, GenConfig, NoiseConfig, RunSummary, Workload};
+use cfd_repair::{
+    batch_repair, inc_repair, repair_via_incremental, BatchConfig, IncConfig, Ordering,
+};
+
+/// Experiment scale: paper sizes or a 10× reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// 10× smaller than the paper (default): base 6k tuples, Fig. 11
+    /// sweeps 10k–30k.
+    Small,
+    /// The paper's sizes: base 60k tuples, Fig. 11 sweeps 100k–300k.
+    Full,
+}
+
+impl Scale {
+    /// The base database size (the paper's "60K tuples").
+    pub fn base_tuples(self) -> usize {
+        match self {
+            Scale::Small => 6_000,
+            Scale::Full => 60_000,
+        }
+    }
+
+    /// The Fig. 11 sweep sizes (the paper's 100k–300k).
+    pub fn fig11_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![10_000, 15_000, 20_000, 25_000, 30_000],
+            Scale::Full => vec![100_000, 150_000, 200_000, 250_000, 300_000],
+        }
+    }
+}
+
+/// Which repair algorithm a series describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// `BATCHREPAIR` with the cost-ordered PICKNEXT.
+    Batch,
+    /// L-INCREPAIR (linear scan) in the §5.3 whole-database mode.
+    IncLinear,
+    /// V-INCREPAIR (fewest violations first).
+    IncViolations,
+    /// W-INCREPAIR (highest weight first).
+    IncWeight,
+}
+
+impl Algo {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::Batch => "BatchRepair",
+            Algo::IncLinear => "L-IncRepair",
+            Algo::IncViolations => "V-IncRepair",
+            Algo::IncWeight => "W-IncRepair",
+        }
+    }
+
+    /// All four algorithms in the paper's legend order.
+    pub fn all() -> [Algo; 4] {
+        [Algo::Batch, Algo::IncViolations, Algo::IncWeight, Algo::IncLinear]
+    }
+}
+
+/// Generate the standard workload for a given size and seed.
+pub fn workload(n_tuples: usize, seed: u64) -> Workload {
+    generate(&GenConfig::sized(n_tuples, seed))
+}
+
+/// Run one algorithm on a dirty database and summarize quality + time.
+pub fn run_algo(algo: Algo, dirty: &cfd_model::Relation, w: &Workload) -> RunSummary {
+    let t0 = Instant::now();
+    let repair = match algo {
+        Algo::Batch => {
+            batch_repair(dirty, &w.sigma, BatchConfig::default())
+                .expect("batch repair succeeds")
+                .repair
+        }
+        Algo::IncLinear | Algo::IncViolations | Algo::IncWeight => {
+            let ordering = match algo {
+                Algo::IncLinear => Ordering::Linear,
+                Algo::IncViolations => Ordering::Violations,
+                _ => Ordering::Weight,
+            };
+            repair_via_incremental(dirty, &w.sigma, IncConfig { ordering, ..Default::default() })
+                .expect("incremental repair succeeds")
+                .repair
+        }
+    };
+    RunSummary::evaluate(dirty, &repair, &w.dopt, t0.elapsed())
+}
+
+/// One measured point of a series.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// The x-axis value (noise %, tuple count, … depending on the figure).
+    pub x: f64,
+    /// Precision (%).
+    pub precision: f64,
+    /// Recall (%).
+    pub recall: f64,
+    /// Runtime in seconds.
+    pub seconds: f64,
+}
+
+impl Point {
+    fn from_summary(x: f64, s: &RunSummary) -> Point {
+        Point {
+            x,
+            precision: s.precision * 100.0,
+            recall: s.recall * 100.0,
+            seconds: s.elapsed.as_secs_f64(),
+        }
+    }
+}
+
+/// A named series of points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The measured points.
+    pub points: Vec<Point>,
+}
+
+/// Figure 8 — efficacy of CFDs vs FDs: `BATCHREPAIR` accuracy under the
+/// full Σ vs under the embedded FDs only, ρ ∈ 2%..10%.
+pub fn fig8(scale: Scale, seed: u64) -> Vec<Series> {
+    // Half the base size: the FD-only repairs have no constant anchors to
+    // prune with, so they run an order of magnitude longer than the CFD
+    // side; the accuracy gap (the figure's point) is scale-insensitive.
+    let w = workload(scale.base_tuples() / 2, seed);
+    let fd_sigma = w.sigma.embedded_fds().expect("embedded FDs normalize");
+    let mut cfd_prec = Vec::new();
+    let mut cfd_rec = Vec::new();
+    let mut fd_prec = Vec::new();
+    let mut fd_rec = Vec::new();
+    for rate_pct in [2, 4, 6, 8, 10] {
+        let rate = rate_pct as f64 / 100.0;
+        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate, seed, ..Default::default() });
+        let s_cfd = run_algo(Algo::Batch, &noise.dirty, &w);
+        cfd_prec.push(Point::from_summary(rate_pct as f64, &s_cfd));
+        cfd_rec.push(Point::from_summary(rate_pct as f64, &s_cfd));
+        // same dirty data, FD-only Σ
+        let t0 = Instant::now();
+        let repair = batch_repair(&noise.dirty, &fd_sigma, BatchConfig::default())
+            .expect("fd repair succeeds")
+            .repair;
+        let s_fd = RunSummary::evaluate(&noise.dirty, &repair, &w.dopt, t0.elapsed());
+        fd_prec.push(Point::from_summary(rate_pct as f64, &s_fd));
+        fd_rec.push(Point::from_summary(rate_pct as f64, &s_fd));
+    }
+    vec![
+        Series { label: "BatchRepair (CFD/Prec)".into(), points: cfd_prec },
+        Series { label: "BatchRepair (CFD/Recall)".into(), points: cfd_rec },
+        Series { label: "BatchRepair (FD/Prec)".into(), points: fd_prec },
+        Series { label: "BatchRepair (FD/Recall)".into(), points: fd_rec },
+    ]
+}
+
+/// Figures 9, 10 and 13 share their runs: all four algorithms, ρ ∈
+/// 1%..10%, reporting precision (F9), recall (F10) and runtime (F13).
+pub fn fig9_10_13(scale: Scale, seed: u64) -> Vec<Series> {
+    let w = workload(scale.base_tuples(), seed);
+    let mut series: Vec<Series> = Algo::all()
+        .iter()
+        .map(|a| Series { label: a.label().to_string(), points: Vec::new() })
+        .collect();
+    for rate_pct in 1..=10 {
+        let rate = rate_pct as f64 / 100.0;
+        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate, seed, ..Default::default() });
+        for (i, algo) in Algo::all().iter().enumerate() {
+            let s = run_algo(*algo, &noise.dirty, &w);
+            series[i].points.push(Point::from_summary(rate_pct as f64, &s));
+        }
+    }
+    series
+}
+
+/// Figure 11 — scalability of `BATCHREPAIR`: runtime over database sizes
+/// at ρ = 5%.
+pub fn fig11(scale: Scale, seed: u64) -> Vec<Series> {
+    let mut points = Vec::new();
+    for n in scale.fig11_sizes() {
+        let w = workload(n, seed);
+        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, seed, ..Default::default() });
+        let s = run_algo(Algo::Batch, &noise.dirty, &w);
+        points.push(Point::from_summary(n as f64, &s));
+    }
+    vec![Series { label: "BatchRepair".into(), points }]
+}
+
+/// Figure 12 — the incremental setting: a clean base of `base_tuples`,
+/// inserting 10..70 dirty tuples; `INCREPAIR` (on ΔD only) vs
+/// `BATCHREPAIR` (from scratch on D ⊕ ΔD).
+pub fn fig12(scale: Scale, seed: u64) -> Vec<Series> {
+    let w = workload(scale.base_tuples(), seed);
+    let mut inc_points = Vec::new();
+    let mut batch_points = Vec::new();
+    for n_insert in [10usize, 20, 30, 40, 50, 60, 70] {
+        // Build ΔD: fresh clean tuples drawn from the same world, then
+        // corrupt every one of them ("inserted 10 to 70 dirty tuples").
+        let delta_workload = generate(&GenConfig {
+            n_tuples: n_insert,
+            seed: seed ^ 0x5eed,
+            world: w.world.config.clone(),
+        });
+        let delta_noise = inject(
+            &delta_workload.dopt,
+            &w.world,
+            &NoiseConfig { rate: 1.0, seed, ..Default::default() },
+        );
+        let delta: Vec<cfd_model::Tuple> =
+            delta_noise.dirty.iter().map(|(_, t)| t.clone()).collect();
+        // INCREPAIR on ΔD against clean D.
+        let t0 = Instant::now();
+        let out = inc_repair(&w.dopt, &delta, &w.sigma, IncConfig::default())
+            .expect("incremental insert repair succeeds");
+        let inc_secs = t0.elapsed().as_secs_f64();
+        debug_assert!(cfd_cfd::check(&out.repair, &w.sigma));
+        inc_points.push(Point { x: n_insert as f64, precision: 0.0, recall: 0.0, seconds: inc_secs });
+        // BATCHREPAIR on D ⊕ ΔD from scratch.
+        let mut full = w.dopt.clone();
+        for t in &delta {
+            full.insert(t.clone()).expect("same schema");
+        }
+        let t0 = Instant::now();
+        let _ = batch_repair(&full, &w.sigma, BatchConfig::default()).expect("batch succeeds");
+        batch_points.push(Point {
+            x: n_insert as f64,
+            precision: 0.0,
+            recall: 0.0,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+    vec![
+        Series { label: "IncRepair".into(), points: inc_points },
+        Series { label: "BatchRepair".into(), points: batch_points },
+    ]
+}
+
+/// Figures 14 and 15 — the constant-vs-variable violation mix: share of
+/// constant-CFD noise from 20% to 80% at ρ = 5%, reporting accuracy (F14)
+/// and runtime (F15) for `BATCHREPAIR` and V-INCREPAIR.
+pub fn fig14_15(scale: Scale, seed: u64) -> Vec<Series> {
+    let w = workload(scale.base_tuples(), seed);
+    let mut series = vec![
+        Series { label: "BatchRepair (Prec)".into(), points: Vec::new() },
+        Series { label: "BatchRepair (Recall)".into(), points: Vec::new() },
+        Series { label: "IncRepair (Prec)".into(), points: Vec::new() },
+        Series { label: "IncRepair (Recall)".into(), points: Vec::new() },
+    ];
+    for share_pct in [20, 30, 40, 50, 60, 70, 80] {
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.05,
+                seed,
+                constant_share: share_pct as f64 / 100.0,
+                ..Default::default()
+            },
+        );
+        let b = run_algo(Algo::Batch, &noise.dirty, &w);
+        let v = run_algo(Algo::IncViolations, &noise.dirty, &w);
+        series[0].points.push(Point::from_summary(share_pct as f64, &b));
+        series[1].points.push(Point::from_summary(share_pct as f64, &b));
+        series[2].points.push(Point::from_summary(share_pct as f64, &v));
+        series[3].points.push(Point::from_summary(share_pct as f64, &v));
+    }
+    series
+}
+
+/// Render a metric of a set of series as an aligned text table.
+pub fn render_table(
+    title: &str,
+    x_label: &str,
+    series: &[Series],
+    metric: impl Fn(&Point) -> f64,
+    unit: &str,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = write!(out, "{x_label:>12}");
+    for s in series {
+        let _ = write!(out, "  {:>24}", s.label);
+    }
+    let _ = writeln!(out);
+    let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..n {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.x))
+            .unwrap_or(0.0);
+        let _ = write!(out, "{x:>12}");
+        for s in series {
+            match s.points.get(i) {
+                Some(p) => {
+                    let _ = write!(out, "  {:>22.2}{unit}", metric(p));
+                }
+                None => {
+                    let _ = write!(out, "  {:>24}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_sizes() {
+        assert_eq!(Scale::Small.base_tuples(), 6_000);
+        assert_eq!(Scale::Full.base_tuples(), 60_000);
+        assert_eq!(Scale::Small.fig11_sizes().len(), 5);
+    }
+
+    #[test]
+    fn algo_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Algo::all().iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn render_table_aligns_series() {
+        let series = vec![Series {
+            label: "X".into(),
+            points: vec![Point { x: 1.0, precision: 99.5, recall: 80.0, seconds: 0.5 }],
+        }];
+        let table = render_table("T", "rate", &series, |p| p.precision, "%");
+        assert!(table.contains("# T"));
+        assert!(table.contains("99.50%"));
+    }
+
+    #[test]
+    fn tiny_run_algo_smoke() {
+        let w = workload(300, 1);
+        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+        let s = run_algo(Algo::Batch, &noise.dirty, &w);
+        assert!(s.recall >= 0.0 && s.precision >= 0.0);
+    }
+}

@@ -1,0 +1,469 @@
+//! Implication analysis: does `Σ |= φ`?
+//!
+//! A normal CFD `φ = (X → A, tp)` is *implied* by Σ when every instance
+//! satisfying Σ also satisfies φ. Implication lets the cleaning framework
+//! drop redundant user-entered rules (the sampling loop of §6 grows Σ
+//! interactively) and is part of the companion paper's static analyses.
+//!
+//! We decide implication by searching for a **counter-witness**:
+//!
+//! * constant `tp[A] = a` — a single tuple `t |= Σ` with `t[X] ≼ tp[X]` and
+//!   `t[A] ≠ a`;
+//! * variable `tp[A] = _` — a pair `t1, t2` jointly satisfying Σ with
+//!   `t1[X] = t2[X] ≼ tp[X]` but `t1[A] ≠ t2[A]`.
+//!
+//! The search space is finite by the same argument as satisfiability: per
+//! attribute it suffices to consider the constants mentioned by Σ or φ plus
+//! **two** fresh symbols (two tuples can disagree on an unconstrained
+//! attribute in only one way up to renaming). The procedure is therefore
+//! sound *and* complete, at a cost exponential only in the (fixed) arity.
+
+use std::collections::BTreeSet;
+
+use cfd_model::Value;
+
+use crate::cfd::{NormalCfd, Sigma};
+use crate::pattern::PatternValue;
+
+/// Symbolic value: a mentioned constant or one of two fresh symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Sym {
+    Const(u32),
+    Fresh(u8),
+}
+
+struct Ctx {
+    /// Interned constants per attribute.
+    consts: Vec<Vec<Value>>,
+    arity: usize,
+}
+
+impl Ctx {
+    fn matches(&self, attr: usize, sym: Sym, p: &PatternValue) -> bool {
+        match (p, sym) {
+            (PatternValue::Wildcard, _) => true,
+            (PatternValue::Const(c), Sym::Const(i)) => &self.consts[attr][i as usize] == c,
+            (PatternValue::Const(_), Sym::Fresh(_)) => false,
+        }
+    }
+}
+
+/// Collect per-attribute constants from Σ and φ.
+fn build_ctx(sigma: &Sigma, phi: &NormalCfd) -> Ctx {
+    let arity = sigma.schema().arity();
+    let mut sets: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); arity];
+    let mut add = |n: &NormalCfd| {
+        for (a, p) in n.lhs().iter().zip(n.lhs_pattern()) {
+            if let Some(v) = p.as_const() {
+                sets[a.index()].insert(v.clone());
+            }
+        }
+        if let Some(v) = n.rhs_pattern().as_const() {
+            sets[n.rhs_attr().index()].insert(v.clone());
+        }
+    };
+    for n in sigma.iter() {
+        add(n);
+    }
+    add(phi);
+    Ctx {
+        consts: sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+        arity,
+    }
+}
+
+/// Assignment for a pair of tuples: slot `i` is tuple 0's attribute `i`,
+/// slot `arity + i` is tuple 1's.
+type Assign = Vec<Option<Sym>>;
+
+/// Check all decided constraints on a partial pair assignment. Returns
+/// false iff some constraint is definitely violated.
+fn pair_consistent(ctx: &Ctx, sigma: &Sigma, phi: &NormalCfd, two: bool, assign: &Assign) -> bool {
+    let arity = ctx.arity;
+    let tuples: &[usize] = if two { &[0, 1] } else { &[0] };
+    for n in sigma.iter() {
+        // Constant CFDs: per tuple.
+        if n.is_constant() {
+            for &t in tuples {
+                let base = t * arity;
+                let mut all = true;
+                let mut fired = true;
+                for (a, p) in n.lhs().iter().zip(n.lhs_pattern()) {
+                    match assign[base + a.index()] {
+                        Some(sym) => {
+                            if !ctx.matches(a.index(), sym, p) {
+                                fired = false;
+                                break;
+                            }
+                        }
+                        None => all = false,
+                    }
+                }
+                if fired && all {
+                    if let Some(sym) = assign[base + n.rhs_attr().index()] {
+                        if !ctx.matches(n.rhs_attr().index(), sym, n.rhs_pattern()) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        } else if two {
+            // Variable CFD across the pair: if both sides' X are assigned,
+            // equal, and match the pattern, the A values must agree (when
+            // both assigned).
+            let mut applicable = true;
+            let mut decided = true;
+            for (a, p) in n.lhs().iter().zip(n.lhs_pattern()) {
+                match (assign[a.index()], assign[arity + a.index()]) {
+                    (Some(s0), Some(s1)) => {
+                        if s0 != s1
+                            || !ctx.matches(a.index(), s0, p)
+                            || !ctx.matches(a.index(), s1, p)
+                        {
+                            applicable = false;
+                            break;
+                        }
+                    }
+                    _ => decided = false,
+                }
+            }
+            if applicable && decided {
+                let ra = n.rhs_attr().index();
+                if let (Some(s0), Some(s1)) = (assign[ra], assign[arity + ra]) {
+                    if s0 != s1 {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    // φ's side conditions: the counter-witness must make φ *fire and fail*.
+    // LHS values must match tp[X] (and agree across the pair for two-tuple
+    // witnesses); the RHS must fail.
+    for (a, p) in phi.lhs().iter().zip(phi.lhs_pattern()) {
+        for &t in tuples {
+            if let Some(sym) = assign[t * arity + a.index()] {
+                if !ctx.matches(a.index(), sym, p) {
+                    return false;
+                }
+            }
+        }
+        if two {
+            if let (Some(s0), Some(s1)) = (assign[a.index()], assign[arity + a.index()]) {
+                if s0 != s1 {
+                    return false;
+                }
+            }
+        }
+    }
+    let ra = phi.rhs_attr().index();
+    match phi.rhs_pattern() {
+        PatternValue::Const(_) => {
+            if let Some(sym) = assign[ra] {
+                if ctx.matches(ra, sym, phi.rhs_pattern()) {
+                    return false; // RHS satisfied: not a counter-witness
+                }
+            }
+        }
+        PatternValue::Wildcard => {
+            if let (Some(s0), Some(s1)) = (assign[ra], assign[arity + ra]) {
+                if s0 == s1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn search(
+    ctx: &Ctx,
+    sigma: &Sigma,
+    phi: &NormalCfd,
+    two: bool,
+    slot: usize,
+    assign: &mut Assign,
+) -> bool {
+    let total = if two { 2 * ctx.arity } else { ctx.arity };
+    if slot == total {
+        return true;
+    }
+    let attr = slot % ctx.arity;
+    let n_consts = ctx.consts[attr].len() as u32;
+    let candidates = (0..n_consts)
+        .map(Sym::Const)
+        .chain([Sym::Fresh(0), Sym::Fresh(1)]);
+    for sym in candidates {
+        assign[slot] = Some(sym);
+        if pair_consistent(ctx, sigma, phi, two, assign)
+            && search(ctx, sigma, phi, two, slot + 1, assign)
+        {
+            return true;
+        }
+    }
+    assign[slot] = None;
+    false
+}
+
+/// Decide `Σ |= φ`. Sound and complete over null-free instances.
+pub fn implies(sigma: &Sigma, phi: &NormalCfd) -> bool {
+    let ctx = build_ctx(sigma, phi);
+    let two = phi.rhs_pattern().is_wildcard();
+    let slots = if two { 2 * ctx.arity } else { ctx.arity };
+    let mut assign: Assign = vec![None; slots];
+    // φ is implied iff no counter-witness exists.
+    !search(&ctx, sigma, phi, two, 0, &mut assign)
+}
+
+/// Is `phi` redundant in `sigma`, i.e. implied by the *other* CFDs? Used to
+/// minimize user-grown rule sets.
+pub fn redundant_in(sigma: &Sigma, phi: &NormalCfd) -> bool {
+    let others: Vec<_> = sigma
+        .iter()
+        .filter(|n| n.id() != phi.id())
+        .cloned()
+        .collect();
+    // Rebuild a Σ without φ. Sources are irrelevant for implication.
+    let schema = sigma.schema().clone();
+    let reduced = SigmaView { normal: others, schema };
+    implies_view(&reduced, phi)
+}
+
+/// Internal lightweight Σ view for [`redundant_in`].
+struct SigmaView {
+    normal: Vec<NormalCfd>,
+    schema: cfd_model::Schema,
+}
+
+fn implies_view(view: &SigmaView, phi: &NormalCfd) -> bool {
+    // Delegate through a temporary Sigma-free context by reusing the same
+    // machinery: construct ctx manually.
+    let arity = view.schema.arity();
+    let mut sets: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); arity];
+    let mut add = |n: &NormalCfd| {
+        for (a, p) in n.lhs().iter().zip(n.lhs_pattern()) {
+            if let Some(v) = p.as_const() {
+                sets[a.index()].insert(v.clone());
+            }
+        }
+        if let Some(v) = n.rhs_pattern().as_const() {
+            sets[n.rhs_attr().index()].insert(v.clone());
+        }
+    };
+    for n in &view.normal {
+        add(n);
+    }
+    add(phi);
+    let ctx = Ctx {
+        consts: sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+        arity,
+    };
+    // Reuse the pair search with a throwaway Sigma assembled from the view.
+    let sigma = crate::cfd::Sigma::normalize(
+        view.schema.clone(),
+        group_into_cfds(&view.normal),
+    )
+    .expect("view CFDs were valid in the source Sigma");
+    let two = phi.rhs_pattern().is_wildcard();
+    let slots = if two { 2 * ctx.arity } else { ctx.arity };
+    let mut assign: Assign = vec![None; slots];
+    !search(&ctx, &sigma, phi, two, 0, &mut assign)
+}
+
+/// Regroup normal CFDs into single-row general CFDs for Sigma rebuilding.
+fn group_into_cfds(normals: &[NormalCfd]) -> Vec<crate::cfd::Cfd> {
+    normals
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            crate::cfd::Cfd::new(
+                &format!("n{i}"),
+                n.lhs().to_vec(),
+                vec![n.rhs_attr()],
+                vec![crate::pattern::PatternRow::new(
+                    n.lhs_pattern().to_vec(),
+                    vec![n.rhs_pattern().clone()],
+                )],
+            )
+            .expect("normal CFD shape is always valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd::Cfd;
+    use crate::pattern::PatternRow;
+    use cfd_model::Schema;
+
+    fn schema3() -> Schema {
+        Schema::new("r", &["A", "B", "C"]).unwrap()
+    }
+
+    fn norm(
+        s: &Schema,
+        lhs: &[(&str, PatternValue)],
+        rhs: (&str, PatternValue),
+    ) -> NormalCfd {
+        NormalCfd::standalone(
+            lhs.iter().map(|(n, _)| s.attr(n).unwrap()).collect(),
+            lhs.iter().map(|(_, p)| p.clone()).collect(),
+            s.attr(rhs.0).unwrap(),
+            rhs.1,
+        )
+    }
+
+    fn sigma_of(s: &Schema, cfds: Vec<Cfd>) -> Sigma {
+        Sigma::normalize(s.clone(), cfds).unwrap()
+    }
+
+    #[test]
+    fn fd_transitivity_is_implied() {
+        // A→B, B→C |= A→C (classical Armstrong transitivity).
+        let s = schema3();
+        let ab = Cfd::standard_fd("ab", vec![s.attr("A").unwrap()], vec![s.attr("B").unwrap()]);
+        let bc = Cfd::standard_fd("bc", vec![s.attr("B").unwrap()], vec![s.attr("C").unwrap()]);
+        let sigma = sigma_of(&s, vec![ab, bc]);
+        let ac = norm(&s, &[("A", PatternValue::Wildcard)], ("C", PatternValue::Wildcard));
+        assert!(implies(&sigma, &ac));
+    }
+
+    #[test]
+    fn fd_not_implied_backwards() {
+        let s = schema3();
+        let ab = Cfd::standard_fd("ab", vec![s.attr("A").unwrap()], vec![s.attr("B").unwrap()]);
+        let sigma = sigma_of(&s, vec![ab]);
+        let ba = norm(&s, &[("B", PatternValue::Wildcard)], ("A", PatternValue::Wildcard));
+        assert!(!implies(&sigma, &ba));
+    }
+
+    #[test]
+    fn constant_propagation_implied() {
+        // (A=a1 → B=b1), (B=b1 → C=c1) |= (A=a1 → C=c1).
+        let s = schema3();
+        let c1 = Cfd::new(
+            "c1",
+            vec![s.attr("A").unwrap()],
+            vec![s.attr("B").unwrap()],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("a1")],
+                vec![PatternValue::constant("b1")],
+            )],
+        )
+        .unwrap();
+        let c2 = Cfd::new(
+            "c2",
+            vec![s.attr("B").unwrap()],
+            vec![s.attr("C").unwrap()],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("b1")],
+                vec![PatternValue::constant("c1")],
+            )],
+        )
+        .unwrap();
+        let sigma = sigma_of(&s, vec![c1, c2]);
+        let target = norm(
+            &s,
+            &[("A", PatternValue::constant("a1"))],
+            ("C", PatternValue::constant("c1")),
+        );
+        assert!(implies(&sigma, &target));
+        // but not for a different constant
+        let wrong = norm(
+            &s,
+            &[("A", PatternValue::constant("a1"))],
+            ("C", PatternValue::constant("c2")),
+        );
+        assert!(!implies(&sigma, &wrong));
+    }
+
+    #[test]
+    fn pattern_specialization_is_implied() {
+        // An FD implies each of its constant specializations on the LHS.
+        let s = schema3();
+        let ab = Cfd::standard_fd("ab", vec![s.attr("A").unwrap()], vec![s.attr("B").unwrap()]);
+        let sigma = sigma_of(&s, vec![ab]);
+        let specialized = norm(
+            &s,
+            &[("A", PatternValue::constant("a1"))],
+            ("B", PatternValue::Wildcard),
+        );
+        assert!(implies(&sigma, &specialized));
+    }
+
+    #[test]
+    fn wildcard_rhs_not_implied_by_constant_rule() {
+        // (A=a1 → B=b1) does not imply the full FD A→B.
+        let s = schema3();
+        let c1 = Cfd::new(
+            "c1",
+            vec![s.attr("A").unwrap()],
+            vec![s.attr("B").unwrap()],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("a1")],
+                vec![PatternValue::constant("b1")],
+            )],
+        )
+        .unwrap();
+        let sigma = sigma_of(&s, vec![c1]);
+        let fd = norm(&s, &[("A", PatternValue::Wildcard)], ("B", PatternValue::Wildcard));
+        assert!(!implies(&sigma, &fd));
+    }
+
+    #[test]
+    fn self_implication() {
+        let s = schema3();
+        let c1 = Cfd::new(
+            "c1",
+            vec![s.attr("A").unwrap()],
+            vec![s.attr("B").unwrap()],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("a1")],
+                vec![PatternValue::constant("b1")],
+            )],
+        )
+        .unwrap();
+        let sigma = sigma_of(&s, vec![c1]);
+        let same = norm(
+            &s,
+            &[("A", PatternValue::constant("a1"))],
+            ("B", PatternValue::constant("b1")),
+        );
+        assert!(implies(&sigma, &same));
+    }
+
+    #[test]
+    fn redundancy_detection() {
+        let s = schema3();
+        let ab = Cfd::standard_fd("ab", vec![s.attr("A").unwrap()], vec![s.attr("B").unwrap()]);
+        // a constant specialization of ab, redundant
+        let spec = Cfd::new(
+            "spec",
+            vec![s.attr("A").unwrap()],
+            vec![s.attr("B").unwrap()],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("a1")],
+                vec![PatternValue::Wildcard],
+            )],
+        )
+        .unwrap();
+        let sigma = sigma_of(&s, vec![ab, spec]);
+        // normal CFD ids: 0 = ab row, 1 = spec row
+        let spec_normal = sigma.get(crate::cfd::CfdId(1)).clone();
+        assert!(redundant_in(&sigma, &spec_normal));
+        let ab_normal = sigma.get(crate::cfd::CfdId(0)).clone();
+        assert!(!redundant_in(&sigma, &ab_normal));
+    }
+
+    #[test]
+    fn empty_sigma_implies_nothing_but_tautologies() {
+        let s = schema3();
+        let sigma = sigma_of(&s, vec![]);
+        let fd = norm(&s, &[("A", PatternValue::Wildcard)], ("B", PatternValue::Wildcard));
+        assert!(!implies(&sigma, &fd));
+        // A → A-with-its-own-constant is still falsifiable; but a CFD whose
+        // LHS pattern can never be matched… needs an unsatisfiable pattern,
+        // which single patterns cannot express. So nothing is implied.
+    }
+}

@@ -1,0 +1,219 @@
+//! Pattern values and the match order `≼`.
+//!
+//! §2 of the paper defines `η1 ≼ η2` on data values and `_`: `η1 ≼ η2` iff
+//! `η1 = η2`, or `η1` is a data value and `η2` is `_`. A data tuple *matches*
+//! a pattern tuple when every attribute matches; per §3.1 a tuple containing
+//! `null` among the compared attributes never matches (CFDs only apply to
+//! tuples that precisely match a pattern, and patterns never contain null).
+
+use std::fmt;
+
+use cfd_model::{AttrId, Tuple, Value};
+
+/// One cell of a pattern tuple: a constant or the unnamed variable `_`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PatternValue {
+    /// The unnamed variable `_` ("don't care").
+    Wildcard,
+    /// A constant `a ∈ dom(A)`.
+    Const(Value),
+}
+
+impl PatternValue {
+    /// Shorthand for a string constant.
+    pub fn constant(s: impl AsRef<str>) -> Self {
+        PatternValue::Const(Value::str(s))
+    }
+
+    /// Is this the unnamed variable?
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, PatternValue::Wildcard)
+    }
+
+    /// The constant carried, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            PatternValue::Wildcard => None,
+            PatternValue::Const(v) => Some(v),
+        }
+    }
+
+    /// Data-to-pattern matching `v ≼ self`. `null` matches nothing, not even
+    /// `_` (§3.1 Remark 2).
+    #[inline]
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            PatternValue::Wildcard => !v.is_null(),
+            PatternValue::Const(c) => v == c,
+        }
+    }
+
+    /// Right-hand-side satisfaction under the simple SQL null semantics:
+    /// like [`PatternValue::matches`], but `null` *satisfies* any pattern.
+    ///
+    /// This is the comparison used when checking whether a (possibly
+    /// repaired) RHS value is acceptable: a `null` written by the repairer
+    /// means "uncertain" and cannot be contradicted (§4.1 case 2.3,
+    /// Example 5.1 where `(null, null)` satisfies the constant CFD ϕ2).
+    #[inline]
+    pub fn satisfied_by(&self, v: &Value) -> bool {
+        v.is_null() || self.matches(v)
+    }
+
+    /// Pattern-to-pattern order: `self ≼ other` (a constant is below the
+    /// same constant and below `_`; `_` is below `_` only). Used by the
+    /// implication analysis.
+    pub fn subsumed_by(&self, other: &PatternValue) -> bool {
+        match (self, other) {
+            (_, PatternValue::Wildcard) => true,
+            (PatternValue::Const(a), PatternValue::Const(b)) => a == b,
+            (PatternValue::Wildcard, PatternValue::Const(_)) => false,
+        }
+    }
+}
+
+impl fmt::Display for PatternValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternValue::Wildcard => write!(f, "_"),
+            PatternValue::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A pattern tuple over an LHS/RHS attribute split, e.g.
+/// `(212, _ ‖ _, NYC, NY)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternRow {
+    /// Patterns for the LHS attributes, positionally aligned with `X`.
+    pub lhs: Vec<PatternValue>,
+    /// Patterns for the RHS attributes, positionally aligned with `Y`.
+    pub rhs: Vec<PatternValue>,
+}
+
+impl PatternRow {
+    /// Build a row; panics on later use if lengths disagree with the CFD's
+    /// attribute lists, which [`crate::cfd::Cfd::new`] validates.
+    pub fn new(lhs: Vec<PatternValue>, rhs: Vec<PatternValue>) -> Self {
+        PatternRow { lhs, rhs }
+    }
+
+    /// An all-wildcard row of the given arities — the encoding of a
+    /// standard FD (§2, Fig. 2).
+    pub fn all_wildcards(lhs_len: usize, rhs_len: usize) -> Self {
+        PatternRow {
+            lhs: vec![PatternValue::Wildcard; lhs_len],
+            rhs: vec![PatternValue::Wildcard; rhs_len],
+        }
+    }
+}
+
+/// Does `t[attrs] ≼ pats` hold? (`null` anywhere among `t[attrs]` ⇒ no.)
+pub fn tuple_matches(t: &Tuple, attrs: &[AttrId], pats: &[PatternValue]) -> bool {
+    debug_assert_eq!(attrs.len(), pats.len());
+    attrs
+        .iter()
+        .zip(pats.iter())
+        .all(|(a, p)| p.matches(t.value(*a)))
+}
+
+/// Does a *projection* (already extracted values) match the patterns?
+pub fn values_match(vals: &[Value], pats: &[PatternValue]) -> bool {
+    debug_assert_eq!(vals.len(), pats.len());
+    vals.iter().zip(pats.iter()).all(|(v, p)| p.matches(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_matches_constants_not_null() {
+        let w = PatternValue::Wildcard;
+        assert!(w.matches(&Value::str("NYC")));
+        assert!(w.matches(&Value::int(5)));
+        assert!(!w.matches(&Value::Null));
+    }
+
+    #[test]
+    fn constant_matches_exactly() {
+        let p = PatternValue::constant("212");
+        assert!(p.matches(&Value::str("212")));
+        assert!(!p.matches(&Value::str("215")));
+        assert!(!p.matches(&Value::Null));
+        assert!(!p.matches(&Value::int(212))); // typed values stay distinct
+    }
+
+    #[test]
+    fn satisfied_by_lets_null_through() {
+        let p = PatternValue::constant("NYC");
+        assert!(p.satisfied_by(&Value::Null));
+        assert!(p.satisfied_by(&Value::str("NYC")));
+        assert!(!p.satisfied_by(&Value::str("PHI")));
+        assert!(PatternValue::Wildcard.satisfied_by(&Value::Null));
+    }
+
+    #[test]
+    fn subsumption_order() {
+        let c = PatternValue::constant("a");
+        let c2 = PatternValue::constant("b");
+        let w = PatternValue::Wildcard;
+        assert!(c.subsumed_by(&w));
+        assert!(c.subsumed_by(&c));
+        assert!(!c.subsumed_by(&c2));
+        assert!(w.subsumed_by(&w));
+        assert!(!w.subsumed_by(&c));
+    }
+
+    #[test]
+    fn paper_example_order_on_tuples() {
+        // (Walnut, NYC, NY) ≼ (_, NYC, NY) but not ≼ (_, PHI, _)
+        let t = Tuple::from_iter(["Walnut", "NYC", "NY"]);
+        let attrs = [AttrId(0), AttrId(1), AttrId(2)];
+        let p1 = [
+            PatternValue::Wildcard,
+            PatternValue::constant("NYC"),
+            PatternValue::constant("NY"),
+        ];
+        let p2 = [
+            PatternValue::Wildcard,
+            PatternValue::constant("PHI"),
+            PatternValue::Wildcard,
+        ];
+        assert!(tuple_matches(&t, &attrs, &p1));
+        assert!(!tuple_matches(&t, &attrs, &p2));
+    }
+
+    #[test]
+    fn null_in_tuple_blocks_match() {
+        let t = Tuple::new(vec![Value::Null, Value::str("NYC")]);
+        let attrs = [AttrId(0), AttrId(1)];
+        let pats = [PatternValue::Wildcard, PatternValue::constant("NYC")];
+        assert!(!tuple_matches(&t, &attrs, &pats));
+    }
+
+    #[test]
+    fn values_match_on_projections() {
+        let vals = [Value::str("212"), Value::str("5551234")];
+        let pats = [PatternValue::constant("212"), PatternValue::Wildcard];
+        assert!(values_match(&vals, &pats));
+        assert!(!values_match(
+            &[Value::str("610"), Value::str("5551234")],
+            &pats
+        ));
+    }
+
+    #[test]
+    fn all_wildcards_encodes_fd() {
+        let row = PatternRow::all_wildcards(2, 3);
+        assert_eq!(row.lhs.len(), 2);
+        assert_eq!(row.rhs.len(), 3);
+        assert!(row.lhs.iter().all(PatternValue::is_wildcard));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PatternValue::Wildcard.to_string(), "_");
+        assert_eq!(PatternValue::constant("NYC").to_string(), "NYC");
+    }
+}

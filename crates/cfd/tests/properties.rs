@@ -1,0 +1,208 @@
+//! Property-based tests for the CFD layer: the pattern match order, the
+//! rule-file parser/renderer pair, and the normal-form transformation.
+
+use proptest::prelude::*;
+
+use cfd_cfd::parser::{parse_rules, render_cfd};
+use cfd_cfd::pattern::{values_match, PatternRow, PatternValue};
+use cfd_cfd::violation::check;
+use cfd_cfd::{Cfd, Sigma};
+use cfd_model::{Relation, Schema, Tuple, Value};
+
+const ARITY: usize = 4;
+
+fn schema() -> Schema {
+    Schema::new("r", &["a", "b", "c", "d"]).unwrap()
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (0..5u32).prop_map(|i| Value::str(format!("v{i}"))),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PatternValue> {
+    prop_oneof![
+        1 => Just(PatternValue::Wildcard),
+        2 => (0..5u32).prop_map(|i| PatternValue::constant(format!("v{i}"))),
+    ]
+}
+
+/// A random CFD over the fixed schema: distinct lhs/rhs attributes plus a
+/// tableau of 1–3 rows.
+fn cfd_strategy() -> impl Strategy<Value = Cfd> {
+    (
+        0..ARITY,
+        0..ARITY,
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(pattern_strategy(), 1),
+                proptest::collection::vec(pattern_strategy(), 1),
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(|(l, r, rows)| {
+            let lhs = vec![cfd_model::AttrId(l as u16)];
+            let rhs_attr = if l == r { (r + 1) % ARITY } else { r };
+            let rhs = vec![cfd_model::AttrId(rhs_attr as u16)];
+            let rows: Vec<PatternRow> = rows
+                .into_iter()
+                .map(|(lp, rp)| PatternRow::new(lp, rp))
+                .collect();
+            Cfd::new("p", lhs, rhs, rows).expect("well-formed by construction")
+        })
+}
+
+fn relation_strategy() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 1..12)
+}
+
+fn build_relation(rows: Vec<Vec<Value>>) -> Relation {
+    let mut rel = Relation::new(schema());
+    for row in rows {
+        rel.insert(Tuple::new(row)).unwrap();
+    }
+    rel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `values_match` against all-wildcards accepts every non-null row,
+    /// and a row of the pattern's own constants always matches.
+    #[test]
+    fn wildcards_match_everything_constants_match_themselves(
+        pats in proptest::collection::vec(pattern_strategy(), 1..5)
+    ) {
+        let wilds = vec![PatternValue::Wildcard; pats.len()];
+        let selfie: Vec<Value> = pats
+            .iter()
+            .map(|p| match p.as_const() {
+                Some(v) => v.clone(),
+                None => Value::str("anything"),
+            })
+            .collect();
+        prop_assert!(values_match(&selfie, &wilds));
+        prop_assert!(values_match(&selfie, &pats));
+    }
+
+    /// Null never matches a pattern (CFDs only apply to tuples that match
+    /// precisely — §3.1 remark 2).
+    #[test]
+    fn null_matches_no_pattern(p in pattern_strategy()) {
+        prop_assert!(!p.matches(&Value::Null));
+    }
+
+    /// `subsumed_by` is a partial order compatible with matching: if
+    /// `p ⊑ q` then everything matching `p` matches `q`.
+    #[test]
+    fn subsumption_implies_match_containment(
+        p in pattern_strategy(),
+        q in pattern_strategy(),
+        v in value_strategy(),
+    ) {
+        if p.subsumed_by(&q) && p.matches(&v) {
+            prop_assert!(q.matches(&v));
+        }
+        // reflexivity
+        prop_assert!(p.subsumed_by(&p));
+        // wildcard is the top element
+        prop_assert!(p.subsumed_by(&PatternValue::Wildcard));
+    }
+
+    /// Rendering a CFD to rule text and parsing it back preserves its
+    /// semantics: the two agree on every random relation.
+    #[test]
+    fn parser_round_trips_semantics(
+        cfd in cfd_strategy(),
+        rows in relation_strategy(),
+    ) {
+        let s = schema();
+        let text = render_cfd(&s, &cfd);
+        let parsed = parse_rules(&s, &text).expect("rendered rules parse");
+        prop_assert_eq!(parsed.len(), 1);
+        let rel = build_relation(rows);
+        let sig_a = Sigma::normalize(s.clone(), vec![cfd]).unwrap();
+        let sig_b = Sigma::normalize(s.clone(), parsed).unwrap();
+        prop_assert_eq!(check(&rel, &sig_a), check(&rel, &sig_b), "rule text:\n{}", text);
+    }
+
+    /// Normalization preserves satisfaction: `D |= φ` under the source
+    /// tableau iff `D` satisfies every normalized `(X → A, tp)` row. The
+    /// reference check implements §2's semantics with the paper's null
+    /// conventions (§3.1 remarks): a null LHS means the pattern does not
+    /// apply; on the RHS the *simple SQL semantics* hold — null satisfies
+    /// any pattern and equals any value (§4.1 case 2.3).
+    #[test]
+    fn normalization_preserves_satisfaction(
+        cfd in cfd_strategy(),
+        rows in relation_strategy(),
+    ) {
+        fn sql_eq(a: &[Value], b: &[Value]) -> bool {
+            a.iter().zip(b).all(|(x, y)| x.is_null() || y.is_null() || x == y)
+        }
+        fn rhs_ok(vals: &[Value], pats: &[PatternValue]) -> bool {
+            vals.iter().zip(pats).all(|(v, p)| p.satisfied_by(v))
+        }
+        let s = schema();
+        let rel = build_relation(rows);
+        let sigma = Sigma::normalize(s, vec![cfd.clone()]).unwrap();
+        // Direct §2 semantics on the *source* CFD.
+        let direct = {
+            let lhs = cfd.lhs().to_vec();
+            let rhs = cfd.rhs().to_vec();
+            let mut ok = true;
+            'outer: for row in cfd.tableau() {
+                let (lp, rp) = (&row.lhs[..], &row.rhs[..]);
+                for (_, t1) in rel.iter() {
+                    let t1l: Vec<Value> = lhs.iter().map(|a| t1.value(*a).clone()).collect();
+                    if !values_match(&t1l, lp) {
+                        continue;
+                    }
+                    let t1r: Vec<Value> = rhs.iter().map(|a| t1.value(*a).clone()).collect();
+                    if !rhs_ok(&t1r, rp) {
+                        ok = false;
+                        break 'outer;
+                    }
+                    for (_, t2) in rel.iter() {
+                        let t2l: Vec<Value> = lhs.iter().map(|a| t2.value(*a).clone()).collect();
+                        if t1l != t2l || !values_match(&t2l, lp) {
+                            continue;
+                        }
+                        let t2r: Vec<Value> = rhs.iter().map(|a| t2.value(*a).clone()).collect();
+                        if !sql_eq(&t1r, &t2r) {
+                            ok = false;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            ok
+        };
+        prop_assert_eq!(check(&rel, &sigma), direct);
+    }
+
+    /// A relation of identical tuples satisfies any satisfiable single
+    /// CFD whose pattern it matches — weaker sanity net that exercises
+    /// the engine's group paths.
+    #[test]
+    fn uniform_relations_never_trip_variable_rows(
+        v in (0..5u32).prop_map(|i| format!("v{i}")),
+        n in 1..8usize,
+    ) {
+        let s = schema();
+        let fd = Cfd::standard_fd(
+            "fd",
+            vec![s.attr("a").unwrap()],
+            vec![s.attr("b").unwrap()],
+        );
+        let sigma = Sigma::normalize(s.clone(), vec![fd]).unwrap();
+        let mut rel = Relation::new(s);
+        for _ in 0..n {
+            rel.insert(Tuple::from_iter([&v[..], &v[..], &v[..], &v[..]])).unwrap();
+        }
+        prop_assert!(check(&rel, &sigma));
+    }
+}

@@ -1,0 +1,60 @@
+//! `cfdclean discover` — mine FDs and constant CFD rows from data (the
+//! paper's "automatically discover useful CFDs" future-work direction).
+
+use std::io::Write;
+use std::path::Path;
+
+use cfd_discovery::{discover, DiscoveryConfig};
+
+use crate::args::Args;
+use crate::io::{load_relation, render_rules, save_rules, CliError};
+
+pub const USAGE: &str = "cfdclean discover --data D.csv [--out R.cfd] [--max-lhs N]
+                [--min-support N] [--min-coverage F]
+  Mine minimal FDs and conditional constant rows from the data.
+    --data          CSV file to mine
+    --out           write discovered rules here (else print them)
+    --max-lhs       maximum LHS size (default 2)
+    --min-support   tuples an X-group needs to yield a constant row (default 3)
+    --min-coverage  fraction of supported groups that must determine the
+                    RHS before constant rows are emitted (default 0.5)";
+
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let data = args.require("data")?.to_string();
+    let out_path = args.get("out").map(str::to_string);
+    let max_lhs: usize = args.get_parsed("max-lhs", 2)?;
+    let min_support: usize = args.get_parsed("min-support", 3)?;
+    let min_coverage: f64 = args.get_parsed("min-coverage", 0.5)?;
+    args.reject_unknown()?;
+
+    let rel = load_relation(Path::new(&data))?;
+    let config = DiscoveryConfig {
+        max_lhs,
+        min_support,
+        min_conditional_coverage: min_coverage,
+    };
+    let found = discover(&rel, &config);
+    let exact = found.iter().filter(|d| d.is_exact()).count();
+    writeln!(
+        out,
+        "discovered {} dependencies ({exact} exact FDs, {} conditional) from {} tuples",
+        found.len(),
+        found.len() - exact,
+        rel.len()
+    )?;
+    let cfds: Vec<cfd_cfd::Cfd> = found
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.to_cfd(&format!("mined{i}")))
+        .collect();
+    match out_path {
+        Some(p) => {
+            save_rules(rel.schema(), &cfds, Path::new(&p))?;
+            writeln!(out, "wrote rules -> {p}")?;
+        }
+        None => {
+            write!(out, "{}", render_rules(rel.schema(), &cfds))?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! The `cfdclean` subcommands. Each module exposes `run(&Args, &mut dyn
+//! Write)` plus a `USAGE` string, so integration tests can drive commands
+//! without spawning processes.
+
+pub mod certify;
+pub mod detect;
+pub mod discover;
+pub mod generate;
+pub mod insert;
+pub mod repair;

@@ -1,0 +1,80 @@
+//! Shared file plumbing for the commands: CSV relations, weight files and
+//! CFD rule files, with errors that name the offending path.
+
+use std::fs;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use cfd_cfd::parser::parse_rules;
+use cfd_cfd::{Cfd, Sigma};
+use cfd_model::{csv, Relation};
+
+/// A CLI-level error: human-readable message, exit code 1.
+pub type CliError = Box<dyn std::error::Error>;
+
+fn context<E: std::fmt::Display>(what: &str, path: &Path, e: E) -> CliError {
+    format!("{what} {}: {e}", path.display()).into()
+}
+
+/// Load a relation from a CSV file; the relation is named after the file
+/// stem so rule files can reference it.
+pub fn load_relation(path: &Path) -> Result<Relation, CliError> {
+    let file = fs::File::open(path).map_err(|e| context("cannot open", path, e))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("relation");
+    csv::read_relation(name, &mut BufReader::new(file))
+        .map_err(|e| context("cannot parse", path, e))
+}
+
+/// Apply a weight CSV (written by `--save-weights` or by hand) to `rel`.
+pub fn load_weights(rel: &mut Relation, path: &Path) -> Result<(), CliError> {
+    let file = fs::File::open(path).map_err(|e| context("cannot open", path, e))?;
+    csv::read_weights(rel, &mut BufReader::new(file))
+        .map_err(|e| context("cannot parse weights", path, e))
+}
+
+/// Write a relation to a CSV file.
+pub fn save_relation(rel: &Relation, path: &Path) -> Result<(), CliError> {
+    let file = fs::File::create(path).map_err(|e| context("cannot create", path, e))?;
+    let mut w = BufWriter::new(file);
+    csv::write_relation(rel, &mut w).map_err(|e| context("cannot write", path, e))?;
+    w.flush().map_err(|e| context("cannot write", path, e))?;
+    Ok(())
+}
+
+/// Write a relation's weights to a CSV file.
+pub fn save_weights(rel: &Relation, path: &Path) -> Result<(), CliError> {
+    let file = fs::File::create(path).map_err(|e| context("cannot create", path, e))?;
+    let mut w = BufWriter::new(file);
+    csv::write_weights(rel, &mut w).map_err(|e| context("cannot write", path, e))?;
+    w.flush().map_err(|e| context("cannot write", path, e))?;
+    Ok(())
+}
+
+/// Parse a rule file against `rel`'s schema and normalize it into a Σ.
+pub fn load_sigma(rel: &Relation, path: &Path) -> Result<Sigma, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| context("cannot read", path, e))?;
+    let cfds = parse_rules(rel.schema(), &text).map_err(|e| context("cannot parse", path, e))?;
+    if cfds.is_empty() {
+        return Err(context("no rules in", path, "the file parsed to zero CFDs"));
+    }
+    Sigma::normalize(rel.schema().clone(), cfds)
+        .map_err(|e| context("cannot normalize rules in", path, e))
+}
+
+/// Render CFDs into rule-file text.
+pub fn render_rules(schema: &cfd_model::Schema, cfds: &[Cfd]) -> String {
+    let mut out = String::new();
+    for cfd in cfds {
+        out.push_str(&cfd_cfd::parser::render_cfd(schema, cfd));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write rule-file text to disk.
+pub fn save_rules(schema: &cfd_model::Schema, cfds: &[Cfd], path: &Path) -> Result<(), CliError> {
+    fs::write(path, render_rules(schema, cfds)).map_err(|e| context("cannot write", path, e))
+}

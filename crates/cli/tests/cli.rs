@@ -1,0 +1,308 @@
+//! End-to-end tests of the `cfdclean` command surface, driven through
+//! `dispatch` with a capture buffer — the same code path as the binary,
+//! minus process spawning.
+
+use std::path::PathBuf;
+
+use cfd_cli::dispatch;
+
+/// A scratch directory unique to one test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "cfdclean-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(argv: &[&str]) -> Result<String, String> {
+    let mut buf = Vec::new();
+    match dispatch(argv, &mut buf) {
+        Ok(()) => Ok(String::from_utf8(buf).unwrap()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn generate_workload(s: &Scratch, tuples: usize) {
+    let out = run(&[
+        "generate",
+        "--out-dir",
+        &s.path(""),
+        "--tuples",
+        &tuples.to_string(),
+        "--noise",
+        "0.05",
+    ])
+    .unwrap();
+    assert!(out.contains("generated"), "{out}");
+}
+
+#[test]
+fn generate_then_detect_reports_violations() {
+    let s = Scratch::new("detect");
+    generate_workload(&s, 600);
+    let out = run(&[
+        "detect",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+    ])
+    .unwrap();
+    assert!(out.contains("dirty:"), "{out}");
+    // the clean file really is clean
+    let out = run(&[
+        "detect",
+        "--data",
+        &s.path("dopt.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+    ])
+    .unwrap();
+    assert!(out.contains("clean"), "{out}");
+}
+
+#[test]
+fn repair_produces_a_clean_file() {
+    let s = Scratch::new("repair");
+    generate_workload(&s, 600);
+    let out = run(&[
+        "repair",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--weights",
+        &s.path("dirty_weights.csv"),
+        "--out",
+        &s.path("repaired.csv"),
+        "--stats",
+    ])
+    .unwrap();
+    assert!(out.contains("repaired 600 tuples"), "{out}");
+    assert!(out.contains("steps"), "--stats should print counters: {out}");
+    let out = run(&[
+        "detect",
+        "--data",
+        &s.path("repaired.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+    ])
+    .unwrap();
+    assert!(out.contains("clean"), "{out}");
+}
+
+#[test]
+fn repair_incremental_algorithms_also_clean() {
+    let s = Scratch::new("repair-inc");
+    generate_workload(&s, 400);
+    for algo in ["v-inc", "w-inc", "l-inc"] {
+        let out = run(&[
+            "repair",
+            "--data",
+            &s.path("dirty.csv"),
+            "--rules",
+            &s.path("rules.cfd"),
+            "--out",
+            &s.path("repaired.csv"),
+            "--algorithm",
+            algo,
+        ])
+        .unwrap();
+        assert!(out.contains(algo), "{out}");
+        let out = run(&[
+            "detect",
+            "--data",
+            &s.path("repaired.csv"),
+            "--rules",
+            &s.path("rules.cfd"),
+        ])
+        .unwrap();
+        assert!(out.contains("clean"), "{algo}: {out}");
+    }
+}
+
+#[test]
+fn insert_repairs_updates_and_refuses_dirty_base() {
+    let s = Scratch::new("insert");
+    generate_workload(&s, 600);
+    // take a few dirty rows as "new" tuples
+    let dirty = std::fs::read_to_string(s.path("dirty.csv")).unwrap();
+    let mut lines = dirty.lines();
+    let header = lines.next().unwrap();
+    let updates: Vec<&str> = lines.take(5).collect();
+    std::fs::write(
+        s.path("new.csv"),
+        format!("{header}\n{}\n", updates.join("\n")),
+    )
+    .unwrap();
+    let out = run(&[
+        "insert",
+        "--base",
+        &s.path("dopt.csv"),
+        "--updates",
+        &s.path("new.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--out",
+        &s.path("merged.csv"),
+    ])
+    .unwrap();
+    assert!(out.contains("inserted 5 tuple(s)"), "{out}");
+    let out = run(&[
+        "detect",
+        "--data",
+        &s.path("merged.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+    ])
+    .unwrap();
+    assert!(out.contains("clean"), "{out}");
+    // a dirty base is rejected up front
+    let err = run(&[
+        "insert",
+        "--base",
+        &s.path("dirty.csv"),
+        "--updates",
+        &s.path("new.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--out",
+        &s.path("merged.csv"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("base is not clean"), "{err}");
+}
+
+#[test]
+fn certify_accepts_good_repair_and_rejects_the_dirty_input() {
+    let s = Scratch::new("certify");
+    generate_workload(&s, 800);
+    run(&[
+        "repair",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--weights",
+        &s.path("dirty_weights.csv"),
+        "--out",
+        &s.path("repaired.csv"),
+    ])
+    .unwrap();
+    let out = run(&[
+        "certify",
+        "--repair",
+        &s.path("repaired.csv"),
+        "--dirty",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--truth",
+        &s.path("dopt.csv"),
+        "--epsilon",
+        "0.05",
+    ])
+    .unwrap();
+    assert!(out.contains("ACCEPTED"), "{out}");
+    // certifying the dirty file against the truth must fail: 5% of its
+    // tuples are inaccurate and epsilon is far below that
+    let out = run(&[
+        "certify",
+        "--repair",
+        &s.path("dirty.csv"),
+        "--dirty",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--truth",
+        &s.path("dopt.csv"),
+        "--epsilon",
+        "0.001",
+    ])
+    .unwrap();
+    assert!(out.contains("REJECTED"), "{out}");
+}
+
+#[test]
+fn discover_rules_can_repair_the_data_they_were_mined_from() {
+    let s = Scratch::new("discover");
+    generate_workload(&s, 600);
+    let out = run(&[
+        "discover",
+        "--data",
+        &s.path("dopt.csv"),
+        "--out",
+        &s.path("mined.cfd"),
+        "--max-lhs",
+        "1",
+    ])
+    .unwrap();
+    assert!(out.contains("discovered"), "{out}");
+    // the mined rules parse back and hold on the clean data
+    let out = run(&[
+        "detect",
+        "--data",
+        &s.path("dopt.csv"),
+        "--rules",
+        &s.path("mined.cfd"),
+    ])
+    .unwrap();
+    assert!(out.contains("clean"), "mined rules must hold on Dopt: {out}");
+}
+
+#[test]
+fn help_and_error_paths() {
+    let out = run(&["help"]).unwrap();
+    assert!(out.contains("usage"), "{out}");
+    let out = run(&["help", "rules"]).unwrap();
+    assert!(out.contains("wildcard"), "{out}");
+    let err = run(&["frobnicate"]).unwrap_err();
+    assert!(err.contains("unknown command"), "{err}");
+    // a bare command prints its usage as the error
+    let err = run(&["repair"]).unwrap_err();
+    assert!(err.contains("--data"), "{err}");
+    // unknown flags are hard errors
+    let s = Scratch::new("badflag");
+    generate_workload(&s, 200);
+    let err = run(&[
+        "detect",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--typo",
+        "1",
+    ])
+    .unwrap_err();
+    assert!(err.contains("unknown flag --typo"), "{err}");
+}
+
+#[test]
+fn missing_files_name_the_path() {
+    let err = run(&[
+        "detect",
+        "--data",
+        "/nonexistent/nope.csv",
+        "--rules",
+        "/nonexistent/r.cfd",
+    ])
+    .unwrap_err();
+    assert!(err.contains("nope.csv"), "{err}");
+}

@@ -1,0 +1,25 @@
+//! # cfd-discovery — mining CFDs from data
+//!
+//! The VLDB 2007 paper's stated future work: "we are studying effective
+//! methods to automatically discover useful CFDs from real-life data."
+//! This crate implements the two standard ingredients the follow-up
+//! literature settled on:
+//!
+//! * [`partition`] — stripped partitions and partition products (TANE),
+//!   the representation that makes levelwise FD checking linear per
+//!   candidate;
+//! * [`miner`] — bounded-LHS levelwise discovery of *minimal* exact FDs
+//!   plus CFDMiner-style constant pattern rows for dependencies that hold
+//!   only conditionally.
+//!
+//! The output plugs straight into the cleaning pipeline: discoveries
+//! convert to [`cfd_cfd::Cfd`]s (wildcard rows for exact FDs, mined
+//! constant rows otherwise), which [`cfd_cfd::Sigma::normalize`] then
+//! feeds to the repair algorithms. The `discover_rules` example mines the
+//! evaluation workload and recovers the planted Σ.
+
+pub mod miner;
+pub mod partition;
+
+pub use miner::{discover, Discovery, DiscoveryConfig};
+pub use partition::{Partition, ProductScratch};

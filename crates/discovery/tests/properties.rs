@@ -1,0 +1,152 @@
+//! Property-based tests for dependency discovery: everything mined must
+//! actually hold on the input, exact FDs must be minimal, and partitions
+//! must behave like partitions.
+
+use proptest::prelude::*;
+
+use cfd_cfd::violation::check;
+use cfd_cfd::Sigma;
+use cfd_discovery::{discover, DiscoveryConfig, Partition, ProductScratch};
+use cfd_model::{AttrId, Relation, Schema, Tuple, Value};
+
+const ARITY: usize = 4;
+
+fn schema() -> Schema {
+    Schema::new("r", &["a", "b", "c", "d"]).unwrap()
+}
+
+fn relation_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(0..4u8, ARITY), 1..24)
+}
+
+fn build(rows: &[Vec<u8>]) -> Relation {
+    let mut rel = Relation::new(schema());
+    for row in rows {
+        rel.insert(Tuple::new(
+            row.iter().map(|v| Value::str(format!("v{v}"))).collect(),
+        ))
+        .unwrap();
+    }
+    rel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness: every discovered dependency — exact or conditional —
+    /// holds on the relation it was mined from.
+    #[test]
+    fn discoveries_hold_on_their_input(rows in relation_strategy()) {
+        let rel = build(&rows);
+        let found = discover(&rel, &DiscoveryConfig {
+            max_lhs: 2,
+            min_support: 2,
+            min_conditional_coverage: 0.3,
+        });
+        let cfds: Vec<_> = found
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.to_cfd(&format!("m{i}")))
+            .collect();
+        prop_assume!(!cfds.is_empty());
+        let sigma = Sigma::normalize(schema(), cfds).unwrap();
+        prop_assert!(check(&rel, &sigma), "mined rules must hold on the input");
+    }
+
+    /// Minimality of exact FDs: no discovered `X → A` has a proper
+    /// subset of `X` that also determines `A` on this relation.
+    #[test]
+    fn exact_fds_are_minimal(rows in relation_strategy()) {
+        let rel = build(&rows);
+        let found = discover(&rel, &DiscoveryConfig {
+            max_lhs: 2,
+            min_support: 2,
+            min_conditional_coverage: 0.3,
+        });
+        let holds = |lhs: &[AttrId], rhs: AttrId| -> bool {
+            let mut groups: std::collections::HashMap<Vec<&Value>, &Value> =
+                std::collections::HashMap::new();
+            for (_, t) in rel.iter() {
+                let key: Vec<&Value> = lhs.iter().map(|a| t.value(*a)).collect();
+                match groups.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != t.value(rhs) {
+                            return false;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(t.value(rhs));
+                    }
+                }
+            }
+            true
+        };
+        for d in found.iter().filter(|d| d.is_exact()) {
+            prop_assert!(holds(&d.lhs, d.rhs), "claimed exact FD must hold");
+            if d.lhs.len() > 1 {
+                for drop in 0..d.lhs.len() {
+                    let sub: Vec<AttrId> = d
+                        .lhs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, a)| *a)
+                        .collect();
+                    prop_assert!(
+                        !holds(&sub, d.rhs),
+                        "FD not minimal: subset also determines rhs"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Stripped partitions: group counts and error are consistent, and
+    /// the product refines both factors.
+    #[test]
+    fn partition_product_refines(rows in relation_strategy()) {
+        let rel = build(&rows);
+        let pa = Partition::single(&rel, AttrId(0));
+        let pb = Partition::single(&rel, AttrId(1));
+        let mut scratch = ProductScratch::default();
+        let pab = pa.product(&pb, &mut scratch);
+        // refinement: the product never has fewer groups than either
+        // factor restricted to multi-tuple groups, and its error (tuples
+        // minus groups, over stripped groups) never exceeds either's.
+        prop_assert!(pab.error() <= pa.error());
+        prop_assert!(pab.error() <= pb.error());
+        // a partition with zero error means every group is a singleton —
+        // then the product must also be all singletons.
+        if pa.error() == 0 {
+            prop_assert_eq!(pab.error(), 0);
+        }
+    }
+
+    /// Discovery on a relation with a planted FD finds it (or a smaller
+    /// LHS that implies it).
+    #[test]
+    fn planted_fd_is_found(rows in relation_strategy()) {
+        // plant: d := a (copy column), so [a] → [d] holds exactly.
+        let planted: Vec<Vec<u8>> = rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r[3] = r[0];
+                r
+            })
+            .collect();
+        let rel = build(&planted);
+        let found = discover(&rel, &DiscoveryConfig {
+            max_lhs: 1,
+            min_support: 2,
+            min_conditional_coverage: 0.3,
+        });
+        let a = AttrId(0);
+        let d = AttrId(3);
+        prop_assert!(
+            found.iter().any(|f| f.is_exact() && f.rhs == d && f.lhs == vec![a]),
+            "planted [a] -> [d] not discovered: {:?}",
+            found.iter().map(|f| (f.lhs.clone(), f.rhs, f.is_exact())).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! The evaluation schema: the paper's `order` relation (§7.1).
+//!
+//! Fig. 1's nine attributes — id, name, PR, AC, PN, STR, CT, ST, zip —
+//! "plus 4 additional attributes, namely, the country of the customer CTY,
+//! the tax rate of the item VAT, the title TT and quantity of the item
+//! QTT".
+
+use cfd_model::{AttrId, Schema};
+
+/// Attribute names in schema order.
+pub const ATTRS: [&str; 13] = [
+    "id", "name", "PR", "AC", "PN", "STR", "CT", "ST", "zip", "CTY", "VAT", "TT", "QTT",
+];
+
+/// Typed handles to the `order` attributes.
+#[derive(Clone, Copy, Debug)]
+#[allow(non_snake_case, missing_docs)]
+pub struct OrderAttrs {
+    pub id: AttrId,
+    pub name: AttrId,
+    pub pr: AttrId,
+    pub ac: AttrId,
+    pub pn: AttrId,
+    pub str_: AttrId,
+    pub ct: AttrId,
+    pub st: AttrId,
+    pub zip: AttrId,
+    pub cty: AttrId,
+    pub vat: AttrId,
+    pub tt: AttrId,
+    pub qtt: AttrId,
+}
+
+/// Build the `order` schema.
+pub fn order_schema() -> Schema {
+    Schema::new("order", &ATTRS).expect("static schema is valid")
+}
+
+/// Resolve the typed attribute handles for a schema created by
+/// [`order_schema`].
+pub fn order_attrs(schema: &Schema) -> OrderAttrs {
+    let a = |n: &str| schema.attr(n).expect("order schema attribute");
+    OrderAttrs {
+        id: a("id"),
+        name: a("name"),
+        pr: a("PR"),
+        ac: a("AC"),
+        pn: a("PN"),
+        str_: a("STR"),
+        ct: a("CT"),
+        st: a("ST"),
+        zip: a("zip"),
+        cty: a("CTY"),
+        vat: a("VAT"),
+        tt: a("TT"),
+        qtt: a("QTT"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_thirteen_attributes() {
+        let s = order_schema();
+        assert_eq!(s.arity(), 13);
+        assert_eq!(s.name(), "order");
+    }
+
+    #[test]
+    fn attrs_resolve_in_order() {
+        let s = order_schema();
+        let a = order_attrs(&s);
+        assert_eq!(a.id, AttrId(0));
+        assert_eq!(a.qtt, AttrId(12));
+        assert_eq!(s.attr_name(a.ct), "CT");
+        assert_eq!(s.attr_name(a.vat), "VAT");
+    }
+}

@@ -1,0 +1,396 @@
+//! Minimal CSV import/export for relations.
+//!
+//! Hand-rolled (RFC-4180-style quoting) to avoid external dependencies; the
+//! examples use it to persist generated datasets and repairs. `null` is
+//! encoded as the unquoted token `\N` (PostgreSQL convention), so the empty
+//! string stays distinguishable from `null`. Integers round-trip as digits;
+//! anything that parses as `i64` *and* was written by [`write_relation`]
+//! from an `Int` is prefixed with `#i:` to keep types stable.
+
+use std::io::{BufRead, Write};
+
+use crate::error::ModelError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+const NULL_TOKEN: &str = "\\N";
+const INT_PREFIX: &str = "#i:";
+
+fn escape(field: &str, out: &mut String) {
+    // Empty fields are quoted so a row of empty strings is never mistaken
+    // for a blank line.
+    let needs_quotes = field.is_empty() || field.contains([',', '"', '\n', '\r']);
+    if needs_quotes {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str(NULL_TOKEN),
+        Value::Int(i) => {
+            out.push_str(INT_PREFIX);
+            out.push_str(&i.to_string());
+        }
+        Value::Str(s) => escape(s, out),
+    }
+}
+
+fn decode_value(field: &str) -> Value {
+    if field == NULL_TOKEN {
+        Value::Null
+    } else if let Some(rest) = field.strip_prefix(INT_PREFIX) {
+        rest.parse::<i64>().map(Value::Int).unwrap_or_else(|_| Value::str(field))
+    } else {
+        Value::str(field)
+    }
+}
+
+/// Write `rel` as CSV: a header row of attribute names, then one row per
+/// live tuple (in id order). Weights are not persisted.
+pub fn write_relation<W: Write>(rel: &Relation, w: &mut W) -> Result<(), ModelError> {
+    let mut line = String::new();
+    for (i, a) in rel.schema().attr_ids().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        escape(rel.schema().attr_name(a), &mut line);
+    }
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    for (_, t) in rel.iter() {
+        line.clear();
+        for (i, v) in t.values().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            encode_value(v, &mut line);
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Split one CSV record, honoring quotes. Returns an error message on
+/// malformed quoting.
+fn split_record(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err("quote inside unquoted field".to_string());
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote".to_string());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Read a relation written by [`write_relation`], constructing the schema
+/// from the header and naming the relation `name`.
+pub fn read_relation<R: BufRead>(name: &str, r: &mut R) -> Result<Relation, ModelError> {
+    let mut lines = r.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => {
+            return Err(ModelError::Csv {
+                line: 1,
+                message: "missing header".to_string(),
+            })
+        }
+    };
+    let attrs = split_record(&header).map_err(|message| ModelError::Csv { line: 1, message })?;
+    let schema = Schema::new(name, &attrs)?;
+    let arity = schema.arity();
+    let mut rel = Relation::new(schema);
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line).map_err(|message| ModelError::Csv {
+            line: line_no,
+            message,
+        })?;
+        if fields.len() != arity {
+            return Err(ModelError::Csv {
+                line: line_no,
+                message: format!("expected {arity} fields, found {}", fields.len()),
+            });
+        }
+        let values = fields.iter().map(|f| decode_value(f)).collect();
+        rel.insert(Tuple::new(values))?;
+    }
+    Ok(rel)
+}
+
+/// Write the per-attribute confidence weights of `rel` as CSV: the same
+/// header as [`write_relation`], then one row of decimal weights per live
+/// tuple, aligned with the relation's id order. Kept separate from the
+/// value CSV so plain data files stay interoperable with other tools.
+pub fn write_weights<W: Write>(rel: &Relation, w: &mut W) -> Result<(), ModelError> {
+    let mut line = String::new();
+    for (i, a) in rel.schema().attr_ids().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        escape(rel.schema().attr_name(a), &mut line);
+    }
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    for (_, t) in rel.iter() {
+        line.clear();
+        for (i, wt) in t.weights().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{wt}"));
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Apply a weight file written by [`write_weights`] to `rel`, row-aligned
+/// with the relation's live tuples in id order. The header must name the
+/// relation's attributes in schema order, every weight must parse as a
+/// finite `f64` in `[0, 1]`, and the row count must match.
+pub fn read_weights<R: BufRead>(rel: &mut Relation, r: &mut R) -> Result<(), ModelError> {
+    let mut lines = r.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => {
+            return Err(ModelError::Csv {
+                line: 1,
+                message: "missing header".to_string(),
+            })
+        }
+    };
+    let attrs = split_record(&header).map_err(|message| ModelError::Csv { line: 1, message })?;
+    let expected: Vec<&str> = rel.schema().attr_ids().map(|a| rel.schema().attr_name(a)).collect();
+    if attrs != expected {
+        return Err(ModelError::Csv {
+            line: 1,
+            message: format!("weight header {attrs:?} does not match schema {expected:?}"),
+        });
+    }
+    let arity = rel.schema().arity();
+    let ids: Vec<crate::TupleId> = rel.ids().collect();
+    let mut idx = 0usize;
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line).map_err(|message| ModelError::Csv {
+            line: line_no,
+            message,
+        })?;
+        if fields.len() != arity {
+            return Err(ModelError::Csv {
+                line: line_no,
+                message: format!("expected {arity} weights, found {}", fields.len()),
+            });
+        }
+        let id = *ids.get(idx).ok_or_else(|| ModelError::Csv {
+            line: line_no,
+            message: format!("more weight rows than tuples ({})", ids.len()),
+        })?;
+        let mut weights = Vec::with_capacity(arity);
+        for f in &fields {
+            let wt: f64 = f.trim().parse().map_err(|_| ModelError::Csv {
+                line: line_no,
+                message: format!("weight {f:?} is not a number"),
+            })?;
+            if !wt.is_finite() || !(0.0..=1.0).contains(&wt) {
+                return Err(ModelError::Csv {
+                    line: line_no,
+                    message: format!("weight {wt} outside [0, 1]"),
+                });
+            }
+            weights.push(wt);
+        }
+        rel.set_weights(id, &weights)?;
+        idx += 1;
+    }
+    if idx != ids.len() {
+        return Err(ModelError::Csv {
+            line: idx + 2,
+            message: format!("{} weight rows for {} tuples", idx, ids.len()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrId, Schema};
+
+    fn sample() -> Relation {
+        let schema = Schema::new("order", &["id", "name", "qty"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.insert(Tuple::new(vec![
+            Value::str("a23"),
+            Value::str("H. Porter"),
+            Value::int(2),
+        ]))
+        .unwrap();
+        r.insert(Tuple::new(vec![
+            Value::str("a12"),
+            Value::str("says \"hi\", eh"),
+            Value::Null,
+        ]))
+        .unwrap();
+        r
+    }
+
+    fn round_trip(rel: &Relation) -> Relation {
+        let mut buf = Vec::new();
+        write_relation(rel, &mut buf).unwrap();
+        read_relation("order", &mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trips_values_nulls_and_ints() {
+        let r = sample();
+        let r2 = round_trip(&r);
+        assert_eq!(r2.len(), 2);
+        let t0 = r2.tuple(crate::TupleId(0)).unwrap();
+        assert_eq!(t0.value(AttrId(2)), &Value::int(2));
+        let t1 = r2.tuple(crate::TupleId(1)).unwrap();
+        assert_eq!(t1.value(AttrId(1)), &Value::str("says \"hi\", eh"));
+        assert_eq!(t1.value(AttrId(2)), &Value::Null);
+    }
+
+    #[test]
+    fn empty_string_is_not_null() {
+        let schema = Schema::new("r", &["a"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.insert(Tuple::new(vec![Value::str("")])).unwrap();
+        let r2 = round_trip(&r);
+        assert_eq!(r2.tuple(crate::TupleId(0)).unwrap().value(AttrId(0)), &Value::str(""));
+    }
+
+    #[test]
+    fn header_preserves_attribute_names() {
+        let r = sample();
+        let r2 = round_trip(&r);
+        assert_eq!(r2.schema().attr("name"), Some(AttrId(1)));
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let input = "a,b\n1,2\n3\n";
+        let err = read_relation("r", &mut input.as_bytes()).unwrap_err();
+        match err {
+            ModelError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected csv error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let input = "a\n\"oops\n";
+        assert!(read_relation("r", &mut input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let input = "";
+        assert!(read_relation("r", &mut input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let mut r = sample();
+        r.set_weights(crate::TupleId(0), &[0.25, 0.5, 0.75]).unwrap();
+        r.set_weights(crate::TupleId(1), &[1.0, 0.0, 0.125]).unwrap();
+        let mut buf = Vec::new();
+        write_weights(&r, &mut buf).unwrap();
+        let mut r2 = sample();
+        read_weights(&mut r2, &mut buf.as_slice()).unwrap();
+        let t0 = r2.tuple(crate::TupleId(0)).unwrap();
+        assert_eq!(t0.weight(AttrId(0)), 0.25);
+        assert_eq!(t0.weight(AttrId(2)), 0.75);
+        let t1 = r2.tuple(crate::TupleId(1)).unwrap();
+        assert_eq!(t1.weight(AttrId(1)), 0.0);
+        assert_eq!(t1.weight(AttrId(2)), 0.125);
+    }
+
+    #[test]
+    fn weights_header_mismatch_rejected() {
+        let mut r = sample();
+        let input = "id,wrong,qty\n0.5,0.5,0.5\n0.5,0.5,0.5\n";
+        assert!(read_weights(&mut r, &mut input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn weights_row_count_mismatch_rejected() {
+        let mut r = sample();
+        let input = "id,name,qty\n0.5,0.5,0.5\n";
+        assert!(read_weights(&mut r, &mut input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn weights_out_of_range_rejected() {
+        let mut r = sample();
+        let input = "id,name,qty\n0.5,0.5,1.5\n0.5,0.5,0.5\n";
+        assert!(read_weights(&mut r, &mut input.as_bytes()).is_err());
+        let input = "id,name,qty\n0.5,NaN,0.5\n0.5,0.5,0.5\n";
+        assert!(read_weights(&mut r, &mut input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn newline_in_quoted_field_is_out_of_scope_but_commas_work() {
+        // embedded commas round-trip
+        let schema = Schema::new("r", &["a"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.insert(Tuple::new(vec![Value::str("x, y, z")])).unwrap();
+        let r2 = round_trip(&r);
+        assert_eq!(r2.tuple(crate::TupleId(0)).unwrap().value(AttrId(0)), &Value::str("x, y, z"));
+    }
+}

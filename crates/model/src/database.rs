@@ -1,0 +1,120 @@
+//! Databases: named collections of relations.
+//!
+//! CFDs constrain a single relation, and the paper repairs general schemas
+//! "by repairing each relation in isolation" (§2). `Database` is therefore a
+//! thin registry that lets examples and tests hold several relations while
+//! the algorithms receive one [`Relation`] at a time.
+
+use std::collections::BTreeMap;
+
+use crate::error::ModelError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// A collection of relations addressed by name.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create an empty relation for `schema`, replacing any previous
+    /// relation of the same name. Returns a mutable borrow for immediate
+    /// population.
+    pub fn create(&mut self, schema: Schema) -> &mut Relation {
+        let name = schema.name().to_string();
+        self.relations.insert(name.clone(), Relation::new(schema));
+        self.relations.get_mut(&name).expect("just inserted")
+    }
+
+    /// Insert an existing relation under its schema name.
+    pub fn put(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.schema().name().to_string(), relation);
+    }
+
+    /// Borrow a relation.
+    pub fn relation(&self, name: &str) -> Result<&Relation, ModelError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| ModelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutably borrow a relation.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation, ModelError> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| ModelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Remove a relation, returning it.
+    pub fn drop_relation(&mut self, name: &str) -> Result<Relation, ModelError> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| ModelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Iterate over relations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> + '_ {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when no relations exist.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        let schema = Schema::new("order", &["id", "name"]).unwrap();
+        db.create(schema).insert(Tuple::from_iter(["a23", "H. Porter"])).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.relation("order").unwrap().len(), 1);
+        assert!(db.relation("missing").is_err());
+    }
+
+    #[test]
+    fn create_replaces_existing() {
+        let mut db = Database::new();
+        let schema = Schema::new("r", &["a"]).unwrap();
+        db.create(schema.clone()).insert(Tuple::from_iter(["x"])).unwrap();
+        db.create(schema);
+        assert!(db.relation("r").unwrap().is_empty());
+    }
+
+    #[test]
+    fn drop_returns_relation() {
+        let mut db = Database::new();
+        db.create(Schema::new("r", &["a"]).unwrap());
+        let r = db.drop_relation("r").unwrap();
+        assert_eq!(r.schema().name(), "r");
+        assert!(db.is_empty());
+        assert!(db.drop_relation("r").is_err());
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut db = Database::new();
+        db.create(Schema::new("zeta", &["a"]).unwrap());
+        db.create(Schema::new("alpha", &["a"]).unwrap());
+        let names: Vec<_> = db.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

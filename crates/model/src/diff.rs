@@ -1,0 +1,193 @@
+//! The `dif` measure: attribute-level differences between two databases.
+//!
+//! The paper measures repair accuracy through
+//! `|dif(Repr, Dopt)| / |Dopt|` and derives precision/recall from three
+//! applications of `dif` (§7.1):
+//!
+//! * noises introduced: `dif(D, Dopt)`
+//! * changes made by the repairer: `dif(D, Repr)`
+//! * noises correctly repaired: `dif(D, Repr) − dif(Dopt, Repr)`
+//!
+//! `dif` counts attribute positions whose values differ between two
+//! relations that share tuple ids (the generator and the repairers both
+//! preserve ids). Strict null semantics apply: a `null` written over a
+//! correct constant counts as a difference, matching the paper's rule that
+//! "if such a value before the change is correct, we count the null as an
+//! error".
+
+use crate::relation::Relation;
+
+/// Count attribute-level differences between relations sharing tuple ids.
+///
+/// Tuples present in only one relation contribute one difference per
+/// attribute (they are entirely "wrong" from the other side's view).
+pub fn dif(a: &Relation, b: &Relation) -> usize {
+    debug_assert_eq!(a.schema().arity(), b.schema().arity());
+    let arity = a.schema().arity();
+    let mut count = 0;
+    for (id, ta) in a.iter() {
+        match b.tuple(id) {
+            Some(tb) => count += ta.attr_diff(tb),
+            None => count += arity,
+        }
+    }
+    // Tuples live in b but not in a.
+    for (id, _) in b.iter() {
+        if a.tuple(id).is_none() {
+            count += arity;
+        }
+    }
+    count
+}
+
+/// `|dif(a, b)| / (|b| · arity)` — the normalized inaccuracy ratio used by
+/// the sampling module. Returns 0 for an empty `b`.
+pub fn inaccuracy_ratio(repair: &Relation, correct: &Relation) -> f64 {
+    let cells = correct.len() * correct.schema().arity();
+    if cells == 0 {
+        return 0.0;
+    }
+    dif(repair, correct) as f64 / cells as f64
+}
+
+/// Precision and recall of a repair (§7.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepairQuality {
+    /// `dif(D, Dopt)` — attribute-level noises present in the dirty data.
+    pub noises: usize,
+    /// `dif(D, Repr)` — changes the repairing algorithm made.
+    pub changes: usize,
+    /// `dif(Dopt, Repr)` — residual errors after repair (missed noises plus
+    /// newly introduced ones).
+    pub residual: usize,
+}
+
+impl RepairQuality {
+    /// Evaluate a repair given the dirty input `d`, the repair `repr` and
+    /// the ground truth `dopt`.
+    pub fn evaluate(d: &Relation, repr: &Relation, dopt: &Relation) -> Self {
+        RepairQuality {
+            noises: dif(d, dopt),
+            changes: dif(d, repr),
+            residual: dif(dopt, repr),
+        }
+    }
+
+    /// Correctly repaired noises: `dif(D, Repr) − dif(Dopt, Repr)`,
+    /// saturating at zero (a pathological repair can damage more than it
+    /// changes relative to the baseline accounting).
+    pub fn correct_repairs(&self) -> usize {
+        self.changes.saturating_sub(self.residual)
+    }
+
+    /// Precision: correctly repaired noises / changes made. 1.0 when the
+    /// repairer made no changes (vacuously precise).
+    pub fn precision(&self) -> f64 {
+        if self.changes == 0 {
+            1.0
+        } else {
+            self.correct_repairs() as f64 / self.changes as f64
+        }
+    }
+
+    /// Recall: correctly repaired noises / total noises. 1.0 when the input
+    /// had no noise.
+    pub fn recall(&self) -> f64 {
+        if self.noises == 0 {
+            1.0
+        } else {
+            self.correct_repairs() as f64 / self.noises as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+    use crate::AttrId;
+
+    fn rel(rows: &[[&str; 2]]) -> Relation {
+        let schema = Schema::new("r", &["a", "b"]).unwrap();
+        let mut r = Relation::new(schema);
+        for row in rows {
+            r.insert(Tuple::from_iter(row.iter().copied())).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn identical_relations_have_zero_dif() {
+        let a = rel(&[["x", "y"], ["u", "v"]]);
+        assert_eq!(dif(&a, &a.clone()), 0);
+        assert_eq!(inaccuracy_ratio(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn dif_counts_cells() {
+        let a = rel(&[["x", "y"], ["u", "v"]]);
+        let b = rel(&[["x", "CHANGED"], ["CHANGED", "CHANGED"]]);
+        assert_eq!(dif(&a, &b), 3);
+        assert_eq!(dif(&b, &a), 3); // symmetric when ids align
+    }
+
+    #[test]
+    fn null_counts_as_difference() {
+        let a = rel(&[["x", "y"]]);
+        let mut b = a.clone();
+        b.set_value(crate::TupleId(0), AttrId(1), Value::Null).unwrap();
+        assert_eq!(dif(&a, &b), 1);
+    }
+
+    #[test]
+    fn missing_tuples_count_fully() {
+        let a = rel(&[["x", "y"], ["u", "v"]]);
+        let mut b = a.clone();
+        b.delete(crate::TupleId(1)).unwrap();
+        assert_eq!(dif(&a, &b), 2); // one 2-attribute tuple missing
+        assert_eq!(dif(&b, &a), 2);
+    }
+
+    #[test]
+    fn quality_perfect_repair() {
+        let dopt = rel(&[["x", "y"], ["u", "v"]]);
+        let mut d = dopt.clone();
+        d.set_value(crate::TupleId(0), AttrId(0), Value::str("BAD")).unwrap();
+        let q = RepairQuality::evaluate(&d, &dopt, &dopt);
+        assert_eq!(q.noises, 1);
+        assert_eq!(q.changes, 1);
+        assert_eq!(q.residual, 0);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+    }
+
+    #[test]
+    fn quality_partial_repair_with_new_noise() {
+        let dopt = rel(&[["x", "y"], ["u", "v"]]);
+        // two noises
+        let mut d = dopt.clone();
+        d.set_value(crate::TupleId(0), AttrId(0), Value::str("BAD0")).unwrap();
+        d.set_value(crate::TupleId(1), AttrId(1), Value::str("BAD1")).unwrap();
+        // repair fixes noise 0 but damages a clean cell
+        let mut repr = d.clone();
+        repr.set_value(crate::TupleId(0), AttrId(0), Value::str("x")).unwrap();
+        repr.set_value(crate::TupleId(0), AttrId(1), Value::str("OOPS")).unwrap();
+        let q = RepairQuality::evaluate(&d, &repr, &dopt);
+        assert_eq!(q.noises, 2);
+        assert_eq!(q.changes, 2);
+        assert_eq!(q.residual, 2); // BAD1 unfixed + OOPS introduced
+        assert_eq!(q.correct_repairs(), 0);
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.recall(), 0.0);
+    }
+
+    #[test]
+    fn quality_no_change_is_vacuously_precise() {
+        let dopt = rel(&[["x", "y"]]);
+        let q = RepairQuality::evaluate(&dopt, &dopt, &dopt);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+    }
+}

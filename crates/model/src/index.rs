@@ -1,0 +1,190 @@
+//! Hash indexes over attribute lists.
+//!
+//! [`HashIndex`] maps the projection `t[X]` of each live tuple to the set of
+//! tuple ids carrying that projection. It is the lookup primitive behind
+//! both violation detection (grouping tuples that agree on `LHS(φ)`) and the
+//! LHS-indices of §5.2. Keys use *strict* equality — a key containing `null`
+//! only groups with identical keys, which is correct because pattern
+//! matching excludes nulls anyway and the callers that need SQL-null
+//! semantics handle them explicitly.
+
+use std::collections::HashMap;
+
+use crate::relation::{Relation, TupleId};
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A hash index on a fixed attribute list `X`.
+#[derive(Clone, Debug)]
+pub struct HashIndex {
+    attrs: Vec<AttrId>,
+    map: HashMap<Vec<Value>, Vec<TupleId>>,
+}
+
+impl HashIndex {
+    /// Build an index on `attrs` over all live tuples of `rel`.
+    pub fn build(rel: &Relation, attrs: &[AttrId]) -> Self {
+        let mut idx = HashIndex {
+            attrs: attrs.to_vec(),
+            map: HashMap::new(),
+        };
+        for (id, t) in rel.iter() {
+            idx.insert(id, t);
+        }
+        idx
+    }
+
+    /// An empty index on `attrs`.
+    pub fn empty(attrs: &[AttrId]) -> Self {
+        HashIndex {
+            attrs: attrs.to_vec(),
+            map: HashMap::new(),
+        }
+    }
+
+    /// The indexed attribute list.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Key of `t` under this index.
+    #[inline]
+    pub fn key_of(&self, t: &Tuple) -> Vec<Value> {
+        t.project(&self.attrs)
+    }
+
+    /// Add a tuple.
+    pub fn insert(&mut self, id: TupleId, t: &Tuple) {
+        self.map.entry(self.key_of(t)).or_default().push(id);
+    }
+
+    /// Remove a tuple given its *current* contents (the caller must remove
+    /// before mutating the tuple, or pass the pre-image).
+    pub fn remove(&mut self, id: TupleId, t: &Tuple) {
+        let key = self.key_of(t);
+        if let Some(ids) = self.map.get_mut(&key) {
+            if let Some(pos) = ids.iter().position(|x| *x == id) {
+                ids.swap_remove(pos);
+            }
+            if ids.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Record an update of tuple `id` from `before` to `after`.
+    pub fn update(&mut self, id: TupleId, before: &Tuple, after: &Tuple) {
+        if before.agrees_on(after, &self.attrs) {
+            return;
+        }
+        self.remove(id, before);
+        self.insert(id, after);
+    }
+
+    /// Tuple ids whose projection equals `key` exactly.
+    pub fn get(&self, key: &[Value]) -> &[TupleId] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Tuple ids grouped with `t` (including `t` itself if indexed).
+    pub fn group_of(&self, t: &Tuple) -> &[TupleId] {
+        self.map
+            .get(&self.key_of(t))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterate over `(key, ids)` groups. Order is unspecified.
+    pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &[TupleId])> + '_ {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Number of distinct keys.
+    pub fn group_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel3() -> Relation {
+        let schema = Schema::new("r", &["ac", "pn", "ct"]).unwrap();
+        let mut r = Relation::new(schema);
+        for row in [
+            ["212", "111", "NYC"],
+            ["212", "111", "PHI"],
+            ["610", "222", "PHI"],
+        ] {
+            r.insert(Tuple::from_iter(row)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn build_groups_by_key() {
+        let r = rel3();
+        let idx = HashIndex::build(&r, &[AttrId(0), AttrId(1)]);
+        assert_eq!(idx.group_count(), 2);
+        let key = vec![Value::str("212"), Value::str("111")];
+        let mut ids: Vec<_> = idx.get(&key).to_vec();
+        ids.sort();
+        assert_eq!(ids, vec![TupleId(0), TupleId(1)]);
+        assert_eq!(idx.get(&[Value::str("999"), Value::str("0")]), &[]);
+    }
+
+    #[test]
+    fn update_moves_between_groups() {
+        let mut r = rel3();
+        let mut idx = HashIndex::build(&r, &[AttrId(0)]);
+        let before = r.tuple(TupleId(2)).unwrap().clone();
+        r.set_value(TupleId(2), AttrId(0), Value::str("212")).unwrap();
+        let after = r.tuple(TupleId(2)).unwrap().clone();
+        idx.update(TupleId(2), &before, &after);
+        assert_eq!(idx.get(&[Value::str("610")]), &[]);
+        assert_eq!(idx.get(&[Value::str("212")]).len(), 3);
+    }
+
+    #[test]
+    fn update_on_unrelated_attr_is_noop() {
+        let r = rel3();
+        let mut idx = HashIndex::build(&r, &[AttrId(0)]);
+        let before = r.tuple(TupleId(0)).unwrap().clone();
+        let mut after = before.clone();
+        after.set_value(AttrId(2), Value::str("LA"));
+        idx.update(TupleId(0), &before, &after);
+        assert_eq!(idx.get(&[Value::str("212")]).len(), 2);
+    }
+
+    #[test]
+    fn remove_evicts_empty_groups() {
+        let r = rel3();
+        let mut idx = HashIndex::build(&r, &[AttrId(0)]);
+        idx.remove(TupleId(2), r.tuple(TupleId(2)).unwrap());
+        assert_eq!(idx.get(&[Value::str("610")]), &[]);
+        assert_eq!(idx.group_count(), 1);
+    }
+
+    #[test]
+    fn null_keys_group_strictly() {
+        let schema = Schema::new("r", &["a"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.insert(Tuple::new(vec![Value::Null])).unwrap();
+        r.insert(Tuple::new(vec![Value::Null])).unwrap();
+        r.insert(Tuple::new(vec![Value::str("x")])).unwrap();
+        let idx = HashIndex::build(&r, &[AttrId(0)]);
+        assert_eq!(idx.get(&[Value::Null]).len(), 2);
+        assert_eq!(idx.get(&[Value::str("x")]).len(), 1);
+    }
+
+    #[test]
+    fn group_of_uses_tuple_projection() {
+        let r = rel3();
+        let idx = HashIndex::build(&r, &[AttrId(0), AttrId(1)]);
+        let t = r.tuple(TupleId(0)).unwrap();
+        assert_eq!(idx.group_of(t).len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! # cfd-model — relational substrate for CFD-based data cleaning
+//!
+//! This crate provides the in-memory relational layer that the repair
+//! algorithms of Cong et al. (VLDB 2007) operate on:
+//!
+//! * [`Value`] — typed attribute values with the paper's *simple SQL
+//!   semantics* for `null` (§3.1, Remarks): `t1[X] = t2[X]` is true when
+//!   either side is `null`, but a tuple containing `null` never matches a
+//!   pattern tuple.
+//! * [`Schema`] / [`AttrId`] — single-relation schemas (CFDs address a single
+//!   relation; multi-relation databases are repaired relation by relation).
+//! * [`Tuple`] — attribute values plus the per-attribute confidence weights
+//!   `w(t, A) ∈ [0, 1]` of the paper's cost model (§3.2).
+//! * [`Relation`] — a multiset of tuples with *stable* [`TupleId`]s, so a
+//!   tuple can be tracked through repairs even as its values change (the
+//!   "temporary unique tuple id" of §3.1).
+//! * [`ActiveDomain`] — `adom(A, D)`, the candidate pool that repairs draw
+//!   new values from (the algorithms never invent values).
+//! * [`index::HashIndex`] — hash indexes over attribute lists, the lookup
+//!   primitive behind violation detection and the LHS-indices of §5.2.
+//! * [`query`] — a small selection engine (conjunctive predicates) used by
+//!   the SQL-style violation detection.
+//! * [`diff`] — `dif(D1, D2)`, the attribute-level difference measure used
+//!   for accuracy accounting, precision and recall (§7.1).
+//! * [`csv`] — plain-text import/export so examples can persist datasets.
+
+pub mod active_domain;
+pub mod csv;
+pub mod database;
+pub mod diff;
+pub mod error;
+pub mod index;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use active_domain::ActiveDomain;
+pub use database::Database;
+pub use error::ModelError;
+pub use relation::{Relation, TupleId};
+pub use schema::{AttrId, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,175 @@
+//! A small selection engine.
+//!
+//! The companion paper (Bohannon et al., ICDE 2007) detects CFD violations
+//! with two SQL queries per CFD; this module supplies the fragment those
+//! queries need: conjunctive selections with equality, pattern-constant and
+//! null predicates, evaluated either by scan or through a [`HashIndex`]
+//! when one covers a prefix of the equality conjuncts.
+
+use crate::index::HashIndex;
+use crate::relation::{Relation, TupleId};
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An atomic predicate over one tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pred {
+    /// `t[a] = v` under strict semantics.
+    Eq(AttrId, Value),
+    /// `t[a] ≠ v` under strict semantics.
+    Ne(AttrId, Value),
+    /// `t[a] IS NULL`.
+    IsNull(AttrId),
+    /// `t[a] IS NOT NULL`.
+    NotNull(AttrId),
+    /// `t[a] = t[b]` within the same tuple (strict).
+    EqAttr(AttrId, AttrId),
+}
+
+impl Pred {
+    /// Evaluate the predicate on `t`.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Pred::Eq(a, v) => t.value(*a) == v,
+            Pred::Ne(a, v) => t.value(*a) != v,
+            Pred::IsNull(a) => t.value(*a).is_null(),
+            Pred::NotNull(a) => !t.value(*a).is_null(),
+            Pred::EqAttr(a, b) => t.value(*a) == t.value(*b),
+        }
+    }
+}
+
+/// A conjunction of atomic predicates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Selection {
+    preds: Vec<Pred>,
+}
+
+impl Selection {
+    /// The always-true selection.
+    pub fn all() -> Self {
+        Selection::default()
+    }
+
+    /// Add a conjunct (builder style).
+    pub fn and(mut self, p: Pred) -> Self {
+        self.preds.push(p);
+        self
+    }
+
+    /// The conjuncts.
+    pub fn preds(&self) -> &[Pred] {
+        &self.preds
+    }
+
+    /// Evaluate the conjunction on `t`.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        self.preds.iter().all(|p| p.eval(t))
+    }
+
+    /// Evaluate by full scan, returning matching tuple ids in id order.
+    pub fn scan(&self, rel: &Relation) -> Vec<TupleId> {
+        rel.iter()
+            .filter(|(_, t)| self.eval(t))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Evaluate using `idx` when the index's attribute list is fully bound
+    /// by equality conjuncts; remaining conjuncts are applied as a residual
+    /// filter. Falls back to a scan when the index is not applicable.
+    pub fn via_index(&self, rel: &Relation, idx: &HashIndex) -> Vec<TupleId> {
+        let mut key = Vec::with_capacity(idx.attrs().len());
+        for a in idx.attrs() {
+            match self.preds.iter().find_map(|p| match p {
+                Pred::Eq(pa, v) if pa == a => Some(v.clone()),
+                _ => None,
+            }) {
+                Some(v) => key.push(v),
+                None => return self.scan(rel),
+            }
+        }
+        let mut out: Vec<TupleId> = idx
+            .get(&key)
+            .iter()
+            .copied()
+            .filter(|id| rel.tuple(*id).map(|t| self.eval(t)).unwrap_or(false))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        let schema = Schema::new("r", &["ac", "ct", "st"]).unwrap();
+        let mut r = Relation::new(schema);
+        for row in [
+            ["212", "NYC", "NY"],
+            ["212", "PHI", "PA"],
+            ["610", "PHI", "PA"],
+        ] {
+            r.insert(Tuple::from_iter(row)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        let r = rel();
+        let sel = Selection::all()
+            .and(Pred::Eq(AttrId(0), Value::str("212")))
+            .and(Pred::Ne(AttrId(1), Value::str("NYC")));
+        assert_eq!(sel.scan(&r), vec![TupleId(1)]);
+    }
+
+    #[test]
+    fn null_predicates() {
+        let mut r = rel();
+        r.set_value(TupleId(0), AttrId(2), Value::Null).unwrap();
+        let nulls = Selection::all().and(Pred::IsNull(AttrId(2))).scan(&r);
+        assert_eq!(nulls, vec![TupleId(0)]);
+        let not_nulls = Selection::all().and(Pred::NotNull(AttrId(2))).scan(&r);
+        assert_eq!(not_nulls, vec![TupleId(1), TupleId(2)]);
+    }
+
+    #[test]
+    fn eq_attr_within_tuple() {
+        let schema = Schema::new("r", &["a", "b"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.insert(Tuple::from_iter(["x", "x"])).unwrap();
+        r.insert(Tuple::from_iter(["x", "y"])).unwrap();
+        let sel = Selection::all().and(Pred::EqAttr(AttrId(0), AttrId(1)));
+        assert_eq!(sel.scan(&r), vec![TupleId(0)]);
+    }
+
+    #[test]
+    fn index_path_matches_scan() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[AttrId(0)]);
+        let sel = Selection::all()
+            .and(Pred::Eq(AttrId(0), Value::str("212")))
+            .and(Pred::Eq(AttrId(1), Value::str("PHI")));
+        assert_eq!(sel.via_index(&r, &idx), sel.scan(&r));
+    }
+
+    #[test]
+    fn index_falls_back_when_not_bound() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[AttrId(0)]);
+        // no equality on ac: must fall back to scan and still be correct
+        let sel = Selection::all().and(Pred::Eq(AttrId(1), Value::str("PHI")));
+        assert_eq!(sel.via_index(&r, &idx), vec![TupleId(1), TupleId(2)]);
+    }
+
+    #[test]
+    fn empty_selection_matches_everything() {
+        let r = rel();
+        assert_eq!(Selection::all().scan(&r).len(), 3);
+    }
+}

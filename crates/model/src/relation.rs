@@ -1,0 +1,272 @@
+//! Relations: multisets of tuples with stable identifiers.
+//!
+//! The repair process needs to "keep track of a given tuple `t` in `D`
+//! during the repair process despite that the value of `t` may change"
+//! (§3.1). [`TupleId`]s provide exactly that: they are assigned at insert
+//! time, never reused, and survive in-place updates. Deletion leaves a
+//! tombstone so ids stay stable; [`Relation::compact`] squeezes tombstones
+//! out when a clean snapshot is needed.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Stable identifier of a tuple within one [`Relation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The id as a usize, for slot addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A relation instance: schema plus tuples addressed by stable [`TupleId`]s.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Schema,
+    slots: Vec<Option<Tuple>>,
+    live: usize,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live tuples remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a tuple, returning its stable id.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<TupleId, ModelError> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(ModelError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        let id = TupleId(self.slots.len() as u32);
+        self.slots.push(Some(tuple));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Remove a tuple. Returns the removed tuple, or an error if the id was
+    /// already dead.
+    pub fn delete(&mut self, id: TupleId) -> Result<Tuple, ModelError> {
+        match self.slots.get_mut(id.index()) {
+            Some(slot @ Some(_)) => {
+                self.live -= 1;
+                Ok(slot.take().expect("checked above"))
+            }
+            _ => Err(ModelError::UnknownTuple(id.0)),
+        }
+    }
+
+    /// Borrow a live tuple.
+    #[inline]
+    pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Borrow a live tuple, erroring on dead ids.
+    pub fn require(&self, id: TupleId) -> Result<&Tuple, ModelError> {
+        self.tuple(id).ok_or(ModelError::UnknownTuple(id.0))
+    }
+
+    /// Mutably borrow a live tuple.
+    #[inline]
+    pub fn tuple_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
+        self.slots.get_mut(id.index()).and_then(|s| s.as_mut())
+    }
+
+    /// Overwrite one attribute value of a live tuple.
+    pub fn set_value(&mut self, id: TupleId, a: AttrId, v: Value) -> Result<(), ModelError> {
+        let t = self
+            .tuple_mut(id)
+            .ok_or(ModelError::UnknownTuple(id.0))?;
+        t.set_value(a, v);
+        Ok(())
+    }
+
+    /// Overwrite all attribute weights of a live tuple. `weights` must
+    /// have exactly the schema's arity.
+    pub fn set_weights(&mut self, id: TupleId, weights: &[f64]) -> Result<(), ModelError> {
+        if weights.len() != self.schema.arity() {
+            return Err(ModelError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: weights.len(),
+            });
+        }
+        let t = self
+            .tuple_mut(id)
+            .ok_or(ModelError::UnknownTuple(id.0))?;
+        for (i, w) in weights.iter().enumerate() {
+            t.set_weight(AttrId(i as u16), *w);
+        }
+        Ok(())
+    }
+
+    /// Iterate over `(id, tuple)` pairs of live tuples in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (TupleId(i as u32), t)))
+    }
+
+    /// Iterate over live tuple ids.
+    pub fn ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+
+    /// Drop tombstones, renumbering tuples densely. Returns the mapping from
+    /// old to new ids for callers holding external references.
+    pub fn compact(&mut self) -> Vec<(TupleId, TupleId)> {
+        let mut mapping = Vec::with_capacity(self.live);
+        let mut next = Vec::with_capacity(self.live);
+        for (i, slot) in self.slots.drain(..).enumerate() {
+            if let Some(t) = slot {
+                mapping.push((TupleId(i as u32), TupleId(next.len() as u32)));
+                next.push(Some(t));
+            }
+        }
+        self.slots = next;
+        mapping
+    }
+
+    /// A deep copy holding only live tuples, preserving ids (tombstones and
+    /// all). Repairs clone the input database this way.
+    pub fn snapshot(&self) -> Relation {
+        self.clone()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (id, t) in self.iter() {
+            write!(f, "  {id}:")?;
+            for a in self.schema.attr_ids() {
+                write!(f, " {}", t.value(a))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        let schema = Schema::new("r", &["a", "b"]).unwrap();
+        Relation::new(schema)
+    }
+
+    fn t2(a: &str, b: &str) -> Tuple {
+        Tuple::from_iter([a, b])
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut r = rel();
+        let t0 = r.insert(t2("x", "y")).unwrap();
+        let t1 = r.insert(t2("u", "v")).unwrap();
+        assert_eq!(t0, TupleId(0));
+        assert_eq!(t1, TupleId(1));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = rel();
+        let err = r.insert(Tuple::from_iter(["only-one"])).unwrap_err();
+        assert!(matches!(err, ModelError::ArityMismatch { expected: 2, actual: 1 }));
+    }
+
+    #[test]
+    fn delete_keeps_other_ids_stable() {
+        let mut r = rel();
+        let t0 = r.insert(t2("x", "y")).unwrap();
+        let t1 = r.insert(t2("u", "v")).unwrap();
+        r.delete(t0).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.tuple(t0).is_none());
+        assert_eq!(r.tuple(t1).unwrap().value(AttrId(0)), &Value::str("u"));
+        // double delete errors
+        assert!(r.delete(t0).is_err());
+    }
+
+    #[test]
+    fn set_value_updates_in_place() {
+        let mut r = rel();
+        let t0 = r.insert(t2("PHI", "PA")).unwrap();
+        r.set_value(t0, AttrId(0), Value::str("NYC")).unwrap();
+        assert_eq!(r.tuple(t0).unwrap().value(AttrId(0)), &Value::str("NYC"));
+        assert!(r.set_value(TupleId(99), AttrId(0), Value::Null).is_err());
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut r = rel();
+        let t0 = r.insert(t2("a", "b")).unwrap();
+        let _t1 = r.insert(t2("c", "d")).unwrap();
+        r.delete(t0).unwrap();
+        let ids: Vec<_> = r.ids().collect();
+        assert_eq!(ids, vec![TupleId(1)]);
+    }
+
+    #[test]
+    fn compact_renumbers_densely() {
+        let mut r = rel();
+        let t0 = r.insert(t2("a", "b")).unwrap();
+        let t1 = r.insert(t2("c", "d")).unwrap();
+        let t2_ = r.insert(t2("e", "f")).unwrap();
+        r.delete(t1).unwrap();
+        let mapping = r.compact();
+        assert_eq!(mapping, vec![(t0, TupleId(0)), (t2_, TupleId(1))]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuple(TupleId(1)).unwrap().value(AttrId(0)), &Value::str("e"));
+        // fresh inserts continue after the compacted range
+        let t3 = r.insert(t2("g", "h")).unwrap();
+        assert_eq!(t3, TupleId(2));
+    }
+
+    #[test]
+    fn require_errors_on_dead_id() {
+        let mut r = rel();
+        let t0 = r.insert(t2("a", "b")).unwrap();
+        r.delete(t0).unwrap();
+        assert!(r.require(t0).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Tuples: attribute values plus per-attribute confidence weights.
+//!
+//! Following the practice of US national statistical agencies adopted by the
+//! paper (§3.2), every attribute of every tuple carries a weight
+//! `w(t, A) ∈ [0, 1]` reflecting the user's confidence in that value. When no
+//! weight information is available all weights default to 1 and the repair
+//! algorithms fall back to violation counts for guidance — exactly the
+//! degenerate mode the paper evaluates.
+
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// A single tuple: values and confidence weights, both in schema order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuple {
+    values: Vec<Value>,
+    weights: Vec<f64>,
+}
+
+impl Tuple {
+    /// Build a tuple with all weights set to 1 (no confidence information).
+    pub fn new(values: Vec<Value>) -> Self {
+        let weights = vec![1.0; values.len()];
+        Tuple { values, weights }
+    }
+
+    /// Build a tuple with explicit weights.
+    ///
+    /// # Panics
+    /// Panics if `values` and `weights` lengths differ — callers construct
+    /// both from the same schema so a mismatch is a programming error.
+    pub fn with_weights(values: Vec<Value>, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            weights.len(),
+            "values/weights length mismatch"
+        );
+        Tuple { values, weights }
+    }
+
+    /// Convenience constructor from anything convertible to [`Value`].
+    #[allow(clippy::should_implement_trait)] // fallible trait impl would hide the panic-free path
+    pub fn from_iter<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple::new(values.into_iter().map(Into::into).collect())
+    }
+
+    /// Tuple arity.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value of attribute `a`, i.e. `t[A]`.
+    #[inline]
+    pub fn value(&self, a: AttrId) -> &Value {
+        &self.values[a.index()]
+    }
+
+    /// Overwrite the value of attribute `a`.
+    #[inline]
+    pub fn set_value(&mut self, a: AttrId, v: Value) {
+        self.values[a.index()] = v;
+    }
+
+    /// The confidence weight `w(t, A)`.
+    #[inline]
+    pub fn weight(&self, a: AttrId) -> f64 {
+        self.weights[a.index()]
+    }
+
+    /// Set the confidence weight `w(t, A)`; clamped into `[0, 1]`.
+    pub fn set_weight(&mut self, a: AttrId, w: f64) {
+        self.weights[a.index()] = w.clamp(0.0, 1.0);
+    }
+
+    /// The total weight `wt(t) = Σ_A w(t, A)` used by the W-INCREPAIR
+    /// ordering (§5.2).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// All weights in schema order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Project onto an attribute list: `t[X]`. Allocates; hot paths compare
+    /// in place via [`Tuple::agrees_on`] instead.
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
+        attrs.iter().map(|a| self.value(*a).clone()).collect()
+    }
+
+    /// Do `self` and `other` agree on every attribute in `attrs` under
+    /// *strict* equality? (Index keys and grouping use this.)
+    pub fn agrees_on(&self, other: &Tuple, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|a| self.value(*a) == other.value(*a))
+    }
+
+    /// Do `self` and `other` agree on `attrs` under the paper's simple SQL
+    /// null semantics (`null` equals anything)?
+    pub fn sql_agrees_on(&self, other: &Tuple, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|a| self.value(*a).sql_eq(other.value(*a)))
+    }
+
+    /// Number of attributes on which two tuples of the same schema differ
+    /// (strict semantics). This is the per-tuple contribution to
+    /// `dif(D1, D2)`.
+    pub fn attr_diff(&self, other: &Tuple) -> usize {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// "Delete" the tuple by nulling every attribute (§3.1, Remark 4).
+    pub fn null_out(&mut self) {
+        for v in &mut self.values {
+            *v = Value::Null;
+        }
+    }
+
+    /// True when every attribute is `null`, i.e. the tuple was logically
+    /// deleted.
+    pub fn is_nulled(&self) -> bool {
+        self.values.iter().all(Value::is_null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[&str]) -> Tuple {
+        Tuple::from_iter(vals.iter().copied())
+    }
+
+    #[test]
+    fn new_defaults_weights_to_one() {
+        let tup = t(&["a23", "H. Porter"]);
+        assert_eq!(tup.weight(AttrId(0)), 1.0);
+        assert_eq!(tup.weight(AttrId(1)), 1.0);
+        assert_eq!(tup.total_weight(), 2.0);
+    }
+
+    #[test]
+    fn set_weight_clamps() {
+        let mut tup = t(&["x"]);
+        tup.set_weight(AttrId(0), 1.5);
+        assert_eq!(tup.weight(AttrId(0)), 1.0);
+        tup.set_weight(AttrId(0), -0.2);
+        assert_eq!(tup.weight(AttrId(0)), 0.0);
+        tup.set_weight(AttrId(0), 0.35);
+        assert_eq!(tup.weight(AttrId(0)), 0.35);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn with_weights_checks_length() {
+        Tuple::with_weights(vec![Value::str("a")], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn value_get_set() {
+        let mut tup = t(&["212", "PHI"]);
+        assert_eq!(tup.value(AttrId(1)), &Value::str("PHI"));
+        tup.set_value(AttrId(1), Value::str("NYC"));
+        assert_eq!(tup.value(AttrId(1)), &Value::str("NYC"));
+    }
+
+    #[test]
+    fn project_and_agrees() {
+        let a = t(&["212", "3345677", "PHI"]);
+        let b = t(&["212", "9999999", "PHI"]);
+        let attrs = [AttrId(0), AttrId(2)];
+        assert_eq!(a.project(&attrs), vec![Value::str("212"), Value::str("PHI")]);
+        assert!(a.agrees_on(&b, &attrs));
+        assert!(!a.agrees_on(&b, &[AttrId(1)]));
+    }
+
+    #[test]
+    fn sql_agrees_with_null() {
+        let mut a = t(&["212", "PHI"]);
+        let b = t(&["212", "NYC"]);
+        assert!(!a.sql_agrees_on(&b, &[AttrId(1)]));
+        a.set_value(AttrId(1), Value::Null);
+        assert!(a.sql_agrees_on(&b, &[AttrId(1)]));
+        // strict agreement still fails
+        assert!(!a.agrees_on(&b, &[AttrId(1)]));
+    }
+
+    #[test]
+    fn attr_diff_counts_positions() {
+        let a = t(&["212", "3345677", "PHI", "PA"]);
+        let b = t(&["212", "3345677", "NYC", "NY"]);
+        assert_eq!(a.attr_diff(&b), 2);
+        assert_eq!(a.attr_diff(&a), 0);
+    }
+
+    #[test]
+    fn null_out_deletes() {
+        let mut a = t(&["x", "y"]);
+        assert!(!a.is_nulled());
+        a.null_out();
+        assert!(a.is_nulled());
+        assert_eq!(a.value(AttrId(0)), &Value::Null);
+    }
+}

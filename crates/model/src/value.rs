@@ -1,0 +1,220 @@
+//! Attribute values and the paper's null semantics.
+//!
+//! The repair algorithms work over string-rendered values when computing the
+//! Damerau–Levenshtein distance, but keeping integers typed makes workload
+//! generation and comparisons cheaper. The important subtlety is `null`
+//! (§3.1, Remarks):
+//!
+//! 1. `t1[A] = t2[A]` (tuple-to-tuple) evaluates to **true** if either side
+//!    is `null` — the "simple semantics" of the SQL standard adopted by the
+//!    paper, which is what lets `CFD-RESOLVE` treat an equivalence class with
+//!    a `null` target as already resolved (case 2.3 of §4.1).
+//! 2. `t[A] ≼ tp[A]` (tuple-to-pattern) evaluates to **false** if `t[A]` is
+//!    `null` — CFDs only apply to tuples that *precisely* match a pattern.
+//!
+//! Both comparisons are provided as explicit methods ([`Value::sql_eq`],
+//! pattern matching lives in `cfd-cfd`) rather than through `PartialEq`,
+//! which stays a plain structural equality suitable for hash maps.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+///
+/// `Value` is cheap to clone: strings are reference-counted. Structural
+/// equality (`==`, `Hash`) treats `Null` as equal to `Null`, which is what
+/// index keys need; use [`Value::sql_eq`] for the paper's tuple-comparison
+/// semantics.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL `NULL`: unknown / uncertain. Produced by repairs when no certain
+    /// value can resolve a violation.
+    Null,
+    /// A 64-bit integer, used for counts and quantities.
+    Int(i64),
+    /// An interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Is this value `null`?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Tuple-to-tuple equality under the paper's simple SQL semantics:
+    /// `null` compares equal to anything (§3.1, Remark 1).
+    #[inline]
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => true,
+            (a, b) => a == b,
+        }
+    }
+
+    /// Strict equality: `null` equals only `null`. Alias of `==` that makes
+    /// call sites explicit about which semantics they want.
+    #[inline]
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        self == other
+    }
+
+    /// Render the value as text for distance computation. `null` renders as
+    /// the empty string so that `dis(v, null)` degenerates to `|v|`
+    /// insertions, making nulls maximally distant under the normalized
+    /// metric — matching the paper's treatment of null as a last resort.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+
+    /// The length, in characters, of the rendered value. Used by the cost
+    /// model's `max(|v|, |v'|)` normalizer.
+    pub fn render_len(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Int(i) => {
+                // Count digits (plus sign) without allocating.
+                let mut n = *i;
+                let mut len = if n < 0 { 1 } else { 0 };
+                loop {
+                    len += 1;
+                    n /= 10;
+                    if n == 0 {
+                        break;
+                    }
+                }
+                len
+            }
+            Value::Str(s) => s.chars().count(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_is_structurally_equal_to_null_only() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::str(""));
+        assert_ne!(Value::Null, Value::int(0));
+    }
+
+    #[test]
+    fn sql_eq_treats_null_as_wildcard() {
+        assert!(Value::Null.sql_eq(&Value::str("NYC")));
+        assert!(Value::str("NYC").sql_eq(&Value::Null));
+        assert!(Value::Null.sql_eq(&Value::Null));
+        assert!(Value::str("NYC").sql_eq(&Value::str("NYC")));
+        assert!(!Value::str("NYC").sql_eq(&Value::str("PHI")));
+        assert!(!Value::int(1).sql_eq(&Value::int(2)));
+    }
+
+    #[test]
+    fn strict_eq_distinguishes_null() {
+        assert!(Value::Null.strict_eq(&Value::Null));
+        assert!(!Value::Null.strict_eq(&Value::str("x")));
+    }
+
+    #[test]
+    fn int_and_str_are_distinct_even_when_text_matches() {
+        assert_ne!(Value::int(212), Value::str("212"));
+    }
+
+    #[test]
+    fn render_null_is_empty() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Null.render_len(), 0);
+    }
+
+    #[test]
+    fn render_int() {
+        assert_eq!(Value::int(212).render(), "212");
+        assert_eq!(Value::int(212).render_len(), 3);
+        assert_eq!(Value::int(-40).render(), "-40");
+        assert_eq!(Value::int(-40).render_len(), 3);
+        assert_eq!(Value::int(0).render_len(), 1);
+        assert_eq!(Value::int(i64::MIN).render_len(), i64::MIN.to_string().len());
+    }
+
+    #[test]
+    fn render_str_counts_chars_not_bytes() {
+        let v = Value::str("naïve");
+        assert_eq!(v.render_len(), 5);
+        assert_eq!(v.render(), "naïve");
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = Value::str("Walnut");
+        let b = Value::str("Walnut");
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn display_round_trips_visibly() {
+        assert_eq!(Value::str("PHI").to_string(), "PHI");
+        assert_eq!(Value::int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "⊥");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("x")), Value::str("x"));
+        assert_eq!(Value::from(5i64), Value::int(5));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the relational substrate: the selection
+//! engine's two evaluation paths agree, hash indexes stay consistent
+//! under updates, the diff metric is a metric, and relations keep their
+//! id/compaction invariants.
+
+use proptest::prelude::*;
+
+use cfd_model::csv;
+use cfd_model::diff::dif;
+use cfd_model::query::{Pred, Selection};
+use cfd_model::{AttrId, Relation, Schema, Tuple, TupleId, Value};
+
+const ARITY: usize = 3;
+
+fn schema() -> Schema {
+    Schema::new("r", &["a", "b", "c"]).unwrap()
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => (0..4u32).prop_map(|i| Value::str(format!("v{i}"))),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 0..16)
+}
+
+fn build(rows: &[Vec<Value>]) -> Relation {
+    let mut rel = Relation::new(schema());
+    for row in rows {
+        rel.insert(Tuple::new(row.clone())).unwrap();
+    }
+    rel
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        (0..ARITY, value_strategy()).prop_map(|(a, v)| Pred::Eq(AttrId(a as u16), v)),
+        (0..ARITY, value_strategy()).prop_map(|(a, v)| Pred::Ne(AttrId(a as u16), v)),
+        (0..ARITY).prop_map(|a| Pred::IsNull(AttrId(a as u16))),
+        (0..ARITY).prop_map(|a| Pred::NotNull(AttrId(a as u16))),
+        (0..ARITY, 0..ARITY).prop_map(|(a, b)| Pred::EqAttr(AttrId(a as u16), AttrId(b as u16))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// The scan evaluation and the index-assisted evaluation return the
+    /// same tuples for any selection whose equality prefix the index
+    /// covers.
+    #[test]
+    fn scan_and_index_paths_agree(
+        rows in rows_strategy(),
+        key_attr in 0..ARITY,
+        key in value_strategy(),
+        extra in pred_strategy(),
+    ) {
+        let rel = build(&rows);
+        let a = AttrId(key_attr as u16);
+        let sel = Selection::all()
+            .and(Pred::Eq(a, key))
+            .and(extra);
+        let idx = cfd_model::index::HashIndex::build(&rel, &[a]);
+        let mut by_scan = sel.scan(&rel);
+        let mut by_index = sel.via_index(&rel, &idx);
+        by_scan.sort_unstable();
+        by_index.sort_unstable();
+        prop_assert_eq!(by_scan, by_index);
+    }
+
+    /// Hash indexes survive arbitrary in-place updates: after a series of
+    /// set_value calls with index maintenance, every group lookup equals
+    /// a fresh rebuild.
+    #[test]
+    fn hash_index_incremental_equals_rebuild(
+        rows in rows_strategy(),
+        updates in proptest::collection::vec((0..16usize, 0..ARITY, value_strategy()), 0..12),
+    ) {
+        let mut rel = build(&rows);
+        prop_assume!(rel.len() > 0);
+        let attrs = [AttrId(0), AttrId(1)];
+        let mut idx = cfd_model::index::HashIndex::build(&rel, &attrs);
+        let ids: Vec<TupleId> = rel.ids().collect();
+        for (slot, attr, v) in updates {
+            let id = ids[slot % ids.len()];
+            let before = rel.tuple(id).unwrap().clone();
+            rel.set_value(id, AttrId(attr as u16), v).unwrap();
+            let after = rel.tuple(id).unwrap().clone();
+            idx.update(id, &before, &after);
+        }
+        let fresh = cfd_model::index::HashIndex::build(&rel, &attrs);
+        for (_, t) in rel.iter() {
+            let mut a: Vec<TupleId> = idx.group_of(t).to_vec();
+            let mut b: Vec<TupleId> = fresh.group_of(t).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// `dif` is a metric on equally-sized relations: identity, symmetry,
+    /// triangle inequality, and the attribute-count bound.
+    #[test]
+    fn dif_is_a_metric(
+        rows_a in proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 1..8),
+    ) {
+        let a = build(&rows_a);
+        // b, c: mutate a deterministically
+        let mutate = |shift: u32| -> Relation {
+            let rows: Vec<Vec<Value>> = rows_a
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let mut r = r.clone();
+                    if i % 2 == 0 {
+                        r[(i / 2) % ARITY] = Value::str(format!("m{shift}"));
+                    }
+                    r
+                })
+                .collect();
+            build(&rows)
+        };
+        let b = mutate(1);
+        let c = mutate(2);
+        prop_assert_eq!(dif(&a, &a), 0);
+        prop_assert_eq!(dif(&a, &b), dif(&b, &a));
+        prop_assert!(dif(&a, &c) <= dif(&a, &b) + dif(&b, &c));
+        prop_assert!(dif(&a, &b) <= a.len() * ARITY);
+    }
+
+    /// Deleting then compacting preserves the surviving tuples (in
+    /// order), and ids stay dense afterwards.
+    #[test]
+    fn compaction_preserves_survivors(
+        rows in proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 1..12),
+        kill in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let mut rel = build(&rows);
+        let ids: Vec<TupleId> = rel.ids().collect();
+        let mut survivors = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if kill.get(i).copied().unwrap_or(false) {
+                rel.delete(*id).unwrap();
+            } else {
+                survivors.push(rel.tuple(*id).unwrap().values().to_vec());
+            }
+        }
+        let mapping = rel.compact();
+        prop_assert_eq!(rel.len(), survivors.len());
+        prop_assert_eq!(mapping.len(), survivors.len());
+        for (i, (_, new_id)) in mapping.iter().enumerate() {
+            prop_assert_eq!(new_id.0 as usize, i, "ids dense after compaction");
+        }
+        let after: Vec<Vec<Value>> = rel.iter().map(|(_, t)| t.values().to_vec()).collect();
+        prop_assert_eq!(after, survivors);
+    }
+
+    /// CSV round-trips preserve weights alongside values (the CLI's
+    /// `--weights` path).
+    #[test]
+    fn csv_value_and_weight_round_trip(
+        rows in proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 1..8),
+        weights in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..=1.0, ARITY), 1..8,
+        ),
+    ) {
+        let mut rel = build(&rows);
+        let ids: Vec<TupleId> = rel.ids().collect();
+        for (i, id) in ids.iter().enumerate() {
+            let w = &weights[i % weights.len()];
+            rel.set_weights(*id, w).unwrap();
+        }
+        let mut vbuf = Vec::new();
+        csv::write_relation(&rel, &mut vbuf).unwrap();
+        let mut wbuf = Vec::new();
+        csv::write_weights(&rel, &mut wbuf).unwrap();
+        let mut rel2 = csv::read_relation("r", &mut vbuf.as_slice()).unwrap();
+        csv::read_weights(&mut rel2, &mut wbuf.as_slice()).unwrap();
+        prop_assert_eq!(rel.len(), rel2.len());
+        for ((_, t1), (_, t2)) in rel.iter().zip(rel2.iter()) {
+            prop_assert_eq!(t1.values(), t2.values());
+            for a in 0..ARITY {
+                let a = AttrId(a as u16);
+                prop_assert!((t1.weight(a) - t2.weight(a)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Cost-based candidate-value index (§5.2, "Cost-based indices").
+//!
+//! The paper arranges `adom(Repr, A)` in a hierarchical-agglomerative-
+//! clustering tree over the DL metric so that `TUPLERESOLVE` can iterate
+//! candidate values in decreasing similarity to the value being repaired.
+//! We keep the *contract* — enumerate active-domain values in (approximately)
+//! increasing DL distance from a probe, cheaply — but implement it as a
+//! **length-banded exact search**: values are bucketed by rendered length,
+//! and a query expands outward from the probe's length band, scoring values
+//! with the cutoff-aware DL kernel and abandoning candidates whose distance
+//! provably exceeds the current `limit`-th best. Because
+//! `dis(a, b) ≥ ||a| − |b||`, bands farther than the current worst bound can
+//! be skipped wholesale; the search is exact, needs no O(n²) build, and
+//! degrades gracefully on large domains. DESIGN.md records this substitution;
+//! the `repair_ablations` bench compares it against the naive full scan.
+
+use std::collections::BTreeMap;
+
+use cfd_model::{ActiveDomain, AttrId, Value};
+
+use crate::distance::dl_distance_bounded;
+
+/// A queryable view of one attribute's active domain.
+#[derive(Clone, Debug, Default)]
+pub struct ValueIndex {
+    /// Distinct values bucketed by rendered length, each bucket sorted for
+    /// determinism.
+    by_len: BTreeMap<usize, Vec<Value>>,
+    len: usize,
+}
+
+impl ValueIndex {
+    /// Build from the distinct values of `adom(a, D)`.
+    pub fn build(adom: &ActiveDomain, a: AttrId) -> Self {
+        let mut by_len: BTreeMap<usize, Vec<Value>> = BTreeMap::new();
+        let mut len = 0;
+        for v in adom.sorted_values(a) {
+            by_len.entry(v.render_len()).or_default().push(v);
+            len += 1;
+        }
+        ValueIndex { by_len, len }
+    }
+
+    /// Build directly from values (tests, ad-hoc pools).
+    pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        let mut distinct: Vec<Value> = values.into_iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        let mut by_len: BTreeMap<usize, Vec<Value>> = BTreeMap::new();
+        let len = distinct.len();
+        for v in distinct {
+            by_len.entry(v.render_len()).or_default().push(v);
+        }
+        ValueIndex { by_len, len }
+    }
+
+    /// Number of distinct values indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Record a value newly added to the domain.
+    pub fn add(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        let bucket = self.by_len.entry(v.render_len()).or_default();
+        if let Err(pos) = bucket.binary_search(v) {
+            bucket.insert(pos, v.clone());
+            self.len += 1;
+        }
+    }
+
+    /// The `limit` values nearest to `probe` in DL distance, ascending
+    /// (ties broken by value order). `probe` itself is excluded when
+    /// `exclude_probe` — repairs must pick a *different* value.
+    pub fn nearest(&self, probe: &Value, limit: usize, exclude_probe: bool) -> Vec<(Value, usize)> {
+        if limit == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let probe_text = probe.render();
+        let probe_len = probe.render_len();
+        // Max-heap by (distance, value) capped at `limit`; implemented as a
+        // sorted Vec because `limit` is small (≤ a few dozen).
+        let mut best: Vec<(usize, Value)> = Vec::with_capacity(limit + 1);
+        let mut worst_bound = usize::MAX;
+        // Expand outward from the probe's length band.
+        let mut offsets: Vec<i64> = Vec::new();
+        let max_len = self.by_len.keys().next_back().copied().unwrap_or(0) as i64;
+        for d in 0..=max_len.max(probe_len as i64) {
+            if d == 0 {
+                offsets.push(0);
+            } else {
+                offsets.push(d);
+                offsets.push(-d);
+            }
+        }
+        for off in offsets {
+            let band = probe_len as i64 + off;
+            if band < 0 {
+                continue;
+            }
+            // Length difference is a lower bound on the distance: once the
+            // band gap alone exceeds the worst kept distance, no farther
+            // band can contribute.
+            if best.len() >= limit && off.unsigned_abs() as usize > worst_bound {
+                break;
+            }
+            let Some(bucket) = self.by_len.get(&(band as usize)) else {
+                continue;
+            };
+            for v in bucket {
+                if exclude_probe && v == probe {
+                    continue;
+                }
+                let cutoff = if best.len() >= limit {
+                    worst_bound
+                } else {
+                    usize::MAX - 1
+                };
+                let Some(d) = dl_distance_bounded(&probe_text, &v.render(), cutoff) else {
+                    continue;
+                };
+                let entry = (d, v.clone());
+                let pos = best.partition_point(|e| *e <= entry);
+                best.insert(pos, entry);
+                if best.len() > limit {
+                    best.pop();
+                }
+                if best.len() >= limit {
+                    worst_bound = best.last().expect("non-empty").0;
+                }
+            }
+        }
+        best.into_iter().map(|(d, v)| (v, d)).collect()
+    }
+
+    /// Naive full-scan nearest (no banding, no cutoff). Kept for the
+    /// ablation benchmark and as a correctness oracle in tests.
+    pub fn nearest_naive(
+        &self,
+        probe: &Value,
+        limit: usize,
+        exclude_probe: bool,
+    ) -> Vec<(Value, usize)> {
+        let probe_text = probe.render();
+        let mut all: Vec<(usize, Value)> = self
+            .by_len
+            .values()
+            .flatten()
+            .filter(|v| !(exclude_probe && *v == probe))
+            .map(|v| (crate::distance::dl_distance(&probe_text, &v.render()), v.clone()))
+            .collect();
+        all.sort();
+        all.truncate(limit);
+        all.into_iter().map(|(d, v)| (v, d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(values: &[&str]) -> ValueIndex {
+        ValueIndex::from_values(values.iter().map(|s| Value::str(*s)))
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let i = idx(&["walnut", "walnot", "spruce", "broad", "walnuts"]);
+        let got = i.nearest(&Value::str("walnut"), 3, false);
+        assert_eq!(got[0], (Value::str("walnut"), 0));
+        assert_eq!(got[1].1, 1); // walnot or walnuts
+        assert_eq!(got[2].1, 1);
+    }
+
+    #[test]
+    fn exclude_probe_skips_exact_match() {
+        let i = idx(&["walnut", "walnot"]);
+        let got = i.nearest(&Value::str("walnut"), 2, true);
+        assert_eq!(got, vec![(Value::str("walnot"), 1)]);
+    }
+
+    #[test]
+    fn agrees_with_naive_oracle() {
+        let words = [
+            "19014", "10012", "19103", "10013", "60601", "94105", "2146", "215", "212", "610",
+            "null-ish", "walnut", "spruce",
+        ];
+        let i = idx(&words);
+        for probe in ["19014", "212", "walnut", "zzz", ""] {
+            let fast = i.nearest(&Value::str(probe), 5, false);
+            let slow = i.nearest_naive(&Value::str(probe), 5, false);
+            let fast_d: Vec<usize> = fast.iter().map(|(_, d)| *d).collect();
+            let slow_d: Vec<usize> = slow.iter().map(|(_, d)| *d).collect();
+            assert_eq!(fast_d, slow_d, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn add_keeps_index_queryable() {
+        let mut i = idx(&["abc"]);
+        i.add(&Value::str("abd"));
+        i.add(&Value::str("abd")); // duplicate ignored
+        i.add(&Value::Null); // nulls ignored
+        assert_eq!(i.len(), 2);
+        let got = i.nearest(&Value::str("abd"), 1, false);
+        assert_eq!(got[0], (Value::str("abd"), 0));
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let i = ValueIndex::default();
+        assert!(i.nearest(&Value::str("x"), 3, false).is_empty());
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn limit_zero_returns_nothing() {
+        let i = idx(&["a"]);
+        assert!(i.nearest(&Value::str("a"), 0, false).is_empty());
+    }
+
+    #[test]
+    fn build_from_active_domain() {
+        use cfd_model::{Relation, Schema, Tuple};
+        let schema = Schema::new("r", &["ct"]).unwrap();
+        let mut rel = Relation::new(schema);
+        for city in ["PHI", "NYC", "PHX"] {
+            rel.insert(Tuple::from_iter([city])).unwrap();
+        }
+        let adom = ActiveDomain::of_relation(&rel);
+        let i = ValueIndex::build(&adom, AttrId(0));
+        let got = i.nearest(&Value::str("PHI"), 2, true);
+        assert_eq!(got[0], (Value::str("PHX"), 1));
+        assert_eq!(got[1], (Value::str("NYC"), 3));
+    }
+
+    #[test]
+    fn int_values_searchable_by_rendering() {
+        let i = ValueIndex::from_values([Value::int(19014), Value::int(10012)]);
+        let got = i.nearest(&Value::str("19013"), 1, false);
+        assert_eq!(got[0].0, Value::int(19014));
+    }
+}

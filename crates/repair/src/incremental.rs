@@ -1,0 +1,810 @@
+//! `INCREPAIR` and `TUPLERESOLVE` (§5): incremental repair of inserted
+//! tuples against a clean database.
+//!
+//! Given a clean `D |= Σ` and a group insertion `ΔD`, `INCREPAIR` (Fig. 6)
+//! repairs the new tuples one at a time in a configurable [`Ordering`];
+//! each repaired tuple joins the growing clean repair and informs the next
+//! resolution. `TUPLERESOLVE` (Fig. 7) solves the (NP-complete, Theorem
+//! 5.2) *local repairing problem* greedily: it repeatedly picks the best
+//! set `C` of at most `k` attributes and values `v̄` over
+//! `adom ∪ {null}` such that the partially-repaired tuple satisfies every
+//! CFD that falls inside the already-fixed attributes, minimizing
+//! `costfix(C, v̄) = cost(t, t[C/v̄]) × vio(t[C/v̄])`. Attributes are never
+//! revisited, so termination is immediate (Theorem 5.3); feasibility is
+//! guaranteed because `null` satisfies everything (Example 5.1).
+//!
+//! One deliberate refinement: the paper's raw product makes *every*
+//! violation-free change free (`cost × 0`); we rank by
+//! `cost × (1 + vio)` so edit cost still separates violation-free
+//! candidates. DESIGN.md records the deviation.
+//!
+//! Optimizations of §5.2 are implemented: LHS-indices validate candidates
+//! in O(1) per CFD, and the cost-based value index enumerates candidate
+//! values in increasing DL distance.
+
+use cfd_cfd::violation::Engine;
+use cfd_cfd::Sigma;
+use cfd_model::{ActiveDomain, AttrId, Relation, Tuple, TupleId, Value};
+
+use crate::cluster::ValueIndex;
+use crate::cost::{change_cost, tuple_cost};
+use crate::lhs_index::LhsIndexes;
+use crate::RepairError;
+
+/// Tuple-processing order for `INCREPAIR` (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ordering {
+    /// L-INCREPAIR: arbitrary linear scan, zero ordering cost.
+    Linear,
+    /// V-INCREPAIR: ascending number of violations `vio(t)` — accurate
+    /// tuples enter the repair early and anchor later resolutions.
+    Violations,
+    /// W-INCREPAIR: descending total weight `wt(t)`.
+    Weight,
+}
+
+/// Configuration for [`inc_repair`].
+#[derive(Clone, Debug)]
+pub struct IncConfig {
+    /// Size of the attribute sets `TUPLERESOLVE` fixes per step. The paper
+    /// reports k = 1, 2 already give good results.
+    pub k: usize,
+    /// Tuple-processing order.
+    pub ordering: Ordering,
+    /// How many nearest active-domain values to consider per attribute.
+    pub candidates_per_attr: usize,
+    /// Cap on candidate combinations per attribute set (the all-null
+    /// fallback is always tried in addition).
+    pub max_combos: usize,
+    /// Restrict `TUPLERESOLVE`'s attribute-set search to the attributes of
+    /// *failing* constraints (default). This prunes the search from
+    /// `attr(R)` to the handful of attributes violations touch and is what
+    /// makes the incremental path fast; it excludes cascade repairs that
+    /// deliberately break a currently-satisfied constraint and then fix it
+    /// (e.g. Example 5.1's `(CT, ST, zip) := (PHI, PA, 19014)` at k = 3 —
+    /// reachable again with this set to `false`).
+    pub restrict_to_failing: bool,
+    /// Additive penalty per residual violation of a candidate
+    /// (`costfix = cost + vio_penalty · vio(t[C/v̄])`). The paper's
+    /// multiplicative `cost × vio` cannot distinguish a zero-cost "keep"
+    /// that leaves conflicts from one that doesn't — any violation-free
+    /// change is also free under it — so we use an additive blend;
+    /// DESIGN.md records the deviation.
+    pub vio_penalty: f64,
+    /// Multiplier applied to the cost of a change *to null* during
+    /// candidate ranking. The paper treats null as a last resort ("we pick
+    /// null if the value of an attribute is unknown or uncertain"); under
+    /// the raw normalized metric null is exactly as distant as any full
+    /// rewrite, so without a penalty the repairer would null cells instead
+    /// of applying certain fixes of equal edit distance. 2.0 makes certain
+    /// values strictly preferred whenever one exists at comparable cost.
+    pub null_cost_factor: f64,
+}
+
+impl Default for IncConfig {
+    fn default() -> Self {
+        IncConfig {
+            k: 1,
+            ordering: Ordering::Violations,
+            candidates_per_attr: 6,
+            max_combos: 128,
+            restrict_to_failing: true,
+            vio_penalty: 0.5,
+            null_cost_factor: 2.0,
+        }
+    }
+}
+
+/// Counters describing a completed incremental repair.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IncStats {
+    /// Tuples processed from ΔD.
+    pub processed: usize,
+    /// Tuples that needed at least one value change.
+    pub modified: usize,
+    /// Null values introduced.
+    pub nulls_introduced: usize,
+    /// Total `cost(ΔD_Repr, ΔD)`.
+    pub cost: f64,
+}
+
+/// Result of an incremental repair.
+#[derive(Clone, Debug)]
+pub struct IncOutcome {
+    /// `D ⊕ ΔD_Repr`: the clean base plus the repaired insertions. Base
+    /// tuples keep their ids; ΔD tuples receive fresh ids in input order.
+    pub repair: Relation,
+    /// Ids assigned to the ΔD tuples, aligned with the input slice.
+    pub delta_ids: Vec<TupleId>,
+    /// Counters.
+    pub stats: IncStats,
+}
+
+/// Internal driver shared by [`inc_repair`] and
+/// [`crate::subset::repair_via_incremental`]: a relation in which `pending`
+/// tuples are not yet part of the clean portion.
+pub(crate) struct IncState<'a> {
+    sigma: &'a Sigma,
+    config: IncConfig,
+    /// Full storage; pending tuples hold their original (dirty) values.
+    pub(crate) work: Relation,
+    /// Violation engine whose group indexes cover only the *active*
+    /// (already clean) tuples. Pending tuples must not count: one dirty
+    /// pending tuple would otherwise smear `vio > 0` over every innocent
+    /// member of its groups. The asymmetry of "who is to blame" in a
+    /// pending pair is instead resolved by the processing order (clean,
+    /// trusted tuples first).
+    engine: Engine<'a>,
+    /// LHS-indices over active tuples.
+    lhs: LhsIndexes,
+    /// Active domain over active tuples.
+    adom: ActiveDomain,
+    /// Lazily-built per-attribute nearest-value indexes.
+    vidx: Vec<Option<ValueIndex>>,
+    pub(crate) stats: IncStats,
+}
+
+impl<'a> IncState<'a> {
+    /// Build a state where `active` holds the clean portion of `work`.
+    /// Indexes must only see active tuples, so pending ones are temporarily
+    /// deleted from a scratch copy during index construction.
+    pub(crate) fn new(
+        work: Relation,
+        pending: &[TupleId],
+        sigma: &'a Sigma,
+        config: IncConfig,
+    ) -> Result<Self, RepairError> {
+        assert!(
+            work.schema().arity() <= 128,
+            "incremental repair supports arity ≤ 128"
+        );
+        assert!(config.k >= 1, "k must be at least 1");
+        let mut active_view = work.clone();
+        for id in pending {
+            active_view.delete(*id)?;
+        }
+        let engine = Engine::build_owned_view(&active_view, sigma);
+        let lhs = LhsIndexes::build(&active_view, sigma);
+        let adom = ActiveDomain::of_relation(&active_view);
+        let arity = work.schema().arity();
+        Ok(IncState {
+            sigma,
+            config,
+            work,
+            engine,
+            lhs,
+            adom,
+            vidx: vec![None; arity],
+            stats: IncStats::default(),
+        })
+    }
+
+    fn value_index(&mut self, a: AttrId) -> &ValueIndex {
+        let slot = &mut self.vidx[a.index()];
+        if slot.is_none() {
+            *slot = Some(ValueIndex::build(&self.adom, a));
+        }
+        slot.as_ref().expect("just built")
+    }
+
+    /// Does `t` satisfy the *entire* Σ against the active tuples?
+    fn satisfies_all(&self, t: &Tuple) -> bool {
+        let mut ok = true;
+        self.engine.rules.for_each_fired(t, |_, r| {
+            ok &= r.rhs.satisfied_by(t.value(r.rhs_attr));
+        });
+        if !ok {
+            return false;
+        }
+        self.engine
+            .variable_cfds()
+            .all(|n| self.lhs.satisfies(n, t))
+    }
+
+    /// Does `t` satisfy `Σ(mask)` — every CFD whose attributes fall inside
+    /// `mask` — against the active tuples?
+    fn satisfies_within(&self, t: &Tuple, mask: &[bool]) -> bool {
+        let mut ok = true;
+        self.engine.rules.for_each_fired(t, |lhs, r| {
+            if ok
+                && lhs.iter().all(|a| mask[a.index()])
+                && mask[r.rhs_attr.index()]
+                && !r.rhs.satisfied_by(t.value(r.rhs_attr))
+            {
+                ok = false;
+            }
+        });
+        if !ok {
+            return false;
+        }
+        self.engine
+            .variable_cfds()
+            .filter(|n| n.attrs().all(|a| mask[a.index()]))
+            .all(|n| self.lhs.satisfies(n, t))
+    }
+
+    /// Candidate values for attribute `a` while resolving `cur` with the
+    /// attribute set `C` (as a mask). Sources, in order: the current value,
+    /// values pinned by CFDs whose LHS avoids `C`, nearest active-domain
+    /// values, and `null`.
+    fn candidates_for(&mut self, cur: &Tuple, a: AttrId, c_mask: u128) -> Vec<Value> {
+        let mut out: Vec<Value> = Vec::with_capacity(self.config.candidates_per_attr + 6);
+        let push = |out: &mut Vec<Value>, v: Value| {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        };
+        push(&mut out, cur.value(a).clone());
+        // Constant-rule obligations: rules firing on cur whose LHS avoids C
+        // and whose RHS is exactly `a`.
+        let mut pinned: Vec<Value> = Vec::new();
+        self.engine.rules.for_each_fired(cur, |lhs, r| {
+            if r.rhs_attr == a && lhs.iter().all(|x| (c_mask >> x.index()) & 1 == 0) {
+                if let Some(v) = r.rhs.as_const() {
+                    pinned.push(v.clone());
+                }
+            }
+        });
+        for v in pinned {
+            push(&mut out, v);
+        }
+        // Variable-CFD pins: the group value for cur's key, when the LHS
+        // avoids C.
+        let pins: Vec<Value> = self
+            .engine
+            .variable_cfds()
+            .filter(|n| {
+                n.rhs_attr() == a
+                    && n.lhs().iter().all(|x| (c_mask >> x.index()) & 1 == 0)
+            })
+            .filter_map(|n| self.lhs.pinned_value(n, cur))
+            .collect();
+        for v in pins {
+            push(&mut out, v);
+        }
+        // Nearest active-domain values by DL distance.
+        let probe = cur.value(a).clone();
+        let limit = self.config.candidates_per_attr;
+        for (v, _) in self.value_index(a).nearest(&probe, limit, false) {
+            push(&mut out, v);
+        }
+        push(&mut out, Value::Null);
+        out
+    }
+
+    /// `TUPLERESOLVE` (Fig. 7): repair one tuple against the active portion.
+    pub(crate) fn tuple_resolve(&mut self, id: TupleId, orig: &Tuple) -> Tuple {
+        // Fast path: a tuple that satisfies Σ against the clean portion
+        // *and* has no conflicts pending needs no work. This is the
+        // overwhelmingly common case at the experiments' 1%–10% error
+        // rates.
+        let _ = id;
+        if self.satisfies_all(orig) {
+            return orig.clone();
+        }
+        let arity = orig.arity();
+        let mut cur = orig.clone();
+        // Only the attributes of *failing* constraints can participate in a
+        // repair: a CFD's satisfaction depends solely on its own attributes,
+        // so every attribute outside the failing set keeps its value and is
+        // marked fixed up front. This prunes the attribute-set search from
+        // `attr(R)` (13 here) to the handful the violations actually touch.
+        let mut fixed = vec![true; arity];
+        let mut suspicious = vec![!self.config.restrict_to_failing; arity];
+        self.engine.rules.for_each_fired(orig, |lhs, r| {
+            if !r.rhs.satisfied_by(orig.value(r.rhs_attr)) {
+                for a in lhs {
+                    suspicious[a.index()] = true;
+                }
+                suspicious[r.rhs_attr.index()] = true;
+            }
+        });
+        let failing_variable: Vec<AttrId> = self
+            .engine
+            .variable_cfds()
+            .filter(|n| !self.lhs.satisfies(n, orig))
+            .flat_map(|n| n.attrs().collect::<Vec<_>>())
+            .collect();
+        for a in failing_variable {
+            suspicious[a.index()] = true;
+        }
+        for (slot, sus) in fixed.iter_mut().zip(&suspicious) {
+            *slot = !sus;
+        }
+        debug_assert!(
+            fixed.iter().any(|f| !f),
+            "satisfies_all failed, so some constraint must be failing"
+        );
+        while fixed.iter().any(|f| !f) {
+            let unfixed: Vec<AttrId> = (0..arity as u16)
+                .map(AttrId)
+                .filter(|a| !fixed[a.index()])
+                .collect();
+            let k = self.config.k.min(unfixed.len());
+            let mut best: Option<(Vec<AttrId>, Vec<Value>, f64, f64)> = None;
+            for combo in combinations(&unfixed, k) {
+                let c_mask: u128 = combo.iter().fold(0, |m, a| m | (1u128 << a.index()));
+                // Scope mask: already-fixed attributes plus this combo.
+                let mut mask = fixed.clone();
+                for a in &combo {
+                    mask[a.index()] = true;
+                }
+                let per_attr: Vec<Vec<Value>> = combo
+                    .iter()
+                    .map(|a| self.candidates_for(&cur, *a, c_mask))
+                    .collect();
+                let mut tried = 0usize;
+                let mut odometer = vec![0usize; k];
+                'outer: loop {
+                    let assignment: Vec<Value> = odometer
+                        .iter()
+                        .zip(per_attr.iter())
+                        .map(|(i, vs)| vs[*i].clone())
+                        .collect();
+                    self.consider(
+                        id, orig, &cur, &combo, assignment, &mask, &mut best,
+                    );
+                    tried += 1;
+                    if tried >= self.config.max_combos {
+                        break;
+                    }
+                    // advance odometer
+                    let mut pos = 0;
+                    loop {
+                        odometer[pos] += 1;
+                        if odometer[pos] < per_attr[pos].len() {
+                            break;
+                        }
+                        odometer[pos] = 0;
+                        pos += 1;
+                        if pos == k {
+                            break 'outer;
+                        }
+                    }
+                }
+                // The all-null assignment is always feasible (Example 5.1);
+                // make sure it was considered even under the combo cap.
+                self.consider(
+                    id,
+                    orig,
+                    &cur,
+                    &combo,
+                    vec![Value::Null; k],
+                    &mask,
+                    &mut best,
+                );
+            }
+            let (combo, values, _, _) = best.expect(
+                "all-null assignment is always feasible, so a best fix exists",
+            );
+            for (a, v) in combo.iter().zip(values) {
+                if v.is_null() && !cur.value(*a).is_null() {
+                    self.stats.nulls_introduced += 1;
+                }
+                cur.set_value(*a, v);
+                fixed[a.index()] = true;
+            }
+        }
+        cur
+    }
+
+    /// Evaluate one candidate assignment; update `best` when feasible and
+    /// cheaper. Ranking is `(costfix, cost, #nulls)` for determinism.
+    #[allow(clippy::too_many_arguments)] // the paper's costfix takes exactly these inputs
+    fn consider(
+        &mut self,
+        id: TupleId,
+        orig: &Tuple,
+        cur: &Tuple,
+        combo: &[AttrId],
+        values: Vec<Value>,
+        mask: &[bool],
+        best: &mut Option<(Vec<AttrId>, Vec<Value>, f64, f64)>,
+    ) {
+        let mut cand = cur.clone();
+        for (a, v) in combo.iter().zip(values.iter()) {
+            cand.set_value(*a, v.clone());
+        }
+        if !self.satisfies_within(&cand, mask) {
+            return;
+        }
+        let cost: f64 = combo
+            .iter()
+            .zip(values.iter())
+            .map(|(a, v)| {
+                let c = change_cost(orig.weight(*a), orig.value(*a), v);
+                if v.is_null() && !orig.value(*a).is_null() {
+                    c * self.config.null_cost_factor
+                } else {
+                    c
+                }
+            })
+            .sum();
+        let vio = self.engine.vio_of(&self.work, &cand, Some(id));
+        let costfix = cost + self.config.vio_penalty * vio as f64;
+        let tie = cost + values.iter().filter(|v| v.is_null()).count() as f64 * 1e-6;
+        match best {
+            Some((_, _, bf, bt)) if (*bf, *bt) <= (costfix, tie) => {}
+            _ => *best = Some((combo.to_vec(), values, costfix, tie)),
+        }
+    }
+
+    /// Repair the pending tuple at `id` and activate it.
+    pub(crate) fn resolve_and_activate(&mut self, id: TupleId) -> Result<(), RepairError> {
+        let orig = self.work.require(id)?.clone();
+        let repaired = self.tuple_resolve(id, &orig);
+        self.stats.processed += 1;
+        let cost = tuple_cost(&orig, &repaired);
+        if cost > 0.0 || orig.attr_diff(&repaired) > 0 {
+            self.stats.modified += 1;
+            self.stats.cost += cost;
+        }
+        // Write back and activate in all index structures.
+        for a in 0..repaired.arity() as u16 {
+            let a = AttrId(a);
+            if self.work.require(id)?.value(a) != repaired.value(a) {
+                self.work.set_value(id, a, repaired.value(a).clone())?;
+            }
+        }
+        let stored = self.work.require(id)?.clone();
+        self.engine.insert(id, &stored);
+        self.lhs.insert(self.sigma, &stored);
+        for a in self.work.schema().attr_ids().collect::<Vec<_>>() {
+            let v = stored.value(a).clone();
+            self.adom.add(a, &v);
+            if let Some(idx) = &mut self.vidx[a.index()] {
+                idx.add(&v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sort pending ids according to the configured ordering.
+    pub(crate) fn order_pending(&self, pending: &mut [TupleId]) {
+        match self.config.ordering {
+            Ordering::Linear => {}
+            Ordering::Violations => {
+                // vio(t) against the full database (active + pending),
+                // ascending; ties broken by descending total weight so the
+                // trusted side of a conflicting pending pair enters the
+                // repair first and anchors its group.
+                let full = Engine::build(&self.work, self.sigma);
+                let mut keyed: Vec<(usize, i64, TupleId)> = pending
+                    .iter()
+                    .map(|id| {
+                        let t = self.work.tuple(*id).expect("pending tuple is live");
+                        let wt = (t.total_weight() * 1e6) as i64;
+                        (full.vio_of(&self.work, t, Some(*id)), -wt, *id)
+                    })
+                    .collect();
+                keyed.sort();
+                for (slot, (_, _, id)) in pending.iter_mut().zip(keyed) {
+                    *slot = id;
+                }
+            }
+            Ordering::Weight => {
+                let mut keyed: Vec<(f64, TupleId)> = pending
+                    .iter()
+                    .map(|id| {
+                        let t = self.work.tuple(*id).expect("pending tuple is live");
+                        (t.total_weight(), *id)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1.cmp(&b.1))
+                });
+                for (slot, (_, id)) in pending.iter_mut().zip(keyed) {
+                    *slot = id;
+                }
+            }
+        }
+    }
+}
+
+/// All subsets of `items` of size `k`, in lexicographic position order.
+fn combinations(items: &[AttrId], k: usize) -> Vec<Vec<AttrId>> {
+    let n = items.len();
+    if k == 0 || k > n {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|i| items[*i]).collect());
+        // advance
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            if idx[pos] < n - (k - pos) {
+                idx[pos] += 1;
+                for j in pos + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Run `INCREPAIR` (Fig. 6): insert `delta` into the clean `d`, repairing
+/// each tuple so that the result satisfies `sigma`.
+///
+/// `d` is assumed clean (`D |= Σ`); it is never modified — the defining
+/// property of incremental repair. Deletions never violate CFDs (§3.3) and
+/// need no repair, so `delta` carries insertions only.
+pub fn inc_repair(
+    d: &Relation,
+    delta: &[Tuple],
+    sigma: &Sigma,
+    config: IncConfig,
+) -> Result<IncOutcome, RepairError> {
+    let mut work = d.clone();
+    let mut pending = Vec::with_capacity(delta.len());
+    for t in delta {
+        pending.push(work.insert(t.clone())?);
+    }
+    let delta_ids = pending.clone();
+    let mut state = IncState::new(work, &pending, sigma, config)?;
+    state.order_pending(&mut pending);
+    for id in pending {
+        state.resolve_and_activate(id)?;
+    }
+    let outcome = IncOutcome {
+        repair: state.work,
+        delta_ids,
+        stats: state.stats,
+    };
+    debug_assert!(cfd_cfd::check(&outcome.repair, sigma));
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_cfd::pattern::{PatternRow, PatternValue};
+    use cfd_cfd::Cfd;
+    use cfd_model::Schema;
+
+    /// Clean Fig. 1 data (t3/t4 already fixed) with ϕ1/ϕ2.
+    fn clean_fig1() -> (Relation, Sigma) {
+        let schema = Schema::new(
+            "order",
+            &["id", "name", "PR", "AC", "PN", "STR", "CT", "ST", "zip"],
+        )
+        .unwrap();
+        let mut rel = Relation::new(schema.clone());
+        for row in [
+            ["a23", "H. Porter", "17.99", "215", "8983490", "Walnut", "PHI", "PA", "19014"],
+            ["a23", "H. Porter", "17.99", "610", "3456789", "Spruce", "PHI", "PA", "19014"],
+            ["a12", "J. Denver", "7.94", "212", "3345677", "Canel", "NYC", "NY", "10012"],
+            ["a89", "Snow White", "18.99", "212", "5674322", "Broad", "NYC", "NY", "10012"],
+        ] {
+            rel.insert(Tuple::from_iter(row)).unwrap();
+        }
+        let phi1 = Cfd::new(
+            "phi1",
+            schema.attrs_named(&["AC", "PN"]).unwrap(),
+            schema.attrs_named(&["STR", "CT", "ST"]).unwrap(),
+            vec![
+                PatternRow::new(
+                    vec![PatternValue::constant("212"), PatternValue::Wildcard],
+                    vec![
+                        PatternValue::Wildcard,
+                        PatternValue::constant("NYC"),
+                        PatternValue::constant("NY"),
+                    ],
+                ),
+                PatternRow::new(
+                    vec![PatternValue::constant("610"), PatternValue::Wildcard],
+                    vec![
+                        PatternValue::Wildcard,
+                        PatternValue::constant("PHI"),
+                        PatternValue::constant("PA"),
+                    ],
+                ),
+                PatternRow::new(
+                    vec![PatternValue::constant("215"), PatternValue::Wildcard],
+                    vec![
+                        PatternValue::Wildcard,
+                        PatternValue::constant("PHI"),
+                        PatternValue::constant("PA"),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        let phi2 = Cfd::new(
+            "phi2",
+            schema.attrs_named(&["zip"]).unwrap(),
+            schema.attrs_named(&["CT", "ST"]).unwrap(),
+            vec![
+                PatternRow::new(
+                    vec![PatternValue::constant("10012")],
+                    vec![PatternValue::constant("NYC"), PatternValue::constant("NY")],
+                ),
+                PatternRow::new(
+                    vec![PatternValue::constant("19014")],
+                    vec![PatternValue::constant("PHI"), PatternValue::constant("PA")],
+                ),
+            ],
+        )
+        .unwrap();
+        let sigma = Sigma::normalize(schema, vec![phi1, phi2]).unwrap();
+        (rel, sigma)
+    }
+
+    #[test]
+    fn clean_insert_is_untouched() {
+        let (rel, sigma) = clean_fig1();
+        let t = Tuple::from_iter([
+            "a99", "New Item", "5.00", "610", "5550000", "Pine", "PHI", "PA", "19014",
+        ]);
+        let out = inc_repair(&rel, std::slice::from_ref(&t), &sigma, IncConfig::default()).unwrap();
+        assert_eq!(out.stats.processed, 1);
+        assert_eq!(out.stats.modified, 0);
+        assert_eq!(out.repair.tuple(out.delta_ids[0]).unwrap(), &t);
+        assert!(cfd_cfd::check(&out.repair, &sigma));
+    }
+
+    #[test]
+    fn example_1_1_t5_resolved_consistently() {
+        // t5 = (215, 8983490, …, NYC, NY, 10012) conflicts with t1 via ϕ1
+        // and with ϕ2 in a cycle (Example 1.1). TUPLERESOLVE must output a
+        // consistent tuple; with k = 1 the CT/ST pins cannot be satisfied
+        // by single-attribute changes, so nulls (or an AC/zip change) are
+        // acceptable — the invariant is consistency of the result.
+        let (rel, sigma) = clean_fig1();
+        let t5 = Tuple::from_iter([
+            "a55", "K. Oyle", "12.00", "215", "8983490", "Walnut", "NYC", "NY", "10012",
+        ]);
+        for k in [1, 2, 3] {
+            let cfg = IncConfig { k, ..Default::default() };
+            let out = inc_repair(&rel, std::slice::from_ref(&t5), &sigma, cfg).unwrap();
+            assert!(cfd_cfd::check(&out.repair, &sigma), "k={k}");
+        }
+    }
+
+    #[test]
+    fn example_5_1_k3_can_fix_ct_st_zip() {
+        // With k = 3, C = {CT, ST, zip} and v̄ = (PHI, PA, 19014) is a
+        // feasible certain fix (Example 5.1). It should be preferred over
+        // nulls when weights make CT/ST/zip cheap to change.
+        let (rel, sigma) = clean_fig1();
+        let mut t5 = Tuple::from_iter([
+            "a55", "K. Oyle", "12.00", "215", "8983490", "Walnut", "NYC", "NY", "10012",
+        ]);
+        // make the conflicted attributes cheap and the others precious
+        let schema = rel.schema().clone();
+        for name in ["CT", "ST", "zip"] {
+            t5.set_weight(schema.attr(name).unwrap(), 0.05);
+        }
+        for name in ["AC", "PN"] {
+            t5.set_weight(schema.attr(name).unwrap(), 1.0);
+        }
+        let cfg = IncConfig {
+            k: 3,
+            max_combos: 4096,
+            restrict_to_failing: false,
+            ..Default::default()
+        };
+        let out = inc_repair(&rel, &[t5], &sigma, cfg).unwrap();
+        assert!(cfd_cfd::check(&out.repair, &sigma));
+        let got = out.repair.tuple(out.delta_ids[0]).unwrap();
+        let ct = schema.attr("CT").unwrap();
+        let st = schema.attr("ST").unwrap();
+        let zip = schema.attr("zip").unwrap();
+        assert_eq!(got.value(ct), &Value::str("PHI"));
+        assert_eq!(got.value(st), &Value::str("PA"));
+        assert_eq!(got.value(zip), &Value::str("19014"));
+        assert_eq!(out.stats.nulls_introduced, 0);
+    }
+
+    #[test]
+    fn base_database_is_never_modified() {
+        let (rel, sigma) = clean_fig1();
+        let t5 = Tuple::from_iter([
+            "a55", "K. Oyle", "12.00", "215", "8983490", "Walnut", "NYC", "NY", "10012",
+        ]);
+        let out = inc_repair(&rel, &[t5], &sigma, IncConfig::default()).unwrap();
+        for (id, t) in rel.iter() {
+            assert_eq!(out.repair.tuple(id).unwrap(), t, "base tuple {id} changed");
+        }
+    }
+
+    #[test]
+    fn group_insertion_later_tuples_see_earlier_repairs() {
+        // Two inserts with a fresh key: the first pins the group's value,
+        // the second (conflicting) must follow it.
+        let schema = Schema::new("r", &["k", "v"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        rel.insert(Tuple::from_iter(["k0", "x"])).unwrap();
+        let fd = Cfd::standard_fd(
+            "kv",
+            vec![schema.attr("k").unwrap()],
+            vec![schema.attr("v").unwrap()],
+        );
+        let sigma = Sigma::normalize(schema.clone(), vec![fd]).unwrap();
+        let d1 = Tuple::from_iter(["fresh", "alpha"]);
+        let d2 = Tuple::from_iter(["fresh", "alphb"]);
+        let cfg = IncConfig { ordering: Ordering::Linear, ..Default::default() };
+        let out = inc_repair(&rel, &[d1, d2], &sigma, cfg).unwrap();
+        assert!(cfd_cfd::check(&out.repair, &sigma));
+        let v = schema.attr("v").unwrap();
+        let v1 = out.repair.tuple(out.delta_ids[0]).unwrap().value(v).clone();
+        let v2 = out.repair.tuple(out.delta_ids[1]).unwrap().value(v).clone();
+        assert_eq!(v1, Value::str("alpha")); // first tuple untouched
+        assert_eq!(v2, Value::str("alpha")); // second follows the pin
+    }
+
+    #[test]
+    fn orderings_all_produce_consistent_repairs() {
+        let (rel, sigma) = clean_fig1();
+        let dirty = vec![
+            Tuple::from_iter([
+                "a71", "Item A", "1.00", "212", "1112222", "Canal", "PHI", "PA", "10012",
+            ]),
+            Tuple::from_iter([
+                "a72", "Item B", "2.00", "610", "2223333", "Vine", "NYC", "PA", "19014",
+            ]),
+        ];
+        for ordering in [Ordering::Linear, Ordering::Violations, Ordering::Weight] {
+            let cfg = IncConfig { ordering, ..Default::default() };
+            let out = inc_repair(&rel, &dirty, &sigma, cfg).unwrap();
+            assert!(cfd_cfd::check(&out.repair, &sigma), "{ordering:?}");
+            assert_eq!(out.stats.processed, 2, "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn violation_ordering_repairs_cleanest_first() {
+        let schema = Schema::new("r", &["k", "v"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        rel.insert(Tuple::from_iter(["seed", "s"])).unwrap();
+        let fd = Cfd::standard_fd(
+            "kv",
+            vec![schema.attr("k").unwrap()],
+            vec![schema.attr("v").unwrap()],
+        );
+        let sigma = Sigma::normalize(schema.clone(), vec![fd]).unwrap();
+        // d1 conflicts with two others; d2/d3 agree with each other.
+        let d1 = Tuple::from_iter(["g", "zzz"]);
+        let d2 = Tuple::from_iter(["g", "aaa"]);
+        let d3 = Tuple::from_iter(["g", "aaa"]);
+        let cfg = IncConfig { ordering: Ordering::Violations, ..Default::default() };
+        let out = inc_repair(&rel, &[d1, d2, d3], &sigma, cfg).unwrap();
+        assert!(cfd_cfd::check(&out.repair, &sigma));
+        // majority value wins because the agreeing pair is processed first
+        let v = schema.attr("v").unwrap();
+        assert_eq!(
+            out.repair.tuple(out.delta_ids[0]).unwrap().value(v),
+            &Value::str("aaa")
+        );
+    }
+
+    #[test]
+    fn combinations_enumerate_correctly() {
+        let items: Vec<AttrId> = (0..4u16).map(AttrId).collect();
+        assert_eq!(combinations(&items, 1).len(), 4);
+        assert_eq!(combinations(&items, 2).len(), 6);
+        assert_eq!(combinations(&items, 3).len(), 4);
+        assert_eq!(combinations(&items, 4).len(), 1);
+        assert!(combinations(&items, 5).is_empty());
+        // elements are distinct and sorted
+        for combo in combinations(&items, 2) {
+            assert!(combo[0] < combo[1]);
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let (rel, sigma) = clean_fig1();
+        let out = inc_repair(&rel, &[], &sigma, IncConfig::default()).unwrap();
+        assert_eq!(out.stats.processed, 0);
+        assert_eq!(out.repair.len(), rel.len());
+    }
+}

@@ -1,0 +1,270 @@
+//! LHS-indices (§5.2, "LHS-indices").
+//!
+//! For each normal CFD `(R: X → A, tp)` over a *clean* repair `Repr`, the
+//! index maps the key `t[X]` to the (unique, because `Repr |= Σ`) non-null
+//! `A` value of the tuples carrying that key. A candidate tuple `t'` is
+//! then validated in O(|X|) per CFD: look up `t'[X]`, compare `t'[A]`.
+//!
+//! * Constant CFDs need no table at all — the pattern itself decides — so
+//!   the index stores tables only for variable CFDs.
+//! * Group bookkeeping keeps per-key counts so tuples can be added as the
+//!   incremental repair grows `Repr` one repaired tuple at a time.
+
+use std::collections::HashMap;
+
+use cfd_model::{Relation, Tuple, Value};
+
+use cfd_cfd::{NormalCfd, Sigma};
+
+/// Per-key state of one variable CFD's group.
+#[derive(Clone, Debug, Default)]
+struct GroupState {
+    /// The unique non-null RHS value seen in the group, with its count.
+    value: Option<(Value, usize)>,
+    /// Number of group members whose RHS is null.
+    nulls: usize,
+}
+
+/// The LHS-index of one `(X, A)` shape shared by every variable normal
+/// CFD with that shape.
+///
+/// The index is *unfiltered* — it covers all tuples, not just those
+/// matching a particular pattern row. That is sound because pattern
+/// applicability on the LHS depends only on `t[X]`, which is exactly the
+/// group key: every member of a group has the same pattern status, so a
+/// pattern-matching probe only ever meets pattern-matching partners.
+/// Sharing collapses the hundreds of tableau rows of the experiment Σ into
+/// one table per structural shape.
+#[derive(Clone, Debug)]
+pub struct LhsIndex {
+    map: HashMap<Vec<Value>, GroupState>,
+}
+
+/// The LHS-indices for the variable CFDs in Σ, shared by shape.
+#[derive(Clone, Debug)]
+pub struct LhsIndexes {
+    /// One index per distinct `(lhs attrs, rhs attr)` among variable CFDs.
+    shapes: HashMap<(Vec<cfd_model::AttrId>, cfd_model::AttrId), LhsIndex>,
+}
+
+/// Outcome of validating a candidate RHS value against a group.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GroupVerdict {
+    /// No tuple with this key (or only null RHS values): any value works.
+    Unconstrained,
+    /// The group pins the RHS to this value; candidates must equal it (or
+    /// be null).
+    Pinned(Value),
+}
+
+impl LhsIndex {
+    fn build(rel: &Relation, lhs: &[cfd_model::AttrId], rhs_attr: cfd_model::AttrId) -> Self {
+        let mut map: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        for (_, t) in rel.iter() {
+            let key = t.project(lhs);
+            let state = map.entry(key).or_default();
+            Self::account(state, t.value(rhs_attr), 1);
+        }
+        LhsIndex { map }
+    }
+
+    fn account(state: &mut GroupState, v: &Value, delta: i64) {
+        if v.is_null() {
+            state.nulls = (state.nulls as i64 + delta) as usize;
+            return;
+        }
+        match &mut state.value {
+            Some((existing, count)) if existing == v => {
+                *count = (*count as i64 + delta) as usize;
+                if *count == 0 {
+                    state.value = None;
+                }
+            }
+            Some(_) => {
+                // A clean relation never reaches here; tolerate by keeping
+                // the existing pin (the relation is about to be repaired).
+                debug_assert!(delta > 0, "removal of unseen value");
+            }
+            None if delta > 0 => state.value = Some((v.clone(), delta as usize)),
+            None => {}
+        }
+    }
+
+    /// What does the group of `t` (by its `X` projection) require?
+    fn verdict(&self, n: &NormalCfd, t: &Tuple) -> GroupVerdict {
+        match self.map.get(&t.project(n.lhs())) {
+            Some(GroupState { value: Some((v, _)), .. }) => GroupVerdict::Pinned(v.clone()),
+            _ => GroupVerdict::Unconstrained,
+        }
+    }
+}
+
+impl LhsIndexes {
+    /// Build indices for every variable-CFD shape in `sigma` over `rel`.
+    pub fn build(rel: &Relation, sigma: &Sigma) -> Self {
+        let mut shapes = HashMap::new();
+        for n in sigma.iter().filter(|n| !n.is_constant()) {
+            shapes
+                .entry((n.lhs().to_vec(), n.rhs_attr()))
+                .or_insert_with(|| LhsIndex::build(rel, n.lhs(), n.rhs_attr()));
+        }
+        LhsIndexes { shapes }
+    }
+
+    /// Register a tuple newly inserted into the clean repair.
+    pub fn insert(&mut self, _sigma: &Sigma, t: &Tuple) {
+        for ((lhs, rhs_attr), idx) in self.shapes.iter_mut() {
+            let key = t.project(lhs);
+            let state = idx.map.entry(key).or_default();
+            LhsIndex::account(state, t.value(*rhs_attr), 1);
+        }
+    }
+
+    /// Does the candidate tuple `t` satisfy normal CFD `n` against the
+    /// indexed relation? Checks both the pattern (constant CFDs) and the
+    /// group pin (variable CFDs). §3.1's null semantics apply: a null among
+    /// `t[X]` means the CFD is inapplicable; a null RHS satisfies.
+    pub fn satisfies(&self, n: &NormalCfd, t: &Tuple) -> bool {
+        if !n.applies_to(t) {
+            return true;
+        }
+        let v = t.value(n.rhs_attr());
+        if n.is_constant() {
+            return n.rhs_pattern().satisfied_by(v);
+        }
+        if v.is_null() {
+            return true;
+        }
+        match self
+            .shapes
+            .get(&(n.lhs().to_vec(), n.rhs_attr()))
+            .expect("variable CFD has a shape index")
+            .verdict(n, t)
+        {
+            GroupVerdict::Unconstrained => true,
+            GroupVerdict::Pinned(pin) => *v == pin,
+        }
+    }
+
+    /// The value (if any) a variable CFD's group pins for `t`'s key — the
+    /// "semantically related value" FINDV reaches for first.
+    pub fn pinned_value(&self, n: &NormalCfd, t: &Tuple) -> Option<Value> {
+        if n.is_constant() || !n.applies_to(t) {
+            return None;
+        }
+        match self
+            .shapes
+            .get(&(n.lhs().to_vec(), n.rhs_attr()))?
+            .verdict(n, t)
+        {
+            GroupVerdict::Pinned(v) => Some(v),
+            GroupVerdict::Unconstrained => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_cfd::pattern::{PatternRow, PatternValue};
+    use cfd_cfd::Cfd;
+    use cfd_model::{Schema, Tuple};
+
+    fn setup() -> (Relation, Sigma) {
+        let schema = Schema::new("r", &["ac", "pn", "ct"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        for row in [["212", "111", "NYC"], ["610", "222", "PHI"], ["610", "333", "PHI"]] {
+            rel.insert(Tuple::from_iter(row)).unwrap();
+        }
+        // variable CFD: [ac] → ct with wildcard pattern
+        let var = Cfd::standard_fd(
+            "var",
+            vec![schema.attr("ac").unwrap()],
+            vec![schema.attr("ct").unwrap()],
+        );
+        // constant CFD: ac=212 → ct=NYC
+        let cons = Cfd::new(
+            "cons",
+            vec![schema.attr("ac").unwrap()],
+            vec![schema.attr("ct").unwrap()],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("212")],
+                vec![PatternValue::constant("NYC")],
+            )],
+        )
+        .unwrap();
+        let sigma = Sigma::normalize(schema, vec![var, cons]).unwrap();
+        (rel, sigma)
+    }
+
+    #[test]
+    fn variable_cfd_pins_group_value() {
+        let (rel, sigma) = setup();
+        let idx = LhsIndexes::build(&rel, &sigma);
+        let var = sigma.get(cfd_cfd::CfdId(0));
+        // candidate agreeing with 212's group
+        let ok = Tuple::from_iter(["212", "999", "NYC"]);
+        assert!(idx.satisfies(var, &ok));
+        let bad = Tuple::from_iter(["212", "999", "PHI"]);
+        assert!(!idx.satisfies(var, &bad));
+        assert_eq!(idx.pinned_value(var, &bad), Some(Value::str("NYC")));
+        // fresh key: unconstrained
+        let fresh = Tuple::from_iter(["415", "999", "SF"]);
+        assert!(idx.satisfies(var, &fresh));
+        assert_eq!(idx.pinned_value(var, &fresh), None);
+    }
+
+    #[test]
+    fn constant_cfd_checked_by_pattern_alone() {
+        let (rel, sigma) = setup();
+        let idx = LhsIndexes::build(&rel, &sigma);
+        let cons = sigma.get(cfd_cfd::CfdId(1));
+        assert!(cons.is_constant());
+        let ok = Tuple::from_iter(["212", "999", "NYC"]);
+        let bad = Tuple::from_iter(["212", "999", "PHI"]);
+        let inapplicable = Tuple::from_iter(["610", "999", "PHI"]);
+        assert!(idx.satisfies(cons, &ok));
+        assert!(!idx.satisfies(cons, &bad));
+        assert!(idx.satisfies(cons, &inapplicable));
+    }
+
+    #[test]
+    fn null_semantics() {
+        let (rel, sigma) = setup();
+        let idx = LhsIndexes::build(&rel, &sigma);
+        let var = sigma.get(cfd_cfd::CfdId(0));
+        let cons = sigma.get(cfd_cfd::CfdId(1));
+        // null RHS satisfies both kinds
+        let null_rhs = Tuple::new(vec![Value::str("212"), Value::str("9"), Value::Null]);
+        assert!(idx.satisfies(var, &null_rhs));
+        assert!(idx.satisfies(cons, &null_rhs));
+        // null LHS: CFD inapplicable
+        let null_lhs = Tuple::new(vec![Value::Null, Value::str("9"), Value::str("PHI")]);
+        assert!(idx.satisfies(var, &null_lhs));
+        assert!(idx.satisfies(cons, &null_lhs));
+    }
+
+    #[test]
+    fn insert_updates_groups() {
+        let (rel, sigma) = setup();
+        let mut idx = LhsIndexes::build(&rel, &sigma);
+        let var = sigma.get(cfd_cfd::CfdId(0));
+        let fresh = Tuple::from_iter(["415", "1", "SF"]);
+        assert_eq!(idx.pinned_value(var, &fresh), None);
+        idx.insert(&sigma, &fresh);
+        let probe = Tuple::from_iter(["415", "2", "LA"]);
+        assert_eq!(idx.pinned_value(var, &probe), Some(Value::str("SF")));
+        assert!(!idx.satisfies(var, &probe));
+    }
+
+    #[test]
+    fn null_only_group_is_unconstrained() {
+        let (mut rel, sigma) = setup();
+        rel.set_value(cfd_model::TupleId(0), cfd_model::AttrId(2), Value::Null)
+            .unwrap();
+        let idx = LhsIndexes::build(&rel, &sigma);
+        let var = sigma.get(cfd_cfd::CfdId(0));
+        let probe = Tuple::from_iter(["212", "9", "ANY"]);
+        assert!(idx.satisfies(var, &probe));
+    }
+}

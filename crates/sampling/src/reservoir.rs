@@ -1,0 +1,140 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+//!
+//! The stratified sampler of §6 draws tuples from each stratum "by
+//! leveraging a widely used algorithm that scans the data in one pass and
+//! uses constant space" — Vitter, *Random sampling with a reservoir*, ACM
+//! TOMS 1985. Algorithm R keeps the first `k` items, then replaces a
+//! random reservoir slot with item `i > k` with probability `k / i`,
+//! yielding a uniform `k`-subset in one pass and O(k) space.
+
+use rand::Rng;
+
+/// One-pass uniform sampler over a stream of `T`.
+#[derive(Clone, Debug)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: usize,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// A reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offer the next stream item.
+    pub fn offer<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else if self.capacity > 0 {
+            let j = rng.gen_range(0..self.seen);
+            if j < self.capacity {
+                self.items[j] = item;
+            }
+        }
+    }
+
+    /// Number of stream items offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// The sampled items (order unspecified).
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Borrow the current sample.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+}
+
+/// Convenience: uniformly sample up to `k` items from an iterator.
+pub fn sample_iter<T, I, R>(iter: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng,
+{
+    let mut res = Reservoir::new(k);
+    for item in iter {
+        res.offer(item, rng);
+    }
+    res.into_items()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn keeps_everything_when_stream_is_small() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let got = sample_iter(0..5, 10, &mut rng);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn caps_at_capacity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let got = sample_iter(0..1000, 32, &mut rng);
+        assert_eq!(got.len(), 32);
+        let mut sorted = got.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 32, "sample must not repeat items");
+    }
+
+    #[test]
+    fn zero_capacity_yields_empty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let got = sample_iter(0..100, 0, &mut rng);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn tracks_seen_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut res = Reservoir::new(3);
+        for i in 0..10 {
+            res.offer(i, &mut rng);
+        }
+        assert_eq!(res.seen(), 10);
+        assert_eq!(res.items().len(), 3);
+    }
+
+    #[test]
+    fn roughly_uniform_inclusion() {
+        // Each of 20 items should appear in a k=5 sample with probability
+        // 1/4. Over 4000 trials the count for item 17 (a late item —
+        // Algorithm R's bias would show here) should be near 1000.
+        let mut hits = 0;
+        for seed in 0..4000u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let got = sample_iter(0..20, 5, &mut rng);
+            if got.contains(&17) {
+                hits += 1;
+            }
+        }
+        // Binomial(4000, 0.25): σ ≈ 27.4; allow ±5σ.
+        assert!((hits as i64 - 1000).abs() < 140, "hits = {hits}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(42);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(
+            sample_iter(0..100, 10, &mut rng1),
+            sample_iter(0..100, 10, &mut rng2)
+        );
+    }
+}

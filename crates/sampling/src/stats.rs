@@ -1,0 +1,196 @@
+//! Statistical machinery of §6: the normal-approximation z-test and the
+//! Chernoff-bound sample size (Theorem 6.1).
+//!
+//! The number of inaccurate tuples in a sample obeys a Binomial
+//! distribution; for large enough samples its normal approximation gives
+//! the test statistic
+//!
+//! ```text
+//! z = (p̂ − ε) / sqrt(ε (1 − ε) / k)
+//! ```
+//!
+//! where `p̂` is the (weighted) inaccuracy rate observed in the sample, `ε`
+//! the tolerated inaccuracy and `k` the sample size. If `z ≤ −z_α` at
+//! confidence level δ (`α = 1 − δ`), the null hypothesis "the proportion of
+//! inaccurate data in Repr is above ε" is rejected and the repair is
+//! accepted.
+
+/// Inverse CDF (quantile) of the standard normal distribution.
+///
+/// Peter Acklam's rational approximation: relative error below 1.15e-9
+/// over the full open interval (0, 1) — far tighter than the sampling
+/// module needs.
+#[allow(clippy::excessive_precision)] // Acklam's published coefficients, kept verbatim
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The one-sided critical value `z_α` at confidence level `delta`
+/// (`α = 1 − δ`): `P[Z ≤ z_α] = δ` for standard normal `Z`.
+pub fn z_critical(delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "confidence must be in (0,1)");
+    normal_quantile(delta)
+}
+
+/// The §6 test statistic `z = (p̂ − ε)/sqrt(ε(1−ε)/k)`.
+pub fn z_statistic(p_hat: f64, epsilon: f64, k: usize) -> f64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
+    assert!(k > 0, "sample size must be positive");
+    (p_hat - epsilon) / (epsilon * (1.0 - epsilon) / k as f64).sqrt()
+}
+
+/// Accept/reject decision: accept the repair (reject the "too inaccurate"
+/// null hypothesis) iff `z ≤ −z_α`.
+pub fn z_test_accept(p_hat: f64, epsilon: f64, k: usize, delta: f64) -> bool {
+    z_statistic(p_hat, epsilon, k) <= -z_critical(delta)
+}
+
+/// Theorem 6.1: the sample size `k` that guarantees, with probability at
+/// least δ, that at least `c` inaccurate tuples appear in a random sample
+/// when the true inaccuracy rate is ε:
+///
+/// ```text
+/// k > c/ε + (1/ε)·ln(1/(1−δ)) + (1/ε)·sqrt( ln(1/(1−δ))² + 2·c·ln(1/(1−δ)) )
+/// ```
+///
+/// Returned rounded up to the next integer.
+pub fn chernoff_sample_size(c: usize, epsilon: f64, delta: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0);
+    assert!(delta > 0.0 && delta < 1.0);
+    let l = (1.0 / (1.0 - delta)).ln();
+    let c = c as f64;
+    let k = c / epsilon + l / epsilon + (l * l + 2.0 * c * l).sqrt() / epsilon;
+    k.ceil() as usize + 1
+}
+
+/// The smallest sample size at which even a *zero-error* sample can pass
+/// the z-test: `k ≥ z_α² (1−ε) / ε`. Below this the test has no power and
+/// every repair is rejected regardless of quality; certification loops
+/// should size their samples at least this large (plus headroom for the
+/// handful of errors a good repair still contains).
+pub fn min_sample_for_acceptance(epsilon: f64, delta: f64) -> usize {
+    let z = z_critical(delta);
+    (z * z * (1.0 - epsilon) / epsilon).ceil() as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_matches_known_values() {
+        // Φ⁻¹(0.975) ≈ 1.959964, Φ⁻¹(0.95) ≈ 1.644854, Φ⁻¹(0.5) = 0
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.95) - 1.644854).abs() < 1e-4);
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        // symmetry
+        assert!((normal_quantile(0.05) + normal_quantile(0.95)).abs() < 1e-9);
+        // tails
+        assert!((normal_quantile(0.001) + 3.090232).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile needs p in (0,1)")]
+    fn quantile_rejects_bounds() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn z_statistic_signs() {
+        // sample much cleaner than ε → strongly negative z
+        assert!(z_statistic(0.0, 0.05, 200) < -3.0);
+        // sample exactly at ε → z = 0
+        assert!(z_statistic(0.05, 0.05, 200).abs() < 1e-12);
+        // dirtier → positive
+        assert!(z_statistic(0.2, 0.05, 200) > 0.0);
+    }
+
+    #[test]
+    fn accept_rejects_dirty_samples() {
+        // perfectly clean sample of 200 at ε=5%, δ=95%: accept
+        assert!(z_test_accept(0.0, 0.05, 200, 0.95));
+        // inaccuracy right at ε: cannot accept
+        assert!(!z_test_accept(0.05, 0.05, 200, 0.95));
+        // way above ε: reject
+        assert!(!z_test_accept(0.30, 0.05, 200, 0.95));
+    }
+
+    #[test]
+    fn acceptance_needs_enough_samples() {
+        // at tiny k the test has no power even for clean samples… a clean
+        // sample of k=5 at ε=5%: z = −ε/sqrt(ε·0.95/5) ≈ −0.51 > −1.64.
+        assert!(!z_test_accept(0.0, 0.05, 5, 0.95));
+        assert!(z_test_accept(0.0, 0.05, 60, 0.95));
+    }
+
+    #[test]
+    fn chernoff_size_grows_with_confidence_and_shrinks_with_epsilon() {
+        let base = chernoff_sample_size(5, 0.05, 0.90);
+        assert!(chernoff_sample_size(5, 0.05, 0.99) > base);
+        assert!(chernoff_sample_size(5, 0.10, 0.90) < base);
+        assert!(chernoff_sample_size(10, 0.05, 0.90) > base);
+    }
+
+    #[test]
+    fn min_sample_gives_the_test_power() {
+        for (eps, delta) in [(0.05, 0.95), (0.01, 0.90), (0.002, 0.90)] {
+            let k = min_sample_for_acceptance(eps, delta);
+            assert!(z_test_accept(0.0, eps, k, delta), "k = {k} at ε = {eps}");
+            assert!(!z_test_accept(0.0, eps, k / 2, delta), "k/2 should lack power");
+        }
+    }
+
+    #[test]
+    fn chernoff_size_sane_magnitude() {
+        // c=5, ε=5%, δ=95%: on the order of a few hundred samples
+        let k = chernoff_sample_size(5, 0.05, 0.95);
+        assert!(k > 100 && k < 1000, "k = {k}");
+        // the bound formula: k > c/ε alone is 100, so k must exceed that
+        assert!(k > 100);
+    }
+}

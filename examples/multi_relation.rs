@@ -1,0 +1,69 @@
+//! Cleaning a multi-relation database: CFDs per relation (§2: "our
+//! repairing methods are applicable to general relation schemas by
+//! repairing each relation in isolation") plus inclusion dependencies
+//! across relations (§9's future work, implemented in `cfd-repair`).
+//!
+//! Run with `cargo run --release --example multi_relation`.
+
+use cfdclean::cfd::violation::check;
+use cfdclean::cfd::{parser::parse_rules, Ind, Sigma};
+use cfdclean::model::{Database, Schema, Tuple};
+use cfdclean::repair::{batch_repair, repair_inds, BatchConfig, IndRepairConfig};
+
+fn main() {
+    // item catalog (the IND parent) and an order table referencing it
+    let mut db = Database::new();
+    let items = db.create(Schema::new("item", &["id", "name", "PR"]).unwrap());
+    for (id, name, pr) in [
+        ("a1001", "H. Porter", "17.99"),
+        ("a1002", "Snow White", "18.99"),
+        ("a2001", "J. Denver", "7.94"),
+    ] {
+        items.insert(Tuple::from_iter([id, name, pr])).unwrap();
+    }
+    let orders = db.create(Schema::new("order", &["oid", "item_id", "zip", "CT", "ST"]).unwrap());
+    for row in [
+        ["o1", "a1001", "19014", "PHI", "PA"],
+        ["o2", "a10O1", "19014", "PHI", "PA"], // typo'd reference: O for 0
+        ["o3", "a2001", "10012", "PHI", "PA"], // wrong city for the zip
+        ["o4", "qqqq", "10012", "NYC", "NY"],  // unsalvageable reference
+    ] {
+        orders.insert(Tuple::from_iter(row)).unwrap();
+    }
+
+    // intra-relation consistency: the Fig. 1 zip CFD on `order`
+    let order_schema = db.relation("order").unwrap().schema().clone();
+    let cfds = parse_rules(
+        &order_schema,
+        "phi2: [zip] -> [CT, ST] { (10012 || NYC, NY); (19014 || PHI, PA) }",
+    )
+    .unwrap();
+    let sigma = Sigma::normalize(order_schema, cfds).unwrap();
+
+    // cross-relation consistency: order.item_id ⊆ item.id
+    let fk = Ind::new(&db, "fk_item", "order", &["item_id"], "item", &["id"]).unwrap();
+
+    println!("before: CFDs satisfied = {}, IND violations = {:?}",
+        check(db.relation("order").unwrap(), &sigma),
+        fk.violations(&db).unwrap());
+
+    // 1. repair the order relation against its CFDs
+    let repaired = batch_repair(db.relation("order").unwrap(), &sigma, BatchConfig::default())
+        .expect("cfd repair succeeds");
+    db.put(repaired.repair);
+
+    // 2. repair the foreign key
+    let stats = repair_inds(&mut db, std::slice::from_ref(&fk), &IndRepairConfig::default())
+        .expect("ind repair succeeds");
+
+    println!(
+        "after: CFDs satisfied = {}, IND satisfied = {} (rebound {}, nulled {})",
+        check(db.relation("order").unwrap(), &sigma),
+        fk.check(&db).unwrap(),
+        stats[0].rebound,
+        stats[0].nulled
+    );
+    println!("{}", db.relation("order").unwrap());
+    assert!(check(db.relation("order").unwrap(), &sigma));
+    assert!(fk.check(&db).unwrap());
+}

@@ -1,0 +1,55 @@
+//! # cfdclean
+//!
+//! Repairing relational data with **conditional functional dependencies**
+//! (CFDs): a complete implementation of Cong, Fan, Geerts, Jia & Ma,
+//! *Improving Data Quality: Consistency and Accuracy*, VLDB 2007.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`model`] — the relational substrate (values, schemas, weighted
+//!   tuples, relations, indexes, `dif`/precision/recall, CSV);
+//! * [`cfd`] — CFDs: pattern tableaus, normalization, violation
+//!   detection, satisfiability, implication, rule files;
+//! * [`repair`] — `BATCHREPAIR` and `INCREPAIR` with the §3.2 cost model;
+//! * [`sampling`] — the statistical accuracy module (stratified sampling,
+//!   z-tests, Chernoff bounds);
+//! * [`gen`] — the §7.1 evaluation workload generator;
+//! * [`discovery`] — FD / constant-CFD-row mining (the paper's §9
+//!   future-work direction).
+//!
+//! The workspace also ships a command-line tool (`crates/cli`, binary
+//! `cfdclean`) that exposes detect / repair / insert / discover /
+//! certify / generate over CSV and rule files.
+//!
+//! ## Example
+//!
+//! Detect and repair the paper's Fig. 1 inconsistency:
+//!
+//! ```
+//! use cfdclean::cfd::{parser::parse_rules, violation, Sigma};
+//! use cfdclean::model::{Relation, Schema, Tuple};
+//! use cfdclean::repair::{batch_repair, BatchConfig};
+//!
+//! let schema = Schema::new("order", &["AC", "PN", "CT", "ST", "zip"]).unwrap();
+//! let cfds = parse_rules(
+//!     &schema,
+//!     "phi2: [zip] -> [CT, ST] { (10012 || NYC, NY); (19014 || PHI, PA) }",
+//! )
+//! .unwrap();
+//! let sigma = Sigma::normalize(schema.clone(), cfds).unwrap();
+//!
+//! let mut dirty = Relation::new(schema);
+//! // zip 10012 says NYC/NY — this tuple is wrong on its own
+//! dirty.insert(Tuple::from_iter(["212", "3345677", "PHI", "PA", "10012"])).unwrap();
+//!
+//! assert!(!violation::check(&dirty, &sigma));
+//! let out = batch_repair(&dirty, &sigma, BatchConfig::default()).unwrap();
+//! assert!(violation::check(&out.repair, &sigma));
+//! ```
+
+pub use cfd_cfd as cfd;
+pub use cfd_discovery as discovery;
+pub use cfd_gen as gen;
+pub use cfd_model as model;
+pub use cfd_repair as repair;
+pub use cfd_sampling as sampling;

@@ -1,0 +1,214 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * both repair algorithms always terminate with `Repr |= Σ` on random
+//!   relations and random CFD sets (the Theorem 4.2 / 5.3 guarantees);
+//! * the DL distance is a metric (identity, symmetry, triangle
+//!   inequality) and the normalized form stays in `[0, 1]`;
+//! * equivalence-class progress is monotone and bounded;
+//! * incremental insertion of consistent tuples is a no-op;
+//! * CSV round-trips arbitrary values.
+
+use proptest::prelude::*;
+
+use cfdclean::cfd::pattern::{PatternRow, PatternValue};
+use cfdclean::cfd::violation::check;
+use cfdclean::cfd::{Cfd, Sigma};
+use cfdclean::model::{csv, AttrId, Relation, Schema, Tuple, Value};
+use cfdclean::repair::distance::{dl_distance, normalized_distance};
+use cfdclean::repair::equivalence::{Cell, EqClasses, Target};
+use cfdclean::repair::{batch_repair, inc_repair, BatchConfig, IncConfig};
+
+const ARITY: usize = 4;
+
+/// A small value universe keeps collision (and thus violation) rates high.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => (0..6u32).prop_map(|i| Value::str(format!("v{i}"))),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn tuple_strategy() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(value_strategy(), ARITY)
+}
+
+fn relation_strategy() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(tuple_strategy(), 1..14)
+}
+
+/// Random normal-form CFDs over the fixed 4-attribute schema. LHS and RHS
+/// attrs are distinct; patterns draw from the same value universe.
+fn cfd_strategy() -> impl Strategy<Value = (usize, usize, Option<String>, Option<String>)> {
+    (0..ARITY, 0..ARITY, proptest::option::of(0..4u32), proptest::option::of(0..4u32)).prop_map(
+        |(l, r, lp, rp)| {
+            (
+                l,
+                r,
+                lp.map(|i| format!("v{i}")),
+                rp.map(|i| format!("v{i}")),
+            )
+        },
+    )
+}
+
+fn build_sigma(schema: &Schema, raw: Vec<(usize, usize, Option<String>, Option<String>)>) -> Sigma {
+    let mut cfds = Vec::new();
+    for (i, (l, r, lp, rp)) in raw.into_iter().enumerate() {
+        let r = if l == r { (r + 1) % ARITY } else { r };
+        let lhs_pat = match lp {
+            Some(v) => PatternValue::Const(Value::str(v)),
+            None => PatternValue::Wildcard,
+        };
+        let rhs_pat = match rp {
+            Some(v) => PatternValue::Const(Value::str(v)),
+            None => PatternValue::Wildcard,
+        };
+        cfds.push(
+            Cfd::new(
+                &format!("c{i}"),
+                vec![AttrId(l as u16)],
+                vec![AttrId(r as u16)],
+                vec![PatternRow::new(vec![lhs_pat], vec![rhs_pat])],
+            )
+            .unwrap(),
+        );
+    }
+    Sigma::normalize(schema.clone(), cfds).unwrap()
+}
+
+fn build_relation(schema: &Schema, rows: Vec<Vec<Value>>) -> Relation {
+    let mut rel = Relation::new(schema.clone());
+    for row in rows {
+        rel.insert(Tuple::new(row)).unwrap();
+    }
+    rel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_repair_always_satisfies_sigma(
+        rows in relation_strategy(),
+        raw_cfds in proptest::collection::vec(cfd_strategy(), 1..5),
+    ) {
+        let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
+        let sigma = build_sigma(&schema, raw_cfds);
+        let rel = build_relation(&schema, rows);
+        let out = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
+        prop_assert!(check(&out.repair, &sigma));
+        // ids and cardinality preserved: repairs are value modifications
+        prop_assert_eq!(out.repair.len(), rel.len());
+    }
+
+    #[test]
+    fn incremental_repair_always_satisfies_sigma(
+        rows in relation_strategy(),
+        delta in proptest::collection::vec(tuple_strategy(), 1..5),
+        raw_cfds in proptest::collection::vec(cfd_strategy(), 1..5),
+    ) {
+        let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
+        let sigma = build_sigma(&schema, raw_cfds);
+        let rel = build_relation(&schema, rows);
+        // start from a guaranteed-clean base
+        let clean = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap().repair;
+        let delta: Vec<Tuple> = delta.into_iter().map(Tuple::new).collect();
+        let out = inc_repair(&clean, &delta, &sigma, IncConfig::default()).unwrap();
+        prop_assert!(check(&out.repair, &sigma));
+        // the clean base is untouched
+        for (id, t) in clean.iter() {
+            prop_assert_eq!(out.repair.tuple(id).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn batch_repair_is_idempotent(
+        rows in relation_strategy(),
+        raw_cfds in proptest::collection::vec(cfd_strategy(), 1..5),
+    ) {
+        let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
+        let sigma = build_sigma(&schema, raw_cfds);
+        let rel = build_relation(&schema, rows);
+        let first = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
+        let second = batch_repair(&first.repair, &sigma, BatchConfig::default()).unwrap();
+        prop_assert_eq!(second.stats.steps, 0, "repairing a repair must be a no-op");
+        prop_assert_eq!(second.stats.cost, 0.0);
+        for (id, t) in first.repair.iter() {
+            prop_assert_eq!(second.repair.tuple(id).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn inserting_consistent_tuples_changes_nothing(
+        rows in relation_strategy(),
+        raw_cfds in proptest::collection::vec(cfd_strategy(), 1..4),
+    ) {
+        let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
+        let sigma = build_sigma(&schema, raw_cfds);
+        let rel = build_relation(&schema, rows);
+        let clean = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap().repair;
+        // re-inserting an existing clean tuple must be a no-op repair
+        let existing: Vec<Tuple> = clean.iter().take(2).map(|(_, t)| t.clone()).collect();
+        let out = inc_repair(&clean, &existing, &sigma, IncConfig::default()).unwrap();
+        prop_assert_eq!(out.stats.modified, 0);
+        prop_assert_eq!(out.stats.cost, 0.0);
+    }
+
+    #[test]
+    fn dl_distance_is_a_metric(a in "[a-c]{0,6}", b in "[a-c]{0,6}", c in "[a-c]{0,6}") {
+        let dab = dl_distance(&a, &b);
+        let dba = dl_distance(&b, &a);
+        prop_assert_eq!(dab, dba);
+        prop_assert_eq!(dab == 0, a == b);
+        // triangle inequality (OSA satisfies it over this alphabet size)
+        let dac = dl_distance(&a, &c);
+        let dcb = dl_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb, "d({a},{b})={dab} > d({a},{c})+d({c},{b})={}", dac + dcb);
+    }
+
+    #[test]
+    fn normalized_distance_is_bounded(a in "[a-z0-9]{0,8}", b in "[a-z0-9]{0,8}") {
+        let d = normalized_distance(&Value::str(&a), &Value::str(&b));
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d == 0.0, a == b);
+    }
+
+    #[test]
+    fn equivalence_progress_is_monotone_and_bounded(
+        ops in proptest::collection::vec((0..8u32, 0..8u32, 0..3u8), 1..40),
+    ) {
+        let mut eq = EqClasses::new(8, 1, |_, _| 1.0);
+        let cells = 8u64;
+        let mut last = eq.progress();
+        for (i, j, kind) in ops {
+            let (ci, cj) = (
+                Cell::new(cfdclean::model::TupleId(i), AttrId(0)),
+                Cell::new(cfdclean::model::TupleId(j), AttrId(0)),
+            );
+            let before = eq.progress();
+            let _ = match kind {
+                0 => eq.merge(ci, cj).map(|_| ()),
+                1 => eq.set_target(ci, Target::Const(Value::str("x"))).map(|_| ()),
+                _ => eq.set_target(ci, Target::Null).map(|_| ()),
+            };
+            let after = eq.progress();
+            prop_assert!(after >= before, "progress regressed");
+            prop_assert!(after <= 4 * cells, "progress exceeded the 4·cells bound");
+            last = after;
+        }
+        prop_assert!(last <= 4 * cells);
+    }
+
+    #[test]
+    fn csv_round_trips_arbitrary_relations(rows in relation_strategy()) {
+        let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
+        let rel = build_relation(&schema, rows);
+        let mut buf = Vec::new();
+        csv::write_relation(&rel, &mut buf).unwrap();
+        let back = csv::read_relation("r", &mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), rel.len());
+        for (id, t) in rel.iter() {
+            prop_assert_eq!(back.tuple(id).unwrap().values(), t.values());
+        }
+    }
+}
