@@ -1,104 +1,310 @@
 //! Microbenchmarks of the hot kernels underlying both repair algorithms:
-//! DL distance, violation detection, equivalence-class operations,
-//! LHS-index validation, and nearest-value search.
+//! DL distance, index building and violation detection (dictionary-encoded
+//! vs a string-keyed reference), equivalence-class operations, LHS-index
+//! validation, and nearest-value search.
+//!
+//! The headline pair is `index_build` / `detect`: the dictionary-encoded
+//! value layer keys every hot map on `ValueId`/`IdKey` (u32s), while the
+//! `string` variants reproduce the pre-dictionary representation —
+//! `HashMap<Vec<Value>, _>` keys hashing full strings — as a faithful
+//! reference kernel. `BENCH_kernels.json` records the baseline; the
+//! acceptance bar for the dictionary layer is ≥ 2× on build + detection.
+//!
+//! Run with `cargo bench --bench kernels [-- json [PATH]]`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
 
+use cfd_bench::harness::{black_box, Harness};
 use cfd_bench::workload;
-use cfd_cfd::violation::{detect, Engine};
+use cfd_cfd::pattern::{values_match, PatternValue};
+use cfd_cfd::violation::detect;
+use cfd_cfd::Sigma;
 use cfd_gen::{inject, NoiseConfig};
-use cfd_model::{AttrId, TupleId, Value};
+use cfd_model::index::HashIndex;
+use cfd_model::{AttrId, Relation, TupleId, Value};
 use cfd_repair::cluster::ValueIndex;
 use cfd_repair::distance::{dl_distance, dl_distance_bounded};
 use cfd_repair::equivalence::{Cell, EqClasses};
 use cfd_repair::lhs_index::LhsIndexes;
 
-fn bench_distance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dl_distance");
-    for (a, b) in [("19014", "10012"), ("Springfield", "Sprignfeild"), ("Walnut St", "Wall St")] {
-        g.bench_with_input(BenchmarkId::new("exact", format!("{a}/{b}")), &(a, b), |bench, (a, b)| {
-            bench.iter(|| dl_distance(black_box(a), black_box(b)))
+/// The pre-dictionary tuple representation: values stored inline, read
+/// without any pool access. Reference rows are materialized once,
+/// outside the timed regions — the old `Tuple` held its `Value`s
+/// directly, so the string-keyed kernels must not be charged for pool
+/// resolution.
+type ValueRow = Vec<Value>;
+
+fn resolve_rows(rel: &Relation) -> Vec<(TupleId, ValueRow)> {
+    rel.iter().map(|(id, t)| (id, t.values())).collect()
+}
+
+/// The pre-dictionary index kernel: projections cloned from inline
+/// values, keys hashing strings.
+fn string_keyed_index(
+    rows: &[(TupleId, ValueRow)],
+    attrs: &[AttrId],
+) -> HashMap<Vec<Value>, Vec<TupleId>> {
+    let mut map: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+    for (id, row) in rows {
+        let key: Vec<Value> = attrs.iter().map(|a| row[a.index()].clone()).collect();
+        map.entry(key).or_default().push(*id);
+    }
+    map
+}
+
+/// A faithful pre-dictionary detector mirroring `violation::detect`'s
+/// algorithm on the old representation: the same hashed constant-rule
+/// grouping (keys are `Vec<Value>` instead of `IdKey`), string-keyed
+/// group maps for the subsumption-minimal variable CFDs, `Value`-keyed
+/// conflict histograms. Returns the total violation count.
+fn string_keyed_detect(rows: &[(TupleId, ValueRow)], sigma: &Sigma) -> usize {
+    let mut total = 0usize;
+    // Constant rules, grouped by (lhs attrs, const-position mask) with
+    // the constant projection as the hash key — the old ConstantRules.
+    struct ConstGroup {
+        lhs: Vec<AttrId>,
+        const_attrs: Vec<AttrId>,
+        map: HashMap<Vec<Value>, Vec<(AttrId, PatternValue)>>,
+    }
+    let mut groups: Vec<ConstGroup> = Vec::new();
+    for n in sigma.iter().filter(|n| n.is_constant()) {
+        let mask: Vec<bool> = n.lhs_pattern().iter().map(|p| !p.is_wildcard()).collect();
+        let gi = groups
+            .iter()
+            .position(|g| {
+                g.lhs == n.lhs() && {
+                    let gmask: Vec<bool> =
+                        n.lhs().iter().map(|a| g.const_attrs.contains(a)).collect();
+                    gmask == mask
+                }
+            })
+            .unwrap_or_else(|| {
+                let const_attrs = n
+                    .lhs()
+                    .iter()
+                    .zip(mask.iter())
+                    .filter(|(_, m)| **m)
+                    .map(|(a, _)| *a)
+                    .collect();
+                groups.push(ConstGroup {
+                    lhs: n.lhs().to_vec(),
+                    const_attrs,
+                    map: HashMap::new(),
+                });
+                groups.len() - 1
+            });
+        let key: Vec<Value> = n
+            .lhs_pattern()
+            .iter()
+            .filter_map(|p| p.as_const().cloned())
+            .collect();
+        groups[gi]
+            .map
+            .entry(key)
+            .or_default()
+            .push((n.rhs_attr(), n.rhs_pattern().clone()));
+    }
+    for (_, row) in rows {
+        'group: for g in &groups {
+            for a in &g.lhs {
+                if row[a.index()].is_null() {
+                    continue 'group;
+                }
+            }
+            let key: Vec<Value> = g
+                .const_attrs
+                .iter()
+                .map(|a| row[a.index()].clone())
+                .collect();
+            if let Some(rules) = g.map.get(&key) {
+                for (rhs_attr, rhs) in rules {
+                    if !rhs.satisfied_by(&row[rhs_attr.index()]) {
+                        total += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Variable CFDs (subsumption-minimal, like the engine): string-keyed
+    // grouping, then per-group histograms.
+    for id in cfd_cfd::violation::minimal_variable_ids(sigma) {
+        let n = sigma.get(id);
+        let by_key = string_keyed_index(rows, n.lhs());
+        let row_of: HashMap<TupleId, &ValueRow> = rows.iter().map(|(i, r)| (*i, r)).collect();
+        for (key, group) in &by_key {
+            if group.len() < 2 || !values_match(key, n.lhs_pattern()) {
+                continue;
+            }
+            let mut counts: HashMap<&Value, usize> = HashMap::new();
+            let mut non_null = 0usize;
+            for id in group {
+                let v = &row_of[id][n.rhs_attr().index()];
+                if !v.is_null() {
+                    *counts.entry(v).or_insert(0) += 1;
+                    non_null += 1;
+                }
+            }
+            if counts.len() <= 1 {
+                continue;
+            }
+            for id in group {
+                let v = &row_of[id][n.rhs_attr().index()];
+                if !v.is_null() {
+                    total += non_null - counts[v];
+                }
+            }
+        }
+    }
+    total
+}
+
+fn bench_distance(h: &mut Harness) {
+    for (a, b) in [
+        ("19014", "10012"),
+        ("Springfield", "Sprignfeild"),
+        ("Walnut St", "Wall St"),
+    ] {
+        h.run(&format!("dl_distance/exact/{a}-{b}"), || {
+            dl_distance(black_box(a), black_box(b))
         });
-        g.bench_with_input(BenchmarkId::new("bounded2", format!("{a}/{b}")), &(a, b), |bench, (a, b)| {
-            bench.iter(|| dl_distance_bounded(black_box(a), black_box(b), 2))
+        h.run(&format!("dl_distance/bounded2/{a}-{b}"), || {
+            dl_distance_bounded(black_box(a), black_box(b), 2)
         });
     }
-    g.finish();
 }
 
-fn bench_detection(c: &mut Criterion) {
+/// The interned-vs-string headline: index build and full detection on the
+/// §7.1 generated workload at 5% noise.
+fn bench_interned_vs_string(h: &mut Harness) -> (f64, f64) {
     let w = workload(2_000, 7);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
-    let mut g = c.benchmark_group("violation_detection");
-    g.sample_size(10);
-    g.bench_function("detect_2k_5pct", |b| {
-        b.iter(|| detect(black_box(&noise.dirty), black_box(&w.sigma)))
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    // The widest LHS list in Σ (phi1's [AC, PN]-shaped lists dominate).
+    let lhs = w
+        .sigma
+        .iter()
+        .next()
+        .expect("non-empty sigma")
+        .lhs()
+        .to_vec();
+    // Materialized once, outside the timed regions: the old Tuple held
+    // its Values inline, so the string kernels read without pool access.
+    let rows = resolve_rows(&noise.dirty);
+
+    let build_interned = h.run("index_build/interned_2k", || {
+        HashIndex::build(black_box(&noise.dirty), black_box(&lhs)).group_count()
     });
-    let engine = Engine::build(&noise.dirty, &w.sigma);
+    let build_string = h.run("index_build/string_2k", || {
+        string_keyed_index(black_box(&rows), black_box(&lhs)).len()
+    });
+
+    // Sanity: both kernels must agree before their timings mean anything.
+    let id_total = detect(&noise.dirty, &w.sigma).total;
+    let str_total = string_keyed_detect(&rows, &w.sigma);
+    assert_eq!(
+        id_total, str_total,
+        "reference detector disagrees with the engine"
+    );
+
+    let detect_interned = h.run("detect/interned_2k_5pct", || {
+        detect(black_box(&noise.dirty), black_box(&w.sigma)).total
+    });
+    let detect_string = h.run("detect/string_2k_5pct", || {
+        string_keyed_detect(black_box(&rows), black_box(&w.sigma))
+    });
+
+    let build_speedup = build_string.median_ns / build_interned.median_ns;
+    let detect_speedup = detect_string.median_ns / detect_interned.median_ns;
+    eprintln!("index build speedup (string/interned): {build_speedup:.2}x");
+    eprintln!("detection speedup  (string/interned): {detect_speedup:.2}x");
+    (build_speedup, detect_speedup)
+}
+
+fn bench_vio_of_candidate(h: &mut Harness) {
+    let w = workload(2_000, 7);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let engine = cfd_cfd::violation::Engine::build(&noise.dirty, &w.sigma);
     let probe = noise.dirty.tuple(TupleId(0)).unwrap().clone();
-    g.bench_function("vio_of_candidate", |b| {
-        b.iter(|| engine.vio_of(black_box(&noise.dirty), black_box(&probe), None))
+    h.run("detect/vio_of_candidate", || {
+        engine.vio_of(black_box(&noise.dirty), black_box(&probe), None)
     });
-    g.finish();
 }
 
-fn bench_equivalence(c: &mut Criterion) {
-    let mut g = c.benchmark_group("equivalence");
-    g.bench_function("merge_chain_10k", |b| {
-        b.iter(|| {
-            let mut eq = EqClasses::new(10_000, 1, |_, _| 1.0);
-            for t in 1..10_000u32 {
-                eq.merge(
-                    Cell::new(TupleId(t - 1), AttrId(0)),
-                    Cell::new(TupleId(t), AttrId(0)),
-                )
-                .unwrap();
-            }
-            black_box(eq.class_count())
-        })
+fn bench_equivalence(h: &mut Harness) {
+    h.run("equivalence/merge_chain_10k", || {
+        let mut eq = EqClasses::new(10_000, 1, |_, _| 1.0);
+        for t in 1..10_000u32 {
+            eq.merge(
+                Cell::new(TupleId(t - 1), AttrId(0)),
+                Cell::new(TupleId(t), AttrId(0)),
+            )
+            .unwrap();
+        }
+        black_box(eq.class_count())
     });
-    g.finish();
 }
 
-fn bench_lhs_index(c: &mut Criterion) {
+fn bench_lhs_index(h: &mut Harness) {
     let w = workload(5_000, 9);
     let idx = LhsIndexes::build(&w.dopt, &w.sigma);
     let probe = w.dopt.tuple(TupleId(17)).unwrap().clone();
     let variable: Vec<_> = w.sigma.iter().filter(|n| !n.is_constant()).collect();
-    let mut g = c.benchmark_group("lhs_index");
-    g.bench_function("validate_tuple_all_variable_cfds", |b| {
-        b.iter(|| {
-            variable
-                .iter()
-                .all(|n| idx.satisfies(black_box(n), black_box(&probe)))
-        })
+    h.run("lhs_index/validate_tuple_all_variable_cfds", || {
+        variable
+            .iter()
+            .all(|n| idx.satisfies(black_box(n), black_box(&probe)))
     });
-    g.finish();
 }
 
-fn bench_value_index(c: &mut Criterion) {
+fn bench_value_index(h: &mut Harness) {
     // active domain of the street attribute of a 5k workload
     let w = workload(5_000, 11);
     let adom = cfd_model::ActiveDomain::of_relation(&w.dopt);
     let str_attr = w.dopt.schema().attr("STR").unwrap();
     let idx = ValueIndex::build(&adom, str_attr);
-    let probe = Value::str("Walnot St");
-    let mut g = c.benchmark_group("value_index");
-    g.bench_function("nearest_banded", |b| {
-        b.iter(|| idx.nearest(black_box(&probe), 6, false))
+    let probe = cfd_model::ValueId::of(&Value::str("Walnot St"));
+    h.run("value_index/nearest_banded", || {
+        idx.nearest(black_box(probe), 6, false)
     });
-    g.bench_function("nearest_naive", |b| {
-        b.iter(|| idx.nearest_naive(black_box(&probe), 6, false))
+    h.run("value_index/nearest_naive", || {
+        idx.nearest_naive(black_box(probe), 6, false)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_distance,
-    bench_detection,
-    bench_equivalence,
-    bench_lhs_index,
-    bench_value_index
-);
-criterion_main!(benches);
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args.iter().position(|a| a == "json").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_kernels.json".to_string())
+    });
+
+    let mut h = Harness::new();
+    bench_distance(&mut h);
+    let (build_speedup, detect_speedup) = bench_interned_vs_string(&mut h);
+    bench_vio_of_candidate(&mut h);
+    bench_equivalence(&mut h);
+    bench_lhs_index(&mut h);
+    bench_value_index(&mut h);
+
+    println!("\n{}", h.table());
+    println!("index build speedup (string/interned): {build_speedup:.2}x");
+    println!("detection speedup  (string/interned): {detect_speedup:.2}x");
+    if let Some(path) = json_path {
+        h.write_json(&path).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

@@ -7,9 +7,10 @@
 //! 4. Candidate-pool width of the cost-based value index.
 //! 5. Free/free merge pricing: group-majority vs the literal pairwise
 //!    reading (the snowball ablation of DESIGN.md §7 item 3).
+//!
+//! Run with `cargo bench --bench repair_ablations [-- json [PATH]]`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use cfd_bench::harness::{black_box, Harness};
 use cfd_bench::workload;
 use cfd_gen::{inject, NoiseConfig, RunSummary};
 use cfd_repair::{
@@ -19,136 +20,204 @@ use cfd_repair::{
 
 const N: usize = 1_500;
 
-fn bench_pick_strategy(c: &mut Criterion) {
+fn bench_pick_strategy(h: &mut Harness) {
     let w = workload(N, 3);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
-    let mut g = c.benchmark_group("batch_pick_strategy");
-    g.sample_size(10);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     for (label, pick) in [
         ("global_best", PickStrategy::GlobalBest),
         ("dependency_ordered", PickStrategy::DependencyOrdered),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                batch_repair(
-                    black_box(&noise.dirty),
-                    &w.sigma,
-                    BatchConfig { pick, ..Default::default() },
-                )
-                .unwrap()
-            })
+        h.run(&format!("batch_pick_strategy/{label}"), || {
+            batch_repair(
+                black_box(&noise.dirty),
+                &w.sigma,
+                BatchConfig {
+                    pick,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
         // accuracy context printed once per strategy
-        let out = batch_repair(&noise.dirty, &w.sigma, BatchConfig { pick, ..Default::default() }).unwrap();
-        let q = RunSummary::evaluate(&noise.dirty, &out.repair, &w.dopt, std::time::Duration::ZERO);
-        eprintln!("[{label}] precision {:.1}% recall {:.1}%", q.precision * 100.0, q.recall * 100.0);
+        let out = batch_repair(
+            &noise.dirty,
+            &w.sigma,
+            BatchConfig {
+                pick,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = RunSummary::evaluate(
+            &noise.dirty,
+            &out.repair,
+            &w.dopt,
+            std::time::Duration::ZERO,
+        );
+        eprintln!(
+            "[{label}] precision {:.1}% recall {:.1}%",
+            q.precision * 100.0,
+            q.recall * 100.0
+        );
     }
-    g.finish();
 }
 
-fn bench_tupleresolve_k(c: &mut Criterion) {
+fn bench_tupleresolve_k(h: &mut Harness) {
     let w = workload(N, 5);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
-    let mut g = c.benchmark_group("incremental_k");
-    g.sample_size(10);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     for k in [1usize, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                repair_via_incremental(
-                    black_box(&noise.dirty),
-                    &w.sigma,
-                    IncConfig { k, ..Default::default() },
-                )
-                .unwrap()
-            })
+        h.run(&format!("incremental_k/{k}"), || {
+            repair_via_incremental(
+                black_box(&noise.dirty),
+                &w.sigma,
+                IncConfig {
+                    k,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_orderings(c: &mut Criterion) {
+fn bench_orderings(h: &mut Harness) {
     let w = workload(N, 7);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
-    let mut g = c.benchmark_group("incremental_ordering");
-    g.sample_size(10);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     for (label, ordering) in [
         ("linear", Ordering::Linear),
         ("violations", Ordering::Violations),
         ("weight", Ordering::Weight),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                repair_via_incremental(
-                    black_box(&noise.dirty),
-                    &w.sigma,
-                    IncConfig { ordering, ..Default::default() },
-                )
-                .unwrap()
-            })
+        h.run(&format!("incremental_ordering/{label}"), || {
+            repair_via_incremental(
+                black_box(&noise.dirty),
+                &w.sigma,
+                IncConfig {
+                    ordering,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_candidate_width(c: &mut Criterion) {
+fn bench_candidate_width(h: &mut Harness) {
     let w = workload(N, 9);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
-    let mut g = c.benchmark_group("incremental_candidates_per_attr");
-    g.sample_size(10);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     for width in [2usize, 6, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
-            b.iter(|| {
-                repair_via_incremental(
-                    black_box(&noise.dirty),
-                    &w.sigma,
-                    IncConfig { candidates_per_attr: width, ..Default::default() },
-                )
-                .unwrap()
-            })
+        h.run(&format!("incremental_candidates_per_attr/{width}"), || {
+            repair_via_incremental(
+                black_box(&noise.dirty),
+                &w.sigma,
+                IncConfig {
+                    candidates_per_attr: width,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_merge_pricing(c: &mut Criterion) {
+fn bench_merge_pricing(h: &mut Harness) {
     // Seed 1 exhibits the bridge corruption that snowballs under pairwise
-    // pricing (the t2258 scenario); both accuracy and time are reported.
+    // pricing; both accuracy and time are reported.
     let w = workload(N, 1);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, seed: 1, ..Default::default() });
-    let mut g = c.benchmark_group("batch_merge_pricing");
-    g.sample_size(10);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            seed: 1,
+            ..Default::default()
+        },
+    );
     for (label, pricing) in [
         ("group_majority", MergePricing::GroupMajority),
         ("pairwise", MergePricing::Pairwise),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                batch_repair(
-                    black_box(&noise.dirty),
-                    &w.sigma,
-                    BatchConfig { merge_pricing: pricing, ..Default::default() },
-                )
-                .unwrap()
-            })
+        h.run(&format!("batch_merge_pricing/{label}"), || {
+            batch_repair(
+                black_box(&noise.dirty),
+                &w.sigma,
+                BatchConfig {
+                    merge_pricing: pricing,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
         let out = batch_repair(
             &noise.dirty,
             &w.sigma,
-            BatchConfig { merge_pricing: pricing, ..Default::default() },
+            BatchConfig {
+                merge_pricing: pricing,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let q = RunSummary::evaluate(&noise.dirty, &out.repair, &w.dopt, std::time::Duration::ZERO);
-        eprintln!("[{label}] precision {:.1}% recall {:.1}%", q.precision * 100.0, q.recall * 100.0);
+        let q = RunSummary::evaluate(
+            &noise.dirty,
+            &out.repair,
+            &w.dopt,
+            std::time::Duration::ZERO,
+        );
+        eprintln!(
+            "[{label}] precision {:.1}% recall {:.1}%",
+            q.precision * 100.0,
+            q.recall * 100.0
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pick_strategy,
-    bench_tupleresolve_k,
-    bench_orderings,
-    bench_candidate_width,
-    bench_merge_pricing
-);
-criterion_main!(benches);
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args.iter().position(|a| a == "json").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_repair_ablations.json".to_string())
+    });
+
+    // Whole-repair runs: coarse methodology (single-iteration batches).
+    let mut h = Harness::coarse();
+    bench_pick_strategy(&mut h);
+    bench_tupleresolve_k(&mut h);
+    bench_orderings(&mut h);
+    bench_candidate_width(&mut h);
+    bench_merge_pricing(&mut h);
+
+    println!("\n{}", h.table());
+    if let Some(path) = json_path {
+        h.write_json(&path).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

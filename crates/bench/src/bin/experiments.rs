@@ -10,6 +10,7 @@
 
 use std::io::Write as _;
 
+use cfd_bench::harness::json_escape;
 use cfd_bench::{fig11, fig12, fig14_15, fig8, fig9_10_13, render_table, Scale, Series};
 
 struct Args {
@@ -61,36 +62,32 @@ fn parse_args() -> Result<Args, String> {
 
 fn write_json(dir: &str, name: &str, series: &[Series]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    #[derive(serde::Serialize)]
-    struct JsonPoint {
-        x: f64,
-        precision: f64,
-        recall: f64,
-        seconds: f64,
+    // Hand-rolled JSON: the container has no network, so serde cannot be
+    // vendored; the payload shape is trivial.
+    let mut out = String::from("[\n");
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\n    \"label\": \"{}\",\n    \"points\": [\n",
+            json_escape(&s.label)
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"x\": {}, \"precision\": {}, \"recall\": {}, \"seconds\": {} }}{}\n",
+                p.x,
+                p.precision,
+                p.recall,
+                p.seconds,
+                if pi + 1 < s.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]\n  }}{}\n",
+            if si + 1 < series.len() { "," } else { "" }
+        ));
     }
-    #[derive(serde::Serialize)]
-    struct JsonSeries<'a> {
-        label: &'a str,
-        points: Vec<JsonPoint>,
-    }
-    let payload: Vec<JsonSeries> = series
-        .iter()
-        .map(|s| JsonSeries {
-            label: &s.label,
-            points: s
-                .points
-                .iter()
-                .map(|p| JsonPoint {
-                    x: p.x,
-                    precision: p.precision,
-                    recall: p.recall,
-                    seconds: p.seconds,
-                })
-                .collect(),
-        })
-        .collect();
+    out.push_str("]\n");
     let mut f = std::fs::File::create(format!("{dir}/{name}.json"))?;
-    writeln!(f, "{}", serde_json::to_string_pretty(&payload).expect("serializable"))?;
+    writeln!(f, "{out}")?;
     Ok(())
 }
 
@@ -158,21 +155,39 @@ fn main() {
         if wants("fig9") {
             println!(
                 "{}",
-                render_table("Figure 9: Precision vs noise rate", "noise %", &series, |p| p.precision, "%")
+                render_table(
+                    "Figure 9: Precision vs noise rate",
+                    "noise %",
+                    &series,
+                    |p| p.precision,
+                    "%"
+                )
             );
             emit("fig9", &series);
         }
         if wants("fig10") {
             println!(
                 "{}",
-                render_table("Figure 10: Recall vs noise rate", "noise %", &series, |p| p.recall, "%")
+                render_table(
+                    "Figure 10: Recall vs noise rate",
+                    "noise %",
+                    &series,
+                    |p| p.recall,
+                    "%"
+                )
             );
             emit("fig10", &series);
         }
         if wants("fig13") {
             println!(
                 "{}",
-                render_table("Figure 13: Runtime vs noise rate", "noise %", &series, |p| p.seconds, "s")
+                render_table(
+                    "Figure 13: Runtime vs noise rate",
+                    "noise %",
+                    &series,
+                    |p| p.seconds,
+                    "s"
+                )
             );
             emit("fig13", &series);
         }
@@ -182,7 +197,13 @@ fn main() {
         let series = fig11(args.scale, args.seed);
         println!(
             "{}",
-            render_table("Figure 11: Scalability of BatchRepair (ρ = 5%)", "tuples", &series, |p| p.seconds, "s")
+            render_table(
+                "Figure 11: Scalability of BatchRepair (ρ = 5%)",
+                "tuples",
+                &series,
+                |p| p.seconds,
+                "s"
+            )
         );
         emit("fig11", &series);
     }
@@ -222,7 +243,13 @@ fn main() {
                 .collect();
             println!(
                 "{}",
-                render_table("Figure 14 (recall view)", "const %", &recall_view, |p| p.recall, "%")
+                render_table(
+                    "Figure 14 (recall view)",
+                    "const %",
+                    &recall_view,
+                    |p| p.recall,
+                    "%"
+                )
             );
             emit("fig14", &series);
         }

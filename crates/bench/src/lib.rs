@@ -81,9 +81,16 @@ impl Algo {
 
     /// All four algorithms in the paper's legend order.
     pub fn all() -> [Algo; 4] {
-        [Algo::Batch, Algo::IncViolations, Algo::IncWeight, Algo::IncLinear]
+        [
+            Algo::Batch,
+            Algo::IncViolations,
+            Algo::IncWeight,
+            Algo::IncLinear,
+        ]
     }
 }
+
+pub mod harness;
 
 /// Generate the standard workload for a given size and seed.
 pub fn workload(n_tuples: usize, seed: u64) -> Workload {
@@ -105,9 +112,16 @@ pub fn run_algo(algo: Algo, dirty: &cfd_model::Relation, w: &Workload) -> RunSum
                 Algo::IncViolations => Ordering::Violations,
                 _ => Ordering::Weight,
             };
-            repair_via_incremental(dirty, &w.sigma, IncConfig { ordering, ..Default::default() })
-                .expect("incremental repair succeeds")
-                .repair
+            repair_via_incremental(
+                dirty,
+                &w.sigma,
+                IncConfig {
+                    ordering,
+                    ..Default::default()
+                },
+            )
+            .expect("incremental repair succeeds")
+            .repair
         }
     };
     RunSummary::evaluate(dirty, &repair, &w.dopt, t0.elapsed())
@@ -160,7 +174,15 @@ pub fn fig8(scale: Scale, seed: u64) -> Vec<Series> {
     let mut fd_rec = Vec::new();
     for rate_pct in [2, 4, 6, 8, 10] {
         let rate = rate_pct as f64 / 100.0;
-        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate, seed, ..Default::default() });
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate,
+                seed,
+                ..Default::default()
+            },
+        );
         let s_cfd = run_algo(Algo::Batch, &noise.dirty, &w);
         cfd_prec.push(Point::from_summary(rate_pct as f64, &s_cfd));
         cfd_rec.push(Point::from_summary(rate_pct as f64, &s_cfd));
@@ -174,10 +196,22 @@ pub fn fig8(scale: Scale, seed: u64) -> Vec<Series> {
         fd_rec.push(Point::from_summary(rate_pct as f64, &s_fd));
     }
     vec![
-        Series { label: "BatchRepair (CFD/Prec)".into(), points: cfd_prec },
-        Series { label: "BatchRepair (CFD/Recall)".into(), points: cfd_rec },
-        Series { label: "BatchRepair (FD/Prec)".into(), points: fd_prec },
-        Series { label: "BatchRepair (FD/Recall)".into(), points: fd_rec },
+        Series {
+            label: "BatchRepair (CFD/Prec)".into(),
+            points: cfd_prec,
+        },
+        Series {
+            label: "BatchRepair (CFD/Recall)".into(),
+            points: cfd_rec,
+        },
+        Series {
+            label: "BatchRepair (FD/Prec)".into(),
+            points: fd_prec,
+        },
+        Series {
+            label: "BatchRepair (FD/Recall)".into(),
+            points: fd_rec,
+        },
     ]
 }
 
@@ -187,14 +221,27 @@ pub fn fig9_10_13(scale: Scale, seed: u64) -> Vec<Series> {
     let w = workload(scale.base_tuples(), seed);
     let mut series: Vec<Series> = Algo::all()
         .iter()
-        .map(|a| Series { label: a.label().to_string(), points: Vec::new() })
+        .map(|a| Series {
+            label: a.label().to_string(),
+            points: Vec::new(),
+        })
         .collect();
     for rate_pct in 1..=10 {
         let rate = rate_pct as f64 / 100.0;
-        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate, seed, ..Default::default() });
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate,
+                seed,
+                ..Default::default()
+            },
+        );
         for (i, algo) in Algo::all().iter().enumerate() {
             let s = run_algo(*algo, &noise.dirty, &w);
-            series[i].points.push(Point::from_summary(rate_pct as f64, &s));
+            series[i]
+                .points
+                .push(Point::from_summary(rate_pct as f64, &s));
         }
     }
     series
@@ -206,11 +253,22 @@ pub fn fig11(scale: Scale, seed: u64) -> Vec<Series> {
     let mut points = Vec::new();
     for n in scale.fig11_sizes() {
         let w = workload(n, seed);
-        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, seed, ..Default::default() });
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.05,
+                seed,
+                ..Default::default()
+            },
+        );
         let s = run_algo(Algo::Batch, &noise.dirty, &w);
         points.push(Point::from_summary(n as f64, &s));
     }
-    vec![Series { label: "BatchRepair".into(), points }]
+    vec![Series {
+        label: "BatchRepair".into(),
+        points,
+    }]
 }
 
 /// Figure 12 — the incremental setting: a clean base of `base_tuples`,
@@ -231,7 +289,11 @@ pub fn fig12(scale: Scale, seed: u64) -> Vec<Series> {
         let delta_noise = inject(
             &delta_workload.dopt,
             &w.world,
-            &NoiseConfig { rate: 1.0, seed, ..Default::default() },
+            &NoiseConfig {
+                rate: 1.0,
+                seed,
+                ..Default::default()
+            },
         );
         let delta: Vec<cfd_model::Tuple> =
             delta_noise.dirty.iter().map(|(_, t)| t.clone()).collect();
@@ -241,7 +303,12 @@ pub fn fig12(scale: Scale, seed: u64) -> Vec<Series> {
             .expect("incremental insert repair succeeds");
         let inc_secs = t0.elapsed().as_secs_f64();
         debug_assert!(cfd_cfd::check(&out.repair, &w.sigma));
-        inc_points.push(Point { x: n_insert as f64, precision: 0.0, recall: 0.0, seconds: inc_secs });
+        inc_points.push(Point {
+            x: n_insert as f64,
+            precision: 0.0,
+            recall: 0.0,
+            seconds: inc_secs,
+        });
         // BATCHREPAIR on D ⊕ ΔD from scratch.
         let mut full = w.dopt.clone();
         for t in &delta {
@@ -257,8 +324,14 @@ pub fn fig12(scale: Scale, seed: u64) -> Vec<Series> {
         });
     }
     vec![
-        Series { label: "IncRepair".into(), points: inc_points },
-        Series { label: "BatchRepair".into(), points: batch_points },
+        Series {
+            label: "IncRepair".into(),
+            points: inc_points,
+        },
+        Series {
+            label: "BatchRepair".into(),
+            points: batch_points,
+        },
     ]
 }
 
@@ -268,10 +341,22 @@ pub fn fig12(scale: Scale, seed: u64) -> Vec<Series> {
 pub fn fig14_15(scale: Scale, seed: u64) -> Vec<Series> {
     let w = workload(scale.base_tuples(), seed);
     let mut series = vec![
-        Series { label: "BatchRepair (Prec)".into(), points: Vec::new() },
-        Series { label: "BatchRepair (Recall)".into(), points: Vec::new() },
-        Series { label: "IncRepair (Prec)".into(), points: Vec::new() },
-        Series { label: "IncRepair (Recall)".into(), points: Vec::new() },
+        Series {
+            label: "BatchRepair (Prec)".into(),
+            points: Vec::new(),
+        },
+        Series {
+            label: "BatchRepair (Recall)".into(),
+            points: Vec::new(),
+        },
+        Series {
+            label: "IncRepair (Prec)".into(),
+            points: Vec::new(),
+        },
+        Series {
+            label: "IncRepair (Recall)".into(),
+            points: Vec::new(),
+        },
     ];
     for share_pct in [20, 30, 40, 50, 60, 70, 80] {
         let noise = inject(
@@ -286,10 +371,18 @@ pub fn fig14_15(scale: Scale, seed: u64) -> Vec<Series> {
         );
         let b = run_algo(Algo::Batch, &noise.dirty, &w);
         let v = run_algo(Algo::IncViolations, &noise.dirty, &w);
-        series[0].points.push(Point::from_summary(share_pct as f64, &b));
-        series[1].points.push(Point::from_summary(share_pct as f64, &b));
-        series[2].points.push(Point::from_summary(share_pct as f64, &v));
-        series[3].points.push(Point::from_summary(share_pct as f64, &v));
+        series[0]
+            .points
+            .push(Point::from_summary(share_pct as f64, &b));
+        series[1]
+            .points
+            .push(Point::from_summary(share_pct as f64, &b));
+        series[2]
+            .points
+            .push(Point::from_summary(share_pct as f64, &v));
+        series[3]
+            .points
+            .push(Point::from_summary(share_pct as f64, &v));
     }
     series
 }
@@ -345,8 +438,7 @@ mod tests {
 
     #[test]
     fn algo_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Algo::all().iter().map(|a| a.label()).collect();
+        let labels: std::collections::HashSet<_> = Algo::all().iter().map(|a| a.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 
@@ -354,7 +446,12 @@ mod tests {
     fn render_table_aligns_series() {
         let series = vec![Series {
             label: "X".into(),
-            points: vec![Point { x: 1.0, precision: 99.5, recall: 80.0, seconds: 0.5 }],
+            points: vec![Point {
+                x: 1.0,
+                precision: 99.5,
+                recall: 80.0,
+                seconds: 0.5,
+            }],
         }];
         let table = render_table("T", "rate", &series, |p| p.precision, "%");
         assert!(table.contains("# T"));
@@ -364,7 +461,14 @@ mod tests {
     #[test]
     fn tiny_run_algo_smoke() {
         let w = workload(300, 1);
-        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.05,
+                ..Default::default()
+            },
+        );
         let s = run_algo(Algo::Batch, &noise.dirty, &w);
         assert!(s.recall >= 0.0 && s.precision >= 0.0);
     }

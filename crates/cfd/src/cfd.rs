@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use cfd_model::{AttrId, ModelError, Schema, Tuple};
 
-use crate::pattern::{tuple_matches, PatternRow, PatternValue};
+use crate::pattern::{intern_patterns, tuple_matches, PatternId, PatternRow, PatternValue};
 
 /// A CFD in the paper's general form `(R: X → Y, Tp)`.
 #[derive(Clone, Debug)]
@@ -109,6 +109,8 @@ impl Cfd {
                     id: CfdId(u32::MAX), // patched by Sigma::normalize
                     source: self.name.clone(),
                     source_row: row_idx,
+                    lhs_pat_ids: intern_patterns(&row.lhs),
+                    rhs_pat_id: row.rhs[j].to_id(),
                     lhs: self.lhs.clone(),
                     lhs_pat: row.lhs.clone(),
                     rhs_attr: *rhs_attr,
@@ -123,7 +125,11 @@ impl Cfd {
     /// i.e. the *embedded FD* (§2). The Fig. 8 experiment repairs with
     /// embedded FDs to quantify what the patterns buy.
     pub fn embedded_fd(&self) -> Cfd {
-        Cfd::standard_fd(&format!("{}_fd", self.name), self.lhs.clone(), self.rhs.clone())
+        Cfd::standard_fd(
+            &format!("{}_fd", self.name),
+            self.lhs.clone(),
+            self.rhs.clone(),
+        )
     }
 }
 
@@ -167,8 +173,13 @@ pub struct NormalCfd {
     source_row: usize,
     lhs: Vec<AttrId>,
     lhs_pat: Vec<PatternValue>,
+    /// `tp[X]` with constants interned at rule-load time — what the hot
+    /// matching paths compare against.
+    lhs_pat_ids: Vec<PatternId>,
     rhs_attr: AttrId,
     rhs_pat: PatternValue,
+    /// `tp[A]`, interned.
+    rhs_pat_id: PatternId,
 }
 
 impl NormalCfd {
@@ -184,6 +195,8 @@ impl NormalCfd {
             id: CfdId(u32::MAX),
             source: Arc::from("<standalone>"),
             source_row: 0,
+            lhs_pat_ids: intern_patterns(&lhs_pat),
+            rhs_pat_id: rhs_pat.to_id(),
             lhs,
             lhs_pat,
             rhs_attr,
@@ -216,6 +229,11 @@ impl NormalCfd {
         &self.lhs_pat
     }
 
+    /// `tp[X]`, interned at rule-load time.
+    pub fn lhs_pattern_ids(&self) -> &[PatternId] {
+        &self.lhs_pat_ids
+    }
+
     /// `A`.
     pub fn rhs_attr(&self) -> AttrId {
         self.rhs_attr
@@ -224,6 +242,11 @@ impl NormalCfd {
     /// `tp[A]`.
     pub fn rhs_pattern(&self) -> &PatternValue {
         &self.rhs_pat
+    }
+
+    /// `tp[A]`, interned at rule-load time.
+    pub fn rhs_pattern_id(&self) -> PatternId {
+        self.rhs_pat_id
     }
 
     /// Is this a *constant CFD* (`tp[A]` a constant)? Constant CFDs can be
@@ -235,12 +258,15 @@ impl NormalCfd {
     /// Does the CFD apply to `t`, i.e. `t[X] ≼ tp[X]`?
     #[inline]
     pub fn applies_to(&self, t: &Tuple) -> bool {
-        tuple_matches(t, &self.lhs, &self.lhs_pat)
+        tuple_matches(t, &self.lhs, &self.lhs_pat_ids)
     }
 
     /// All attributes mentioned: `X ∪ {A}`.
     pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
-        self.lhs.iter().copied().chain(std::iter::once(self.rhs_attr))
+        self.lhs
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.rhs_attr))
     }
 
     /// Does this normal CFD mention attribute `a` (on either side)?
@@ -424,7 +450,12 @@ mod tests {
     fn rhs_overlap_rejected() {
         let s = schema();
         let a = s.attr("CT").unwrap();
-        let err = Cfd::new("bad", vec![a], vec![a], vec![PatternRow::all_wildcards(1, 1)]);
+        let err = Cfd::new(
+            "bad",
+            vec![a],
+            vec![a],
+            vec![PatternRow::all_wildcards(1, 1)],
+        );
         assert!(err.is_err());
     }
 
@@ -448,11 +479,27 @@ mod tests {
         assert_eq!(n.rhs_attr(), s.attr("CT").unwrap());
         assert!(n.is_constant());
         let t3 = Tuple::from_iter([
-            "a12", "J. Denver", "7.94", "212", "3345677", "Canel", "PHI", "PA", "10012",
+            "a12",
+            "J. Denver",
+            "7.94",
+            "212",
+            "3345677",
+            "Canel",
+            "PHI",
+            "PA",
+            "10012",
         ]);
         assert!(n.applies_to(&t3));
         let t1 = Tuple::from_iter([
-            "a23", "H. Porter", "17.99", "215", "8983490", "Walnut", "PHI", "PA", "19014",
+            "a23",
+            "H. Porter",
+            "17.99",
+            "215",
+            "8983490",
+            "Walnut",
+            "PHI",
+            "PA",
+            "19014",
         ]);
         assert!(!n.applies_to(&t1));
     }

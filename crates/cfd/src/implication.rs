@@ -225,7 +225,10 @@ pub fn redundant_in(sigma: &Sigma, phi: &NormalCfd) -> bool {
         .collect();
     // Rebuild a Σ without φ. Sources are irrelevant for implication.
     let schema = sigma.schema().clone();
-    let reduced = SigmaView { normal: others, schema };
+    let reduced = SigmaView {
+        normal: others,
+        schema,
+    };
     implies_view(&reduced, phi)
 }
 
@@ -259,11 +262,8 @@ fn implies_view(view: &SigmaView, phi: &NormalCfd) -> bool {
         arity,
     };
     // Reuse the pair search with a throwaway Sigma assembled from the view.
-    let sigma = crate::cfd::Sigma::normalize(
-        view.schema.clone(),
-        group_into_cfds(&view.normal),
-    )
-    .expect("view CFDs were valid in the source Sigma");
+    let sigma = crate::cfd::Sigma::normalize(view.schema.clone(), group_into_cfds(&view.normal))
+        .expect("view CFDs were valid in the source Sigma");
     let two = phi.rhs_pattern().is_wildcard();
     let slots = if two { 2 * ctx.arity } else { ctx.arity };
     let mut assign: Assign = vec![None; slots];
@@ -301,11 +301,7 @@ mod tests {
         Schema::new("r", &["A", "B", "C"]).unwrap()
     }
 
-    fn norm(
-        s: &Schema,
-        lhs: &[(&str, PatternValue)],
-        rhs: (&str, PatternValue),
-    ) -> NormalCfd {
+    fn norm(s: &Schema, lhs: &[(&str, PatternValue)], rhs: (&str, PatternValue)) -> NormalCfd {
         NormalCfd::standalone(
             lhs.iter().map(|(n, _)| s.attr(n).unwrap()).collect(),
             lhs.iter().map(|(_, p)| p.clone()).collect(),
@@ -325,7 +321,11 @@ mod tests {
         let ab = Cfd::standard_fd("ab", vec![s.attr("A").unwrap()], vec![s.attr("B").unwrap()]);
         let bc = Cfd::standard_fd("bc", vec![s.attr("B").unwrap()], vec![s.attr("C").unwrap()]);
         let sigma = sigma_of(&s, vec![ab, bc]);
-        let ac = norm(&s, &[("A", PatternValue::Wildcard)], ("C", PatternValue::Wildcard));
+        let ac = norm(
+            &s,
+            &[("A", PatternValue::Wildcard)],
+            ("C", PatternValue::Wildcard),
+        );
         assert!(implies(&sigma, &ac));
     }
 
@@ -334,7 +334,11 @@ mod tests {
         let s = schema3();
         let ab = Cfd::standard_fd("ab", vec![s.attr("A").unwrap()], vec![s.attr("B").unwrap()]);
         let sigma = sigma_of(&s, vec![ab]);
-        let ba = norm(&s, &[("B", PatternValue::Wildcard)], ("A", PatternValue::Wildcard));
+        let ba = norm(
+            &s,
+            &[("B", PatternValue::Wildcard)],
+            ("A", PatternValue::Wildcard),
+        );
         assert!(!implies(&sigma, &ba));
     }
 
@@ -407,7 +411,11 @@ mod tests {
         )
         .unwrap();
         let sigma = sigma_of(&s, vec![c1]);
-        let fd = norm(&s, &[("A", PatternValue::Wildcard)], ("B", PatternValue::Wildcard));
+        let fd = norm(
+            &s,
+            &[("A", PatternValue::Wildcard)],
+            ("B", PatternValue::Wildcard),
+        );
         assert!(!implies(&sigma, &fd));
     }
 
@@ -460,7 +468,11 @@ mod tests {
     fn empty_sigma_implies_nothing_but_tautologies() {
         let s = schema3();
         let sigma = sigma_of(&s, vec![]);
-        let fd = norm(&s, &[("A", PatternValue::Wildcard)], ("B", PatternValue::Wildcard));
+        let fd = norm(
+            &s,
+            &[("A", PatternValue::Wildcard)],
+            ("B", PatternValue::Wildcard),
+        );
         assert!(!implies(&sigma, &fd));
         // A → A-with-its-own-constant is still falsifiable; but a CFD whose
         // LHS pattern can never be matched… needs an unsatisfiable pattern,

@@ -157,7 +157,11 @@ mod tests {
         let mut db = db();
         db.relation_mut("order")
             .unwrap()
-            .insert(Tuple::new(vec![Value::str("o3"), Value::Null, Value::int(1)]))
+            .insert(Tuple::new(vec![
+                Value::str("o3"),
+                Value::Null,
+                Value::int(1),
+            ]))
             .unwrap();
         let fk = ind(&db);
         assert!(fk.check(&db).unwrap());
@@ -197,7 +201,15 @@ mod tests {
         let c = db.create(Schema::new("addr", &["street", "ct", "st"]).unwrap());
         c.insert(Tuple::from_iter(["Walnut", "PHI", "PA"])).unwrap();
         c.insert(Tuple::from_iter(["Canel", "PHI", "NY"])).unwrap(); // wrong state
-        let fk = Ind::new(&db, "fk_city", "addr", &["ct", "st"], "city", &["name", "state"]).unwrap();
+        let fk = Ind::new(
+            &db,
+            "fk_city",
+            "addr",
+            &["ct", "st"],
+            "city",
+            &["name", "state"],
+        )
+        .unwrap();
         assert_eq!(fk.violations(&db).unwrap().len(), 1);
     }
 }

@@ -43,7 +43,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "rule parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "rule parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -359,7 +363,10 @@ impl<'a> Parser<'a> {
 /// Parse a rule file into CFDs over `schema`.
 pub fn parse_rules(schema: &Schema, input: &str) -> Result<Vec<Cfd>, ParseError> {
     let toks = tokenize(input)?;
-    let mut p = Parser { toks: &toks, pos: 0 };
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+    };
     let mut out = Vec::new();
     while p.peek().is_some() {
         out.push(p.rule(schema)?);
@@ -375,7 +382,9 @@ pub fn render_cfd(schema: &Schema, cfd: &Cfd) -> String {
             PatternValue::Wildcard => out.push('_'),
             PatternValue::Const(v) => {
                 let s = v.render();
-                if s.is_empty() || s.contains(|c: char| c.is_whitespace() || "[](){},;|:'".contains(c)) {
+                if s.is_empty()
+                    || s.contains(|c: char| c.is_whitespace() || "[](){},;|:'".contains(c))
+                {
                     let _ = write!(out, "'{s}'");
                 } else {
                     out.push_str(&s);
@@ -473,7 +482,8 @@ phi1: [AC, PN] -> [STR, CT, ST] {
     #[test]
     fn multiple_rules_parse() {
         let s = schema();
-        let input = format!("{PHI1}\nphi2: [zip] -> [CT, ST] {{ (10012 || NYC, NY); (19014 || PHI, PA) }}");
+        let input =
+            format!("{PHI1}\nphi2: [zip] -> [CT, ST] {{ (10012 || NYC, NY); (19014 || PHI, PA) }}");
         let cfds = parse_rules(&s, &input).unwrap();
         assert_eq!(cfds.len(), 2);
         assert_eq!(cfds[1].tableau().len(), 2);

@@ -5,10 +5,19 @@
 //! a pattern tuple when every attribute matches; per §3.1 a tuple containing
 //! `null` among the compared attributes never matches (CFDs only apply to
 //! tuples that precisely match a pattern, and patterns never contain null).
+//!
+//! Two representations exist side by side:
+//!
+//! * [`PatternValue`] carries the constant as a [`Value`] — the parse-time
+//!   and analysis form (display, implication, satisfiability).
+//! * [`PatternId`] carries the constant as an interned [`ValueId`] — the
+//!   match-time form. Constants are interned once when a CFD is loaded
+//!   into a [`Sigma`](crate::Sigma) (or a [`NormalCfd`](crate::NormalCfd)
+//!   is built), so the hot detection loop compares plain `u32`s.
 
 use std::fmt;
 
-use cfd_model::{AttrId, Tuple, Value};
+use cfd_model::{AttrId, Tuple, Value, ValueId};
 
 /// One cell of a pattern tuple: a constant or the unnamed variable `_`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -17,6 +26,15 @@ pub enum PatternValue {
     Wildcard,
     /// A constant `a ∈ dom(A)`.
     Const(Value),
+}
+
+/// The interned form of a pattern cell — `Copy`, compared as integers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PatternId {
+    /// The unnamed variable `_`.
+    Wildcard,
+    /// An interned constant.
+    Const(ValueId),
 }
 
 impl PatternValue {
@@ -38,8 +56,17 @@ impl PatternValue {
         }
     }
 
+    /// Intern the constant (if any), producing the match-time form.
+    pub fn to_id(&self) -> PatternId {
+        match self {
+            PatternValue::Wildcard => PatternId::Wildcard,
+            PatternValue::Const(v) => PatternId::Const(ValueId::of(v)),
+        }
+    }
+
     /// Data-to-pattern matching `v ≼ self`. `null` matches nothing, not even
-    /// `_` (§3.1 Remark 2).
+    /// `_` (§3.1 Remark 2). Value-level form; hot paths use
+    /// [`PatternId::matches_id`].
     #[inline]
     pub fn matches(&self, v: &Value) -> bool {
         match self {
@@ -69,6 +96,41 @@ impl PatternValue {
             (PatternValue::Const(a), PatternValue::Const(b)) => a == b,
             (PatternValue::Wildcard, PatternValue::Const(_)) => false,
         }
+    }
+}
+
+impl PatternId {
+    /// Is this the unnamed variable?
+    #[inline]
+    pub fn is_wildcard(self) -> bool {
+        matches!(self, PatternId::Wildcard)
+    }
+
+    /// The interned constant, if any.
+    #[inline]
+    pub fn as_const_id(self) -> Option<ValueId> {
+        match self {
+            PatternId::Wildcard => None,
+            PatternId::Const(id) => Some(id),
+        }
+    }
+
+    /// Data-to-pattern matching `v ≼ self` on ids: a wildcard matches any
+    /// non-null id, a constant matches exactly its own id (null can never
+    /// equal a pattern constant — patterns never contain null).
+    #[inline]
+    pub fn matches_id(self, v: ValueId) -> bool {
+        match self {
+            PatternId::Wildcard => !v.is_null(),
+            PatternId::Const(c) => v == c,
+        }
+    }
+
+    /// RHS satisfaction on ids: `null` satisfies any pattern (it is
+    /// "uncertain", not wrong), mirroring [`PatternValue::satisfied_by`].
+    #[inline]
+    pub fn satisfied_by_id(self, v: ValueId) -> bool {
+        v.is_null() || self.matches_id(v)
     }
 }
 
@@ -109,18 +171,34 @@ impl PatternRow {
 }
 
 /// Does `t[attrs] ≼ pats` hold? (`null` anywhere among `t[attrs]` ⇒ no.)
-pub fn tuple_matches(t: &Tuple, attrs: &[AttrId], pats: &[PatternValue]) -> bool {
+/// Interned form: a run of integer comparisons.
+#[inline]
+pub fn tuple_matches(t: &Tuple, attrs: &[AttrId], pats: &[PatternId]) -> bool {
     debug_assert_eq!(attrs.len(), pats.len());
     attrs
         .iter()
         .zip(pats.iter())
-        .all(|(a, p)| p.matches(t.value(*a)))
+        .all(|(a, p)| p.matches_id(t.id(*a)))
 }
 
-/// Does a *projection* (already extracted values) match the patterns?
+/// Does a *projection* (already extracted ids, e.g. an index group key)
+/// match the patterns?
+#[inline]
+pub fn ids_match(ids: &[ValueId], pats: &[PatternId]) -> bool {
+    debug_assert_eq!(ids.len(), pats.len());
+    ids.iter().zip(pats.iter()).all(|(v, p)| p.matches_id(*v))
+}
+
+/// Does a projection of *values* match the patterns? Value-level
+/// convenience for tests and cold paths.
 pub fn values_match(vals: &[Value], pats: &[PatternValue]) -> bool {
     debug_assert_eq!(vals.len(), pats.len());
     vals.iter().zip(pats.iter()).all(|(v, p)| p.matches(v))
+}
+
+/// Intern a pattern slice.
+pub fn intern_patterns(pats: &[PatternValue]) -> Vec<PatternId> {
+    pats.iter().map(PatternValue::to_id).collect()
 }
 
 #[cfg(test)]
@@ -142,6 +220,29 @@ mod tests {
         assert!(!p.matches(&Value::str("215")));
         assert!(!p.matches(&Value::Null));
         assert!(!p.matches(&Value::int(212))); // typed values stay distinct
+    }
+
+    #[test]
+    fn id_form_agrees_with_value_form() {
+        let pats = [
+            PatternValue::Wildcard,
+            PatternValue::constant("212"),
+            PatternValue::Const(Value::int(212)),
+        ];
+        let vals = [
+            Value::Null,
+            Value::str("212"),
+            Value::int(212),
+            Value::str("NYC"),
+        ];
+        for p in &pats {
+            let pid = p.to_id();
+            for v in &vals {
+                let id = ValueId::of(v);
+                assert_eq!(pid.matches_id(id), p.matches(v), "{p} vs {v}");
+                assert_eq!(pid.satisfied_by_id(id), p.satisfied_by(v), "{p} vs {v}");
+            }
+        }
     }
 
     #[test]
@@ -170,16 +271,16 @@ mod tests {
         // (Walnut, NYC, NY) ≼ (_, NYC, NY) but not ≼ (_, PHI, _)
         let t = Tuple::from_iter(["Walnut", "NYC", "NY"]);
         let attrs = [AttrId(0), AttrId(1), AttrId(2)];
-        let p1 = [
+        let p1 = intern_patterns(&[
             PatternValue::Wildcard,
             PatternValue::constant("NYC"),
             PatternValue::constant("NY"),
-        ];
-        let p2 = [
+        ]);
+        let p2 = intern_patterns(&[
             PatternValue::Wildcard,
             PatternValue::constant("PHI"),
             PatternValue::Wildcard,
-        ];
+        ]);
         assert!(tuple_matches(&t, &attrs, &p1));
         assert!(!tuple_matches(&t, &attrs, &p2));
     }
@@ -188,8 +289,23 @@ mod tests {
     fn null_in_tuple_blocks_match() {
         let t = Tuple::new(vec![Value::Null, Value::str("NYC")]);
         let attrs = [AttrId(0), AttrId(1)];
-        let pats = [PatternValue::Wildcard, PatternValue::constant("NYC")];
+        let pats = intern_patterns(&[PatternValue::Wildcard, PatternValue::constant("NYC")]);
         assert!(!tuple_matches(&t, &attrs, &pats));
+    }
+
+    #[test]
+    fn ids_match_on_projections() {
+        let ids = [
+            ValueId::of(&Value::str("212")),
+            ValueId::of(&Value::str("5551234")),
+        ];
+        let pats = intern_patterns(&[PatternValue::constant("212"), PatternValue::Wildcard]);
+        assert!(ids_match(&ids, &pats));
+        let other = [
+            ValueId::of(&Value::str("610")),
+            ValueId::of(&Value::str("5551234")),
+        ];
+        assert!(!ids_match(&other, &pats));
     }
 
     #[test]

@@ -149,12 +149,7 @@ pub fn satisfiable(sigma: &Sigma) -> Satisfiability {
     // constant CFDs on their RHS fail earlier, pruning the search.
     let mut attrs: Vec<AttrId> = schema.attr_ids().collect();
     attrs.sort_by_key(|a| {
-        std::cmp::Reverse(
-            constant_cfds
-                .iter()
-                .filter(|n| n.rhs_attr() == *a)
-                .count(),
-        )
+        std::cmp::Reverse(constant_cfds.iter().filter(|n| n.rhs_attr() == *a).count())
     });
     let mut assign: Vec<Option<Sym>> = vec![None; schema.arity()];
     if search(&attrs, 0, &doms, &constant_cfds, &mut assign) {
@@ -200,8 +195,18 @@ mod tests {
         let sigma = Sigma::normalize(
             s.clone(),
             vec![
-                cfd("c1", &s, PatternValue::Wildcard, PatternValue::constant("b1")),
-                cfd("c2", &s, PatternValue::Wildcard, PatternValue::constant("b2")),
+                cfd(
+                    "c1",
+                    &s,
+                    PatternValue::Wildcard,
+                    PatternValue::constant("b1"),
+                ),
+                cfd(
+                    "c2",
+                    &s,
+                    PatternValue::Wildcard,
+                    PatternValue::constant("b2"),
+                ),
             ],
         )
         .unwrap();
@@ -215,8 +220,18 @@ mod tests {
         let sigma = Sigma::normalize(
             s.clone(),
             vec![
-                cfd("c1", &s, PatternValue::constant("a1"), PatternValue::constant("b1")),
-                cfd("c2", &s, PatternValue::constant("a2"), PatternValue::constant("b2")),
+                cfd(
+                    "c1",
+                    &s,
+                    PatternValue::constant("a1"),
+                    PatternValue::constant("b1"),
+                ),
+                cfd(
+                    "c2",
+                    &s,
+                    PatternValue::constant("a2"),
+                    PatternValue::constant("b2"),
+                ),
             ],
         )
         .unwrap();
@@ -230,8 +245,18 @@ mod tests {
         let sigma = Sigma::normalize(
             s.clone(),
             vec![
-                cfd("c1", &s, PatternValue::constant("a1"), PatternValue::constant("b1")),
-                cfd("c2", &s, PatternValue::Wildcard, PatternValue::constant("b1")),
+                cfd(
+                    "c1",
+                    &s,
+                    PatternValue::constant("a1"),
+                    PatternValue::constant("b1"),
+                ),
+                cfd(
+                    "c2",
+                    &s,
+                    PatternValue::Wildcard,
+                    PatternValue::constant("b1"),
+                ),
             ],
         )
         .unwrap();
@@ -313,11 +338,7 @@ mod tests {
     #[test]
     fn variable_cfds_never_block_satisfiability() {
         let s = schema2();
-        let fd = Cfd::standard_fd(
-            "fd",
-            vec![s.attr("A").unwrap()],
-            vec![s.attr("B").unwrap()],
-        );
+        let fd = Cfd::standard_fd("fd", vec![s.attr("A").unwrap()], vec![s.attr("B").unwrap()]);
         let sigma = Sigma::normalize(s, vec![fd]).unwrap();
         assert!(satisfiable(&sigma).is_satisfiable());
     }

@@ -20,10 +20,10 @@
 use std::collections::{BTreeMap, HashMap};
 
 use cfd_model::index::HashIndex;
-use cfd_model::{AttrId, Relation, Tuple, TupleId, Value};
+use cfd_model::{AttrId, IdKey, Relation, Tuple, TupleId, ValueId};
 
 use crate::cfd::{CfdId, NormalCfd, Sigma};
-use crate::pattern::{values_match, PatternValue};
+use crate::pattern::{ids_match, PatternId};
 
 /// Violations of one relation against one Σ.
 #[derive(Clone, Debug, Default)]
@@ -132,19 +132,20 @@ struct ConstGroup {
     lhs: Vec<AttrId>,
     /// LHS attributes at constant pattern positions (the hash key).
     const_attrs: Vec<AttrId>,
-    /// key = projection onto `const_attrs` → the rules with that key.
-    map: HashMap<Vec<Value>, Vec<ConstRule>>,
+    /// key = interned projection onto `const_attrs` → the rules with that
+    /// key. Probed with a stack-built id slice; no allocation per tuple.
+    map: HashMap<IdKey, Vec<ConstRule>>,
 }
 
-/// One constant rule: `CfdId` plus its RHS obligation.
+/// One constant rule: `CfdId` plus its RHS obligation (interned).
 #[derive(Clone, Debug)]
 pub struct ConstRule {
     /// The normal CFD this rule came from.
     pub id: CfdId,
     /// The RHS attribute.
     pub rhs_attr: AttrId,
-    /// The RHS constant pattern.
-    pub rhs: PatternValue,
+    /// The RHS constant pattern, interned at rule-load time.
+    pub rhs: PatternId,
 }
 
 impl ConstantRules {
@@ -172,15 +173,15 @@ impl ConstantRules {
                     });
                     groups.len() - 1
                 });
-            let key: Vec<Value> = n
-                .lhs_pattern()
+            let key: IdKey = n
+                .lhs_pattern_ids()
                 .iter()
-                .filter_map(|p| p.as_const().cloned())
+                .filter_map(|p| p.as_const_id())
                 .collect();
             groups[gi].map.entry(key).or_default().push(ConstRule {
                 id: n.id(),
                 rhs_attr: n.rhs_attr(),
-                rhs: n.rhs_pattern().clone(),
+                rhs: n.rhs_pattern_id(),
             });
         }
         ConstantRules { groups }
@@ -192,11 +193,11 @@ impl ConstantRules {
     pub fn for_each_fired(&self, t: &Tuple, mut f: impl FnMut(&[AttrId], &ConstRule)) {
         'group: for g in &self.groups {
             for a in &g.lhs {
-                if t.value(*a).is_null() {
+                if t.id(*a).is_null() {
                     continue 'group; // null never matches, not even `_`
                 }
             }
-            let key: Vec<Value> = g.const_attrs.iter().map(|a| t.value(*a).clone()).collect();
+            let key = t.project_key(&g.const_attrs);
             if let Some(rules) = g.map.get(&key) {
                 for r in rules {
                     f(&g.lhs, r);
@@ -210,7 +211,7 @@ impl ConstantRules {
     pub fn violations_of(&self, t: &Tuple, mut out: Option<&mut Vec<CfdId>>) -> usize {
         let mut count = 0;
         self.for_each_fired(t, |_, r| {
-            if !r.rhs.satisfied_by(t.value(r.rhs_attr)) {
+            if !r.rhs.satisfied_by_id(t.id(r.rhs_attr)) {
                 count += 1;
                 if let Some(ids) = out.as_deref_mut() {
                     ids.push(r.id);
@@ -229,11 +230,14 @@ fn variable_group_conflicts(
     rel: &Relation,
     group: &[TupleId],
 ) -> Vec<(TupleId, usize)> {
-    // Tally non-null RHS values in the group.
-    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    // Tally non-null RHS ids in the group — a u32-keyed histogram.
+    let mut counts: HashMap<ValueId, usize> = HashMap::new();
     let mut non_null_total = 0usize;
     for id in group {
-        let v = rel.tuple(*id).expect("index holds live ids").value(n.rhs_attr());
+        let v = rel
+            .tuple(*id)
+            .expect("index holds live ids")
+            .id(n.rhs_attr());
         if !v.is_null() {
             *counts.entry(v).or_insert(0) += 1;
             non_null_total += 1;
@@ -244,7 +248,7 @@ fn variable_group_conflicts(
     }
     let mut out = Vec::new();
     for id in group {
-        let v = rel.tuple(*id).expect("live").value(n.rhs_attr());
+        let v = rel.tuple(*id).expect("live").id(n.rhs_attr());
         if v.is_null() {
             continue; // null equals everything: no conflict for this tuple
         }
@@ -347,7 +351,7 @@ impl<'a> Engine<'a> {
             if !n.applies_to(t) {
                 continue;
             }
-            let v = t.value(n.rhs_attr());
+            let v = t.id(n.rhs_attr());
             if v.is_null() {
                 continue;
             }
@@ -356,13 +360,80 @@ impl<'a> Engine<'a> {
                 if exclude == Some(*other) {
                     continue;
                 }
-                let ov = rel.tuple(*other).expect("live").value(n.rhs_attr());
+                let ov = rel.tuple(*other).expect("live").id(n.rhs_attr());
                 if !ov.is_null() && ov != v {
                     vio += 1;
                 }
             }
         }
         vio
+    }
+}
+
+/// Relation size below which a parallel constant scan is not worth the
+/// thread spawn overhead.
+#[cfg(feature = "parallel")]
+const PARALLEL_SCAN_THRESHOLD: usize = 8_192;
+
+/// The constant-rule pass of full detection: for every live tuple, count
+/// the fired-but-unsatisfied constant rules into `report`.
+fn constant_scan(rel: &Relation, engine: &Engine<'_>, report: &mut ViolationReport) {
+    #[cfg(feature = "parallel")]
+    if rel.len() >= PARALLEL_SCAN_THRESHOLD {
+        constant_scan_parallel(rel, engine, report);
+        return;
+    }
+    for (id, t) in rel.iter() {
+        engine.rules.for_each_fired(t, |_, r| {
+            if !r.rhs.satisfied_by_id(t.id(r.rhs_attr)) {
+                *report.per_tuple.entry(id).or_insert(0) += 1;
+                report.per_cfd[r.id.index()].push(id);
+                report.total += 1;
+            }
+        });
+    }
+}
+
+/// Sharded constant scan over `std::thread::scope`: workers produce
+/// per-shard hit lists (cheap `Copy` ids only) that are merged in tuple-id
+/// order, so the result is identical to the serial scan.
+#[cfg(feature = "parallel")]
+fn constant_scan_parallel(rel: &Relation, engine: &Engine<'_>, report: &mut ViolationReport) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let ids: Vec<TupleId> = rel.ids().collect();
+    let chunk = ids.len().div_ceil(workers);
+    let shards: Vec<Vec<(TupleId, CfdId)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ids
+            .chunks(chunk.max(1))
+            .map(|part| {
+                s.spawn(move || {
+                    let mut hits = Vec::new();
+                    for id in part {
+                        let t = rel.tuple(*id).expect("listed id is live");
+                        engine.rules.for_each_fired(t, |_, r| {
+                            if !r.rhs.satisfied_by_id(t.id(r.rhs_attr)) {
+                                hits.push((*id, r.id));
+                            }
+                        });
+                    }
+                    hits
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan shard panicked"))
+            .collect()
+    });
+    for hits in shards {
+        for (id, cfd) in hits {
+            *report.per_tuple.entry(id).or_insert(0) += 1;
+            report.per_cfd[cfd.index()].push(id);
+            report.total += 1;
+        }
     }
 }
 
@@ -373,21 +444,14 @@ pub fn detect_with_engine(rel: &Relation, sigma: &Sigma, engine: &Engine<'_>) ->
         per_cfd: vec![Vec::new(); sigma.len()],
         ..Default::default()
     };
-    // Constant rules: one indexed pass over the tuples.
-    for (id, t) in rel.iter() {
-        engine.rules.for_each_fired(t, |_, r| {
-            if !r.rhs.satisfied_by(t.value(r.rhs_attr)) {
-                *report.per_tuple.entry(id).or_insert(0) += 1;
-                report.per_cfd[r.id.index()].push(id);
-                report.total += 1;
-            }
-        });
-    }
+    // Constant rules: one indexed pass over the tuples (sharded across
+    // threads under the `parallel` feature — each worker only reads ids).
+    constant_scan(rel, engine, &mut report);
     // Variable CFDs: group analysis.
     for n in engine.variable_cfds() {
         let idx = engine.indexes.for_lhs(n.lhs());
         for (key, group) in idx.groups() {
-            if group.len() < 2 || !values_match(key, n.lhs_pattern()) {
+            if group.len() < 2 || !ids_match(key.as_slice(), n.lhs_pattern_ids()) {
                 continue;
             }
             for (id, partners) in variable_group_conflicts(n, rel, group) {
@@ -433,7 +497,7 @@ pub fn check(rel: &Relation, sigma: &Sigma) -> bool {
     for (_, t) in rel.iter() {
         let mut bad = false;
         engine.rules.for_each_fired(t, |_, r| {
-            bad |= !r.rhs.satisfied_by(t.value(r.rhs_attr));
+            bad |= !r.rhs.satisfied_by_id(t.id(r.rhs_attr));
         });
         if bad {
             return false;
@@ -442,12 +506,12 @@ pub fn check(rel: &Relation, sigma: &Sigma) -> bool {
     for n in engine.variable_cfds() {
         let idx = engine.indexes.for_lhs(n.lhs());
         for (key, group) in idx.groups() {
-            if group.len() < 2 || !values_match(key, n.lhs_pattern()) {
+            if group.len() < 2 || !ids_match(key.as_slice(), n.lhs_pattern_ids()) {
                 continue;
             }
-            let mut seen: Option<&Value> = None;
+            let mut seen: Option<ValueId> = None;
             for id in group {
-                let v = rel.tuple(*id).expect("live").value(n.rhs_attr());
+                let v = rel.tuple(*id).expect("live").id(n.rhs_attr());
                 if v.is_null() {
                     continue;
                 }
@@ -474,11 +538,11 @@ pub fn vio_of_tuple(rel: &Relation, sigma: &Sigma, indexes: &GroupIndexes, id: T
             continue;
         }
         if n.is_constant() {
-            if !n.rhs_pattern().satisfied_by(t.value(n.rhs_attr())) {
+            if !n.rhs_pattern_id().satisfied_by_id(t.id(n.rhs_attr())) {
                 vio += 1;
             }
         } else {
-            let v = t.value(n.rhs_attr());
+            let v = t.id(n.rhs_attr());
             if v.is_null() {
                 continue;
             }
@@ -487,7 +551,7 @@ pub fn vio_of_tuple(rel: &Relation, sigma: &Sigma, indexes: &GroupIndexes, id: T
                 if *other == id {
                     continue;
                 }
-                let ov = rel.tuple(*other).expect("live").value(n.rhs_attr());
+                let ov = rel.tuple(*other).expect("live").id(n.rhs_attr());
                 if !ov.is_null() && ov != v {
                     vio += 1;
                 }
@@ -507,17 +571,17 @@ pub fn vio_of_candidate(rel: &Relation, sigma: &Sigma, indexes: &GroupIndexes, t
             continue;
         }
         if n.is_constant() {
-            if !n.rhs_pattern().satisfied_by(t.value(n.rhs_attr())) {
+            if !n.rhs_pattern_id().satisfied_by_id(t.id(n.rhs_attr())) {
                 vio += 1;
             }
         } else {
-            let v = t.value(n.rhs_attr());
+            let v = t.id(n.rhs_attr());
             if v.is_null() {
                 continue;
             }
             let group = indexes.for_lhs(n.lhs()).group_of(t);
             for other in group {
-                let ov = rel.tuple(*other).expect("live").value(n.rhs_attr());
+                let ov = rel.tuple(*other).expect("live").id(n.rhs_attr());
                 if !ov.is_null() && ov != v {
                     vio += 1;
                 }
@@ -532,7 +596,7 @@ mod tests {
     use super::*;
     use crate::cfd::Cfd;
     use crate::pattern::{PatternRow, PatternValue};
-    use cfd_model::Schema;
+    use cfd_model::{Schema, Value};
 
     /// The paper's Fig. 1 running example: schema, data, ϕ1 and ϕ2.
     fn fig1() -> (Relation, Sigma) {
@@ -543,10 +607,50 @@ mod tests {
         .unwrap();
         let mut rel = Relation::new(schema.clone());
         for row in [
-            ["a23", "H. Porter", "17.99", "215", "8983490", "Walnut", "PHI", "PA", "19014"],
-            ["a23", "H. Porter", "17.99", "610", "3456789", "Spruce", "PHI", "PA", "19014"],
-            ["a12", "J. Denver", "7.94", "212", "3345677", "Canel", "PHI", "PA", "10012"],
-            ["a89", "Snow White", "18.99", "212", "5674322", "Broad", "PHI", "PA", "10012"],
+            [
+                "a23",
+                "H. Porter",
+                "17.99",
+                "215",
+                "8983490",
+                "Walnut",
+                "PHI",
+                "PA",
+                "19014",
+            ],
+            [
+                "a23",
+                "H. Porter",
+                "17.99",
+                "610",
+                "3456789",
+                "Spruce",
+                "PHI",
+                "PA",
+                "19014",
+            ],
+            [
+                "a12",
+                "J. Denver",
+                "7.94",
+                "212",
+                "3345677",
+                "Canel",
+                "PHI",
+                "PA",
+                "10012",
+            ],
+            [
+                "a89",
+                "Snow White",
+                "18.99",
+                "212",
+                "5674322",
+                "Broad",
+                "PHI",
+                "PA",
+                "10012",
+            ],
         ] {
             rel.insert(Tuple::from_iter(row)).unwrap();
         }
@@ -648,7 +752,15 @@ mod tests {
         // 215-row... wait, the 215 row has constant CT/ST; STR stays a
         // wildcard so the STR disagreement is the variable part.
         let t5 = Tuple::from_iter([
-            "a77", "B. Ookworm", "3.50", "215", "8983490", "Elm", "NYC", "NY", "10012",
+            "a77",
+            "B. Ookworm",
+            "3.50",
+            "215",
+            "8983490",
+            "Elm",
+            "NYC",
+            "NY",
+            "10012",
         ]);
         let id5 = rel.insert(t5).unwrap();
         let report = detect(&rel, &sigma);

@@ -1,9 +1,9 @@
-//! Property-based tests for the two static analyses: satisfiability
+//! Randomized property tests for the two static analyses: satisfiability
 //! (checked against a brute-force model search over a small domain) and
 //! implication (checked against its definition — every satisfying
-//! relation of Σ also satisfies φ).
+//! relation of Σ also satisfies φ). Seeded trials via `cfd_prng`.
 
-use proptest::prelude::*;
+use cfd_prng::{trials, ChaCha8Rng, Rng};
 
 use cfd_cfd::implication::implies;
 use cfd_cfd::pattern::{PatternRow, PatternValue};
@@ -20,30 +20,36 @@ fn schema() -> Schema {
     Schema::new("r", &["a", "b", "c"]).unwrap()
 }
 
-fn pattern_strategy() -> impl Strategy<Value = PatternValue> {
-    prop_oneof![
-        1 => Just(PatternValue::Wildcard),
-        2 => (0..DOM as u32).prop_map(|i| PatternValue::constant(format!("v{i}"))),
-    ]
+fn rand_pattern(rng: &mut ChaCha8Rng) -> PatternValue {
+    if rng.gen_range(0..3u32) == 0 {
+        PatternValue::Wildcard
+    } else {
+        PatternValue::constant(format!("v{}", rng.gen_range(0..DOM as u32)))
+    }
 }
 
 /// Single-attribute-LHS constant-or-variable CFDs over the fixed schema.
-fn cfd_strategy() -> impl Strategy<Value = Cfd> {
-    (0..ARITY, 0..ARITY, pattern_strategy(), pattern_strategy()).prop_map(|(l, r, lp, rp)| {
-        let rhs_attr = if l == r { (r + 1) % ARITY } else { r };
-        Cfd::new(
-            "q",
-            vec![AttrId(l as u16)],
-            vec![AttrId(rhs_attr as u16)],
-            vec![PatternRow::new(vec![lp], vec![rp])],
-        )
-        .expect("well-formed")
-    })
+fn rand_cfd(rng: &mut ChaCha8Rng) -> Cfd {
+    let l = rng.gen_range(0..ARITY);
+    let r = rng.gen_range(0..ARITY);
+    let rhs_attr = if l == r { (r + 1) % ARITY } else { r };
+    Cfd::new(
+        "q",
+        vec![AttrId(l as u16)],
+        vec![AttrId(rhs_attr as u16)],
+        vec![PatternRow::new(
+            vec![rand_pattern(rng)],
+            vec![rand_pattern(rng)],
+        )],
+    )
+    .expect("well-formed")
 }
 
-fn sigma_strategy() -> impl Strategy<Value = Sigma> {
-    proptest::collection::vec(cfd_strategy(), 1..6)
-        .prop_map(|cfds| Sigma::normalize(schema(), cfds).expect("normalizes"))
+fn rand_sigma(rng: &mut ChaCha8Rng) -> Sigma {
+    let cfds: Vec<Cfd> = (0..rng.gen_range(1..6usize))
+        .map(|_| rand_cfd(rng))
+        .collect();
+    Sigma::normalize(schema(), cfds).expect("normalizes")
 }
 
 /// Brute force: does any single tuple over the closed domain (plus one
@@ -106,79 +112,106 @@ fn two_tuple_relations() -> impl Iterator<Item = Relation> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The satisfiability analysis agrees with brute-force model search
-    /// over single tuples.
-    #[test]
-    fn satisfiability_matches_brute_force(sigma in sigma_strategy()) {
+/// The satisfiability analysis agrees with brute-force model search over
+/// single tuples.
+#[test]
+fn satisfiability_matches_brute_force() {
+    trials(48, 0x5A715, |rng| {
+        let sigma = rand_sigma(rng);
         let analysed = satisfiable(&sigma).is_satisfiable();
         let brute = brute_force_satisfiable(&sigma);
-        prop_assert_eq!(analysed, brute);
-    }
+        assert_eq!(analysed, brute);
+    });
+}
 
-    /// When satisfiable, the analysis's witness tuple really satisfies Σ.
-    #[test]
-    fn satisfiability_witness_is_genuine(sigma in sigma_strategy()) {
+/// When satisfiable, the analysis's witness tuple really satisfies Σ.
+#[test]
+fn satisfiability_witness_is_genuine() {
+    trials(48, 0x317E55, |rng| {
+        let sigma = rand_sigma(rng);
         if let cfd_cfd::satisfiability::Satisfiability::Satisfiable(w) = satisfiable(&sigma) {
             let mut rel = Relation::new(schema());
             rel.insert(w).unwrap();
-            prop_assert!(check(&rel, &sigma), "witness must satisfy sigma");
+            assert!(check(&rel, &sigma), "witness must satisfy sigma");
         }
-    }
+    });
+}
 
-    /// Soundness of implication: if `Σ |= φ`, then every two-tuple model
-    /// of Σ over the closed domain satisfies φ. (Completeness — finding a
-    /// counter-witness when not implied — is exercised by the reflexive
-    /// and trivial cases below and by unit tests in the module.)
-    #[test]
-    fn implication_sound_on_small_models(
-        sigma in sigma_strategy(),
-        phi in cfd_strategy(),
-    ) {
+/// Soundness of implication: if `Σ |= φ`, then every two-tuple model of Σ
+/// over the closed domain satisfies φ. (Completeness — finding a
+/// counter-witness when not implied — is exercised by the reflexive and
+/// trivial cases below and by unit tests in the module.)
+#[test]
+fn implication_sound_on_small_models() {
+    trials(24, 0x1311C, |rng| {
+        let sigma = rand_sigma(rng);
+        let phi = rand_cfd(rng);
         let phi_sigma = Sigma::normalize(schema(), vec![phi]).unwrap();
         let phi_n = phi_sigma.iter().next().unwrap().clone();
         if implies(&sigma, &phi_n) {
             for rel in two_tuple_relations() {
                 if check(&rel, &sigma) {
-                    prop_assert!(
+                    assert!(
                         check(&rel, &phi_sigma),
                         "claimed implication refuted by {:?}",
-                        rel.iter().map(|(_, t)| t.values().to_vec()).collect::<Vec<_>>()
+                        rel.iter().map(|(_, t)| t.values()).collect::<Vec<_>>()
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Reflexivity: every CFD of Σ is implied by Σ.
-    #[test]
-    fn implication_is_reflexive(sigma in sigma_strategy()) {
+/// Reflexivity: every CFD of Σ is implied by Σ.
+#[test]
+fn implication_is_reflexive() {
+    trials(48, 0x4EF1E, |rng| {
+        let sigma = rand_sigma(rng);
         for n in sigma.iter() {
-            prop_assert!(implies(&sigma, n), "{:?} not implied by its own sigma", n.source_name());
+            assert!(
+                implies(&sigma, n),
+                "{:?} not implied by its own sigma",
+                n.source_name()
+            );
         }
-    }
+    });
+}
 
-    /// The all-wildcard tautology `X → A` with a wildcard RHS is implied
-    /// whenever Σ contains that exact FD, and an unsatisfiable Σ implies
-    /// everything (ex falso).
-    #[test]
-    fn unsatisfiable_sigma_implies_everything(phi in cfd_strategy()) {
+/// An unsatisfiable Σ implies everything (ex falso).
+#[test]
+fn unsatisfiable_sigma_implies_everything() {
+    trials(48, 0xEF0, |rng| {
+        let phi = rand_cfd(rng);
         let a = AttrId(0);
         let b = AttrId(1);
         let clash = vec![
-            Cfd::new("c1", vec![a], vec![b], vec![PatternRow::new(
-                vec![PatternValue::Wildcard], vec![PatternValue::constant("x")],
-            )]).unwrap(),
-            Cfd::new("c2", vec![a], vec![b], vec![PatternRow::new(
-                vec![PatternValue::Wildcard], vec![PatternValue::constant("y")],
-            )]).unwrap(),
+            Cfd::new(
+                "c1",
+                vec![a],
+                vec![b],
+                vec![PatternRow::new(
+                    vec![PatternValue::Wildcard],
+                    vec![PatternValue::constant("x")],
+                )],
+            )
+            .unwrap(),
+            Cfd::new(
+                "c2",
+                vec![a],
+                vec![b],
+                vec![PatternRow::new(
+                    vec![PatternValue::Wildcard],
+                    vec![PatternValue::constant("y")],
+                )],
+            )
+            .unwrap(),
         ];
         let sigma = Sigma::normalize(schema(), clash).unwrap();
-        prop_assume!(!satisfiable(&sigma).is_satisfiable());
+        if satisfiable(&sigma).is_satisfiable() {
+            return;
+        }
         let phi_sigma = Sigma::normalize(schema(), vec![phi]).unwrap();
         let phi_n = phi_sigma.iter().next().unwrap().clone();
-        prop_assert!(implies(&sigma, &phi_n));
-    }
+        assert!(implies(&sigma, &phi_n));
+    });
 }

@@ -52,8 +52,16 @@ fn minimal_variable_set_collapses_redundant_rows() {
 #[test]
 fn duplicate_variable_rows_dedupe_to_one() {
     let s = schema();
-    let fd1 = Cfd::standard_fd("f1", vec![s.attr("ac").unwrap()], vec![s.attr("ct").unwrap()]);
-    let fd2 = Cfd::standard_fd("f2", vec![s.attr("ac").unwrap()], vec![s.attr("ct").unwrap()]);
+    let fd1 = Cfd::standard_fd(
+        "f1",
+        vec![s.attr("ac").unwrap()],
+        vec![s.attr("ct").unwrap()],
+    );
+    let fd2 = Cfd::standard_fd(
+        "f2",
+        vec![s.attr("ac").unwrap()],
+        vec![s.attr("ct").unwrap()],
+    );
     let sigma = Sigma::normalize(s.clone(), vec![fd1, fd2]).unwrap();
     let minimal = minimal_variable_ids(&sigma);
     assert_eq!(minimal.len(), 1, "identical FDs collapse to one check");
@@ -119,7 +127,8 @@ fn engine_vio_of_candidate_counts_prospective_conflicts() {
     let s = schema();
     let sigma = mixed_sigma(&s);
     let mut rel = Relation::new(s);
-    rel.insert(Tuple::from_iter(["999", "4444444", "AAA", "BB"])).unwrap();
+    rel.insert(Tuple::from_iter(["999", "4444444", "AAA", "BB"]))
+        .unwrap();
     let engine = Engine::build(&rel, &sigma);
     // candidate joining the (999, 4444444) group with a different ct
     let cand = Tuple::from_iter(["999", "4444444", "ZZZ", "BB"]);

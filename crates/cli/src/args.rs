@@ -49,9 +49,9 @@ impl Args {
             if switch_names.contains(&name) {
                 args.switches.push(name.to_string());
             } else {
-                let value = it.next().ok_or_else(|| {
-                    ArgError(format!("flag --{name} expects a value"))
-                })?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag --{name} expects a value")))?;
                 if args
                     .values
                     .insert(name.to_string(), value.to_string())

@@ -10,9 +10,9 @@ use std::io::Write;
 use std::path::Path;
 
 use cfd_cfd::violation::detect;
+use cfd_prng::ChaCha8Rng;
+use cfd_prng::SeedableRng;
 use cfd_sampling::{certify, chernoff_sample_size, GroundTruthOracle, SamplingConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 use crate::args::Args;
 use crate::io::{load_relation, load_sigma, CliError};

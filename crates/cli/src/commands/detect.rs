@@ -55,8 +55,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "  {name}: {count} violating tuple(s)")?;
         for id in examples {
             let t = rel.tuple(id).expect("reported tuple is live");
-            let rendered: Vec<String> =
-                t.values().iter().map(|v| v.to_string()).collect();
+            let rendered: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
             writeln!(out, "    #{} = ({})", id.0, rendered.join(", "))?;
         }
     }

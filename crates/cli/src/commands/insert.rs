@@ -11,7 +11,8 @@ use cfd_repair::{inc_repair, IncConfig, Ordering};
 use crate::args::Args;
 use crate::io::{load_relation, load_sigma, load_weights, save_relation, CliError};
 
-pub const USAGE: &str = "cfdclean insert --base CLEAN.csv --updates NEW.csv --rules R.cfd --out MERGED.csv
+pub const USAGE: &str =
+    "cfdclean insert --base CLEAN.csv --updates NEW.csv --rules R.cfd --out MERGED.csv
                 [--weights W.csv] [--ordering v|w|l] [--k N]
   Insert the update tuples into the clean base, repairing them on the way
   in. The base is never modified (only \u{394}D is repaired).

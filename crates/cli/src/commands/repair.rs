@@ -95,10 +95,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             (outcome.repair, d)
         }
         other => {
-            return Err(format!(
-                "unknown --algorithm {other:?} (batch, v-inc, w-inc, l-inc)"
+            return Err(
+                format!("unknown --algorithm {other:?} (batch, v-inc, w-inc, l-inc)").into(),
             )
-            .into())
         }
     };
     let elapsed = t0.elapsed();

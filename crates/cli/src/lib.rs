@@ -58,12 +58,16 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
     let rest = &argv[1..];
     let usage_for = |u: &str| -> CliError { u.into() };
     match command {
-        "detect" | "repair" | "insert" | "discover" | "certify" | "generate"
-            if rest.is_empty() =>
-        {
+        "detect" | "repair" | "insert" | "discover" | "certify" | "generate" if rest.is_empty() => {
             Err(usage_for(usage_of(command)))
         }
-        "detect" => run_cmd(rest, &[], out, commands::detect::run, commands::detect::USAGE),
+        "detect" => run_cmd(
+            rest,
+            &[],
+            out,
+            commands::detect::run,
+            commands::detect::USAGE,
+        ),
         "repair" => run_cmd(
             rest,
             &["stats"],
@@ -71,7 +75,13 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
             commands::repair::run,
             commands::repair::USAGE,
         ),
-        "insert" => run_cmd(rest, &[], out, commands::insert::run, commands::insert::USAGE),
+        "insert" => run_cmd(
+            rest,
+            &[],
+            out,
+            commands::insert::run,
+            commands::insert::USAGE,
+        ),
         "discover" => run_cmd(
             rest,
             &[],

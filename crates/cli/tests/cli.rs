@@ -11,10 +11,7 @@ struct Scratch(PathBuf);
 
 impl Scratch {
     fn new(tag: &str) -> Scratch {
-        let dir = std::env::temp_dir().join(format!(
-            "cfdclean-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("cfdclean-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         Scratch(dir)
@@ -96,7 +93,10 @@ fn repair_produces_a_clean_file() {
     ])
     .unwrap();
     assert!(out.contains("repaired 600 tuples"), "{out}");
-    assert!(out.contains("steps"), "--stats should print counters: {out}");
+    assert!(
+        out.contains("steps"),
+        "--stats should print counters: {out}"
+    );
     let out = run(&[
         "detect",
         "--data",
@@ -264,7 +264,10 @@ fn discover_rules_can_repair_the_data_they_were_mined_from() {
         &s.path("mined.cfd"),
     ])
     .unwrap();
-    assert!(out.contains("clean"), "mined rules must hold on Dopt: {out}");
+    assert!(
+        out.contains("clean"),
+        "mined rules must hold on Dopt: {out}"
+    );
 }
 
 #[test]

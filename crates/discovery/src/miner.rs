@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 
 use cfd_cfd::pattern::{PatternRow, PatternValue};
 use cfd_cfd::Cfd;
-use cfd_model::{AttrId, Relation, Value};
+use cfd_model::{AttrId, IdKey, Relation, Value, ValueId};
 
 use crate::partition::{fd_holds, Partition, ProductScratch};
 
@@ -197,17 +197,17 @@ fn mine_constant_rows(
     rhs: AttrId,
     config: &DiscoveryConfig,
 ) -> Option<Vec<(Vec<Value>, Value)>> {
-    let mut groups: HashMap<Vec<Value>, (HashSet<Value>, usize)> = HashMap::new();
+    let mut groups: HashMap<IdKey, (HashSet<ValueId>, usize)> = HashMap::new();
     for (_, t) in rel.iter() {
-        if lhs.iter().any(|a| t.value(*a).is_null()) || t.value(rhs).is_null() {
+        if lhs.iter().any(|a| t.is_null(*a)) || t.is_null(rhs) {
             continue;
         }
-        let key = t.project(lhs);
+        let key = t.project_key(lhs);
         let entry = groups.entry(key).or_default();
-        entry.0.insert(t.value(rhs).clone());
+        entry.0.insert(t.id(rhs));
         entry.1 += 1;
     }
-    type GroupEntry<'a> = (&'a Vec<Value>, &'a (HashSet<Value>, usize));
+    type GroupEntry<'a> = (&'a IdKey, &'a (HashSet<ValueId>, usize));
     let supported: Vec<GroupEntry> = groups
         .iter()
         .filter(|(_, (_, count))| *count >= config.min_support)
@@ -219,7 +219,10 @@ fn mine_constant_rows(
         .iter()
         .filter(|(_, (values, _))| values.len() == 1)
         .map(|(key, (values, _))| {
-            ((*key).clone(), values.iter().next().expect("len 1").clone())
+            (
+                key.as_slice().iter().map(|id| id.value()).collect(),
+                values.iter().next().expect("len 1").value(),
+            )
         })
         .collect();
     let coverage = determined.len() as f64 / supported.len() as f64;
@@ -273,16 +276,16 @@ mod tests {
     fn conditional_rows_are_mined_when_fd_fails() {
         // a → b fails globally (x is ambiguous) but holds for y and z with
         // support 3.
-        let mut rows = vec![
-            ["x", "1", "_"],
-            ["x", "2", "_"],
-        ];
+        let mut rows = vec![["x", "1", "_"], ["x", "2", "_"]];
         for _ in 0..3 {
             rows.push(["y", "7", "_"]);
             rows.push(["z", "9", "_"]);
         }
         let r = rel(&rows.iter().map(|r| [r[0], r[1], r[2]]).collect::<Vec<_>>());
-        let cfg = DiscoveryConfig { min_support: 3, ..Default::default() };
+        let cfg = DiscoveryConfig {
+            min_support: 3,
+            ..Default::default()
+        };
         let found = discover(&r, &cfg);
         let cond = found
             .iter()
@@ -304,14 +307,23 @@ mod tests {
             ["y", "2", "q"],
             ["y", "2", "q"],
         ]);
-        let found = discover(&r, &DiscoveryConfig { min_support: 2, ..Default::default() });
+        let found = discover(
+            &r,
+            &DiscoveryConfig {
+                min_support: 2,
+                ..Default::default()
+            },
+        );
         let cfds: Vec<Cfd> = found
             .iter()
             .enumerate()
             .map(|(i, d)| d.to_cfd(&format!("mined{i}")))
             .collect();
         let sigma = Sigma::normalize(r.schema().clone(), cfds).unwrap();
-        assert!(check(&r, &sigma), "every mined dependency must hold on the data");
+        assert!(
+            check(&r, &sigma),
+            "every mined dependency must hold on the data"
+        );
     }
 
     #[test]
@@ -347,15 +359,28 @@ mod tests {
         let schema = Schema::new("r", &["a", "b", "c"]).unwrap();
         let mut r = Relation::new(schema);
         for _ in 0..4 {
-            r.insert(Tuple::new(vec![Value::Null, Value::str("1"), Value::str("_")]))
-                .unwrap();
+            r.insert(Tuple::new(vec![
+                Value::Null,
+                Value::str("1"),
+                Value::str("_"),
+            ]))
+            .unwrap();
         }
         r.insert(Tuple::from_iter(["q", "2", "_"])).unwrap();
-        let found = discover(&r, &DiscoveryConfig { min_support: 2, ..Default::default() });
+        let found = discover(
+            &r,
+            &DiscoveryConfig {
+                min_support: 2,
+                ..Default::default()
+            },
+        );
         for d in &found {
             if let Some(rows) = &d.rows {
                 for (key, _) in rows {
-                    assert!(key.iter().all(|v| !v.is_null()), "null keys must not be mined");
+                    assert!(
+                        key.iter().all(|v| !v.is_null()),
+                        "null keys must not be mined"
+                    );
                 }
             }
         }

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use cfd_model::{AttrId, Relation, TupleId, Value};
+use cfd_model::{AttrId, Relation, TupleId, ValueId};
 
 /// A stripped partition: groups of size ≥ 2, each a sorted list of tuple
 /// ids.
@@ -28,16 +28,15 @@ pub struct Partition {
 }
 
 impl Partition {
-    /// Build `Π_{{a}}` for a single attribute.
+    /// Build `Π_{{a}}` for a single attribute: a position-list index over
+    /// interned ids — grouping hashes a `u32` per tuple, never a string.
     pub fn single(rel: &Relation, a: AttrId) -> Self {
-        let mut by_value: HashMap<&Value, Vec<TupleId>> = HashMap::new();
+        let mut by_value: HashMap<ValueId, Vec<TupleId>> = HashMap::new();
         for (id, t) in rel.iter() {
-            by_value.entry(t.value(a)).or_default().push(id);
+            by_value.entry(t.id(a)).or_default().push(id);
         }
-        let mut groups: Vec<Vec<TupleId>> = by_value
-            .into_values()
-            .filter(|g| g.len() >= 2)
-            .collect();
+        let mut groups: Vec<Vec<TupleId>> =
+            by_value.into_values().filter(|g| g.len() >= 2).collect();
         groups.sort();
         Partition {
             groups,
@@ -127,9 +126,9 @@ impl ProductScratch {
 /// `Π_{X∪A}` and equally fast for validation purposes.
 pub fn fd_holds(rel: &Relation, partition: &Partition, rhs: AttrId) -> bool {
     for group in &partition.groups {
-        let mut first: Option<&Value> = None;
+        let mut first: Option<ValueId> = None;
         for id in group {
-            let v = rel.tuple(*id).expect("live tuple").value(rhs);
+            let v = rel.tuple(*id).expect("live tuple").id(rhs);
             match first {
                 None => first = Some(v),
                 Some(f) if f == v => {}
@@ -156,11 +155,7 @@ mod tests {
 
     #[test]
     fn single_attribute_partition_strips_singletons() {
-        let r = rel(&[
-            ["x", "1", "p"],
-            ["x", "2", "q"],
-            ["y", "3", "r"],
-        ]);
+        let r = rel(&[["x", "1", "p"], ["x", "2", "q"], ["y", "3", "r"]]);
         let p = Partition::single(&r, AttrId(0));
         assert_eq!(p.group_count(), 1); // only the x-group survives
         assert_eq!(p.groups[0], vec![TupleId(0), TupleId(1)]);
@@ -198,10 +193,7 @@ mod tests {
         let pa = Partition::single(&r, AttrId(0));
         assert!(fd_holds(&r, &pa, AttrId(1))); // a → b
         assert!(fd_holds(&r, &pa, AttrId(2))); // a → c
-        let broken = rel(&[
-            ["x", "1", "p"],
-            ["x", "2", "p"],
-        ]);
+        let broken = rel(&[["x", "1", "p"], ["x", "2", "p"]]);
         let pa = Partition::single(&broken, AttrId(0));
         assert!(!fd_holds(&broken, &pa, AttrId(1)));
     }

@@ -1,8 +1,8 @@
-//! Property-based tests for dependency discovery: everything mined must
-//! actually hold on the input, exact FDs must be minimal, and partitions
-//! must behave like partitions.
+//! Randomized property tests for dependency discovery: everything mined
+//! must actually hold on the input, exact FDs must be minimal, and
+//! partitions must behave like partitions. Seeded trials via `cfd_prng`.
 
-use proptest::prelude::*;
+use cfd_prng::{trials, ChaCha8Rng, Rng};
 
 use cfd_cfd::violation::check;
 use cfd_cfd::Sigma;
@@ -15,8 +15,10 @@ fn schema() -> Schema {
     Schema::new("r", &["a", "b", "c", "d"]).unwrap()
 }
 
-fn relation_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    proptest::collection::vec(proptest::collection::vec(0..4u8, ARITY), 1..24)
+fn rand_rows(rng: &mut ChaCha8Rng) -> Vec<Vec<u8>> {
+    (0..rng.gen_range(1..24usize))
+        .map(|_| (0..ARITY).map(|_| rng.gen_range(0..4u32) as u8).collect())
+        .collect()
 }
 
 fn build(rows: &[Vec<u8>]) -> Relation {
@@ -30,44 +32,52 @@ fn build(rows: &[Vec<u8>]) -> Relation {
     rel
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Soundness: every discovered dependency — exact or conditional —
-    /// holds on the relation it was mined from.
-    #[test]
-    fn discoveries_hold_on_their_input(rows in relation_strategy()) {
-        let rel = build(&rows);
-        let found = discover(&rel, &DiscoveryConfig {
-            max_lhs: 2,
-            min_support: 2,
-            min_conditional_coverage: 0.3,
-        });
+/// Soundness: every discovered dependency — exact or conditional — holds
+/// on the relation it was mined from.
+#[test]
+fn discoveries_hold_on_their_input() {
+    trials(96, 0xD15C0, |rng| {
+        let rel = build(&rand_rows(rng));
+        let found = discover(
+            &rel,
+            &DiscoveryConfig {
+                max_lhs: 2,
+                min_support: 2,
+                min_conditional_coverage: 0.3,
+            },
+        );
         let cfds: Vec<_> = found
             .iter()
             .enumerate()
             .map(|(i, d)| d.to_cfd(&format!("m{i}")))
             .collect();
-        prop_assume!(!cfds.is_empty());
+        if cfds.is_empty() {
+            return;
+        }
         let sigma = Sigma::normalize(schema(), cfds).unwrap();
-        prop_assert!(check(&rel, &sigma), "mined rules must hold on the input");
-    }
+        assert!(check(&rel, &sigma), "mined rules must hold on the input");
+    });
+}
 
-    /// Minimality of exact FDs: no discovered `X → A` has a proper
-    /// subset of `X` that also determines `A` on this relation.
-    #[test]
-    fn exact_fds_are_minimal(rows in relation_strategy()) {
-        let rel = build(&rows);
-        let found = discover(&rel, &DiscoveryConfig {
-            max_lhs: 2,
-            min_support: 2,
-            min_conditional_coverage: 0.3,
-        });
+/// Minimality of exact FDs: no discovered `X → A` has a proper subset of
+/// `X` that also determines `A` on this relation.
+#[test]
+fn exact_fds_are_minimal() {
+    trials(96, 0x3111, |rng| {
+        let rel = build(&rand_rows(rng));
+        let found = discover(
+            &rel,
+            &DiscoveryConfig {
+                max_lhs: 2,
+                min_support: 2,
+                min_conditional_coverage: 0.3,
+            },
+        );
         let holds = |lhs: &[AttrId], rhs: AttrId| -> bool {
-            let mut groups: std::collections::HashMap<Vec<&Value>, &Value> =
+            let mut groups: std::collections::HashMap<Vec<Value>, Value> =
                 std::collections::HashMap::new();
             for (_, t) in rel.iter() {
-                let key: Vec<&Value> = lhs.iter().map(|a| t.value(*a)).collect();
+                let key: Vec<Value> = lhs.iter().map(|a| t.value(*a)).collect();
                 match groups.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => {
                         if *e.get() != t.value(rhs) {
@@ -82,7 +92,7 @@ proptest! {
             true
         };
         for d in found.iter().filter(|d| d.is_exact()) {
-            prop_assert!(holds(&d.lhs, d.rhs), "claimed exact FD must hold");
+            assert!(holds(&d.lhs, d.rhs), "claimed exact FD must hold");
             if d.lhs.len() > 1 {
                 for drop in 0..d.lhs.len() {
                     let sub: Vec<AttrId> = d
@@ -92,61 +102,71 @@ proptest! {
                         .filter(|(i, _)| *i != drop)
                         .map(|(_, a)| *a)
                         .collect();
-                    prop_assert!(
+                    assert!(
                         !holds(&sub, d.rhs),
                         "FD not minimal: subset also determines rhs"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Stripped partitions: group counts and error are consistent, and
-    /// the product refines both factors.
-    #[test]
-    fn partition_product_refines(rows in relation_strategy()) {
-        let rel = build(&rows);
+/// Stripped partitions: group counts and error are consistent, and the
+/// product refines both factors.
+#[test]
+fn partition_product_refines() {
+    trials(96, 0x9A67, |rng| {
+        let rel = build(&rand_rows(rng));
         let pa = Partition::single(&rel, AttrId(0));
         let pb = Partition::single(&rel, AttrId(1));
         let mut scratch = ProductScratch::default();
         let pab = pa.product(&pb, &mut scratch);
-        // refinement: the product never has fewer groups than either
-        // factor restricted to multi-tuple groups, and its error (tuples
-        // minus groups, over stripped groups) never exceeds either's.
-        prop_assert!(pab.error() <= pa.error());
-        prop_assert!(pab.error() <= pb.error());
+        // refinement: the product's error (tuples minus groups, over
+        // stripped groups) never exceeds either factor's.
+        assert!(pab.error() <= pa.error());
+        assert!(pab.error() <= pb.error());
         // a partition with zero error means every group is a singleton —
         // then the product must also be all singletons.
         if pa.error() == 0 {
-            prop_assert_eq!(pab.error(), 0);
+            assert_eq!(pab.error(), 0);
         }
-    }
+    });
+}
 
-    /// Discovery on a relation with a planted FD finds it (or a smaller
-    /// LHS that implies it).
-    #[test]
-    fn planted_fd_is_found(rows in relation_strategy()) {
+/// Discovery on a relation with a planted FD finds it (or a smaller LHS
+/// that implies it).
+#[test]
+fn planted_fd_is_found() {
+    trials(96, 0x9F1A47, |rng| {
         // plant: d := a (copy column), so [a] → [d] holds exactly.
-        let planted: Vec<Vec<u8>> = rows
-            .iter()
-            .map(|r| {
-                let mut r = r.clone();
+        let planted: Vec<Vec<u8>> = rand_rows(rng)
+            .into_iter()
+            .map(|mut r| {
                 r[3] = r[0];
                 r
             })
             .collect();
         let rel = build(&planted);
-        let found = discover(&rel, &DiscoveryConfig {
-            max_lhs: 1,
-            min_support: 2,
-            min_conditional_coverage: 0.3,
-        });
+        let found = discover(
+            &rel,
+            &DiscoveryConfig {
+                max_lhs: 1,
+                min_support: 2,
+                min_conditional_coverage: 0.3,
+            },
+        );
         let a = AttrId(0);
         let d = AttrId(3);
-        prop_assert!(
-            found.iter().any(|f| f.is_exact() && f.rhs == d && f.lhs == vec![a]),
+        assert!(
+            found
+                .iter()
+                .any(|f| f.is_exact() && f.rhs == d && f.lhs == vec![a]),
             "planted [a] -> [d] not discovered: {:?}",
-            found.iter().map(|f| (f.lhs.clone(), f.rhs, f.is_exact())).collect::<Vec<_>>()
+            found
+                .iter()
+                .map(|f| (f.lhs.clone(), f.rhs, f.is_exact()))
+                .collect::<Vec<_>>()
         );
-    }
+    });
 }

@@ -86,7 +86,8 @@ mod tests {
     fn perfect_repair_summary() {
         let dopt = rel(&[["x", "y"]]);
         let mut d = dopt.clone();
-        d.set_value(TupleId(0), AttrId(0), Value::str("BAD")).unwrap();
+        d.set_value(TupleId(0), AttrId(0), Value::str("BAD"))
+            .unwrap();
         let s = RunSummary::evaluate(&d, &dopt, &dopt, Duration::from_millis(5));
         assert_eq!(s.precision, 1.0);
         assert_eq!(s.recall, 1.0);
@@ -113,6 +114,9 @@ mod tests {
         let dopt = rel(&[["x", "y"]]);
         let s = RunSummary::evaluate(&dopt, &dopt, &dopt, Duration::from_secs(1));
         let text = s.to_string();
-        assert!(text.contains("precision") && text.contains("recall"), "{text}");
+        assert!(
+            text.contains("precision") && text.contains("recall"),
+            "{text}"
+        );
     }
 }

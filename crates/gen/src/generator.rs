@@ -7,8 +7,8 @@
 //! relationship flows from the [`World`], so `Dopt |= Σ` holds by
 //! construction (and is asserted in tests).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use cfd_prng::ChaCha8Rng;
+use cfd_prng::{Rng, SeedableRng};
 
 use cfd_cfd::Sigma;
 use cfd_model::{Relation, Tuple, Value};

@@ -23,9 +23,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use cfd_prng::ChaCha8Rng;
+use cfd_prng::SliceRandom;
+use cfd_prng::{Rng, SeedableRng};
 
 use cfd_model::{AttrId, Relation, TupleId, Value};
 
@@ -187,8 +187,14 @@ pub fn inject(dopt: &Relation, world: &World, cfg: &NoiseConfig) -> NoiseOutcome
     let street_pool: Vec<String> = world.streets.iter().map(|s| s.name.clone()).collect();
     let name_pool: Vec<String> = world.items.iter().map(|i| i.name.clone()).collect();
     let pr_pool: Vec<String> = world.items.iter().map(|i| i.price.clone()).collect();
-    let cty_pool: Vec<String> = crate::world::COUNTRIES.iter().map(|(c, _)| c.to_string()).collect();
-    let vat_pool: Vec<String> = crate::world::COUNTRIES.iter().map(|(_, v)| v.to_string()).collect();
+    let cty_pool: Vec<String> = crate::world::COUNTRIES
+        .iter()
+        .map(|(c, _)| c.to_string())
+        .collect();
+    let vat_pool: Vec<String> = crate::world::COUNTRIES
+        .iter()
+        .map(|(_, v)| v.to_string())
+        .collect();
 
     let n_dirty = ((dopt.len() as f64) * cfg.rate).round() as usize;
     let mut ids: Vec<TupleId> = dopt.ids().collect();
@@ -208,8 +214,8 @@ pub fn inject(dopt: &Relation, world: &World, cfg: &NoiseConfig) -> NoiseOutcome
         }
         let t = dopt.tuple(id).expect("live");
         let want_constant = constant_done < target_constant;
-        let has_str_partner = pn_count[t.value(attrs.pn)] >= 2;
-        let has_item_partner = id_count[t.value(attrs.id)] >= 2;
+        let has_str_partner = pn_count[&t.value(attrs.pn)] >= 2;
+        let has_item_partner = id_count[&t.value(attrs.id)] >= 2;
         let make_variable = (!want_constant || variable_done >= n_dirty - target_constant)
             .then_some(())
             .is_some()
@@ -225,15 +231,26 @@ pub fn inject(dopt: &Relation, world: &World, cfg: &NoiseConfig) -> NoiseOutcome
                 options.push(2);
             }
             let (attr, pool, group_key) = match options[rng.gen_range(0..options.len())] {
-                0 => (attrs.str_, &street_pool, (attrs.pn.0, t.value(attrs.pn).clone())),
-                1 => (attrs.name, &name_pool, (attrs.id.0, t.value(attrs.id).clone())),
+                0 => (
+                    attrs.str_,
+                    &street_pool,
+                    (attrs.pn.0, t.value(attrs.pn).clone()),
+                ),
+                1 => (
+                    attrs.name,
+                    &name_pool,
+                    (attrs.id.0, t.value(attrs.id).clone()),
+                ),
                 _ => (attrs.pr, &pr_pool, (attrs.id.0, t.value(attrs.id).clone())),
             };
             let current = t.value(attr).render().to_string();
             let forbidden = group_values.entry(group_key.clone()).or_default();
             forbidden.insert(current.clone());
             let value = corrupt_value(&mut rng, cfg, &current, pool, forbidden);
-            group_values.get_mut(&group_key).expect("just inserted").insert(value.clone());
+            group_values
+                .get_mut(&group_key)
+                .expect("just inserted")
+                .insert(value.clone());
             variable_done += 1;
             Plan {
                 attr,
@@ -247,23 +264,38 @@ pub fn inject(dopt: &Relation, world: &World, cfg: &NoiseConfig) -> NoiseOutcome
             let (attr, value) = match choice {
                 0 => {
                     let cur = t.value(attrs.ct).render().to_string();
-                    (attrs.ct, corrupt_value(&mut rng, cfg, &cur, &city_pool, &empty))
+                    (
+                        attrs.ct,
+                        corrupt_value(&mut rng, cfg, &cur, &city_pool, &empty),
+                    )
                 }
                 1 => {
                     let cur = t.value(attrs.st).render().to_string();
-                    (attrs.st, corrupt_value(&mut rng, cfg, &cur, &state_pool, &empty))
+                    (
+                        attrs.st,
+                        corrupt_value(&mut rng, cfg, &cur, &state_pool, &empty),
+                    )
                 }
                 2 => {
                     let cur = t.value(attrs.ac).render().to_string();
-                    (attrs.ac, corrupt_value(&mut rng, cfg, &cur, &ac_pool, &empty))
+                    (
+                        attrs.ac,
+                        corrupt_value(&mut rng, cfg, &cur, &ac_pool, &empty),
+                    )
                 }
                 3 => {
                     let cur = t.value(attrs.cty).render().to_string();
-                    (attrs.cty, corrupt_value(&mut rng, cfg, &cur, &cty_pool, &empty))
+                    (
+                        attrs.cty,
+                        corrupt_value(&mut rng, cfg, &cur, &cty_pool, &empty),
+                    )
                 }
                 4 => {
                     let cur = t.value(attrs.vat).render().to_string();
-                    (attrs.vat, corrupt_value(&mut rng, cfg, &cur, &vat_pool, &empty))
+                    (
+                        attrs.vat,
+                        corrupt_value(&mut rng, cfg, &cur, &vat_pool, &empty),
+                    )
                 }
                 _ => {
                     // zip: swap to a zip of a *different city* so its ϕ2
@@ -317,10 +349,7 @@ pub fn inject(dopt: &Relation, world: &World, cfg: &NoiseConfig) -> NoiseOutcome
                 } else {
                     rng.gen_range(cfg.weight_clean_min..1.0)
                 };
-                dirty
-                    .tuple_mut(id)
-                    .expect("live")
-                    .set_weight(a, w);
+                dirty.tuple_mut(id).expect("live").set_weight(a, w);
             }
         }
     }
@@ -354,7 +383,14 @@ mod tests {
     #[test]
     fn noise_rate_respected() {
         let w = workload();
-        let out = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+        let out = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.05,
+                ..Default::default()
+            },
+        );
         assert_eq!(out.corrupted.len(), 30);
         assert_eq!(out.constant_noise + out.variable_noise, 30);
         // exactly the corrupted cells differ from Dopt
@@ -387,11 +423,35 @@ mod tests {
     #[test]
     fn constant_share_steers_noise_mix() {
         let w = workload();
-        let lo = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.1, constant_share: 0.2, ..Default::default() });
-        let hi = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.1, constant_share: 0.8, ..Default::default() });
+        let lo = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.1,
+                constant_share: 0.2,
+                ..Default::default()
+            },
+        );
+        let hi = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.1,
+                constant_share: 0.8,
+                ..Default::default()
+            },
+        );
         assert!(lo.constant_noise < hi.constant_noise);
-        assert!((lo.constant_noise as f64 - 12.0).abs() <= 3.0, "{}", lo.constant_noise);
-        assert!((hi.constant_noise as f64 - 48.0).abs() <= 3.0, "{}", hi.constant_noise);
+        assert!(
+            (lo.constant_noise as f64 - 12.0).abs() <= 3.0,
+            "{}",
+            lo.constant_noise
+        );
+        assert!(
+            (hi.constant_noise as f64 - 48.0).abs() <= 3.0,
+            "{}",
+            hi.constant_noise
+        );
     }
 
     #[test]
@@ -448,7 +508,15 @@ mod tests {
     #[test]
     fn zero_rate_is_identity() {
         let w = workload();
-        let out = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.0, assign_weights: false, ..Default::default() });
+        let out = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.0,
+                assign_weights: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(cfd_model::diff::dif(&w.dopt, &out.dirty), 0);
         assert!(out.corrupted.is_empty());
     }

@@ -139,8 +139,12 @@ mod tests {
         let sigma = build_sigma(&world);
         let ct = sigma.schema().attr("CT").unwrap();
         let zip = sigma.schema().attr("zip").unwrap();
-        let phi2_writes_ct = sigma.iter().any(|n| n.rhs_attr() == ct && n.lhs().contains(&zip));
-        let phi4_writes_zip = sigma.iter().any(|n| n.rhs_attr() == zip && n.lhs().contains(&ct));
+        let phi2_writes_ct = sigma
+            .iter()
+            .any(|n| n.rhs_attr() == ct && n.lhs().contains(&zip));
+        let phi4_writes_zip = sigma
+            .iter()
+            .any(|n| n.rhs_attr() == zip && n.lhs().contains(&ct));
         assert!(phi2_writes_ct && phi4_writes_zip);
     }
 

@@ -18,16 +18,16 @@
 //!   at one address;
 //! * `id → (name, PR, TT)` — an item catalog.
 
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use cfd_prng::ChaCha8Rng;
+use cfd_prng::SliceRandom;
+use cfd_prng::{Rng, SeedableRng};
 
 /// US-style state codes partitioned across countries.
 pub const STATES: [&str; 50] = [
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
-    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
-    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
-    "VA", "WA", "WV", "WI", "WY",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+    "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
 ];
 
 /// Countries with their VAT rates.
@@ -49,8 +49,8 @@ const CITY_SUFFIX: [&str; 12] = [
 ];
 const STREET_BASE: [&str; 24] = [
     "Walnut", "Spruce", "Canel", "Broad", "Elm", "Pine", "Cedar", "Chestnut", "Vine", "Market",
-    "Front", "Dock", "Arch", "Race", "Locust", "Juniper", "Filbert", "Cherry", "Willow",
-    "Poplar", "Sansom", "Ludlow", "Ranstead", "Ionic",
+    "Front", "Dock", "Arch", "Race", "Locust", "Juniper", "Filbert", "Cherry", "Willow", "Poplar",
+    "Sansom", "Ludlow", "Ranstead", "Ionic",
 ];
 const ITEM_WORDS: [&str; 24] = [
     "Harry", "Porter", "Snow", "White", "Denver", "Atlas", "Quantum", "Garden", "Cooking",

@@ -1,63 +1,81 @@
-//! Property-based tests for the workload substrate: the generator always
-//! produces a Σ-consistent `Dopt`, the noise injector corrupts exactly
-//! what it reports and stamps the §7.1 weight bands, and every injected
-//! corruption is detectable.
+//! Randomized property tests for the workload substrate: the generator
+//! always produces a Σ-consistent `Dopt`, the noise injector corrupts
+//! exactly what it reports and stamps the §7.1 weight bands, and every
+//! injected corruption is detectable. Seeded trials via `cfd_prng`.
 
-use proptest::prelude::*;
+use cfd_prng::{trials, ChaCha8Rng, Rng};
 
 use cfd_cfd::violation::{check, detect};
 use cfd_gen::{generate, inject, GenConfig, NoiseConfig, RunSummary};
 
-proptest! {
+fn size_and_seed(rng: &mut ChaCha8Rng, lo: usize, hi: usize) -> (usize, u64) {
+    (rng.gen_range(lo..hi), rng.gen_range(0..1000u64))
+}
+
+/// The generator's output is consistent with its own Σ for any seed and
+/// size — the precondition of every experiment in §7.
+#[test]
+fn generated_dopt_satisfies_sigma() {
     // Workload generation is comparatively expensive: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The generator's output is consistent with its own Σ for any seed
-    /// and size — the precondition of every experiment in §7.
-    #[test]
-    fn generated_dopt_satisfies_sigma(
-        n in 50..400usize,
-        seed in 0..1000u64,
-    ) {
+    trials(12, 0x6E4, |rng| {
+        let (n, seed) = size_and_seed(rng, 50, 400);
         let w = generate(&GenConfig::sized(n, seed));
-        prop_assert_eq!(w.dopt.len(), n);
-        prop_assert!(check(&w.dopt, &w.sigma), "Dopt must satisfy sigma (seed {seed})");
-    }
+        assert_eq!(w.dopt.len(), n);
+        assert!(
+            check(&w.dopt, &w.sigma),
+            "Dopt must satisfy sigma (seed {seed})"
+        );
+    });
+}
 
-    /// The injector corrupts the advertised number of tuples, each listed
-    /// corruption really differs from `Dopt`, and each corrupted tuple
-    /// violates at least one CFD (the workload never hides errors).
-    #[test]
-    fn injected_noise_is_exactly_as_reported(
-        n in 100..400usize,
-        seed in 0..1000u64,
-        rate_pct in 1..10u32,
-    ) {
-        let rate = rate_pct as f64 / 100.0;
+/// The injector corrupts the advertised number of tuples, each listed
+/// corruption really differs from `Dopt`, and each corrupted tuple
+/// violates at least one CFD (the workload never hides errors).
+#[test]
+fn injected_noise_is_exactly_as_reported() {
+    trials(12, 0x101CE, |rng| {
+        let (n, seed) = size_and_seed(rng, 100, 400);
+        let rate = rng.gen_range(1..10u32) as f64 / 100.0;
         let w = generate(&GenConfig::sized(n, seed));
-        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate, seed, ..Default::default() });
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate,
+                seed,
+                ..Default::default()
+            },
+        );
         let expected = ((n as f64) * rate).round() as usize;
-        prop_assert_eq!(noise.corrupted.len(), expected);
+        assert_eq!(noise.corrupted.len(), expected);
         let report = detect(&noise.dirty, &w.sigma);
         for (id, attr) in &noise.corrupted {
             let dirty = noise.dirty.tuple(*id).expect("corrupted tuple is live");
             let clean = w.dopt.tuple(*id).expect("dopt tuple exists");
-            prop_assert_ne!(
-                dirty.value(*attr), clean.value(*attr),
-                "corruption of {} attr {} must change the value", id, attr
+            assert_ne!(
+                dirty.id(*attr),
+                clean.id(*attr),
+                "corruption of {id} attr {attr} must change the value"
             );
-            prop_assert!(report.vio(*id) > 0, "corrupted tuple {} must violate sigma", id);
+            assert!(
+                report.vio(*id) > 0,
+                "corrupted tuple {id} must violate sigma"
+            );
         }
-    }
+    });
+}
 
-    /// The §7.1 weight bands hold: corrupted cells get weights in
-    /// `[0, a]`, untouched cells in `[b, 1]`.
-    #[test]
-    fn weights_respect_the_bands(
-        n in 100..300usize,
-        seed in 0..1000u64,
-    ) {
-        let cfg = NoiseConfig { rate: 0.05, seed, ..Default::default() };
+/// The §7.1 weight bands hold: corrupted cells get weights in `[0, a]`,
+/// untouched cells in `[b, 1]`.
+#[test]
+fn weights_respect_the_bands() {
+    trials(12, 0x8A2D5, |rng| {
+        let (n, seed) = size_and_seed(rng, 100, 300);
+        let cfg = NoiseConfig {
+            rate: 0.05,
+            seed,
+            ..Default::default()
+        };
         let w = generate(&GenConfig::sized(n, seed));
         let noise = inject(&w.dopt, &w.world, &cfg);
         let dirty_cells: std::collections::BTreeSet<(u32, u16)> =
@@ -66,38 +84,48 @@ proptest! {
             for a in noise.dirty.schema().attr_ids() {
                 let wt = t.weight(a);
                 if dirty_cells.contains(&(id.0, a.0)) {
-                    prop_assert!(
+                    assert!(
                         wt <= cfg.weight_dirty_max + 1e-9,
                         "dirty cell ({id}, {a}) weight {wt} above a"
                     );
                 } else {
-                    prop_assert!(
+                    assert!(
                         wt >= cfg.weight_clean_min - 1e-9,
                         "clean cell ({id}, {a}) weight {wt} below b"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Precision/recall bookkeeping: evaluating `Dopt` itself as the
-    /// "repair" scores perfect recall and precision; evaluating the dirty
-    /// input scores zero recall (nothing was repaired).
-    #[test]
-    fn run_summary_extremes(
-        n in 100..300usize,
-        seed in 0..1000u64,
-    ) {
+/// Precision/recall bookkeeping: evaluating `Dopt` itself as the
+/// "repair" scores perfect recall and precision; evaluating the dirty
+/// input scores zero recall (nothing was repaired).
+#[test]
+fn run_summary_extremes() {
+    trials(12, 0x5C04E, |rng| {
+        let (n, seed) = size_and_seed(rng, 100, 300);
         let w = generate(&GenConfig::sized(n, seed));
-        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, seed, ..Default::default() });
-        let perfect = RunSummary::evaluate(
-            &noise.dirty, &w.dopt, &w.dopt, std::time::Duration::ZERO,
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.05,
+                seed,
+                ..Default::default()
+            },
         );
-        prop_assert!((perfect.precision - 1.0).abs() < 1e-9);
-        prop_assert!((perfect.recall - 1.0).abs() < 1e-9);
+        let perfect =
+            RunSummary::evaluate(&noise.dirty, &w.dopt, &w.dopt, std::time::Duration::ZERO);
+        assert!((perfect.precision - 1.0).abs() < 1e-9);
+        assert!((perfect.recall - 1.0).abs() < 1e-9);
         let lazy = RunSummary::evaluate(
-            &noise.dirty, &noise.dirty, &w.dopt, std::time::Duration::ZERO,
+            &noise.dirty,
+            &noise.dirty,
+            &w.dopt,
+            std::time::Duration::ZERO,
         );
-        prop_assert_eq!(lazy.recall, 0.0);
-    }
+        assert_eq!(lazy.recall, 0.0);
+    });
 }

@@ -6,29 +6,35 @@
 //! the multiset of non-null constants currently present in a relation, with
 //! reference counts so that updates keep the domain exact rather than
 //! append-only.
+//!
+//! The candidate pools are stored as interned [`ValueId`]s: membership
+//! tests and frequency lookups hash a `u32`, and the repair algorithms
+//! move candidate ids around without touching the pool until the final
+//! distance computation.
 
 use std::collections::HashMap;
 
+use crate::pool::ValueId;
 use crate::relation::Relation;
 use crate::schema::AttrId;
 use crate::value::Value;
 
-/// Per-attribute multiset of the non-null constants occurring in a relation.
+/// Per-attribute multiset of the non-null constants occurring in a
+/// relation, keyed by interned id.
 #[derive(Clone, Debug, Default)]
 pub struct ActiveDomain {
-    per_attr: Vec<HashMap<Value, usize>>,
+    per_attr: Vec<HashMap<ValueId, usize>>,
 }
 
 impl ActiveDomain {
     /// Build the active domain of every attribute of `rel` in one scan.
     pub fn of_relation(rel: &Relation) -> Self {
-        let mut per_attr: Vec<HashMap<Value, usize>> =
-            vec![HashMap::new(); rel.schema().arity()];
+        let mut per_attr: Vec<HashMap<ValueId, usize>> = vec![HashMap::new(); rel.schema().arity()];
         for (_, t) in rel.iter() {
             for a in rel.schema().attr_ids() {
-                let v = t.value(a);
-                if !v.is_null() {
-                    *per_attr[a.index()].entry(v.clone()).or_insert(0) += 1;
+                let id = t.id(a);
+                if !id.is_null() {
+                    *per_attr[a.index()].entry(id).or_insert(0) += 1;
                 }
             }
         }
@@ -42,45 +48,71 @@ impl ActiveDomain {
         }
     }
 
-    /// Record one occurrence of `v` in attribute `a` (no-op for null).
-    pub fn add(&mut self, a: AttrId, v: &Value) {
-        if !v.is_null() {
-            *self.per_attr[a.index()].entry(v.clone()).or_insert(0) += 1;
+    /// Record one occurrence of the interned `id` in attribute `a`
+    /// (no-op for null).
+    pub fn add_id(&mut self, a: AttrId, id: ValueId) {
+        if !id.is_null() {
+            *self.per_attr[a.index()].entry(id).or_insert(0) += 1;
         }
     }
 
-    /// Remove one occurrence of `v` from attribute `a` (no-op for null or
+    /// Record one occurrence of `v` in attribute `a` (no-op for null).
+    pub fn add(&mut self, a: AttrId, v: &Value) {
+        self.add_id(a, ValueId::of(v));
+    }
+
+    /// Remove one occurrence of `id` from attribute `a` (no-op for null or
     /// absent values).
-    pub fn remove(&mut self, a: AttrId, v: &Value) {
-        if v.is_null() {
+    pub fn remove_id(&mut self, a: AttrId, id: ValueId) {
+        if id.is_null() {
             return;
         }
-        if let Some(count) = self.per_attr[a.index()].get_mut(v) {
+        if let Some(count) = self.per_attr[a.index()].get_mut(&id) {
             *count -= 1;
             if *count == 0 {
-                self.per_attr[a.index()].remove(v);
+                self.per_attr[a.index()].remove(&id);
             }
         }
     }
 
+    /// Remove one occurrence of `v` from attribute `a`.
+    pub fn remove(&mut self, a: AttrId, v: &Value) {
+        self.remove_id(a, ValueId::of(v));
+    }
+
     /// Record an in-place update `old → new` of attribute `a`.
-    pub fn update(&mut self, a: AttrId, old: &Value, new: &Value) {
+    pub fn update_id(&mut self, a: AttrId, old: ValueId, new: ValueId) {
         if old == new {
             return;
         }
-        self.remove(a, old);
-        self.add(a, new);
+        self.remove_id(a, old);
+        self.add_id(a, new);
+    }
+
+    /// Record an in-place update `old → new` of attribute `a`.
+    pub fn update(&mut self, a: AttrId, old: &Value, new: &Value) {
+        self.update_id(a, ValueId::of(old), ValueId::of(new));
+    }
+
+    /// Does `id` occur in `adom(a, D)`?
+    pub fn contains_id(&self, a: AttrId, id: ValueId) -> bool {
+        self.per_attr[a.index()].contains_key(&id)
     }
 
     /// Does `v` occur in `adom(a, D)`?
     pub fn contains(&self, a: AttrId, v: &Value) -> bool {
-        self.per_attr[a.index()].contains_key(v)
+        self.contains_id(a, ValueId::of(v))
     }
 
-    /// Number of occurrences of `v` in attribute `a` — the frequency signal
-    /// behind the most-common-value flavour of `FINDV`.
+    /// Number of occurrences of `id` in attribute `a` — the frequency
+    /// signal behind the most-common-value flavour of `FINDV`.
+    pub fn frequency_id(&self, a: AttrId, id: ValueId) -> usize {
+        self.per_attr[a.index()].get(&id).copied().unwrap_or(0)
+    }
+
+    /// Number of occurrences of `v` in attribute `a`.
     pub fn frequency(&self, a: AttrId, v: &Value) -> usize {
-        self.per_attr[a.index()].get(v).copied().unwrap_or(0)
+        self.frequency_id(a, ValueId::of(v))
     }
 
     /// Number of distinct constants in `adom(a, D)`.
@@ -88,16 +120,23 @@ impl ActiveDomain {
         self.per_attr[a.index()].len()
     }
 
+    /// Iterate over the distinct interned constants of attribute `a` with
+    /// their frequencies. Order is unspecified.
+    pub fn ids(&self, a: AttrId) -> impl Iterator<Item = (ValueId, usize)> + '_ {
+        self.per_attr[a.index()].iter().map(|(id, c)| (*id, *c))
+    }
+
     /// Iterate over the distinct constants of attribute `a` with their
-    /// frequencies. Order is unspecified.
-    pub fn values(&self, a: AttrId) -> impl Iterator<Item = (&Value, usize)> + '_ {
-        self.per_attr[a.index()].iter().map(|(v, c)| (v, *c))
+    /// frequencies, resolved. Order is unspecified.
+    pub fn values(&self, a: AttrId) -> impl Iterator<Item = (Value, usize)> + '_ {
+        self.ids(a).map(|(id, c)| (id.value(), c))
     }
 
     /// Distinct constants of attribute `a`, sorted for deterministic
-    /// iteration (candidate enumeration must not depend on hash order).
+    /// iteration (candidate enumeration must not depend on hash order or
+    /// interning history).
     pub fn sorted_values(&self, a: AttrId) -> Vec<Value> {
-        let mut vs: Vec<Value> = self.per_attr[a.index()].keys().cloned().collect();
+        let mut vs: Vec<Value> = self.ids(a).map(|(id, _)| id.value()).collect();
         vs.sort();
         vs
     }
@@ -127,6 +166,7 @@ mod tests {
         assert_eq!(adom.frequency(city, &Value::str("PHI")), 2);
         assert_eq!(adom.frequency(city, &Value::str("NYC")), 1);
         assert!(adom.contains(city, &Value::str("NYC")));
+        assert!(adom.contains_id(city, ValueId::of(&Value::str("NYC"))));
         assert!(!adom.contains(city, &Value::str("LA")));
     }
 

@@ -51,7 +51,9 @@ fn decode_value(field: &str) -> Value {
     if field == NULL_TOKEN {
         Value::Null
     } else if let Some(rest) = field.strip_prefix(INT_PREFIX) {
-        rest.parse::<i64>().map(Value::Int).unwrap_or_else(|_| Value::str(field))
+        rest.parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or_else(|_| Value::str(field))
     } else {
         Value::str(field)
     }
@@ -209,7 +211,11 @@ pub fn read_weights<R: BufRead>(rel: &mut Relation, r: &mut R) -> Result<(), Mod
         }
     };
     let attrs = split_record(&header).map_err(|message| ModelError::Csv { line: 1, message })?;
-    let expected: Vec<&str> = rel.schema().attr_ids().map(|a| rel.schema().attr_name(a)).collect();
+    let expected: Vec<&str> = rel
+        .schema()
+        .attr_ids()
+        .map(|a| rel.schema().attr_name(a))
+        .collect();
     if attrs != expected {
         return Err(ModelError::Csv {
             line: 1,
@@ -300,10 +306,10 @@ mod tests {
         let r2 = round_trip(&r);
         assert_eq!(r2.len(), 2);
         let t0 = r2.tuple(crate::TupleId(0)).unwrap();
-        assert_eq!(t0.value(AttrId(2)), &Value::int(2));
+        assert_eq!(t0.value(AttrId(2)), Value::int(2));
         let t1 = r2.tuple(crate::TupleId(1)).unwrap();
-        assert_eq!(t1.value(AttrId(1)), &Value::str("says \"hi\", eh"));
-        assert_eq!(t1.value(AttrId(2)), &Value::Null);
+        assert_eq!(t1.value(AttrId(1)), Value::str("says \"hi\", eh"));
+        assert_eq!(t1.value(AttrId(2)), Value::Null);
     }
 
     #[test]
@@ -312,7 +318,10 @@ mod tests {
         let mut r = Relation::new(schema);
         r.insert(Tuple::new(vec![Value::str("")])).unwrap();
         let r2 = round_trip(&r);
-        assert_eq!(r2.tuple(crate::TupleId(0)).unwrap().value(AttrId(0)), &Value::str(""));
+        assert_eq!(
+            r2.tuple(crate::TupleId(0)).unwrap().value(AttrId(0)),
+            Value::str("")
+        );
     }
 
     #[test]
@@ -347,8 +356,10 @@ mod tests {
     #[test]
     fn weights_round_trip() {
         let mut r = sample();
-        r.set_weights(crate::TupleId(0), &[0.25, 0.5, 0.75]).unwrap();
-        r.set_weights(crate::TupleId(1), &[1.0, 0.0, 0.125]).unwrap();
+        r.set_weights(crate::TupleId(0), &[0.25, 0.5, 0.75])
+            .unwrap();
+        r.set_weights(crate::TupleId(1), &[1.0, 0.0, 0.125])
+            .unwrap();
         let mut buf = Vec::new();
         write_weights(&r, &mut buf).unwrap();
         let mut r2 = sample();
@@ -391,6 +402,9 @@ mod tests {
         let mut r = Relation::new(schema);
         r.insert(Tuple::new(vec![Value::str("x, y, z")])).unwrap();
         let r2 = round_trip(&r);
-        assert_eq!(r2.tuple(crate::TupleId(0)).unwrap().value(AttrId(0)), &Value::str("x, y, z"));
+        assert_eq!(
+            r2.tuple(crate::TupleId(0)).unwrap().value(AttrId(0)),
+            Value::str("x, y, z")
+        );
     }
 }

@@ -8,10 +8,16 @@
 use std::collections::BTreeMap;
 
 use crate::error::ModelError;
+use crate::pool::ValuePool;
 use crate::relation::Relation;
 use crate::schema::Schema;
 
 /// A collection of relations addressed by name.
+///
+/// All relations share the process-wide [`ValuePool`] (see
+/// [`Database::pool`]): ids are stable across relations and databases, so
+/// repairs can move interned ids between the original, the working copy,
+/// and candidate tuples without translation.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
@@ -21,6 +27,12 @@ impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The value pool this database's relations intern into — the
+    /// process-wide dictionary.
+    pub fn pool(&self) -> &'static ValuePool {
+        ValuePool::global()
     }
 
     /// Create an empty relation for `schema`, replacing any previous
@@ -84,7 +96,9 @@ mod tests {
     fn create_and_lookup() {
         let mut db = Database::new();
         let schema = Schema::new("order", &["id", "name"]).unwrap();
-        db.create(schema).insert(Tuple::from_iter(["a23", "H. Porter"])).unwrap();
+        db.create(schema)
+            .insert(Tuple::from_iter(["a23", "H. Porter"]))
+            .unwrap();
         assert_eq!(db.len(), 1);
         assert_eq!(db.relation("order").unwrap().len(), 1);
         assert!(db.relation("missing").is_err());
@@ -94,7 +108,9 @@ mod tests {
     fn create_replaces_existing() {
         let mut db = Database::new();
         let schema = Schema::new("r", &["a"]).unwrap();
-        db.create(schema.clone()).insert(Tuple::from_iter(["x"])).unwrap();
+        db.create(schema.clone())
+            .insert(Tuple::from_iter(["x"]))
+            .unwrap();
         db.create(schema);
         assert!(db.relation("r").unwrap().is_empty());
     }

@@ -137,7 +137,8 @@ mod tests {
     fn null_counts_as_difference() {
         let a = rel(&[["x", "y"]]);
         let mut b = a.clone();
-        b.set_value(crate::TupleId(0), AttrId(1), Value::Null).unwrap();
+        b.set_value(crate::TupleId(0), AttrId(1), Value::Null)
+            .unwrap();
         assert_eq!(dif(&a, &b), 1);
     }
 
@@ -154,7 +155,8 @@ mod tests {
     fn quality_perfect_repair() {
         let dopt = rel(&[["x", "y"], ["u", "v"]]);
         let mut d = dopt.clone();
-        d.set_value(crate::TupleId(0), AttrId(0), Value::str("BAD")).unwrap();
+        d.set_value(crate::TupleId(0), AttrId(0), Value::str("BAD"))
+            .unwrap();
         let q = RepairQuality::evaluate(&d, &dopt, &dopt);
         assert_eq!(q.noises, 1);
         assert_eq!(q.changes, 1);
@@ -168,12 +170,16 @@ mod tests {
         let dopt = rel(&[["x", "y"], ["u", "v"]]);
         // two noises
         let mut d = dopt.clone();
-        d.set_value(crate::TupleId(0), AttrId(0), Value::str("BAD0")).unwrap();
-        d.set_value(crate::TupleId(1), AttrId(1), Value::str("BAD1")).unwrap();
+        d.set_value(crate::TupleId(0), AttrId(0), Value::str("BAD0"))
+            .unwrap();
+        d.set_value(crate::TupleId(1), AttrId(1), Value::str("BAD1"))
+            .unwrap();
         // repair fixes noise 0 but damages a clean cell
         let mut repr = d.clone();
-        repr.set_value(crate::TupleId(0), AttrId(0), Value::str("x")).unwrap();
-        repr.set_value(crate::TupleId(0), AttrId(1), Value::str("OOPS")).unwrap();
+        repr.set_value(crate::TupleId(0), AttrId(0), Value::str("x"))
+            .unwrap();
+        repr.set_value(crate::TupleId(0), AttrId(1), Value::str("OOPS"))
+            .unwrap();
         let q = RepairQuality::evaluate(&d, &repr, &dopt);
         assert_eq!(q.noises, 2);
         assert_eq!(q.changes, 2);

@@ -45,20 +45,32 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}` in schema"),
             ModelError::TooManyAttributes(n) => {
-                write!(f, "schema has {n} attributes; at most {} supported", u16::MAX)
+                write!(
+                    f,
+                    "schema has {n} attributes; at most {} supported",
+                    u16::MAX
+                )
             }
-            ModelError::UnknownAttribute { relation, attribute } => {
+            ModelError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "relation `{relation}` has no attribute `{attribute}`")
             }
             ModelError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {actual} does not match schema arity {expected}"
+                )
             }
             ModelError::WeightOutOfRange(w) => {
                 write!(f, "attribute weight {w} outside [0, 1]")
             }
             ModelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
             ModelError::UnknownTuple(t) => write!(f, "no live tuple with id {t}"),
-            ModelError::Csv { line, message } => write!(f, "csv parse error on line {line}: {message}"),
+            ModelError::Csv { line, message } => {
+                write!(f, "csv parse error on line {line}: {message}")
+            }
             ModelError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -85,11 +97,17 @@ mod tests {
 
     #[test]
     fn messages_are_descriptive() {
-        let e = ModelError::ArityMismatch { expected: 9, actual: 3 };
+        let e = ModelError::ArityMismatch {
+            expected: 9,
+            actual: 3,
+        };
         assert!(e.to_string().contains("arity 3"));
         let e = ModelError::WeightOutOfRange(1.5);
         assert!(e.to_string().contains("1.5"));
-        let e = ModelError::Csv { line: 4, message: "unterminated quote".into() };
+        let e = ModelError::Csv {
+            line: 4,
+            message: "unterminated quote".into(),
+        };
         assert!(e.to_string().contains("line 4"));
     }
 

@@ -3,28 +3,53 @@
 //! [`HashIndex`] maps the projection `t[X]` of each live tuple to the set of
 //! tuple ids carrying that projection. It is the lookup primitive behind
 //! both violation detection (grouping tuples that agree on `LHS(φ)`) and the
-//! LHS-indices of §5.2. Keys use *strict* equality — a key containing `null`
-//! only groups with identical keys, which is correct because pattern
-//! matching excludes nulls anyway and the callers that need SQL-null
-//! semantics handle them explicitly.
+//! LHS-indices of §5.2. Keys are [`IdKey`]s — short runs of interned
+//! [`ValueId`]s — so every probe hashes a handful of integers instead of
+//! full strings. Keys use *strict* equality — a key containing `null`
+//! ([`NULL_ID`](crate::pool::NULL_ID)) only groups with identical keys,
+//! which is correct because pattern matching excludes nulls anyway and the
+//! callers that need SQL-null semantics handle them explicitly.
+//!
+//! With the `parallel` feature, [`HashIndex::build`] shards large
+//! relations across `std::thread::scope` workers, each building a local
+//! map that is merged at the end; keys are `Copy`-cheap ids, so the merge
+//! moves integers, never strings.
 
 use std::collections::HashMap;
 
+use crate::key::IdKey;
+use crate::pool::ValueId;
 use crate::relation::{Relation, TupleId};
 use crate::schema::AttrId;
 use crate::tuple::Tuple;
-use crate::value::Value;
+
+/// Relation size below which a parallel build is not worth the thread
+/// spawn overhead.
+#[cfg(feature = "parallel")]
+const PARALLEL_THRESHOLD: usize = 8_192;
 
 /// A hash index on a fixed attribute list `X`.
 #[derive(Clone, Debug)]
 pub struct HashIndex {
     attrs: Vec<AttrId>,
-    map: HashMap<Vec<Value>, Vec<TupleId>>,
+    map: HashMap<IdKey, Vec<TupleId>>,
 }
 
 impl HashIndex {
     /// Build an index on `attrs` over all live tuples of `rel`.
+    ///
+    /// With the `parallel` feature enabled, large relations are built on
+    /// multiple threads.
     pub fn build(rel: &Relation, attrs: &[AttrId]) -> Self {
+        #[cfg(feature = "parallel")]
+        if rel.len() >= PARALLEL_THRESHOLD {
+            return Self::build_parallel(rel, attrs);
+        }
+        Self::build_serial(rel, attrs)
+    }
+
+    /// Single-threaded build (always available; the benchmarks' baseline).
+    pub fn build_serial(rel: &Relation, attrs: &[AttrId]) -> Self {
         let mut idx = HashIndex {
             attrs: attrs.to_vec(),
             map: HashMap::new(),
@@ -33,6 +58,49 @@ impl HashIndex {
             idx.insert(id, t);
         }
         idx
+    }
+
+    /// Sharded build over `std::thread::scope`: each worker indexes a
+    /// chunk of the id space into a local map; shards are merged at the
+    /// end. Results are identical to [`HashIndex::build_serial`] up to
+    /// the (unspecified) order of ids within a group.
+    #[cfg(feature = "parallel")]
+    pub fn build_parallel(rel: &Relation, attrs: &[AttrId]) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8);
+        let ids: Vec<TupleId> = rel.ids().collect();
+        let chunk = ids.len().div_ceil(workers);
+        let maps: Vec<HashMap<IdKey, Vec<TupleId>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ids
+                .chunks(chunk.max(1))
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut local: HashMap<IdKey, Vec<TupleId>> = HashMap::new();
+                        for id in part {
+                            let t = rel.tuple(*id).expect("listed id is live");
+                            local.entry(t.project_key(attrs)).or_default().push(*id);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index shard panicked"))
+                .collect()
+        });
+        let mut map: HashMap<IdKey, Vec<TupleId>> = HashMap::new();
+        for local in maps {
+            for (k, mut v) in local {
+                map.entry(k).or_default().append(&mut v);
+            }
+        }
+        HashIndex {
+            attrs: attrs.to_vec(),
+            map,
+        }
     }
 
     /// An empty index on `attrs`.
@@ -50,8 +118,8 @@ impl HashIndex {
 
     /// Key of `t` under this index.
     #[inline]
-    pub fn key_of(&self, t: &Tuple) -> Vec<Value> {
-        t.project(&self.attrs)
+    pub fn key_of(&self, t: &Tuple) -> IdKey {
+        t.project_key(&self.attrs)
     }
 
     /// Add a tuple.
@@ -83,7 +151,7 @@ impl HashIndex {
     }
 
     /// Tuple ids whose projection equals `key` exactly.
-    pub fn get(&self, key: &[Value]) -> &[TupleId] {
+    pub fn get(&self, key: &[ValueId]) -> &[TupleId] {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
@@ -96,7 +164,7 @@ impl HashIndex {
     }
 
     /// Iterate over `(key, ids)` groups. Order is unspecified.
-    pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &[TupleId])> + '_ {
+    pub fn groups(&self) -> impl Iterator<Item = (&IdKey, &[TupleId])> + '_ {
         self.map.iter().map(|(k, v)| (k, v.as_slice()))
     }
 
@@ -109,7 +177,13 @@ impl HashIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::NULL_ID;
     use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn key(vals: &[Value]) -> Vec<ValueId> {
+        vals.iter().map(ValueId::of).collect()
+    }
 
     fn rel3() -> Relation {
         let schema = Schema::new("r", &["ac", "pn", "ct"]).unwrap();
@@ -129,11 +203,11 @@ mod tests {
         let r = rel3();
         let idx = HashIndex::build(&r, &[AttrId(0), AttrId(1)]);
         assert_eq!(idx.group_count(), 2);
-        let key = vec![Value::str("212"), Value::str("111")];
-        let mut ids: Vec<_> = idx.get(&key).to_vec();
+        let k = key(&[Value::str("212"), Value::str("111")]);
+        let mut ids: Vec<_> = idx.get(&k).to_vec();
         ids.sort();
         assert_eq!(ids, vec![TupleId(0), TupleId(1)]);
-        assert_eq!(idx.get(&[Value::str("999"), Value::str("0")]), &[]);
+        assert_eq!(idx.get(&key(&[Value::str("999"), Value::str("0")])), &[]);
     }
 
     #[test]
@@ -141,11 +215,12 @@ mod tests {
         let mut r = rel3();
         let mut idx = HashIndex::build(&r, &[AttrId(0)]);
         let before = r.tuple(TupleId(2)).unwrap().clone();
-        r.set_value(TupleId(2), AttrId(0), Value::str("212")).unwrap();
+        r.set_value(TupleId(2), AttrId(0), Value::str("212"))
+            .unwrap();
         let after = r.tuple(TupleId(2)).unwrap().clone();
         idx.update(TupleId(2), &before, &after);
-        assert_eq!(idx.get(&[Value::str("610")]), &[]);
-        assert_eq!(idx.get(&[Value::str("212")]).len(), 3);
+        assert_eq!(idx.get(&key(&[Value::str("610")])), &[]);
+        assert_eq!(idx.get(&key(&[Value::str("212")])).len(), 3);
     }
 
     #[test]
@@ -156,7 +231,7 @@ mod tests {
         let mut after = before.clone();
         after.set_value(AttrId(2), Value::str("LA"));
         idx.update(TupleId(0), &before, &after);
-        assert_eq!(idx.get(&[Value::str("212")]).len(), 2);
+        assert_eq!(idx.get(&key(&[Value::str("212")])).len(), 2);
     }
 
     #[test]
@@ -164,7 +239,7 @@ mod tests {
         let r = rel3();
         let mut idx = HashIndex::build(&r, &[AttrId(0)]);
         idx.remove(TupleId(2), r.tuple(TupleId(2)).unwrap());
-        assert_eq!(idx.get(&[Value::str("610")]), &[]);
+        assert_eq!(idx.get(&key(&[Value::str("610")])), &[]);
         assert_eq!(idx.group_count(), 1);
     }
 
@@ -176,8 +251,8 @@ mod tests {
         r.insert(Tuple::new(vec![Value::Null])).unwrap();
         r.insert(Tuple::new(vec![Value::str("x")])).unwrap();
         let idx = HashIndex::build(&r, &[AttrId(0)]);
-        assert_eq!(idx.get(&[Value::Null]).len(), 2);
-        assert_eq!(idx.get(&[Value::str("x")]).len(), 1);
+        assert_eq!(idx.get(&[NULL_ID]).len(), 2);
+        assert_eq!(idx.get(&key(&[Value::str("x")])).len(), 1);
     }
 
     #[test]
@@ -186,5 +261,41 @@ mod tests {
         let idx = HashIndex::build(&r, &[AttrId(0), AttrId(1)]);
         let t = r.tuple(TupleId(0)).unwrap();
         assert_eq!(idx.group_of(t).len(), 2);
+    }
+
+    #[test]
+    fn serial_and_default_builds_agree() {
+        let r = rel3();
+        let a = HashIndex::build(&r, &[AttrId(0)]);
+        let b = HashIndex::build_serial(&r, &[AttrId(0)]);
+        assert_eq!(a.group_count(), b.group_count());
+        for (k, ids) in a.groups() {
+            let mut x = ids.to_vec();
+            let mut y = b.get(k.as_slice()).to_vec();
+            x.sort();
+            y.sort();
+            assert_eq!(x, y);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_build_matches_serial() {
+        let schema = Schema::new("r", &["k", "v"]).unwrap();
+        let mut r = Relation::new(schema);
+        for i in 0..20_000u32 {
+            r.insert(Tuple::from_iter([format!("k{}", i % 257), format!("v{i}")]))
+                .unwrap();
+        }
+        let par = HashIndex::build_parallel(&r, &[AttrId(0)]);
+        let ser = HashIndex::build_serial(&r, &[AttrId(0)]);
+        assert_eq!(par.group_count(), ser.group_count());
+        for (k, ids) in ser.groups() {
+            let mut a = ids.to_vec();
+            let mut b = par.get(k.as_slice()).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
     }
 }

@@ -1,23 +1,45 @@
 //! # cfd-model — relational substrate for CFD-based data cleaning
 //!
 //! This crate provides the in-memory relational layer that the repair
-//! algorithms of Cong et al. (VLDB 2007) operate on:
+//! algorithms of Cong et al. (VLDB 2007) operate on. Its defining design
+//! decision is the **dictionary-encoded value layer**: every attribute
+//! value is interned exactly once in a process-wide [`ValuePool`], and all
+//! storage, comparison, grouping, and indexing above the pool speaks dense
+//! [`ValueId`]s (`u32`). Violation detection, the LHS-indices of §5.2,
+//! `BATCHREPAIR`'s equivalence classes, and discovery partitions all hash
+//! and compare integers; strings are resolved only at the edges — distance
+//! computation (`dis(v, v')`), display, and CSV.
 //!
-//! * [`Value`] — typed attribute values with the paper's *simple SQL
-//!   semantics* for `null` (§3.1, Remarks): `t1[X] = t2[X]` is true when
-//!   either side is `null`, but a tuple containing `null` never matches a
-//!   pattern tuple.
-//! * [`Schema`] / [`AttrId`] — single-relation schemas (CFDs address a single
-//!   relation; multi-relation databases are repaired relation by relation).
-//! * [`Tuple`] — attribute values plus the per-attribute confidence weights
-//!   `w(t, A) ∈ [0, 1]` of the paper's cost model (§3.2).
+//! The layers, bottom-up:
+//!
+//! * [`Value`] — typed attribute values (`Null` / `Int` / `Str`) with the
+//!   paper's *simple SQL semantics* for `null` (§3.1, Remarks).
+//! * [`pool`] — the dictionary: [`ValuePool`] interns values to
+//!   [`ValueId`]s; [`NULL_ID`] is always slot 0, and
+//!   [`ValueId::sql_eq`] / [`ValueId::strict_eq`] mirror the value-level
+//!   comparison semantics exactly (interning is injective). `t1[A] =
+//!   t2[A]` stays true under the simple SQL semantics when either id is
+//!   [`NULL_ID`], while pattern matching (in `cfd-cfd`) still rejects
+//!   nulls.
+//! * [`key`] — [`IdKey`], the compound index key: up to four ids inline
+//!   (no allocation), longer keys boxed. Every `HashMap` on a hot path
+//!   keys on `IdKey` or `ValueId`, never on `Vec<Value>`.
+//! * [`Schema`] / [`AttrId`] — single-relation schemas (CFDs address a
+//!   single relation; multi-relation databases are repaired relation by
+//!   relation).
+//! * [`Tuple`] — a row of [`ValueId`]s plus the per-attribute confidence
+//!   weights `w(t, A) ∈ [0, 1]` of the paper's cost model (§3.2).
 //! * [`Relation`] — a multiset of tuples with *stable* [`TupleId`]s, so a
 //!   tuple can be tracked through repairs even as its values change (the
 //!   "temporary unique tuple id" of §3.1).
-//! * [`ActiveDomain`] — `adom(A, D)`, the candidate pool that repairs draw
-//!   new values from (the algorithms never invent values).
-//! * [`index::HashIndex`] — hash indexes over attribute lists, the lookup
-//!   primitive behind violation detection and the LHS-indices of §5.2.
+//! * [`Database`] — named relations sharing the global pool (exposed via
+//!   [`Database::pool`]).
+//! * [`ActiveDomain`] — `adom(A, D)` as an id multiset, the candidate pool
+//!   repairs draw new values from (the algorithms never invent values).
+//! * [`index::HashIndex`] — hash indexes over attribute lists keyed on
+//!   [`IdKey`], the lookup primitive behind violation detection and the
+//!   LHS-indices of §5.2; sharded parallel builds under the `parallel`
+//!   feature.
 //! * [`query`] — a small selection engine (conjunctive predicates) used by
 //!   the SQL-style violation detection.
 //! * [`diff`] — `dif(D1, D2)`, the attribute-level difference measure used
@@ -30,6 +52,8 @@ pub mod database;
 pub mod diff;
 pub mod error;
 pub mod index;
+pub mod key;
+pub mod pool;
 pub mod query;
 pub mod relation;
 pub mod schema;
@@ -39,6 +63,8 @@ pub mod value;
 pub use active_domain::ActiveDomain;
 pub use database::Database;
 pub use error::ModelError;
+pub use key::IdKey;
+pub use pool::{ValueId, ValuePool, NULL_ID};
 pub use relation::{Relation, TupleId};
 pub use schema::{AttrId, Schema};
 pub use tuple::Tuple;

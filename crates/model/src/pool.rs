@@ -1,0 +1,320 @@
+//! The dictionary-encoded value layer: [`ValuePool`] and [`ValueId`].
+//!
+//! Every hot path in the repair pipeline — violation detection, the
+//! LHS-indices of §5.2, `BATCHREPAIR`'s equivalence classes, discovery
+//! partitions — ultimately compares and hashes attribute values. Doing
+//! that on [`Value`] means hashing full strings on every probe. The pool
+//! interns each distinct `Value` exactly once and hands out a dense
+//! [`ValueId`] (`u32`); everything above the storage layer then compares,
+//! hashes, and groups plain integers, resolving back to the string form
+//! only at the edges (distance computation, display, CSV export).
+//!
+//! ## Null semantics survive the encoding
+//!
+//! Interning is injective — `intern(a) == intern(b) ⟺ a == b` — so the
+//! paper's §3.1 comparison semantics transfer verbatim to ids:
+//!
+//! * [`ValueId::sql_eq`] — `t1[A] = t2[A]` is true when either side is
+//!   [`NULL_ID`] (the "simple SQL semantics" the paper adopts);
+//! * [`ValueId::strict_eq`] — plain id equality, `null` equals only
+//!   `null`; this is what index keys and grouping use;
+//! * pattern matching (in `cfd-cfd`) rejects [`NULL_ID`] outright — a
+//!   tuple containing `null` never matches a pattern tuple.
+//!
+//! `Value::Null` always interns to [`NULL_ID`] (slot 0), so "is this cell
+//! null" is a single integer comparison everywhere.
+//!
+//! ## Sharing model
+//!
+//! There is one process-wide pool ([`ValuePool::global`]), shared by every
+//! [`Database`](crate::Database), relation, and tuple. A single pool makes
+//! ids stable across relations — a candidate tuple built in a test, a
+//! repair's working copy, and the original database all agree on what id
+//! `"NYC"` has — which is what lets the repair algorithms move ids between
+//! structures without translation. `Database` exposes the pool it uses via
+//! [`Database::pool`](crate::Database::pool). Isolated pools (for tests of
+//! the pool itself, or for benchmarks measuring interning) can be created
+//! with [`ValuePool::new`].
+//!
+//! The pool is append-only: ids are never reused or invalidated, lookups
+//! take a read lock only, and a miss upgrades to a short write lock.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+use crate::value::Value;
+
+/// Dense identifier of an interned [`Value`] within the global pool.
+///
+/// `Copy`, 4 bytes, hash = integer hash: exactly what hot-path keys want.
+/// Ordering is *interning order*, not value order — sort resolved values
+/// when a display-stable order is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// The id of `Value::Null` — slot 0 of every pool, by construction.
+pub const NULL_ID: ValueId = ValueId(0);
+
+impl ValueId {
+    /// The id as a usize, for table addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Is this the interned `null`?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == NULL_ID
+    }
+
+    /// Tuple-to-tuple equality under the paper's simple SQL semantics:
+    /// `null` compares equal to anything (§3.1, Remark 1). Mirrors
+    /// [`Value::sql_eq`] exactly, by injectivity of interning.
+    #[inline]
+    pub fn sql_eq(self, other: ValueId) -> bool {
+        self == other || self.is_null() || other.is_null()
+    }
+
+    /// Strict equality: `null` equals only `null`. Alias of `==` that
+    /// makes call sites explicit about which semantics they want.
+    #[inline]
+    pub fn strict_eq(self, other: ValueId) -> bool {
+        self == other
+    }
+
+    /// Intern `v` in the global pool.
+    #[inline]
+    pub fn of(v: &Value) -> ValueId {
+        ValuePool::global().intern(v)
+    }
+
+    /// Resolve this id from the global pool.
+    #[inline]
+    pub fn value(self) -> Value {
+        ValuePool::global().resolve(self)
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+struct PoolInner {
+    /// id → value. Slot 0 is always `Value::Null`.
+    values: Vec<Value>,
+    /// value → id.
+    ids: HashMap<Value, u32>,
+}
+
+/// An append-only dictionary interning [`Value`]s to dense [`ValueId`]s.
+pub struct ValuePool {
+    inner: RwLock<PoolInner>,
+}
+
+impl ValuePool {
+    /// A fresh pool with `null` pre-interned at [`NULL_ID`].
+    pub fn new() -> Self {
+        let mut ids = HashMap::new();
+        ids.insert(Value::Null, 0);
+        ValuePool {
+            inner: RwLock::new(PoolInner {
+                values: vec![Value::Null],
+                ids,
+            }),
+        }
+    }
+
+    /// The process-wide shared pool.
+    pub fn global() -> &'static ValuePool {
+        static GLOBAL: OnceLock<ValuePool> = OnceLock::new();
+        GLOBAL.get_or_init(ValuePool::new)
+    }
+
+    /// Intern `v`, returning its stable id. `Value::Null` always maps to
+    /// [`NULL_ID`].
+    pub fn intern(&self, v: &Value) -> ValueId {
+        if v.is_null() {
+            return NULL_ID;
+        }
+        {
+            let inner = self.inner.read().expect("pool lock poisoned");
+            if let Some(id) = inner.ids.get(v) {
+                return ValueId(*id);
+            }
+        }
+        let mut inner = self.inner.write().expect("pool lock poisoned");
+        if let Some(id) = inner.ids.get(v) {
+            return ValueId(*id);
+        }
+        let id = u32::try_from(inner.values.len()).expect("value pool overflow (> 4G values)");
+        inner.values.push(v.clone());
+        inner.ids.insert(v.clone(), id);
+        ValueId(id)
+    }
+
+    /// Resolve an id back to its value. Cheap: strings are
+    /// reference-counted, so this clones an `Arc`, not the bytes.
+    ///
+    /// # Panics
+    /// Panics on an id this pool never issued.
+    pub fn resolve(&self, id: ValueId) -> Value {
+        self.inner.read().expect("pool lock poisoned").values[id.index()].clone()
+    }
+
+    /// Resolve without cloning, through a closure.
+    pub fn with_value<R>(&self, id: ValueId, f: impl FnOnce(&Value) -> R) -> R {
+        f(&self.inner.read().expect("pool lock poisoned").values[id.index()])
+    }
+
+    /// The id of `v` if already interned.
+    pub fn lookup(&self, v: &Value) -> Option<ValueId> {
+        if v.is_null() {
+            return Some(NULL_ID);
+        }
+        self.inner
+            .read()
+            .expect("pool lock poisoned")
+            .ids
+            .get(v)
+            .map(|id| ValueId(*id))
+    }
+
+    /// Number of distinct values interned (including `null`).
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("pool lock poisoned").values.len()
+    }
+
+    /// A pool is never empty — `null` is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Value-order comparison of two ids (resolves both sides). Used by
+    /// the few determinism-sensitive tie-breaks that need an order
+    /// independent of interning history.
+    pub fn cmp_values(&self, a: ValueId, b: ValueId) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        let inner = self.inner.read().expect("pool lock poisoned");
+        inner.values[a.index()].cmp(&inner.values[b.index()])
+    }
+}
+
+impl Default for ValuePool {
+    fn default() -> Self {
+        ValuePool::new()
+    }
+}
+
+impl fmt::Debug for ValuePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ValuePool")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_slot_zero() {
+        let pool = ValuePool::new();
+        assert_eq!(pool.intern(&Value::Null), NULL_ID);
+        assert_eq!(pool.resolve(NULL_ID), Value::Null);
+        assert!(NULL_ID.is_null());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn interning_is_injective() {
+        let pool = ValuePool::new();
+        let a = pool.intern(&Value::str("NYC"));
+        let b = pool.intern(&Value::str("NYC"));
+        let c = pool.intern(&Value::str("PHI"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pool.resolve(a), Value::str("NYC"));
+        assert_eq!(pool.resolve(c), Value::str("PHI"));
+    }
+
+    #[test]
+    fn int_and_str_stay_distinct() {
+        let pool = ValuePool::new();
+        let i = pool.intern(&Value::int(212));
+        let s = pool.intern(&Value::str("212"));
+        assert_ne!(i, s);
+    }
+
+    #[test]
+    fn sql_eq_mirrors_value_semantics() {
+        let pool = ValuePool::new();
+        let nyc = pool.intern(&Value::str("NYC"));
+        let phi = pool.intern(&Value::str("PHI"));
+        assert!(NULL_ID.sql_eq(nyc));
+        assert!(nyc.sql_eq(NULL_ID));
+        assert!(NULL_ID.sql_eq(NULL_ID));
+        assert!(nyc.sql_eq(nyc));
+        assert!(!nyc.sql_eq(phi));
+        // strict: null equals only null
+        assert!(NULL_ID.strict_eq(NULL_ID));
+        assert!(!NULL_ID.strict_eq(nyc));
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let pool = ValuePool::new();
+        assert_eq!(pool.lookup(&Value::str("x")), None);
+        let id = pool.intern(&Value::str("x"));
+        assert_eq!(pool.lookup(&Value::str("x")), Some(id));
+        assert_eq!(pool.lookup(&Value::Null), Some(NULL_ID));
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = ValueId::of(&Value::str("pool-global-probe"));
+        let b = ValueId::of(&Value::str("pool-global-probe"));
+        assert_eq!(a, b);
+        assert_eq!(a.value(), Value::str("pool-global-probe"));
+    }
+
+    #[test]
+    fn cmp_values_orders_by_value_not_id() {
+        let pool = ValuePool::new();
+        // Intern in reverse lexicographic order.
+        let z = pool.intern(&Value::str("zzz"));
+        let a = pool.intern(&Value::str("aaa"));
+        assert!(z < a); // id order follows interning order, not value order
+        assert_eq!(pool.cmp_values(a, z), std::cmp::Ordering::Less);
+        assert_eq!(pool.cmp_values(z, a), std::cmp::Ordering::Greater);
+        assert_eq!(pool.cmp_values(a, a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let pool = ValuePool::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..100)
+                            .map(|i| pool.intern(&Value::str(format!("w{i}"))))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let results: Vec<Vec<ValueId>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for w in &results[1..] {
+                assert_eq!(w, &results[0]);
+            }
+        });
+        assert_eq!(pool.len(), 101); // null + 100 distinct
+    }
+}

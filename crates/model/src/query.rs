@@ -27,16 +27,50 @@ pub enum Pred {
     EqAttr(AttrId, AttrId),
 }
 
+/// A predicate with its constant bound to an interned id — one pool
+/// lookup at bind time, plain `u32` comparisons per tuple thereafter.
+/// Constants are looked up (never interned — a read-only query must not
+/// grow the pool); a constant the pool has never seen can equal no
+/// stored cell.
+enum BoundPred {
+    /// `t[a] = id`; `None` means the constant is unknown to the pool
+    /// (matches nothing).
+    Eq(AttrId, Option<crate::pool::ValueId>),
+    /// `t[a] ≠ id`; `None` matches everything.
+    Ne(AttrId, Option<crate::pool::ValueId>),
+    IsNull(AttrId),
+    NotNull(AttrId),
+    EqAttr(AttrId, AttrId),
+}
+
+impl BoundPred {
+    #[inline]
+    fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            BoundPred::Eq(a, id) => *id == Some(t.id(*a)),
+            BoundPred::Ne(a, id) => *id != Some(t.id(*a)),
+            BoundPred::IsNull(a) => t.is_null(*a),
+            BoundPred::NotNull(a) => !t.is_null(*a),
+            BoundPred::EqAttr(a, b) => t.id(*a) == t.id(*b),
+        }
+    }
+}
+
 impl Pred {
+    fn bind(&self) -> BoundPred {
+        let pool = crate::pool::ValuePool::global();
+        match self {
+            Pred::Eq(a, v) => BoundPred::Eq(*a, pool.lookup(v)),
+            Pred::Ne(a, v) => BoundPred::Ne(*a, pool.lookup(v)),
+            Pred::IsNull(a) => BoundPred::IsNull(*a),
+            Pred::NotNull(a) => BoundPred::NotNull(*a),
+            Pred::EqAttr(a, b) => BoundPred::EqAttr(*a, *b),
+        }
+    }
+
     /// Evaluate the predicate on `t`.
     pub fn eval(&self, t: &Tuple) -> bool {
-        match self {
-            Pred::Eq(a, v) => t.value(*a) == v,
-            Pred::Ne(a, v) => t.value(*a) != v,
-            Pred::IsNull(a) => t.value(*a).is_null(),
-            Pred::NotNull(a) => !t.value(*a).is_null(),
-            Pred::EqAttr(a, b) => t.value(*a) == t.value(*b),
-        }
+        self.bind().eval(t)
     }
 }
 
@@ -69,9 +103,12 @@ impl Selection {
     }
 
     /// Evaluate by full scan, returning matching tuple ids in id order.
+    /// Constants are bound to ids once up front; the per-tuple work is
+    /// integer comparisons only.
     pub fn scan(&self, rel: &Relation) -> Vec<TupleId> {
+        let bound: Vec<BoundPred> = self.preds.iter().map(Pred::bind).collect();
         rel.iter()
-            .filter(|(_, t)| self.eval(t))
+            .filter(|(_, t)| bound.iter().all(|p| p.eval(t)))
             .map(|(id, _)| id)
             .collect()
     }
@@ -83,18 +120,25 @@ impl Selection {
         let mut key = Vec::with_capacity(idx.attrs().len());
         for a in idx.attrs() {
             match self.preds.iter().find_map(|p| match p {
-                Pred::Eq(pa, v) if pa == a => Some(v.clone()),
+                // lookup, not intern: a never-seen constant matches nothing.
+                Pred::Eq(pa, v) if pa == a => Some(crate::pool::ValuePool::global().lookup(v)),
                 _ => None,
             }) {
-                Some(v) => key.push(v),
+                Some(Some(id)) => key.push(id),
+                Some(None) => return Vec::new(),
                 None => return self.scan(rel),
             }
         }
+        let bound: Vec<BoundPred> = self.preds.iter().map(Pred::bind).collect();
         let mut out: Vec<TupleId> = idx
             .get(&key)
             .iter()
             .copied()
-            .filter(|id| rel.tuple(*id).map(|t| self.eval(t)).unwrap_or(false))
+            .filter(|id| {
+                rel.tuple(*id)
+                    .map(|t| bound.iter().all(|p| p.eval(t)))
+                    .unwrap_or(false)
+            })
             .collect();
         out.sort();
         out

@@ -110,10 +110,21 @@ impl Relation {
 
     /// Overwrite one attribute value of a live tuple.
     pub fn set_value(&mut self, id: TupleId, a: AttrId, v: Value) -> Result<(), ModelError> {
-        let t = self
-            .tuple_mut(id)
-            .ok_or(ModelError::UnknownTuple(id.0))?;
+        let t = self.tuple_mut(id).ok_or(ModelError::UnknownTuple(id.0))?;
         t.set_value(a, v);
+        Ok(())
+    }
+
+    /// Overwrite one attribute value of a live tuple with an
+    /// already-interned id — the hot-path form of [`Relation::set_value`].
+    pub fn set_value_id(
+        &mut self,
+        id: TupleId,
+        a: AttrId,
+        v: crate::pool::ValueId,
+    ) -> Result<(), ModelError> {
+        let t = self.tuple_mut(id).ok_or(ModelError::UnknownTuple(id.0))?;
+        t.set_id(a, v);
         Ok(())
     }
 
@@ -126,9 +137,7 @@ impl Relation {
                 actual: weights.len(),
             });
         }
-        let t = self
-            .tuple_mut(id)
-            .ok_or(ModelError::UnknownTuple(id.0))?;
+        let t = self.tuple_mut(id).ok_or(ModelError::UnknownTuple(id.0))?;
         for (i, w) in weights.iter().enumerate() {
             t.set_weight(AttrId(i as u16), *w);
         }
@@ -211,7 +220,13 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut r = rel();
         let err = r.insert(Tuple::from_iter(["only-one"])).unwrap_err();
-        assert!(matches!(err, ModelError::ArityMismatch { expected: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            ModelError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]
@@ -222,7 +237,7 @@ mod tests {
         r.delete(t0).unwrap();
         assert_eq!(r.len(), 1);
         assert!(r.tuple(t0).is_none());
-        assert_eq!(r.tuple(t1).unwrap().value(AttrId(0)), &Value::str("u"));
+        assert_eq!(r.tuple(t1).unwrap().value(AttrId(0)), Value::str("u"));
         // double delete errors
         assert!(r.delete(t0).is_err());
     }
@@ -232,7 +247,7 @@ mod tests {
         let mut r = rel();
         let t0 = r.insert(t2("PHI", "PA")).unwrap();
         r.set_value(t0, AttrId(0), Value::str("NYC")).unwrap();
-        assert_eq!(r.tuple(t0).unwrap().value(AttrId(0)), &Value::str("NYC"));
+        assert_eq!(r.tuple(t0).unwrap().value(AttrId(0)), Value::str("NYC"));
         assert!(r.set_value(TupleId(99), AttrId(0), Value::Null).is_err());
     }
 
@@ -256,7 +271,10 @@ mod tests {
         let mapping = r.compact();
         assert_eq!(mapping, vec![(t0, TupleId(0)), (t2_, TupleId(1))]);
         assert_eq!(r.len(), 2);
-        assert_eq!(r.tuple(TupleId(1)).unwrap().value(AttrId(0)), &Value::str("e"));
+        assert_eq!(
+            r.tuple(TupleId(1)).unwrap().value(AttrId(0)),
+            Value::str("e")
+        );
         // fresh inserts continue after the compacted range
         let t3 = r.insert(t2("g", "h")).unwrap();
         assert_eq!(t3, TupleId(2));

@@ -105,7 +105,10 @@ impl Schema {
 
     /// Resolve a list of attribute names.
     pub fn attrs_named<S: AsRef<str>>(&self, names: &[S]) -> Result<Vec<AttrId>, ModelError> {
-        names.iter().map(|n| self.require_attr(n.as_ref())).collect()
+        names
+            .iter()
+            .map(|n| self.require_attr(n.as_ref()))
+            .collect()
     }
 
     /// True when `a` belongs to this schema.

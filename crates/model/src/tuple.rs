@@ -1,4 +1,5 @@
-//! Tuples: attribute values plus per-attribute confidence weights.
+//! Tuples: dictionary-encoded attribute values plus per-attribute
+//! confidence weights.
 //!
 //! Following the practice of US national statistical agencies adopted by the
 //! paper (§3.2), every attribute of every tuple carries a weight
@@ -6,22 +7,38 @@
 //! weight information is available all weights default to 1 and the repair
 //! algorithms fall back to violation counts for guidance — exactly the
 //! degenerate mode the paper evaluates.
+//!
+//! Values are stored as [`ValueId`]s interned in the global
+//! [`ValuePool`](crate::pool::ValuePool): comparisons, projections and
+//! index keys are integer operations; [`Tuple::value`] resolves back to a
+//! [`Value`] at the (cold) edges that need the text form.
 
+use crate::key::IdKey;
+use crate::pool::{ValueId, NULL_ID};
 use crate::schema::AttrId;
 use crate::value::Value;
 
-/// A single tuple: values and confidence weights, both in schema order.
+/// A single tuple: interned value ids and confidence weights, both in
+/// schema order.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tuple {
-    values: Vec<Value>,
+    ids: Vec<ValueId>,
     weights: Vec<f64>,
 }
 
 impl Tuple {
-    /// Build a tuple with all weights set to 1 (no confidence information).
+    /// Build a tuple with all weights set to 1 (no confidence information),
+    /// interning every value in the global pool.
     pub fn new(values: Vec<Value>) -> Self {
-        let weights = vec![1.0; values.len()];
-        Tuple { values, weights }
+        let ids = values.iter().map(ValueId::of).collect::<Vec<_>>();
+        let weights = vec![1.0; ids.len()];
+        Tuple { ids, weights }
+    }
+
+    /// Build a tuple directly from interned ids, all weights 1.
+    pub fn from_ids(ids: Vec<ValueId>) -> Self {
+        let weights = vec![1.0; ids.len()];
+        Tuple { ids, weights }
     }
 
     /// Build a tuple with explicit weights.
@@ -35,7 +52,8 @@ impl Tuple {
             weights.len(),
             "values/weights length mismatch"
         );
-        Tuple { values, weights }
+        let ids = values.iter().map(ValueId::of).collect();
+        Tuple { ids, weights }
     }
 
     /// Convenience constructor from anything convertible to [`Value`].
@@ -50,19 +68,38 @@ impl Tuple {
 
     /// Tuple arity.
     pub fn arity(&self) -> usize {
-        self.values.len()
+        self.ids.len()
     }
 
-    /// The value of attribute `a`, i.e. `t[A]`.
+    /// The interned id of attribute `a` — the hot-path form of `t[A]`.
     #[inline]
-    pub fn value(&self, a: AttrId) -> &Value {
-        &self.values[a.index()]
+    pub fn id(&self, a: AttrId) -> ValueId {
+        self.ids[a.index()]
     }
 
-    /// Overwrite the value of attribute `a`.
+    /// The value of attribute `a`, i.e. `t[A]`, resolved from the pool.
+    /// Cheap (an `Arc` clone), but prefer [`Tuple::id`] for comparisons.
+    #[inline]
+    pub fn value(&self, a: AttrId) -> Value {
+        self.ids[a.index()].value()
+    }
+
+    /// Is `t[A]` null? A single integer comparison.
+    #[inline]
+    pub fn is_null(&self, a: AttrId) -> bool {
+        self.ids[a.index()].is_null()
+    }
+
+    /// Overwrite the value of attribute `a`, interning it.
     #[inline]
     pub fn set_value(&mut self, a: AttrId, v: Value) {
-        self.values[a.index()] = v;
+        self.ids[a.index()] = ValueId::of(&v);
+    }
+
+    /// Overwrite the value of attribute `a` with an already-interned id.
+    #[inline]
+    pub fn set_id(&mut self, a: AttrId, id: ValueId) {
+        self.ids[a.index()] = id;
     }
 
     /// The confidence weight `w(t, A)`.
@@ -82,9 +119,15 @@ impl Tuple {
         self.weights.iter().sum()
     }
 
-    /// All values in schema order.
-    pub fn values(&self) -> &[Value] {
-        &self.values
+    /// All value ids in schema order.
+    pub fn ids(&self) -> &[ValueId] {
+        &self.ids
+    }
+
+    /// All values in schema order, resolved from the pool. Allocates; for
+    /// display, CSV export and other cold paths.
+    pub fn values(&self) -> Vec<Value> {
+        self.ids.iter().map(|id| id.value()).collect()
     }
 
     /// All weights in schema order.
@@ -92,22 +135,35 @@ impl Tuple {
         &self.weights
     }
 
-    /// Project onto an attribute list: `t[X]`. Allocates; hot paths compare
-    /// in place via [`Tuple::agrees_on`] instead.
+    /// Project onto an attribute list: `t[X]`, resolved. Allocates; hot
+    /// paths use [`Tuple::project_key`] or compare via
+    /// [`Tuple::agrees_on`] instead.
     pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
-        attrs.iter().map(|a| self.value(*a).clone()).collect()
+        attrs.iter().map(|a| self.value(*a)).collect()
+    }
+
+    /// Project onto an attribute list as an id key — the hash-index and
+    /// LHS-index key form. No allocation for up to four attributes.
+    #[inline]
+    pub fn project_key(&self, attrs: &[AttrId]) -> IdKey {
+        attrs.iter().map(|a| self.id(*a)).collect()
+    }
+
+    /// Project onto an attribute list as raw ids.
+    pub fn project_ids(&self, attrs: &[AttrId]) -> Vec<ValueId> {
+        attrs.iter().map(|a| self.id(*a)).collect()
     }
 
     /// Do `self` and `other` agree on every attribute in `attrs` under
     /// *strict* equality? (Index keys and grouping use this.)
     pub fn agrees_on(&self, other: &Tuple, attrs: &[AttrId]) -> bool {
-        attrs.iter().all(|a| self.value(*a) == other.value(*a))
+        attrs.iter().all(|a| self.id(*a) == other.id(*a))
     }
 
     /// Do `self` and `other` agree on `attrs` under the paper's simple SQL
     /// null semantics (`null` equals anything)?
     pub fn sql_agrees_on(&self, other: &Tuple, attrs: &[AttrId]) -> bool {
-        attrs.iter().all(|a| self.value(*a).sql_eq(other.value(*a)))
+        attrs.iter().all(|a| self.id(*a).sql_eq(other.id(*a)))
     }
 
     /// Number of attributes on which two tuples of the same schema differ
@@ -115,24 +171,24 @@ impl Tuple {
     /// `dif(D1, D2)`.
     pub fn attr_diff(&self, other: &Tuple) -> usize {
         debug_assert_eq!(self.arity(), other.arity());
-        self.values
+        self.ids
             .iter()
-            .zip(other.values.iter())
+            .zip(other.ids.iter())
             .filter(|(a, b)| a != b)
             .count()
     }
 
     /// "Delete" the tuple by nulling every attribute (§3.1, Remark 4).
     pub fn null_out(&mut self) {
-        for v in &mut self.values {
-            *v = Value::Null;
+        for id in &mut self.ids {
+            *id = NULL_ID;
         }
     }
 
     /// True when every attribute is `null`, i.e. the tuple was logically
     /// deleted.
     pub fn is_nulled(&self) -> bool {
-        self.values.iter().all(Value::is_null)
+        self.ids.iter().all(|id| id.is_null())
     }
 }
 
@@ -172,9 +228,19 @@ mod tests {
     #[test]
     fn value_get_set() {
         let mut tup = t(&["212", "PHI"]);
-        assert_eq!(tup.value(AttrId(1)), &Value::str("PHI"));
+        assert_eq!(tup.value(AttrId(1)), Value::str("PHI"));
         tup.set_value(AttrId(1), Value::str("NYC"));
-        assert_eq!(tup.value(AttrId(1)), &Value::str("NYC"));
+        assert_eq!(tup.value(AttrId(1)), Value::str("NYC"));
+        assert_eq!(tup.id(AttrId(1)), ValueId::of(&Value::str("NYC")));
+    }
+
+    #[test]
+    fn ids_round_trip_through_pool() {
+        let tup = t(&["212", "PHI"]);
+        let ids = tup.ids().to_vec();
+        let back = Tuple::from_ids(ids);
+        assert_eq!(back.value(AttrId(0)), Value::str("212"));
+        assert_eq!(back, tup);
     }
 
     #[test]
@@ -182,7 +248,14 @@ mod tests {
         let a = t(&["212", "3345677", "PHI"]);
         let b = t(&["212", "9999999", "PHI"]);
         let attrs = [AttrId(0), AttrId(2)];
-        assert_eq!(a.project(&attrs), vec![Value::str("212"), Value::str("PHI")]);
+        assert_eq!(
+            a.project(&attrs),
+            vec![Value::str("212"), Value::str("PHI")]
+        );
+        assert_eq!(
+            a.project_key(&attrs).as_slice(),
+            &[a.id(AttrId(0)), a.id(AttrId(2))]
+        );
         assert!(a.agrees_on(&b, &attrs));
         assert!(!a.agrees_on(&b, &[AttrId(1)]));
     }
@@ -193,6 +266,7 @@ mod tests {
         let b = t(&["212", "NYC"]);
         assert!(!a.sql_agrees_on(&b, &[AttrId(1)]));
         a.set_value(AttrId(1), Value::Null);
+        assert!(a.is_null(AttrId(1)));
         assert!(a.sql_agrees_on(&b, &[AttrId(1)]));
         // strict agreement still fails
         assert!(!a.agrees_on(&b, &[AttrId(1)]));
@@ -212,6 +286,7 @@ mod tests {
         assert!(!a.is_nulled());
         a.null_out();
         assert!(a.is_nulled());
-        assert_eq!(a.value(AttrId(0)), &Value::Null);
+        assert_eq!(a.value(AttrId(0)), Value::Null);
+        assert_eq!(a.id(AttrId(0)), NULL_ID);
     }
 }

@@ -187,7 +187,10 @@ mod tests {
         assert_eq!(Value::int(-40).render(), "-40");
         assert_eq!(Value::int(-40).render_len(), 3);
         assert_eq!(Value::int(0).render_len(), 1);
-        assert_eq!(Value::int(i64::MIN).render_len(), i64::MIN.to_string().len());
+        assert_eq!(
+            Value::int(i64::MIN).render_len(),
+            i64::MIN.to_string().len()
+        );
     }
 
     #[test]

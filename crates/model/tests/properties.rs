@@ -1,14 +1,18 @@
-//! Property-based tests for the relational substrate: the selection
-//! engine's two evaluation paths agree, hash indexes stay consistent
-//! under updates, the diff metric is a metric, and relations keep their
-//! id/compaction invariants.
+//! Randomized property tests for the relational substrate: the dictionary
+//! layer's id-level semantics agree with the value-level semantics, the
+//! selection engine's two evaluation paths agree, hash indexes stay
+//! consistent under updates, the diff metric is a metric, and relations
+//! keep their id/compaction invariants.
+//!
+//! Each property runs a few hundred seeded trials through
+//! `cfd_prng::trials`; failures reproduce exactly from the seed.
 
-use proptest::prelude::*;
+use cfd_prng::{trials, ChaCha8Rng, Rng};
 
 use cfd_model::csv;
 use cfd_model::diff::dif;
 use cfd_model::query::{Pred, Selection};
-use cfd_model::{AttrId, Relation, Schema, Tuple, TupleId, Value};
+use cfd_model::{AttrId, Relation, Schema, Tuple, TupleId, Value, ValueId, ValuePool, NULL_ID};
 
 const ARITY: usize = 3;
 
@@ -16,15 +20,20 @@ fn schema() -> Schema {
     Schema::new("r", &["a", "b", "c"]).unwrap()
 }
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        4 => (0..4u32).prop_map(|i| Value::str(format!("v{i}"))),
-        1 => Just(Value::Null),
-    ]
+/// A small random value: one of four constants, an integer, or null.
+fn rand_value(rng: &mut ChaCha8Rng) -> Value {
+    match rng.gen_range(0..12u32) {
+        0 | 1 => Value::Null,
+        2 => Value::int(rng.gen_range(0..4i64)),
+        i => Value::str(format!("v{}", i % 4)),
+    }
 }
 
-fn rows_strategy() -> impl Strategy<Value = Vec<Vec<Value>>> {
-    proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 0..16)
+fn rand_rows(rng: &mut ChaCha8Rng, max: usize) -> Vec<Vec<Value>> {
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| (0..ARITY).map(|_| rand_value(rng)).collect())
+        .collect()
 }
 
 fn build(rows: &[Vec<Value>]) -> Relation {
@@ -35,59 +44,118 @@ fn build(rows: &[Vec<Value>]) -> Relation {
     rel
 }
 
-fn pred_strategy() -> impl Strategy<Value = Pred> {
-    prop_oneof![
-        (0..ARITY, value_strategy()).prop_map(|(a, v)| Pred::Eq(AttrId(a as u16), v)),
-        (0..ARITY, value_strategy()).prop_map(|(a, v)| Pred::Ne(AttrId(a as u16), v)),
-        (0..ARITY).prop_map(|a| Pred::IsNull(AttrId(a as u16))),
-        (0..ARITY).prop_map(|a| Pred::NotNull(AttrId(a as u16))),
-        (0..ARITY, 0..ARITY).prop_map(|(a, b)| Pred::EqAttr(AttrId(a as u16), AttrId(b as u16))),
-    ]
+/// Interning is injective, so `ValueId::sql_eq` / `strict_eq` /
+/// null-checks must agree with `Value::sql_eq` / `strict_eq` / `is_null`
+/// on arbitrary value pairs — the contract that lets every layer above
+/// the pool run on ids without changing the paper's §3.1 semantics.
+#[test]
+fn id_semantics_agree_with_value_semantics() {
+    trials(500, 0xA11CE, |rng| {
+        let v = rand_value(rng);
+        let w = rand_value(rng);
+        let (iv, iw) = (ValueId::of(&v), ValueId::of(&w));
+        assert_eq!(iv.sql_eq(iw), v.sql_eq(&w), "sql_eq mismatch on {v} vs {w}");
+        assert_eq!(
+            iv.strict_eq(iw),
+            v.strict_eq(&w),
+            "strict_eq mismatch on {v} vs {w}"
+        );
+        assert_eq!(iv.is_null(), v.is_null());
+        assert_eq!(iv == iw, v == w, "id equality must be injective");
+        // round-trip
+        assert_eq!(iv.value(), v);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
+/// Tuple-level agreement predicates (strict and SQL) computed on ids must
+/// match a reference computation on resolved values.
+#[test]
+fn tuple_agreement_matches_value_reference() {
+    trials(300, 0xBEEF, |rng| {
+        let a = Tuple::new((0..ARITY).map(|_| rand_value(rng)).collect());
+        let b = Tuple::new((0..ARITY).map(|_| rand_value(rng)).collect());
+        let attrs: Vec<AttrId> = (0..ARITY as u16).map(AttrId).collect();
+        let strict_ref = attrs.iter().all(|x| a.value(*x).strict_eq(&b.value(*x)));
+        let sql_ref = attrs.iter().all(|x| a.value(*x).sql_eq(&b.value(*x)));
+        assert_eq!(a.agrees_on(&b, &attrs), strict_ref);
+        assert_eq!(a.sql_agrees_on(&b, &attrs), sql_ref);
+        let diff_ref = attrs
+            .iter()
+            .filter(|x| a.value(**x) != b.value(**x))
+            .count();
+        assert_eq!(a.attr_diff(&b), diff_ref);
+    });
+}
 
-    /// The scan evaluation and the index-assisted evaluation return the
-    /// same tuples for any selection whose equality prefix the index
-    /// covers.
-    #[test]
-    fn scan_and_index_paths_agree(
-        rows in rows_strategy(),
-        key_attr in 0..ARITY,
-        key in value_strategy(),
-        extra in pred_strategy(),
-    ) {
-        let rel = build(&rows);
-        let a = AttrId(key_attr as u16);
+/// A fresh (non-global) pool assigns dense ids starting after NULL_ID and
+/// resolves every id it issued.
+#[test]
+fn isolated_pool_is_dense_and_total() {
+    trials(50, 0xD1C7, |rng| {
+        let pool = ValuePool::new();
+        let mut issued = vec![NULL_ID];
+        for _ in 0..rng.gen_range(1..40usize) {
+            issued.push(pool.intern(&rand_value(rng)));
+        }
+        let max = issued.iter().map(|id| id.index()).max().unwrap();
+        assert_eq!(max + 1, pool.len(), "ids are dense");
+        for id in issued {
+            let v = pool.resolve(id);
+            assert_eq!(pool.intern(&v), id, "resolve/intern round-trip");
+        }
+    });
+}
+
+fn rand_pred(rng: &mut ChaCha8Rng) -> Pred {
+    let a = AttrId(rng.gen_range(0..ARITY as u32) as u16);
+    let b = AttrId(rng.gen_range(0..ARITY as u32) as u16);
+    match rng.gen_range(0..5u32) {
+        0 => Pred::Eq(a, rand_value(rng)),
+        1 => Pred::Ne(a, rand_value(rng)),
+        2 => Pred::IsNull(a),
+        3 => Pred::NotNull(a),
+        _ => Pred::EqAttr(a, b),
+    }
+}
+
+/// The scan evaluation and the index-assisted evaluation return the same
+/// tuples for any selection whose equality prefix the index covers.
+#[test]
+fn scan_and_index_paths_agree() {
+    trials(160, 0x5CA1, |rng| {
+        let rel = build(&rand_rows(rng, 16));
+        let a = AttrId(rng.gen_range(0..ARITY as u32) as u16);
         let sel = Selection::all()
-            .and(Pred::Eq(a, key))
-            .and(extra);
+            .and(Pred::Eq(a, rand_value(rng)))
+            .and(rand_pred(rng));
         let idx = cfd_model::index::HashIndex::build(&rel, &[a]);
         let mut by_scan = sel.scan(&rel);
         let mut by_index = sel.via_index(&rel, &idx);
         by_scan.sort_unstable();
         by_index.sort_unstable();
-        prop_assert_eq!(by_scan, by_index);
-    }
+        assert_eq!(by_scan, by_index);
+    });
+}
 
-    /// Hash indexes survive arbitrary in-place updates: after a series of
-    /// set_value calls with index maintenance, every group lookup equals
-    /// a fresh rebuild.
-    #[test]
-    fn hash_index_incremental_equals_rebuild(
-        rows in rows_strategy(),
-        updates in proptest::collection::vec((0..16usize, 0..ARITY, value_strategy()), 0..12),
-    ) {
-        let mut rel = build(&rows);
-        prop_assume!(rel.len() > 0);
+/// Hash indexes survive arbitrary in-place updates: after a series of
+/// set_value calls with index maintenance, every group lookup equals a
+/// fresh rebuild.
+#[test]
+fn hash_index_incremental_equals_rebuild() {
+    trials(160, 0x1D3, |rng| {
+        let mut rel = build(&rand_rows(rng, 16));
+        if rel.is_empty() {
+            return;
+        }
         let attrs = [AttrId(0), AttrId(1)];
         let mut idx = cfd_model::index::HashIndex::build(&rel, &attrs);
         let ids: Vec<TupleId> = rel.ids().collect();
-        for (slot, attr, v) in updates {
-            let id = ids[slot % ids.len()];
+        for _ in 0..rng.gen_range(0..12usize) {
+            let id = ids[rng.gen_range(0..ids.len())];
+            let attr = AttrId(rng.gen_range(0..ARITY as u32) as u16);
+            let v = rand_value(rng);
             let before = rel.tuple(id).unwrap().clone();
-            rel.set_value(id, AttrId(attr as u16), v).unwrap();
+            rel.set_value(id, attr, v).unwrap();
             let after = rel.tuple(id).unwrap().clone();
             idx.update(id, &before, &after);
         }
@@ -97,18 +165,21 @@ proptest! {
             let mut b: Vec<TupleId> = fresh.group_of(t).to_vec();
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    /// `dif` is a metric on equally-sized relations: identity, symmetry,
-    /// triangle inequality, and the attribute-count bound.
-    #[test]
-    fn dif_is_a_metric(
-        rows_a in proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 1..8),
-    ) {
+/// `dif` is a metric on equally-sized relations: identity, symmetry,
+/// triangle inequality, and the attribute-count bound.
+#[test]
+fn dif_is_a_metric() {
+    trials(120, 0xD1F, |rng| {
+        let mut rows_a = rand_rows(rng, 8);
+        if rows_a.is_empty() {
+            rows_a.push((0..ARITY).map(|_| rand_value(rng)).collect());
+        }
         let a = build(&rows_a);
-        // b, c: mutate a deterministically
         let mutate = |shift: u32| -> Relation {
             let rows: Vec<Vec<Value>> = rows_a
                 .iter()
@@ -125,53 +196,57 @@ proptest! {
         };
         let b = mutate(1);
         let c = mutate(2);
-        prop_assert_eq!(dif(&a, &a), 0);
-        prop_assert_eq!(dif(&a, &b), dif(&b, &a));
-        prop_assert!(dif(&a, &c) <= dif(&a, &b) + dif(&b, &c));
-        prop_assert!(dif(&a, &b) <= a.len() * ARITY);
-    }
+        assert_eq!(dif(&a, &a), 0);
+        assert_eq!(dif(&a, &b), dif(&b, &a));
+        assert!(dif(&a, &c) <= dif(&a, &b) + dif(&b, &c));
+        assert!(dif(&a, &b) <= a.len() * ARITY);
+    });
+}
 
-    /// Deleting then compacting preserves the surviving tuples (in
-    /// order), and ids stay dense afterwards.
-    #[test]
-    fn compaction_preserves_survivors(
-        rows in proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 1..12),
-        kill in proptest::collection::vec(any::<bool>(), 1..12),
-    ) {
+/// Deleting then compacting preserves the surviving tuples (in order),
+/// and ids stay dense afterwards.
+#[test]
+fn compaction_preserves_survivors() {
+    trials(120, 0xC0DE, |rng| {
+        let mut rows = rand_rows(rng, 12);
+        if rows.is_empty() {
+            rows.push((0..ARITY).map(|_| rand_value(rng)).collect());
+        }
         let mut rel = build(&rows);
         let ids: Vec<TupleId> = rel.ids().collect();
         let mut survivors = Vec::new();
-        for (i, id) in ids.iter().enumerate() {
-            if kill.get(i).copied().unwrap_or(false) {
+        for id in &ids {
+            if rng.gen_bool(0.4) {
                 rel.delete(*id).unwrap();
             } else {
-                survivors.push(rel.tuple(*id).unwrap().values().to_vec());
+                survivors.push(rel.tuple(*id).unwrap().values());
             }
         }
         let mapping = rel.compact();
-        prop_assert_eq!(rel.len(), survivors.len());
-        prop_assert_eq!(mapping.len(), survivors.len());
+        assert_eq!(rel.len(), survivors.len());
+        assert_eq!(mapping.len(), survivors.len());
         for (i, (_, new_id)) in mapping.iter().enumerate() {
-            prop_assert_eq!(new_id.0 as usize, i, "ids dense after compaction");
+            assert_eq!(new_id.0 as usize, i, "ids dense after compaction");
         }
-        let after: Vec<Vec<Value>> = rel.iter().map(|(_, t)| t.values().to_vec()).collect();
-        prop_assert_eq!(after, survivors);
-    }
+        let after: Vec<Vec<Value>> = rel.iter().map(|(_, t)| t.values()).collect();
+        assert_eq!(after, survivors);
+    });
+}
 
-    /// CSV round-trips preserve weights alongside values (the CLI's
-    /// `--weights` path).
-    #[test]
-    fn csv_value_and_weight_round_trip(
-        rows in proptest::collection::vec(proptest::collection::vec(value_strategy(), ARITY), 1..8),
-        weights in proptest::collection::vec(
-            proptest::collection::vec(0.0f64..=1.0, ARITY), 1..8,
-        ),
-    ) {
+/// CSV round-trips preserve weights alongside values (the CLI's
+/// `--weights` path).
+#[test]
+fn csv_value_and_weight_round_trip() {
+    trials(120, 0xC57, |rng| {
+        let mut rows = rand_rows(rng, 8);
+        if rows.is_empty() {
+            rows.push((0..ARITY).map(|_| rand_value(rng)).collect());
+        }
         let mut rel = build(&rows);
         let ids: Vec<TupleId> = rel.ids().collect();
-        for (i, id) in ids.iter().enumerate() {
-            let w = &weights[i % weights.len()];
-            rel.set_weights(*id, w).unwrap();
+        for id in &ids {
+            let w: Vec<f64> = (0..ARITY).map(|_| rng.gen_range(0.0..1.0)).collect();
+            rel.set_weights(*id, &w).unwrap();
         }
         let mut vbuf = Vec::new();
         csv::write_relation(&rel, &mut vbuf).unwrap();
@@ -179,13 +254,13 @@ proptest! {
         csv::write_weights(&rel, &mut wbuf).unwrap();
         let mut rel2 = csv::read_relation("r", &mut vbuf.as_slice()).unwrap();
         csv::read_weights(&mut rel2, &mut wbuf.as_slice()).unwrap();
-        prop_assert_eq!(rel.len(), rel2.len());
+        assert_eq!(rel.len(), rel2.len());
         for ((_, t1), (_, t2)) in rel.iter().zip(rel2.iter()) {
-            prop_assert_eq!(t1.values(), t2.values());
+            assert_eq!(t1.values(), t2.values());
             for a in 0..ARITY {
                 let a = AttrId(a as u16);
-                prop_assert!((t1.weight(a) - t2.weight(a)).abs() < 1e-12);
+                assert!((t1.weight(a) - t2.weight(a)).abs() < 1e-12);
             }
         }
-    }
+    });
 }

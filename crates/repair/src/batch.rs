@@ -27,12 +27,15 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
-use cfd_cfd::violation::{detect_with_engine, minimal_variable_ids, ConstantRules, Engine, GroupIndexes};
+use cfd_cfd::violation::{
+    detect_with_engine, minimal_variable_ids, ConstantRules, Engine, GroupIndexes,
+};
 use cfd_cfd::{CfdId, NormalCfd, Sigma};
-use cfd_model::{AttrId, Relation, TupleId, Value};
+use cfd_model::{AttrId, IdKey, Relation, TupleId, ValueId, ValuePool, NULL_ID};
 
-use crate::cost::{class_assign_cost, repair_cost};
+use crate::cost::{class_assign_cost_ids, repair_cost};
 use crate::depgraph::DepGraph;
+use crate::distance::DistanceCache;
 use crate::equivalence::{Cell, EqClasses, Target};
 use crate::RepairError;
 
@@ -122,7 +125,7 @@ pub struct BatchOutcome {
 enum Fix {
     SetConst {
         cell: Cell,
-        v: Value,
+        v: ValueId,
     },
     SetNull {
         cell: Cell,
@@ -133,7 +136,7 @@ enum Fix {
     Merge {
         a: Cell,
         b: Cell,
-        winner: Option<Value>,
+        winner: Option<ValueId>,
     },
 }
 
@@ -148,13 +151,16 @@ enum Violation {
 /// decisions are O(distinct values) instead of O(|group|).
 #[derive(Default)]
 struct ValueBucket {
-    /// Ordered so every census iteration (partner choice, winner ties,
-    /// cost sampling) is deterministic across runs.
+    /// Ordered so carrier enumeration within a bucket is deterministic.
+    /// Bucket order itself is `ValueId` (interning) order — the
+    /// interning-history-sensitive decisions (merge winner, dirty-mark
+    /// majority, partner choice) each re-anchor to value order or tuple
+    /// id explicitly.
     ids: BTreeSet<TupleId>,
     weight: f64,
 }
 
-type GroupMap = HashMap<Vec<Value>, std::collections::BTreeMap<Value, ValueBucket>>;
+type GroupMap = HashMap<IdKey, std::collections::BTreeMap<ValueId, ValueBucket>>;
 
 /// Per-(variable-shape, group-key) census of non-null RHS values. Gives
 /// `violates` an O(1) fast path — "this group holds at most one distinct
@@ -176,14 +182,14 @@ impl GroupCensus {
             .collect();
         for (id, t) in rel.iter() {
             for (lhs, rhs, map) in &mut shapes {
-                let v = t.value(*rhs);
+                let v = t.id(*rhs);
                 if v.is_null() {
                     continue;
                 }
                 let bucket = map
-                    .entry(t.project(lhs))
+                    .entry(t.project_key(lhs))
                     .or_default()
-                    .entry(v.clone())
+                    .entry(v)
                     .or_default();
                 bucket.ids.insert(id);
                 bucket.weight += t.weight(*rhs);
@@ -203,7 +209,7 @@ impl GroupCensus {
     /// shape `(lhs, rhs)`.
     fn distinct(&self, lhs: &[AttrId], rhs: AttrId, t: &cfd_model::Tuple) -> usize {
         self.shape(lhs, rhs)
-            .and_then(|map| map.get(&t.project(lhs)))
+            .and_then(|map| map.get(&t.project_key(lhs)))
             .map(|vals| vals.len())
             .unwrap_or(0)
     }
@@ -216,8 +222,9 @@ impl GroupCensus {
         lhs: &[AttrId],
         rhs: AttrId,
         t: &cfd_model::Tuple,
-    ) -> Option<&std::collections::BTreeMap<Value, ValueBucket>> {
-        self.shape(lhs, rhs).and_then(|map| map.get(&t.project(lhs)))
+    ) -> Option<&std::collections::BTreeMap<ValueId, ValueBucket>> {
+        self.shape(lhs, rhs)
+            .and_then(|map| map.get(&t.project_key(lhs)))
     }
 
     /// Tuple ids in `t`'s group carrying a value different from `v`,
@@ -228,14 +235,14 @@ impl GroupCensus {
         lhs: &[AttrId],
         rhs: AttrId,
         t: &cfd_model::Tuple,
-        v: &'c Value,
+        v: ValueId,
     ) -> impl Iterator<Item = TupleId> + 'c {
         self.shape(lhs, rhs)
-            .and_then(|map| map.get(&t.project(lhs)))
+            .and_then(|map| map.get(&t.project_key(lhs)))
             .into_iter()
             .flat_map(move |vals| {
                 vals.iter()
-                    .filter(move |(val, _)| *val != v)
+                    .filter(move |(val, _)| **val != v)
                     .flat_map(|(_, bucket)| bucket.ids.iter().copied())
             })
     }
@@ -244,29 +251,29 @@ impl GroupCensus {
     fn update(&mut self, id: TupleId, before: &cfd_model::Tuple, after: &cfd_model::Tuple) {
         for (lhs, rhs, map) in &mut self.shapes {
             let key_changed = !before.agrees_on(after, lhs);
-            let val_changed = before.value(*rhs) != after.value(*rhs);
+            let val_changed = before.id(*rhs) != after.id(*rhs);
             if !key_changed && !val_changed {
                 continue;
             }
-            let old_v = before.value(*rhs);
+            let old_v = before.id(*rhs);
             if !old_v.is_null() {
-                if let Some(vals) = map.get_mut(&before.project(lhs)) {
-                    if let Some(bucket) = vals.get_mut(old_v) {
+                if let Some(vals) = map.get_mut(&before.project_key(lhs)) {
+                    if let Some(bucket) = vals.get_mut(&old_v) {
                         if bucket.ids.remove(&id) {
                             bucket.weight -= before.weight(*rhs);
                         }
                         if bucket.ids.is_empty() {
-                            vals.remove(old_v);
+                            vals.remove(&old_v);
                         }
                     }
                 }
             }
-            let new_v = after.value(*rhs);
+            let new_v = after.id(*rhs);
             if !new_v.is_null() {
                 let bucket = map
-                    .entry(after.project(lhs))
+                    .entry(after.project_key(lhs))
                     .or_default()
-                    .entry(new_v.clone())
+                    .entry(new_v)
                     .or_default();
                 if bucket.ids.insert(id) {
                     bucket.weight += after.weight(*rhs);
@@ -298,6 +305,8 @@ struct BatchState<'a> {
     /// the last-known fix cost (as ordered bits) and are re-verified and
     /// re-priced when popped.
     heap: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// Memoized `dis(v, v')` over id pairs.
+    dcache: DistanceCache,
     stats: BatchStats,
     config: BatchConfig,
 }
@@ -317,11 +326,7 @@ impl<'a> BatchState<'a> {
         let arity = orig.schema().arity();
         // Cell grid covers the id space including tombstones; dead slots
         // simply never participate.
-        let slots = orig
-            .ids()
-            .map(|id| id.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let slots = orig.ids().map(|id| id.index() + 1).max().unwrap_or(0);
         let eq = EqClasses::new(slots, arity, |tid, a| {
             orig.tuple(tid).map(|t| t.weight(a)).unwrap_or(0.0)
         });
@@ -359,6 +364,7 @@ impl<'a> BatchState<'a> {
             dirty,
             initial_vio,
             heap: BinaryHeap::new(),
+            dcache: DistanceCache::new(),
             stats: BatchStats::default(),
             config,
         };
@@ -374,13 +380,13 @@ impl<'a> BatchState<'a> {
     }
 
     /// Effective value of a cell (target materialized into `work`).
-    fn eff(&self, t: TupleId, a: AttrId) -> &Value {
-        self.work.tuple(t).expect("live tuple").value(a)
+    fn eff(&self, t: TupleId, a: AttrId) -> ValueId {
+        self.work.tuple(t).expect("live tuple").id(a)
     }
 
     /// Original value of a cell (for cost computation).
-    fn orig_value(&self, c: Cell) -> &Value {
-        self.orig.tuple(c.tuple).expect("live tuple").value(c.attr)
+    fn orig_id(&self, c: Cell) -> ValueId {
+        self.orig.tuple(c.tuple).expect("live tuple").id(c.attr)
     }
 
     /// Constant-rule violations tuple `tid` would retain after setting
@@ -390,9 +396,9 @@ impl<'a> BatchState<'a> {
     /// cheap as the correct one, and wrong values cascade through shared
     /// groups. Constant rules only: they pin nearly every attribute in
     /// CFD workloads and cost O(shapes) to check.
-    fn residual_vios(&self, tid: TupleId, b: AttrId, v: &Value) -> usize {
+    fn residual_vios(&self, tid: TupleId, b: AttrId, v: ValueId) -> usize {
         let mut t = self.work.tuple(tid).expect("live").clone();
-        t.set_value(b, v.clone());
+        t.set_id(b, v);
         self.rules.violations_of(&t, None)
     }
 
@@ -405,9 +411,9 @@ impl<'a> BatchState<'a> {
             return None;
         }
         let a = n.rhs_attr();
-        let v = t.value(a);
+        let v = t.id(a);
         if n.is_constant() {
-            if n.rhs_pattern().satisfied_by(v) {
+            if n.rhs_pattern_id().satisfied_by_id(v) {
                 None
             } else {
                 Some(Violation::Constant)
@@ -422,20 +428,24 @@ impl<'a> BatchState<'a> {
             if self.census.distinct(n.lhs(), a, t) <= 1 {
                 return None;
             }
-            let v = v.clone();
+            // The partner choice feeds the fix pricing, so it must not
+            // depend on interning history: bucket iteration is ValueId
+            // (interning) order, so collect the bounded candidate set and
+            // pick the smallest qualifying tuple id — a relation-content
+            // property. (Groups with > 64 conflictors may still truncate
+            // differently across histories; any partner is sound.)
             let candidates: Vec<TupleId> = self
                 .census
-                .conflicting_ids(n.lhs(), a, t, &v)
+                .conflicting_ids(n.lhs(), a, t, v)
                 .take(64)
                 .collect();
-            for other in candidates {
-                if other != tid
-                    && !self.eq.same_class(Cell::new(tid, a), Cell::new(other, a))
-                {
-                    return Some(Violation::Variable { partner: other });
-                }
-            }
-            None
+            candidates
+                .into_iter()
+                .filter(|other| {
+                    *other != tid && !self.eq.same_class(Cell::new(tid, a), Cell::new(*other, a))
+                })
+                .min()
+                .map(|partner| Violation::Variable { partner })
         }
     }
 
@@ -443,7 +453,7 @@ impl<'a> BatchState<'a> {
     /// lines 4–5): pick from the effective `b`-values of tuples agreeing
     /// with `t` on `X ∪ {A} \ {b}` the value minimizing `Cost(t, b, v)`
     /// with `v ≠ t[b]`.
-    fn findv_lhs(&mut self, n: &NormalCfd, tid: TupleId, b: AttrId) -> Option<(Value, f64)> {
+    fn findv_lhs(&mut self, n: &NormalCfd, tid: TupleId, b: AttrId) -> Option<(ValueId, f64)> {
         let mut s_attrs: Vec<AttrId> = n
             .lhs()
             .iter()
@@ -464,19 +474,19 @@ impl<'a> BatchState<'a> {
             .copied()
             .take(self.config.findv_candidates)
             .collect();
-        let current = t.value(b).clone();
-        let mut best: Option<(Value, usize, f64)> = None;
-        let mut seen: BTreeSet<Value> = BTreeSet::new();
+        let current = t.id(b);
+        let mut best: Option<(ValueId, usize, f64)> = None;
+        let mut seen: BTreeSet<ValueId> = BTreeSet::new();
         for cand_tid in s_group {
             if cand_tid == tid {
                 continue;
             }
-            let v = self.eff(cand_tid, b).clone();
-            if v.is_null() || v == current || !seen.insert(v.clone()) {
+            let v = self.eff(cand_tid, b);
+            if v.is_null() || v == current || !seen.insert(v) {
                 continue;
             }
-            let cost = self.assign_cost(Cell::new(tid, b), &v);
-            let residual = self.class_residual_vios(Cell::new(tid, b), &v);
+            let cost = self.assign_cost(Cell::new(tid, b), v);
+            let residual = self.class_residual_vios(Cell::new(tid, b), v);
             let better = match &best {
                 Some((_, br, bc)) => (residual, cost) < (*br, *bc),
                 None => true,
@@ -496,7 +506,7 @@ impl<'a> BatchState<'a> {
     /// to the minority binding — zero residual on the tuple under repair,
     /// one on the silently-dragged member, cascade thereafter (the t599
     /// scenario in `robustness.rs`).
-    fn class_residual_vios(&mut self, cell: Cell, v: &Value) -> usize {
+    fn class_residual_vios(&mut self, cell: Cell, v: ValueId) -> usize {
         const SAMPLE: usize = 8;
         // Copy only the sampled prefix — classes merged through
         // low-cardinality FDs hold thousands of cells and this runs on
@@ -524,18 +534,18 @@ impl<'a> BatchState<'a> {
     /// equal) lets the sum collapse to `weight_sum · dis(current, v)` —
     /// O(1) instead of O(|class|), which matters once low-cardinality FDs
     /// have merged country-sized classes.
-    fn assign_cost(&mut self, cell: Cell, v: &Value) -> f64 {
+    fn assign_cost(&mut self, cell: Cell, v: ValueId) -> f64 {
         const EXACT_LIMIT: usize = 64;
         if self.eq.members(cell).len() > EXACT_LIMIT {
-            let current = self.eff(cell.tuple, cell.attr).clone();
-            return if &current == v {
+            let current = self.eff(cell.tuple, cell.attr);
+            return if current == v {
                 0.0
             } else {
-                self.eq.weight_sum(cell) * crate::distance::normalized_distance(&current, v)
+                self.eq.weight_sum(cell) * self.dcache.normalized(current, v)
             };
         }
         let member_cells: Vec<Cell> = self.eq.members(cell).to_vec();
-        let members: Vec<(f64, Value)> = member_cells
+        let members: Vec<(f64, ValueId)> = member_cells
             .iter()
             .map(|c| {
                 let w = self
@@ -543,10 +553,10 @@ impl<'a> BatchState<'a> {
                     .tuple(c.tuple)
                     .map(|t| t.weight(c.attr))
                     .unwrap_or(0.0);
-                (w, self.orig_value(*c).clone())
+                (w, self.orig_id(*c))
             })
             .collect();
-        class_assign_cost(members.iter().map(|(w, old)| (*w, old)), v)
+        class_assign_cost_ids(members.iter().copied(), v, &mut self.dcache)
     }
 
     /// Plan the LHS-change resolution shared by cases 1.2 and 2.2: try a
@@ -613,11 +623,10 @@ impl<'a> BatchState<'a> {
             Violation::Constant => {
                 let cell = Cell::new(tid, a);
                 let pat = n
-                    .rhs_pattern()
-                    .as_const()
-                    .expect("constant violation implies constant pattern")
-                    .clone();
-                match self.eq.target(cell).clone() {
+                    .rhs_pattern_id()
+                    .as_const_id()
+                    .expect("constant violation implies constant pattern");
+                match *self.eq.target(cell) {
                     // Case 1.1: free RHS target — assigning the pattern
                     // constant is available. §3.1 resolves "in more than
                     // one way" and chooses by cost, so the LHS change is
@@ -625,8 +634,8 @@ impl<'a> BatchState<'a> {
                     // cell (low weight), rewriting it beats dragging the
                     // RHS to the wrong binding.
                     Target::Free => {
-                        let raw = self.assign_cost(cell, &pat);
-                        let residual = self.class_residual_vios(cell, &pat);
+                        let raw = self.assign_cost(cell, pat);
+                        let residual = self.class_residual_vios(cell, pat);
                         let rhs_cost = raw * (1.0 + residual as f64);
                         let rhs_fix = (Fix::SetConst { cell, v: pat }, rhs_cost);
                         match self.plan_lhs_change(n, &[tid]) {
@@ -650,11 +659,11 @@ impl<'a> BatchState<'a> {
                 // they re-verify, the constant repairs have usually
                 // dissolved the conflict.
                 const SUSPECT_VIO: usize = 8;
-                let initial_suspects = usize::from(
-                    self.initial_vio.get(&tid).copied().unwrap_or(0) > SUSPECT_VIO,
-                ) + usize::from(
-                    self.initial_vio.get(partner).copied().unwrap_or(0) > SUSPECT_VIO,
-                );
+                let initial_suspects =
+                    usize::from(self.initial_vio.get(&tid).copied().unwrap_or(0) > SUSPECT_VIO)
+                        + usize::from(
+                            self.initial_vio.get(partner).copied().unwrap_or(0) > SUSPECT_VIO,
+                        );
                 let suspects = self
                     .rules
                     .violations_of(self.work.tuple(tid).expect("live"), None)
@@ -664,8 +673,8 @@ impl<'a> BatchState<'a> {
                     + initial_suspects;
                 let defer_penalty = 10.0 * suspects as f64;
                 let (c1, c2) = (Cell::new(tid, a), Cell::new(*partner, a));
-                let t1 = self.eq.target(c1).clone();
-                let t2 = self.eq.target(c2).clone();
+                let t1 = *self.eq.target(c1);
+                let t2 = *self.eq.target(c2);
                 match (&t1, &t2) {
                     // Case 2.3: nulls never conflict — filtered by violates().
                     (Target::Null, _) | (_, Target::Null) => None,
@@ -688,25 +697,24 @@ impl<'a> BatchState<'a> {
                         // its group support.
                         let (cost, winner, loser_residual, const_forced) = match (&t1, &t2) {
                             (Target::Const(x), Target::Free) => {
-                                let x = x.clone();
-                                let residual = self.class_residual_vios(c2, &x);
-                                let cost = self.assign_cost(c2, &x) * (1.0 + residual as f64);
+                                let x = *x;
+                                let residual = self.class_residual_vios(c2, x);
+                                let cost = self.assign_cost(c2, x) * (1.0 + residual as f64);
                                 (cost, None, residual, true)
                             }
                             (Target::Free, Target::Const(y)) => {
-                                let y = y.clone();
-                                let residual = self.class_residual_vios(c1, &y);
-                                let cost = self.assign_cost(c1, &y) * (1.0 + residual as f64);
+                                let y = *y;
+                                let residual = self.class_residual_vios(c1, y);
+                                let cost = self.assign_cost(c1, y) * (1.0 + residual as f64);
                                 (cost, None, residual, true)
                             }
                             (Target::Free, Target::Free) => {
-                                let v1 = self.eff(tid, a).clone();
-                                let v2 = self.eff(*partner, a).clone();
+                                let v1 = self.eff(tid, a);
+                                let v2 = self.eff(*partner, a);
                                 if v1 == v2 {
                                     (0.0, None, 0, false)
                                 } else {
-                                    let (c, w, r) =
-                                        self.plan_group_merge(n, tid, *partner, &v1, &v2);
+                                    let (c, w, r) = self.plan_group_merge(n, tid, *partner, v1, v2);
                                     (c, w, r, false)
                                 }
                             }
@@ -764,9 +772,9 @@ impl<'a> BatchState<'a> {
         n: &NormalCfd,
         tid: TupleId,
         partner: TupleId,
-        v1: &Value,
-        v2: &Value,
-    ) -> (f64, Option<Value>, usize) {
+        v1: ValueId,
+        v2: ValueId,
+    ) -> (f64, Option<ValueId>, usize) {
         let a = n.rhs_attr();
         if self.config.merge_pricing == MergePricing::Pairwise {
             return self.plan_pairwise_merge(n, tid, partner, v1, v2);
@@ -776,17 +784,18 @@ impl<'a> BatchState<'a> {
         // count) per bucket. Weight sums are maintained by the census, so
         // this is O(distinct values) plus the ≤ SAMPLE carriers actually
         // priced below — a country-sized majority bucket is never cloned.
-        // Bucket and carrier iteration is ordered (BTree maps), so winner
-        // ties and the cost sample are deterministic.
+        // Carrier iteration per bucket is tuple-id ordered; winner ties
+        // across buckets break by *value* order below, so the choice does
+        // not depend on interning history.
         const SAMPLE: usize = 16;
-        let buckets: Vec<(Value, f64, Vec<TupleId>, usize)> = self
+        let buckets: Vec<(ValueId, f64, Vec<TupleId>, usize)> = self
             .census
             .value_buckets(n.lhs(), a, &t)
             .map(|m| {
                 m.iter()
                     .map(|(v, b)| {
                         (
-                            v.clone(),
+                            *v,
                             b.weight,
                             b.ids.iter().copied().take(SAMPLE).collect(),
                             b.ids.len(),
@@ -800,15 +809,20 @@ impl<'a> BatchState<'a> {
             // different minimal CFD) — fall back to pairwise pricing.
             return self.plan_pairwise_merge(n, tid, partner, v1, v2);
         }
+        // Weight ties break by *value* order (pool comparison), so the
+        // winner does not depend on interning history.
+        let pool = ValuePool::global();
         let wi = buckets
             .iter()
             .enumerate()
-            .max_by(|(_, (_, x, _, _)), (_, (_, y, _, _))| {
-                x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
+            .max_by(|(_, (va, x, _, _)), (_, (vb, y, _, _))| {
+                x.partial_cmp(y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| pool.cmp_values(*vb, *va))
             })
             .map(|(i, _)| i)
             .expect("buckets non-empty");
-        let winner = buckets[wi].0.clone();
+        let winner = buckets[wi].0;
         // Moving every minority carrier to the winner; sampled and scaled
         // beyond SAMPLE carriers per bucket, to bound planning cost.
         let mut cost = 0.0;
@@ -818,7 +832,7 @@ impl<'a> BatchState<'a> {
             }
             let mut bucket_cost = 0.0;
             for id in ids {
-                bucket_cost += self.assign_cost(Cell::new(*id, a), &winner);
+                bucket_cost += self.assign_cost(Cell::new(*id, a), winner);
             }
             if *total > ids.len() {
                 bucket_cost *= *total as f64 / ids.len() as f64;
@@ -826,8 +840,8 @@ impl<'a> BatchState<'a> {
             cost += bucket_cost;
         }
         // Residual damage of the representative loser, as elsewhere.
-        let loser = if winner == *v1 { partner } else { tid };
-        let residual = self.class_residual_vios(Cell::new(loser, a), &winner);
+        let loser = if winner == v1 { partner } else { tid };
+        let residual = self.class_residual_vios(Cell::new(loser, a), winner);
         let cost = cost * (1.0 + residual as f64);
         (cost, Some(winner), residual)
     }
@@ -840,33 +854,31 @@ impl<'a> BatchState<'a> {
         n: &NormalCfd,
         tid: TupleId,
         partner: TupleId,
-        v1: &Value,
-        v2: &Value,
-    ) -> (f64, Option<Value>, usize) {
+        v1: ValueId,
+        v2: ValueId,
+    ) -> (f64, Option<ValueId>, usize) {
         let a = n.rhs_attr();
         let (c1, c2) = (Cell::new(tid, a), Cell::new(partner, a));
         let r2 = self.class_residual_vios(c1, v2);
         let r1 = self.class_residual_vios(c2, v1);
-        let towards_v2 =
-            (self.assign_cost(c1, v2) + self.assign_cost(c2, v2)) * (1.0 + r2 as f64);
-        let towards_v1 =
-            (self.assign_cost(c1, v1) + self.assign_cost(c2, v1)) * (1.0 + r1 as f64);
+        let towards_v2 = (self.assign_cost(c1, v2) + self.assign_cost(c2, v2)) * (1.0 + r2 as f64);
+        let towards_v1 = (self.assign_cost(c1, v1) + self.assign_cost(c2, v1)) * (1.0 + r1 as f64);
         if towards_v1 <= towards_v2 {
-            (towards_v1, Some(v1.clone()), r1)
+            (towards_v1, Some(v1), r1)
         } else {
-            (towards_v2, Some(v2.clone()), r2)
+            (towards_v2, Some(v2), r2)
         }
     }
 
     /// Write a value into a cell of `work`, updating indexes and dirty
     /// sets (§4.2's `Dirty_Tuples` maintenance).
-    fn write_cell(&mut self, cell: Cell, v: &Value) {
+    fn write_cell(&mut self, cell: Cell, v: ValueId) {
         let before = self.work.tuple(cell.tuple).expect("live").clone();
-        if before.value(cell.attr) == v {
+        if before.id(cell.attr) == v {
             return;
         }
         self.work
-            .set_value(cell.tuple, cell.attr, v.clone())
+            .set_value_id(cell.tuple, cell.attr, v)
             .expect("live tuple");
         let after = self.work.tuple(cell.tuple).expect("live").clone();
         self.indexes.update(cell.tuple, &before, &after);
@@ -876,7 +888,7 @@ impl<'a> BatchState<'a> {
         // old image are pruned lazily by the verify step).
         let mut fired: Vec<CfdId> = Vec::new();
         self.rules.for_each_fired(&after, |_, r| {
-            if !r.rhs.satisfied_by(after.value(r.rhs_attr)) {
+            if !r.rhs.satisfied_by_id(after.id(r.rhs_attr)) {
                 fired.push(r.id);
             }
         });
@@ -905,14 +917,16 @@ impl<'a> BatchState<'a> {
             let mut to_mark: Vec<TupleId> = vec![cell.tuple];
             if let Some(buckets) = self.census.value_buckets(n.lhs(), a, &after) {
                 if buckets.len() > 1 {
+                    let pool = ValuePool::global();
                     let majority = buckets
                         .iter()
-                        .max_by(|(_, x), (_, y)| {
+                        .max_by(|(va, x), (vb, y)| {
                             x.weight
                                 .partial_cmp(&y.weight)
                                 .unwrap_or(std::cmp::Ordering::Equal)
+                                .then_with(|| pool.cmp_values(**vb, **va))
                         })
-                        .map(|(v, _)| v.clone())
+                        .map(|(v, _)| *v)
                         .expect("non-empty buckets");
                     for (v, bucket) in buckets {
                         if *v != majority {
@@ -935,15 +949,15 @@ impl<'a> BatchState<'a> {
     /// values. (Free classes are reconciled eagerly at merge time, in the
     /// `Merge` arm of `apply_fix`, touching only the losing side.)
     fn materialize_class(&mut self, cell: Cell) {
-        let target = self.eq.target(cell).clone();
+        let target = *self.eq.target(cell);
         let value = match target {
             Target::Free => return,
             Target::Const(v) => v,
-            Target::Null => Value::Null,
+            Target::Null => NULL_ID,
         };
         let members: Vec<Cell> = self.eq.members(cell).to_vec();
         for m in members {
-            self.write_cell(m, &value);
+            self.write_cell(m, value);
         }
     }
 
@@ -975,8 +989,8 @@ impl<'a> BatchState<'a> {
                 self.materialize_class(cell);
             }
             Fix::Merge { a, b, winner } => {
-                let va = self.eff(a.tuple, a.attr).clone();
-                let vb = self.eff(b.tuple, b.attr).clone();
+                let va = self.eff(a.tuple, a.attr);
+                let vb = self.eff(b.tuple, b.attr);
                 // The group-majority winner was chosen at plan time
                 // (plan_group_merge); fall back to pre-merge pairwise
                 // pricing when the plan carried none. Pricing must happen
@@ -987,19 +1001,19 @@ impl<'a> BatchState<'a> {
                 } else if let Some(w) = winner {
                     Some(w)
                 } else {
-                    let ca = self.assign_cost(a, &vb); // move side A → vb
-                    let cb = self.assign_cost(b, &va); // move side B → va
-                    Some(if ca <= cb { vb.clone() } else { va.clone() })
+                    let ca = self.assign_cost(a, vb); // move side A → vb
+                    let cb = self.assign_cost(b, va); // move side B → va
+                    Some(if ca <= cb { vb } else { va })
                 };
                 // The merged class's value, mirroring the target lattice
                 // of `EqClasses::merge`: null dominates, then constants,
                 // then the group-majority winner between free classes.
-                let ta = self.eq.target(a).clone();
-                let tb = self.eq.target(b).clone();
-                let merged_value: Option<Value> = match (&ta, &tb) {
-                    (Target::Null, _) | (_, Target::Null) => Some(Value::Null),
-                    (Target::Const(x), _) => Some(x.clone()),
-                    (_, Target::Const(y)) => Some(y.clone()),
+                let ta = *self.eq.target(a);
+                let tb = *self.eq.target(b);
+                let merged_value: Option<ValueId> = match (&ta, &tb) {
+                    (Target::Null, _) | (_, Target::Null) => Some(NULL_ID),
+                    (Target::Const(x), _) => Some(*x),
+                    (_, Target::Const(y)) => Some(*y),
                     (Target::Free, Target::Free) => free_winner,
                 };
                 // Capture only the sides that will be rewritten, before
@@ -1009,8 +1023,16 @@ impl<'a> BatchState<'a> {
                 // country-sized winner class is never cloned.
                 let (side_a, side_b) = match &merged_value {
                     Some(w) => (
-                        if va != *w { self.eq.members(a).to_vec() } else { Vec::new() },
-                        if vb != *w { self.eq.members(b).to_vec() } else { Vec::new() },
+                        if va != *w {
+                            self.eq.members(a).to_vec()
+                        } else {
+                            Vec::new()
+                        },
+                        if vb != *w {
+                            self.eq.members(b).to_vec()
+                        } else {
+                            Vec::new()
+                        },
                     ),
                     None => (Vec::new(), Vec::new()),
                 };
@@ -1020,7 +1042,7 @@ impl<'a> BatchState<'a> {
                 self.stats.merges += 1;
                 if let Some(winner) = merged_value {
                     for m in side_a.into_iter().chain(side_b) {
-                        self.write_cell(m, &winner);
+                        self.write_cell(m, winner);
                     }
                 }
             }
@@ -1084,11 +1106,21 @@ impl<'a> BatchState<'a> {
             }
             if std::env::var_os("CFD_DEBUG_FIXES").is_some() {
                 let desc = match &fix {
-                    Fix::SetConst { cell, v } => format!("SetConst {} {} := {}", cell.tuple, cell.attr, v),
+                    Fix::SetConst { cell, v } => {
+                        format!("SetConst {} {} := {}", cell.tuple, cell.attr, v.value())
+                    }
                     Fix::SetNull { cell } => format!("SetNull {} {}", cell.tuple, cell.attr),
-                    Fix::Merge { a, b, .. } => format!("Merge {} {} ~ {} {}", a.tuple, a.attr, b.tuple, b.attr),
+                    Fix::Merge { a, b, .. } => {
+                        format!("Merge {} {} ~ {} {}", a.tuple, a.attr, b.tuple, b.attr)
+                    }
                 };
-                eprintln!("FIX cfd={} row={} cost={:.3} {}", n.source_name(), n.source_row(), cost, desc);
+                eprintln!(
+                    "FIX cfd={} row={} cost={:.3} {}",
+                    n.source_name(),
+                    n.source_row(),
+                    cost,
+                    desc
+                );
             }
             self.apply_fix(fix)?;
             // The tuple may still violate this CFD with other partners:
@@ -1141,7 +1173,7 @@ impl<'a> BatchState<'a> {
         }
         self.stats.instantiation_rounds += 1;
         for root in roots {
-            let eff = self.eff(root.tuple, root.attr).clone();
+            let eff = self.eff(root.tuple, root.attr);
             let fix = if eff.is_null() {
                 Fix::SetNull { cell: root }
             } else {
@@ -1209,7 +1241,7 @@ mod tests {
     use super::*;
     use cfd_cfd::pattern::{PatternRow, PatternValue};
     use cfd_cfd::Cfd;
-    use cfd_model::{Schema, Tuple};
+    use cfd_model::{Schema, Tuple, Value};
 
     fn fig1() -> (Relation, Sigma) {
         let schema = Schema::new(
@@ -1219,10 +1251,50 @@ mod tests {
         .unwrap();
         let mut rel = Relation::new(schema.clone());
         let rows = [
-            ["a23", "H. Porter", "17.99", "215", "8983490", "Walnut", "PHI", "PA", "19014"],
-            ["a23", "H. Porter", "17.99", "610", "3456789", "Spruce", "PHI", "PA", "19014"],
-            ["a12", "J. Denver", "7.94", "212", "3345677", "Canel", "PHI", "PA", "10012"],
-            ["a89", "Snow White", "18.99", "212", "5674322", "Broad", "PHI", "PA", "10012"],
+            [
+                "a23",
+                "H. Porter",
+                "17.99",
+                "215",
+                "8983490",
+                "Walnut",
+                "PHI",
+                "PA",
+                "19014",
+            ],
+            [
+                "a23",
+                "H. Porter",
+                "17.99",
+                "610",
+                "3456789",
+                "Spruce",
+                "PHI",
+                "PA",
+                "19014",
+            ],
+            [
+                "a12",
+                "J. Denver",
+                "7.94",
+                "212",
+                "3345677",
+                "Canel",
+                "PHI",
+                "PA",
+                "10012",
+            ],
+            [
+                "a89",
+                "Snow White",
+                "18.99",
+                "212",
+                "5674322",
+                "Broad",
+                "PHI",
+                "PA",
+                "10012",
+            ],
         ];
         let weights = [
             [1.0, 0.5, 0.5, 0.5, 0.5, 0.8, 0.8, 0.8, 0.8],
@@ -1232,7 +1304,8 @@ mod tests {
         ];
         for (row, ws) in rows.iter().zip(weights.iter()) {
             let values = row.iter().map(|s| Value::str(*s)).collect();
-            rel.insert(Tuple::with_weights(values, ws.to_vec())).unwrap();
+            rel.insert(Tuple::with_weights(values, ws.to_vec()))
+                .unwrap();
         }
         let phi1 = Cfd::new(
             "phi1",
@@ -1300,15 +1373,21 @@ mod tests {
         let zip = schema.attr("zip").unwrap();
         // t3's CT/ST weights (0.1) make Example 3.1's option (1) clearly
         // cheapest: CT,ST := NYC,NY.
-        assert_eq!(out.repair.tuple(TupleId(2)).unwrap().value(ct), &Value::str("NYC"));
-        assert_eq!(out.repair.tuple(TupleId(2)).unwrap().value(st), &Value::str("NY"));
+        assert_eq!(
+            out.repair.tuple(TupleId(2)).unwrap().value(ct),
+            Value::str("NYC")
+        );
+        assert_eq!(
+            out.repair.tuple(TupleId(2)).unwrap().value(st),
+            Value::str("NY")
+        );
         // t4 (CT/ST at 0.6, zip at 0.9) admits two comparably-priced
         // repairs: the paper's CT,ST := NYC,NY, or rebinding to the
         // Philadelphia zip. Require one of the two semantically sensible
         // outcomes rather than over-fitting to greedy tie-breaks.
         let t4 = out.repair.tuple(TupleId(3)).unwrap();
-        let to_nyc = t4.value(ct) == &Value::str("NYC") && t4.value(st) == &Value::str("NY");
-        let to_phi = t4.value(ct) == &Value::str("PHI") && t4.value(zip) == &Value::str("19014");
+        let to_nyc = t4.value(ct) == Value::str("NYC") && t4.value(st) == Value::str("NY");
+        let to_phi = t4.value(ct) == Value::str("PHI") && t4.value(zip) == Value::str("19014");
         assert!(to_nyc || to_phi, "unexpected t4 repair: {t4:?}");
         // t1 and t2 untouched.
         for id in [TupleId(0), TupleId(1)] {
@@ -1326,7 +1405,10 @@ mod tests {
         let out = batch_repair(
             &rel,
             &sigma,
-            BatchConfig { pick: PickStrategy::DependencyOrdered, ..Default::default() },
+            BatchConfig {
+                pick: PickStrategy::DependencyOrdered,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(cfd_cfd::check(&out.repair, &sigma));
@@ -1370,7 +1452,15 @@ mod tests {
         ]))
         .unwrap();
         for pick in [PickStrategy::DependencyOrdered, PickStrategy::GlobalBest] {
-            let out = batch_repair(&rel, &sigma, BatchConfig { pick, ..Default::default() }).unwrap();
+            let out = batch_repair(
+                &rel,
+                &sigma,
+                BatchConfig {
+                    pick,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             assert!(cfd_cfd::check(&out.repair, &sigma), "{pick:?}");
         }
     }
@@ -1419,8 +1509,14 @@ mod tests {
         let sigma = Sigma::normalize(schema.clone(), vec![fd]).unwrap();
         let out = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
         let v = schema.attr("v").unwrap();
-        assert_eq!(out.repair.tuple(TupleId(0)).unwrap().value(v), &Value::str("alpha"));
-        assert_eq!(out.repair.tuple(TupleId(1)).unwrap().value(v), &Value::str("alpha"));
+        assert_eq!(
+            out.repair.tuple(TupleId(0)).unwrap().value(v),
+            Value::str("alpha")
+        );
+        assert_eq!(
+            out.repair.tuple(TupleId(1)).unwrap().value(v),
+            Value::str("alpha")
+        );
     }
 
     #[test]

@@ -13,45 +13,50 @@
 //! be skipped wholesale; the search is exact, needs no O(n²) build, and
 //! degrades gracefully on large domains. DESIGN.md records this substitution;
 //! the `repair_ablations` bench compares it against the naive full scan.
+//!
+//! Entries carry `(Value, ValueId)` pairs: the resolved value keeps
+//! enumeration order deterministic (ties break by *value* order, which is
+//! independent of interning history), while callers receive the interned
+//! id they feed straight into the id-encoded candidate machinery.
 
 use std::collections::BTreeMap;
 
-use cfd_model::{ActiveDomain, AttrId, Value};
+use cfd_model::{ActiveDomain, AttrId, Value, ValueId};
 
 use crate::distance::dl_distance_bounded;
 
 /// A queryable view of one attribute's active domain.
 #[derive(Clone, Debug, Default)]
 pub struct ValueIndex {
-    /// Distinct values bucketed by rendered length, each bucket sorted for
-    /// determinism.
-    by_len: BTreeMap<usize, Vec<Value>>,
+    /// Distinct values bucketed by rendered length, each bucket sorted by
+    /// value for determinism.
+    by_len: BTreeMap<usize, Vec<(Value, ValueId)>>,
     len: usize,
 }
 
 impl ValueIndex {
     /// Build from the distinct values of `adom(a, D)`.
     pub fn build(adom: &ActiveDomain, a: AttrId) -> Self {
-        let mut by_len: BTreeMap<usize, Vec<Value>> = BTreeMap::new();
-        let mut len = 0;
-        for v in adom.sorted_values(a) {
-            by_len.entry(v.render_len()).or_default().push(v);
-            len += 1;
+        Self::from_ids(adom.ids(a).map(|(id, _)| id))
+    }
+
+    /// Build directly from interned ids.
+    pub fn from_ids<I: IntoIterator<Item = ValueId>>(ids: I) -> Self {
+        let mut distinct: Vec<(Value, ValueId)> =
+            ids.into_iter().map(|id| (id.value(), id)).collect();
+        distinct.sort();
+        distinct.dedup();
+        let mut by_len: BTreeMap<usize, Vec<(Value, ValueId)>> = BTreeMap::new();
+        let len = distinct.len();
+        for (v, id) in distinct {
+            by_len.entry(v.render_len()).or_default().push((v, id));
         }
         ValueIndex { by_len, len }
     }
 
     /// Build directly from values (tests, ad-hoc pools).
     pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Self {
-        let mut distinct: Vec<Value> = values.into_iter().collect();
-        distinct.sort();
-        distinct.dedup();
-        let mut by_len: BTreeMap<usize, Vec<Value>> = BTreeMap::new();
-        let len = distinct.len();
-        for v in distinct {
-            by_len.entry(v.render_len()).or_default().push(v);
-        }
-        ValueIndex { by_len, len }
+        Self::from_ids(values.into_iter().map(|v| ValueId::of(&v)))
     }
 
     /// Number of distinct values indexed.
@@ -65,29 +70,37 @@ impl ValueIndex {
     }
 
     /// Record a value newly added to the domain.
-    pub fn add(&mut self, v: &Value) {
-        if v.is_null() {
+    pub fn add(&mut self, id: ValueId) {
+        if id.is_null() {
             return;
         }
+        let v = id.value();
         let bucket = self.by_len.entry(v.render_len()).or_default();
-        if let Err(pos) = bucket.binary_search(v) {
-            bucket.insert(pos, v.clone());
+        let entry = (v, id);
+        if let Err(pos) = bucket.binary_search(&entry) {
+            bucket.insert(pos, entry);
             self.len += 1;
         }
     }
 
-    /// The `limit` values nearest to `probe` in DL distance, ascending
-    /// (ties broken by value order). `probe` itself is excluded when
+    /// The `limit` ids nearest to `probe` in DL distance, ascending (ties
+    /// broken by value order). `probe` itself is excluded when
     /// `exclude_probe` — repairs must pick a *different* value.
-    pub fn nearest(&self, probe: &Value, limit: usize, exclude_probe: bool) -> Vec<(Value, usize)> {
+    pub fn nearest(
+        &self,
+        probe: ValueId,
+        limit: usize,
+        exclude_probe: bool,
+    ) -> Vec<(ValueId, usize)> {
         if limit == 0 || self.len == 0 {
             return Vec::new();
         }
-        let probe_text = probe.render();
-        let probe_len = probe.render_len();
+        let probe_value = probe.value();
+        let probe_text = probe_value.render().into_owned();
+        let probe_len = probe_value.render_len();
         // Max-heap by (distance, value) capped at `limit`; implemented as a
         // sorted Vec because `limit` is small (≤ a few dozen).
-        let mut best: Vec<(usize, Value)> = Vec::with_capacity(limit + 1);
+        let mut best: Vec<(usize, &Value, ValueId)> = Vec::with_capacity(limit + 1);
         let mut worst_bound = usize::MAX;
         // Expand outward from the probe's length band.
         let mut offsets: Vec<i64> = Vec::new();
@@ -114,8 +127,8 @@ impl ValueIndex {
             let Some(bucket) = self.by_len.get(&(band as usize)) else {
                 continue;
             };
-            for v in bucket {
-                if exclude_probe && v == probe {
+            for (v, id) in bucket {
+                if exclude_probe && *id == probe {
                     continue;
                 }
                 let cutoff = if best.len() >= limit {
@@ -126,7 +139,7 @@ impl ValueIndex {
                 let Some(d) = dl_distance_bounded(&probe_text, &v.render(), cutoff) else {
                     continue;
                 };
-                let entry = (d, v.clone());
+                let entry = (d, v, *id);
                 let pos = best.partition_point(|e| *e <= entry);
                 best.insert(pos, entry);
                 if best.len() > limit {
@@ -137,34 +150,44 @@ impl ValueIndex {
                 }
             }
         }
-        best.into_iter().map(|(d, v)| (v, d)).collect()
+        best.into_iter().map(|(d, _, id)| (id, d)).collect()
     }
 
     /// Naive full-scan nearest (no banding, no cutoff). Kept for the
     /// ablation benchmark and as a correctness oracle in tests.
     pub fn nearest_naive(
         &self,
-        probe: &Value,
+        probe: ValueId,
         limit: usize,
         exclude_probe: bool,
-    ) -> Vec<(Value, usize)> {
-        let probe_text = probe.render();
-        let mut all: Vec<(usize, Value)> = self
+    ) -> Vec<(ValueId, usize)> {
+        let probe_text = probe.value().render().into_owned();
+        let mut all: Vec<(usize, &Value, ValueId)> = self
             .by_len
             .values()
             .flatten()
-            .filter(|v| !(exclude_probe && *v == probe))
-            .map(|v| (crate::distance::dl_distance(&probe_text, &v.render()), v.clone()))
+            .filter(|(_, id)| !(exclude_probe && *id == probe))
+            .map(|(v, id)| {
+                (
+                    crate::distance::dl_distance(&probe_text, &v.render()),
+                    v,
+                    *id,
+                )
+            })
             .collect();
         all.sort();
         all.truncate(limit);
-        all.into_iter().map(|(d, v)| (v, d)).collect()
+        all.into_iter().map(|(d, _, id)| (id, d)).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn vid(s: &str) -> ValueId {
+        ValueId::of(&Value::str(s))
+    }
 
     fn idx(values: &[&str]) -> ValueIndex {
         ValueIndex::from_values(values.iter().map(|s| Value::str(*s)))
@@ -173,8 +196,8 @@ mod tests {
     #[test]
     fn nearest_orders_by_distance() {
         let i = idx(&["walnut", "walnot", "spruce", "broad", "walnuts"]);
-        let got = i.nearest(&Value::str("walnut"), 3, false);
-        assert_eq!(got[0], (Value::str("walnut"), 0));
+        let got = i.nearest(vid("walnut"), 3, false);
+        assert_eq!(got[0], (vid("walnut"), 0));
         assert_eq!(got[1].1, 1); // walnot or walnuts
         assert_eq!(got[2].1, 1);
     }
@@ -182,8 +205,8 @@ mod tests {
     #[test]
     fn exclude_probe_skips_exact_match() {
         let i = idx(&["walnut", "walnot"]);
-        let got = i.nearest(&Value::str("walnut"), 2, true);
-        assert_eq!(got, vec![(Value::str("walnot"), 1)]);
+        let got = i.nearest(vid("walnut"), 2, true);
+        assert_eq!(got, vec![(vid("walnot"), 1)]);
     }
 
     #[test]
@@ -194,8 +217,8 @@ mod tests {
         ];
         let i = idx(&words);
         for probe in ["19014", "212", "walnut", "zzz", ""] {
-            let fast = i.nearest(&Value::str(probe), 5, false);
-            let slow = i.nearest_naive(&Value::str(probe), 5, false);
+            let fast = i.nearest(vid(probe), 5, false);
+            let slow = i.nearest_naive(vid(probe), 5, false);
             let fast_d: Vec<usize> = fast.iter().map(|(_, d)| *d).collect();
             let slow_d: Vec<usize> = slow.iter().map(|(_, d)| *d).collect();
             assert_eq!(fast_d, slow_d, "probe {probe}");
@@ -205,25 +228,25 @@ mod tests {
     #[test]
     fn add_keeps_index_queryable() {
         let mut i = idx(&["abc"]);
-        i.add(&Value::str("abd"));
-        i.add(&Value::str("abd")); // duplicate ignored
-        i.add(&Value::Null); // nulls ignored
+        i.add(vid("abd"));
+        i.add(vid("abd")); // duplicate ignored
+        i.add(cfd_model::NULL_ID); // nulls ignored
         assert_eq!(i.len(), 2);
-        let got = i.nearest(&Value::str("abd"), 1, false);
-        assert_eq!(got[0], (Value::str("abd"), 0));
+        let got = i.nearest(vid("abd"), 1, false);
+        assert_eq!(got[0], (vid("abd"), 0));
     }
 
     #[test]
     fn empty_index_returns_nothing() {
         let i = ValueIndex::default();
-        assert!(i.nearest(&Value::str("x"), 3, false).is_empty());
+        assert!(i.nearest(vid("x"), 3, false).is_empty());
         assert!(i.is_empty());
     }
 
     #[test]
     fn limit_zero_returns_nothing() {
         let i = idx(&["a"]);
-        assert!(i.nearest(&Value::str("a"), 0, false).is_empty());
+        assert!(i.nearest(vid("a"), 0, false).is_empty());
     }
 
     #[test]
@@ -236,15 +259,15 @@ mod tests {
         }
         let adom = ActiveDomain::of_relation(&rel);
         let i = ValueIndex::build(&adom, AttrId(0));
-        let got = i.nearest(&Value::str("PHI"), 2, true);
-        assert_eq!(got[0], (Value::str("PHX"), 1));
-        assert_eq!(got[1], (Value::str("NYC"), 3));
+        let got = i.nearest(vid("PHI"), 2, true);
+        assert_eq!(got[0], (vid("PHX"), 1));
+        assert_eq!(got[1], (vid("NYC"), 3));
     }
 
     #[test]
     fn int_values_searchable_by_rendering() {
         let i = ValueIndex::from_values([Value::int(19014), Value::int(10012)]);
-        let got = i.nearest(&Value::str("19013"), 1, false);
-        assert_eq!(got[0].0, Value::int(19014));
+        let got = i.nearest(vid("19013"), 1, false);
+        assert_eq!(got[0].0, ValueId::of(&Value::int(19014)));
     }
 }

@@ -12,9 +12,9 @@
 //! greedy choice in both repair algorithms; in the absence of weight
 //! information all weights are 1 and violation counts take over.
 
-use cfd_model::{Relation, Tuple, TupleId, Value};
+use cfd_model::{Relation, Tuple, TupleId, Value, ValueId};
 
-use crate::distance::normalized_distance;
+use crate::distance::{normalized_distance, DistanceCache};
 
 /// `cost(v, v')` for one attribute of one tuple, given the attribute's
 /// confidence weight.
@@ -26,6 +26,17 @@ pub fn change_cost(weight: f64, from: &Value, to: &Value) -> f64 {
     weight * normalized_distance(from, to)
 }
 
+/// [`change_cost`] on interned ids, memoized through `cache`. The hot
+/// pricing loops of both repair algorithms use this form: the `dis(v, v')`
+/// string computation happens at most once per distinct id pair.
+#[inline]
+pub fn change_cost_ids(weight: f64, from: ValueId, to: ValueId, cache: &mut DistanceCache) -> f64 {
+    if from == to {
+        return 0.0;
+    }
+    weight * cache.normalized(from, to)
+}
+
 /// Cost of changing tuple `t` into `t'` (same schema): the sum of
 /// per-attribute change costs over modified attributes, using `t`'s
 /// weights.
@@ -34,9 +45,9 @@ pub fn tuple_cost(t: &Tuple, t_new: &Tuple) -> f64 {
     let mut total = 0.0;
     for i in 0..t.arity() {
         let a = cfd_model::AttrId(i as u16);
-        let (from, to) = (t.value(a), t_new.value(a));
+        let (from, to) = (t.id(a), t_new.id(a));
         if from != to {
-            total += change_cost(t.weight(a), from, to);
+            total += t.weight(a) * crate::distance::normalized_distance_ids(from, to);
         }
     }
     total
@@ -69,11 +80,22 @@ where
         .sum()
 }
 
+/// [`class_assign_cost`] on interned ids, memoized through `cache`.
+pub fn class_assign_cost_ids<I>(members: I, v: ValueId, cache: &mut DistanceCache) -> f64
+where
+    I: IntoIterator<Item = (f64, ValueId)>,
+{
+    members
+        .into_iter()
+        .map(|(w, old)| change_cost_ids(w, old, v, cache))
+        .sum()
+}
+
 /// Convenience: evaluate the cost of an in-place single-attribute change in
 /// a relation.
 pub fn cell_change_cost(rel: &Relation, id: TupleId, a: cfd_model::AttrId, to: &Value) -> f64 {
     match rel.tuple(id) {
-        Some(t) => change_cost(t.weight(a), t.value(a), to),
+        Some(t) => change_cost(t.weight(a), &t.value(a), to),
         None => 0.0,
     }
 }
@@ -85,7 +107,10 @@ mod tests {
 
     #[test]
     fn identical_change_is_free() {
-        assert_eq!(change_cost(0.9, &Value::str("PHI"), &Value::str("PHI")), 0.0);
+        assert_eq!(
+            change_cost(0.9, &Value::str("PHI"), &Value::str("PHI")),
+            0.0
+        );
     }
 
     #[test]

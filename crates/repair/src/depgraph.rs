@@ -125,11 +125,7 @@ mod tests {
     use cfd_model::Schema;
 
     fn fd(s: &Schema, name: &str, from: &str, to: &str) -> Cfd {
-        Cfd::standard_fd(
-            name,
-            vec![s.attr(from).unwrap()],
-            vec![s.attr(to).unwrap()],
-        )
+        Cfd::standard_fd(name, vec![s.attr(from).unwrap()], vec![s.attr(to).unwrap()])
     }
 
     #[test]
@@ -137,7 +133,11 @@ mod tests {
         let s = Schema::new("r", &["a", "b", "c"]).unwrap();
         // a→b then b→c: repairing a→b (writes b) dirties b→c (reads b), so
         // a→b must come first.
-        let sigma = Sigma::normalize(s.clone(), vec![fd(&s, "ab", "a", "b"), fd(&s, "bc", "b", "c")]).unwrap();
+        let sigma = Sigma::normalize(
+            s.clone(),
+            vec![fd(&s, "ab", "a", "b"), fd(&s, "bc", "b", "c")],
+        )
+        .unwrap();
         let g = DepGraph::build(&sigma);
         assert_eq!(g.order(), &[CfdId(0), CfdId(1)]);
         assert!(g.component(CfdId(0)) < g.component(CfdId(1)));
@@ -146,7 +146,11 @@ mod tests {
     #[test]
     fn cycle_collapses_to_one_component() {
         let s = Schema::new("r", &["a", "b"]).unwrap();
-        let sigma = Sigma::normalize(s.clone(), vec![fd(&s, "ab", "a", "b"), fd(&s, "ba", "b", "a")]).unwrap();
+        let sigma = Sigma::normalize(
+            s.clone(),
+            vec![fd(&s, "ab", "a", "b"), fd(&s, "ba", "b", "a")],
+        )
+        .unwrap();
         let g = DepGraph::build(&sigma);
         assert_eq!(g.component(CfdId(0)), g.component(CfdId(1)));
         assert_eq!(g.order().len(), 2);
@@ -155,7 +159,11 @@ mod tests {
     #[test]
     fn independent_cfds_keep_id_order() {
         let s = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
-        let sigma = Sigma::normalize(s.clone(), vec![fd(&s, "ab", "a", "b"), fd(&s, "cd", "c", "d")]).unwrap();
+        let sigma = Sigma::normalize(
+            s.clone(),
+            vec![fd(&s, "ab", "a", "b"), fd(&s, "cd", "c", "d")],
+        )
+        .unwrap();
         let g = DepGraph::build(&sigma);
         assert_eq!(g.order().len(), 2);
         // no dependency: both CFDs appear exactly once, in any order

@@ -14,7 +14,9 @@
 //! function abandons early and returns `None`, which turns candidate
 //! enumeration over large active domains from quadratic into near-linear.
 
-use cfd_model::Value;
+use std::collections::HashMap;
+
+use cfd_model::{Value, ValueId, ValuePool};
 
 /// DL (optimal string alignment) distance between two char slices.
 fn osa(a: &[char], b: &[char]) -> usize {
@@ -108,6 +110,63 @@ pub fn normalized_distance(v: &Value, w: &Value) -> f64 {
     dl_distance(&a, &b) as f64 / max_len as f64
 }
 
+/// [`normalized_distance`] on interned ids, resolving through the global
+/// pool. Equal ids short-circuit to 0 without resolving.
+pub fn normalized_distance_ids(a: ValueId, b: ValueId) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    normalized_distance(&a.value(), &b.value())
+}
+
+/// Memoized `dis(v, v') / max(|v|, |v'|)` over interned id pairs.
+///
+/// The repair loops price the same few conflicting values against the
+/// same candidate pool over and over; with values interned, the pair
+/// `(ValueId, ValueId)` is a perfect memo key. Ids resolve to strings
+/// only on a cache miss — this is the single point where the id-encoded
+/// repair pipeline touches the text form of a value. The metric is
+/// symmetric, so pairs are stored with the smaller id first.
+#[derive(Clone, Debug, Default)]
+pub struct DistanceCache {
+    memo: HashMap<(ValueId, ValueId), f64>,
+}
+
+impl DistanceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DistanceCache::default()
+    }
+
+    /// The normalized distance between two interned values.
+    pub fn normalized(&mut self, a: ValueId, b: ValueId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(d) = self.memo.get(&key) {
+            return *d;
+        }
+        let pool = ValuePool::global();
+        // Resolve one side first: nesting two read locks on the pool could
+        // deadlock against a waiting writer.
+        let v = pool.resolve(key.0);
+        let d = pool.with_value(key.1, |w| normalized_distance(&v, w));
+        self.memo.insert(key, d);
+        d
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,7 +238,10 @@ mod tests {
         // Example 3.1: changing t3[CT] "PHI" → "NYC" costs dis/max = 3/3;
         // changing t3[zip] "10012" → "19014" costs 3/5… the paper's text
         // says 1/3 for zip under a different reading; we match the formula:
-        assert_eq!(normalized_distance(&Value::str("PHI"), &Value::str("NYC")), 1.0);
+        assert_eq!(
+            normalized_distance(&Value::str("PHI"), &Value::str("NYC")),
+            1.0
+        );
         let z = normalized_distance(&Value::str("10012"), &Value::str("19014"));
         assert!((z - 2.0 / 5.0).abs() < 1e-12);
     }
@@ -203,5 +265,39 @@ mod tests {
     fn int_values_compare_by_rendering() {
         let d = normalized_distance(&Value::int(19014), &Value::int(10012));
         assert!((d - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn id_distance_matches_value_distance() {
+        for (a, b) in [("PHI", "NYC"), ("10012", "19014"), ("", "abc"), ("x", "x")] {
+            let (va, vb) = (Value::str(a), Value::str(b));
+            let (ia, ib) = (ValueId::of(&va), ValueId::of(&vb));
+            assert_eq!(
+                normalized_distance_ids(ia, ib),
+                normalized_distance(&va, &vb)
+            );
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_and_agrees() {
+        let mut cache = DistanceCache::new();
+        let words = ["walnut", "walnot", "spruce", ""];
+        let ids: Vec<ValueId> = words.iter().map(|w| ValueId::of(&Value::str(*w))).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids {
+                let got = cache.normalized(*a, *b);
+                let want = normalized_distance(&a.value(), &b.value());
+                assert_eq!(got, want, "{a} vs {b}");
+                // symmetry through the shared key
+                assert_eq!(cache.normalized(*b, *a), got);
+                let _ = i;
+            }
+        }
+        // 4 values → at most C(4,2) = 6 off-diagonal pairs memoized
+        assert!(cache.len() <= 6);
+        // null resolves to the empty rendering: distance 1 to non-empty
+        let nyc = ValueId::of(&Value::str("NYC"));
+        assert_eq!(cache.normalized(cfd_model::NULL_ID, nyc), 1.0);
     }
 }

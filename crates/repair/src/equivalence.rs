@@ -13,7 +13,7 @@
 //! per-root member lists + weight sums (needed by `PICKNEXT`'s `Cost` and
 //! by case 1.2's minimal-weight fallback).
 
-use cfd_model::{AttrId, TupleId, Value};
+use cfd_model::{AttrId, TupleId, ValueId};
 
 /// A cell: one attribute of one tuple.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,13 +31,15 @@ impl Cell {
     }
 }
 
-/// Target value of an equivalence class.
-#[derive(Clone, Debug, PartialEq)]
+/// Target value of an equivalence class. Constants are interned ids —
+/// target comparison, merging, and the monotone upgrade checks are all
+/// integer operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Target {
     /// `'_'`: not yet fixed.
     Free,
-    /// A concrete constant.
-    Const(Value),
+    /// A concrete constant, interned.
+    Const(ValueId),
     /// `null`: uncertain due to conflict; terminal.
     Null,
 }
@@ -102,15 +104,16 @@ pub struct EqClasses {
 impl EqClasses {
     /// Singleton classes for `n_tuples × arity` cells, all free. Weights
     /// are supplied per cell through `weight_of` (usually `Tuple::weight`).
-    pub fn new(n_tuples: usize, arity: usize, mut weight_of: impl FnMut(TupleId, AttrId) -> f64) -> Self {
+    pub fn new(
+        n_tuples: usize,
+        arity: usize,
+        mut weight_of: impl FnMut(TupleId, AttrId) -> f64,
+    ) -> Self {
         let n = n_tuples * arity;
         let mut members = Vec::with_capacity(n);
         let mut weight_sum = Vec::with_capacity(n);
         for idx in 0..n {
-            let cell = Cell::new(
-                TupleId((idx / arity) as u32),
-                AttrId((idx % arity) as u16),
-            );
+            let cell = Cell::new(TupleId((idx / arity) as u32), AttrId((idx % arity) as u16));
             members.push(vec![cell]);
             weight_sum.push(weight_of(cell.tuple, cell.attr));
         }
@@ -234,8 +237,8 @@ impl EqClasses {
                 return Err(EqError::ConflictingMerge)
             }
             (Target::Null, _) | (_, Target::Null) => Target::Null,
-            (Target::Const(x), _) => Target::Const(x.clone()),
-            (_, Target::Const(y)) => Target::Const(y.clone()),
+            (Target::Const(x), _) => Target::Const(*x),
+            (_, Target::Const(y)) => Target::Const(*y),
             (Target::Free, Target::Free) => Target::Free,
         };
         // Rank accounting: the two old ranks are replaced by one combined
@@ -281,6 +284,11 @@ impl EqClasses {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfd_model::Value;
+
+    fn cid(s: &str) -> ValueId {
+        ValueId::of(&Value::str(s))
+    }
 
     fn cells() -> EqClasses {
         EqClasses::new(3, 2, |_, _| 1.0)
@@ -319,31 +327,40 @@ mod tests {
     fn target_upgrades_follow_lattice() {
         let mut eq = cells();
         let cell = c(0, 0);
-        eq.set_target(cell, Target::Const(Value::str("NYC"))).unwrap();
-        assert_eq!(*eq.target(cell), Target::Const(Value::str("NYC")));
+        eq.set_target(cell, Target::Const(cid("NYC"))).unwrap();
+        assert_eq!(*eq.target(cell), Target::Const(cid("NYC")));
         // same constant: ok
-        eq.set_target(cell, Target::Const(Value::str("NYC"))).unwrap();
+        eq.set_target(cell, Target::Const(cid("NYC"))).unwrap();
         // different constant: refused
-        let err = eq.set_target(cell, Target::Const(Value::str("PHI"))).unwrap_err();
-        assert_eq!(err, EqError::IllegalUpgrade { from_rank: 1, to_rank: 1 });
+        let err = eq.set_target(cell, Target::Const(cid("PHI"))).unwrap_err();
+        assert_eq!(
+            err,
+            EqError::IllegalUpgrade {
+                from_rank: 1,
+                to_rank: 1
+            }
+        );
         // null: allowed
         eq.set_target(cell, Target::Null).unwrap();
         assert_eq!(*eq.target(cell), Target::Null);
         // downgrade: refused
         assert!(eq.set_target(cell, Target::Free).is_err());
-        assert!(eq.set_target(cell, Target::Const(Value::str("X"))).is_err());
+        assert!(eq.set_target(cell, Target::Const(cid("X"))).is_err());
     }
 
     #[test]
     fn merge_target_combination() {
         let mut eq = cells();
-        eq.set_target(c(0, 0), Target::Const(Value::str("v"))).unwrap();
+        eq.set_target(c(0, 0), Target::Const(cid("v"))).unwrap();
         // const + free = const
         eq.merge(c(0, 0), c(1, 0)).unwrap();
-        assert_eq!(*eq.target(c(1, 0)), Target::Const(Value::str("v")));
+        assert_eq!(*eq.target(c(1, 0)), Target::Const(cid("v")));
         // const + conflicting const = error
-        eq.set_target(c(2, 0), Target::Const(Value::str("w"))).unwrap();
-        assert_eq!(eq.merge(c(1, 0), c(2, 0)).unwrap_err(), EqError::ConflictingMerge);
+        eq.set_target(c(2, 0), Target::Const(cid("w"))).unwrap();
+        assert_eq!(
+            eq.merge(c(1, 0), c(2, 0)).unwrap_err(),
+            EqError::ConflictingMerge
+        );
         // null absorbs const
         eq.set_target(c(2, 0), Target::Null).unwrap();
         eq.merge(c(1, 0), c(2, 0)).unwrap();
@@ -357,7 +374,7 @@ mod tests {
         eq.merge(c(0, 0), c(1, 0)).unwrap();
         let p1 = eq.progress();
         assert!(p1 > p0);
-        eq.set_target(c(0, 0), Target::Const(Value::str("x"))).unwrap();
+        eq.set_target(c(0, 0), Target::Const(cid("x"))).unwrap();
         let p2 = eq.progress();
         assert!(p2 > p1);
         eq.set_target(c(0, 0), Target::Null).unwrap();
@@ -370,8 +387,8 @@ mod tests {
     #[test]
     fn merge_rank_accounting() {
         let mut eq = cells();
-        eq.set_target(c(0, 0), Target::Const(Value::str("x"))).unwrap();
-        eq.set_target(c(1, 0), Target::Const(Value::str("x"))).unwrap();
+        eq.set_target(c(0, 0), Target::Const(cid("x"))).unwrap();
+        eq.set_target(c(1, 0), Target::Const(cid("x"))).unwrap();
         assert_eq!(eq.total_rank(), 2);
         // merging two rank-1 classes yields one rank-1 class
         eq.merge(c(0, 0), c(1, 0)).unwrap();
@@ -384,7 +401,7 @@ mod tests {
         let mut eq = cells();
         eq.merge(c(0, 0), c(1, 0)).unwrap(); // free, 2 members
         eq.merge(c(0, 1), c(1, 1)).unwrap();
-        eq.set_target(c(0, 1), Target::Const(Value::str("v"))).unwrap(); // now const
+        eq.set_target(c(0, 1), Target::Const(cid("v"))).unwrap(); // now const
         let roots = eq.free_multi_member_roots();
         assert_eq!(roots.len(), 1);
         assert!(eq.same_class(roots[0], c(0, 0)));

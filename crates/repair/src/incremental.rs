@@ -24,10 +24,11 @@
 
 use cfd_cfd::violation::Engine;
 use cfd_cfd::Sigma;
-use cfd_model::{ActiveDomain, AttrId, Relation, Tuple, TupleId, Value};
+use cfd_model::{ActiveDomain, AttrId, Relation, Tuple, TupleId, ValueId, NULL_ID};
 
 use crate::cluster::ValueIndex;
-use crate::cost::{change_cost, tuple_cost};
+use crate::cost::{change_cost_ids, tuple_cost};
+use crate::distance::DistanceCache;
 use crate::lhs_index::LhsIndexes;
 use crate::RepairError;
 
@@ -141,6 +142,9 @@ pub(crate) struct IncState<'a> {
     adom: ActiveDomain,
     /// Lazily-built per-attribute nearest-value indexes.
     vidx: Vec<Option<ValueIndex>>,
+    /// Memoized `dis(v, v')` over id pairs — the only place candidate
+    /// pricing resolves ids back to strings.
+    dcache: DistanceCache,
     pub(crate) stats: IncStats,
 }
 
@@ -175,6 +179,7 @@ impl<'a> IncState<'a> {
             lhs,
             adom,
             vidx: vec![None; arity],
+            dcache: DistanceCache::new(),
             stats: IncStats::default(),
         })
     }
@@ -191,7 +196,7 @@ impl<'a> IncState<'a> {
     fn satisfies_all(&self, t: &Tuple) -> bool {
         let mut ok = true;
         self.engine.rules.for_each_fired(t, |_, r| {
-            ok &= r.rhs.satisfied_by(t.value(r.rhs_attr));
+            ok &= r.rhs.satisfied_by_id(t.id(r.rhs_attr));
         });
         if !ok {
             return false;
@@ -209,7 +214,7 @@ impl<'a> IncState<'a> {
             if ok
                 && lhs.iter().all(|a| mask[a.index()])
                 && mask[r.rhs_attr.index()]
-                && !r.rhs.satisfied_by(t.value(r.rhs_attr))
+                && !r.rhs.satisfied_by_id(t.id(r.rhs_attr))
             {
                 ok = false;
             }
@@ -227,21 +232,21 @@ impl<'a> IncState<'a> {
     /// attribute set `C` (as a mask). Sources, in order: the current value,
     /// values pinned by CFDs whose LHS avoids `C`, nearest active-domain
     /// values, and `null`.
-    fn candidates_for(&mut self, cur: &Tuple, a: AttrId, c_mask: u128) -> Vec<Value> {
-        let mut out: Vec<Value> = Vec::with_capacity(self.config.candidates_per_attr + 6);
-        let push = |out: &mut Vec<Value>, v: Value| {
+    fn candidates_for(&mut self, cur: &Tuple, a: AttrId, c_mask: u128) -> Vec<ValueId> {
+        let mut out: Vec<ValueId> = Vec::with_capacity(self.config.candidates_per_attr + 6);
+        let push = |out: &mut Vec<ValueId>, v: ValueId| {
             if !out.contains(&v) {
                 out.push(v);
             }
         };
-        push(&mut out, cur.value(a).clone());
+        push(&mut out, cur.id(a));
         // Constant-rule obligations: rules firing on cur whose LHS avoids C
         // and whose RHS is exactly `a`.
-        let mut pinned: Vec<Value> = Vec::new();
+        let mut pinned: Vec<ValueId> = Vec::new();
         self.engine.rules.for_each_fired(cur, |lhs, r| {
             if r.rhs_attr == a && lhs.iter().all(|x| (c_mask >> x.index()) & 1 == 0) {
-                if let Some(v) = r.rhs.as_const() {
-                    pinned.push(v.clone());
+                if let Some(v) = r.rhs.as_const_id() {
+                    pinned.push(v);
                 }
             }
         });
@@ -250,25 +255,22 @@ impl<'a> IncState<'a> {
         }
         // Variable-CFD pins: the group value for cur's key, when the LHS
         // avoids C.
-        let pins: Vec<Value> = self
+        let pins: Vec<ValueId> = self
             .engine
             .variable_cfds()
-            .filter(|n| {
-                n.rhs_attr() == a
-                    && n.lhs().iter().all(|x| (c_mask >> x.index()) & 1 == 0)
-            })
-            .filter_map(|n| self.lhs.pinned_value(n, cur))
+            .filter(|n| n.rhs_attr() == a && n.lhs().iter().all(|x| (c_mask >> x.index()) & 1 == 0))
+            .filter_map(|n| self.lhs.pinned_id(n, cur))
             .collect();
         for v in pins {
             push(&mut out, v);
         }
         // Nearest active-domain values by DL distance.
-        let probe = cur.value(a).clone();
+        let probe = cur.id(a);
         let limit = self.config.candidates_per_attr;
-        for (v, _) in self.value_index(a).nearest(&probe, limit, false) {
+        for (v, _) in self.value_index(a).nearest(probe, limit, false) {
             push(&mut out, v);
         }
-        push(&mut out, Value::Null);
+        push(&mut out, NULL_ID);
         out
     }
 
@@ -292,7 +294,7 @@ impl<'a> IncState<'a> {
         let mut fixed = vec![true; arity];
         let mut suspicious = vec![!self.config.restrict_to_failing; arity];
         self.engine.rules.for_each_fired(orig, |lhs, r| {
-            if !r.rhs.satisfied_by(orig.value(r.rhs_attr)) {
+            if !r.rhs.satisfied_by_id(orig.id(r.rhs_attr)) {
                 for a in lhs {
                     suspicious[a.index()] = true;
                 }
@@ -321,7 +323,7 @@ impl<'a> IncState<'a> {
                 .filter(|a| !fixed[a.index()])
                 .collect();
             let k = self.config.k.min(unfixed.len());
-            let mut best: Option<(Vec<AttrId>, Vec<Value>, f64, f64)> = None;
+            let mut best: Option<(Vec<AttrId>, Vec<ValueId>, f64, f64)> = None;
             for combo in combinations(&unfixed, k) {
                 let c_mask: u128 = combo.iter().fold(0, |m, a| m | (1u128 << a.index()));
                 // Scope mask: already-fixed attributes plus this combo.
@@ -329,21 +331,19 @@ impl<'a> IncState<'a> {
                 for a in &combo {
                     mask[a.index()] = true;
                 }
-                let per_attr: Vec<Vec<Value>> = combo
+                let per_attr: Vec<Vec<ValueId>> = combo
                     .iter()
                     .map(|a| self.candidates_for(&cur, *a, c_mask))
                     .collect();
                 let mut tried = 0usize;
                 let mut odometer = vec![0usize; k];
                 'outer: loop {
-                    let assignment: Vec<Value> = odometer
+                    let assignment: Vec<ValueId> = odometer
                         .iter()
                         .zip(per_attr.iter())
-                        .map(|(i, vs)| vs[*i].clone())
+                        .map(|(i, vs)| vs[*i])
                         .collect();
-                    self.consider(
-                        id, orig, &cur, &combo, assignment, &mask, &mut best,
-                    );
+                    self.consider(id, orig, &cur, &combo, assignment, &mask, &mut best);
                     tried += 1;
                     if tried >= self.config.max_combos {
                         break;
@@ -364,24 +364,15 @@ impl<'a> IncState<'a> {
                 }
                 // The all-null assignment is always feasible (Example 5.1);
                 // make sure it was considered even under the combo cap.
-                self.consider(
-                    id,
-                    orig,
-                    &cur,
-                    &combo,
-                    vec![Value::Null; k],
-                    &mask,
-                    &mut best,
-                );
+                self.consider(id, orig, &cur, &combo, vec![NULL_ID; k], &mask, &mut best);
             }
-            let (combo, values, _, _) = best.expect(
-                "all-null assignment is always feasible, so a best fix exists",
-            );
+            let (combo, values, _, _) =
+                best.expect("all-null assignment is always feasible, so a best fix exists");
             for (a, v) in combo.iter().zip(values) {
-                if v.is_null() && !cur.value(*a).is_null() {
+                if v.is_null() && !cur.id(*a).is_null() {
                     self.stats.nulls_introduced += 1;
                 }
-                cur.set_value(*a, v);
+                cur.set_id(*a, v);
                 fixed[a.index()] = true;
             }
         }
@@ -397,13 +388,13 @@ impl<'a> IncState<'a> {
         orig: &Tuple,
         cur: &Tuple,
         combo: &[AttrId],
-        values: Vec<Value>,
+        values: Vec<ValueId>,
         mask: &[bool],
-        best: &mut Option<(Vec<AttrId>, Vec<Value>, f64, f64)>,
+        best: &mut Option<(Vec<AttrId>, Vec<ValueId>, f64, f64)>,
     ) {
         let mut cand = cur.clone();
         for (a, v) in combo.iter().zip(values.iter()) {
-            cand.set_value(*a, v.clone());
+            cand.set_id(*a, *v);
         }
         if !self.satisfies_within(&cand, mask) {
             return;
@@ -412,8 +403,8 @@ impl<'a> IncState<'a> {
             .iter()
             .zip(values.iter())
             .map(|(a, v)| {
-                let c = change_cost(orig.weight(*a), orig.value(*a), v);
-                if v.is_null() && !orig.value(*a).is_null() {
+                let c = change_cost_ids(orig.weight(*a), orig.id(*a), *v, &mut self.dcache);
+                if v.is_null() && !orig.id(*a).is_null() {
                     c * self.config.null_cost_factor
                 } else {
                     c
@@ -442,18 +433,18 @@ impl<'a> IncState<'a> {
         // Write back and activate in all index structures.
         for a in 0..repaired.arity() as u16 {
             let a = AttrId(a);
-            if self.work.require(id)?.value(a) != repaired.value(a) {
-                self.work.set_value(id, a, repaired.value(a).clone())?;
+            if self.work.require(id)?.id(a) != repaired.id(a) {
+                self.work.set_value_id(id, a, repaired.id(a))?;
             }
         }
         let stored = self.work.require(id)?.clone();
         self.engine.insert(id, &stored);
         self.lhs.insert(self.sigma, &stored);
         for a in self.work.schema().attr_ids().collect::<Vec<_>>() {
-            let v = stored.value(a).clone();
-            self.adom.add(a, &v);
+            let v = stored.id(a);
+            self.adom.add_id(a, v);
             if let Some(idx) = &mut self.vidx[a.index()] {
-                idx.add(&v);
+                idx.add(v);
             }
         }
         Ok(())
@@ -568,7 +559,7 @@ mod tests {
     use super::*;
     use cfd_cfd::pattern::{PatternRow, PatternValue};
     use cfd_cfd::Cfd;
-    use cfd_model::Schema;
+    use cfd_model::{Schema, Value};
 
     /// Clean Fig. 1 data (t3/t4 already fixed) with ϕ1/ϕ2.
     fn clean_fig1() -> (Relation, Sigma) {
@@ -579,10 +570,50 @@ mod tests {
         .unwrap();
         let mut rel = Relation::new(schema.clone());
         for row in [
-            ["a23", "H. Porter", "17.99", "215", "8983490", "Walnut", "PHI", "PA", "19014"],
-            ["a23", "H. Porter", "17.99", "610", "3456789", "Spruce", "PHI", "PA", "19014"],
-            ["a12", "J. Denver", "7.94", "212", "3345677", "Canel", "NYC", "NY", "10012"],
-            ["a89", "Snow White", "18.99", "212", "5674322", "Broad", "NYC", "NY", "10012"],
+            [
+                "a23",
+                "H. Porter",
+                "17.99",
+                "215",
+                "8983490",
+                "Walnut",
+                "PHI",
+                "PA",
+                "19014",
+            ],
+            [
+                "a23",
+                "H. Porter",
+                "17.99",
+                "610",
+                "3456789",
+                "Spruce",
+                "PHI",
+                "PA",
+                "19014",
+            ],
+            [
+                "a12",
+                "J. Denver",
+                "7.94",
+                "212",
+                "3345677",
+                "Canel",
+                "NYC",
+                "NY",
+                "10012",
+            ],
+            [
+                "a89",
+                "Snow White",
+                "18.99",
+                "212",
+                "5674322",
+                "Broad",
+                "NYC",
+                "NY",
+                "10012",
+            ],
         ] {
             rel.insert(Tuple::from_iter(row)).unwrap();
         }
@@ -663,7 +694,10 @@ mod tests {
             "a55", "K. Oyle", "12.00", "215", "8983490", "Walnut", "NYC", "NY", "10012",
         ]);
         for k in [1, 2, 3] {
-            let cfg = IncConfig { k, ..Default::default() };
+            let cfg = IncConfig {
+                k,
+                ..Default::default()
+            };
             let out = inc_repair(&rel, std::slice::from_ref(&t5), &sigma, cfg).unwrap();
             assert!(cfd_cfd::check(&out.repair, &sigma), "k={k}");
         }
@@ -698,9 +732,9 @@ mod tests {
         let ct = schema.attr("CT").unwrap();
         let st = schema.attr("ST").unwrap();
         let zip = schema.attr("zip").unwrap();
-        assert_eq!(got.value(ct), &Value::str("PHI"));
-        assert_eq!(got.value(st), &Value::str("PA"));
-        assert_eq!(got.value(zip), &Value::str("19014"));
+        assert_eq!(got.value(ct), Value::str("PHI"));
+        assert_eq!(got.value(st), Value::str("PA"));
+        assert_eq!(got.value(zip), Value::str("19014"));
         assert_eq!(out.stats.nulls_introduced, 0);
     }
 
@@ -731,7 +765,10 @@ mod tests {
         let sigma = Sigma::normalize(schema.clone(), vec![fd]).unwrap();
         let d1 = Tuple::from_iter(["fresh", "alpha"]);
         let d2 = Tuple::from_iter(["fresh", "alphb"]);
-        let cfg = IncConfig { ordering: Ordering::Linear, ..Default::default() };
+        let cfg = IncConfig {
+            ordering: Ordering::Linear,
+            ..Default::default()
+        };
         let out = inc_repair(&rel, &[d1, d2], &sigma, cfg).unwrap();
         assert!(cfd_cfd::check(&out.repair, &sigma));
         let v = schema.attr("v").unwrap();
@@ -753,7 +790,10 @@ mod tests {
             ]),
         ];
         for ordering in [Ordering::Linear, Ordering::Violations, Ordering::Weight] {
-            let cfg = IncConfig { ordering, ..Default::default() };
+            let cfg = IncConfig {
+                ordering,
+                ..Default::default()
+            };
             let out = inc_repair(&rel, &dirty, &sigma, cfg).unwrap();
             assert!(cfd_cfd::check(&out.repair, &sigma), "{ordering:?}");
             assert_eq!(out.stats.processed, 2, "{ordering:?}");
@@ -775,14 +815,17 @@ mod tests {
         let d1 = Tuple::from_iter(["g", "zzz"]);
         let d2 = Tuple::from_iter(["g", "aaa"]);
         let d3 = Tuple::from_iter(["g", "aaa"]);
-        let cfg = IncConfig { ordering: Ordering::Violations, ..Default::default() };
+        let cfg = IncConfig {
+            ordering: Ordering::Violations,
+            ..Default::default()
+        };
         let out = inc_repair(&rel, &[d1, d2, d3], &sigma, cfg).unwrap();
         assert!(cfd_cfd::check(&out.repair, &sigma));
         // majority value wins because the agreeing pair is processed first
         let v = schema.attr("v").unwrap();
         assert_eq!(
             out.repair.tuple(out.delta_ids[0]).unwrap().value(v),
-            &Value::str("aaa")
+            Value::str("aaa")
         );
     }
 

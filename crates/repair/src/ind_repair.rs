@@ -101,7 +101,7 @@ pub fn repair_ind(
                 let null_cost: f64 = ind
                     .child_attrs()
                     .iter()
-                    .map(|a| change_cost(t.weight(*a), t.value(*a), &Value::Null))
+                    .map(|a| change_cost(t.weight(*a), &t.value(*a), &Value::Null))
                     .sum();
                 for a in ind.child_attrs() {
                     child.set_value(id, *a, Value::Null)?;
@@ -172,7 +172,7 @@ mod tests {
         assert_eq!(stats.rebound, 1);
         assert_eq!(stats.nulled, 0);
         let fixed = db.relation("order").unwrap().require(id).unwrap().clone();
-        assert_eq!(fixed.value(AttrId(1)), &Value::str("a1001"));
+        assert_eq!(fixed.value(AttrId(1)), Value::str("a1001"));
         assert!(ind.check(&db).unwrap());
     }
 
@@ -214,7 +214,9 @@ mod tests {
         t.set_weight(AttrId(1), 1.0);
         let id = db.relation_mut("order").unwrap().insert(t).unwrap();
         let ind = fk(&db);
-        let tight = IndRepairConfig { max_rebind_cost: 0.1 };
+        let tight = IndRepairConfig {
+            max_rebind_cost: 0.1,
+        };
         let stats = repair_ind(&mut db, &ind, &tight).unwrap();
         assert_eq!(stats.nulled, 1);
         let fixed = db.relation("order").unwrap().require(id).unwrap().clone();

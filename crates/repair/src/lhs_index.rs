@@ -4,6 +4,8 @@
 //! index maps the key `t[X]` to the (unique, because `Repr |= Σ`) non-null
 //! `A` value of the tuples carrying that key. A candidate tuple `t'` is
 //! then validated in O(|X|) per CFD: look up `t'[X]`, compare `t'[A]`.
+//! Keys are [`IdKey`]s and pins are [`ValueId`]s — every probe hashes and
+//! compares a handful of integers.
 //!
 //! * Constant CFDs need no table at all — the pattern itself decides — so
 //!   the index stores tables only for variable CFDs.
@@ -12,15 +14,15 @@
 
 use std::collections::HashMap;
 
-use cfd_model::{Relation, Tuple, Value};
+use cfd_model::{IdKey, Relation, Tuple, ValueId};
 
 use cfd_cfd::{NormalCfd, Sigma};
 
 /// Per-key state of one variable CFD's group.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 struct GroupState {
-    /// The unique non-null RHS value seen in the group, with its count.
-    value: Option<(Value, usize)>,
+    /// The unique non-null RHS id seen in the group, with its count.
+    value: Option<(ValueId, usize)>,
     /// Number of group members whose RHS is null.
     nulls: usize,
 }
@@ -37,7 +39,7 @@ struct GroupState {
 /// one table per structural shape.
 #[derive(Clone, Debug)]
 pub struct LhsIndex {
-    map: HashMap<Vec<Value>, GroupState>,
+    map: HashMap<IdKey, GroupState>,
 }
 
 /// The LHS-indices for the variable CFDs in Σ, shared by shape.
@@ -48,33 +50,33 @@ pub struct LhsIndexes {
 }
 
 /// Outcome of validating a candidate RHS value against a group.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GroupVerdict {
     /// No tuple with this key (or only null RHS values): any value works.
     Unconstrained,
-    /// The group pins the RHS to this value; candidates must equal it (or
-    /// be null).
-    Pinned(Value),
+    /// The group pins the RHS to this id; candidates must equal it (or be
+    /// null).
+    Pinned(ValueId),
 }
 
 impl LhsIndex {
     fn build(rel: &Relation, lhs: &[cfd_model::AttrId], rhs_attr: cfd_model::AttrId) -> Self {
-        let mut map: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        let mut map: HashMap<IdKey, GroupState> = HashMap::new();
         for (_, t) in rel.iter() {
-            let key = t.project(lhs);
+            let key = t.project_key(lhs);
             let state = map.entry(key).or_default();
-            Self::account(state, t.value(rhs_attr), 1);
+            Self::account(state, t.id(rhs_attr), 1);
         }
         LhsIndex { map }
     }
 
-    fn account(state: &mut GroupState, v: &Value, delta: i64) {
+    fn account(state: &mut GroupState, v: ValueId, delta: i64) {
         if v.is_null() {
             state.nulls = (state.nulls as i64 + delta) as usize;
             return;
         }
         match &mut state.value {
-            Some((existing, count)) if existing == v => {
+            Some((existing, count)) if *existing == v => {
                 *count = (*count as i64 + delta) as usize;
                 if *count == 0 {
                     state.value = None;
@@ -85,15 +87,18 @@ impl LhsIndex {
                 // the existing pin (the relation is about to be repaired).
                 debug_assert!(delta > 0, "removal of unseen value");
             }
-            None if delta > 0 => state.value = Some((v.clone(), delta as usize)),
+            None if delta > 0 => state.value = Some((v, delta as usize)),
             None => {}
         }
     }
 
     /// What does the group of `t` (by its `X` projection) require?
     fn verdict(&self, n: &NormalCfd, t: &Tuple) -> GroupVerdict {
-        match self.map.get(&t.project(n.lhs())) {
-            Some(GroupState { value: Some((v, _)), .. }) => GroupVerdict::Pinned(v.clone()),
+        match self.map.get(&t.project_key(n.lhs())) {
+            Some(GroupState {
+                value: Some((v, _)),
+                ..
+            }) => GroupVerdict::Pinned(*v),
             _ => GroupVerdict::Unconstrained,
         }
     }
@@ -114,9 +119,9 @@ impl LhsIndexes {
     /// Register a tuple newly inserted into the clean repair.
     pub fn insert(&mut self, _sigma: &Sigma, t: &Tuple) {
         for ((lhs, rhs_attr), idx) in self.shapes.iter_mut() {
-            let key = t.project(lhs);
+            let key = t.project_key(lhs);
             let state = idx.map.entry(key).or_default();
-            LhsIndex::account(state, t.value(*rhs_attr), 1);
+            LhsIndex::account(state, t.id(*rhs_attr), 1);
         }
     }
 
@@ -128,9 +133,9 @@ impl LhsIndexes {
         if !n.applies_to(t) {
             return true;
         }
-        let v = t.value(n.rhs_attr());
+        let v = t.id(n.rhs_attr());
         if n.is_constant() {
-            return n.rhs_pattern().satisfied_by(v);
+            return n.rhs_pattern_id().satisfied_by_id(v);
         }
         if v.is_null() {
             return true;
@@ -142,13 +147,13 @@ impl LhsIndexes {
             .verdict(n, t)
         {
             GroupVerdict::Unconstrained => true,
-            GroupVerdict::Pinned(pin) => *v == pin,
+            GroupVerdict::Pinned(pin) => v == pin,
         }
     }
 
-    /// The value (if any) a variable CFD's group pins for `t`'s key — the
+    /// The id (if any) a variable CFD's group pins for `t`'s key — the
     /// "semantically related value" FINDV reaches for first.
-    pub fn pinned_value(&self, n: &NormalCfd, t: &Tuple) -> Option<Value> {
+    pub fn pinned_id(&self, n: &NormalCfd, t: &Tuple) -> Option<ValueId> {
         if n.is_constant() || !n.applies_to(t) {
             return None;
         }
@@ -168,12 +173,20 @@ mod tests {
     use super::*;
     use cfd_cfd::pattern::{PatternRow, PatternValue};
     use cfd_cfd::Cfd;
-    use cfd_model::{Schema, Tuple};
+    use cfd_model::{Schema, Tuple, Value};
+
+    fn vid(s: &str) -> ValueId {
+        ValueId::of(&Value::str(s))
+    }
 
     fn setup() -> (Relation, Sigma) {
         let schema = Schema::new("r", &["ac", "pn", "ct"]).unwrap();
         let mut rel = Relation::new(schema.clone());
-        for row in [["212", "111", "NYC"], ["610", "222", "PHI"], ["610", "333", "PHI"]] {
+        for row in [
+            ["212", "111", "NYC"],
+            ["610", "222", "PHI"],
+            ["610", "333", "PHI"],
+        ] {
             rel.insert(Tuple::from_iter(row)).unwrap();
         }
         // variable CFD: [ac] → ct with wildcard pattern
@@ -207,11 +220,11 @@ mod tests {
         assert!(idx.satisfies(var, &ok));
         let bad = Tuple::from_iter(["212", "999", "PHI"]);
         assert!(!idx.satisfies(var, &bad));
-        assert_eq!(idx.pinned_value(var, &bad), Some(Value::str("NYC")));
+        assert_eq!(idx.pinned_id(var, &bad), Some(vid("NYC")));
         // fresh key: unconstrained
         let fresh = Tuple::from_iter(["415", "999", "SF"]);
         assert!(idx.satisfies(var, &fresh));
-        assert_eq!(idx.pinned_value(var, &fresh), None);
+        assert_eq!(idx.pinned_id(var, &fresh), None);
     }
 
     #[test]
@@ -250,10 +263,10 @@ mod tests {
         let mut idx = LhsIndexes::build(&rel, &sigma);
         let var = sigma.get(cfd_cfd::CfdId(0));
         let fresh = Tuple::from_iter(["415", "1", "SF"]);
-        assert_eq!(idx.pinned_value(var, &fresh), None);
+        assert_eq!(idx.pinned_id(var, &fresh), None);
         idx.insert(&sigma, &fresh);
         let probe = Tuple::from_iter(["415", "2", "LA"]);
-        assert_eq!(idx.pinned_value(var, &probe), Some(Value::str("SF")));
+        assert_eq!(idx.pinned_id(var, &probe), Some(vid("SF")));
         assert!(!idx.satisfies(var, &probe));
     }
 

@@ -140,8 +140,7 @@ mod tests {
     #[test]
     fn repair_via_incremental_fixes_conflicts_in_place() {
         let (rel, sigma) = sample();
-        let out =
-            repair_via_incremental(&rel, &sigma, IncConfig::default()).unwrap();
+        let out = repair_via_incremental(&rel, &sigma, IncConfig::default()).unwrap();
         assert!(cfd_cfd::check(&out.repair, &sigma));
         assert_eq!(out.repair.len(), rel.len());
         assert_eq!(out.reinserted.len(), 2);
@@ -175,7 +174,10 @@ mod tests {
     fn orderings_preserve_consistency_via_subset_path() {
         let (rel, sigma) = sample();
         for ordering in [Ordering::Linear, Ordering::Violations, Ordering::Weight] {
-            let cfg = IncConfig { ordering, ..Default::default() };
+            let cfg = IncConfig {
+                ordering,
+                ..Default::default()
+            };
             let out = repair_via_incremental(&rel, &sigma, cfg).unwrap();
             assert!(cfd_cfd::check(&out.repair, &sigma), "{ordering:?}");
         }
@@ -214,6 +216,6 @@ mod tests {
         let t = out.repair.tuple(TupleId(0)).unwrap();
         let a = schema.attr("a").unwrap();
         let b = schema.attr("b").unwrap();
-        assert!(t.value(b).is_null() || t.value(a) != &Value::str("a1"));
+        assert!(t.value(b).is_null() || t.value(a) != Value::str("a1"));
     }
 }

@@ -58,14 +58,22 @@ fn corrupted_group_key_does_not_contaminate_the_group() {
         if id == bad_id {
             continue;
         }
-        assert_eq!(t.value(AttrId(2)), &Value::str("0.05"), "CAN tuple {id} damaged");
-        assert_eq!(t.value(AttrId(1)), &Value::str("CAN"), "CAN tuple {id} damaged");
+        assert_eq!(
+            t.value(AttrId(2)),
+            Value::str("0.05"),
+            "CAN tuple {id} damaged"
+        );
+        assert_eq!(
+            t.value(AttrId(1)),
+            Value::str("CAN"),
+            "CAN tuple {id} damaged"
+        );
     }
     // the corrupted tuple is restored to GBR (the ST row pins it) and its
     // VAT stays 0.20
     let fixed = out.repair.tuple(bad_id).unwrap();
-    assert_eq!(fixed.value(AttrId(1)), &Value::str("GBR"));
-    assert_eq!(fixed.value(AttrId(2)), &Value::str("0.20"));
+    assert_eq!(fixed.value(AttrId(1)), Value::str("GBR"));
+    assert_eq!(fixed.value(AttrId(2)), Value::str("0.20"));
 }
 
 /// A corrupted pattern key (the zip-swap scenario): the repair must fix the
@@ -92,7 +100,8 @@ fn corrupted_pattern_key_is_restored_not_propagated() {
     let mut rel = Relation::new(schema);
     // several clean Philadelphia rows establish the S-set for FINDV
     for _ in 0..5 {
-        rel.insert(Tuple::from_iter(["19014", "PHI", "PA"])).unwrap();
+        rel.insert(Tuple::from_iter(["19014", "PHI", "PA"]))
+            .unwrap();
     }
     // one row whose zip was swapped to the NYC zip (dirty, low weight)
     let mut bad = Tuple::from_iter(["10012", "PHI", "PA"]);
@@ -102,9 +111,9 @@ fn corrupted_pattern_key_is_restored_not_propagated() {
     assert!(check(&out.repair, &sigma));
     let fixed = out.repair.tuple(bad_id).unwrap();
     // city/state must survive; the zip is rebound to the Philadelphia zip
-    assert_eq!(fixed.value(ct), &Value::str("PHI"));
-    assert_eq!(fixed.value(st), &Value::str("PA"));
-    assert_eq!(fixed.value(zip), &Value::str("19014"));
+    assert_eq!(fixed.value(ct), Value::str("PHI"));
+    assert_eq!(fixed.value(st), Value::str("PA"));
+    assert_eq!(fixed.value(zip), Value::str("19014"));
 }
 
 /// Majority voting inside merged classes: a 1-vs-N value conflict must
@@ -126,9 +135,12 @@ fn merged_class_resolves_to_majority_value() {
     let out = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
     assert!(check(&out.repair, &sigma));
     let v = schema.attr("v").unwrap();
-    assert_eq!(out.repair.tuple(odd).unwrap().value(v), &Value::str("majority"));
+    assert_eq!(
+        out.repair.tuple(odd).unwrap().value(v),
+        Value::str("majority")
+    );
     for (_, t) in out.repair.iter() {
-        assert_eq!(t.value(v), &Value::str("majority"));
+        assert_eq!(t.value(v), Value::str("majority"));
     }
 }
 
@@ -145,7 +157,8 @@ fn pathological_all_conflicting_input_terminates() {
     let sigma = Sigma::normalize(schema.clone(), vec![fd]).unwrap();
     let mut rel = Relation::new(schema);
     for i in 0..60 {
-        rel.insert(Tuple::from_iter(["k", &format!("v{i}")[..]])).unwrap();
+        rel.insert(Tuple::from_iter(["k", &format!("v{i}")[..]]))
+            .unwrap();
     }
     let out = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
     assert!(check(&out.repair, &sigma));
@@ -154,9 +167,14 @@ fn pathological_all_conflicting_input_terminates() {
     // written to the group winner), so the merge count is below 59 — the
     // invariant is value unification, not class unification.
     let v = out.repair.schema().attr("v").unwrap();
-    let first = out.repair.iter().next().map(|(_, t)| t.value(v).clone()).unwrap();
+    let first = out
+        .repair
+        .iter()
+        .next()
+        .map(|(_, t)| t.value(v).clone())
+        .unwrap();
     for (_, t) in out.repair.iter() {
-        assert_eq!(t.value(v), &first);
+        assert_eq!(t.value(v), first);
     }
     assert!(out.stats.merges >= 1);
     let cells = 60 * 2;
@@ -169,8 +187,20 @@ fn contradictory_constants_resolve_with_null_not_livelock() {
     let schema = Schema::new("r", &["a", "b"]).unwrap();
     let a = schema.attr("a").unwrap();
     let b = schema.attr("b").unwrap();
-    let c1 = Cfd::new("c1", vec![a], vec![b], vec![PatternRow::new(vec![c("x")], vec![c("p")])]).unwrap();
-    let c2 = Cfd::new("c2", vec![a], vec![b], vec![PatternRow::new(vec![c("x")], vec![c("q")])]).unwrap();
+    let c1 = Cfd::new(
+        "c1",
+        vec![a],
+        vec![b],
+        vec![PatternRow::new(vec![c("x")], vec![c("p")])],
+    )
+    .unwrap();
+    let c2 = Cfd::new(
+        "c2",
+        vec![a],
+        vec![b],
+        vec![PatternRow::new(vec![c("x")], vec![c("q")])],
+    )
+    .unwrap();
     let sigma = Sigma::normalize(schema.clone(), vec![c1, c2]).unwrap();
     let mut rel = Relation::new(schema);
     for _ in 0..10 {
@@ -180,7 +210,7 @@ fn contradictory_constants_resolve_with_null_not_livelock() {
     assert!(check(&out.repair, &sigma));
     // every tuple needed either a nulled b or an escaped a
     for (_, t) in out.repair.iter() {
-        assert!(t.value(b).is_null() || t.value(a) != &Value::str("x"));
+        assert!(t.value(b).is_null() || t.value(a) != Value::str("x"));
     }
     let _ = W;
     let _ = TupleId(0);
@@ -218,7 +248,8 @@ fn bridging_tuple_does_not_snowball_a_clean_group() {
     }
     // Group B: (Clinfield, Canel St) → 10539, a few clean rows.
     for _ in 0..4 {
-        rel.insert(Tuple::from_iter(["Clinfield", "Canel St", "10539"])).unwrap();
+        rel.insert(Tuple::from_iter(["Clinfield", "Canel St", "10539"]))
+            .unwrap();
     }
     // The bridge: a group-B row whose STR was corrupted to "Front St".
     // Its zip cell is *clean* (high weight) — only the STR is dirty.
@@ -233,12 +264,15 @@ fn bridging_tuple_does_not_snowball_a_clean_group() {
     for id in group_a {
         assert_eq!(
             out.repair.tuple(id).unwrap().value(zip),
-            &Value::str("10525"),
+            Value::str("10525"),
             "clean group-A tuple {id} was dragged by the bridge"
         );
     }
     // The bridge lost the majority vote: its zip moved to group A's.
-    assert_eq!(out.repair.tuple(bridge_id).unwrap().value(zip), &Value::str("10525"));
+    assert_eq!(
+        out.repair.tuple(bridge_id).unwrap().value(zip),
+        Value::str("10525")
+    );
 }
 
 /// The t5292 scenario: a doubly-corrupted tuple gets one cell correctly
@@ -274,11 +308,15 @@ fn pinned_constant_does_not_flip_a_foreign_group() {
     // The healthy group: (Riverfield, Dock St) → 11743, AC 349.
     let mut group = Vec::new();
     for _ in 0..12 {
-        group.push(rel.insert(Tuple::from_iter(["Riverfield", "Dock St", "11743", "349"])).unwrap());
+        group.push(
+            rel.insert(Tuple::from_iter(["Riverfield", "Dock St", "11743", "349"]))
+                .unwrap(),
+        );
     }
     // A second binding elsewhere: (Riverfield, Main St) → 11757, AC 351.
     for _ in 0..6 {
-        rel.insert(Tuple::from_iter(["Riverfield", "Main St", "11757", "351"])).unwrap();
+        rel.insert(Tuple::from_iter(["Riverfield", "Main St", "11757", "351"]))
+            .unwrap();
     }
     // The suspect: truly a Main-St/11757 tuple, but with *two* corruptions:
     // its zip reads 11743 (so phi5 will repair-and-pin it back to 11757 via
@@ -295,10 +333,21 @@ fn pinned_constant_does_not_flip_a_foreign_group() {
     // The healthy group keeps its binding.
     for id in group {
         let t = out.repair.tuple(id).unwrap();
-        assert_eq!(t.value(zip), &Value::str("11743"), "group tuple {id} zip flipped");
-        assert_eq!(t.value(ac), &Value::str("349"), "group tuple {id} ac flipped");
+        assert_eq!(
+            t.value(zip),
+            Value::str("11743"),
+            "group tuple {id} zip flipped"
+        );
+        assert_eq!(
+            t.value(ac),
+            Value::str("349"),
+            "group tuple {id} ac flipped"
+        );
     }
     // The suspect ends consistent without damaging the group; its AC
     // anchor must survive.
-    assert_eq!(out.repair.tuple(bad_id).unwrap().value(ac), &Value::str("351"));
+    assert_eq!(
+        out.repair.tuple(bad_id).unwrap().value(ac),
+        Value::str("351")
+    );
 }

@@ -7,7 +7,7 @@
 //! random reservoir slot with item `i > k` with probability `k / i`,
 //! yielding a uniform `k`-subset in one pass and O(k) space.
 
-use rand::Rng;
+use cfd_prng::Rng;
 
 /// One-pass uniform sampler over a stream of `T`.
 #[derive(Clone, Debug)]
@@ -72,8 +72,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cfd_prng::ChaCha8Rng;
+    use cfd_prng::SeedableRng;
 
     #[test]
     fn keeps_everything_when_stream_is_small() {

@@ -12,7 +12,7 @@
 //! rate … by comparing the clean data and the repair", §7.1); that
 //! simulation is [`GroundTruthOracle`].
 
-use rand::Rng;
+use cfd_prng::Rng;
 
 use cfd_model::{Relation, Tuple, TupleId};
 
@@ -134,8 +134,8 @@ pub fn certify<R: Rng>(
 mod tests {
     use super::*;
     use cfd_model::{Schema, Value};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cfd_prng::ChaCha8Rng;
+    use cfd_prng::SeedableRng;
 
     fn relation(n: usize) -> Relation {
         let schema = Schema::new("r", &["a", "b"]).unwrap();
@@ -200,7 +200,7 @@ mod tests {
         let out = certify(&repair, suspicion, &config, &mut oracle, &mut rng).unwrap();
         let (id, fixed) = &out.corrections[0];
         assert_eq!(*id, TupleId(7));
-        assert_eq!(fixed.value(cfd_model::AttrId(1)), &Value::str("v7"));
+        assert_eq!(fixed.value(cfd_model::AttrId(1)), Value::str("v7"));
     }
 
     #[test]

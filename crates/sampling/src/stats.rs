@@ -181,7 +181,10 @@ mod tests {
         for (eps, delta) in [(0.05, 0.95), (0.01, 0.90), (0.002, 0.90)] {
             let k = min_sample_for_acceptance(eps, delta);
             assert!(z_test_accept(0.0, eps, k, delta), "k = {k} at ε = {eps}");
-            assert!(!z_test_accept(0.0, eps, k / 2, delta), "k/2 should lack power");
+            assert!(
+                !z_test_accept(0.0, eps, k / 2, delta),
+                "k/2 should lack power"
+            );
         }
     }
 

@@ -22,7 +22,7 @@
 //!    `p̂ = Σ e_i · (|P_i|/n_i) / N`, which coincides with the paper's
 //!    formula in the proportional case.
 
-use rand::Rng;
+use cfd_prng::Rng;
 
 use cfd_model::TupleId;
 
@@ -224,8 +224,8 @@ impl StratifiedSample {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cfd_prng::ChaCha8Rng;
+    use cfd_prng::SeedableRng;
 
     fn scored(n_clean: usize, n_dirty: usize) -> Vec<(TupleId, usize)> {
         (0..n_clean)
@@ -361,10 +361,18 @@ mod tests {
     fn deterministic_under_seed() {
         let mut rng1 = ChaCha8Rng::seed_from_u64(9);
         let mut rng2 = ChaCha8Rng::seed_from_u64(9);
-        let a = StratifiedSample::draw(scored(100, 10), StratifiedPlan::default_two_strata(20), &mut rng1)
-            .unwrap();
-        let b = StratifiedSample::draw(scored(100, 10), StratifiedPlan::default_two_strata(20), &mut rng2)
-            .unwrap();
+        let a = StratifiedSample::draw(
+            scored(100, 10),
+            StratifiedPlan::default_two_strata(20),
+            &mut rng1,
+        )
+        .unwrap();
+        let b = StratifiedSample::draw(
+            scored(100, 10),
+            StratifiedPlan::default_two_strata(20),
+            &mut rng2,
+        )
+        .unwrap();
         assert_eq!(
             a.all_ids().collect::<Vec<_>>(),
             b.all_ids().collect::<Vec<_>>()

@@ -1,10 +1,8 @@
-//! Property-based tests for the statistics kernel of §6: the normal
+//! Randomized property tests for the statistics kernel of §6: the normal
 //! quantile, the one-sided z-test, the Chernoff sample-size bound,
-//! reservoir sampling and stratified draws.
+//! reservoir sampling and stratified draws. Seeded trials via `cfd_prng`.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cfd_prng::{trials, ChaCha8Rng, Rng, SeedableRng};
 
 use cfd_model::TupleId;
 use cfd_sampling::reservoir::Reservoir;
@@ -12,154 +10,164 @@ use cfd_sampling::{
     chernoff_sample_size, z_critical, z_test_accept, StratifiedPlan, StratifiedSample,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The z-test is monotone in the observed inaccuracy: if a sample
-    /// with rate p̂ is accepted, every cleaner sample is too.
-    #[test]
-    fn z_test_monotone_in_p_hat(
-        p1 in 0.0f64..0.3,
-        p2 in 0.0f64..0.3,
-        eps in 0.01f64..0.2,
-        k in 50..2000usize,
-        delta in 0.80f64..0.99,
-    ) {
+/// The z-test is monotone in the observed inaccuracy: if a sample with
+/// rate p̂ is accepted, every cleaner sample is too.
+#[test]
+fn z_test_monotone_in_p_hat() {
+    trials(256, 0x27E57, |rng| {
+        let p1 = rng.gen_range(0.0..0.3);
+        let p2 = rng.gen_range(0.0..0.3);
+        let eps = rng.gen_range(0.01..0.2);
+        let k = rng.gen_range(50..2000usize);
+        let delta = rng.gen_range(0.80..0.99);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         if z_test_accept(hi, eps, k, delta) {
-            prop_assert!(z_test_accept(lo, eps, k, delta));
+            assert!(z_test_accept(lo, eps, k, delta));
         }
-    }
+    });
+}
 
-    /// Accepting is harder at higher confidence: acceptance at δ₂ > δ₁
-    /// implies acceptance at δ₁.
-    #[test]
-    fn z_test_monotone_in_delta(
-        p in 0.0f64..0.2,
-        eps in 0.01f64..0.2,
-        k in 50..2000usize,
-        d1 in 0.80f64..0.99,
-        d2 in 0.80f64..0.99,
-    ) {
+/// Accepting is harder at higher confidence: acceptance at δ₂ > δ₁
+/// implies acceptance at δ₁.
+#[test]
+fn z_test_monotone_in_delta() {
+    trials(256, 0xDE17A, |rng| {
+        let p = rng.gen_range(0.0..0.2);
+        let eps = rng.gen_range(0.01..0.2);
+        let k = rng.gen_range(50..2000usize);
+        let d1 = rng.gen_range(0.80..0.99);
+        let d2 = rng.gen_range(0.80..0.99);
         let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
         if z_test_accept(p, eps, k, hi) {
-            prop_assert!(z_test_accept(p, eps, k, lo));
+            assert!(z_test_accept(p, eps, k, lo));
         }
-    }
+    });
+}
 
-    /// A sample at exactly the bound is never accepted (z = 0 < -z_α),
-    /// and a perfectly clean large sample always is.
-    #[test]
-    fn z_test_boundary_behaviour(
-        eps in 0.02f64..0.2,
-        k in 200..5000usize,
-        delta in 0.80f64..0.99,
-    ) {
-        prop_assert!(!z_test_accept(eps, eps, k, delta));
-        prop_assert!(z_test_accept(0.0, eps, k, delta));
-    }
+/// A sample at exactly the bound is never accepted (z = 0 < -z_α), and a
+/// perfectly clean large sample always is.
+#[test]
+fn z_test_boundary_behaviour() {
+    trials(256, 0xB0D4, |rng| {
+        let eps = rng.gen_range(0.02..0.2);
+        let k = rng.gen_range(200..5000usize);
+        let delta = rng.gen_range(0.80..0.99);
+        assert!(!z_test_accept(eps, eps, k, delta));
+        assert!(z_test_accept(0.0, eps, k, delta));
+    });
+}
 
-    /// `z_critical` is positive and increasing in δ over (0.5, 1).
-    #[test]
-    fn z_critical_increasing(d1 in 0.55f64..0.995, d2 in 0.55f64..0.995) {
-        prop_assume!((d1 - d2).abs() > 1e-6);
+/// `z_critical` is positive and increasing in δ over (0.5, 1).
+#[test]
+fn z_critical_increasing() {
+    trials(256, 0x2C417, |rng| {
+        let d1 = rng.gen_range(0.55..0.995);
+        let d2 = rng.gen_range(0.55..0.995);
+        if (d1 - d2).abs() <= 1e-6 {
+            return;
+        }
         let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
-        prop_assert!(z_critical(lo) > 0.0);
-        prop_assert!(z_critical(hi) > z_critical(lo));
-    }
+        assert!(z_critical(lo) > 0.0);
+        assert!(z_critical(hi) > z_critical(lo));
+    });
+}
 
-    /// The Chernoff bound (Theorem 6.1) grows when ε shrinks, when δ
-    /// grows, and when the required hit count c grows.
-    #[test]
-    fn chernoff_bound_monotonicities(
-        c in 1..20usize,
-        eps in 0.01f64..0.3,
-        delta in 0.55f64..0.99,
-    ) {
+/// The Chernoff bound (Theorem 6.1) grows when ε shrinks, when δ grows,
+/// and when the required hit count c grows.
+#[test]
+fn chernoff_bound_monotonicities() {
+    trials(256, 0xC4E2, |rng| {
+        let c = rng.gen_range(1..20usize);
+        let eps = rng.gen_range(0.01..0.3);
+        let delta = rng.gen_range(0.55..0.99);
         let k = chernoff_sample_size(c, eps, delta);
-        prop_assert!(k > c, "need at least c samples to see c hits");
-        prop_assert!(chernoff_sample_size(c + 1, eps, delta) >= k);
-        prop_assert!(chernoff_sample_size(c, eps / 2.0, delta) >= k);
+        assert!(k > c, "need at least c samples to see c hits");
+        assert!(chernoff_sample_size(c + 1, eps, delta) >= k);
+        assert!(chernoff_sample_size(c, eps / 2.0, delta) >= k);
         let d2 = delta + (1.0 - delta) / 2.0;
-        prop_assert!(chernoff_sample_size(c, eps, d2) >= k);
-    }
+        assert!(chernoff_sample_size(c, eps, d2) >= k);
+    });
+}
 
-    /// A reservoir of capacity k over n offers holds exactly min(n, k)
-    /// items, each drawn from the offered set, and counts every offer.
-    #[test]
-    fn reservoir_size_and_membership(
-        n in 0..200usize,
-        k in 1..32usize,
-        seed in 0..u64::MAX,
-    ) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+/// A reservoir of capacity k over n offers holds exactly min(n, k) items,
+/// each drawn from the offered set, and counts every offer.
+#[test]
+fn reservoir_size_and_membership() {
+    trials(256, 0x2E5, |rng| {
+        let n = rng.gen_range(0..200usize);
+        let k = rng.gen_range(1..32usize);
+        let mut inner = ChaCha8Rng::seed_from_u64(rng.next_u64());
         let mut res = Reservoir::new(k);
         for i in 0..n {
-            res.offer(i, &mut rng);
+            res.offer(i, &mut inner);
         }
-        prop_assert_eq!(res.seen(), n);
+        assert_eq!(res.seen(), n);
         let items = res.into_items();
-        prop_assert_eq!(items.len(), n.min(k));
+        assert_eq!(items.len(), n.min(k));
         let mut sorted = items.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), items.len(), "no duplicates");
-        prop_assert!(items.iter().all(|i| *i < n));
-    }
+        assert_eq!(sorted.len(), items.len(), "no duplicates");
+        assert!(items.iter().all(|i| *i < n));
+    });
+}
 
-    /// Stratified draws respect the plan: every sampled id lands in the
-    /// stratum its score selects, and no stratum exceeds its quota.
-    #[test]
-    fn stratified_draw_respects_plan_and_scores(
-        scores in proptest::collection::vec(0..10usize, 1..120),
-        k in 2..40usize,
-        seed in 0..u64::MAX,
-    ) {
+/// Stratified draws respect the plan: every sampled id lands in the
+/// stratum its score selects, and no stratum exceeds its quota.
+#[test]
+fn stratified_draw_respects_plan_and_scores() {
+    trials(256, 0x57247, |rng| {
+        let n = rng.gen_range(1..120usize);
+        let scores: Vec<usize> = (0..n).map(|_| rng.gen_range(0..10usize)).collect();
+        let k = rng.gen_range(2..40usize);
         let plan = StratifiedPlan::default_two_strata(k);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut inner = ChaCha8Rng::seed_from_u64(rng.next_u64());
         let scored: Vec<(TupleId, usize)> = scores
             .iter()
             .enumerate()
             .map(|(i, s)| (TupleId(i as u32), *s))
             .collect();
-        let sample = StratifiedSample::draw(scored.iter().copied(), plan.clone(), &mut rng)
+        let sample = StratifiedSample::draw(scored.iter().copied(), plan.clone(), &mut inner)
             .expect("valid plan");
-        prop_assert!(sample.size() <= k);
+        assert!(sample.size() <= k);
         for stratum in &sample.strata {
             for id in &stratum.sample {
                 let score = scored[id.0 as usize].1;
-                prop_assert_eq!(
+                assert_eq!(
                     plan.stratum_of(score),
                     stratum.index,
                     "id {} with score {} drawn from stratum {}",
-                    id.0, score, stratum.index
+                    id.0,
+                    score,
+                    stratum.index
                 );
             }
         }
-    }
+    });
+}
 
-    /// Weighted inaccuracy is 0 for error-free samples, and equals the
-    /// plain rate when every tuple sits in one stratum.
-    #[test]
-    fn weighted_inaccuracy_degenerate_cases(
-        n in 10..100usize,
-        errors in 0..10usize,
-        seed in 0..u64::MAX,
-    ) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+/// Weighted inaccuracy is 0 for error-free samples, and equals the plain
+/// rate when every tuple sits in one stratum.
+#[test]
+fn weighted_inaccuracy_degenerate_cases() {
+    trials(256, 0x3E16, |rng| {
+        let n = rng.gen_range(10..100usize);
+        let errors = rng.gen_range(0..10usize);
+        let mut inner = ChaCha8Rng::seed_from_u64(rng.next_u64());
         // All scores zero → everything lands in stratum 0.
-        let scored: Vec<(TupleId, usize)> =
-            (0..n).map(|i| (TupleId(i as u32), 0usize)).collect();
+        let scored: Vec<(TupleId, usize)> = (0..n).map(|i| (TupleId(i as u32), 0usize)).collect();
         let plan = StratifiedPlan::default_two_strata(20.min(n));
-        let sample = StratifiedSample::draw(scored.iter().copied(), plan, &mut rng).unwrap();
+        let sample = StratifiedSample::draw(scored.iter().copied(), plan, &mut inner).unwrap();
         let zero = vec![0usize; sample.strata.len()];
-        prop_assert_eq!(sample.weighted_inaccuracy(&zero), 0.0);
+        assert_eq!(sample.weighted_inaccuracy(&zero), 0.0);
         let drawn0 = sample.strata[0].sample.len();
-        prop_assume!(drawn0 > 0);
+        if drawn0 == 0 {
+            return;
+        }
         let errors = errors.min(drawn0);
         let mut e = zero.clone();
         e[0] = errors;
         let expected = errors as f64 / drawn0 as f64;
-        prop_assert!((sample.weighted_inaccuracy(&e) - expected).abs() < 1e-9);
-    }
+        assert!((sample.weighted_inaccuracy(&e) - expected).abs() < 1e-9);
+    });
 }

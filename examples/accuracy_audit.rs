@@ -7,13 +7,13 @@
 //!
 //! Run with `cargo run --release --example accuracy_audit`.
 
+use cfd_prng::ChaCha8Rng;
+use cfd_prng::SeedableRng;
 use cfdclean::cfd::violation::detect;
 use cfdclean::gen::{generate, inject, GenConfig, NoiseConfig};
 use cfdclean::model::diff::inaccuracy_ratio;
 use cfdclean::repair::{repair_via_incremental, IncConfig};
 use cfdclean::sampling::{certify, min_sample_for_acceptance, GroundTruthOracle, SamplingConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let epsilon = 0.002; // demanding bound on cell-level inaccuracy
@@ -25,15 +25,19 @@ fn main() {
     let noise = inject(
         &w.dopt,
         &w.world,
-        &NoiseConfig { rate: 0.08, typo_prob: 0.9, ..Default::default() },
+        &NoiseConfig {
+            rate: 0.08,
+            typo_prob: 0.9,
+            ..Default::default()
+        },
     );
     let mut db = noise.dirty.clone();
     let mut rng = ChaCha8Rng::seed_from_u64(5);
 
     for round in 1.. {
         // Repair the current state.
-        let out = repair_via_incremental(&db, &w.sigma, IncConfig::default())
-            .expect("repair succeeds");
+        let out =
+            repair_via_incremental(&db, &w.sigma, IncConfig::default()).expect("repair succeeds");
         let repair = out.repair;
         let true_ratio = inaccuracy_ratio(&repair, &w.dopt);
         // Certify on a sample, stratified by current violation counts.
@@ -49,7 +53,11 @@ fn main() {
             true_ratio * 100.0,
             outcome.p_hat * 100.0,
             outcome.corrections.len(),
-            if outcome.accepted { "ACCEPTED" } else { "rejected" }
+            if outcome.accepted {
+                "ACCEPTED"
+            } else {
+                "rejected"
+            }
         );
         if outcome.accepted {
             println!("repair certified at ε = {epsilon}, δ = {delta} after {round} round(s)");
@@ -63,7 +71,9 @@ fn main() {
         let mut corrected = repair;
         for (id, fixed) in outcome.corrections {
             for a in corrected.schema().attr_ids().collect::<Vec<_>>() {
-                corrected.set_value(id, a, fixed.value(a).clone()).expect("live tuple");
+                corrected
+                    .set_value(id, a, fixed.value(a).clone())
+                    .expect("live tuple");
             }
         }
         db = corrected;

@@ -34,7 +34,11 @@ fn main() {
             None => "FD".to_string(),
             Some(rows) => format!("CFD, {} rows", rows.len()),
         };
-        println!("  [{}] -> {}  ({kind})", lhs.join(", "), schema.attr_name(d.rhs));
+        println!(
+            "  [{}] -> {}  ({kind})",
+            lhs.join(", "),
+            schema.attr_name(d.rhs)
+        );
     }
 
     // The mined rules hold on the training data…
@@ -47,7 +51,14 @@ fn main() {
     assert!(check(&w.dopt, &mined_sigma), "mined Σ holds on clean data");
 
     // …and catch injected noise.
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     let report = detect(&noise.dirty, &mined_sigma);
     let caught = noise
         .corrupted

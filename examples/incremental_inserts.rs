@@ -39,7 +39,11 @@ fn main() {
         let noised = inject(
             &batch_src.dopt,
             &w.world,
-            &NoiseConfig { rate, seed: batch_no, ..Default::default() },
+            &NoiseConfig {
+                rate,
+                seed: batch_no,
+                ..Default::default()
+            },
         );
         let delta: Vec<Tuple> = noised.dirty.iter().map(|(_, t)| t.clone()).collect();
         let t0 = Instant::now();
@@ -47,7 +51,10 @@ fn main() {
             &base,
             &delta,
             &w.sigma,
-            IncConfig { ordering: Ordering::Violations, ..Default::default() },
+            IncConfig {
+                ordering: Ordering::Violations,
+                ..Default::default()
+            },
         )
         .expect("incremental repair succeeds");
         println!(
@@ -62,5 +69,8 @@ fn main() {
         assert!(check(&out.repair, &w.sigma), "warehouse stays consistent");
         base = out.repair;
     }
-    println!("final warehouse size: {} tuples, still consistent", base.len());
+    println!(
+        "final warehouse size: {} tuples, still consistent",
+        base.len()
+    );
 }

@@ -17,16 +17,26 @@ use cfdclean::repair::{batch_repair, BatchConfig, MergePricing};
 use std::time::Instant;
 
 fn main() {
-    println!("{:<10} {:>6} {:>16} {:>12} {:>10}", "seed", "mode", "precision", "recall", "time");
+    println!(
+        "{:<10} {:>6} {:>16} {:>12} {:>10}",
+        "seed", "mode", "precision", "recall", "time"
+    );
     for noise_seed in [42u64, 1, 7] {
         let w = generate(&GenConfig::sized(6_000, 42));
         let noise = inject(
             &w.dopt,
             &w.world,
-            &NoiseConfig { rate: 0.05, seed: noise_seed, ..Default::default() },
+            &NoiseConfig {
+                rate: 0.05,
+                seed: noise_seed,
+                ..Default::default()
+            },
         );
         for pricing in [MergePricing::GroupMajority, MergePricing::Pairwise] {
-            let config = BatchConfig { merge_pricing: pricing, ..Default::default() };
+            let config = BatchConfig {
+                merge_pricing: pricing,
+                ..Default::default()
+            };
             let t0 = Instant::now();
             let out = batch_repair(&noise.dirty, &w.sigma, config).expect("repair succeeds");
             let q = RunSummary::evaluate(&noise.dirty, &out.repair, &w.dopt, t0.elapsed());

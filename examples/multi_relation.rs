@@ -43,18 +43,28 @@ fn main() {
     // cross-relation consistency: order.item_id ⊆ item.id
     let fk = Ind::new(&db, "fk_item", "order", &["item_id"], "item", &["id"]).unwrap();
 
-    println!("before: CFDs satisfied = {}, IND violations = {:?}",
+    println!(
+        "before: CFDs satisfied = {}, IND violations = {:?}",
         check(db.relation("order").unwrap(), &sigma),
-        fk.violations(&db).unwrap());
+        fk.violations(&db).unwrap()
+    );
 
     // 1. repair the order relation against its CFDs
-    let repaired = batch_repair(db.relation("order").unwrap(), &sigma, BatchConfig::default())
-        .expect("cfd repair succeeds");
+    let repaired = batch_repair(
+        db.relation("order").unwrap(),
+        &sigma,
+        BatchConfig::default(),
+    )
+    .expect("cfd repair succeeds");
     db.put(repaired.repair);
 
     // 2. repair the foreign key
-    let stats = repair_inds(&mut db, std::slice::from_ref(&fk), &IndRepairConfig::default())
-        .expect("ind repair succeeds");
+    let stats = repair_inds(
+        &mut db,
+        std::slice::from_ref(&fk),
+        &IndRepairConfig::default(),
+    )
+    .expect("ind repair succeeds");
 
     println!(
         "after: CFDs satisfied = {}, IND satisfied = {} (rebound {}, nulled {})",

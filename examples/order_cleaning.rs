@@ -5,13 +5,13 @@
 //!
 //! Run with `cargo run --release --example order_cleaning`.
 
+use cfd_prng::ChaCha8Rng;
+use cfd_prng::SeedableRng;
 use cfdclean::cfd::violation::detect;
 use cfdclean::gen::{generate, inject, GenConfig, NoiseConfig, RunSummary};
 use cfdclean::model::TupleId;
 use cfdclean::repair::{batch_repair, BatchConfig};
 use cfdclean::sampling::{certify, chernoff_sample_size, GroundTruthOracle, SamplingConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
 fn main() {
@@ -20,7 +20,14 @@ fn main() {
 
     // 1. Generate the workload and corrupt it.
     let w = generate(&GenConfig::sized(5_000, 7));
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.04, ..Default::default() });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.04,
+            ..Default::default()
+        },
+    );
     println!(
         "order database: {} tuples, Σ = {} CFDs ({} normalized rules)",
         noise.dirty.len(),
@@ -38,26 +45,32 @@ fn main() {
 
     // 3. Repair (the repairing module).
     let t0 = Instant::now();
-    let out = batch_repair(&noise.dirty, &w.sigma, BatchConfig::default())
-        .expect("repair succeeds");
+    let out =
+        batch_repair(&noise.dirty, &w.sigma, BatchConfig::default()).expect("repair succeeds");
     let quality = RunSummary::evaluate(&noise.dirty, &out.repair, &w.dopt, t0.elapsed());
     println!("BATCHREPAIR: {quality}");
 
     // 4. Certify accuracy (the sampling module). The paper sizes samples
     //    with the Chernoff bound of Theorem 6.1.
     let k = chernoff_sample_size(5, epsilon, delta).min(out.repair.len());
-    println!("sampling {k} tuples (Chernoff bound for ≥5 expected errors at ε = {epsilon}, δ = {delta})");
+    println!(
+        "sampling {k} tuples (Chernoff bound for ≥5 expected errors at ε = {epsilon}, δ = {delta})"
+    );
     let suspicion = |id: TupleId| report.vio(id);
     let mut oracle = GroundTruthOracle::new(&w.dopt);
     let config = SamplingConfig::new(epsilon, delta, k);
     let mut rng = ChaCha8Rng::seed_from_u64(99);
-    let outcome = certify(&out.repair, suspicion, &config, &mut oracle, &mut rng)
-        .expect("sampling succeeds");
+    let outcome =
+        certify(&out.repair, suspicion, &config, &mut oracle, &mut rng).expect("sampling succeeds");
     println!(
         "certification: p̂ = {:.4}, inspected {} tuples, {} corrections — {}",
         outcome.p_hat,
         outcome.inspected,
         outcome.corrections.len(),
-        if outcome.accepted { "ACCEPTED" } else { "REJECTED — feed corrections back and re-repair" }
+        if outcome.accepted {
+            "ACCEPTED"
+        } else {
+            "REJECTED — feed corrections back and re-repair"
+        }
     );
 }

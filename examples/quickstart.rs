@@ -34,17 +34,25 @@ fn main() {
     let batch_summary =
         RunSummary::evaluate(&noise.dirty, &batch.repair, &workload.dopt, t0.elapsed());
     println!("BATCHREPAIR  {batch_summary}");
-    println!("  steps {}  merges {}  consts {}  nulls {}  cost {:.2}",
-        batch.stats.steps, batch.stats.merges, batch.stats.consts_set,
-        batch.stats.nulls_set, batch.stats.cost);
+    println!(
+        "  steps {}  merges {}  consts {}  nulls {}  cost {:.2}",
+        batch.stats.steps,
+        batch.stats.merges,
+        batch.stats.consts_set,
+        batch.stats.nulls_set,
+        batch.stats.cost
+    );
 
     // INCREPAIR in the non-incremental setting (§5.3)
     let t0 = Instant::now();
     let inc = repair_via_incremental(&noise.dirty, &workload.sigma, IncConfig::default())
         .expect("incremental repair succeeds");
-    let inc_summary =
-        RunSummary::evaluate(&noise.dirty, &inc.repair, &workload.dopt, t0.elapsed());
+    let inc_summary = RunSummary::evaluate(&noise.dirty, &inc.repair, &workload.dopt, t0.elapsed());
     println!("V-INCREPAIR  {inc_summary}");
-    println!("  reinserted {}  nulls {}  cost {:.2}",
-        inc.reinserted.len(), inc.stats.nulls_introduced, inc.stats.cost);
+    println!(
+        "  reinserted {}  nulls {}  cost {:.2}",
+        inc.reinserted.len(),
+        inc.stats.nulls_introduced,
+        inc.stats.cost
+    );
 }

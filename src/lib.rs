@@ -4,22 +4,49 @@
 //! (CFDs): a complete implementation of Cong, Fan, Geerts, Jia & Ma,
 //! *Improving Data Quality: Consistency and Accuracy*, VLDB 2007.
 //!
+//! ## The dictionary-encoded value layer
+//!
+//! Every attribute value is interned exactly once in a process-wide
+//! dictionary ([`model::ValuePool`]) and handled as a dense
+//! [`model::ValueId`] (`u32`) everywhere above storage. All hot paths —
+//! violation detection, the LHS-indices driving `INCREPAIR`,
+//! `BATCHREPAIR`'s equivalence-class targets and group censuses, and the
+//! discovery partitions — compare, hash, and group integers; pattern
+//! constants are interned once at rule-load time; strings are resolved
+//! only at the edges (the `dis(v, v')` distance kernel, memoized per id
+//! pair, plus display and CSV). The paper's §3.1 null semantics survive
+//! the encoding verbatim: interning is injective, `null` is always id 0,
+//! and `sql_eq`/`strict_eq`/pattern matching exist in id form with
+//! property tests pinning their agreement with the value-level
+//! definitions.
+//!
+//! ## Crates
+//!
 //! This facade crate re-exports the workspace:
 //!
-//! * [`model`] — the relational substrate (values, schemas, weighted
-//!   tuples, relations, indexes, `dif`/precision/recall, CSV);
-//! * [`cfd`] — CFDs: pattern tableaus, normalization, violation
-//!   detection, satisfiability, implication, rule files;
-//! * [`repair`] — `BATCHREPAIR` and `INCREPAIR` with the §3.2 cost model;
+//! * [`model`] — the relational substrate (the value pool, schemas,
+//!   id-encoded weighted tuples, relations, `IdKey`-keyed hash indexes,
+//!   `dif`/precision/recall, CSV);
+//! * [`cfd`] — CFDs: pattern tableaus (value and interned forms),
+//!   normalization, violation detection, satisfiability, implication,
+//!   rule files;
+//! * [`repair`] — `BATCHREPAIR` and `INCREPAIR` with the §3.2 cost model
+//!   over memoized id-pair distances;
 //! * [`sampling`] — the statistical accuracy module (stratified sampling,
 //!   z-tests, Chernoff bounds);
 //! * [`gen`] — the §7.1 evaluation workload generator;
-//! * [`discovery`] — FD / constant-CFD-row mining (the paper's §9
-//!   future-work direction).
+//! * [`discovery`] — FD / constant-CFD-row mining over position-list
+//!   indexes (the paper's §9 future-work direction).
 //!
 //! The workspace also ships a command-line tool (`crates/cli`, binary
 //! `cfdclean`) that exposes detect / repair / insert / discover /
-//! certify / generate over CSV and rule files.
+//! certify / generate over CSV and rule files, and a dependency-free
+//! seedable PRNG (`cfd-prng`) backing the generator and the randomized
+//! test suites.
+//!
+//! The `parallel` feature shards index builds and full-relation violation
+//! scans across threads (`std::thread::scope`) — cheap to fan out now
+//! that index keys are `Copy` ids.
 //!
 //! ## Example
 //!

