@@ -21,7 +21,7 @@ use cfd_cfd::violation::detect;
 use cfd_cfd::Sigma;
 use cfd_gen::{inject, NoiseConfig};
 use cfd_model::index::HashIndex;
-use cfd_model::{AttrId, Relation, TupleId, Value};
+use cfd_model::{AttrId, Relation, StorageLayout, TupleId, Value};
 use cfd_repair::cluster::ValueIndex;
 use cfd_repair::distance::{dl_distance, dl_distance_bounded};
 use cfd_repair::equivalence::{Cell, EqClasses};
@@ -158,6 +158,91 @@ fn string_keyed_detect(rows: &[(TupleId, ValueRow)], sigma: &Sigma) -> usize {
     total
 }
 
+/// The row-vs-column headline: the *same* engine code on the two storage
+/// layouts of the same relation. Columnar detection walks rule-group and
+/// census column slices (contiguous u32 runs); row-major chases one heap
+/// row object per tuple. Returns (index-build speedup, detect speedup),
+/// both as row-major / columnar medians.
+fn bench_row_vs_column(h: &mut Harness) -> (f64, f64) {
+    let w = workload(2_000, 7);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let columnar = noise.dirty.to_layout(StorageLayout::Columnar);
+    let rowmajor = noise.dirty.to_layout(StorageLayout::RowMajor);
+    let lhs = w
+        .sigma
+        .iter()
+        .next()
+        .expect("non-empty sigma")
+        .lhs()
+        .to_vec();
+
+    // Sanity: the layouts must agree before their timings mean anything.
+    assert_eq!(
+        detect(&columnar, &w.sigma).total,
+        detect(&rowmajor, &w.sigma).total,
+        "row and columnar detection disagree"
+    );
+
+    let build_col = h.run("index_build/columnar_2k", || {
+        HashIndex::build(black_box(&columnar), black_box(&lhs)).group_count()
+    });
+    let build_row = h.run("index_build/rowmajor_2k", || {
+        HashIndex::build(black_box(&rowmajor), black_box(&lhs)).group_count()
+    });
+    let detect_col = h.run("detect/columnar_2k_5pct", || {
+        detect(black_box(&columnar), black_box(&w.sigma)).total
+    });
+    let detect_row = h.run("detect/rowmajor_2k_5pct", || {
+        detect(black_box(&rowmajor), black_box(&w.sigma)).total
+    });
+
+    let build_speedup = build_row.median_ns / build_col.median_ns;
+    let detect_speedup = detect_row.median_ns / detect_col.median_ns;
+    eprintln!("index build speedup (row/columnar): {build_speedup:.2}x");
+    eprintln!("detection speedup  (row/columnar): {detect_speedup:.2}x");
+    (build_speedup, detect_speedup)
+}
+
+/// CI smoke gate: quick row-vs-column comparison; exits nonzero when the
+/// columnar detection kernel regresses below the row-major baseline.
+/// Two defenses against shared-runner scheduling noise — a small jitter
+/// margin and best-of-three attempts — so only a reproducible regression
+/// trips the gate.
+const SMOKE_MIN_DETECT_SPEEDUP: f64 = 0.95;
+const SMOKE_ATTEMPTS: usize = 3;
+
+fn smoke() -> ! {
+    for attempt in 1..=SMOKE_ATTEMPTS {
+        let mut h = Harness::new();
+        h.batches = 7;
+        h.target_batch_ns = 2_000_000;
+        let (build_speedup, detect_speedup) = bench_row_vs_column(&mut h);
+        println!("{}", h.table());
+        println!("index build speedup (row/columnar): {build_speedup:.2}x");
+        println!("detection speedup  (row/columnar): {detect_speedup:.2}x");
+        if detect_speedup >= SMOKE_MIN_DETECT_SPEEDUP {
+            println!("smoke ok: columnar detection ≥ row-major (within jitter margin)");
+            std::process::exit(0);
+        }
+        eprintln!(
+            "smoke attempt {attempt}/{SMOKE_ATTEMPTS}: columnar detection \
+             {detect_speedup:.2}x below the {SMOKE_MIN_DETECT_SPEEDUP}x gate"
+        );
+    }
+    eprintln!(
+        "SMOKE FAIL: columnar detection regressed below the row-major \
+         baseline in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+    );
+    std::process::exit(1);
+}
+
 fn bench_distance(h: &mut Harness) {
     for (a, b) in [
         ("19014", "10012"),
@@ -237,7 +322,7 @@ fn bench_vio_of_candidate(h: &mut Harness) {
         },
     );
     let engine = cfd_cfd::violation::Engine::build(&noise.dirty, &w.sigma);
-    let probe = noise.dirty.tuple(TupleId(0)).unwrap().clone();
+    let probe = noise.dirty.tuple(TupleId(0)).unwrap();
     h.run("detect/vio_of_candidate", || {
         engine.vio_of(black_box(&noise.dirty), black_box(&probe), None)
     });
@@ -260,7 +345,7 @@ fn bench_equivalence(h: &mut Harness) {
 fn bench_lhs_index(h: &mut Harness) {
     let w = workload(5_000, 9);
     let idx = LhsIndexes::build(&w.dopt, &w.sigma);
-    let probe = w.dopt.tuple(TupleId(17)).unwrap().clone();
+    let probe = w.dopt.tuple(TupleId(17)).unwrap();
     let variable: Vec<_> = w.sigma.iter().filter(|n| !n.is_constant()).collect();
     h.run("lhs_index/validate_tuple_all_variable_cfds", || {
         variable
@@ -286,6 +371,9 @@ fn bench_value_index(h: &mut Harness) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "smoke") {
+        smoke();
+    }
     let json_path = args.iter().position(|a| a == "json").map(|i| {
         args.get(i + 1)
             .cloned()
@@ -295,6 +383,7 @@ fn main() {
     let mut h = Harness::new();
     bench_distance(&mut h);
     let (build_speedup, detect_speedup) = bench_interned_vs_string(&mut h);
+    let (col_build_speedup, col_detect_speedup) = bench_row_vs_column(&mut h);
     bench_vio_of_candidate(&mut h);
     bench_equivalence(&mut h);
     bench_lhs_index(&mut h);
@@ -303,6 +392,8 @@ fn main() {
     println!("\n{}", h.table());
     println!("index build speedup (string/interned): {build_speedup:.2}x");
     println!("detection speedup  (string/interned): {detect_speedup:.2}x");
+    println!("index build speedup (row/columnar): {col_build_speedup:.2}x");
+    println!("detection speedup  (row/columnar): {col_detect_speedup:.2}x");
     if let Some(path) = json_path {
         h.write_json(&path).expect("write bench json");
         println!("wrote {path}");

@@ -295,8 +295,11 @@ pub fn fig12(scale: Scale, seed: u64) -> Vec<Series> {
                 ..Default::default()
             },
         );
-        let delta: Vec<cfd_model::Tuple> =
-            delta_noise.dirty.iter().map(|(_, t)| t.clone()).collect();
+        let delta: Vec<cfd_model::Tuple> = delta_noise
+            .dirty
+            .iter()
+            .map(|(_, t)| t.to_tuple())
+            .collect();
         // INCREPAIR on ΔD against clean D.
         let t0 = Instant::now();
         let out = inc_repair(&w.dopt, &delta, &w.sigma, IncConfig::default())

@@ -10,7 +10,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use cfd_model::{AttrId, ModelError, Schema, Tuple};
+use cfd_model::{AttrId, ModelError, Schema, TupleView};
 
 use crate::pattern::{intern_patterns, tuple_matches, PatternId, PatternRow, PatternValue};
 
@@ -257,7 +257,7 @@ impl NormalCfd {
 
     /// Does the CFD apply to `t`, i.e. `t[X] ≼ tp[X]`?
     #[inline]
-    pub fn applies_to(&self, t: &Tuple) -> bool {
+    pub fn applies_to<V: TupleView + ?Sized>(&self, t: &V) -> bool {
         tuple_matches(t, &self.lhs, &self.lhs_pat_ids)
     }
 
@@ -399,7 +399,7 @@ impl Sigma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfd_model::Value;
+    use cfd_model::{Tuple, Value};
 
     fn schema() -> Schema {
         Schema::new(

@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use cfd_model::{AttrId, Tuple, Value, ValueId};
+use cfd_model::{AttrId, TupleView, Value, ValueId};
 
 /// One cell of a pattern tuple: a constant or the unnamed variable `_`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -173,7 +173,7 @@ impl PatternRow {
 /// Does `t[attrs] ≼ pats` hold? (`null` anywhere among `t[attrs]` ⇒ no.)
 /// Interned form: a run of integer comparisons.
 #[inline]
-pub fn tuple_matches(t: &Tuple, attrs: &[AttrId], pats: &[PatternId]) -> bool {
+pub fn tuple_matches<V: TupleView + ?Sized>(t: &V, attrs: &[AttrId], pats: &[PatternId]) -> bool {
     debug_assert_eq!(attrs.len(), pats.len());
     attrs
         .iter()
@@ -204,6 +204,7 @@ pub fn intern_patterns(pats: &[PatternValue]) -> Vec<PatternId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfd_model::Tuple;
 
     #[test]
     fn wildcard_matches_constants_not_null() {

@@ -20,7 +20,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use cfd_model::index::HashIndex;
-use cfd_model::{AttrId, IdKey, Relation, Tuple, TupleId, ValueId};
+use cfd_model::{AttrId, IdKey, Relation, Tuple, TupleId, TupleView, ValueId};
 
 use crate::cfd::{CfdId, NormalCfd, Sigma};
 use crate::pattern::{ids_match, PatternId};
@@ -97,14 +97,19 @@ impl GroupIndexes {
     }
 
     /// Propagate a tuple update to every index.
-    pub fn update(&mut self, id: TupleId, before: &Tuple, after: &Tuple) {
+    pub fn update<V: TupleView + ?Sized, W: TupleView + ?Sized>(
+        &mut self,
+        id: TupleId,
+        before: &V,
+        after: &W,
+    ) {
         for idx in self.by_lhs.values_mut() {
             idx.update(id, before, after);
         }
     }
 
     /// Register a fresh tuple in every index.
-    pub fn insert(&mut self, id: TupleId, t: &Tuple) {
+    pub fn insert<V: TupleView + ?Sized>(&mut self, id: TupleId, t: &V) {
         for idx in self.by_lhs.values_mut() {
             idx.insert(id, t);
         }
@@ -190,7 +195,11 @@ impl ConstantRules {
     /// Visit every constant rule whose LHS pattern matches `t`
     /// (`t[X] ≼ tp[X]`). The callback also receives the rule's LHS
     /// attribute list (shared by its group) for scope filtering.
-    pub fn for_each_fired(&self, t: &Tuple, mut f: impl FnMut(&[AttrId], &ConstRule)) {
+    pub fn for_each_fired<V: TupleView + ?Sized>(
+        &self,
+        t: &V,
+        mut f: impl FnMut(&[AttrId], &ConstRule),
+    ) {
         'group: for g in &self.groups {
             for a in &g.lhs {
                 if t.id(*a).is_null() {
@@ -208,7 +217,11 @@ impl ConstantRules {
 
     /// Count the constant violations of `t` (each fired rule whose RHS
     /// obligation fails), optionally collecting the violated rule ids.
-    pub fn violations_of(&self, t: &Tuple, mut out: Option<&mut Vec<CfdId>>) -> usize {
+    pub fn violations_of<V: TupleView + ?Sized>(
+        &self,
+        t: &V,
+        mut out: Option<&mut Vec<CfdId>>,
+    ) -> usize {
         let mut count = 0;
         self.for_each_fired(t, |_, r| {
             if !r.rhs.satisfied_by_id(t.id(r.rhs_attr)) {
@@ -230,14 +243,22 @@ fn variable_group_conflicts(
     rel: &Relation,
     group: &[TupleId],
 ) -> Vec<(TupleId, usize)> {
+    // One RHS read per member: straight off the column slice on columnar
+    // storage, through the row view otherwise.
+    let rhs_col = rel.column(n.rhs_attr());
+    let rhs_of = |id: TupleId| -> ValueId {
+        match rhs_col {
+            Some(col) => col[id.index()],
+            None => rel
+                .value_id(id, n.rhs_attr())
+                .expect("index holds live ids"),
+        }
+    };
     // Tally non-null RHS ids in the group — a u32-keyed histogram.
     let mut counts: HashMap<ValueId, usize> = HashMap::new();
     let mut non_null_total = 0usize;
     for id in group {
-        let v = rel
-            .tuple(*id)
-            .expect("index holds live ids")
-            .id(n.rhs_attr());
+        let v = rhs_of(*id);
         if !v.is_null() {
             *counts.entry(v).or_insert(0) += 1;
             non_null_total += 1;
@@ -248,7 +269,7 @@ fn variable_group_conflicts(
     }
     let mut out = Vec::new();
     for id in group {
-        let v = rel.tuple(*id).expect("live").id(n.rhs_attr());
+        let v = rhs_of(*id);
         if v.is_null() {
             continue; // null equals everything: no conflict for this tuple
         }
@@ -324,12 +345,17 @@ impl<'a> Engine<'a> {
     }
 
     /// Register a tuple newly inserted into the underlying relation.
-    pub fn insert(&mut self, id: TupleId, t: &Tuple) {
+    pub fn insert<V: TupleView + ?Sized>(&mut self, id: TupleId, t: &V) {
         self.indexes.insert(id, t);
     }
 
     /// Propagate an in-place tuple update to the group indexes.
-    pub fn update(&mut self, id: TupleId, before: &Tuple, after: &Tuple) {
+    pub fn update<V: TupleView + ?Sized, W: TupleView + ?Sized>(
+        &mut self,
+        id: TupleId,
+        before: &V,
+        after: &W,
+    ) {
         self.indexes.update(id, before, after);
     }
 
@@ -345,7 +371,12 @@ impl<'a> Engine<'a> {
     /// violations plus conflicts against existing tuples in `rel`. This is
     /// the `vio(t[C/v̄])` ingredient of `TUPLERESOLVE`'s cost (§5.1). Pass
     /// `exclude` to skip the tuple's own id when it is already stored.
-    pub fn vio_of(&self, rel: &Relation, t: &Tuple, exclude: Option<TupleId>) -> usize {
+    pub fn vio_of<V: TupleView + ?Sized>(
+        &self,
+        rel: &Relation,
+        t: &V,
+        exclude: Option<TupleId>,
+    ) -> usize {
         let mut vio = self.rules.violations_of(t, None);
         for n in self.variable_cfds() {
             if !n.applies_to(t) {
@@ -355,12 +386,16 @@ impl<'a> Engine<'a> {
             if v.is_null() {
                 continue;
             }
+            let rhs_col = rel.column(n.rhs_attr());
             let group = self.indexes.for_lhs(n.lhs()).group_of(t);
             for other in group {
                 if exclude == Some(*other) {
                     continue;
                 }
-                let ov = rel.tuple(*other).expect("live").id(n.rhs_attr());
+                let ov = match rhs_col {
+                    Some(col) => col[other.index()],
+                    None => rel.value_id(*other, n.rhs_attr()).expect("live"),
+                };
                 if !ov.is_null() && ov != v {
                     vio += 1;
                 }
@@ -383,8 +418,11 @@ fn constant_scan(rel: &Relation, engine: &Engine<'_>, report: &mut ViolationRepo
         constant_scan_parallel(rel, engine, report);
         return;
     }
+    if constant_scan_columnar(rel, engine, report) {
+        return;
+    }
     for (id, t) in rel.iter() {
-        engine.rules.for_each_fired(t, |_, r| {
+        engine.rules.for_each_fired(&t, |_, r| {
             if !r.rhs.satisfied_by_id(t.id(r.rhs_attr)) {
                 *report.per_tuple.entry(id).or_insert(0) += 1;
                 report.per_cfd[r.id.index()].push(id);
@@ -392,6 +430,51 @@ fn constant_scan(rel: &Relation, engine: &Engine<'_>, report: &mut ViolationRepo
             }
         });
     }
+}
+
+/// Columnar constant scan: rule groups in the outer loop, tuples inner,
+/// so each pass reads only the group's LHS/RHS **column slices** —
+/// contiguous `u32` runs — instead of materializing row views. Returns
+/// false when `rel` has no columns (row-major layout).
+fn constant_scan_columnar(
+    rel: &Relation,
+    engine: &Engine<'_>,
+    report: &mut ViolationReport,
+) -> bool {
+    if rel.schema().arity() > 0 && rel.column(AttrId(0)).is_none() {
+        return false;
+    }
+    let live: Vec<TupleId> = rel.ids().collect();
+    for g in &engine.rules.groups {
+        let lhs_cols: Vec<&[ValueId]> = g
+            .lhs
+            .iter()
+            .map(|a| rel.column(*a).expect("columnar layout"))
+            .collect();
+        let key_cols: Vec<&[ValueId]> = g
+            .const_attrs
+            .iter()
+            .map(|a| rel.column(*a).expect("columnar layout"))
+            .collect();
+        for id in &live {
+            let slot = id.index();
+            if lhs_cols.iter().any(|c| c[slot].is_null()) {
+                continue; // null never matches, not even `_`
+            }
+            let key: IdKey = key_cols.iter().map(|c| c[slot]).collect();
+            if let Some(rules) = g.map.get(&key) {
+                for r in rules {
+                    let rhs = rel.column(r.rhs_attr).expect("columnar layout");
+                    if !r.rhs.satisfied_by_id(rhs[slot]) {
+                        *report.per_tuple.entry(*id).or_insert(0) += 1;
+                        report.per_cfd[r.id.index()].push(*id);
+                        report.total += 1;
+                    }
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Sharded constant scan over `std::thread::scope`: workers produce
@@ -413,7 +496,7 @@ fn constant_scan_parallel(rel: &Relation, engine: &Engine<'_>, report: &mut Viol
                     let mut hits = Vec::new();
                     for id in part {
                         let t = rel.tuple(*id).expect("listed id is live");
-                        engine.rules.for_each_fired(t, |_, r| {
+                        engine.rules.for_each_fired(&t, |_, r| {
                             if !r.rhs.satisfied_by_id(t.id(r.rhs_attr)) {
                                 hits.push((*id, r.id));
                             }
@@ -496,7 +579,7 @@ pub fn check(rel: &Relation, sigma: &Sigma) -> bool {
     let engine = Engine::build(rel, sigma);
     for (_, t) in rel.iter() {
         let mut bad = false;
-        engine.rules.for_each_fired(t, |_, r| {
+        engine.rules.for_each_fired(&t, |_, r| {
             bad |= !r.rhs.satisfied_by_id(t.id(r.rhs_attr));
         });
         if bad {
@@ -505,13 +588,17 @@ pub fn check(rel: &Relation, sigma: &Sigma) -> bool {
     }
     for n in engine.variable_cfds() {
         let idx = engine.indexes.for_lhs(n.lhs());
+        let rhs_col = rel.column(n.rhs_attr());
         for (key, group) in idx.groups() {
             if group.len() < 2 || !ids_match(key.as_slice(), n.lhs_pattern_ids()) {
                 continue;
             }
             let mut seen: Option<ValueId> = None;
             for id in group {
-                let v = rel.tuple(*id).expect("live").id(n.rhs_attr());
+                let v = match rhs_col {
+                    Some(col) => col[id.index()],
+                    None => rel.value_id(*id, n.rhs_attr()).expect("live"),
+                };
                 if v.is_null() {
                     continue;
                 }
@@ -534,7 +621,7 @@ pub fn vio_of_tuple(rel: &Relation, sigma: &Sigma, indexes: &GroupIndexes, id: T
     };
     let mut vio = 0;
     for n in sigma.iter() {
-        if !n.applies_to(t) {
+        if !n.applies_to(&t) {
             continue;
         }
         if n.is_constant() {
@@ -546,12 +633,12 @@ pub fn vio_of_tuple(rel: &Relation, sigma: &Sigma, indexes: &GroupIndexes, id: T
             if v.is_null() {
                 continue;
             }
-            let group = indexes.for_lhs(n.lhs()).group_of(t);
+            let group = indexes.for_lhs(n.lhs()).group_of(&t);
             for other in group {
                 if *other == id {
                     continue;
                 }
-                let ov = rel.tuple(*other).expect("live").id(n.rhs_attr());
+                let ov = rel.value_id(*other, n.rhs_attr()).expect("live");
                 if !ov.is_null() && ov != v {
                     vio += 1;
                 }
@@ -581,7 +668,7 @@ pub fn vio_of_candidate(rel: &Relation, sigma: &Sigma, indexes: &GroupIndexes, t
             }
             let group = indexes.for_lhs(n.lhs()).group_of(t);
             for other in group {
-                let ov = rel.tuple(*other).expect("live").id(n.rhs_attr());
+                let ov = rel.value_id(*other, n.rhs_attr()).expect("live");
                 if !ov.is_null() && ov != v {
                     vio += 1;
                 }

@@ -115,7 +115,7 @@ fn engine_vio_matches_detect_for_in_relation_tuples() {
     let report = detect(&rel, &sigma);
     for (id, t) in rel.iter() {
         assert_eq!(
-            engine.vio_of(&rel, t, Some(id)),
+            engine.vio_of(&rel, &t, Some(id)),
             report.vio(id),
             "vio mismatch at {id}"
         );

@@ -59,7 +59,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .into());
     }
 
-    let delta: Vec<cfd_model::Tuple> = updates.iter().map(|(_, t)| t.clone()).collect();
+    let delta: Vec<cfd_model::Tuple> = updates.iter().map(|(_, t)| t.to_tuple()).collect();
     let t0 = Instant::now();
     let ordering = match ordering.as_str() {
         "v" => Ordering::Violations,

@@ -349,7 +349,7 @@ pub fn inject(dopt: &Relation, world: &World, cfg: &NoiseConfig) -> NoiseOutcome
                 } else {
                     rng.gen_range(cfg.weight_clean_min..1.0)
                 };
-                dirty.tuple_mut(id).expect("live").set_weight(a, w);
+                dirty.set_weight(id, a, w).expect("live");
             }
         }
     }

@@ -6,22 +6,37 @@
 //! string stays distinguishable from `null`. Integers round-trip as digits;
 //! anything that parses as `i64` *and* was written by [`write_relation`]
 //! from an `Int` is prefixed with `#i:` to keep types stable.
+//!
+//! Import is columnar: records are decoded into per-attribute value
+//! columns, each column is interned with **one**
+//! [`ValuePool::intern_column`](crate::ValuePool::intern_column) call
+//! (one lock acquisition per attribute instead of one per cell), and the
+//! resulting id columns become the relation's [`ColumnStore`] backing
+//! directly — no intermediate [`Tuple`] objects.
 
 use std::io::{BufRead, Write};
 
 use crate::error::ModelError;
+use crate::pool::ValuePool;
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::tuple::Tuple;
+use crate::storage::intern_columns;
 use crate::value::Value;
 
 const NULL_TOKEN: &str = "\\N";
 const INT_PREFIX: &str = "#i:";
 
 fn escape(field: &str, out: &mut String) {
+    escape_with(field, out, false)
+}
+
+/// Like [`escape`], but `force` quotes the field even when its characters
+/// would not require it — used for literal strings that would otherwise
+/// decode as the null token or an int tag.
+fn escape_with(field: &str, out: &mut String, force: bool) {
     // Empty fields are quoted so a row of empty strings is never mistaken
     // for a blank line.
-    let needs_quotes = field.is_empty() || field.contains([',', '"', '\n', '\r']);
+    let needs_quotes = force || field.is_empty() || field.contains([',', '"', '\n', '\r']);
     if needs_quotes {
         out.push('"');
         for c in field.chars() {
@@ -43,20 +58,38 @@ fn encode_value(v: &Value, out: &mut String) {
             out.push_str(INT_PREFIX);
             out.push_str(&i.to_string());
         }
+        // A literal string that *looks like* the null token or an int tag
+        // is force-quoted (with standard quote doubling), and quoted
+        // fields always decode verbatim — so `Str("\\N")` and
+        // `Str("#i:212")` survive the round trip.
+        Value::Str(s) if &**s == NULL_TOKEN || s.starts_with(INT_PREFIX) => {
+            escape_with(s, out, true)
+        }
         Value::Str(s) => escape(s, out),
     }
 }
 
-fn decode_value(field: &str) -> Value {
-    if field == NULL_TOKEN {
+fn decode_value(field: &Field) -> Value {
+    if field.quoted {
+        return Value::str(&field.text);
+    }
+    let text = field.text.as_str();
+    if text == NULL_TOKEN {
         Value::Null
-    } else if let Some(rest) = field.strip_prefix(INT_PREFIX) {
+    } else if let Some(rest) = text.strip_prefix(INT_PREFIX) {
         rest.parse::<i64>()
             .map(Value::Int)
-            .unwrap_or_else(|_| Value::str(field))
+            .unwrap_or_else(|_| Value::str(text))
     } else {
-        Value::str(field)
+        Value::str(text)
     }
+}
+
+/// One decoded CSV field plus whether any part of it was quoted — quoting
+/// marks a field as a verbatim string for [`decode_value`].
+struct Field {
+    text: String,
+    quoted: bool,
 }
 
 /// Write `rel` as CSV: a header row of attribute names, then one row per
@@ -87,9 +120,10 @@ pub fn write_relation<W: Write>(rel: &Relation, w: &mut W) -> Result<(), ModelEr
 
 /// Split one CSV record, honoring quotes. Returns an error message on
 /// malformed quoting.
-fn split_record(line: &str) -> Result<Vec<String>, String> {
+fn split_record(line: &str) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut cur = String::new();
+    let mut cur_quoted = false;
     let mut chars = line.chars().peekable();
     let mut in_quotes = false;
     while let Some(c) = chars.next() {
@@ -110,12 +144,16 @@ fn split_record(line: &str) -> Result<Vec<String>, String> {
                 '"' => {
                     if cur.is_empty() {
                         in_quotes = true;
+                        cur_quoted = true;
                     } else {
                         return Err("quote inside unquoted field".to_string());
                     }
                 }
                 ',' => {
-                    fields.push(std::mem::take(&mut cur));
+                    fields.push(Field {
+                        text: std::mem::take(&mut cur),
+                        quoted: std::mem::take(&mut cur_quoted),
+                    });
                 }
                 _ => cur.push(c),
             }
@@ -124,12 +162,23 @@ fn split_record(line: &str) -> Result<Vec<String>, String> {
     if in_quotes {
         return Err("unterminated quote".to_string());
     }
-    fields.push(cur);
+    fields.push(Field {
+        text: cur,
+        quoted: cur_quoted,
+    });
     Ok(fields)
 }
 
+/// The text of split fields, quoting forgotten — for headers and weight
+/// rows, where quoting carries no meaning.
+fn field_texts(fields: Vec<Field>) -> Vec<String> {
+    fields.into_iter().map(|f| f.text).collect()
+}
+
 /// Read a relation written by [`write_relation`], constructing the schema
-/// from the header and naming the relation `name`.
+/// from the header and naming the relation `name`. The result is columnar:
+/// records are decoded into per-attribute columns and bulk-interned, one
+/// pool pass per column.
 pub fn read_relation<R: BufRead>(name: &str, r: &mut R) -> Result<Relation, ModelError> {
     let mut lines = r.lines();
     let header = match lines.next() {
@@ -141,10 +190,11 @@ pub fn read_relation<R: BufRead>(name: &str, r: &mut R) -> Result<Relation, Mode
             })
         }
     };
-    let attrs = split_record(&header).map_err(|message| ModelError::Csv { line: 1, message })?;
+    let attrs =
+        field_texts(split_record(&header).map_err(|message| ModelError::Csv { line: 1, message })?);
     let schema = Schema::new(name, &attrs)?;
     let arity = schema.arity();
-    let mut rel = Relation::new(schema);
+    let mut columns: Vec<Vec<Value>> = vec![Vec::new(); arity];
     for (i, line) in lines.enumerate() {
         let line_no = i + 2;
         let line = line?;
@@ -161,10 +211,12 @@ pub fn read_relation<R: BufRead>(name: &str, r: &mut R) -> Result<Relation, Mode
                 message: format!("expected {arity} fields, found {}", fields.len()),
             });
         }
-        let values = fields.iter().map(|f| decode_value(f)).collect();
-        rel.insert(Tuple::new(values))?;
+        for (col, f) in columns.iter_mut().zip(&fields) {
+            col.push(decode_value(f));
+        }
     }
-    Ok(rel)
+    let id_cols = intern_columns(ValuePool::global(), &columns);
+    Relation::from_columns(schema, id_cols, None)
 }
 
 /// Write the per-attribute confidence weights of `rel` as CSV: the same
@@ -210,7 +262,8 @@ pub fn read_weights<R: BufRead>(rel: &mut Relation, r: &mut R) -> Result<(), Mod
             })
         }
     };
-    let attrs = split_record(&header).map_err(|message| ModelError::Csv { line: 1, message })?;
+    let attrs =
+        field_texts(split_record(&header).map_err(|message| ModelError::Csv { line: 1, message })?);
     let expected: Vec<&str> = rel
         .schema()
         .attr_ids()
@@ -231,10 +284,10 @@ pub fn read_weights<R: BufRead>(rel: &mut Relation, r: &mut R) -> Result<(), Mod
         if line.is_empty() {
             continue;
         }
-        let fields = split_record(&line).map_err(|message| ModelError::Csv {
+        let fields = field_texts(split_record(&line).map_err(|message| ModelError::Csv {
             line: line_no,
             message,
-        })?;
+        })?);
         if fields.len() != arity {
             return Err(ModelError::Csv {
                 line: line_no,
@@ -275,6 +328,7 @@ pub fn read_weights<R: BufRead>(rel: &mut Relation, r: &mut R) -> Result<(), Mod
 mod tests {
     use super::*;
     use crate::schema::{AttrId, Schema};
+    use crate::tuple::Tuple;
 
     fn sample() -> Relation {
         let schema = Schema::new("order", &["id", "name", "qty"]).unwrap();

@@ -27,7 +27,7 @@ pub fn dif(a: &Relation, b: &Relation) -> usize {
     let mut count = 0;
     for (id, ta) in a.iter() {
         match b.tuple(id) {
-            Some(tb) => count += ta.attr_diff(tb),
+            Some(tb) => count += ta.attr_diff(&tb),
             None => count += arity,
         }
     }

@@ -21,7 +21,7 @@ use crate::key::IdKey;
 use crate::pool::ValueId;
 use crate::relation::{Relation, TupleId};
 use crate::schema::AttrId;
-use crate::tuple::Tuple;
+use crate::tuple::TupleView;
 
 /// Relation size below which a parallel build is not worth the thread
 /// spawn overhead.
@@ -49,13 +49,25 @@ impl HashIndex {
     }
 
     /// Single-threaded build (always available; the benchmarks' baseline).
+    ///
+    /// On a columnar relation the build walks the indexed attributes'
+    /// column slices directly — one contiguous `u32` read per (attribute,
+    /// tuple) — instead of dereferencing row objects.
     pub fn build_serial(rel: &Relation, attrs: &[AttrId]) -> Self {
         let mut idx = HashIndex {
             attrs: attrs.to_vec(),
             map: HashMap::new(),
         };
+        if let Some(cols) = columns_of(rel, attrs) {
+            for id in rel.ids() {
+                let slot = id.index();
+                let key: IdKey = cols.iter().map(|c| c[slot]).collect();
+                idx.map.entry(key).or_default().push(id);
+            }
+            return idx;
+        }
         for (id, t) in rel.iter() {
-            idx.insert(id, t);
+            idx.insert(id, &t);
         }
         idx
     }
@@ -118,18 +130,18 @@ impl HashIndex {
 
     /// Key of `t` under this index.
     #[inline]
-    pub fn key_of(&self, t: &Tuple) -> IdKey {
+    pub fn key_of<V: TupleView + ?Sized>(&self, t: &V) -> IdKey {
         t.project_key(&self.attrs)
     }
 
     /// Add a tuple.
-    pub fn insert(&mut self, id: TupleId, t: &Tuple) {
+    pub fn insert<V: TupleView + ?Sized>(&mut self, id: TupleId, t: &V) {
         self.map.entry(self.key_of(t)).or_default().push(id);
     }
 
     /// Remove a tuple given its *current* contents (the caller must remove
     /// before mutating the tuple, or pass the pre-image).
-    pub fn remove(&mut self, id: TupleId, t: &Tuple) {
+    pub fn remove<V: TupleView + ?Sized>(&mut self, id: TupleId, t: &V) {
         let key = self.key_of(t);
         if let Some(ids) = self.map.get_mut(&key) {
             if let Some(pos) = ids.iter().position(|x| *x == id) {
@@ -142,8 +154,13 @@ impl HashIndex {
     }
 
     /// Record an update of tuple `id` from `before` to `after`.
-    pub fn update(&mut self, id: TupleId, before: &Tuple, after: &Tuple) {
-        if before.agrees_on(after, &self.attrs) {
+    pub fn update<V: TupleView + ?Sized, W: TupleView + ?Sized>(
+        &mut self,
+        id: TupleId,
+        before: &V,
+        after: &W,
+    ) {
+        if self.attrs.iter().all(|a| before.id(*a) == after.id(*a)) {
             return;
         }
         self.remove(id, before);
@@ -156,7 +173,7 @@ impl HashIndex {
     }
 
     /// Tuple ids grouped with `t` (including `t` itself if indexed).
-    pub fn group_of(&self, t: &Tuple) -> &[TupleId] {
+    pub fn group_of<V: TupleView + ?Sized>(&self, t: &V) -> &[TupleId] {
         self.map
             .get(&self.key_of(t))
             .map(Vec::as_slice)
@@ -174,11 +191,17 @@ impl HashIndex {
     }
 }
 
+/// The column slices for `attrs`, when `rel` stores columns.
+fn columns_of<'a>(rel: &'a Relation, attrs: &[AttrId]) -> Option<Vec<&'a [ValueId]>> {
+    attrs.iter().map(|a| rel.column(*a)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pool::NULL_ID;
     use crate::schema::Schema;
+    use crate::tuple::Tuple;
     use crate::value::Value;
 
     fn key(vals: &[Value]) -> Vec<ValueId> {
@@ -214,10 +237,10 @@ mod tests {
     fn update_moves_between_groups() {
         let mut r = rel3();
         let mut idx = HashIndex::build(&r, &[AttrId(0)]);
-        let before = r.tuple(TupleId(2)).unwrap().clone();
+        let before = r.tuple(TupleId(2)).unwrap().to_tuple();
         r.set_value(TupleId(2), AttrId(0), Value::str("212"))
             .unwrap();
-        let after = r.tuple(TupleId(2)).unwrap().clone();
+        let after = r.tuple(TupleId(2)).unwrap().to_tuple();
         idx.update(TupleId(2), &before, &after);
         assert_eq!(idx.get(&key(&[Value::str("610")])), &[]);
         assert_eq!(idx.get(&key(&[Value::str("212")])).len(), 3);
@@ -227,7 +250,7 @@ mod tests {
     fn update_on_unrelated_attr_is_noop() {
         let r = rel3();
         let mut idx = HashIndex::build(&r, &[AttrId(0)]);
-        let before = r.tuple(TupleId(0)).unwrap().clone();
+        let before = r.tuple(TupleId(0)).unwrap().to_tuple();
         let mut after = before.clone();
         after.set_value(AttrId(2), Value::str("LA"));
         idx.update(TupleId(0), &before, &after);
@@ -238,7 +261,7 @@ mod tests {
     fn remove_evicts_empty_groups() {
         let r = rel3();
         let mut idx = HashIndex::build(&r, &[AttrId(0)]);
-        idx.remove(TupleId(2), r.tuple(TupleId(2)).unwrap());
+        idx.remove(TupleId(2), &r.tuple(TupleId(2)).unwrap());
         assert_eq!(idx.get(&key(&[Value::str("610")])), &[]);
         assert_eq!(idx.group_count(), 1);
     }
@@ -260,7 +283,7 @@ mod tests {
         let r = rel3();
         let idx = HashIndex::build(&r, &[AttrId(0), AttrId(1)]);
         let t = r.tuple(TupleId(0)).unwrap();
-        assert_eq!(idx.group_of(t).len(), 2);
+        assert_eq!(idx.group_of(&t).len(), 2);
     }
 
     #[test]

@@ -28,10 +28,20 @@
 //!   single relation; multi-relation databases are repaired relation by
 //!   relation).
 //! * [`Tuple`] — a row of [`ValueId`]s plus the per-attribute confidence
-//!   weights `w(t, A) ∈ [0, 1]` of the paper's cost model (§3.2).
+//!   weights `w(t, A) ∈ [0, 1]` of the paper's cost model (§3.2);
+//!   [`TupleView`] abstracts its read API so scans and pattern matching
+//!   run identically on owned tuples and storage views.
+//! * [`storage`] — the physical layer: [`ColumnStore`] keeps the relation
+//!   as per-attribute `ValueId`/weight columns plus a validity bitmap
+//!   (the default), with a row-major reference store selectable behind
+//!   the same abstraction; [`RowRef`] is the zero-copy per-tuple view
+//!   over either. Hot scans (violation detection, census walks, index
+//!   builds, discovery partitions) read contiguous column slices;
+//!   [`Tuple`]s materialize on demand at the edges.
 //! * [`Relation`] — a multiset of tuples with *stable* [`TupleId`]s, so a
 //!   tuple can be tracked through repairs even as its values change (the
-//!   "temporary unique tuple id" of §3.1).
+//!   "temporary unique tuple id" of §3.1); layout-selectable via
+//!   [`StorageLayout`] and pivotable with `Relation::to_layout`.
 //! * [`Database`] — named relations sharing the global pool (exposed via
 //!   [`Database::pool`]).
 //! * [`ActiveDomain`] — `adom(A, D)` as an id multiset, the candidate pool
@@ -57,6 +67,7 @@ pub mod pool;
 pub mod query;
 pub mod relation;
 pub mod schema;
+pub mod storage;
 pub mod tuple;
 pub mod value;
 
@@ -67,5 +78,6 @@ pub use key::IdKey;
 pub use pool::{ValueId, ValuePool, NULL_ID};
 pub use relation::{Relation, TupleId};
 pub use schema::{AttrId, Schema};
-pub use tuple::Tuple;
+pub use storage::{ColumnStore, RowRef, StorageLayout};
+pub use tuple::{Tuple, TupleView};
 pub use value::Value;

@@ -41,6 +41,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
 
 use crate::value::Value;
@@ -108,6 +109,13 @@ struct PoolInner {
     values: Vec<Value>,
     /// value → id.
     ids: HashMap<Value, u32>,
+    /// id → number of interning events. Every `intern` / `intern_column`
+    /// call bumps the hit's counter, so for data loaded value-by-value
+    /// (tuples, CSV columns) the counter approximates the value's global
+    /// occurrence frequency — the signal `FINDV`'s most-common-value
+    /// heuristic reads instead of re-counting a group. Atomic so the
+    /// read-lock fast path of `intern` can bump without upgrading.
+    counts: Vec<AtomicU64>,
 }
 
 /// An append-only dictionary interning [`Value`]s to dense [`ValueId`]s.
@@ -124,6 +132,7 @@ impl ValuePool {
             inner: RwLock::new(PoolInner {
                 values: vec![Value::Null],
                 ids,
+                counts: vec![AtomicU64::new(0)],
             }),
         }
     }
@@ -135,7 +144,8 @@ impl ValuePool {
     }
 
     /// Intern `v`, returning its stable id. `Value::Null` always maps to
-    /// [`NULL_ID`].
+    /// [`NULL_ID`]. Every call — hit or miss — bumps the value's
+    /// [`use_count`](ValuePool::use_count).
     pub fn intern(&self, v: &Value) -> ValueId {
         if v.is_null() {
             return NULL_ID;
@@ -143,17 +153,63 @@ impl ValuePool {
         {
             let inner = self.inner.read().expect("pool lock poisoned");
             if let Some(id) = inner.ids.get(v) {
+                inner.counts[*id as usize].fetch_add(1, Ordering::Relaxed);
                 return ValueId(*id);
             }
         }
         let mut inner = self.inner.write().expect("pool lock poisoned");
-        if let Some(id) = inner.ids.get(v) {
-            return ValueId(*id);
+        if let Some(id) = inner.ids.get(v).copied() {
+            inner.counts[id as usize].fetch_add(1, Ordering::Relaxed);
+            return ValueId(id);
         }
         let id = u32::try_from(inner.values.len()).expect("value pool overflow (> 4G values)");
         inner.values.push(v.clone());
         inner.ids.insert(v.clone(), id);
+        inner.counts.push(AtomicU64::new(1));
         ValueId(id)
+    }
+
+    /// Bulk-intern one column of values under a single lock acquisition —
+    /// the CSV import path: instead of `rows × arity` lock round-trips,
+    /// each attribute column is interned in one pass. Returns ids aligned
+    /// with `column`. Occurrence counts are bumped exactly as by
+    /// [`intern`](ValuePool::intern).
+    pub fn intern_column(&self, column: &[Value]) -> Vec<ValueId> {
+        let mut inner = self.inner.write().expect("pool lock poisoned");
+        let mut out = Vec::with_capacity(column.len());
+        for v in column {
+            if v.is_null() {
+                out.push(NULL_ID);
+                continue;
+            }
+            let id = match inner.ids.get(v).copied() {
+                Some(id) => id,
+                None => {
+                    let id = u32::try_from(inner.values.len())
+                        .expect("value pool overflow (> 4G values)");
+                    inner.values.push(v.clone());
+                    inner.ids.insert(v.clone(), id);
+                    inner.counts.push(AtomicU64::new(0));
+                    id
+                }
+            };
+            inner.counts[id as usize].fetch_add(1, Ordering::Relaxed);
+            out.push(ValueId(id));
+        }
+        out
+    }
+
+    /// How many times `id` has been interned — the global occurrence
+    /// frequency signal for values loaded cell-by-cell (see
+    /// [`intern`](ValuePool::intern)). Zero for ids this pool never issued.
+    pub fn use_count(&self, id: ValueId) -> u64 {
+        self.inner
+            .read()
+            .expect("pool lock poisoned")
+            .counts
+            .get(id.index())
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Resolve an id back to its value. Cheap: strings are
@@ -294,6 +350,43 @@ mod tests {
         assert_eq!(pool.cmp_values(a, z), std::cmp::Ordering::Less);
         assert_eq!(pool.cmp_values(z, a), std::cmp::Ordering::Greater);
         assert_eq!(pool.cmp_values(a, a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn use_counts_match_brute_force() {
+        let pool = ValuePool::new();
+        // Interleaved occurrences, counted by hand.
+        let data = ["a", "b", "a", "c", "a", "b"];
+        for s in data {
+            pool.intern(&Value::str(s));
+        }
+        for s in ["a", "b", "c"] {
+            let brute = data.iter().filter(|d| **d == s).count() as u64;
+            let id = pool.lookup(&Value::str(s)).unwrap();
+            assert_eq!(pool.use_count(id), brute, "count of {s:?}");
+        }
+        assert_eq!(pool.use_count(ValueId(9999)), 0);
+    }
+
+    #[test]
+    fn intern_column_matches_scalar_interning() {
+        let scalar = ValuePool::new();
+        let bulk = ValuePool::new();
+        let column: Vec<Value> = ["x", "y", "x", "z", "x"]
+            .iter()
+            .map(|s| Value::str(*s))
+            .chain([Value::Null])
+            .collect();
+        let a: Vec<ValueId> = column.iter().map(|v| scalar.intern(v)).collect();
+        let b = bulk.intern_column(&column);
+        assert_eq!(a, b);
+        assert_eq!(scalar.len(), bulk.len());
+        for (v, id) in column.iter().zip(&b) {
+            assert_eq!(bulk.resolve(*id), *v);
+            assert_eq!(bulk.use_count(*id), scalar.use_count(*id));
+        }
+        // Null is never counted as an interning of a constant.
+        assert_eq!(bulk.use_count(NULL_ID), scalar.use_count(NULL_ID));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::index::HashIndex;
 use crate::relation::{Relation, TupleId};
 use crate::schema::AttrId;
-use crate::tuple::Tuple;
+use crate::tuple::TupleView;
 use crate::value::Value;
 
 /// An atomic predicate over one tuple.
@@ -45,7 +45,7 @@ enum BoundPred {
 
 impl BoundPred {
     #[inline]
-    fn eval(&self, t: &Tuple) -> bool {
+    fn eval<V: TupleView + ?Sized>(&self, t: &V) -> bool {
         match self {
             BoundPred::Eq(a, id) => *id == Some(t.id(*a)),
             BoundPred::Ne(a, id) => *id != Some(t.id(*a)),
@@ -69,7 +69,7 @@ impl Pred {
     }
 
     /// Evaluate the predicate on `t`.
-    pub fn eval(&self, t: &Tuple) -> bool {
+    pub fn eval<V: TupleView + ?Sized>(&self, t: &V) -> bool {
         self.bind().eval(t)
     }
 }
@@ -98,7 +98,7 @@ impl Selection {
     }
 
     /// Evaluate the conjunction on `t`.
-    pub fn eval(&self, t: &Tuple) -> bool {
+    pub fn eval<V: TupleView + ?Sized>(&self, t: &V) -> bool {
         self.preds.iter().all(|p| p.eval(t))
     }
 
@@ -136,7 +136,7 @@ impl Selection {
             .copied()
             .filter(|id| {
                 rel.tuple(*id)
-                    .map(|t| bound.iter().all(|p| p.eval(t)))
+                    .map(|t| bound.iter().all(|p| p.eval(&t)))
                     .unwrap_or(false)
             })
             .collect();
@@ -149,6 +149,7 @@ impl Selection {
 mod tests {
     use super::*;
     use crate::schema::Schema;
+    use crate::tuple::Tuple;
 
     fn rel() -> Relation {
         let schema = Schema::new("r", &["ac", "ct", "st"]).unwrap();

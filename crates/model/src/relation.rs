@@ -1,4 +1,5 @@
-//! Relations: multisets of tuples with stable identifiers.
+//! Relations: multisets of tuples with stable identifiers, stored in a
+//! selectable [`StorageLayout`].
 //!
 //! The repair process needs to "keep track of a given tuple `t` in `D`
 //! during the repair process despite that the value of `t` may change"
@@ -6,11 +7,21 @@
 //! time, never reused, and survive in-place updates. Deletion leaves a
 //! tombstone so ids stay stable; [`Relation::compact`] squeezes tombstones
 //! out when a clean snapshot is needed.
+//!
+//! Physically, a relation is either **columnar** (the default: one
+//! `Vec<ValueId>` and one `Vec<f64>` per attribute plus a validity bitmap
+//! — see [`crate::storage`]) or **row-major** (one [`Tuple`] object per
+//! slot, kept as the differential-testing reference). Reads go through
+//! the zero-copy [`RowRef`] view or, on hot scans, straight through
+//! [`Relation::column`] slices; [`Tuple`]s are materialized on demand
+//! ([`RowRef::to_tuple`]) only where a row must outlive a mutation.
 
 use std::fmt;
 
 use crate::error::ModelError;
+use crate::pool::ValueId;
 use crate::schema::{AttrId, Schema};
+use crate::storage::{ColumnStore, RowRef, Storage, StorageLayout};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -36,18 +47,81 @@ impl fmt::Display for TupleId {
 #[derive(Clone, Debug)]
 pub struct Relation {
     schema: Schema,
-    slots: Vec<Option<Tuple>>,
+    storage: Storage,
     live: usize,
 }
 
 impl Relation {
-    /// An empty relation over `schema`.
+    /// An empty relation over `schema` in the default (columnar) layout.
     pub fn new(schema: Schema) -> Self {
+        Relation::with_layout(schema, StorageLayout::Columnar)
+    }
+
+    /// An empty relation in an explicit layout.
+    pub fn with_layout(schema: Schema, layout: StorageLayout) -> Self {
+        let arity = schema.arity();
         Relation {
             schema,
-            slots: Vec::new(),
+            storage: Storage::new(layout, arity),
             live: 0,
         }
+    }
+
+    /// Build a columnar relation directly from pre-interned value columns
+    /// (the bulk CSV import path). `cols` must hold one column per schema
+    /// attribute, all of one length; `weights`, when given, mirrors that
+    /// shape.
+    pub fn from_columns(
+        schema: Schema,
+        cols: Vec<Vec<ValueId>>,
+        weights: Option<Vec<Vec<f64>>>,
+    ) -> Result<Self, ModelError> {
+        if cols.len() != schema.arity() {
+            return Err(ModelError::ArityMismatch {
+                expected: schema.arity(),
+                actual: cols.len(),
+            });
+        }
+        let store = ColumnStore::from_columns(cols, weights);
+        let live = store.slot_count();
+        Ok(Relation {
+            schema,
+            storage: Storage::Col(store),
+            live,
+        })
+    }
+
+    /// This relation's physical layout.
+    pub fn layout(&self) -> StorageLayout {
+        self.storage.layout()
+    }
+
+    /// A deep copy of this relation in `layout`, preserving tuple ids
+    /// (tombstones included). The differential suite and the layout
+    /// benchmarks pivot between representations with this.
+    pub fn to_layout(&self, layout: StorageLayout) -> Relation {
+        if layout == self.layout() {
+            return self.clone();
+        }
+        let mut out = Relation::with_layout(self.schema.clone(), layout);
+        for slot in 0..self.storage.slot_count() {
+            match self.storage.view(slot) {
+                Some(v) => {
+                    let id = out.insert(v.to_tuple()).expect("same schema");
+                    debug_assert_eq!(id.index(), slot);
+                }
+                None => {
+                    // Reproduce the tombstone so ids stay aligned.
+                    let arity = self.schema.arity();
+                    let id = out
+                        .insert(Tuple::from_ids(vec![crate::pool::NULL_ID; arity]))
+                        .expect("same schema");
+                    debug_assert_eq!(id.index(), slot);
+                    out.delete(id).expect("just inserted");
+                }
+            }
+        }
+        out
     }
 
     /// The relation's schema.
@@ -65,6 +139,17 @@ impl Relation {
         self.live == 0
     }
 
+    /// Number of slots, tombstones included (= the id space upper bound).
+    pub fn slot_count(&self) -> usize {
+        self.storage.slot_count()
+    }
+
+    /// Is `id` a live tuple?
+    #[inline]
+    pub fn is_live(&self, id: TupleId) -> bool {
+        self.storage.is_live(id.index())
+    }
+
     /// Insert a tuple, returning its stable id.
     pub fn insert(&mut self, tuple: Tuple) -> Result<TupleId, ModelError> {
         if tuple.arity() != self.schema.arity() {
@@ -73,58 +158,92 @@ impl Relation {
                 actual: tuple.arity(),
             });
         }
-        let id = TupleId(self.slots.len() as u32);
-        self.slots.push(Some(tuple));
+        let slot = self.storage.push(tuple);
         self.live += 1;
-        Ok(id)
+        Ok(TupleId(slot as u32))
     }
 
     /// Remove a tuple. Returns the removed tuple, or an error if the id was
     /// already dead.
     pub fn delete(&mut self, id: TupleId) -> Result<Tuple, ModelError> {
-        match self.slots.get_mut(id.index()) {
-            Some(slot @ Some(_)) => {
-                self.live -= 1;
-                Ok(slot.take().expect("checked above"))
-            }
-            _ => Err(ModelError::UnknownTuple(id.0)),
+        if !self.is_live(id) {
+            return Err(ModelError::UnknownTuple(id.0));
         }
+        self.live -= 1;
+        Ok(self.storage.kill(id.index()))
     }
 
-    /// Borrow a live tuple.
+    /// A zero-copy view of a live tuple.
     #[inline]
-    pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
-        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    pub fn tuple(&self, id: TupleId) -> Option<RowRef<'_>> {
+        self.storage.view(id.index())
     }
 
-    /// Borrow a live tuple, erroring on dead ids.
-    pub fn require(&self, id: TupleId) -> Result<&Tuple, ModelError> {
+    /// A view of a live tuple, erroring on dead ids.
+    pub fn require(&self, id: TupleId) -> Result<RowRef<'_>, ModelError> {
         self.tuple(id).ok_or(ModelError::UnknownTuple(id.0))
     }
 
-    /// Mutably borrow a live tuple.
+    /// Materialize a live tuple into an owned [`Tuple`].
+    pub fn materialize(&self, id: TupleId) -> Option<Tuple> {
+        self.tuple(id).map(|v| v.to_tuple())
+    }
+
+    /// The interned id of one live cell — the hot-path point read.
     #[inline]
-    pub fn tuple_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
-        self.slots.get_mut(id.index()).and_then(|s| s.as_mut())
+    pub fn value_id(&self, id: TupleId, a: AttrId) -> Option<ValueId> {
+        if !self.is_live(id) {
+            return None;
+        }
+        Some(self.storage.cell(id.index(), a))
+    }
+
+    /// The weight of one live cell.
+    #[inline]
+    pub fn cell_weight(&self, id: TupleId, a: AttrId) -> Option<f64> {
+        if !self.is_live(id) {
+            return None;
+        }
+        Some(self.storage.weight(id.index(), a))
+    }
+
+    /// The full value column of attribute `a` when the layout stores one
+    /// (columnar only). Slices cover **all** slots — consult
+    /// [`Relation::ids`] or [`Relation::is_live`] for tombstones.
+    #[inline]
+    pub fn column(&self, a: AttrId) -> Option<&[ValueId]> {
+        self.storage.column(a)
+    }
+
+    /// The full weight column of attribute `a` (columnar only); same
+    /// tombstone caveat as [`Relation::column`].
+    #[inline]
+    pub fn weight_column(&self, a: AttrId) -> Option<&[f64]> {
+        self.storage.weight_column(a)
     }
 
     /// Overwrite one attribute value of a live tuple.
     pub fn set_value(&mut self, id: TupleId, a: AttrId, v: Value) -> Result<(), ModelError> {
-        let t = self.tuple_mut(id).ok_or(ModelError::UnknownTuple(id.0))?;
-        t.set_value(a, v);
-        Ok(())
+        self.set_value_id(id, a, ValueId::of(&v))
     }
 
     /// Overwrite one attribute value of a live tuple with an
     /// already-interned id — the hot-path form of [`Relation::set_value`].
-    pub fn set_value_id(
-        &mut self,
-        id: TupleId,
-        a: AttrId,
-        v: crate::pool::ValueId,
-    ) -> Result<(), ModelError> {
-        let t = self.tuple_mut(id).ok_or(ModelError::UnknownTuple(id.0))?;
-        t.set_id(a, v);
+    pub fn set_value_id(&mut self, id: TupleId, a: AttrId, v: ValueId) -> Result<(), ModelError> {
+        if !self.is_live(id) {
+            return Err(ModelError::UnknownTuple(id.0));
+        }
+        self.storage.set_cell(id.index(), a, v);
+        Ok(())
+    }
+
+    /// Overwrite one attribute weight of a live tuple; clamped into
+    /// `[0, 1]`.
+    pub fn set_weight(&mut self, id: TupleId, a: AttrId, w: f64) -> Result<(), ModelError> {
+        if !self.is_live(id) {
+            return Err(ModelError::UnknownTuple(id.0));
+        }
+        self.storage.set_weight(id.index(), a, w);
         Ok(())
     }
 
@@ -137,39 +256,36 @@ impl Relation {
                 actual: weights.len(),
             });
         }
-        let t = self.tuple_mut(id).ok_or(ModelError::UnknownTuple(id.0))?;
+        if !self.is_live(id) {
+            return Err(ModelError::UnknownTuple(id.0));
+        }
         for (i, w) in weights.iter().enumerate() {
-            t.set_weight(AttrId(i as u16), *w);
+            self.storage.set_weight(id.index(), AttrId(i as u16), *w);
         }
         Ok(())
     }
 
-    /// Iterate over `(id, tuple)` pairs of live tuples in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|t| (TupleId(i as u32), t)))
+    /// Iterate over `(id, view)` pairs of live tuples in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, RowRef<'_>)> + '_ {
+        (0..self.storage.slot_count())
+            .filter_map(|slot| self.storage.view(slot).map(|v| (TupleId(slot as u32), v)))
     }
 
     /// Iterate over live tuple ids.
     pub fn ids(&self) -> impl Iterator<Item = TupleId> + '_ {
-        self.iter().map(|(id, _)| id)
+        (0..self.storage.slot_count())
+            .filter(|s| self.storage.is_live(*s))
+            .map(|s| TupleId(s as u32))
     }
 
     /// Drop tombstones, renumbering tuples densely. Returns the mapping from
     /// old to new ids for callers holding external references.
     pub fn compact(&mut self) -> Vec<(TupleId, TupleId)> {
-        let mut mapping = Vec::with_capacity(self.live);
-        let mut next = Vec::with_capacity(self.live);
-        for (i, slot) in self.slots.drain(..).enumerate() {
-            if let Some(t) = slot {
-                mapping.push((TupleId(i as u32), TupleId(next.len() as u32)));
-                next.push(Some(t));
-            }
-        }
-        self.slots = next;
-        mapping
+        self.storage
+            .compact()
+            .into_iter()
+            .map(|(o, n)| (TupleId(o as u32), TupleId(n as u32)))
+            .collect()
     }
 
     /// A deep copy holding only live tuples, preserving ids (tombstones and
@@ -202,89 +318,164 @@ mod tests {
         Relation::new(schema)
     }
 
+    fn rel_row() -> Relation {
+        let schema = Schema::new("r", &["a", "b"]).unwrap();
+        Relation::with_layout(schema, StorageLayout::RowMajor)
+    }
+
     fn t2(a: &str, b: &str) -> Tuple {
         Tuple::from_iter([a, b])
     }
 
+    /// Every structural test runs on both layouts.
+    fn both(f: impl Fn(Relation)) {
+        f(rel());
+        f(rel_row());
+    }
+
+    #[test]
+    fn default_layout_is_columnar() {
+        assert_eq!(rel().layout(), StorageLayout::Columnar);
+        assert_eq!(rel_row().layout(), StorageLayout::RowMajor);
+    }
+
     #[test]
     fn insert_assigns_sequential_ids() {
-        let mut r = rel();
-        let t0 = r.insert(t2("x", "y")).unwrap();
-        let t1 = r.insert(t2("u", "v")).unwrap();
-        assert_eq!(t0, TupleId(0));
-        assert_eq!(t1, TupleId(1));
-        assert_eq!(r.len(), 2);
+        both(|mut r| {
+            let t0 = r.insert(t2("x", "y")).unwrap();
+            let t1 = r.insert(t2("u", "v")).unwrap();
+            assert_eq!(t0, TupleId(0));
+            assert_eq!(t1, TupleId(1));
+            assert_eq!(r.len(), 2);
+        });
     }
 
     #[test]
     fn arity_mismatch_rejected() {
-        let mut r = rel();
-        let err = r.insert(Tuple::from_iter(["only-one"])).unwrap_err();
-        assert!(matches!(
-            err,
-            ModelError::ArityMismatch {
-                expected: 2,
-                actual: 1
-            }
-        ));
+        both(|mut r| {
+            let err = r.insert(Tuple::from_iter(["only-one"])).unwrap_err();
+            assert!(matches!(
+                err,
+                ModelError::ArityMismatch {
+                    expected: 2,
+                    actual: 1
+                }
+            ));
+        });
     }
 
     #[test]
     fn delete_keeps_other_ids_stable() {
-        let mut r = rel();
-        let t0 = r.insert(t2("x", "y")).unwrap();
-        let t1 = r.insert(t2("u", "v")).unwrap();
-        r.delete(t0).unwrap();
-        assert_eq!(r.len(), 1);
-        assert!(r.tuple(t0).is_none());
-        assert_eq!(r.tuple(t1).unwrap().value(AttrId(0)), Value::str("u"));
-        // double delete errors
-        assert!(r.delete(t0).is_err());
+        both(|mut r| {
+            let t0 = r.insert(t2("x", "y")).unwrap();
+            let t1 = r.insert(t2("u", "v")).unwrap();
+            r.delete(t0).unwrap();
+            assert_eq!(r.len(), 1);
+            assert!(r.tuple(t0).is_none());
+            assert_eq!(r.tuple(t1).unwrap().value(AttrId(0)), Value::str("u"));
+            // double delete errors
+            assert!(r.delete(t0).is_err());
+        });
     }
 
     #[test]
     fn set_value_updates_in_place() {
-        let mut r = rel();
-        let t0 = r.insert(t2("PHI", "PA")).unwrap();
-        r.set_value(t0, AttrId(0), Value::str("NYC")).unwrap();
-        assert_eq!(r.tuple(t0).unwrap().value(AttrId(0)), Value::str("NYC"));
-        assert!(r.set_value(TupleId(99), AttrId(0), Value::Null).is_err());
+        both(|mut r| {
+            let t0 = r.insert(t2("PHI", "PA")).unwrap();
+            r.set_value(t0, AttrId(0), Value::str("NYC")).unwrap();
+            assert_eq!(r.tuple(t0).unwrap().value(AttrId(0)), Value::str("NYC"));
+            assert!(r.set_value(TupleId(99), AttrId(0), Value::Null).is_err());
+        });
     }
 
     #[test]
     fn iter_skips_tombstones() {
-        let mut r = rel();
-        let t0 = r.insert(t2("a", "b")).unwrap();
-        let _t1 = r.insert(t2("c", "d")).unwrap();
-        r.delete(t0).unwrap();
-        let ids: Vec<_> = r.ids().collect();
-        assert_eq!(ids, vec![TupleId(1)]);
+        both(|mut r| {
+            let t0 = r.insert(t2("a", "b")).unwrap();
+            let _t1 = r.insert(t2("c", "d")).unwrap();
+            r.delete(t0).unwrap();
+            let ids: Vec<_> = r.ids().collect();
+            assert_eq!(ids, vec![TupleId(1)]);
+        });
     }
 
     #[test]
     fn compact_renumbers_densely() {
-        let mut r = rel();
-        let t0 = r.insert(t2("a", "b")).unwrap();
-        let t1 = r.insert(t2("c", "d")).unwrap();
-        let t2_ = r.insert(t2("e", "f")).unwrap();
-        r.delete(t1).unwrap();
-        let mapping = r.compact();
-        assert_eq!(mapping, vec![(t0, TupleId(0)), (t2_, TupleId(1))]);
-        assert_eq!(r.len(), 2);
-        assert_eq!(
-            r.tuple(TupleId(1)).unwrap().value(AttrId(0)),
-            Value::str("e")
-        );
-        // fresh inserts continue after the compacted range
-        let t3 = r.insert(t2("g", "h")).unwrap();
-        assert_eq!(t3, TupleId(2));
+        both(|mut r| {
+            let t0 = r.insert(t2("a", "b")).unwrap();
+            let t1 = r.insert(t2("c", "d")).unwrap();
+            let t2_ = r.insert(t2("e", "f")).unwrap();
+            r.delete(t1).unwrap();
+            let mapping = r.compact();
+            assert_eq!(mapping, vec![(t0, TupleId(0)), (t2_, TupleId(1))]);
+            assert_eq!(r.len(), 2);
+            assert_eq!(
+                r.tuple(TupleId(1)).unwrap().value(AttrId(0)),
+                Value::str("e")
+            );
+            // fresh inserts continue after the compacted range
+            let t3 = r.insert(t2("g", "h")).unwrap();
+            assert_eq!(t3, TupleId(2));
+        });
     }
 
     #[test]
     fn require_errors_on_dead_id() {
+        both(|mut r| {
+            let t0 = r.insert(t2("a", "b")).unwrap();
+            r.delete(t0).unwrap();
+            assert!(r.require(t0).is_err());
+        });
+    }
+
+    #[test]
+    fn column_access_is_columnar_only() {
+        let mut c = rel();
+        let mut w = rel_row();
+        c.insert(t2("x", "y")).unwrap();
+        w.insert(t2("x", "y")).unwrap();
+        let col = c.column(AttrId(1)).expect("columnar slice");
+        assert_eq!(col, &[ValueId::of(&Value::str("y"))]);
+        assert!(c.weight_column(AttrId(0)).is_some());
+        assert!(w.column(AttrId(1)).is_none());
+    }
+
+    #[test]
+    fn layout_conversion_round_trips_with_tombstones() {
         let mut r = rel();
-        let t0 = r.insert(t2("a", "b")).unwrap();
-        r.delete(t0).unwrap();
-        assert!(r.require(t0).is_err());
+        r.insert(t2("a", "b")).unwrap();
+        let dead = r.insert(t2("c", "d")).unwrap();
+        let mut t = t2("e", "f");
+        t.set_weight(AttrId(0), 0.5);
+        r.insert(t).unwrap();
+        r.delete(dead).unwrap();
+        let row = r.to_layout(StorageLayout::RowMajor);
+        assert_eq!(row.layout(), StorageLayout::RowMajor);
+        let back = row.to_layout(StorageLayout::Columnar);
+        assert_eq!(back.len(), r.len());
+        assert_eq!(back.slot_count(), r.slot_count());
+        for (id, t) in r.iter() {
+            assert_eq!(row.tuple(id).unwrap(), t.to_tuple());
+            assert_eq!(back.tuple(id).unwrap(), t.to_tuple());
+        }
+        assert!(back.tuple(dead).is_none());
+        assert!(row.tuple(dead).is_none());
+    }
+
+    #[test]
+    fn point_reads_match_views() {
+        both(|mut r| {
+            let id = r.insert(t2("a", "b")).unwrap();
+            r.set_weight(id, AttrId(1), 0.25).unwrap();
+            assert_eq!(
+                r.value_id(id, AttrId(0)),
+                Some(ValueId::of(&Value::str("a")))
+            );
+            assert_eq!(r.cell_weight(id, AttrId(1)), Some(0.25));
+            let dead = r.insert(t2("c", "d")).unwrap();
+            r.delete(dead).unwrap();
+            assert_eq!(r.value_id(dead, AttrId(0)), None);
+            assert_eq!(r.cell_weight(dead, AttrId(0)), None);
+        });
     }
 }

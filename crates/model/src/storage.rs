@@ -1,0 +1,646 @@
+//! Columnar relation storage: [`ColumnStore`], the row-major reference
+//! store, and the [`RowRef`] view that lets the pipeline read either.
+//!
+//! With every value dictionary-encoded (PR 1), a relation no longer needs
+//! to be a vector of row objects: the paper's hot loops read one or two
+//! attributes of *every* tuple — violation detection projects `t[X]` and
+//! `t[A]`, `BATCHREPAIR`'s census walks one RHS column per variable-CFD
+//! shape, discovery partitions group a single attribute. [`ColumnStore`]
+//! stores the relation as per-attribute `Vec<ValueId>` columns (plus
+//! per-attribute weight columns and a validity/tombstone bitmap), so those
+//! scans touch contiguous `u32` slices instead of hopping between
+//! heap-allocated rows.
+//!
+//! The row-major layout ([`RowStore`], a `Vec<Option<Tuple>>`) is kept as
+//! a selectable reference implementation behind the same [`Storage`]
+//! abstraction: the differential conformance suite runs every pipeline
+//! stage against both layouts and asserts identical results, and the
+//! kernels benchmark records the row-vs-column deltas.
+//!
+//! ## Reading without materializing
+//!
+//! [`RowRef`] is a `Copy` view of one live tuple in either layout. It
+//! exposes the read API of [`Tuple`] (`id`, `value`, `weight`,
+//! `project_key`, …) without allocating; columnar reads are two slice
+//! index operations. Code that must *hold* a tuple across mutations of
+//! the relation materializes with [`RowRef::to_tuple`] — the
+//! materialize-on-demand path the CLI and repair-edit code use.
+//!
+//! ## Tombstones
+//!
+//! Deletion clears a validity bit; column slots keep their stale values
+//! until [`Storage::compact`] squeezes them out. Raw column slices
+//! (`Relation::column`) therefore cover *all* slots, dead ones included —
+//! scans must either iterate live ids or consult the validity bitmap.
+
+use crate::key::IdKey;
+use crate::pool::{ValueId, ValuePool, NULL_ID};
+use crate::schema::AttrId;
+use crate::tuple::{Tuple, TupleView};
+use crate::value::Value;
+
+/// A validity bitmap with the first `slots` bits set (all live).
+fn full_validity(slots: usize) -> Vec<u64> {
+    let mut validity = vec![u64::MAX; slots.div_ceil(64)];
+    if !slots.is_multiple_of(64) {
+        if let Some(last) = validity.last_mut() {
+            *last = (1u64 << (slots % 64)) - 1;
+        }
+    }
+    validity
+}
+
+/// Which physical layout a [`Relation`](crate::Relation) uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StorageLayout {
+    /// One `Tuple` object per live slot — the pre-columnar layout, kept
+    /// as the differential-testing and benchmarking reference.
+    RowMajor,
+    /// Per-attribute `ValueId` and weight columns plus a validity bitmap.
+    Columnar,
+}
+
+/// Row-major storage: a vector of optional row objects.
+#[derive(Clone, Debug, Default)]
+pub struct RowStore {
+    slots: Vec<Option<Tuple>>,
+}
+
+/// Columnar storage: `arity` value columns, `arity` weight columns, and a
+/// validity bitmap, all indexed by slot (= [`TupleId`](crate::TupleId)
+/// index).
+#[derive(Clone, Debug)]
+pub struct ColumnStore {
+    arity: usize,
+    slots: usize,
+    cols: Vec<Vec<ValueId>>,
+    wcols: Vec<Vec<f64>>,
+    validity: Vec<u64>,
+}
+
+impl ColumnStore {
+    /// An empty store of the given arity.
+    pub fn new(arity: usize) -> Self {
+        ColumnStore {
+            arity,
+            slots: 0,
+            cols: vec![Vec::new(); arity],
+            wcols: vec![Vec::new(); arity],
+            validity: Vec::new(),
+        }
+    }
+
+    /// Build a store directly from pre-interned value columns (all slots
+    /// live) — the bulk CSV import path. All columns must share a length;
+    /// `weights` (if given) must mirror the shape, else weights default
+    /// to 1.
+    pub fn from_columns(cols: Vec<Vec<ValueId>>, weights: Option<Vec<Vec<f64>>>) -> Self {
+        let arity = cols.len();
+        let slots = cols.first().map(Vec::len).unwrap_or(0);
+        for c in &cols {
+            assert_eq!(c.len(), slots, "ragged value columns");
+        }
+        let wcols = match weights {
+            Some(mut w) => {
+                assert_eq!(w.len(), arity, "weight columns must match arity");
+                for c in &mut w {
+                    assert_eq!(c.len(), slots, "ragged weight columns");
+                    // Same invariant every other weight write enforces.
+                    for x in c {
+                        *x = x.clamp(0.0, 1.0);
+                    }
+                }
+                w
+            }
+            None => vec![vec![1.0; slots]; arity],
+        };
+        let validity = full_validity(slots);
+        ColumnStore {
+            arity,
+            slots,
+            cols,
+            wcols,
+            validity,
+        }
+    }
+
+    /// Number of slots, live and dead.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    /// Is the slot live?
+    #[inline]
+    pub fn is_live(&self, slot: usize) -> bool {
+        slot < self.slots && (self.validity[slot >> 6] >> (slot & 63)) & 1 == 1
+    }
+
+    /// The full value column of attribute `a` (dead slots included).
+    #[inline]
+    pub fn column(&self, a: AttrId) -> &[ValueId] {
+        &self.cols[a.index()]
+    }
+
+    /// The full weight column of attribute `a` (dead slots included).
+    #[inline]
+    pub fn weight_column(&self, a: AttrId) -> &[f64] {
+        &self.wcols[a.index()]
+    }
+
+    /// The raw validity bitmap (bit `i` set ⟺ slot `i` live).
+    pub fn validity(&self) -> &[u64] {
+        &self.validity
+    }
+
+    #[inline]
+    fn cell(&self, slot: usize, a: AttrId) -> ValueId {
+        self.cols[a.index()][slot]
+    }
+
+    #[inline]
+    fn weight(&self, slot: usize, a: AttrId) -> f64 {
+        self.wcols[a.index()][slot]
+    }
+
+    fn push(&mut self, t: &Tuple) -> usize {
+        debug_assert_eq!(t.arity(), self.arity);
+        let slot = self.slots;
+        for (a, col) in self.cols.iter_mut().enumerate() {
+            col.push(t.id(AttrId(a as u16)));
+        }
+        for (a, col) in self.wcols.iter_mut().enumerate() {
+            col.push(t.weight(AttrId(a as u16)));
+        }
+        if slot.is_multiple_of(64) {
+            self.validity.push(0);
+        }
+        self.validity[slot >> 6] |= 1u64 << (slot & 63);
+        self.slots += 1;
+        slot
+    }
+
+    fn materialize(&self, slot: usize) -> Tuple {
+        let ids: Vec<ValueId> = self.cols.iter().map(|c| c[slot]).collect();
+        let weights: Vec<f64> = self.wcols.iter().map(|c| c[slot]).collect();
+        let mut t = Tuple::from_ids(ids);
+        for (a, w) in weights.into_iter().enumerate() {
+            t.set_weight(AttrId(a as u16), w);
+        }
+        t
+    }
+
+    fn kill(&mut self, slot: usize) -> Tuple {
+        let t = self.materialize(slot);
+        self.validity[slot >> 6] &= !(1u64 << (slot & 63));
+        t
+    }
+
+    /// Iterate over live slots in ascending order.
+    pub fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.slots).filter(|s| self.is_live(*s))
+    }
+}
+
+/// The storage behind a [`Relation`](crate::Relation): either layout,
+/// behind one slot-addressed interface.
+#[derive(Clone, Debug)]
+pub enum Storage {
+    /// Row-major reference layout.
+    Row(RowStore),
+    /// Columnar layout.
+    Col(ColumnStore),
+}
+
+impl Storage {
+    pub(crate) fn new(layout: StorageLayout, arity: usize) -> Self {
+        match layout {
+            StorageLayout::RowMajor => Storage::Row(RowStore::default()),
+            StorageLayout::Columnar => Storage::Col(ColumnStore::new(arity)),
+        }
+    }
+
+    pub(crate) fn layout(&self) -> StorageLayout {
+        match self {
+            Storage::Row(_) => StorageLayout::RowMajor,
+            Storage::Col(_) => StorageLayout::Columnar,
+        }
+    }
+
+    pub(crate) fn slot_count(&self) -> usize {
+        match self {
+            Storage::Row(s) => s.slots.len(),
+            Storage::Col(s) => s.slot_count(),
+        }
+    }
+
+    pub(crate) fn is_live(&self, slot: usize) -> bool {
+        match self {
+            Storage::Row(s) => s.slots.get(slot).map(Option::is_some).unwrap_or(false),
+            Storage::Col(s) => s.is_live(slot),
+        }
+    }
+
+    pub(crate) fn push(&mut self, t: Tuple) -> usize {
+        match self {
+            Storage::Row(s) => {
+                s.slots.push(Some(t));
+                s.slots.len() - 1
+            }
+            Storage::Col(s) => s.push(&t),
+        }
+    }
+
+    /// Tombstone a live slot, returning the removed tuple. The caller
+    /// checks liveness.
+    pub(crate) fn kill(&mut self, slot: usize) -> Tuple {
+        match self {
+            Storage::Row(s) => s.slots[slot].take().expect("caller checked liveness"),
+            Storage::Col(s) => s.kill(slot),
+        }
+    }
+
+    pub(crate) fn view(&self, slot: usize) -> Option<RowRef<'_>> {
+        if !self.is_live(slot) {
+            return None;
+        }
+        Some(match self {
+            Storage::Row(s) => RowRef::Row(s.slots[slot].as_ref().expect("checked live")),
+            Storage::Col(s) => RowRef::Col { store: s, slot },
+        })
+    }
+
+    pub(crate) fn cell(&self, slot: usize, a: AttrId) -> ValueId {
+        match self {
+            Storage::Row(s) => s.slots[slot]
+                .as_ref()
+                .expect("caller checked liveness")
+                .id(a),
+            Storage::Col(s) => s.cell(slot, a),
+        }
+    }
+
+    pub(crate) fn set_cell(&mut self, slot: usize, a: AttrId, v: ValueId) {
+        match self {
+            Storage::Row(s) => s.slots[slot]
+                .as_mut()
+                .expect("caller checked liveness")
+                .set_id(a, v),
+            Storage::Col(s) => s.cols[a.index()][slot] = v,
+        }
+    }
+
+    pub(crate) fn weight(&self, slot: usize, a: AttrId) -> f64 {
+        match self {
+            Storage::Row(s) => s.slots[slot]
+                .as_ref()
+                .expect("caller checked liveness")
+                .weight(a),
+            Storage::Col(s) => s.weight(slot, a),
+        }
+    }
+
+    pub(crate) fn set_weight(&mut self, slot: usize, a: AttrId, w: f64) {
+        match self {
+            Storage::Row(s) => s.slots[slot]
+                .as_mut()
+                .expect("caller checked liveness")
+                .set_weight(a, w),
+            Storage::Col(s) => s.wcols[a.index()][slot] = w.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The contiguous value column of `a`, when the layout has one.
+    /// `None` for row-major storage *and* for attributes outside the
+    /// arity, so probing `AttrId(0)` on an arity-0 relation is safe.
+    pub(crate) fn column(&self, a: AttrId) -> Option<&[ValueId]> {
+        match self {
+            Storage::Row(_) => None,
+            Storage::Col(s) => s.cols.get(a.index()).map(Vec::as_slice),
+        }
+    }
+
+    /// The contiguous weight column of `a`, when the layout has one; same
+    /// bounds behaviour as [`Storage::column`].
+    pub(crate) fn weight_column(&self, a: AttrId) -> Option<&[f64]> {
+        match self {
+            Storage::Row(_) => None,
+            Storage::Col(s) => s.wcols.get(a.index()).map(Vec::as_slice),
+        }
+    }
+
+    /// Drop tombstones in place; returns (old slot, new slot) pairs.
+    pub(crate) fn compact(&mut self) -> Vec<(usize, usize)> {
+        match self {
+            Storage::Row(s) => {
+                let mut mapping = Vec::new();
+                let mut next = Vec::new();
+                for (i, slot) in s.slots.drain(..).enumerate() {
+                    if let Some(t) = slot {
+                        mapping.push((i, next.len()));
+                        next.push(Some(t));
+                    }
+                }
+                s.slots = next;
+                mapping
+            }
+            Storage::Col(s) => {
+                let live: Vec<usize> = s.live_slots().collect();
+                let mapping: Vec<(usize, usize)> =
+                    live.iter().enumerate().map(|(n, o)| (*o, n)).collect();
+                for col in &mut s.cols {
+                    let kept: Vec<ValueId> = live.iter().map(|&i| col[i]).collect();
+                    *col = kept;
+                }
+                for col in &mut s.wcols {
+                    let kept: Vec<f64> = live.iter().map(|&i| col[i]).collect();
+                    *col = kept;
+                }
+                s.slots = live.len();
+                s.validity = full_validity(s.slots);
+                mapping
+            }
+        }
+    }
+}
+
+/// A zero-copy view of one live tuple in either storage layout.
+///
+/// `Copy`, borrows the relation immutably. Mirrors [`Tuple`]'s read API;
+/// materialize with [`RowRef::to_tuple`] when the tuple must outlive a
+/// mutation of the relation.
+#[derive(Clone, Copy)]
+pub enum RowRef<'a> {
+    /// A view into row-major storage.
+    Row(&'a Tuple),
+    /// A view into one slot of a column store.
+    Col {
+        /// The backing store.
+        store: &'a ColumnStore,
+        /// The tuple's slot (= its id's index).
+        slot: usize,
+    },
+}
+
+impl<'a> RowRef<'a> {
+    /// Tuple arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        match self {
+            RowRef::Row(t) => t.arity(),
+            RowRef::Col { store, .. } => store.arity,
+        }
+    }
+
+    /// The interned id of attribute `a` — the hot-path form of `t[A]`.
+    #[inline]
+    pub fn id(&self, a: AttrId) -> ValueId {
+        match self {
+            RowRef::Row(t) => t.id(a),
+            RowRef::Col { store, slot } => store.cell(*slot, a),
+        }
+    }
+
+    /// The value of attribute `a`, resolved from the pool.
+    #[inline]
+    pub fn value(&self, a: AttrId) -> Value {
+        self.id(a).value()
+    }
+
+    /// Is `t[A]` null?
+    #[inline]
+    pub fn is_null(&self, a: AttrId) -> bool {
+        self.id(a).is_null()
+    }
+
+    /// The confidence weight `w(t, A)`.
+    #[inline]
+    pub fn weight(&self, a: AttrId) -> f64 {
+        match self {
+            RowRef::Row(t) => t.weight(a),
+            RowRef::Col { store, slot } => store.weight(*slot, a),
+        }
+    }
+
+    /// The total weight `wt(t) = Σ_A w(t, A)`.
+    pub fn total_weight(&self) -> f64 {
+        (0..self.arity() as u16)
+            .map(|a| self.weight(AttrId(a)))
+            .sum()
+    }
+
+    /// Project onto an attribute list as an id key.
+    #[inline]
+    pub fn project_key(&self, attrs: &[AttrId]) -> IdKey {
+        attrs.iter().map(|a| self.id(*a)).collect()
+    }
+
+    /// Project onto an attribute list as raw ids.
+    pub fn project_ids(&self, attrs: &[AttrId]) -> Vec<ValueId> {
+        attrs.iter().map(|a| self.id(*a)).collect()
+    }
+
+    /// Project onto an attribute list, resolved. Allocates; cold paths.
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
+        attrs.iter().map(|a| self.value(*a)).collect()
+    }
+
+    /// All values in schema order, resolved from the pool.
+    pub fn values(&self) -> Vec<Value> {
+        (0..self.arity() as u16)
+            .map(|a| self.value(AttrId(a)))
+            .collect()
+    }
+
+    /// All weights in schema order.
+    pub fn weights(&self) -> Vec<f64> {
+        (0..self.arity() as u16)
+            .map(|a| self.weight(AttrId(a)))
+            .collect()
+    }
+
+    /// Do `self` and `other` agree on every attribute in `attrs` under
+    /// strict equality?
+    pub fn agrees_on<V: TupleView + ?Sized>(&self, other: &V, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|a| self.id(*a) == other.id(*a))
+    }
+
+    /// Number of attributes on which two views of the same arity differ
+    /// (strict semantics).
+    pub fn attr_diff<V: TupleView + ?Sized>(&self, other: &V) -> usize {
+        debug_assert_eq!(self.arity(), other.arity());
+        (0..self.arity() as u16)
+            .filter(|a| self.id(AttrId(*a)) != other.id(AttrId(*a)))
+            .count()
+    }
+
+    /// True when every attribute is `null`.
+    pub fn is_nulled(&self) -> bool {
+        (0..self.arity() as u16).all(|a| self.id(AttrId(a)) == NULL_ID)
+    }
+
+    /// Materialize into an owned [`Tuple`] — the view's escape hatch for
+    /// code that must hold the row across relation mutations.
+    pub fn to_tuple(&self) -> Tuple {
+        match self {
+            RowRef::Row(t) => (*t).clone(),
+            RowRef::Col { store, slot } => store.materialize(*slot),
+        }
+    }
+}
+
+impl std::fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowRef")
+            .field(
+                "ids",
+                &self.project_ids(&(0..self.arity() as u16).map(AttrId).collect::<Vec<_>>()),
+            )
+            .finish()
+    }
+}
+
+fn view_eq<A: TupleView + ?Sized, B: TupleView + ?Sized>(a: &A, b: &B) -> bool {
+    a.arity() == b.arity()
+        && (0..a.arity() as u16).all(|i| {
+            let i = AttrId(i);
+            a.id(i) == b.id(i) && a.weight(i) == b.weight(i)
+        })
+}
+
+impl PartialEq for RowRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        view_eq(self, other)
+    }
+}
+
+impl PartialEq<Tuple> for RowRef<'_> {
+    fn eq(&self, other: &Tuple) -> bool {
+        view_eq(self, other)
+    }
+}
+
+impl PartialEq<&Tuple> for RowRef<'_> {
+    fn eq(&self, other: &&Tuple) -> bool {
+        view_eq(self, *other)
+    }
+}
+
+impl PartialEq<RowRef<'_>> for Tuple {
+    fn eq(&self, other: &RowRef<'_>) -> bool {
+        view_eq(self, other)
+    }
+}
+
+impl TupleView for RowRef<'_> {
+    #[inline]
+    fn arity(&self) -> usize {
+        RowRef::arity(self)
+    }
+
+    #[inline]
+    fn id(&self, a: AttrId) -> ValueId {
+        RowRef::id(self, a)
+    }
+
+    #[inline]
+    fn weight(&self, a: AttrId) -> f64 {
+        RowRef::weight(self, a)
+    }
+}
+
+/// Bulk-intern decoded CSV columns into a [`ColumnStore`] — one
+/// [`ValuePool::intern_column`] call per attribute.
+pub fn intern_columns(pool: &ValuePool, columns: &[Vec<Value>]) -> Vec<Vec<ValueId>> {
+    columns.iter().map(|c| pool.intern_column(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(a: &str, b: &str) -> Tuple {
+        Tuple::from_iter([a, b])
+    }
+
+    #[test]
+    fn column_store_push_and_read() {
+        let mut s = ColumnStore::new(2);
+        let s0 = s.push(&t2("x", "y"));
+        let s1 = s.push(&t2("u", "v"));
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert!(s.is_live(0) && s.is_live(1));
+        assert_eq!(s.column(AttrId(0)).len(), 2);
+        assert_eq!(s.cell(0, AttrId(0)), ValueId::of(&Value::str("x")));
+        assert_eq!(s.cell(1, AttrId(1)), ValueId::of(&Value::str("v")));
+        assert_eq!(s.weight(0, AttrId(0)), 1.0);
+    }
+
+    #[test]
+    fn kill_tombstones_without_shifting() {
+        let mut s = ColumnStore::new(2);
+        s.push(&t2("a", "b"));
+        s.push(&t2("c", "d"));
+        let removed = s.kill(0);
+        assert_eq!(removed.value(AttrId(0)), Value::str("a"));
+        assert!(!s.is_live(0));
+        assert!(s.is_live(1));
+        assert_eq!(s.live_slots().collect::<Vec<_>>(), vec![1]);
+        // the column slice still covers the dead slot
+        assert_eq!(s.column(AttrId(0)).len(), 2);
+    }
+
+    #[test]
+    fn validity_bitmap_crosses_word_boundaries() {
+        let mut s = ColumnStore::new(1);
+        for i in 0..130 {
+            s.push(&Tuple::from_iter([format!("v{i}")]));
+        }
+        s.kill(63);
+        s.kill(64);
+        s.kill(129);
+        assert_eq!(s.live_slots().count(), 127);
+        assert!(!s.is_live(63) && !s.is_live(64) && !s.is_live(129));
+        assert!(s.is_live(62) && s.is_live(65) && s.is_live(128));
+    }
+
+    #[test]
+    fn from_columns_marks_all_live() {
+        let pool = ValuePool::global();
+        let cols = intern_columns(
+            pool,
+            &[
+                vec![Value::str("a"), Value::str("b")],
+                vec![Value::int(1), Value::int(2)],
+            ],
+        );
+        let s = ColumnStore::from_columns(cols, None);
+        assert_eq!(s.slot_count(), 2);
+        assert!(s.is_live(0) && s.is_live(1));
+        assert!(!s.is_live(2));
+        assert_eq!(s.materialize(1).value(AttrId(0)), Value::str("b"));
+    }
+
+    #[test]
+    fn row_ref_matches_tuple_api() {
+        let mut s = ColumnStore::new(2);
+        let mut t = t2("x", "y");
+        t.set_weight(AttrId(1), 0.25);
+        s.push(&t);
+        let v = RowRef::Col { store: &s, slot: 0 };
+        assert_eq!(v.arity(), 2);
+        assert_eq!(v.id(AttrId(0)), t.id(AttrId(0)));
+        assert_eq!(v.value(AttrId(1)), Value::str("y"));
+        assert_eq!(v.weight(AttrId(1)), 0.25);
+        assert_eq!(v.total_weight(), t.total_weight());
+        assert_eq!(
+            v.project_key(&[AttrId(1), AttrId(0)]),
+            t.project_key(&[AttrId(1), AttrId(0)])
+        );
+        assert_eq!(v.to_tuple(), t);
+        assert!(v == t);
+        assert!(v.agrees_on(&t, &[AttrId(0), AttrId(1)]));
+        assert_eq!(v.attr_diff(&t2("x", "z")), 1);
+    }
+}

@@ -18,6 +18,68 @@ use crate::pool::{ValueId, NULL_ID};
 use crate::schema::AttrId;
 use crate::value::Value;
 
+/// Read access to one tuple's cells, independent of how the tuple is
+/// stored.
+///
+/// Implemented by the owned [`Tuple`] and by the zero-copy
+/// [`RowRef`](crate::storage::RowRef) views into either storage layout.
+/// Pattern matching, index keying, and LHS-index probes are generic over
+/// this trait so they run identically on materialized tuples (repair
+/// candidates) and on storage views (scans).
+pub trait TupleView {
+    /// Tuple arity.
+    fn arity(&self) -> usize;
+    /// The interned id of attribute `a` — `t[A]` in id form.
+    fn id(&self, a: AttrId) -> ValueId;
+    /// The confidence weight `w(t, A)`.
+    fn weight(&self, a: AttrId) -> f64;
+
+    /// Is `t[A]` null?
+    #[inline]
+    fn is_null(&self, a: AttrId) -> bool {
+        self.id(a).is_null()
+    }
+
+    /// Project onto an attribute list as an id key.
+    #[inline]
+    fn project_key(&self, attrs: &[AttrId]) -> IdKey {
+        attrs.iter().map(|a| self.id(*a)).collect()
+    }
+
+    /// Materialize into an owned [`Tuple`].
+    fn to_tuple(&self) -> Tuple {
+        let ids = (0..self.arity() as u16)
+            .map(|a| self.id(AttrId(a)))
+            .collect();
+        let mut t = Tuple::from_ids(ids);
+        for a in 0..self.arity() as u16 {
+            t.set_weight(AttrId(a), self.weight(AttrId(a)));
+        }
+        t
+    }
+}
+
+impl TupleView for Tuple {
+    #[inline]
+    fn arity(&self) -> usize {
+        Tuple::arity(self)
+    }
+
+    #[inline]
+    fn id(&self, a: AttrId) -> ValueId {
+        Tuple::id(self, a)
+    }
+
+    #[inline]
+    fn weight(&self, a: AttrId) -> f64 {
+        Tuple::weight(self, a)
+    }
+
+    fn to_tuple(&self) -> Tuple {
+        self.clone()
+    }
+}
+
 /// A single tuple: interned value ids and confidence weights, both in
 /// schema order.
 #[derive(Clone, Debug, PartialEq)]

@@ -154,15 +154,15 @@ fn hash_index_incremental_equals_rebuild() {
             let id = ids[rng.gen_range(0..ids.len())];
             let attr = AttrId(rng.gen_range(0..ARITY as u32) as u16);
             let v = rand_value(rng);
-            let before = rel.tuple(id).unwrap().clone();
+            let before = rel.tuple(id).unwrap().to_tuple();
             rel.set_value(id, attr, v).unwrap();
-            let after = rel.tuple(id).unwrap().clone();
+            let after = rel.tuple(id).unwrap().to_tuple();
             idx.update(id, &before, &after);
         }
         let fresh = cfd_model::index::HashIndex::build(&rel, &attrs);
         for (_, t) in rel.iter() {
-            let mut a: Vec<TupleId> = idx.group_of(t).to_vec();
-            let mut b: Vec<TupleId> = fresh.group_of(t).to_vec();
+            let mut a: Vec<TupleId> = idx.group_of(&t).to_vec();
+            let mut b: Vec<TupleId> = fresh.group_of(&t).to_vec();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b);

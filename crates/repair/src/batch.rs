@@ -31,7 +31,7 @@ use cfd_cfd::violation::{
     detect_with_engine, minimal_variable_ids, ConstantRules, Engine, GroupIndexes,
 };
 use cfd_cfd::{CfdId, NormalCfd, Sigma};
-use cfd_model::{AttrId, IdKey, Relation, TupleId, ValueId, ValuePool, NULL_ID};
+use cfd_model::{AttrId, IdKey, Relation, TupleId, TupleView, ValueId, ValuePool, NULL_ID};
 
 use crate::cost::{class_assign_cost_ids, repair_cost};
 use crate::depgraph::DepGraph;
@@ -180,6 +180,32 @@ impl GroupCensus {
             .iter()
             .map(|(lhs, rhs)| (lhs.clone(), *rhs, HashMap::new()))
             .collect();
+        // Columnar fast path: one pass per shape over exactly the shape's
+        // LHS/RHS/weight column slices — the census walk never touches
+        // attributes outside the shape.
+        if rel.schema().arity() == 0 || rel.column(AttrId(0)).is_some() {
+            let live: Vec<TupleId> = rel.ids().collect();
+            for (lhs, rhs, map) in &mut shapes {
+                let lhs_cols: Vec<&[ValueId]> = lhs
+                    .iter()
+                    .map(|a| rel.column(*a).expect("columnar layout"))
+                    .collect();
+                let rhs_col = rel.column(*rhs).expect("columnar layout");
+                let w_col = rel.weight_column(*rhs).expect("columnar layout");
+                for id in &live {
+                    let slot = id.index();
+                    let v = rhs_col[slot];
+                    if v.is_null() {
+                        continue;
+                    }
+                    let key: IdKey = lhs_cols.iter().map(|c| c[slot]).collect();
+                    let bucket = map.entry(key).or_default().entry(v).or_default();
+                    bucket.ids.insert(*id);
+                    bucket.weight += w_col[slot];
+                }
+            }
+            return GroupCensus { shapes };
+        }
         for (id, t) in rel.iter() {
             for (lhs, rhs, map) in &mut shapes {
                 let v = t.id(*rhs);
@@ -207,7 +233,7 @@ impl GroupCensus {
 
     /// Number of distinct non-null RHS values in `t`'s group under the
     /// shape `(lhs, rhs)`.
-    fn distinct(&self, lhs: &[AttrId], rhs: AttrId, t: &cfd_model::Tuple) -> usize {
+    fn distinct<V: TupleView + ?Sized>(&self, lhs: &[AttrId], rhs: AttrId, t: &V) -> usize {
         self.shape(lhs, rhs)
             .and_then(|map| map.get(&t.project_key(lhs)))
             .map(|vals| vals.len())
@@ -217,11 +243,11 @@ impl GroupCensus {
     /// All value buckets of `t`'s group under the shape `(lhs, rhs)`.
     /// `None` when the shape or group is untracked (e.g. every carrier
     /// is null).
-    fn value_buckets(
+    fn value_buckets<V: TupleView + ?Sized>(
         &self,
         lhs: &[AttrId],
         rhs: AttrId,
-        t: &cfd_model::Tuple,
+        t: &V,
     ) -> Option<&std::collections::BTreeMap<ValueId, ValueBucket>> {
         self.shape(lhs, rhs)
             .and_then(|map| map.get(&t.project_key(lhs)))
@@ -230,11 +256,11 @@ impl GroupCensus {
     /// Tuple ids in `t`'s group carrying a value different from `v`,
     /// iterated value-bucket by value-bucket — O(distinct values) to find
     /// the first candidate instead of O(|group|).
-    fn conflicting_ids<'c>(
+    fn conflicting_ids<'c, V: TupleView + ?Sized>(
         &'c self,
         lhs: &[AttrId],
         rhs: AttrId,
-        t: &cfd_model::Tuple,
+        t: &V,
         v: ValueId,
     ) -> impl Iterator<Item = TupleId> + 'c {
         self.shape(lhs, rhs)
@@ -397,7 +423,7 @@ impl<'a> BatchState<'a> {
     /// groups. Constant rules only: they pin nearly every attribute in
     /// CFD workloads and cost O(shapes) to check.
     fn residual_vios(&self, tid: TupleId, b: AttrId, v: ValueId) -> usize {
-        let mut t = self.work.tuple(tid).expect("live").clone();
+        let mut t = self.work.tuple(tid).expect("live").to_tuple();
         t.set_id(b, v);
         self.rules.violations_of(&t, None)
     }
@@ -407,7 +433,7 @@ impl<'a> BatchState<'a> {
     /// merged cells are already "resolved pending instantiation".
     fn violates(&mut self, n: &NormalCfd, tid: TupleId) -> Option<Violation> {
         let t = self.work.tuple(tid)?;
-        if !n.applies_to(t) {
+        if !n.applies_to(&t) {
             return None;
         }
         let a = n.rhs_attr();
@@ -425,7 +451,7 @@ impl<'a> BatchState<'a> {
             // Census fast path: a group with ≤ 1 distinct non-null value
             // cannot conflict; conflicting ids are then enumerated
             // value-bucket by value-bucket instead of scanning the group.
-            if self.census.distinct(n.lhs(), a, t) <= 1 {
+            if self.census.distinct(n.lhs(), a, &t) <= 1 {
                 return None;
             }
             // The partner choice feeds the fix pricing, so it must not
@@ -436,7 +462,7 @@ impl<'a> BatchState<'a> {
             // differently across histories; any partner is sound.)
             let candidates: Vec<TupleId> = self
                 .census
-                .conflicting_ids(n.lhs(), a, t, v)
+                .conflicting_ids(n.lhs(), a, &t, v)
                 .take(64)
                 .collect();
             candidates
@@ -463,7 +489,7 @@ impl<'a> BatchState<'a> {
             .collect();
         s_attrs.sort();
         s_attrs.dedup();
-        let t = self.work.tuple(tid).expect("live").clone();
+        let t = self.work.tuple(tid).expect("live").to_tuple();
         self.indexes.ensure(&self.work, &s_attrs);
         let s_group: Vec<TupleId> = self
             .indexes
@@ -487,7 +513,23 @@ impl<'a> BatchState<'a> {
             }
             let cost = self.assign_cost(Cell::new(tid, b), v);
             let residual = self.class_residual_vios(Cell::new(tid, b), v);
+            // Most-common-value heuristic: exact (residual, cost) ties go
+            // to the globally most frequent candidate, read straight off
+            // the pool's per-id interning counters instead of re-counting
+            // the S-group (ROADMAP "frequency-aware interning"). The
+            // counters are process-global — they approximate data
+            // frequency, weighted by everything the process has loaded —
+            // which is acceptable for a tie-break that only fires on
+            // exact (residual, cost) equality. Remaining ties break by
+            // value order, which is independent of interning history.
+            let pool = ValuePool::global();
             let better = match &best {
+                Some((bv, br, bc)) if (residual, cost) == (*br, *bc) => {
+                    match pool.use_count(v).cmp(&pool.use_count(*bv)) {
+                        std::cmp::Ordering::Equal => pool.cmp_values(v, *bv).is_lt(),
+                        ord => ord.is_gt(),
+                    }
+                }
                 Some((_, br, bc)) => (residual, cost) < (*br, *bc),
                 None => true,
             };
@@ -666,10 +708,10 @@ impl<'a> BatchState<'a> {
                         );
                 let suspects = self
                     .rules
-                    .violations_of(self.work.tuple(tid).expect("live"), None)
+                    .violations_of(&self.work.tuple(tid).expect("live"), None)
                     + self
                         .rules
-                        .violations_of(self.work.tuple(*partner).expect("live"), None)
+                        .violations_of(&self.work.tuple(*partner).expect("live"), None)
                     + initial_suspects;
                 let defer_penalty = 10.0 * suspects as f64;
                 let (c1, c2) = (Cell::new(tid, a), Cell::new(*partner, a));
@@ -779,7 +821,7 @@ impl<'a> BatchState<'a> {
         if self.config.merge_pricing == MergePricing::Pairwise {
             return self.plan_pairwise_merge(n, tid, partner, v1, v2);
         }
-        let t = self.work.tuple(tid).expect("live").clone();
+        let t = self.work.tuple(tid).expect("live").to_tuple();
         // (value, incremental weight sum, sampled carriers, carrier
         // count) per bucket. Weight sums are maintained by the census, so
         // this is O(distinct values) plus the ≤ SAMPLE carriers actually
@@ -873,14 +915,14 @@ impl<'a> BatchState<'a> {
     /// Write a value into a cell of `work`, updating indexes and dirty
     /// sets (§4.2's `Dirty_Tuples` maintenance).
     fn write_cell(&mut self, cell: Cell, v: ValueId) {
-        let before = self.work.tuple(cell.tuple).expect("live").clone();
+        let before = self.work.tuple(cell.tuple).expect("live").to_tuple();
         if before.id(cell.attr) == v {
             return;
         }
         self.work
             .set_value_id(cell.tuple, cell.attr, v)
             .expect("live tuple");
-        let after = self.work.tuple(cell.tuple).expect("live").clone();
+        let after = self.work.tuple(cell.tuple).expect("live").to_tuple();
         self.indexes.update(cell.tuple, &before, &after);
         self.census.update(cell.tuple, &before, &after);
         // Constant rules are per-tuple: only the rules firing on the new
@@ -1552,6 +1594,62 @@ mod tests {
         let out = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
         assert!(cfd_cfd::check(&out.repair, &sigma));
         assert!(out.stats.nulls_set >= 1); // single tuple: null is the only out
+    }
+
+    #[test]
+    fn findv_tie_breaks_by_pool_frequency() {
+        // One constant CFD k=fqv1 → c=fqc-good. t0 = (fqv1, fqc-other)
+        // violates; the cheap resolution is rewriting k via FINDV. Both
+        // candidate keys (fqv2, fqv3) are one edit from fqv1, same length,
+        // same weight, zero residual — an exact (residual, cost) tie. The
+        // pool's interning counters must break it toward the globally most
+        // frequent value, beating the S-group's first-seen order (the
+        // minority tuple is inserted first).
+        let schema = Schema::new("r", &["k", "c"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        let mk = |k: &str| {
+            let mut t = Tuple::from_iter([k, "fqc-other"]);
+            t.set_weight(AttrId(0), 0.3); // cheap LHS rewrite
+            t.set_weight(AttrId(1), 1.0); // precious RHS
+            t
+        };
+        rel.insert(mk("fqv3")).unwrap(); // minority candidate, seen first
+        let t0 = rel.insert(mk("fqv1")).unwrap(); // the violator
+        for _ in 0..3 {
+            rel.insert(mk("fqv2")).unwrap(); // majority candidate
+        }
+        let cfd = Cfd::new(
+            "kc",
+            vec![schema.attr("k").unwrap()],
+            vec![schema.attr("c").unwrap()],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("fqv1")],
+                vec![PatternValue::constant("fqc-good")],
+            )],
+        )
+        .unwrap();
+        let sigma = Sigma::normalize(schema.clone(), vec![cfd]).unwrap();
+        // Brute-force most-common candidate among the S-group's keys.
+        let k = schema.attr("k").unwrap();
+        let mut counts: std::collections::HashMap<ValueId, usize> = HashMap::new();
+        for (id, t) in rel.iter() {
+            if id != t0 {
+                *counts.entry(t.id(k)).or_insert(0) += 1;
+            }
+        }
+        let brute = counts
+            .into_iter()
+            .max_by_key(|(_, n)| *n)
+            .map(|(v, _)| v)
+            .unwrap();
+        assert_eq!(brute.value(), Value::str("fqv2"));
+        let out = batch_repair(&rel, &sigma, BatchConfig::default()).unwrap();
+        assert!(cfd_cfd::check(&out.repair, &sigma));
+        assert_eq!(
+            out.repair.tuple(t0).unwrap().value(k),
+            brute.value(),
+            "FINDV must pick the most frequent candidate on a cost tie"
+        );
     }
 
     #[test]

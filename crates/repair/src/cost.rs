@@ -12,7 +12,7 @@
 //! greedy choice in both repair algorithms; in the absence of weight
 //! information all weights are 1 and violation counts take over.
 
-use cfd_model::{Relation, Tuple, TupleId, Value, ValueId};
+use cfd_model::{Relation, TupleId, TupleView, Value, ValueId};
 
 use crate::distance::{normalized_distance, DistanceCache};
 
@@ -40,7 +40,7 @@ pub fn change_cost_ids(weight: f64, from: ValueId, to: ValueId, cache: &mut Dist
 /// Cost of changing tuple `t` into `t'` (same schema): the sum of
 /// per-attribute change costs over modified attributes, using `t`'s
 /// weights.
-pub fn tuple_cost(t: &Tuple, t_new: &Tuple) -> f64 {
+pub fn tuple_cost<V: TupleView + ?Sized, W: TupleView + ?Sized>(t: &V, t_new: &W) -> f64 {
     debug_assert_eq!(t.arity(), t_new.arity());
     let mut total = 0.0;
     for i in 0..t.arity() {
@@ -60,7 +60,7 @@ pub fn repair_cost(original: &Relation, repair: &Relation) -> f64 {
     let mut total = 0.0;
     for (id, t) in original.iter() {
         if let Some(t_new) = repair.tuple(id) {
-            total += tuple_cost(t, t_new);
+            total += tuple_cost(&t, &t_new);
         }
     }
     total
@@ -103,7 +103,7 @@ pub fn cell_change_cost(rel: &Relation, id: TupleId, a: cfd_model::AttrId, to: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfd_model::{AttrId, Schema};
+    use cfd_model::{AttrId, Schema, Tuple};
 
     #[test]
     fn identical_change_is_free() {

@@ -422,7 +422,7 @@ impl<'a> IncState<'a> {
 
     /// Repair the pending tuple at `id` and activate it.
     pub(crate) fn resolve_and_activate(&mut self, id: TupleId) -> Result<(), RepairError> {
-        let orig = self.work.require(id)?.clone();
+        let orig = self.work.require(id)?.to_tuple();
         let repaired = self.tuple_resolve(id, &orig);
         self.stats.processed += 1;
         let cost = tuple_cost(&orig, &repaired);
@@ -433,11 +433,11 @@ impl<'a> IncState<'a> {
         // Write back and activate in all index structures.
         for a in 0..repaired.arity() as u16 {
             let a = AttrId(a);
-            if self.work.require(id)?.id(a) != repaired.id(a) {
+            if self.work.value_id(id, a) != Some(repaired.id(a)) {
                 self.work.set_value_id(id, a, repaired.id(a))?;
             }
         }
-        let stored = self.work.require(id)?.clone();
+        let stored = self.work.require(id)?.to_tuple();
         self.engine.insert(id, &stored);
         self.lhs.insert(self.sigma, &stored);
         for a in self.work.schema().attr_ids().collect::<Vec<_>>() {
@@ -465,7 +465,7 @@ impl<'a> IncState<'a> {
                     .map(|id| {
                         let t = self.work.tuple(*id).expect("pending tuple is live");
                         let wt = (t.total_weight() * 1e6) as i64;
-                        (full.vio_of(&self.work, t, Some(*id)), -wt, *id)
+                        (full.vio_of(&self.work, &t, Some(*id)), -wt, *id)
                     })
                     .collect();
                 keyed.sort();

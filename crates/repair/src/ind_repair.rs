@@ -74,7 +74,7 @@ pub fn repair_ind(
     };
     let child = db.relation_mut(ind.child())?;
     for id in dangling {
-        let t = child.require(id)?.clone();
+        let t = child.require(id)?.to_tuple();
         let current = t.project(ind.child_attrs());
         // Cheapest parent key under the weighted normalized distance.
         let mut best: Option<(f64, &Vec<Value>)> = None;
@@ -171,7 +171,12 @@ mod tests {
         assert_eq!(stats.dangling, 1);
         assert_eq!(stats.rebound, 1);
         assert_eq!(stats.nulled, 0);
-        let fixed = db.relation("order").unwrap().require(id).unwrap().clone();
+        let fixed = db
+            .relation("order")
+            .unwrap()
+            .require(id)
+            .unwrap()
+            .to_tuple();
         assert_eq!(fixed.value(AttrId(1)), Value::str("a1001"));
         assert!(ind.check(&db).unwrap());
     }
@@ -188,7 +193,12 @@ mod tests {
         let stats = repair_ind(&mut db, &ind, &IndRepairConfig::default()).unwrap();
         assert_eq!(stats.nulled, 1);
         assert_eq!(stats.rebound, 0);
-        let fixed = db.relation("order").unwrap().require(id).unwrap().clone();
+        let fixed = db
+            .relation("order")
+            .unwrap()
+            .require(id)
+            .unwrap()
+            .to_tuple();
         assert!(fixed.value(AttrId(1)).is_null());
         assert!(ind.check(&db).unwrap());
     }
@@ -219,7 +229,12 @@ mod tests {
         };
         let stats = repair_ind(&mut db, &ind, &tight).unwrap();
         assert_eq!(stats.nulled, 1);
-        let fixed = db.relation("order").unwrap().require(id).unwrap().clone();
+        let fixed = db
+            .relation("order")
+            .unwrap()
+            .require(id)
+            .unwrap()
+            .to_tuple();
         assert!(fixed.value(AttrId(1)).is_null());
     }
 

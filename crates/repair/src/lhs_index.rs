@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use cfd_model::{IdKey, Relation, Tuple, ValueId};
+use cfd_model::{IdKey, Relation, TupleView, ValueId};
 
 use cfd_cfd::{NormalCfd, Sigma};
 
@@ -93,7 +93,7 @@ impl LhsIndex {
     }
 
     /// What does the group of `t` (by its `X` projection) require?
-    fn verdict(&self, n: &NormalCfd, t: &Tuple) -> GroupVerdict {
+    fn verdict<V: TupleView + ?Sized>(&self, n: &NormalCfd, t: &V) -> GroupVerdict {
         match self.map.get(&t.project_key(n.lhs())) {
             Some(GroupState {
                 value: Some((v, _)),
@@ -117,7 +117,7 @@ impl LhsIndexes {
     }
 
     /// Register a tuple newly inserted into the clean repair.
-    pub fn insert(&mut self, _sigma: &Sigma, t: &Tuple) {
+    pub fn insert<V: TupleView + ?Sized>(&mut self, _sigma: &Sigma, t: &V) {
         for ((lhs, rhs_attr), idx) in self.shapes.iter_mut() {
             let key = t.project_key(lhs);
             let state = idx.map.entry(key).or_default();
@@ -129,7 +129,7 @@ impl LhsIndexes {
     /// indexed relation? Checks both the pattern (constant CFDs) and the
     /// group pin (variable CFDs). §3.1's null semantics apply: a null among
     /// `t[X]` means the CFD is inapplicable; a null RHS satisfies.
-    pub fn satisfies(&self, n: &NormalCfd, t: &Tuple) -> bool {
+    pub fn satisfies<V: TupleView + ?Sized>(&self, n: &NormalCfd, t: &V) -> bool {
         if !n.applies_to(t) {
             return true;
         }
@@ -153,7 +153,7 @@ impl LhsIndexes {
 
     /// The id (if any) a variable CFD's group pins for `t`'s key — the
     /// "semantically related value" FINDV reaches for first.
-    pub fn pinned_id(&self, n: &NormalCfd, t: &Tuple) -> Option<ValueId> {
+    pub fn pinned_id<V: TupleView + ?Sized>(&self, n: &NormalCfd, t: &V) -> Option<ValueId> {
         if n.is_constant() || !n.applies_to(t) {
             return None;
         }

@@ -42,7 +42,7 @@ pub fn greedy_maximal_subset(d: &Relation, sigma: &Sigma) -> (Vec<TupleId>, Vec<
     let mut kept_ids = Vec::new();
     let mut rejected = Vec::new();
     for (id, t) in d.iter() {
-        let tentative_id = kept.insert(t.clone()).expect("same schema");
+        let tentative_id = kept.insert(t.to_tuple()).expect("same schema");
         if cfd_cfd::check(&kept, sigma) {
             kept_ids.push(id);
         } else {

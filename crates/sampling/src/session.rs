@@ -44,7 +44,7 @@ impl Oracle for GroundTruthOracle<'_> {
         if truth.values() == repaired.values() {
             None
         } else {
-            Some(truth.clone())
+            Some(truth.to_tuple())
         }
     }
 }
@@ -109,9 +109,10 @@ pub fn certify<R: Rng>(
         for &id in &stratum.sample {
             let tuple = repair
                 .tuple(id)
-                .ok_or_else(|| format!("sampled dead tuple {id}"))?;
+                .ok_or_else(|| format!("sampled dead tuple {id}"))?
+                .to_tuple();
             inspected += 1;
-            if let Some(fixed) = oracle.inspect(id, tuple) {
+            if let Some(fixed) = oracle.inspect(id, &tuple) {
                 errors_per_stratum[stratum.index] += 1;
                 corrections.push((id, fixed));
             }
@@ -234,7 +235,7 @@ mod tests {
     fn ground_truth_oracle_passes_exact_matches() {
         let dopt = relation(10);
         let mut oracle = GroundTruthOracle::new(&dopt);
-        let t = dopt.tuple(TupleId(3)).unwrap().clone();
+        let t = dopt.tuple(TupleId(3)).unwrap().to_tuple();
         assert!(oracle.inspect(TupleId(3), &t).is_none());
     }
 }

@@ -45,7 +45,7 @@ fn main() {
                 ..Default::default()
             },
         );
-        let delta: Vec<Tuple> = noised.dirty.iter().map(|(_, t)| t.clone()).collect();
+        let delta: Vec<Tuple> = noised.dirty.iter().map(|(_, t)| t.to_tuple()).collect();
         let t0 = Instant::now();
         let out = inc_repair(
             &base,

@@ -144,7 +144,7 @@ fn inserting_consistent_tuples_changes_nothing() {
             .unwrap()
             .repair;
         // re-inserting an existing clean tuple must be a no-op repair
-        let existing: Vec<Tuple> = clean.iter().take(2).map(|(_, t)| t.clone()).collect();
+        let existing: Vec<Tuple> = clean.iter().take(2).map(|(_, t)| t.to_tuple()).collect();
         let out = inc_repair(&clean, &existing, &sigma, IncConfig::default()).unwrap();
         assert_eq!(out.stats.modified, 0);
         assert_eq!(out.stats.cost, 0.0);
