@@ -26,6 +26,7 @@ use cfd_repair::cluster::ValueIndex;
 use cfd_repair::distance::{dl_distance, dl_distance_bounded};
 use cfd_repair::equivalence::{Cell, EqClasses};
 use cfd_repair::lhs_index::LhsIndexes;
+use cfd_repair::shard::{variable_shapes, GroupCensus, Parallelism};
 
 /// The pre-dictionary tuple representation: values stored inline, read
 /// without any pool access. Reference rows are materialized once,
@@ -210,36 +211,111 @@ fn bench_row_vs_column(h: &mut Harness) -> (f64, f64) {
     (build_speedup, detect_speedup)
 }
 
-/// CI smoke gate: quick row-vs-column comparison; exits nonzero when the
-/// columnar detection kernel regresses below the row-major baseline.
-/// Two defenses against shared-runner scheduling noise — a small jitter
-/// margin and best-of-three attempts — so only a reproducible regression
-/// trips the gate.
+/// Where `BENCH_kernels.json` lives by default: the workspace root,
+/// regardless of the working directory `cargo bench` hands the binary
+/// (package dir), so local runs refresh the committed baseline and CI
+/// uploads find the file.
+fn default_json_path() -> String {
+    format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The sharded-repair headline: `GroupCensus` construction — the setup
+/// phase `BATCHREPAIR` fans out by LHS-key hash range — serial vs four
+/// worker threads on the same 20k-tuple workload. The checksum assertion
+/// pins bit-identical contents before any timing means anything. Returns
+/// the serial/sharded median ratio (> 1 means sharding wins).
+fn bench_census(h: &mut Harness) -> f64 {
+    let w = workload(20_000, 7);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let shapes = variable_shapes(&w.sigma);
+    assert!(!shapes.is_empty(), "workload Σ has variable CFDs");
+    let serial = Parallelism::serial();
+    let four = Parallelism::threads(4);
+    // Sanity: sharded construction must be bit-identical to serial.
+    assert_eq!(
+        GroupCensus::build(&noise.dirty, &shapes, &serial).checksum(),
+        GroupCensus::build(&noise.dirty, &shapes, &four).checksum(),
+        "sharded census diverged from serial"
+    );
+    let ser = h.run("repair_census/serial_20k", || {
+        GroupCensus::build(black_box(&noise.dirty), black_box(&shapes), &serial).carriers()
+    });
+    let par = h.run("repair_census/sharded4_20k", || {
+        GroupCensus::build(black_box(&noise.dirty), black_box(&shapes), &four).carriers()
+    });
+    let speedup = ser.median_ns / par.median_ns;
+    eprintln!("census build speedup (serial/sharded4): {speedup:.2}x");
+    speedup
+}
+
+/// CI smoke gates: quick row-vs-column comparison plus the sharded-census
+/// comparison; exits nonzero when the columnar detection kernel regresses
+/// below the row-major baseline or the 4-thread census build falls below
+/// the serial one. Two defenses against shared-runner scheduling noise —
+/// a small jitter margin (detection) and best-of-three attempts — so only
+/// a reproducible regression trips the gates. Also writes
+/// `BENCH_kernels.json` so the workflow can upload the numbers as an
+/// artifact.
 const SMOKE_MIN_DETECT_SPEEDUP: f64 = 0.95;
+const SMOKE_MIN_CENSUS_SPEEDUP: f64 = 1.0;
 const SMOKE_ATTEMPTS: usize = 3;
 
 fn smoke() -> ! {
+    // The census gate compares wall time, so it only means something where
+    // threads can actually run in parallel; a single-CPU runner still
+    // records the numbers (and the bit-identical checksum still asserts)
+    // but cannot be asked to beat serial.
+    let multicore = std::thread::available_parallelism()
+        .map(|n| n.get() >= 2)
+        .unwrap_or(false);
+    let mut detect_ok = false;
+    let mut census_ok = !multicore;
     for attempt in 1..=SMOKE_ATTEMPTS {
         let mut h = Harness::new();
         h.batches = 7;
         h.target_batch_ns = 2_000_000;
         let (build_speedup, detect_speedup) = bench_row_vs_column(&mut h);
+        let census_speedup = bench_census(&mut h);
         println!("{}", h.table());
         println!("index build speedup (row/columnar): {build_speedup:.2}x");
         println!("detection speedup  (row/columnar): {detect_speedup:.2}x");
-        if detect_speedup >= SMOKE_MIN_DETECT_SPEEDUP {
-            println!("smoke ok: columnar detection ≥ row-major (within jitter margin)");
+        println!("census build speedup (serial/sharded4): {census_speedup:.2}x");
+        if !multicore {
+            println!("single-CPU runner: census wall-time gate not applicable");
+        }
+        h.write_json(&default_json_path())
+            .expect("write bench json");
+        detect_ok |= detect_speedup >= SMOKE_MIN_DETECT_SPEEDUP;
+        census_ok |= census_speedup >= SMOKE_MIN_CENSUS_SPEEDUP;
+        if detect_ok && census_ok {
+            println!("smoke ok: columnar detection ≥ row-major and sharded census ≥ serial");
             std::process::exit(0);
         }
         eprintln!(
-            "smoke attempt {attempt}/{SMOKE_ATTEMPTS}: columnar detection \
-             {detect_speedup:.2}x below the {SMOKE_MIN_DETECT_SPEEDUP}x gate"
+            "smoke attempt {attempt}/{SMOKE_ATTEMPTS}: detection \
+             {detect_speedup:.2}x (gate {SMOKE_MIN_DETECT_SPEEDUP}x), census \
+             {census_speedup:.2}x (gate {SMOKE_MIN_CENSUS_SPEEDUP}x)"
         );
     }
-    eprintln!(
-        "SMOKE FAIL: columnar detection regressed below the row-major \
-         baseline in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
-    );
+    if !detect_ok {
+        eprintln!(
+            "SMOKE FAIL: columnar detection regressed below the row-major \
+             baseline in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+        );
+    }
+    if !census_ok {
+        eprintln!(
+            "SMOKE FAIL: 4-thread census construction regressed below the \
+             serial baseline in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+        );
+    }
     std::process::exit(1);
 }
 
@@ -374,16 +450,16 @@ fn main() {
     if args.iter().any(|a| a == "smoke") {
         smoke();
     }
-    let json_path = args.iter().position(|a| a == "json").map(|i| {
-        args.get(i + 1)
-            .cloned()
-            .unwrap_or_else(|| "BENCH_kernels.json".to_string())
-    });
+    let json_path = args
+        .iter()
+        .position(|a| a == "json")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(default_json_path));
 
     let mut h = Harness::new();
     bench_distance(&mut h);
     let (build_speedup, detect_speedup) = bench_interned_vs_string(&mut h);
     let (col_build_speedup, col_detect_speedup) = bench_row_vs_column(&mut h);
+    let census_speedup = bench_census(&mut h);
     bench_vio_of_candidate(&mut h);
     bench_equivalence(&mut h);
     bench_lhs_index(&mut h);
@@ -394,6 +470,7 @@ fn main() {
     println!("detection speedup  (string/interned): {detect_speedup:.2}x");
     println!("index build speedup (row/columnar): {col_build_speedup:.2}x");
     println!("detection speedup  (row/columnar): {col_detect_speedup:.2}x");
+    println!("census build speedup (serial/sharded4): {census_speedup:.2}x");
     if let Some(path) = json_path {
         h.write_json(&path).expect("write bench json");
         println!("wrote {path}");

@@ -75,6 +75,34 @@ impl GroupIndexes {
         GroupIndexes { by_lhs }
     }
 
+    /// [`GroupIndexes::build`] with an explicit worker-thread count for
+    /// the underlying [`HashIndex`] builds (see
+    /// [`HashIndex::build_with_threads`]); contents are identical at any
+    /// count.
+    pub fn build_with_threads(rel: &Relation, sigma: &Sigma, threads: usize) -> Self {
+        let mut by_lhs = BTreeMap::new();
+        for n in sigma.iter() {
+            by_lhs
+                .entry(n.lhs().to_vec())
+                .or_insert_with(|| HashIndex::build_with_threads(rel, n.lhs(), threads));
+        }
+        GroupIndexes { by_lhs }
+    }
+
+    /// No indexes at all; populate via [`GroupIndexes::ensure`]. The
+    /// sharded repair frontier gives each scoring worker an empty set so
+    /// FINDV's lazily-built S-set indexes stay worker-private.
+    pub fn empty() -> Self {
+        GroupIndexes {
+            by_lhs: BTreeMap::new(),
+        }
+    }
+
+    /// The attribute lists currently indexed, in sorted order.
+    pub fn attr_lists(&self) -> Vec<Vec<AttrId>> {
+        self.by_lhs.keys().cloned().collect()
+    }
+
     /// The index for a given LHS attribute list.
     pub fn for_lhs(&self, lhs: &[AttrId]) -> &HashIndex {
         &self.by_lhs[lhs]
@@ -339,6 +367,24 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// [`Engine::build`] with an explicit worker-thread count for the
+    /// index builds. Contents are identical at any count.
+    pub fn build_with_threads(rel: &Relation, sigma: &'a Sigma, threads: usize) -> Self {
+        Engine {
+            sigma,
+            indexes: GroupIndexes::build_with_threads(rel, sigma, threads),
+            rules: ConstantRules::build(sigma),
+            variable_ids: minimal_variable_ids(sigma),
+        }
+    }
+
+    /// Decompose into the group indexes, constant rules, and the
+    /// subsumption-minimal variable CFD ids — letting `BATCHREPAIR` reuse
+    /// the detection structures instead of rebuilding them.
+    pub fn into_parts(self) -> (GroupIndexes, ConstantRules, Vec<CfdId>) {
+        (self.indexes, self.rules, self.variable_ids)
+    }
+
     /// The variable normal CFDs of Σ.
     pub fn variable_cfds(&self) -> impl Iterator<Item = &NormalCfd> + '_ {
         self.variable_ids.iter().map(|id| self.sigma.get(*id))
@@ -357,14 +403,6 @@ impl<'a> Engine<'a> {
         after: &W,
     ) {
         self.indexes.update(id, before, after);
-    }
-
-    /// Alias of [`Engine::build`] for call sites that index a restricted
-    /// *view* of a relation (e.g. only the clean tuples) and later resolve
-    /// ids against the full relation — the indexes only store ids, so this
-    /// is sound as long as the view's ids are a subset.
-    pub fn build_owned_view(rel: &Relation, sigma: &'a Sigma) -> Self {
-        Engine::build(rel, sigma)
     }
 
     /// `vio(t)` of a candidate tuple (not necessarily in `rel`): constant

@@ -8,7 +8,8 @@ use std::time::Instant;
 use cfd_cfd::violation::check;
 use cfd_model::diff::dif;
 use cfd_repair::{
-    batch_repair, repair_via_incremental, BatchConfig, IncConfig, Ordering, PickStrategy,
+    batch_repair, repair_via_incremental, BatchConfig, IncConfig, Ordering, Parallelism,
+    PickStrategy,
 };
 
 use crate::args::Args;
@@ -16,7 +17,7 @@ use crate::io::{load_relation, load_sigma, load_weights, save_relation, CliError
 
 pub const USAGE: &str = "cfdclean repair --data D.csv --rules R.cfd --out REPAIRED.csv
                 [--weights W.csv] [--algorithm batch|v-inc|w-inc|l-inc]
-                [--pick global|dependency] [--k N] [--stats]
+                [--pick global|dependency] [--k N] [--threads N] [--stats]
   Compute a repair of D satisfying the rules.
     --data       dirty CSV file
     --rules      CFD rule file
@@ -25,6 +26,9 @@ pub const USAGE: &str = "cfdclean repair --data D.csv --rules R.cfd --out REPAIR
     --algorithm  batch (default) or an IncRepair ordering
     --pick       BatchRepair PICKNEXT strategy (default global)
     --k          IncRepair attribute-set size (default 2)
+    --threads    worker threads for sharded repair setup (default:
+                 CFD_THREADS under the parallel feature, else serial);
+                 the repair is byte-identical at every thread count
     --stats      print repair statistics";
 
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -35,6 +39,10 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let algorithm = args.get("algorithm").unwrap_or("batch").to_string();
     let pick = args.get("pick").unwrap_or("global").to_string();
     let k: usize = args.get_parsed("k", 2)?;
+    let parallelism = match args.get("threads") {
+        Some(_) => Parallelism::threads(args.get_parsed("threads", 1)?),
+        None => Parallelism::default(),
+    };
     let stats = args.switch("stats");
     args.reject_unknown()?;
 
@@ -57,6 +65,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 &sigma,
                 BatchConfig {
                     pick,
+                    parallelism,
                     ..BatchConfig::default()
                 },
             )?;
@@ -82,6 +91,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 IncConfig {
                     k,
                     ordering,
+                    parallelism,
                     ..IncConfig::default()
                 },
             )?;

@@ -109,6 +109,36 @@ fn repair_produces_a_clean_file() {
 }
 
 #[test]
+fn repair_threads_flag_is_byte_identical() {
+    // The sharded repair contract, end to end through the CLI: the same
+    // input repaired at 1, 2, and 8 worker threads writes identical bytes.
+    let s = Scratch::new("repair-threads");
+    generate_workload(&s, 400);
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let file = format!("repaired_t{threads}.csv");
+        let out = run(&[
+            "repair",
+            "--data",
+            &s.path("dirty.csv"),
+            "--rules",
+            &s.path("rules.cfd"),
+            "--weights",
+            &s.path("dirty_weights.csv"),
+            "--out",
+            &s.path(&file),
+            "--threads",
+            threads,
+        ])
+        .unwrap();
+        assert!(out.contains("repaired 400 tuples"), "{out}");
+        outputs.push(std::fs::read(s.path(&file)).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1], "threads=2 diverged from serial");
+    assert_eq!(outputs[0], outputs[2], "threads=8 diverged from serial");
+}
+
+#[test]
 fn repair_incremental_algorithms_also_clean() {
     let s = Scratch::new("repair-inc");
     generate_workload(&s, 400);

@@ -25,7 +25,6 @@ use crate::tuple::TupleView;
 
 /// Relation size below which a parallel build is not worth the thread
 /// spawn overhead.
-#[cfg(feature = "parallel")]
 const PARALLEL_THRESHOLD: usize = 8_192;
 
 /// A hash index on a fixed attribute list `X`.
@@ -72,18 +71,34 @@ impl HashIndex {
         idx
     }
 
-    /// Sharded build over `std::thread::scope`: each worker indexes a
-    /// chunk of the id space into a local map; shards are merged at the
-    /// end. Results are identical to [`HashIndex::build_serial`] up to
-    /// the (unspecified) order of ids within a group.
+    /// Sharded build over `std::thread::scope` with the machine's
+    /// available parallelism. See [`HashIndex::build_with_threads`] for
+    /// the determinism contract.
     #[cfg(feature = "parallel")]
     pub fn build_parallel(rel: &Relation, attrs: &[AttrId]) -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .clamp(1, 8);
+        Self::build_with_threads(rel, attrs, workers)
+    }
+
+    /// Sharded build with an explicit worker count: each worker indexes a
+    /// contiguous chunk of the ascending id space into a local map, and
+    /// chunks are merged in id order. The result is **identical to
+    /// [`HashIndex::build_serial`] including the order of ids within each
+    /// group** (ascending) — repair-layer consumers truncate group walks,
+    /// so group order is part of the determinism contract, not an
+    /// implementation detail. Small relations and `threads <= 1` fall
+    /// back to the serial build. Always compiled — sharding is pure
+    /// `std`; the `parallel` feature only opts the *default* build into
+    /// threads.
+    pub fn build_with_threads(rel: &Relation, attrs: &[AttrId], threads: usize) -> Self {
+        if threads <= 1 || rel.len() < PARALLEL_THRESHOLD {
+            return Self::build_serial(rel, attrs);
+        }
         let ids: Vec<TupleId> = rel.ids().collect();
-        let chunk = ids.len().div_ceil(workers);
+        let chunk = ids.len().div_ceil(threads);
         let maps: Vec<HashMap<IdKey, Vec<TupleId>>> = std::thread::scope(|s| {
             let handles: Vec<_> = ids
                 .chunks(chunk.max(1))
@@ -103,6 +118,9 @@ impl HashIndex {
                 .map(|h| h.join().expect("index shard panicked"))
                 .collect()
         });
+        // Chunks hold disjoint ascending id ranges; appending the shard
+        // maps in chunk order therefore leaves every group's id list in
+        // ascending order, exactly as the serial build produces it.
         let mut map: HashMap<IdKey, Vec<TupleId>> = HashMap::new();
         for local in maps {
             for (k, mut v) in local {
@@ -298,6 +316,26 @@ mod tests {
             x.sort();
             y.sort();
             assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn sharded_build_preserves_group_order() {
+        // Not just the same sets: FINDV truncates group walks, so the
+        // ascending id order inside each group is part of the contract.
+        let schema = Schema::new("r", &["k", "v"]).unwrap();
+        let mut r = Relation::new(schema);
+        for i in 0..20_000u32 {
+            r.insert(Tuple::from_iter([format!("k{}", i % 257), format!("v{i}")]))
+                .unwrap();
+        }
+        let ser = HashIndex::build_serial(&r, &[AttrId(0)]);
+        for threads in [2, 3, 8] {
+            let par = HashIndex::build_with_threads(&r, &[AttrId(0)], threads);
+            assert_eq!(par.group_count(), ser.group_count(), "threads={threads}");
+            for (k, ids) in ser.groups() {
+                assert_eq!(par.get(k.as_slice()), ids, "threads={threads}");
+            }
         }
     }
 

@@ -23,20 +23,25 @@
 //! Violation state is tracked on a working relation holding *effective*
 //! values (targets materialized as they are fixed), with the original
 //! relation kept aside for cost computation.
+//!
+//! Parallelism: the group census and the initial `PICKNEXT` frontier are
+//! built sharded by LHS-key hash range ([`crate::shard`]) under the
+//! [`Parallelism`] carried in [`BatchConfig`]; the resolution loop itself
+//! stays sequential (every fix mutates shared state), and the shard
+//! machinery guarantees byte-identical repairs at every thread count.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
-use cfd_cfd::violation::{
-    detect_with_engine, minimal_variable_ids, ConstantRules, Engine, GroupIndexes,
-};
+use cfd_cfd::violation::{detect_with_engine, ConstantRules, Engine, GroupIndexes};
 use cfd_cfd::{CfdId, NormalCfd, Sigma};
-use cfd_model::{AttrId, IdKey, Relation, TupleId, TupleView, ValueId, ValuePool, NULL_ID};
+use cfd_model::{AttrId, Relation, TupleId, ValueId, ValuePool, NULL_ID};
 
 use crate::cost::{class_assign_cost_ids, repair_cost};
 use crate::depgraph::DepGraph;
 use crate::distance::DistanceCache;
 use crate::equivalence::{Cell, EqClasses, Target};
+use crate::shard::{self, Candidate, GroupCensus, Parallelism};
 use crate::RepairError;
 
 /// How `PICKNEXT` chooses the next violation to resolve.
@@ -82,6 +87,11 @@ pub struct BatchConfig {
     pub findv_candidates: usize,
     /// Free/free merge winner selection; defaults to group majority.
     pub merge_pricing: MergePricing,
+    /// Worker threads for census construction and initial `PICKNEXT`
+    /// scoring. Repairs are byte-identical at every thread count; the
+    /// default resolves `CFD_THREADS` under the `parallel` feature and is
+    /// serial otherwise.
+    pub parallelism: Parallelism,
 }
 
 impl Default for BatchConfig {
@@ -90,6 +100,7 @@ impl Default for BatchConfig {
             pick: PickStrategy::GlobalBest,
             findv_candidates: 32,
             merge_pricing: MergePricing::GroupMajority,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -146,169 +157,6 @@ enum Violation {
     Variable { partner: TupleId },
 }
 
-/// One value bucket of a group: the live carriers of a single RHS value
-/// plus their weight sum, maintained incrementally so group-majority
-/// decisions are O(distinct values) instead of O(|group|).
-#[derive(Default)]
-struct ValueBucket {
-    /// Ordered so carrier enumeration within a bucket is deterministic.
-    /// Bucket order itself is `ValueId` (interning) order — the
-    /// interning-history-sensitive decisions (merge winner, dirty-mark
-    /// majority, partner choice) each re-anchor to value order or tuple
-    /// id explicitly.
-    ids: BTreeSet<TupleId>,
-    weight: f64,
-}
-
-type GroupMap = HashMap<IdKey, std::collections::BTreeMap<ValueId, ValueBucket>>;
-
-/// Per-(variable-shape, group-key) census of non-null RHS values. Gives
-/// `violates` an O(1) fast path — "this group holds at most one distinct
-/// value, nothing to do" — where a scan would be O(|group|). Low-cardinality
-/// FDs (CTY → VAT has five groups) make that scan O(|D|) per stale dirty
-/// entry, turning the whole repair quadratic without the census. The same
-/// buckets drive group-majority merge pricing (`plan_group_merge`).
-struct GroupCensus {
-    /// One census per distinct (lhs attrs, rhs attr) among variable CFDs:
-    /// group key → RHS value → the live tuple ids currently carrying it.
-    shapes: Vec<(Vec<AttrId>, AttrId, GroupMap)>,
-}
-
-impl GroupCensus {
-    fn build(rel: &Relation, variable: &[(Vec<AttrId>, AttrId)]) -> Self {
-        let mut shapes: Vec<(Vec<AttrId>, AttrId, GroupMap)> = variable
-            .iter()
-            .map(|(lhs, rhs)| (lhs.clone(), *rhs, HashMap::new()))
-            .collect();
-        // Columnar fast path: one pass per shape over exactly the shape's
-        // LHS/RHS/weight column slices — the census walk never touches
-        // attributes outside the shape.
-        if rel.schema().arity() == 0 || rel.column(AttrId(0)).is_some() {
-            let live: Vec<TupleId> = rel.ids().collect();
-            for (lhs, rhs, map) in &mut shapes {
-                let lhs_cols: Vec<&[ValueId]> = lhs
-                    .iter()
-                    .map(|a| rel.column(*a).expect("columnar layout"))
-                    .collect();
-                let rhs_col = rel.column(*rhs).expect("columnar layout");
-                let w_col = rel.weight_column(*rhs).expect("columnar layout");
-                for id in &live {
-                    let slot = id.index();
-                    let v = rhs_col[slot];
-                    if v.is_null() {
-                        continue;
-                    }
-                    let key: IdKey = lhs_cols.iter().map(|c| c[slot]).collect();
-                    let bucket = map.entry(key).or_default().entry(v).or_default();
-                    bucket.ids.insert(*id);
-                    bucket.weight += w_col[slot];
-                }
-            }
-            return GroupCensus { shapes };
-        }
-        for (id, t) in rel.iter() {
-            for (lhs, rhs, map) in &mut shapes {
-                let v = t.id(*rhs);
-                if v.is_null() {
-                    continue;
-                }
-                let bucket = map
-                    .entry(t.project_key(lhs))
-                    .or_default()
-                    .entry(v)
-                    .or_default();
-                bucket.ids.insert(id);
-                bucket.weight += t.weight(*rhs);
-            }
-        }
-        GroupCensus { shapes }
-    }
-
-    fn shape(&self, lhs: &[AttrId], rhs: AttrId) -> Option<&GroupMap> {
-        self.shapes
-            .iter()
-            .find(|(l, r, _)| l == lhs && *r == rhs)
-            .map(|(_, _, map)| map)
-    }
-
-    /// Number of distinct non-null RHS values in `t`'s group under the
-    /// shape `(lhs, rhs)`.
-    fn distinct<V: TupleView + ?Sized>(&self, lhs: &[AttrId], rhs: AttrId, t: &V) -> usize {
-        self.shape(lhs, rhs)
-            .and_then(|map| map.get(&t.project_key(lhs)))
-            .map(|vals| vals.len())
-            .unwrap_or(0)
-    }
-
-    /// All value buckets of `t`'s group under the shape `(lhs, rhs)`.
-    /// `None` when the shape or group is untracked (e.g. every carrier
-    /// is null).
-    fn value_buckets<V: TupleView + ?Sized>(
-        &self,
-        lhs: &[AttrId],
-        rhs: AttrId,
-        t: &V,
-    ) -> Option<&std::collections::BTreeMap<ValueId, ValueBucket>> {
-        self.shape(lhs, rhs)
-            .and_then(|map| map.get(&t.project_key(lhs)))
-    }
-
-    /// Tuple ids in `t`'s group carrying a value different from `v`,
-    /// iterated value-bucket by value-bucket — O(distinct values) to find
-    /// the first candidate instead of O(|group|).
-    fn conflicting_ids<'c, V: TupleView + ?Sized>(
-        &'c self,
-        lhs: &[AttrId],
-        rhs: AttrId,
-        t: &V,
-        v: ValueId,
-    ) -> impl Iterator<Item = TupleId> + 'c {
-        self.shape(lhs, rhs)
-            .and_then(|map| map.get(&t.project_key(lhs)))
-            .into_iter()
-            .flat_map(move |vals| {
-                vals.iter()
-                    .filter(move |(val, _)| **val != v)
-                    .flat_map(|(_, bucket)| bucket.ids.iter().copied())
-            })
-    }
-
-    /// Record an in-place update of one tuple.
-    fn update(&mut self, id: TupleId, before: &cfd_model::Tuple, after: &cfd_model::Tuple) {
-        for (lhs, rhs, map) in &mut self.shapes {
-            let key_changed = !before.agrees_on(after, lhs);
-            let val_changed = before.id(*rhs) != after.id(*rhs);
-            if !key_changed && !val_changed {
-                continue;
-            }
-            let old_v = before.id(*rhs);
-            if !old_v.is_null() {
-                if let Some(vals) = map.get_mut(&before.project_key(lhs)) {
-                    if let Some(bucket) = vals.get_mut(&old_v) {
-                        if bucket.ids.remove(&id) {
-                            bucket.weight -= before.weight(*rhs);
-                        }
-                        if bucket.ids.is_empty() {
-                            vals.remove(&old_v);
-                        }
-                    }
-                }
-            }
-            let new_v = after.id(*rhs);
-            if !new_v.is_null() {
-                let bucket = map
-                    .entry(after.project_key(lhs))
-                    .or_default()
-                    .entry(new_v)
-                    .or_default();
-                if bucket.ids.insert(id) {
-                    bucket.weight += after.weight(*rhs);
-                }
-            }
-        }
-    }
-}
-
 struct BatchState<'a> {
     sigma: &'a Sigma,
     orig: &'a Relation,
@@ -328,14 +176,20 @@ struct BatchState<'a> {
     /// an innocent partner only with the corrupted tuple).
     initial_vio: std::collections::HashMap<TupleId, usize>,
     /// Lazy priority heap for [`PickStrategy::GlobalBest`]: entries carry
-    /// the last-known fix cost (as ordered bits) and are re-verified and
-    /// re-priced when popped.
-    heap: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// the last-known [`HeapKey`] and are re-verified and re-priced when
+    /// popped. Seeded by the sharded frontier scoring (`seed_heap`).
+    heap: BinaryHeap<Reverse<HeapKey>>,
     /// Memoized `dis(v, v')` over id pairs.
     dcache: DistanceCache,
     stats: BatchStats,
     config: BatchConfig,
 }
+
+/// The total order `PICKNEXT` resolves under — [`Candidate::key`]'s
+/// `(cost, value frequency, value id, CFD, tuple)` — shared by the
+/// frontier merge and the lazy heap so serial and sharded runs pop fixes
+/// in exactly the same sequence.
+type HeapKey = (u64, u64, u32, u32, u32);
 
 /// Map a non-negative cost to an order-preserving integer key.
 fn cost_key(cost: f64) -> u64 {
@@ -344,6 +198,108 @@ fn cost_key(cost: f64) -> u64 {
     } else {
         cost.max(0.0).to_bits()
     }
+}
+
+/// The tie-break metadata of a planned fix: `(freq, value)` where `freq`
+/// is `u64::MAX − use_count(value)` (globally corroborated constants sort
+/// first among equal costs) and nulls/winnerless merges rank last. A pure
+/// function of the fix, never of scoring order.
+fn fix_meta(fix: &Fix) -> (u64, u32) {
+    let v = match fix {
+        Fix::SetConst { v, .. } => *v,
+        Fix::SetNull { .. } => NULL_ID,
+        Fix::Merge { winner, .. } => winner.unwrap_or(NULL_ID),
+    };
+    if v.is_null() {
+        (u64::MAX, v.0)
+    } else {
+        (u64::MAX - ValuePool::global().use_count(v), v.0)
+    }
+}
+
+/// The read-mostly planning context `PICKNEXT`/`CFD-RESOLVE` run against:
+/// shared references to the frozen inputs plus the caller's equivalence
+/// classes and memo caches. [`BatchState`] materializes one over its own
+/// fields for the sequential loop; the sharded frontier scoring gives each
+/// worker a private one (fresh singleton classes, empty index cache, empty
+/// distance memo) over the same shared state — the caches are semantically
+/// transparent, so shard plans equal serial plans bit for bit.
+struct Planner<'p> {
+    orig: &'p Relation,
+    work: &'p Relation,
+    rules: &'p ConstantRules,
+    census: &'p GroupCensus,
+    initial_vio: &'p HashMap<TupleId, usize>,
+    config: &'p BatchConfig,
+    eq: &'p mut EqClasses,
+    indexes: &'p mut GroupIndexes,
+    dcache: &'p mut DistanceCache,
+}
+
+/// Score one shard of the initial frontier: verify and price every dirty
+/// `(CFD, tuple)` pair assigned to this shard against the frozen t=0
+/// state. `eq_proto` is the all-singleton initial class grid; each worker
+/// clones it so path compression and FINDV index builds stay private.
+/// Returns the priced candidates plus the attribute lists whose S-set
+/// indexes the scoring materialized (the caller replays those `ensure`s on
+/// the main state so later lazy builds are thread-count-independent).
+#[allow(clippy::too_many_arguments)] // exactly the shared planning state
+fn score_shard(
+    sigma: &Sigma,
+    orig: &Relation,
+    work: &Relation,
+    rules: &ConstantRules,
+    census: &GroupCensus,
+    initial_vio: &HashMap<TupleId, usize>,
+    config: &BatchConfig,
+    eq_proto: &EqClasses,
+    pairs: &[(u32, u32)],
+) -> (Vec<Candidate>, Vec<Vec<AttrId>>) {
+    let mut eq = eq_proto.clone();
+    let mut indexes = GroupIndexes::empty();
+    let mut dcache = DistanceCache::new();
+    let mut planner = Planner {
+        orig,
+        work,
+        rules,
+        census,
+        initial_vio,
+        config,
+        eq: &mut eq,
+        indexes: &mut indexes,
+        dcache: &mut dcache,
+    };
+    let mut out = Vec::with_capacity(pairs.len());
+    for &(cfd, tid) in pairs {
+        let n = sigma.get(CfdId(cfd)).clone();
+        let planned = planner
+            .violates(&n, TupleId(tid))
+            .and_then(|v| planner.plan_fix(&n, TupleId(tid), &v));
+        let cand = match planned {
+            Some((fix, cost)) => {
+                let (freq, value) = fix_meta(&fix);
+                Candidate {
+                    cost: cost_key(cost),
+                    freq,
+                    value,
+                    cfd,
+                    tid,
+                }
+            }
+            // Defensive: a pair with no verified plan (impossible at t=0
+            // by the violation definitions) pops last, re-verifies, and is
+            // dropped — exactly what the lazy loop would do.
+            None => Candidate {
+                cost: u64::MAX,
+                freq: u64::MAX,
+                value: u32::MAX,
+                cfd,
+                tid,
+            },
+        };
+        out.push(cand);
+    }
+    (out, indexes.attr_lists())
 }
 
 impl<'a> BatchState<'a> {
@@ -356,7 +312,7 @@ impl<'a> BatchState<'a> {
         let eq = EqClasses::new(slots, arity, |tid, a| {
             orig.tuple(tid).map(|t| t.weight(a)).unwrap_or(0.0)
         });
-        let engine = Engine::build(&work, sigma);
+        let engine = Engine::build_with_threads(&work, sigma, config.parallelism.get());
         let report = detect_with_engine(&work, sigma, &engine);
         let dirty = report
             .per_cfd
@@ -364,27 +320,19 @@ impl<'a> BatchState<'a> {
             .map(|ids| ids.iter().copied().collect())
             .collect();
         let initial_vio = report.per_tuple.clone();
-        let variable_ids = minimal_variable_ids(sigma);
-        let shapes: Vec<(Vec<AttrId>, AttrId)> = {
-            let mut seen = Vec::new();
-            for id in &variable_ids {
-                let n = sigma.get(*id);
-                let shape = (n.lhs().to_vec(), n.rhs_attr());
-                if !seen.contains(&shape) {
-                    seen.push(shape);
-                }
-            }
-            seen
-        };
-        let census = GroupCensus::build(&work, &shapes);
-        let indexes = GroupIndexes::build(&work, sigma);
+        // Reuse the detection engine's structures instead of rebuilding:
+        // the group indexes and hashed constant rules are exactly what the
+        // repair loop needs.
+        let (indexes, rules, variable_ids) = engine.into_parts();
+        let shapes = shard::variable_shapes(sigma);
+        let census = GroupCensus::build(&work, &shapes, &config.parallelism);
         let mut state = BatchState {
             sigma,
             orig,
             work,
             eq,
             indexes,
-            rules: ConstantRules::build(sigma),
+            rules,
             variable_ids,
             census,
             dirty,
@@ -395,16 +343,123 @@ impl<'a> BatchState<'a> {
             config,
         };
         if state.config.pick == PickStrategy::GlobalBest {
-            for (i, ids) in state.dirty.iter().enumerate() {
-                for id in ids {
-                    // optimistic key 0: priced properly on first pop
-                    state.heap.push(Reverse((0, i as u32, id.0)));
-                }
-            }
+            state.seed_heap();
         }
         state
     }
 
+    /// The planning view over this state's own fields.
+    fn planner(&mut self) -> Planner<'_> {
+        Planner {
+            orig: self.orig,
+            work: &self.work,
+            rules: &self.rules,
+            census: &self.census,
+            initial_vio: &self.initial_vio,
+            config: &self.config,
+            eq: &mut self.eq,
+            indexes: &mut self.indexes,
+            dcache: &mut self.dcache,
+        }
+    }
+
+    /// Seed the `PICKNEXT` heap with the fully priced initial frontier.
+    ///
+    /// Dirty `(CFD, tuple)` pairs are partitioned by hashing the tuple's
+    /// LHS key under the CFD's shape ([`shard::shard_of`]) into
+    /// `parallelism` ranges; each range is scored by a `std::thread::scope`
+    /// worker against the frozen t=0 state, and the shard frontiers merge
+    /// under [`Candidate::key`]'s total order. Scoring is a pure function
+    /// of relation content, so the heap starts identical at every thread
+    /// count — and the resolution loop after it is sequential, making the
+    /// whole repair byte-identical to a serial run.
+    fn seed_heap(&mut self) {
+        let pairs: Vec<(u32, u32)> = self
+            .dirty
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ids)| ids.iter().map(move |id| (i as u32, id.0)))
+            .collect();
+        if pairs.is_empty() {
+            return;
+        }
+        let threads = self.config.parallelism.get().min(pairs.len());
+        let mut shards: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
+        for (cfd, tid) in pairs {
+            let n = self.sigma.get(CfdId(cfd));
+            let key = self
+                .work
+                .tuple(TupleId(tid))
+                .expect("dirty tuple is live")
+                .project_key(n.lhs());
+            shards[shard::shard_of(key.as_slice(), threads)].push((cfd, tid));
+        }
+        let (sigma, orig, work) = (self.sigma, self.orig, &self.work);
+        let (rules, census) = (&self.rules, &self.census);
+        let (initial_vio, config, eq_proto) = (&self.initial_vio, &self.config, &self.eq);
+        let scored: Vec<(Vec<Candidate>, Vec<Vec<AttrId>>)> = if threads <= 1 {
+            vec![score_shard(
+                sigma,
+                orig,
+                work,
+                rules,
+                census,
+                initial_vio,
+                config,
+                eq_proto,
+                &shards[0],
+            )]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .filter(|pairs| !pairs.is_empty())
+                    .map(|pairs| {
+                        s.spawn(move || {
+                            score_shard(
+                                sigma,
+                                orig,
+                                work,
+                                rules,
+                                census,
+                                initial_vio,
+                                config,
+                                eq_proto,
+                                pairs,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("frontier shard panicked"))
+                    .collect()
+            })
+        };
+        let mut frontiers = Vec::with_capacity(scored.len());
+        let mut ensured: BTreeSet<Vec<AttrId>> = BTreeSet::new();
+        for (candidates, attr_lists) in scored {
+            frontiers.push(candidates);
+            ensured.extend(attr_lists);
+        }
+        // Replay the S-set index builds the scoring touched on the main
+        // state, at t=0: later lazy `ensure` calls must see identical
+        // group orders no matter how many workers scored the frontier.
+        for attrs in &ensured {
+            self.indexes.ensure(&self.work, attrs);
+        }
+        for cand in shard::merge_frontiers(frontiers) {
+            self.heap.push(Reverse(cand.key()));
+        }
+    }
+
+    /// Effective value of a cell (target materialized into `work`).
+    fn eff(&self, t: TupleId, a: AttrId) -> ValueId {
+        self.work.tuple(t).expect("live tuple").id(a)
+    }
+}
+
+impl<'p> Planner<'p> {
     /// Effective value of a cell (target materialized into `work`).
     fn eff(&self, t: TupleId, a: AttrId) -> ValueId {
         self.work.tuple(t).expect("live tuple").id(a)
@@ -490,7 +545,7 @@ impl<'a> BatchState<'a> {
         s_attrs.sort();
         s_attrs.dedup();
         let t = self.work.tuple(tid).expect("live").to_tuple();
-        self.indexes.ensure(&self.work, &s_attrs);
+        self.indexes.ensure(self.work, &s_attrs);
         let s_group: Vec<TupleId> = self
             .indexes
             .get(&s_attrs)
@@ -598,7 +653,7 @@ impl<'a> BatchState<'a> {
                 (w, self.orig_id(*c))
             })
             .collect();
-        class_assign_cost_ids(members.iter().copied(), v, &mut self.dcache)
+        class_assign_cost_ids(members.iter().copied(), v, self.dcache)
     }
 
     /// Plan the LHS-change resolution shared by cases 1.2 and 2.2: try a
@@ -911,7 +966,9 @@ impl<'a> BatchState<'a> {
             (towards_v2, Some(v2), r2)
         }
     }
+}
 
+impl<'a> BatchState<'a> {
     /// Write a value into a cell of `work`, updating indexes and dirty
     /// sets (§4.2's `Dirty_Tuples` maintenance).
     fn write_cell(&mut self, cell: Cell, v: ValueId) {
@@ -938,7 +995,8 @@ impl<'a> BatchState<'a> {
             if self.dirty[id.index()].insert(cell.tuple)
                 && self.config.pick == PickStrategy::GlobalBest
             {
-                self.heap.push(Reverse((0, id.0, cell.tuple.0)));
+                // optimistic minimum key: priced properly on first pop
+                self.heap.push(Reverse((0, 0, 0, id.0, cell.tuple.0)));
             }
         }
         // Variable CFDs mentioning the changed attribute: this tuple and
@@ -981,7 +1039,7 @@ impl<'a> BatchState<'a> {
                 if self.dirty[psi.index()].insert(member)
                     && self.config.pick == PickStrategy::GlobalBest
                 {
-                    self.heap.push(Reverse((0, psi.0, member.0)));
+                    self.heap.push(Reverse((0, 0, 0, psi.0, member.0)));
                 }
             }
         }
@@ -1043,8 +1101,8 @@ impl<'a> BatchState<'a> {
                 } else if let Some(w) = winner {
                     Some(w)
                 } else {
-                    let ca = self.assign_cost(a, vb); // move side A → vb
-                    let cb = self.assign_cost(b, va); // move side B → va
+                    let ca = self.planner().assign_cost(a, vb); // move side A → vb
+                    let cb = self.planner().assign_cost(b, va); // move side B → va
                     Some(if ca <= cb { vb } else { va })
                 };
                 // The merged class's value, mirroring the target lattice
@@ -1104,7 +1162,7 @@ impl<'a> BatchState<'a> {
         loop {
             let tid = *self.dirty[id.index()].iter().next()?;
             let n = self.sigma.get(id).clone();
-            match self.violates(&n, tid) {
+            match self.planner().violates(&n, tid) {
                 Some(v) => return Some((tid, v)),
                 None => {
                     self.dirty[id.index()].remove(&tid);
@@ -1118,32 +1176,34 @@ impl<'a> BatchState<'a> {
     /// entry whose price is still current. Returns false when no
     /// violations remain.
     fn step_global(&mut self) -> Result<bool, RepairError> {
-        while let Some(Reverse((key, cfd_raw, tid_raw))) = self.heap.pop() {
+        while let Some(Reverse(key)) = self.heap.pop() {
+            let (_, _, _, cfd_raw, tid_raw) = key;
             let id = CfdId(cfd_raw);
             let tid = TupleId(tid_raw);
             if !self.dirty[id.index()].contains(&tid) {
                 continue; // already resolved (stale duplicate)
             }
             let n = self.sigma.get(id).clone();
-            let violation = match self.violates(&n, tid) {
+            let violation = match self.planner().violates(&n, tid) {
                 Some(v) => v,
                 None => {
                     self.dirty[id.index()].remove(&tid);
                     continue;
                 }
             };
-            let (fix, cost) = match self.plan_fix(&n, tid, &violation) {
+            let (fix, cost) = match self.planner().plan_fix(&n, tid, &violation) {
                 Some(planned) => planned,
                 None => {
                     self.dirty[id.index()].remove(&tid);
                     continue;
                 }
             };
-            let price = cost_key(cost);
+            let (freq, value) = fix_meta(&fix);
+            let price: HeapKey = (cost_key(cost), freq, value, cfd_raw, tid_raw);
             if price > key {
                 // Costs rose since this entry was queued: re-queue at the
                 // correct priority and look at the next candidate.
-                self.heap.push(Reverse((price, cfd_raw, tid_raw)));
+                self.heap.push(Reverse(price));
                 continue;
             }
             if std::env::var_os("CFD_DEBUG_FIXES").is_some() {
@@ -1167,7 +1227,7 @@ impl<'a> BatchState<'a> {
             self.apply_fix(fix)?;
             // The tuple may still violate this CFD with other partners:
             // keep it queued for re-verification at the same price.
-            self.heap.push(Reverse((price, cfd_raw, tid_raw)));
+            self.heap.push(Reverse(price));
             return Ok(true);
         }
         Ok(false)
@@ -1183,7 +1243,7 @@ impl<'a> BatchState<'a> {
             }
             while let Some((tid, v)) = self.next_violation_of(id) {
                 let n = self.sigma.get(id).clone();
-                match self.plan_fix(&n, tid, &v) {
+                match self.planner().plan_fix(&n, tid, &v) {
                     Some((fix, _)) => {
                         self.apply_fix(fix)?;
                         any = true;

@@ -30,6 +30,7 @@ use crate::cluster::ValueIndex;
 use crate::cost::{change_cost_ids, tuple_cost};
 use crate::distance::DistanceCache;
 use crate::lhs_index::LhsIndexes;
+use crate::shard::Parallelism;
 use crate::RepairError;
 
 /// Tuple-processing order for `INCREPAIR` (§5.2).
@@ -80,6 +81,11 @@ pub struct IncConfig {
     /// of applying certain fixes of equal edit distance. 2.0 makes certain
     /// values strictly preferred whenever one exists at comparable cost.
     pub null_cost_factor: f64,
+    /// Worker threads for index construction and the V-INCREPAIR ordering
+    /// scan. Repairs are byte-identical at every thread count; the default
+    /// resolves `CFD_THREADS` under the `parallel` feature and is serial
+    /// otherwise.
+    pub parallelism: Parallelism,
 }
 
 impl Default for IncConfig {
@@ -92,6 +98,7 @@ impl Default for IncConfig {
             restrict_to_failing: true,
             vio_penalty: 0.5,
             null_cost_factor: 2.0,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -167,8 +174,12 @@ impl<'a> IncState<'a> {
         for id in pending {
             active_view.delete(*id)?;
         }
-        let engine = Engine::build_owned_view(&active_view, sigma);
-        let lhs = LhsIndexes::build(&active_view, sigma);
+        // Index only the active view (see the `engine` field docs); the
+        // indexes store ids, so resolving them against the full `work` is
+        // sound because the view's ids are a subset.
+        let threads = config.parallelism.get();
+        let engine = Engine::build_with_threads(&active_view, sigma, threads);
+        let lhs = LhsIndexes::build_with(&active_view, sigma, &config.parallelism);
         let adom = ActiveDomain::of_relation(&active_view);
         let arity = work.schema().arity();
         Ok(IncState {
@@ -458,16 +469,34 @@ impl<'a> IncState<'a> {
                 // vio(t) against the full database (active + pending),
                 // ascending; ties broken by descending total weight so the
                 // trusted side of a conflicting pending pair enters the
-                // repair first and anchors its group.
-                let full = Engine::build(&self.work, self.sigma);
-                let mut keyed: Vec<(usize, i64, TupleId)> = pending
-                    .iter()
-                    .map(|id| {
-                        let t = self.work.tuple(*id).expect("pending tuple is live");
-                        let wt = (t.total_weight() * 1e6) as i64;
-                        (full.vio_of(&self.work, &t, Some(*id)), -wt, *id)
+                // repair first and anchors its group. Keys are computed
+                // per tuple against frozen state, so chunks fan out across
+                // threads and concatenate to the same vector at every
+                // thread count; the sort is total (ids are unique).
+                let threads = self.config.parallelism.get();
+                let full = Engine::build_with_threads(&self.work, self.sigma, threads);
+                let key_of = |id: TupleId| {
+                    let t = self.work.tuple(id).expect("pending tuple is live");
+                    let wt = (t.total_weight() * 1e6) as i64;
+                    (full.vio_of(&self.work, &t, Some(id)), -wt, id)
+                };
+                let mut keyed: Vec<(usize, i64, TupleId)> = if threads <= 1 || pending.len() < 64 {
+                    pending.iter().map(|id| key_of(*id)).collect()
+                } else {
+                    let chunk = pending.len().div_ceil(threads);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = pending
+                            .chunks(chunk.max(1))
+                            .map(|part| {
+                                s.spawn(|| part.iter().map(|id| key_of(*id)).collect::<Vec<_>>())
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("ordering shard panicked"))
+                            .collect()
                     })
-                    .collect();
+                };
                 keyed.sort();
                 for (slot, (_, _, id)) in pending.iter_mut().zip(keyed) {
                     *slot = id;

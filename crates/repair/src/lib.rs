@@ -18,7 +18,11 @@
 //! Supporting machinery: the Damerau–Levenshtein [`distance`] kernel, the
 //! §3.2 [`cost`] model, [`equivalence`] classes with monotone targets,
 //! [`lhs_index`] for O(1) constraint validation against a clean repair,
-//! [`cluster`] for nearest-value enumeration, and the CFD [`depgraph`].
+//! [`cluster`] for nearest-value enumeration, the CFD [`depgraph`], and
+//! the [`shard`] module — LHS-key-hash partitioning, per-shard group
+//! censuses, and the deterministic frontier merge that let `BATCHREPAIR`'s
+//! setup fan out across threads ([`Parallelism`]) while staying
+//! byte-identical to a serial run.
 //!
 //! Both repair problems are NP-complete (the paper's Corollaries 4.1/5.1,
 //! via Bohannon et al. 2005 and distance-SAT); the algorithms here are the
@@ -34,11 +38,13 @@ pub mod equivalence;
 pub mod incremental;
 pub mod ind_repair;
 pub mod lhs_index;
+pub mod shard;
 pub mod subset;
 
 pub use batch::{batch_repair, BatchConfig, BatchOutcome, BatchStats, MergePricing, PickStrategy};
 pub use incremental::{inc_repair, IncConfig, IncOutcome, Ordering};
 pub use ind_repair::{repair_ind, repair_inds, IndRepairConfig, IndRepairStats};
+pub use shard::Parallelism;
 pub use subset::{consistent_subset, repair_via_incremental};
 
 /// Errors surfaced by the repair algorithms.

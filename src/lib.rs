@@ -44,9 +44,16 @@
 //! seedable PRNG (`cfd-prng`) backing the generator and the randomized
 //! test suites.
 //!
-//! The `parallel` feature shards index builds and full-relation violation
-//! scans across threads (`std::thread::scope`) — cheap to fan out now
-//! that index keys are `Copy` ids.
+//! The `parallel` feature shards index builds, full-relation violation
+//! scans, and the repair layer's setup — `BATCHREPAIR`'s group census
+//! and initial `PICKNEXT` frontier, `INCREPAIR`'s ordering scan — across
+//! threads (`std::thread::scope`), cheap to fan out now that keys are
+//! `Copy` ids over `Sync` column slices. Sharding partitions by LHS-key
+//! hash range and merges under a total, seed-independent order
+//! ([`repair::shard`]), so repairs are **byte-identical at every thread
+//! count** ([`repair::Parallelism`], `CFD_THREADS`, CLI `--threads`); a
+//! 300-trial differential suite and a CI thread-count matrix pin the
+//! guarantee.
 //!
 //! ## Example
 //!

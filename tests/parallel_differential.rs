@@ -1,0 +1,221 @@
+//! Serial-vs-sharded differential conformance suite.
+//!
+//! The sharded repair layer (`cfd_repair::shard`) fans census
+//! construction and `PICKNEXT` frontier scoring out across threads; this
+//! harness is the proof that thread count can never leak into results.
+//! Every trial drives an *identical* workload through the serial
+//! reference ([`Parallelism::serial`]) and through explicit 1/2/8-thread
+//! configurations, asserting bit-identical outcomes:
+//!
+//! * `BATCHREPAIR` under **both** pickers (`GlobalBest`,
+//!   `DependencyOrdered`) produces identical repairs — values, weights,
+//!   liveness — and identical stats (steps, merges, consts, nulls, and
+//!   the exact `f64` cost bits);
+//! * `INCREPAIR` over a clean base produces identical repairs, delta ids,
+//!   and stats.
+//!
+//! Mirrors `tests/columnar_differential.rs`: seeded trials via
+//! `cfd_prng`, failures reproduce exactly from the seed. 300 trials total
+//! (200 batch × both pickers + 100 incremental), run under both default
+//! and `parallel` feature sets — explicit thread counts spawn real
+//! workers either way. The CI thread-count matrix additionally runs the
+//! whole suite under `CFD_THREADS=1,2,8`, which flows into every
+//! *default*-config repair in the repo (golden fixtures included).
+
+use cfd_prng::{trials, ChaCha8Rng, Rng};
+
+use cfdclean::cfd::pattern::{PatternRow, PatternValue};
+use cfdclean::cfd::{Cfd, Sigma};
+use cfdclean::model::{AttrId, Relation, Schema, Tuple, TupleId, Value};
+use cfdclean::repair::{
+    batch_repair, inc_repair, BatchConfig, IncConfig, Parallelism, PickStrategy,
+};
+
+const ARITY: usize = 4;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn schema() -> Schema {
+    Schema::new("par", &["a", "b", "c", "d"]).unwrap()
+}
+
+/// A small value universe keeps collision (and thus violation) rates high.
+fn rand_value(rng: &mut ChaCha8Rng) -> Value {
+    if rng.gen_range(0..6u32) == 0 {
+        Value::Null
+    } else {
+        Value::str(format!("p{}", rng.gen_range(0..6u32)))
+    }
+}
+
+fn rand_tuple(rng: &mut ChaCha8Rng) -> Tuple {
+    let values: Vec<Value> = (0..ARITY).map(|_| rand_value(rng)).collect();
+    let weights: Vec<f64> = (0..ARITY)
+        .map(|_| (rng.gen_range(0..=10u32) as f64) / 10.0)
+        .collect();
+    Tuple::with_weights(values, weights)
+}
+
+/// Random Σ mixing a wildcard FD row with constant rows, like the paper's
+/// tableaus. Multi-attribute LHS lists are included so the shard
+/// partitioner sees compound keys.
+fn rand_sigma(rng: &mut ChaCha8Rng, schema: &Schema) -> Sigma {
+    let n = rng.gen_range(1..=3usize);
+    let mut cfds = Vec::new();
+    for i in 0..n {
+        let l = rng.gen_range(0..ARITY);
+        let mut r = rng.gen_range(0..ARITY);
+        if l == r {
+            r = (r + 1) % ARITY;
+        }
+        let wide = rng.gen_bool(0.3);
+        let lhs: Vec<AttrId> = if wide {
+            let l2 = (l + 1 + usize::from(r == (l + 1) % ARITY)) % ARITY;
+            let mut v = vec![AttrId(l as u16), AttrId(l2 as u16)];
+            v.sort();
+            v.dedup();
+            v.retain(|a| a.index() != r);
+            if v.is_empty() {
+                vec![AttrId(l as u16)]
+            } else {
+                v
+            }
+        } else {
+            vec![AttrId(l as u16)]
+        };
+        let pat = |rng: &mut ChaCha8Rng| {
+            if rng.gen_bool(0.5) {
+                PatternValue::Const(Value::str(format!("p{}", rng.gen_range(0..4u32))))
+            } else {
+                PatternValue::Wildcard
+            }
+        };
+        let row = PatternRow::new(lhs.iter().map(|_| pat(rng)).collect(), vec![pat(rng)]);
+        cfds.push(Cfd::new(&format!("phi{i}"), lhs, vec![AttrId(r as u16)], vec![row]).unwrap());
+    }
+    Sigma::normalize(schema.clone(), cfds).unwrap()
+}
+
+fn rand_relation(rng: &mut ChaCha8Rng) -> Relation {
+    let mut rel = Relation::new(schema());
+    for _ in 0..rng.gen_range(2..14usize) {
+        rel.insert(rand_tuple(rng)).unwrap();
+    }
+    // A few tombstones so the shard walks see a non-dense id space.
+    for _ in 0..rng.gen_range(0..3usize) {
+        let id = TupleId(rng.gen_range(0..rel.slot_count() as u32));
+        let _ = rel.delete(id);
+    }
+    rel
+}
+
+/// Bit-level equality of two relations: same id space, same liveness,
+/// same value ids, same weight bits.
+fn assert_same_contents(reference: &Relation, got: &Relation, ctx: &str) {
+    assert_eq!(reference.len(), got.len(), "{ctx}: live count");
+    assert_eq!(reference.slot_count(), got.slot_count(), "{ctx}: slots");
+    for slot in 0..reference.slot_count() {
+        let id = TupleId(slot as u32);
+        match (reference.tuple(id), got.tuple(id)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                for i in 0..ARITY {
+                    let attr = AttrId(i as u16);
+                    assert_eq!(a.id(attr), b.id(attr), "{ctx}: {id} attr {i} value");
+                    assert_eq!(
+                        a.weight(attr).to_bits(),
+                        b.weight(attr).to_bits(),
+                        "{ctx}: {id} attr {i} weight"
+                    );
+                }
+            }
+            (a, b) => panic!("{ctx}: liveness of {id} diverged ({a:?} vs {b:?})"),
+        }
+    }
+}
+
+/// 200 trials × both pickers: sharded `BATCHREPAIR` at 1/2/8 threads must
+/// be byte-identical to the serial reference (repairs *and* stats,
+/// including the exact cost bits).
+#[test]
+fn differential_batch_both_pickers() {
+    trials(200, 0x5AA5_D1FF, |rng| {
+        let rel = rand_relation(rng);
+        let sigma = rand_sigma(rng, &schema());
+        for pick in [PickStrategy::GlobalBest, PickStrategy::DependencyOrdered] {
+            let reference = batch_repair(
+                &rel,
+                &sigma,
+                BatchConfig {
+                    pick,
+                    parallelism: Parallelism::serial(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for threads in THREAD_COUNTS {
+                let sharded = batch_repair(
+                    &rel,
+                    &sigma,
+                    BatchConfig {
+                        pick,
+                        parallelism: Parallelism::threads(threads),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let ctx = format!("batch {pick:?} threads={threads}");
+                assert_same_contents(&reference.repair, &sharded.repair, &ctx);
+                assert_eq!(reference.stats, sharded.stats, "{ctx}: stats");
+                assert_eq!(
+                    reference.stats.cost.to_bits(),
+                    sharded.stats.cost.to_bits(),
+                    "{ctx}: cost bits"
+                );
+            }
+        }
+    });
+}
+
+/// 100 trials: `INCREPAIR` against a clean base must be byte-identical at
+/// every thread count (the parallel V-ordering scan and sharded index
+/// builds must not reorder resolutions).
+#[test]
+fn differential_increpair() {
+    trials(100, 0x14C_D1FF, |rng| {
+        let rel = rand_relation(rng);
+        let sigma = rand_sigma(rng, &schema());
+        // Clean base: repair it first (serial; batch parity is pinned above).
+        let base = batch_repair(&rel, &sigma, BatchConfig::default())
+            .unwrap()
+            .repair;
+        let delta: Vec<Tuple> = (0..rng.gen_range(1..5usize))
+            .map(|_| rand_tuple(rng))
+            .collect();
+        let reference = inc_repair(
+            &base,
+            &delta,
+            &sigma,
+            IncConfig {
+                parallelism: Parallelism::serial(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for threads in THREAD_COUNTS {
+            let sharded = inc_repair(
+                &base,
+                &delta,
+                &sigma,
+                IncConfig {
+                    parallelism: Parallelism::threads(threads),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let ctx = format!("inc threads={threads}");
+            assert_same_contents(&reference.repair, &sharded.repair, &ctx);
+            assert_eq!(reference.delta_ids, sharded.delta_ids, "{ctx}: delta ids");
+            assert_eq!(reference.stats, sharded.stats, "{ctx}: stats");
+        }
+    });
+}
