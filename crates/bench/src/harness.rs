@@ -105,6 +105,21 @@ impl Harness {
         m
     }
 
+    /// Record an already-measured scalar under `label` (e.g. a rate or a
+    /// counter surfaced by a timed run). Rendered through the same table
+    /// and JSON as timings — `median_ns`/`min_ns` carry the value, and
+    /// `batch: 0` marks the entry as a recorded metric, not a timing.
+    pub fn record(&mut self, label: &str, value: f64) {
+        let m = Measurement {
+            label: label.to_string(),
+            median_ns: value,
+            min_ns: value,
+            batch: 0,
+        };
+        eprintln!("{:<44} {:>14} (recorded)", m.label, value);
+        self.results.push(m);
+    }
+
     /// All measurements so far.
     pub fn results(&self) -> &[Measurement] {
         &self.results
@@ -118,6 +133,17 @@ impl Harness {
             "benchmark", "median", "min"
         ));
         for m in &self.results {
+            if m.batch == 0 {
+                // A recorded metric (see `record`), not a timing: print
+                // the raw value instead of pretending it is nanoseconds.
+                out.push_str(&format!(
+                    "{:<44} {:>14} {:>14}\n",
+                    m.label,
+                    format!("{:.1}", m.median_ns),
+                    "(recorded)"
+                ));
+                continue;
+            }
             out.push_str(&format!(
                 "{:<44} {:>14} {:>14}\n",
                 m.label,

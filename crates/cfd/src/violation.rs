@@ -58,12 +58,60 @@ impl ViolationReport {
 /// Shared group indexes: one [`HashIndex`] per distinct LHS attribute list
 /// in Σ. Building them once amortizes across the (typically many) normal
 /// CFDs expanded from the same tableau.
-#[derive(Clone)]
 pub struct GroupIndexes {
     by_lhs: BTreeMap<Vec<AttrId>, HashIndex>,
+    /// Determinism tripwire: while a speculative planning phase shares
+    /// this set read-only across worker threads, *mutating* it (a lazy
+    /// `ensure` build, an `update`, an `insert`) would leak worker
+    /// scheduling into index group order — which FINDV truncates, so the
+    /// order is observable in repairs. `freeze` arms the wire; mutators
+    /// panic while it is set. Lazy builds planned on a snapshot must be
+    /// replayed on the main state in commit (merge) order instead.
+    frozen: std::sync::atomic::AtomicBool,
+}
+
+impl Clone for GroupIndexes {
+    fn clone(&self) -> Self {
+        // A clone starts life thawed: the freeze protects one shared
+        // instance during one parallel phase, not its descendants.
+        GroupIndexes {
+            by_lhs: self.by_lhs.clone(),
+            frozen: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
 }
 
 impl GroupIndexes {
+    fn with_map(by_lhs: BTreeMap<Vec<AttrId>, HashIndex>) -> Self {
+        GroupIndexes {
+            by_lhs,
+            frozen: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Arm the mutation tripwire for the duration of a read-only parallel
+    /// phase. Takes `&self` so the already-shared reference can arm it.
+    pub fn freeze(&self) {
+        self.frozen
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Disarm the tripwire once exclusive access is re-established.
+    pub fn thaw(&self) {
+        self.frozen
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+
+    #[inline]
+    fn assert_thawed(&self, op: &str) {
+        assert!(
+            !self.frozen.load(std::sync::atomic::Ordering::Acquire),
+            "GroupIndexes::{op} during a frozen (read-only parallel) phase: \
+             lazy S-set builds must be replayed in commit order, not driven \
+             from speculative planning"
+        );
+    }
+
     /// Build indexes covering every LHS attribute list in `sigma`.
     pub fn build(rel: &Relation, sigma: &Sigma) -> Self {
         let mut by_lhs = BTreeMap::new();
@@ -72,7 +120,7 @@ impl GroupIndexes {
                 .entry(n.lhs().to_vec())
                 .or_insert_with(|| HashIndex::build(rel, n.lhs()));
         }
-        GroupIndexes { by_lhs }
+        GroupIndexes::with_map(by_lhs)
     }
 
     /// [`GroupIndexes::build`] with an explicit worker-thread count for
@@ -86,16 +134,14 @@ impl GroupIndexes {
                 .entry(n.lhs().to_vec())
                 .or_insert_with(|| HashIndex::build_with_threads(rel, n.lhs(), threads));
         }
-        GroupIndexes { by_lhs }
+        GroupIndexes::with_map(by_lhs)
     }
 
     /// No indexes at all; populate via [`GroupIndexes::ensure`]. The
     /// sharded repair frontier gives each scoring worker an empty set so
     /// FINDV's lazily-built S-set indexes stay worker-private.
     pub fn empty() -> Self {
-        GroupIndexes {
-            by_lhs: BTreeMap::new(),
-        }
+        GroupIndexes::with_map(BTreeMap::new())
     }
 
     /// The attribute lists currently indexed, in sorted order.
@@ -113,6 +159,7 @@ impl GroupIndexes {
     /// indexes on `X ∪ {A} \ {B}`, which only materialize for the (φ, B)
     /// combinations the repair actually touches.
     pub fn ensure(&mut self, rel: &Relation, attrs: &[AttrId]) -> &HashIndex {
+        self.assert_thawed("ensure");
         self.by_lhs
             .entry(attrs.to_vec())
             .or_insert_with(|| HashIndex::build(rel, attrs))
@@ -131,6 +178,7 @@ impl GroupIndexes {
         before: &V,
         after: &W,
     ) {
+        self.assert_thawed("update");
         for idx in self.by_lhs.values_mut() {
             idx.update(id, before, after);
         }
@@ -138,6 +186,7 @@ impl GroupIndexes {
 
     /// Register a fresh tuple in every index.
     pub fn insert<V: TupleView + ?Sized>(&mut self, id: TupleId, t: &V) {
+        self.assert_thawed("insert");
         for idx in self.by_lhs.values_mut() {
             idx.insert(id, t);
         }
@@ -829,6 +878,34 @@ mod tests {
         .unwrap();
         let sigma = Sigma::normalize(schema, vec![phi1, phi2]).unwrap();
         (rel, sigma)
+    }
+
+    #[test]
+    #[should_panic(expected = "GroupIndexes::ensure during a frozen")]
+    fn frozen_indexes_reject_lazy_ensure() {
+        let (rel, sigma) = fig1();
+        let mut idx = GroupIndexes::build(&rel, &sigma);
+        idx.freeze();
+        // A lazy S-set build out of commit order is exactly the bug the
+        // speculative repair's planning phase must never commit.
+        idx.ensure(&rel, &[AttrId(0), AttrId(1), AttrId(2)]);
+    }
+
+    #[test]
+    fn thawed_indexes_accept_mutation_again() {
+        let (rel, sigma) = fig1();
+        let mut idx = GroupIndexes::build(&rel, &sigma);
+        idx.freeze();
+        idx.thaw();
+        let attrs = vec![AttrId(0), AttrId(2)];
+        idx.ensure(&rel, &attrs);
+        assert!(idx.get(&attrs).is_some());
+        // Clones of a frozen set start thawed: the wire guards one shared
+        // instance during one phase.
+        idx.freeze();
+        let mut copy = idx.clone();
+        copy.ensure(&rel, &[AttrId(1)]);
+        idx.thaw();
     }
 
     #[test]

@@ -17,7 +17,8 @@ use crate::io::{load_relation, load_sigma, load_weights, save_relation, CliError
 
 pub const USAGE: &str = "cfdclean repair --data D.csv --rules R.cfd --out REPAIRED.csv
                 [--weights W.csv] [--algorithm batch|v-inc|w-inc|l-inc]
-                [--pick global|dependency] [--k N] [--threads N] [--stats]
+                [--pick global|dependency] [--k N] [--threads N]
+                [--speculate K] [--stats]
   Compute a repair of D satisfying the rules.
     --data       dirty CSV file
     --rules      CFD rule file
@@ -29,6 +30,10 @@ pub const USAGE: &str = "cfdclean repair --data D.csv --rules R.cfd --out REPAIR
     --threads    worker threads for sharded repair setup (default:
                  CFD_THREADS under the parallel feature, else serial);
                  the repair is byte-identical at every thread count
+    --speculate  speculative resolution window K for batch/global: plan K
+                 fixes concurrently, commit in serial order (default:
+                 CFD_SPECULATE under the parallel feature, else 0 = off);
+                 any K produces the identical repair
     --stats      print repair statistics";
 
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -42,6 +47,13 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let parallelism = match args.get("threads") {
         Some(_) => Parallelism::threads(args.get_parsed("threads", 1)?),
         None => Parallelism::default(),
+    };
+    let speculate = match args.get("speculate") {
+        Some(_) => {
+            let k: usize = args.get_parsed("speculate", 0)?;
+            k.min(cfd_repair::shard::MAX_SPECULATE)
+        }
+        None => cfd_repair::shard::speculation_from_env(),
     };
     let stats = args.switch("stats");
     args.reject_unknown()?;
@@ -66,10 +78,11 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 BatchConfig {
                     pick,
                     parallelism,
+                    speculate,
                     ..BatchConfig::default()
                 },
             )?;
-            let d = format!(
+            let mut d = format!(
                 "steps {} merges {} consts {} nulls {} cost {:.3}",
                 outcome.stats.steps,
                 outcome.stats.merges,
@@ -77,6 +90,15 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 outcome.stats.nulls_set,
                 outcome.stats.cost
             );
+            if let Some(s) = outcome.speculation {
+                d.push_str(&format!(
+                    " | speculative rounds {} commits {} aborts {} (rate {:.2})",
+                    s.rounds,
+                    s.commits,
+                    s.aborts,
+                    s.abort_rate()
+                ));
+            }
             (outcome.repair, d)
         }
         "v-inc" | "w-inc" | "l-inc" => {

@@ -139,6 +139,46 @@ fn repair_threads_flag_is_byte_identical() {
 }
 
 #[test]
+fn repair_speculate_flag_is_byte_identical() {
+    // The speculative resolution loop, end to end through the CLI: every
+    // (threads, k) writes the same bytes as the non-speculative run, and
+    // --stats surfaces the schedule counters.
+    let s = Scratch::new("repair-speculate");
+    generate_workload(&s, 400);
+    let mut outputs = Vec::new();
+    for (threads, k) in [("1", "0"), ("2", "4"), ("8", "16")] {
+        let file = format!("repaired_t{threads}_k{k}.csv");
+        let out = run(&[
+            "repair",
+            "--data",
+            &s.path("dirty.csv"),
+            "--rules",
+            &s.path("rules.cfd"),
+            "--weights",
+            &s.path("dirty_weights.csv"),
+            "--out",
+            &s.path(&file),
+            "--threads",
+            threads,
+            "--speculate",
+            k,
+            "--stats",
+        ])
+        .unwrap();
+        assert!(out.contains("repaired 400 tuples"), "{out}");
+        if k != "0" {
+            assert!(
+                out.contains("speculative rounds"),
+                "--stats should print the speculative schedule: {out}"
+            );
+        }
+        outputs.push(std::fs::read(s.path(&file)).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1], "k=4 diverged from non-speculative");
+    assert_eq!(outputs[0], outputs[2], "k=16 diverged from non-speculative");
+}
+
+#[test]
 fn repair_incremental_algorithms_also_clean() {
     let s = Scratch::new("repair-inc");
     generate_workload(&s, 400);

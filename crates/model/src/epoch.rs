@@ -1,0 +1,150 @@
+//! Epoch-versioned cell tracking for optimistic-concurrency validation.
+//!
+//! The speculative repair loop (`cfd-repair`) plans fixes against a frozen
+//! snapshot of mutable state and later asks, at commit time, "has anything
+//! this plan read been written since the snapshot?". The cheapest sound
+//! answer is a *version stamp* per logical cell: a monotone [`EpochClock`]
+//! ticks once per mutation, every written cell is stamped with the tick in
+//! a [`VersionMap`], and a plan is valid iff none of its read keys carry a
+//! stamp newer than the snapshot epoch.
+//!
+//! The machinery is deliberately generic over the key type — the repair
+//! layer stamps tuple ids, `(shape, group-key)` census cells, S-set index
+//! groups, and equivalence-class roots with the same two primitives — and
+//! deliberately *not* embedded in the data structures themselves: stamping
+//! happens only while a speculative round is live, so the serial hot paths
+//! pay nothing.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A point on an [`EpochClock`]'s timeline. Ordered: later writes carry
+/// strictly larger epochs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+/// A monotone mutation counter: `tick` before each write, `now` to take a
+/// snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct EpochClock {
+    now: u64,
+}
+
+impl EpochClock {
+    /// A clock at epoch zero.
+    pub fn new() -> Self {
+        EpochClock::default()
+    }
+
+    /// The current epoch (the snapshot primitive).
+    pub fn now(&self) -> Epoch {
+        Epoch(self.now)
+    }
+
+    /// Advance the clock and return the new epoch (the write primitive:
+    /// stamp written cells with the returned value).
+    pub fn tick(&mut self) -> Epoch {
+        self.now += 1;
+        Epoch(self.now)
+    }
+}
+
+/// Last-write epochs of a keyed family of cells.
+///
+/// Unstamped keys are treated as "unchanged since forever": a key only
+/// enters the map when written, so the map's size is bounded by the write
+/// volume, never by the state size.
+#[derive(Clone, Debug)]
+pub struct VersionMap<K> {
+    map: HashMap<K, Epoch>,
+}
+
+impl<K: Eq + Hash> VersionMap<K> {
+    /// An empty map (every key reads as never written).
+    pub fn new() -> Self {
+        VersionMap {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Record a write of `key` at `at`. Stamps only move forward: a stale
+    /// re-stamp (possible when one mutation stamps several overlapping
+    /// cells) never erases a newer write.
+    pub fn stamp(&mut self, key: K, at: Epoch) {
+        let slot = self.map.entry(key).or_insert(at);
+        if *slot < at {
+            *slot = at;
+        }
+    }
+
+    /// Has `key` been written strictly after `since`?
+    pub fn changed_since(&self, key: &K, since: Epoch) -> bool {
+        self.map.get(key).is_some_and(|at| *at > since)
+    }
+
+    /// Number of distinct stamped keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has ever been stamped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<K: Eq + Hash> Default for VersionMap<K> {
+    fn default() -> Self {
+        VersionMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ticks_monotonically() {
+        let mut clock = EpochClock::new();
+        let t0 = clock.now();
+        let t1 = clock.tick();
+        let t2 = clock.tick();
+        assert!(t0 < t1 && t1 < t2);
+        assert_eq!(clock.now(), t2);
+    }
+
+    #[test]
+    fn unstamped_keys_never_change() {
+        let map: VersionMap<u32> = VersionMap::new();
+        assert!(!map.changed_since(&7, Epoch(0)));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn stamp_then_validate_across_snapshot() {
+        let mut clock = EpochClock::new();
+        let mut map: VersionMap<&str> = VersionMap::new();
+        let at = clock.tick();
+        map.stamp("early", at);
+        let snapshot = clock.now();
+        let at = clock.tick();
+        map.stamp("late", at);
+        // Written before the snapshot: still valid.
+        assert!(!map.changed_since(&"early", snapshot));
+        // Written after: invalid.
+        assert!(map.changed_since(&"late", snapshot));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn restamp_keeps_newest_epoch() {
+        let mut clock = EpochClock::new();
+        let mut map: VersionMap<u8> = VersionMap::new();
+        let first = clock.tick();
+        let second = clock.tick();
+        map.stamp(1, second);
+        map.stamp(1, first); // overlapping-cell re-stamp must not regress
+        assert!(map.changed_since(&1, first));
+        assert!(!map.changed_since(&1, second));
+    }
+}

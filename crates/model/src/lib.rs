@@ -60,6 +60,7 @@ pub mod active_domain;
 pub mod csv;
 pub mod database;
 pub mod diff;
+pub mod epoch;
 pub mod error;
 pub mod index;
 pub mod key;
@@ -73,6 +74,7 @@ pub mod value;
 
 pub use active_domain::ActiveDomain;
 pub use database::Database;
+pub use epoch::{Epoch, EpochClock, VersionMap};
 pub use error::ModelError;
 pub use key::IdKey;
 pub use pool::{ValueId, ValuePool, NULL_ID};

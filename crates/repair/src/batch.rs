@@ -26,22 +26,29 @@
 //!
 //! Parallelism: the group census and the initial `PICKNEXT` frontier are
 //! built sharded by LHS-key hash range ([`crate::shard`]) under the
-//! [`Parallelism`] carried in [`BatchConfig`]; the resolution loop itself
-//! stays sequential (every fix mutates shared state), and the shard
-//! machinery guarantees byte-identical repairs at every thread count.
+//! [`Parallelism`] carried in [`BatchConfig`]. The resolution loop itself
+//! runs in one of two modes: sequential (the reference), or *speculative*
+//! ([`crate::speculative`], `BatchConfig::speculate ≥ 1`) — shards plan
+//! their next fixes concurrently against a frozen snapshot and a commit
+//! phase replays the plans in the serial heap order, validating read-sets
+//! and falling back to inline replanning when a plan went stale. Both
+//! modes produce byte-identical repairs at every thread count and
+//! speculation depth.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 use cfd_cfd::violation::{detect_with_engine, ConstantRules, Engine, GroupIndexes};
 use cfd_cfd::{CfdId, NormalCfd, Sigma};
-use cfd_model::{AttrId, Relation, TupleId, ValueId, ValuePool, NULL_ID};
+use cfd_model::index::HashIndex;
+use cfd_model::{AttrId, IdKey, Relation, TupleId, TupleView, ValueId, ValuePool, NULL_ID};
 
 use crate::cost::{class_assign_cost_ids, repair_cost};
 use crate::depgraph::DepGraph;
 use crate::distance::DistanceCache;
 use crate::equivalence::{Cell, EqClasses, Target};
 use crate::shard::{self, Candidate, GroupCensus, Parallelism};
+use crate::speculative::{ReadSet, SpecLog, SpecStats};
 use crate::RepairError;
 
 /// How `PICKNEXT` chooses the next violation to resolve.
@@ -87,11 +94,20 @@ pub struct BatchConfig {
     pub findv_candidates: usize,
     /// Free/free merge winner selection; defaults to group majority.
     pub merge_pricing: MergePricing,
-    /// Worker threads for census construction and initial `PICKNEXT`
-    /// scoring. Repairs are byte-identical at every thread count; the
-    /// default resolves `CFD_THREADS` under the `parallel` feature and is
-    /// serial otherwise.
+    /// Worker threads for census construction, initial `PICKNEXT`
+    /// scoring, and speculative plan fan-out. Repairs are byte-identical
+    /// at every thread count; the default resolves `CFD_THREADS` under
+    /// the `parallel` feature and is serial otherwise.
     pub parallelism: Parallelism,
+    /// Speculation depth `k` for the resolution loop ([`crate::speculative`]):
+    /// each round plans up to `k` frontier entries concurrently against a
+    /// frozen snapshot and commits them in the serial heap order,
+    /// validating read-sets. `0` disables speculation (the sequential
+    /// reference loop); any `k ≥ 1` is byte-identical to it. Only the
+    /// [`PickStrategy::GlobalBest`] picker speculates. The default
+    /// resolves `CFD_SPECULATE` under the `parallel` feature and is `0`
+    /// otherwise.
+    pub speculate: usize,
 }
 
 impl Default for BatchConfig {
@@ -101,6 +117,7 @@ impl Default for BatchConfig {
             findv_candidates: 32,
             merge_pricing: MergePricing::GroupMajority,
             parallelism: Parallelism::default(),
+            speculate: shard::speculation_from_env(),
         }
     }
 }
@@ -127,13 +144,23 @@ pub struct BatchStats {
 pub struct BatchOutcome {
     /// The repair `Repr` (same tuple ids as the input).
     pub repair: Relation,
-    /// Counters and the final repair cost.
+    /// Counters and the final repair cost. Identical for serial and
+    /// speculative runs — the speculative loop is byte-equivalent.
     pub stats: BatchStats,
+    /// Speculation counters, present when the run used the speculative
+    /// resolution loop (`BatchConfig::speculate ≥ 1` with the global-best
+    /// picker). Unlike [`BatchStats`], these legitimately vary with the
+    /// thread count and depth `k` — they describe the *schedule*, not the
+    /// repair.
+    pub speculation: Option<SpecStats>,
+    /// The speculative audit trace, collected only by
+    /// [`batch_repair_traced`]; `None` otherwise.
+    pub trace: Option<Vec<String>>,
 }
 
 /// A planned resolution step.
 #[derive(Clone, Debug)]
-enum Fix {
+pub(crate) enum Fix {
     SetConst {
         cell: Cell,
         v: ValueId,
@@ -151,48 +178,73 @@ enum Fix {
     },
 }
 
+impl Fix {
+    /// Stable one-line rendering for debug output and the speculative
+    /// audit trace.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Fix::SetConst { cell, v } => {
+                format!("SetConst {} {} := {}", cell.tuple, cell.attr, v.value())
+            }
+            Fix::SetNull { cell } => format!("SetNull {} {}", cell.tuple, cell.attr),
+            Fix::Merge { a, b, .. } => {
+                format!("Merge {} {} ~ {} {}", a.tuple, a.attr, b.tuple, b.attr)
+            }
+        }
+    }
+}
+
 /// The kind of violation `violates` found.
-enum Violation {
+pub(crate) enum Violation {
     Constant,
     Variable { partner: TupleId },
 }
 
-struct BatchState<'a> {
-    sigma: &'a Sigma,
-    orig: &'a Relation,
-    work: Relation,
-    eq: EqClasses,
-    indexes: GroupIndexes,
+pub(crate) struct BatchState<'a> {
+    pub(crate) sigma: &'a Sigma,
+    pub(crate) orig: &'a Relation,
+    pub(crate) work: Relation,
+    pub(crate) eq: EqClasses,
+    pub(crate) indexes: GroupIndexes,
     /// Hash-indexed constant rules for O(shapes) dirty marking.
-    rules: ConstantRules,
+    pub(crate) rules: ConstantRules,
     /// Subsumption-minimal variable CFD ids (see `minimal_variable_ids`).
-    variable_ids: Vec<CfdId>,
+    pub(crate) variable_ids: Vec<CfdId>,
     /// Group value census for the variable shapes (fast clean-group test).
-    census: GroupCensus,
-    dirty: Vec<BTreeSet<TupleId>>,
+    pub(crate) census: GroupCensus,
+    pub(crate) dirty: Vec<BTreeSet<TupleId>>,
     /// `vio(t)` from the initial detection: tuples whose violation count
     /// towers over their partners' are suspects even when Σ has no
     /// constant rules (a corrupted cell conflicts with its whole group;
     /// an innocent partner only with the corrupted tuple).
-    initial_vio: std::collections::HashMap<TupleId, usize>,
+    pub(crate) initial_vio: std::collections::HashMap<TupleId, usize>,
     /// Lazy priority heap for [`PickStrategy::GlobalBest`]: entries carry
     /// the last-known [`HeapKey`] and are re-verified and re-priced when
     /// popped. Seeded by the sharded frontier scoring (`seed_heap`).
-    heap: BinaryHeap<Reverse<HeapKey>>,
+    pub(crate) heap: BinaryHeap<Reverse<HeapKey>>,
     /// Memoized `dis(v, v')` over id pairs.
-    dcache: DistanceCache,
-    stats: BatchStats,
-    config: BatchConfig,
+    pub(crate) dcache: DistanceCache,
+    pub(crate) stats: BatchStats,
+    /// Write stamps for speculative read-set validation; `Some` only
+    /// while a speculative commit phase is live ([`crate::speculative`]).
+    pub(crate) spec_log: Option<SpecLog>,
+    /// Speculation counters; `Some` when the speculative loop runs.
+    pub(crate) spec_stats: Option<SpecStats>,
+    /// Commit/abort audit trace, collected when requested
+    /// ([`batch_repair_traced`]).
+    pub(crate) trace: Option<Vec<String>>,
+    pub(crate) config: BatchConfig,
 }
 
 /// The total order `PICKNEXT` resolves under — [`Candidate::key`]'s
 /// `(cost, value frequency, value id, CFD, tuple)` — shared by the
-/// frontier merge and the lazy heap so serial and sharded runs pop fixes
-/// in exactly the same sequence.
-type HeapKey = (u64, u64, u32, u32, u32);
+/// frontier merge, the lazy heap, and the speculative commit replay so
+/// serial, sharded, and speculative runs pop fixes in exactly the same
+/// sequence.
+pub(crate) type HeapKey = (u64, u64, u32, u32, u32);
 
 /// Map a non-negative cost to an order-preserving integer key.
-fn cost_key(cost: f64) -> u64 {
+pub(crate) fn cost_key(cost: f64) -> u64 {
     if cost.is_nan() {
         u64::MAX
     } else {
@@ -204,7 +256,7 @@ fn cost_key(cost: f64) -> u64 {
 /// is `u64::MAX − use_count(value)` (globally corroborated constants sort
 /// first among equal costs) and nulls/winnerless merges rank last. A pure
 /// function of the fix, never of scoring order.
-fn fix_meta(fix: &Fix) -> (u64, u32) {
+pub(crate) fn fix_meta(fix: &Fix) -> (u64, u32) {
     let v = match fix {
         Fix::SetConst { v, .. } => *v,
         Fix::SetNull { .. } => NULL_ID,
@@ -217,32 +269,64 @@ fn fix_meta(fix: &Fix) -> (u64, u32) {
     }
 }
 
+/// The S-set index view `PICKNEXT`/`CFD-RESOLVE` planning reads through.
+///
+/// The sequential loop drives lazy `ensure` builds straight into the main
+/// state ([`PlanIndexes::Main`]) — build order is resolution order, the
+/// contract. Speculative planning workers must not touch the main state
+/// (group order inside a [`HashIndex`] is history-dependent and FINDV
+/// truncates group walks), so they read through a frozen borrow and build
+/// misses into a worker-private overlay against the snapshot
+/// ([`PlanIndexes::Snapshot`]); the commit phase replays those `ensure`s
+/// on the main state in merge order.
+pub(crate) enum PlanIndexes<'p> {
+    /// The sequential loop: lazy builds mutate the main state directly.
+    Main(&'p mut GroupIndexes),
+    /// A speculative planning worker: base hits read the frozen main
+    /// state, misses build into the private overlay.
+    Snapshot {
+        base: &'p GroupIndexes,
+        local: GroupIndexes,
+    },
+}
+
 /// The read-mostly planning context `PICKNEXT`/`CFD-RESOLVE` run against:
-/// shared references to the frozen inputs plus the caller's equivalence
-/// classes and memo caches. [`BatchState`] materializes one over its own
-/// fields for the sequential loop; the sharded frontier scoring gives each
-/// worker a private one (fresh singleton classes, empty index cache, empty
-/// distance memo) over the same shared state — the caches are semantically
-/// transparent, so shard plans equal serial plans bit for bit.
-struct Planner<'p> {
+/// shared references to the frozen inputs — equivalence classes included,
+/// all class lookups are non-mutating — plus per-planner memo caches.
+/// [`BatchState`] materializes one over its own fields for the sequential
+/// loop; the sharded frontier scoring and the speculative planning phase
+/// give each worker a private one (snapshot index overlay, empty distance
+/// memo) over the same shared state — the caches are semantically
+/// transparent, so worker plans equal serial plans bit for bit.
+///
+/// When `reads` is set, every lookup of *mutable* state is recorded: work
+/// tuples, census groups, S-set index groups, equivalence-class roots,
+/// and base-missing `ensure`s. The resulting [`ReadSet`] is what the
+/// speculative commit phase validates against its write stamps.
+pub(crate) struct Planner<'p> {
     orig: &'p Relation,
     work: &'p Relation,
     rules: &'p ConstantRules,
     census: &'p GroupCensus,
     initial_vio: &'p HashMap<TupleId, usize>,
     config: &'p BatchConfig,
-    eq: &'p mut EqClasses,
-    indexes: &'p mut GroupIndexes,
+    eq: &'p EqClasses,
+    indexes: PlanIndexes<'p>,
     dcache: &'p mut DistanceCache,
+    /// Read-set recorder, owned so one worker can swap a fresh set in per
+    /// planned pair while keeping its index overlay warm. `None` (the
+    /// sequential loop, frontier scoring) records nothing.
+    reads: Option<ReadSet>,
 }
 
 /// Score one shard of the initial frontier: verify and price every dirty
 /// `(CFD, tuple)` pair assigned to this shard against the frozen t=0
-/// state. `eq_proto` is the all-singleton initial class grid; each worker
-/// clones it so path compression and FINDV index builds stay private.
-/// Returns the priced candidates plus the attribute lists whose S-set
-/// indexes the scoring materialized (the caller replays those `ensure`s on
-/// the main state so later lazy builds are thread-count-independent).
+/// state. `eq` is the all-singleton initial class grid, shared read-only
+/// across workers (class lookups never mutate); S-set indexes missing
+/// from the main set build into a worker-private overlay. Returns the
+/// priced candidates plus the attribute lists the overlay materialized
+/// (the caller replays those `ensure`s on the main state so later lazy
+/// builds are thread-count-independent).
 #[allow(clippy::too_many_arguments)] // exactly the shared planning state
 fn score_shard(
     sigma: &Sigma,
@@ -250,13 +334,12 @@ fn score_shard(
     work: &Relation,
     rules: &ConstantRules,
     census: &GroupCensus,
+    indexes: &GroupIndexes,
     initial_vio: &HashMap<TupleId, usize>,
     config: &BatchConfig,
-    eq_proto: &EqClasses,
+    eq: &EqClasses,
     pairs: &[(u32, u32)],
 ) -> (Vec<Candidate>, Vec<Vec<AttrId>>) {
-    let mut eq = eq_proto.clone();
-    let mut indexes = GroupIndexes::empty();
     let mut dcache = DistanceCache::new();
     let mut planner = Planner {
         orig,
@@ -265,9 +348,13 @@ fn score_shard(
         census,
         initial_vio,
         config,
-        eq: &mut eq,
-        indexes: &mut indexes,
+        eq,
+        indexes: PlanIndexes::Snapshot {
+            base: indexes,
+            local: GroupIndexes::empty(),
+        },
         dcache: &mut dcache,
+        reads: None,
     };
     let mut out = Vec::with_capacity(pairs.len());
     for &(cfd, tid) in pairs {
@@ -299,11 +386,15 @@ fn score_shard(
         };
         out.push(cand);
     }
-    (out, indexes.attr_lists())
+    let ensured = match planner.indexes {
+        PlanIndexes::Snapshot { local, .. } => local.attr_lists(),
+        PlanIndexes::Main(_) => unreachable!("score_shard plans on a snapshot"),
+    };
+    (out, ensured)
 }
 
 impl<'a> BatchState<'a> {
-    fn new(orig: &'a Relation, sigma: &'a Sigma, config: BatchConfig) -> Self {
+    pub(crate) fn new(orig: &'a Relation, sigma: &'a Sigma, config: BatchConfig) -> Self {
         let work = orig.clone();
         let arity = orig.schema().arity();
         // Cell grid covers the id space including tombstones; dead slots
@@ -340,16 +431,23 @@ impl<'a> BatchState<'a> {
             heap: BinaryHeap::new(),
             dcache: DistanceCache::new(),
             stats: BatchStats::default(),
+            spec_log: None,
+            spec_stats: None,
+            trace: None,
             config,
         };
         if state.config.pick == PickStrategy::GlobalBest {
             state.seed_heap();
+            if state.config.speculate >= 1 {
+                state.spec_stats = Some(SpecStats::default());
+            }
         }
         state
     }
 
-    /// The planning view over this state's own fields.
-    fn planner(&mut self) -> Planner<'_> {
+    /// The planning view over this state's own fields (the sequential
+    /// loop and the speculative commit phase's inline replans).
+    pub(crate) fn planner(&mut self) -> Planner<'_> {
         Planner {
             orig: self.orig,
             work: &self.work,
@@ -357,9 +455,10 @@ impl<'a> BatchState<'a> {
             census: &self.census,
             initial_vio: &self.initial_vio,
             config: &self.config,
-            eq: &mut self.eq,
-            indexes: &mut self.indexes,
+            eq: &self.eq,
+            indexes: PlanIndexes::Main(&mut self.indexes),
             dcache: &mut self.dcache,
+            reads: None,
         }
     }
 
@@ -395,8 +494,11 @@ impl<'a> BatchState<'a> {
             shards[shard::shard_of(key.as_slice(), threads)].push((cfd, tid));
         }
         let (sigma, orig, work) = (self.sigma, self.orig, &self.work);
-        let (rules, census) = (&self.rules, &self.census);
-        let (initial_vio, config, eq_proto) = (&self.initial_vio, &self.config, &self.eq);
+        let (rules, census, indexes) = (&self.rules, &self.census, &self.indexes);
+        let (initial_vio, config, eq) = (&self.initial_vio, &self.config, &self.eq);
+        // Workers share the main indexes read-only; arm the tripwire so a
+        // stray lazy build inside the scoring fan-out fails loudly.
+        indexes.freeze();
         let scored: Vec<(Vec<Candidate>, Vec<Vec<AttrId>>)> = if threads <= 1 {
             vec![score_shard(
                 sigma,
@@ -404,9 +506,10 @@ impl<'a> BatchState<'a> {
                 work,
                 rules,
                 census,
+                indexes,
                 initial_vio,
                 config,
-                eq_proto,
+                eq,
                 &shards[0],
             )]
         } else {
@@ -422,9 +525,10 @@ impl<'a> BatchState<'a> {
                                 work,
                                 rules,
                                 census,
+                                indexes,
                                 initial_vio,
                                 config,
-                                eq_proto,
+                                eq,
                                 pairs,
                             )
                         })
@@ -436,6 +540,7 @@ impl<'a> BatchState<'a> {
                     .collect()
             })
         };
+        self.indexes.thaw();
         let mut frontiers = Vec::with_capacity(scored.len());
         let mut ensured: BTreeSet<Vec<AttrId>> = BTreeSet::new();
         for (candidates, attr_lists) in scored {
@@ -460,12 +565,114 @@ impl<'a> BatchState<'a> {
 }
 
 impl<'p> Planner<'p> {
+    /// A speculative planning worker's view over shared frozen state:
+    /// read-only borrows of everything mutable, a private snapshot index
+    /// overlay, a private distance memo. Call [`Planner::begin_recording`]
+    /// before each pair and [`Planner::take_reads`] after it.
+    pub(crate) fn snapshot(
+        state: &'p BatchState<'_>,
+        dcache: &'p mut DistanceCache,
+    ) -> Planner<'p> {
+        Planner {
+            orig: state.orig,
+            work: &state.work,
+            rules: &state.rules,
+            census: &state.census,
+            initial_vio: &state.initial_vio,
+            config: &state.config,
+            eq: &state.eq,
+            indexes: PlanIndexes::Snapshot {
+                base: &state.indexes,
+                local: GroupIndexes::empty(),
+            },
+            dcache,
+            reads: None,
+        }
+    }
+
+    /// Start recording reads into a fresh [`ReadSet`].
+    pub(crate) fn begin_recording(&mut self) {
+        self.reads = Some(ReadSet::default());
+    }
+
+    /// Stop recording and hand back what was read.
+    pub(crate) fn take_reads(&mut self) -> ReadSet {
+        self.reads.take().unwrap_or_default()
+    }
+
+    /// Record a work-tuple read (no-op outside speculative planning).
+    fn note_tuple(&mut self, t: TupleId) {
+        if let Some(r) = self.reads.as_mut() {
+            r.tuples.insert(t);
+        }
+    }
+
+    /// Record an equivalence-class read: the class is identified by its
+    /// *current* root, which is also what commit-time write stamps use.
+    /// The root walk only happens while recording — the sequential loop
+    /// pays nothing.
+    fn note_eq(&mut self, c: Cell) {
+        if self.reads.is_none() {
+            return;
+        }
+        let root = self.eq.find(c);
+        if let Some(r) = self.reads.as_mut() {
+            r.eq_roots.insert(root);
+        }
+    }
+
+    /// Record a census-group read under a tracked shape.
+    fn note_census<V: TupleView + ?Sized>(&mut self, lhs: &[AttrId], rhs: AttrId, t: &V) {
+        if self.reads.is_none() {
+            return;
+        }
+        let pos = self.census.shape_pos(lhs, rhs);
+        let key = t.project_key(lhs);
+        if let (Some(si), Some(r)) = (pos, self.reads.as_mut()) {
+            r.census.insert((si, key));
+        }
+    }
+
+    /// Record an S-set index group read.
+    fn note_group(&mut self, attrs: &[AttrId], key: IdKey) {
+        if let Some(r) = self.reads.as_mut() {
+            r.groups.insert((attrs.to_vec(), key));
+        }
+    }
+
+    /// The S-set index on `attrs`, lazily built according to the planning
+    /// mode: straight on the main state (sequential loop), or into the
+    /// worker-private overlay when the main state lacks it (speculative
+    /// snapshot). Overlay touches of base-missing lists are recorded so
+    /// the commit phase can replay the `ensure`s in merge order.
+    fn s_index(&mut self, attrs: &[AttrId]) -> &HashIndex {
+        match &mut self.indexes {
+            PlanIndexes::Main(ix) => ix.ensure(self.work, attrs),
+            PlanIndexes::Snapshot { base, local } => {
+                let base: &'p GroupIndexes = base;
+                match base.get(attrs) {
+                    Some(ix) => ix,
+                    None => {
+                        if let Some(r) = self.reads.as_mut() {
+                            if !r.ensured.iter().any(|a| a == attrs) {
+                                r.ensured.push(attrs.to_vec());
+                            }
+                        }
+                        local.ensure(self.work, attrs)
+                    }
+                }
+            }
+        }
+    }
+
     /// Effective value of a cell (target materialized into `work`).
-    fn eff(&self, t: TupleId, a: AttrId) -> ValueId {
+    fn eff(&mut self, t: TupleId, a: AttrId) -> ValueId {
+        self.note_tuple(t);
         self.work.tuple(t).expect("live tuple").id(a)
     }
 
-    /// Original value of a cell (for cost computation).
+    /// Original value of a cell (for cost computation; the original
+    /// relation is immutable, so this is never a recorded read).
     fn orig_id(&self, c: Cell) -> ValueId {
         self.orig.tuple(c.tuple).expect("live tuple").id(c.attr)
     }
@@ -477,7 +684,8 @@ impl<'p> Planner<'p> {
     /// cheap as the correct one, and wrong values cascade through shared
     /// groups. Constant rules only: they pin nearly every attribute in
     /// CFD workloads and cost O(shapes) to check.
-    fn residual_vios(&self, tid: TupleId, b: AttrId, v: ValueId) -> usize {
+    fn residual_vios(&mut self, tid: TupleId, b: AttrId, v: ValueId) -> usize {
+        self.note_tuple(tid);
         let mut t = self.work.tuple(tid).expect("live").to_tuple();
         t.set_id(b, v);
         self.rules.violations_of(&t, None)
@@ -486,7 +694,8 @@ impl<'p> Planner<'p> {
     /// Does `t` currently violate normal CFD `n`? Variable violations
     /// require the partner to live in a *different* equivalence class —
     /// merged cells are already "resolved pending instantiation".
-    fn violates(&mut self, n: &NormalCfd, tid: TupleId) -> Option<Violation> {
+    pub(crate) fn violates(&mut self, n: &NormalCfd, tid: TupleId) -> Option<Violation> {
+        self.note_tuple(tid);
         let t = self.work.tuple(tid)?;
         if !n.applies_to(&t) {
             return None;
@@ -503,6 +712,9 @@ impl<'p> Planner<'p> {
             if v.is_null() {
                 return None;
             }
+            // The group census is mutable state: record the read before
+            // acting on it.
+            self.note_census(n.lhs(), a, &t);
             // Census fast path: a group with ≤ 1 distinct non-null value
             // cannot conflict; conflicting ids are then enumerated
             // value-bucket by value-bucket instead of scanning the group.
@@ -520,13 +732,19 @@ impl<'p> Planner<'p> {
                 .conflicting_ids(n.lhs(), a, &t, v)
                 .take(64)
                 .collect();
-            candidates
-                .into_iter()
-                .filter(|other| {
-                    *other != tid && !self.eq.same_class(Cell::new(tid, a), Cell::new(*other, a))
-                })
-                .min()
-                .map(|partner| Violation::Variable { partner })
+            self.note_eq(Cell::new(tid, a));
+            let mut partner: Option<TupleId> = None;
+            for other in candidates {
+                if other == tid {
+                    continue;
+                }
+                self.note_eq(Cell::new(other, a));
+                if self.eq.same_class(Cell::new(tid, a), Cell::new(other, a)) {
+                    continue;
+                }
+                partner = Some(partner.map_or(other, |p| p.min(other)));
+            }
+            partner.map(|partner| Violation::Variable { partner })
         }
     }
 
@@ -544,16 +762,16 @@ impl<'p> Planner<'p> {
             .collect();
         s_attrs.sort();
         s_attrs.dedup();
+        self.note_tuple(tid);
         let t = self.work.tuple(tid).expect("live").to_tuple();
-        self.indexes.ensure(self.work, &s_attrs);
+        self.note_group(&s_attrs, t.project_key(&s_attrs));
+        let take = self.config.findv_candidates;
         let s_group: Vec<TupleId> = self
-            .indexes
-            .get(&s_attrs)
-            .expect("just ensured")
+            .s_index(&s_attrs)
             .group_of(&t)
             .iter()
             .copied()
-            .take(self.config.findv_candidates)
+            .take(take)
             .collect();
         let current = t.id(b);
         let mut best: Option<(ValueId, usize, f64)> = None;
@@ -605,6 +823,7 @@ impl<'p> Planner<'p> {
     /// scenario in `robustness.rs`).
     fn class_residual_vios(&mut self, cell: Cell, v: ValueId) -> usize {
         const SAMPLE: usize = 8;
+        self.note_eq(cell);
         // Copy only the sampled prefix — classes merged through
         // low-cardinality FDs hold thousands of cells and this runs on
         // every candidate pricing.
@@ -633,6 +852,7 @@ impl<'p> Planner<'p> {
     /// have merged country-sized classes.
     fn assign_cost(&mut self, cell: Cell, v: ValueId) -> f64 {
         const EXACT_LIMIT: usize = 64;
+        self.note_eq(cell);
         if self.eq.members(cell).len() > EXACT_LIMIT {
             let current = self.eff(cell.tuple, cell.attr);
             return if current == v {
@@ -665,6 +885,7 @@ impl<'p> Planner<'p> {
         for &tid in candidates {
             for (i, &b) in n.lhs().iter().enumerate() {
                 let cell = Cell::new(tid, b);
+                self.note_eq(cell);
                 if *self.eq.target(cell) != Target::Free {
                     continue;
                 }
@@ -698,6 +919,7 @@ impl<'p> Planner<'p> {
         for &tid in candidates {
             for &b in n.lhs() {
                 let cell = Cell::new(tid, b);
+                self.note_eq(cell);
                 if *self.eq.target(cell) == Target::Null {
                     continue;
                 }
@@ -714,7 +936,12 @@ impl<'p> Planner<'p> {
     /// the fix and its cost. Returns `None` only in the degenerate case of
     /// a violation with every involved class already null (impossible by
     /// the violation definitions, but handled defensively).
-    fn plan_fix(&mut self, n: &NormalCfd, tid: TupleId, v: &Violation) -> Option<(Fix, f64)> {
+    pub(crate) fn plan_fix(
+        &mut self,
+        n: &NormalCfd,
+        tid: TupleId,
+        v: &Violation,
+    ) -> Option<(Fix, f64)> {
         let a = n.rhs_attr();
         match v {
             Violation::Constant => {
@@ -723,6 +950,7 @@ impl<'p> Planner<'p> {
                     .rhs_pattern_id()
                     .as_const_id()
                     .expect("constant violation implies constant pattern");
+                self.note_eq(cell);
                 match *self.eq.target(cell) {
                     // Case 1.1: free RHS target — assigning the pattern
                     // constant is available. §3.1 resolves "in more than
@@ -761,6 +989,8 @@ impl<'p> Planner<'p> {
                         + usize::from(
                             self.initial_vio.get(partner).copied().unwrap_or(0) > SUSPECT_VIO,
                         );
+                self.note_tuple(tid);
+                self.note_tuple(*partner);
                 let suspects = self
                     .rules
                     .violations_of(&self.work.tuple(tid).expect("live"), None)
@@ -770,6 +1000,8 @@ impl<'p> Planner<'p> {
                     + initial_suspects;
                 let defer_penalty = 10.0 * suspects as f64;
                 let (c1, c2) = (Cell::new(tid, a), Cell::new(*partner, a));
+                self.note_eq(c1);
+                self.note_eq(c2);
                 let t1 = *self.eq.target(c1);
                 let t2 = *self.eq.target(c2);
                 match (&t1, &t2) {
@@ -876,7 +1108,9 @@ impl<'p> Planner<'p> {
         if self.config.merge_pricing == MergePricing::Pairwise {
             return self.plan_pairwise_merge(n, tid, partner, v1, v2);
         }
+        self.note_tuple(tid);
         let t = self.work.tuple(tid).expect("live").to_tuple();
+        self.note_census(n.lhs(), a, &t);
         // (value, incremental weight sum, sampled carriers, carrier
         // count) per bucket. Weight sums are maintained by the census, so
         // this is O(distinct values) plus the ≤ SAMPLE carriers actually
@@ -980,6 +1214,12 @@ impl<'a> BatchState<'a> {
             .set_value_id(cell.tuple, cell.attr, v)
             .expect("live tuple");
         let after = self.work.tuple(cell.tuple).expect("live").to_tuple();
+        // Stamp the write for speculative read-set validation before the
+        // downstream structures change: the tuple itself, every census
+        // group it enters or leaves, and every watched S-set index group.
+        if let Some(log) = self.spec_log.as_mut() {
+            log.record_write(cell, &before, &after, &self.census);
+        }
         self.indexes.update(cell.tuple, &before, &after);
         self.census.update(cell.tuple, &before, &after);
         // Constant rules are per-tuple: only the rules firing on the new
@@ -1063,8 +1303,19 @@ impl<'a> BatchState<'a> {
 
     /// Apply a planned fix. Each application strictly increases the class
     /// progress measure, which bounds the main loop (Theorem 4.2).
-    fn apply_fix(&mut self, fix: Fix) -> Result<(), RepairError> {
+    pub(crate) fn apply_fix(&mut self, fix: Fix) -> Result<(), RepairError> {
         let before_progress = self.eq.progress();
+        // Stamp the classes this fix is about to mutate (by their pre-op
+        // roots — the same identification plan read-sets record).
+        if self.spec_log.is_some() {
+            let roots = match &fix {
+                Fix::SetConst { cell, .. } | Fix::SetNull { cell } => vec![self.eq.find(*cell)],
+                Fix::Merge { a, b, .. } => vec![self.eq.find(*a), self.eq.find(*b)],
+            };
+            if let Some(log) = self.spec_log.as_mut() {
+                log.record_eq(&roots);
+            }
+        }
         match fix {
             Fix::SetConst { cell, v } => {
                 self.eq
@@ -1175,7 +1426,7 @@ impl<'a> BatchState<'a> {
     /// pop heap entries, re-verify and re-price lazily, apply the first
     /// entry whose price is still current. Returns false when no
     /// violations remain.
-    fn step_global(&mut self) -> Result<bool, RepairError> {
+    pub(crate) fn step_global(&mut self) -> Result<bool, RepairError> {
         while let Some(Reverse(key)) = self.heap.pop() {
             let (_, _, _, cfd_raw, tid_raw) = key;
             let id = CfdId(cfd_raw);
@@ -1207,21 +1458,12 @@ impl<'a> BatchState<'a> {
                 continue;
             }
             if std::env::var_os("CFD_DEBUG_FIXES").is_some() {
-                let desc = match &fix {
-                    Fix::SetConst { cell, v } => {
-                        format!("SetConst {} {} := {}", cell.tuple, cell.attr, v.value())
-                    }
-                    Fix::SetNull { cell } => format!("SetNull {} {}", cell.tuple, cell.attr),
-                    Fix::Merge { a, b, .. } => {
-                        format!("Merge {} {} ~ {} {}", a.tuple, a.attr, b.tuple, b.attr)
-                    }
-                };
                 eprintln!(
                     "FIX cfd={} row={} cost={:.3} {}",
                     n.source_name(),
                     n.source_row(),
                     cost,
-                    desc
+                    fix.describe()
                 );
             }
             self.apply_fix(fix)?;
@@ -1292,9 +1534,11 @@ impl<'a> BatchState<'a> {
         // exceed that many fixes; a generous multiple guards against bugs.
         let cells = self.work.len() * self.work.schema().arity();
         let max_steps = 8 * cells + 64;
+        let speculating = self.spec_stats.is_some();
         loop {
             loop {
                 let advanced = match self.config.pick {
+                    PickStrategy::GlobalBest if speculating => self.step_speculative(max_steps)?,
                     PickStrategy::GlobalBest => self.step_global()?,
                     PickStrategy::DependencyOrdered => self.step_dependency(&graph)?,
                 };
@@ -1318,6 +1562,8 @@ impl<'a> BatchState<'a> {
         Ok(BatchOutcome {
             repair: self.work,
             stats: self.stats,
+            speculation: self.spec_stats,
+            trace: self.trace,
         })
     }
 }
@@ -1336,6 +1582,27 @@ pub fn batch_repair(
     let outcome = state.run()?;
     debug_assert!(cfd_cfd::check(&outcome.repair, sigma));
     Ok(outcome)
+}
+
+/// [`batch_repair`] with the speculative commit/abort audit trace.
+///
+/// The trace is a deterministic line-per-event log of the speculative
+/// resolution loop — round boundaries, plan verdicts (commit, requeue,
+/// drop, abort with the failing read category, miss), and the `ensure`
+/// replays — and is empty for non-speculative configurations. The golden
+/// fixture suite pins it so changes to the validation logic are
+/// reviewable as fixture diffs.
+pub fn batch_repair_traced(
+    d: &Relation,
+    sigma: &Sigma,
+    config: BatchConfig,
+) -> Result<(BatchOutcome, Vec<String>), RepairError> {
+    let mut state = BatchState::new(d, sigma, config);
+    state.trace = Some(Vec::new());
+    let mut outcome = state.run()?;
+    debug_assert!(cfd_cfd::check(&outcome.repair, sigma));
+    let trace = outcome.trace.take().unwrap_or_default();
+    Ok((outcome, trace))
 }
 
 #[cfg(test)]

@@ -143,10 +143,22 @@ impl EqClasses {
         i
     }
 
+    /// Non-compressing root lookup. Union-by-size keeps chains `O(log n)`
+    /// without compression, and a `&self` walk is what lets speculative
+    /// planning workers share one `EqClasses` immutably across threads —
+    /// every read accessor below goes through this. (Compression still
+    /// happens inside the mutating ops, which walk via `find_idx`.)
+    fn find_idx_ro(&self, mut i: usize) -> usize {
+        while self.parent[i] as usize != i {
+            i = self.parent[i] as usize;
+        }
+        i
+    }
+
     /// Root cell of `c`'s class.
-    pub fn find(&mut self, c: Cell) -> Cell {
+    pub fn find(&self, c: Cell) -> Cell {
         let i = self.index(c);
-        let root = self.find_idx(i);
+        let root = self.find_idx_ro(i);
         Cell::new(
             TupleId((root / self.arity) as u32),
             AttrId((root % self.arity) as u16),
@@ -154,29 +166,29 @@ impl EqClasses {
     }
 
     /// Are two cells in the same class?
-    pub fn same_class(&mut self, a: Cell, b: Cell) -> bool {
+    pub fn same_class(&self, a: Cell, b: Cell) -> bool {
         let (ia, ib) = (self.index(a), self.index(b));
-        self.find_idx(ia) == self.find_idx(ib)
+        self.find_idx_ro(ia) == self.find_idx_ro(ib)
     }
 
     /// The class's current target.
-    pub fn target(&mut self, c: Cell) -> &Target {
+    pub fn target(&self, c: Cell) -> &Target {
         let i = self.index(c);
-        let root = self.find_idx(i);
+        let root = self.find_idx_ro(i);
         &self.target[root]
     }
 
     /// All members of `c`'s class.
-    pub fn members(&mut self, c: Cell) -> &[Cell] {
+    pub fn members(&self, c: Cell) -> &[Cell] {
         let i = self.index(c);
-        let root = self.find_idx(i);
+        let root = self.find_idx_ro(i);
         &self.members[root]
     }
 
     /// Sum of member weights of `c`'s class.
-    pub fn weight_sum(&mut self, c: Cell) -> f64 {
+    pub fn weight_sum(&self, c: Cell) -> f64 {
         let i = self.index(c);
-        let root = self.find_idx(i);
+        let root = self.find_idx_ro(i);
         self.weight_sum[root]
     }
 
@@ -263,7 +275,7 @@ impl EqClasses {
     /// Iterate over all class roots (cells) with free targets and more than
     /// one member — the classes the instantiation phase (lines 10–12 of
     /// Fig. 4) must assign.
-    pub fn free_multi_member_roots(&mut self) -> Vec<Cell> {
+    pub fn free_multi_member_roots(&self) -> Vec<Cell> {
         let n = self.parent.len();
         let mut roots = Vec::new();
         for i in 0..n {
@@ -300,7 +312,7 @@ mod tests {
 
     #[test]
     fn starts_as_singletons() {
-        let mut eq = cells();
+        let eq = cells();
         assert_eq!(eq.class_count(), 6);
         assert_eq!(eq.total_rank(), 0);
         assert_eq!(eq.members(c(0, 0)), &[c(0, 0)]);
@@ -405,6 +417,26 @@ mod tests {
         let roots = eq.free_multi_member_roots();
         assert_eq!(roots.len(), 1);
         assert!(eq.same_class(roots[0], c(0, 0)));
+    }
+
+    #[test]
+    fn read_only_lookups_need_no_mut() {
+        // The speculative planner shares one EqClasses across worker
+        // threads through `&`: every read accessor must answer correctly
+        // on deep, uncompressed chains.
+        let mut eq = EqClasses::new(6, 1, |_, _| 1.0);
+        for t in 1..6 {
+            eq.merge(c(t - 1, 0), c(t, 0)).unwrap();
+        }
+        eq.set_target(c(0, 0), Target::Const(cid("deep"))).unwrap();
+        let view: &EqClasses = &eq;
+        let root = view.find(c(5, 0));
+        assert!(view.same_class(root, c(0, 0)));
+        assert_eq!(*view.target(c(5, 0)), Target::Const(cid("deep")));
+        assert_eq!(view.members(c(5, 0)).len(), 6);
+        assert_eq!(view.weight_sum(c(3, 0)), 6.0);
+        // Reads through `&` are repeatable: nothing was compressed away.
+        assert_eq!(view.find(c(5, 0)), root);
     }
 
     #[test]

@@ -484,7 +484,12 @@ impl<'a> IncState<'a> {
                     pending.iter().map(|id| key_of(*id)).collect()
                 } else {
                     let chunk = pending.len().div_ceil(threads);
-                    std::thread::scope(|s| {
+                    // Workers share `self` read-only; arm the LHS-index
+                    // tripwire so any future lazy growth from inside the
+                    // fan-out fails loudly instead of leaking scheduling
+                    // into group state.
+                    self.lhs.freeze();
+                    let keyed = std::thread::scope(|s| {
                         let handles: Vec<_> = pending
                             .chunks(chunk.max(1))
                             .map(|part| {
@@ -495,7 +500,9 @@ impl<'a> IncState<'a> {
                             .into_iter()
                             .flat_map(|h| h.join().expect("ordering shard panicked"))
                             .collect()
-                    })
+                    });
+                    self.lhs.thaw();
+                    keyed
                 };
                 keyed.sort();
                 for (slot, (_, _, id)) in pending.iter_mut().zip(keyed) {

@@ -45,10 +45,28 @@ pub struct LhsIndex {
 }
 
 /// The LHS-indices for the variable CFDs in Σ, shared by shape.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct LhsIndexes {
     /// One index per distinct `(lhs attrs, rhs attr)` among variable CFDs.
     shapes: HashMap<(Vec<cfd_model::AttrId>, cfd_model::AttrId), LhsIndex>,
+    /// Determinism tripwire, mirroring `GroupIndexes`: while a parallel
+    /// phase shares this structure read-only across worker threads (the
+    /// V-INCREPAIR ordering scan, speculative planning on snapshots),
+    /// growing a group from a worker would make pin outcomes depend on
+    /// scheduling. `freeze` arms the wire; `insert` panics while armed —
+    /// index growth must happen on the main state, in resolution order.
+    frozen: std::sync::atomic::AtomicBool,
+}
+
+impl Clone for LhsIndexes {
+    fn clone(&self) -> Self {
+        // Clones start thawed: the wire guards one shared instance
+        // during one phase, not its descendants.
+        LhsIndexes {
+            shapes: self.shapes.clone(),
+            frozen: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
 }
 
 /// Outcome of validating a candidate RHS value against a group.
@@ -111,6 +129,26 @@ impl LhsIndex {
 const PARALLEL_BUILD_THRESHOLD: usize = 4_096;
 
 impl LhsIndexes {
+    fn with_shapes(shapes: HashMap<(Vec<cfd_model::AttrId>, cfd_model::AttrId), LhsIndex>) -> Self {
+        LhsIndexes {
+            shapes,
+            frozen: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Arm the mutation tripwire for the duration of a read-only parallel
+    /// phase. Takes `&self` so already-shared references can arm it.
+    pub fn freeze(&self) {
+        self.frozen
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Disarm the tripwire once exclusive access is re-established.
+    pub fn thaw(&self) {
+        self.frozen
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+
     /// Build indices for every variable-CFD shape in `sigma` over `rel`.
     pub fn build(rel: &Relation, sigma: &Sigma) -> Self {
         Self::build_with(rel, sigma, &Parallelism::serial())
@@ -144,7 +182,7 @@ impl LhsIndexes {
                     ((lhs, rhs), idx)
                 })
                 .collect();
-            return LhsIndexes { shapes };
+            return LhsIndexes::with_shapes(shapes);
         }
         // Phase 1: extract `[shape][shard]` entry lists over id chunks.
         type EntryLists = Vec<Vec<Vec<(IdKey, ValueId)>>>;
@@ -237,11 +275,16 @@ impl LhsIndexes {
                 idx.map.extend(from);
             }
         }
-        LhsIndexes { shapes }
+        LhsIndexes::with_shapes(shapes)
     }
 
     /// Register a tuple newly inserted into the clean repair.
     pub fn insert<V: TupleView + ?Sized>(&mut self, _sigma: &Sigma, t: &V) {
+        assert!(
+            !self.frozen.load(std::sync::atomic::Ordering::Acquire),
+            "LhsIndexes::insert during a frozen (read-only parallel) phase: \
+             index growth must run on the main state in resolution order"
+        );
         for ((lhs, rhs_attr), idx) in self.shapes.iter_mut() {
             let key = t.project_key(lhs);
             let state = idx.map.entry(key).or_default();
@@ -432,6 +475,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "LhsIndexes::insert during a frozen")]
+    fn frozen_indexes_reject_insert() {
+        let (rel, sigma) = setup();
+        let mut idx = LhsIndexes::build(&rel, &sigma);
+        idx.freeze();
+        idx.insert(&sigma, &Tuple::from_iter(["415", "1", "SF"]));
+    }
+
+    #[test]
+    fn thaw_reenables_insert_and_clones_start_thawed() {
+        let (rel, sigma) = setup();
+        let mut idx = LhsIndexes::build(&rel, &sigma);
+        idx.freeze();
+        idx.thaw();
+        idx.insert(&sigma, &Tuple::from_iter(["415", "1", "SF"]));
+        idx.freeze();
+        let mut copy = idx.clone();
+        copy.insert(&sigma, &Tuple::from_iter(["510", "2", "OAK"]));
+        idx.thaw();
     }
 
     #[test]

@@ -24,6 +24,37 @@
 //! setup fan out across threads ([`Parallelism`]) while staying
 //! byte-identical to a serial run.
 //!
+//! ## The speculative resolution loop
+//!
+//! [`speculative`] extends the parallelism from the setup into the
+//! resolution loop itself, under a **plan/validate/commit** protocol:
+//!
+//! * **Plan** — each round, the top `k` dirty entries of the `PICKNEXT`
+//!   heap are partitioned by LHS-key hash range and planned concurrently
+//!   (`PICKNEXT` verify + `CFD-RESOLVE` + `FINDV`) against the frozen
+//!   current state; every plan records its **read-set** (work tuples,
+//!   census groups, S-set index groups, equivalence-class roots, lazy
+//!   index builds).
+//! * **Validate + commit** — plans replay in the serial heap order. A
+//!   plan whose read-set is untouched since the snapshot commits without
+//!   replanning (its lazy S-set `ensure`s are replayed onto the main
+//!   state *at its heap position* — index group order is
+//!   history-dependent and FINDV truncates group walks, so build order
+//!   is part of the determinism contract). A stale plan **aborts** and
+//!   its entry is replanned inline through the sequential code path.
+//!   Aborts happen exactly when an earlier commit in the same round
+//!   wrote a cell the plan read — cross-shard LHS conflicts, shared
+//!   S-groups, shared equivalence classes.
+//!
+//! Output is therefore byte-identical at every thread count **and**
+//! every speculation depth `k`: commits are either literally sequential
+//! plans or bit-equal to them (planning is a pure function of the state
+//! it reads), and the commit order is the same total `(cost, use_count,
+//! ValueId, CFD, tuple)` order the frontier merge and the lazy heap
+//! share. `BatchConfig::speculate` / `CFD_SPECULATE` / CLI `--speculate`
+//! select `k`; [`SpecStats`] reports the schedule (commit/abort/miss
+//! counts) — the only thing that legitimately varies with threads.
+//!
 //! Both repair problems are NP-complete (the paper's Corollaries 4.1/5.1,
 //! via Bohannon et al. 2005 and distance-SAT); the algorithms here are the
 //! paper's heuristics, with termination enforced by an explicit progress
@@ -39,12 +70,17 @@ pub mod incremental;
 pub mod ind_repair;
 pub mod lhs_index;
 pub mod shard;
+pub mod speculative;
 pub mod subset;
 
-pub use batch::{batch_repair, BatchConfig, BatchOutcome, BatchStats, MergePricing, PickStrategy};
+pub use batch::{
+    batch_repair, batch_repair_traced, BatchConfig, BatchOutcome, BatchStats, MergePricing,
+    PickStrategy,
+};
 pub use incremental::{inc_repair, IncConfig, IncOutcome, Ordering};
 pub use ind_repair::{repair_ind, repair_inds, IndRepairConfig, IndRepairStats};
 pub use shard::Parallelism;
+pub use speculative::SpecStats;
 pub use subset::{consistent_subset, repair_via_incremental};
 
 /// Errors surfaced by the repair algorithms.

@@ -113,6 +113,33 @@ impl Default for Parallelism {
     }
 }
 
+/// Maximum configurable speculation depth; far above any useful window.
+/// Both the `CFD_SPECULATE` resolution and the CLI `--speculate` flag
+/// clamp to it, and the speculative loop clamps once more defensively.
+pub const MAX_SPECULATE: usize = 1_024;
+
+/// The environment default for [`BatchConfig::speculate`]
+/// (`crate::batch::BatchConfig`): under the `parallel` feature, honour
+/// `CFD_SPECULATE` when set (clamped to `0..=1024`); otherwise `0`
+/// (the sequential resolution loop). Like `CFD_THREADS`, the variable is
+/// resolved once per process — the CI determinism matrix sets it to
+/// exercise every default-config repair speculatively.
+pub fn speculation_from_env() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *RESOLVED.get_or_init(|| {
+            std::env::var("CFD_SPECULATE")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<usize>().ok())
+                .map(|n| n.min(MAX_SPECULATE))
+                .unwrap_or(0)
+        })
+    }
+    #[cfg(not(feature = "parallel"))]
+    0
+}
+
 /// Shard index of a group key: a stable FNV-1a hash of the id run, reduced
 /// modulo the shard count. Stability matters — `std`'s hasher is seeded
 /// per-process, and the partition must be a pure function of the data so
@@ -398,6 +425,19 @@ impl GroupCensus {
             .iter()
             .find(|(l, r, _)| l == lhs && *r == rhs)
             .map(|(_, _, map)| map)
+    }
+
+    /// Position of a tracked shape — the stable identifier speculative
+    /// read-sets and write stamps key census cells by.
+    pub(crate) fn shape_pos(&self, lhs: &[AttrId], rhs: AttrId) -> Option<usize> {
+        self.shapes
+            .iter()
+            .position(|(l, r, _)| l == lhs && *r == rhs)
+    }
+
+    /// The tracked shapes, for write stamping: `(lhs, rhs)` per position.
+    pub(crate) fn shape_list(&self) -> impl Iterator<Item = (&[AttrId], AttrId)> + '_ {
+        self.shapes.iter().map(|(l, r, _)| (l.as_slice(), *r))
     }
 
     /// Number of distinct non-null RHS values in `t`'s group under the

@@ -1,0 +1,797 @@
+//! Speculative parallel resolution loop for `BATCHREPAIR`.
+//!
+//! PR 3 parallelized the repair's *setup* (census, initial frontier); the
+//! resolution loop stayed sequential because every fix mutates shared
+//! state. This module parallelizes the loop itself without giving up the
+//! byte-identical-at-every-thread-count contract, using optimistic
+//! concurrency in the classic plan/validate/commit shape:
+//!
+//! 1. **Select.** Pop the top `k` *distinct dirty* entries off the
+//!    `PICKNEXT` heap (and push everything back — selection is a peek).
+//! 2. **Plan.** Partition the selected `(CFD, tuple)` pairs by LHS-key
+//!    hash range ([`crate::shard::shard_of`]) and let `std::thread::scope`
+//!    workers run `PICKNEXT` verification + `CFD-RESOLVE` + `FINDV`
+//!    against the *frozen* current state. Workers share everything
+//!    read-only — equivalence-class lookups are non-mutating, S-set
+//!    indexes missing from the main state build into worker-private
+//!    overlays — and record a **read-set** per plan: work tuples, census
+//!    groups, S-set index groups, equivalence-class roots, and the
+//!    base-missing `ensure`s the plan would have triggered.
+//! 3. **Commit.** Replay the *exact serial pop discipline* on the heap.
+//!    A popped entry whose cached plan's read-set is untouched since the
+//!    snapshot commits without replanning (after replaying its `ensure`s
+//!    on the main state, in merge order — S-set group order is
+//!    history-dependent and FINDV truncates group walks, so build order
+//!    is part of the contract). A stale plan **aborts**: it is discarded
+//!    and the entry is replanned inline against current state — which is
+//!    literally the sequential code path, so equivalence holds by
+//!    construction. Writes during the commit phase stamp the touched
+//!    cells with a monotone epoch ([`cfd_model::epoch`]); validation is
+//!    "no read key stamped after the round snapshot".
+//!
+//! The round ends when every cached plan is consumed (committed, dropped,
+//! moot, or aborted), and the next round re-selects and re-plans. Shards
+//! working disjoint LHS-key ranges rarely invalidate each other — the
+//! measured abort rate is the interesting number, recorded by
+//! [`SpecStats`] and the kernels bench.
+//!
+//! **Why the output cannot depend on threads or `k`:** every fix that
+//! commits was planned against exactly the state the sequential loop
+//! would have planned it against — either literally (inline replan) or
+//! provably (validated read-set: planning is a pure function of the state
+//! it reads, and none of it changed). The commit order is the serial heap
+//! order, driven by the same total `(cost, use_count, ValueId, CFD,
+//! tuple)` key the frontier merge uses. Threads and `k` only move work
+//! between the "cached" and "replanned" paths, never change what any path
+//! computes. The differential suite (`tests/parallel_differential.rs`)
+//! pins this over a (threads × k) matrix, cost bits included.
+//!
+//! One read is deliberately outside the validated set: the process-global
+//! [`ValuePool`](cfd_model::ValuePool) `use_count` counters that break
+//! exact FINDV cost ties and order the heap's `freq` component. A repair
+//! never interns during resolution, so within one repair the counters are
+//! constant; but another thread interning into the shared pool mid-repair
+//! can flip a tie at whatever moment it lands — which perturbs *serial*
+//! runs exactly the same way (the counters are time-of-read-dependent in
+//! every mode, as the FINDV comment in `batch.rs` documents). Versioning
+//! the pool to validate this would buy nothing the serial loop has.
+
+use std::cmp::Reverse;
+use std::collections::{HashMap, HashSet};
+
+use cfd_cfd::CfdId;
+use cfd_model::epoch::{Epoch, EpochClock, VersionMap};
+use cfd_model::{AttrId, IdKey, Tuple, TupleId};
+
+use crate::batch::{cost_key, fix_meta, BatchState, Fix, HeapKey, Planner};
+use crate::distance::DistanceCache;
+use crate::equivalence::Cell;
+use crate::shard::{self, GroupCensus};
+use crate::RepairError;
+
+/// Counters describing the speculative schedule of one repair. These are
+/// *not* part of the repair contract — abort/hit splits legitimately vary
+/// with thread count and speculation depth; the repair itself never does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Plan/validate/commit rounds executed.
+    pub rounds: usize,
+    /// Plans produced by the parallel planning phase.
+    pub planned: usize,
+    /// Cached plans used at commit (committed, requeued, or clean-dropped)
+    /// after validation passed.
+    pub hits: usize,
+    /// Fixes applied straight from a validated cached plan.
+    pub commits: usize,
+    /// Cached plans discarded because a read cell was written after the
+    /// snapshot; the entry was replanned inline.
+    pub aborts: usize,
+    /// Dirty entries popped with no cached plan (beyond the speculation
+    /// window, or re-dirtied mid-round); replanned inline.
+    pub misses: usize,
+    /// Cached plans whose entry re-queued at its true price (the serial
+    /// lazy-heap discipline), to commit on a later pop.
+    pub requeues: usize,
+    /// Cached verifications that found the violation already gone.
+    pub clean_drops: usize,
+    /// Plans dropped because their pair left the dirty set before their
+    /// heap entry came up.
+    pub moot: usize,
+    /// S-set `ensure` builds replayed onto the main state in merge order.
+    pub ensures_replayed: usize,
+}
+
+impl SpecStats {
+    /// Aborted fraction of all produced plans (0 when nothing was planned).
+    pub fn abort_rate(&self) -> f64 {
+        if self.planned == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.planned as f64
+        }
+    }
+}
+
+/// Everything one speculative plan read from mutable repair state, plus
+/// the lazy index builds it would have triggered. Recorded by the
+/// [`Planner`] while `reads` is armed; validated against [`SpecLog`]
+/// write stamps at commit time.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ReadSet {
+    /// Work tuples whose values were read.
+    pub(crate) tuples: HashSet<TupleId>,
+    /// Census groups read, keyed by (tracked shape position, group key).
+    pub(crate) census: HashSet<(usize, IdKey)>,
+    /// S-set index groups read, keyed by (attribute list, group key).
+    pub(crate) groups: HashSet<(Vec<AttrId>, IdKey)>,
+    /// Equivalence classes read, identified by their root at plan time.
+    pub(crate) eq_roots: HashSet<Cell>,
+    /// S-set attribute lists the plan probed that were missing from the
+    /// main state (built into the worker overlay); the commit phase
+    /// replays these `ensure`s in merge order, first touch order within
+    /// the plan.
+    pub(crate) ensured: Vec<Vec<AttrId>>,
+}
+
+/// Epoch write stamps over the mutable repair state, maintained while a
+/// speculative commit phase is live (`BatchState::spec_log`). Each round
+/// arms a fresh log and drops it when its plans are consumed — between
+/// rounds no plan is in flight, so writes there (serial fallback steps,
+/// instantiation) have nothing to invalidate and are not stamped.
+pub(crate) struct SpecLog {
+    clock: EpochClock,
+    tuples: VersionMap<TupleId>,
+    census: VersionMap<(usize, IdKey)>,
+    groups: VersionMap<(Vec<AttrId>, IdKey)>,
+    eq_roots: VersionMap<Cell>,
+    /// S-set attribute lists any in-flight plan may have read: writes
+    /// stamp group keys under every watched list containing the written
+    /// attribute. Grown (never shrunk) at each round's commit start, so a
+    /// write can never miss a list some pending plan reads.
+    watch: Vec<Vec<AttrId>>,
+}
+
+impl SpecLog {
+    pub(crate) fn new() -> Self {
+        SpecLog {
+            clock: EpochClock::new(),
+            tuples: VersionMap::new(),
+            census: VersionMap::new(),
+            groups: VersionMap::new(),
+            eq_roots: VersionMap::new(),
+            watch: Vec::new(),
+        }
+    }
+
+    /// The snapshot primitive: everything stamped after this is "written
+    /// since the round began".
+    pub(crate) fn snapshot(&self) -> Epoch {
+        self.clock.now()
+    }
+
+    /// Add attribute lists to the write-stamp watch set.
+    pub(crate) fn watch_attrs<'a>(&mut self, lists: impl IntoIterator<Item = &'a Vec<AttrId>>) {
+        for l in lists {
+            if !self.watch.iter().any(|w| w == l) {
+                self.watch.push(l.clone());
+            }
+        }
+    }
+
+    /// Stamp one cell write: the tuple, every census group it enters or
+    /// leaves, and every watched S-set index group whose key involves the
+    /// written attribute. Called by `write_cell` *before* the downstream
+    /// structures change.
+    pub(crate) fn record_write(
+        &mut self,
+        cell: Cell,
+        before: &Tuple,
+        after: &Tuple,
+        census: &GroupCensus,
+    ) {
+        let now = self.clock.tick();
+        self.tuples.stamp(cell.tuple, now);
+        for (si, (lhs, rhs)) in census.shape_list().enumerate() {
+            let key_changed = !before.agrees_on(after, lhs);
+            let val_changed = before.id(rhs) != after.id(rhs);
+            if !key_changed && !val_changed {
+                continue;
+            }
+            self.census.stamp((si, before.project_key(lhs)), now);
+            if key_changed {
+                self.census.stamp((si, after.project_key(lhs)), now);
+            }
+        }
+        for i in 0..self.watch.len() {
+            if !self.watch[i].contains(&cell.attr) {
+                continue;
+            }
+            // The write changed `cell.attr`'s value and the list contains
+            // it, so the before/after projections necessarily differ:
+            // both the left and the joined group were touched.
+            let kb = before.project_key(&self.watch[i]);
+            let ka = after.project_key(&self.watch[i]);
+            debug_assert_ne!(kb, ka, "projection must move with a member write");
+            self.groups.stamp((self.watch[i].clone(), kb), now);
+            self.groups.stamp((self.watch[i].clone(), ka), now);
+        }
+    }
+
+    /// Stamp the pre-op roots of classes an `apply_fix` is about to
+    /// mutate (the same identification plan read-sets use: a class read
+    /// under root `r` is invalidated by any merge or target change whose
+    /// pre-op root was `r`).
+    pub(crate) fn record_eq(&mut self, roots: &[Cell]) {
+        let now = self.clock.tick();
+        for r in roots {
+            self.eq_roots.stamp(*r, now);
+        }
+    }
+
+    /// First read category written after `since`, or `None` when the
+    /// whole read-set is still untouched (the plan is valid).
+    pub(crate) fn invalidated(&self, reads: &ReadSet, since: Epoch) -> Option<&'static str> {
+        if reads
+            .tuples
+            .iter()
+            .any(|t| self.tuples.changed_since(t, since))
+        {
+            return Some("tuple");
+        }
+        if reads
+            .census
+            .iter()
+            .any(|k| self.census.changed_since(k, since))
+        {
+            return Some("census");
+        }
+        if reads
+            .groups
+            .iter()
+            .any(|k| self.groups.changed_since(k, since))
+        {
+            return Some("s-group");
+        }
+        if reads
+            .eq_roots
+            .iter()
+            .any(|c| self.eq_roots.changed_since(c, since))
+        {
+            return Some("eq-class");
+        }
+        None
+    }
+}
+
+/// What one planning worker concluded about one dirty `(CFD, tuple)` pair.
+enum PlanOutcome {
+    /// The violation is already gone: remove from the dirty set.
+    Clean,
+    /// Verified but unresolvable (defensive; mirrors the serial drop).
+    NoPlan,
+    /// A priced fix, ready to commit at `price` in the total order.
+    Planned { fix: Fix, price: HeapKey, cost: f64 },
+}
+
+/// One speculative plan: the pair, the verdict, and what planning read.
+struct SpecPlan {
+    cfd: u32,
+    tid: u32,
+    outcome: PlanOutcome,
+    reads: ReadSet,
+}
+
+/// Plan every pair of one shard against the frozen state. Pure reads: the
+/// worker shares `state` immutably and keeps its own index overlay and
+/// distance memo across pairs (both semantically transparent).
+fn plan_worker(state: &BatchState<'_>, pairs: &[(u32, u32)]) -> Vec<SpecPlan> {
+    let mut dcache = DistanceCache::new();
+    let mut planner = Planner::snapshot(state, &mut dcache);
+    let mut out = Vec::with_capacity(pairs.len());
+    for &(cfd, tid) in pairs {
+        let n = state.sigma.get(CfdId(cfd)).clone();
+        planner.begin_recording();
+        let outcome = match planner.violates(&n, TupleId(tid)) {
+            None => PlanOutcome::Clean,
+            Some(v) => match planner.plan_fix(&n, TupleId(tid), &v) {
+                None => PlanOutcome::NoPlan,
+                Some((fix, cost)) => {
+                    let (freq, value) = fix_meta(&fix);
+                    PlanOutcome::Planned {
+                        price: (cost_key(cost), freq, value, cfd, tid),
+                        fix,
+                        cost,
+                    }
+                }
+            },
+        };
+        out.push(SpecPlan {
+            cfd,
+            tid,
+            outcome,
+            reads: planner.take_reads(),
+        });
+    }
+    out
+}
+
+/// Render an attribute list for the audit trace.
+fn attrs_label(attrs: &[AttrId]) -> String {
+    let parts: Vec<String> = attrs.iter().map(|a| a.index().to_string()).collect();
+    parts.join("+")
+}
+
+impl<'a> BatchState<'a> {
+    /// Append a trace line (audit runs only); the closure never runs when
+    /// tracing is off.
+    fn tracef(&mut self, f: impl FnOnce() -> String) {
+        if self.trace.is_some() {
+            let line = f();
+            if let Some(t) = self.trace.as_mut() {
+                t.push(line);
+            }
+        }
+    }
+
+    /// Peek the next `k` distinct dirty `(CFD, tuple)` pairs in heap
+    /// order. Pops are pushed back verbatim — the heap's multiset (and
+    /// therefore its pop order) is unchanged.
+    fn select_pairs(&mut self, k: usize) -> Vec<(u32, u32)> {
+        let cap = k.saturating_mul(8).saturating_add(32);
+        let mut popped: Vec<HeapKey> = Vec::new();
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut out = Vec::new();
+        while out.len() < k && popped.len() < cap {
+            let Some(Reverse(key)) = self.heap.pop() else {
+                break;
+            };
+            let (_, _, _, cfd, tid) = key;
+            popped.push(key);
+            if self.dirty[cfd as usize].contains(&TupleId(tid)) && seen.insert((cfd, tid)) {
+                out.push((cfd, tid));
+            }
+        }
+        for key in popped {
+            self.heap.push(Reverse(key));
+        }
+        out
+    }
+
+    /// Plan the selected pairs concurrently against the frozen state,
+    /// sharded by LHS-key hash range like every other parallel phase.
+    fn plan_pairs(&self, pairs: &[(u32, u32)]) -> Vec<SpecPlan> {
+        let threads = self.config.parallelism.get().clamp(1, pairs.len().max(1));
+        let mut shards: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
+        for &(cfd, tid) in pairs {
+            let n = self.sigma.get(CfdId(cfd));
+            let key = self
+                .work
+                .tuple(TupleId(tid))
+                .expect("dirty tuple is live")
+                .project_key(n.lhs());
+            shards[shard::shard_of(key.as_slice(), threads)].push((cfd, tid));
+        }
+        // Workers share the main state read-only; arm the index tripwire
+        // so a lazy main-state `ensure` from inside the planning fan-out
+        // (an out-of-merge-order build) panics instead of corrupting the
+        // determinism contract.
+        self.indexes.freeze();
+        let plans: Vec<SpecPlan> = if threads <= 1 {
+            plan_worker(self, &shards[0])
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .filter(|p| !p.is_empty())
+                    .map(|p| s.spawn(move || plan_worker(self, p)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("speculative planning shard panicked"))
+                    .collect()
+            })
+        };
+        self.indexes.thaw();
+        plans
+    }
+
+    /// One plan/validate/commit round over up to `speculate` entries.
+    /// Returns whether any fix was applied.
+    fn commit_round(
+        &mut self,
+        plans: Vec<SpecPlan>,
+        max_steps: usize,
+    ) -> Result<bool, RepairError> {
+        // Arm the write log: watch every S-set list any plan read, then
+        // snapshot. Planning ran strictly before this point, so "stamped
+        // after the snapshot" is exactly "written after planning".
+        let snapshot = {
+            let log = self.spec_log.get_or_insert_with(SpecLog::new);
+            for p in &plans {
+                log.watch_attrs(p.reads.groups.iter().map(|(attrs, _)| attrs));
+                log.watch_attrs(p.reads.ensured.iter());
+            }
+            log.snapshot()
+        };
+        let mut plan_map: HashMap<(u32, u32), SpecPlan> =
+            plans.into_iter().map(|p| ((p.cfd, p.tid), p)).collect();
+        let mut applied = false;
+        while !plan_map.is_empty() {
+            let Some(Reverse(key)) = self.heap.pop() else {
+                break;
+            };
+            let (_, _, _, cfd_raw, tid_raw) = key;
+            let id = CfdId(cfd_raw);
+            let tid = TupleId(tid_raw);
+            if !self.dirty[id.index()].contains(&tid) {
+                // Stale entry: serial drops it on pop. If a cached plan
+                // still rides on this pair, the pair was resolved through
+                // another entry — the plan is moot.
+                if plan_map.remove(&(cfd_raw, tid_raw)).is_some() {
+                    if let Some(s) = self.spec_stats.as_mut() {
+                        s.moot += 1;
+                    }
+                    self.tracef(|| format!("moot {cfd_raw}:{tid_raw}"));
+                }
+                continue;
+            }
+            // Validate the cached plan, if any.
+            let verdict = plan_map.get(&(cfd_raw, tid_raw)).map(|plan| {
+                self.spec_log
+                    .as_ref()
+                    .expect("log armed above")
+                    .invalidated(&plan.reads, snapshot)
+            });
+            match verdict {
+                Some(None) => {
+                    // Cache hit: replay the plan's lazy index builds on
+                    // the main state — this pop is exactly where the
+                    // serial loop would have built them.
+                    let plan = plan_map.remove(&(cfd_raw, tid_raw)).expect("present");
+                    if let Some(s) = self.spec_stats.as_mut() {
+                        s.hits += 1;
+                    }
+                    for attrs in &plan.reads.ensured {
+                        self.indexes.ensure(&self.work, attrs);
+                        if let Some(s) = self.spec_stats.as_mut() {
+                            s.ensures_replayed += 1;
+                        }
+                    }
+                    if self.trace.is_some() {
+                        for attrs in &plan.reads.ensured {
+                            let label = attrs_label(attrs);
+                            self.tracef(|| format!("ensure [{label}] for {cfd_raw}:{tid_raw}"));
+                        }
+                    }
+                    match plan.outcome {
+                        PlanOutcome::Clean | PlanOutcome::NoPlan => {
+                            self.dirty[id.index()].remove(&tid);
+                            if let Some(s) = self.spec_stats.as_mut() {
+                                s.clean_drops += 1;
+                            }
+                            self.tracef(|| format!("clean {cfd_raw}:{tid_raw}"));
+                        }
+                        PlanOutcome::Planned { fix, price, cost } => {
+                            if price > key {
+                                // Price rose since this entry was queued:
+                                // requeue at the true price, keep the plan
+                                // cached for the later pop. Its `ensure`s
+                                // were just replayed — clear them so the
+                                // later pop doesn't replay (and count)
+                                // them twice.
+                                self.heap.push(Reverse(price));
+                                plan_map.insert(
+                                    (cfd_raw, tid_raw),
+                                    SpecPlan {
+                                        cfd: cfd_raw,
+                                        tid: tid_raw,
+                                        outcome: PlanOutcome::Planned { fix, price, cost },
+                                        reads: ReadSet {
+                                            ensured: Vec::new(),
+                                            ..plan.reads
+                                        },
+                                    },
+                                );
+                                if let Some(s) = self.spec_stats.as_mut() {
+                                    s.requeues += 1;
+                                }
+                                self.tracef(|| format!("requeue {cfd_raw}:{tid_raw}"));
+                                continue;
+                            }
+                            let desc = fix.describe();
+                            self.apply_fix(fix)?;
+                            self.heap.push(Reverse(price));
+                            applied = true;
+                            if let Some(s) = self.spec_stats.as_mut() {
+                                s.commits += 1;
+                            }
+                            self.tracef(|| {
+                                format!("commit {cfd_raw}:{tid_raw} {desc} cost={cost:.3}")
+                            });
+                        }
+                    }
+                }
+                other => {
+                    // Abort (stale plan) or miss (no plan): replan inline
+                    // against current state — the sequential code path.
+                    if let Some(Some(reason)) = other {
+                        plan_map.remove(&(cfd_raw, tid_raw));
+                        if let Some(s) = self.spec_stats.as_mut() {
+                            s.aborts += 1;
+                        }
+                        self.tracef(|| format!("abort {cfd_raw}:{tid_raw} reason={reason}"));
+                    } else {
+                        if let Some(s) = self.spec_stats.as_mut() {
+                            s.misses += 1;
+                        }
+                        self.tracef(|| format!("miss {cfd_raw}:{tid_raw}"));
+                    }
+                    let n = self.sigma.get(id).clone();
+                    let violation = match self.planner().violates(&n, tid) {
+                        Some(v) => v,
+                        None => {
+                            self.dirty[id.index()].remove(&tid);
+                            self.tracef(|| format!("inline-clean {cfd_raw}:{tid_raw}"));
+                            continue;
+                        }
+                    };
+                    let (fix, cost) = match self.planner().plan_fix(&n, tid, &violation) {
+                        Some(planned) => planned,
+                        None => {
+                            self.dirty[id.index()].remove(&tid);
+                            continue;
+                        }
+                    };
+                    let (freq, value) = fix_meta(&fix);
+                    let price: HeapKey = (cost_key(cost), freq, value, cfd_raw, tid_raw);
+                    if price > key {
+                        self.heap.push(Reverse(price));
+                        self.tracef(|| format!("inline-requeue {cfd_raw}:{tid_raw}"));
+                        continue;
+                    }
+                    let desc = fix.describe();
+                    self.apply_fix(fix)?;
+                    self.heap.push(Reverse(price));
+                    applied = true;
+                    self.tracef(|| {
+                        format!("inline-commit {cfd_raw}:{tid_raw} {desc} cost={cost:.3}")
+                    });
+                }
+            }
+            if self.stats.steps > max_steps {
+                return Err(RepairError::Internal(format!(
+                    "exceeded step bound {max_steps}: termination invariant broken"
+                )));
+            }
+        }
+        // Disarm the write log: no plans are in flight between rounds, so
+        // stamps written outside a commit phase (the serial fallback step,
+        // the instantiation phase) could never be read by any validation —
+        // dropping the log saves the stamping work and its memory. The
+        // next round re-arms a fresh log before taking its snapshot.
+        self.spec_log = None;
+        Ok(applied)
+    }
+
+    /// The speculative resolution loop: rounds of select → parallel plan
+    /// → validated commit, until the heap is exhausted. Byte-identical to
+    /// draining [`BatchState::step_global`] — see the module docs for the
+    /// argument. Returns whether any fix was applied.
+    pub(crate) fn step_speculative(&mut self, max_steps: usize) -> Result<bool, RepairError> {
+        let k = self.config.speculate.clamp(1, shard::MAX_SPECULATE);
+        let mut applied_any = false;
+        loop {
+            let pairs = self.select_pairs(k);
+            if pairs.is_empty() {
+                // Nothing dirty within reach: drain remaining stale
+                // entries through the serial step (it returns false when
+                // no violation survives anywhere).
+                if self.step_global()? {
+                    applied_any = true;
+                    continue;
+                }
+                break;
+            }
+            let plans = self.plan_pairs(&pairs);
+            if let Some(s) = self.spec_stats.as_mut() {
+                s.rounds += 1;
+                s.planned += plans.len();
+            }
+            if self.trace.is_some() {
+                let mut listed: Vec<(u32, u32)> = plans.iter().map(|p| (p.cfd, p.tid)).collect();
+                listed.sort_unstable();
+                let parts: Vec<String> = listed.iter().map(|(c, t)| format!("{c}:{t}")).collect();
+                let round = self.spec_stats.map(|s| s.rounds).unwrap_or(0);
+                self.tracef(|| format!("round {round}: planned=[{}]", parts.join(",")));
+            }
+            if self.commit_round(plans, max_steps)? {
+                applied_any = true;
+            }
+        }
+        Ok(applied_any)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cfd_cfd::pattern::{PatternRow, PatternValue};
+    use cfd_cfd::{Cfd, Sigma};
+    use cfd_model::{AttrId, Relation, Schema, Tuple, Value};
+
+    use crate::batch::{batch_repair, batch_repair_traced, BatchConfig, BatchState};
+    use crate::shard::Parallelism;
+
+    /// A workload with both constant and variable violations spread over
+    /// several LHS groups: enough independent work for plans to survive
+    /// validation, enough group sharing for some to abort.
+    fn workload() -> (Relation, Sigma) {
+        let schema = Schema::new("s", &["a", "b", "c", "d"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        for i in 0..24u32 {
+            // Moduli chosen coprime so every LHS group mixes RHS values
+            // (variable conflicts) and the z0 pattern meets non-w0 cells
+            // (constant violations).
+            let mut t = Tuple::new(vec![
+                Value::str(format!("k{}", i % 5)),
+                Value::str(format!("v{}", i % 3)),
+                Value::str(format!("w{}", i % 3)),
+                Value::str(format!("z{}", i % 4)),
+            ]);
+            t.set_weight(AttrId(1), 0.2 + 0.1 * ((i % 5) as f64));
+            rel.insert(t).unwrap();
+        }
+        let fd = Cfd::standard_fd("fd", vec![AttrId(0)], vec![AttrId(1)]);
+        let cons = Cfd::new(
+            "cons",
+            vec![AttrId(3)],
+            vec![AttrId(2)],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("z0")],
+                vec![PatternValue::constant("w0")],
+            )],
+        )
+        .unwrap();
+        let sigma = Sigma::normalize(schema, vec![fd, cons]).unwrap();
+        (rel, sigma)
+    }
+
+    fn config(threads: usize, k: usize) -> BatchConfig {
+        BatchConfig {
+            parallelism: Parallelism::threads(threads),
+            speculate: k,
+            ..Default::default()
+        }
+    }
+
+    /// Constant-rule-only workload whose violations live in pairwise
+    /// disjoint groups: every plan survives validation, so the cached
+    /// commit path (ensure replays included) is exercised end to end.
+    fn disjoint_workload() -> (Relation, Sigma) {
+        let schema = Schema::new("s", &["a", "b", "c"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        let mut rows = Vec::new();
+        for i in 0..6u32 {
+            rel.insert(Tuple::new(vec![
+                Value::str(format!("a{i}")),
+                Value::str(format!("b{i}")),
+                Value::str(format!("bad{i}")),
+            ]))
+            .unwrap();
+            rows.push(PatternRow::new(
+                vec![PatternValue::constant(format!("a{i}"))],
+                vec![PatternValue::constant(format!("good{i}"))],
+            ));
+        }
+        let cons = Cfd::new("cons", vec![AttrId(0)], vec![AttrId(2)], rows).unwrap();
+        let sigma = Sigma::normalize(schema, vec![cons]).unwrap();
+        (rel, sigma)
+    }
+
+    /// Satellite invariant: the parallel planning phase must never drive
+    /// a lazy S-set build into the main state — snapshot misses build
+    /// into worker overlays, and the main set's attribute lists are
+    /// untouched until the commit phase replays them in merge order.
+    /// (The main indexes are also frozen during the fan-out, so a stray
+    /// `ensure` would panic — see `GroupIndexes::freeze`.)
+    #[test]
+    fn planning_never_mutates_main_indexes() {
+        let (rel, sigma) = disjoint_workload();
+        let mut state = BatchState::new(&rel, &sigma, config(4, 64));
+        let before = state.indexes.attr_lists();
+        let pairs = state.select_pairs(64);
+        assert!(!pairs.is_empty(), "workload has dirty pairs");
+        let plans = state.plan_pairs(&pairs);
+        assert_eq!(plans.len(), pairs.len());
+        assert_eq!(
+            state.indexes.attr_lists(),
+            before,
+            "planning phase grew the main index set out of merge order"
+        );
+        // Plans recorded real read-sets (FINDV S-group probes included).
+        assert!(
+            plans.iter().any(|p| !p.reads.groups.is_empty()),
+            "constant plans must probe S-set groups"
+        );
+    }
+
+    /// Disjoint plans must all commit from cache — the high-hit regime.
+    #[test]
+    fn disjoint_plans_commit_from_cache() {
+        let (rel, sigma) = disjoint_workload();
+        let serial = batch_repair(&rel, &sigma, config(1, 0)).unwrap();
+        let spec = batch_repair(&rel, &sigma, config(4, 16)).unwrap();
+        assert_eq!(serial.stats, spec.stats);
+        let sched = spec.speculation.expect("speculative stats");
+        assert!(
+            sched.commits >= 4,
+            "disjoint plans should commit: {sched:?}"
+        );
+        assert_eq!(sched.aborts, 0, "disjoint plans never conflict: {sched:?}");
+    }
+
+    /// A plan that probed an S-set list the main state lacks must have
+    /// that `ensure` replayed onto the main state when it commits — at
+    /// its heap position, which is merge order — never during planning.
+    /// (Initial-frontier scoring replays most lists at t=0, so the
+    /// mid-loop miss is staged here explicitly.)
+    #[test]
+    fn ensure_replay_runs_at_commit() {
+        let (rel, sigma) = disjoint_workload();
+        let mut state = BatchState::new(&rel, &sigma, config(1, 16));
+        let pairs = state.select_pairs(4);
+        assert!(!pairs.is_empty());
+        let mut plans = state.plan_pairs(&pairs);
+        // No CFD's S-sets mention attribute b alone: the list is absent.
+        let missing = vec![AttrId(1)];
+        assert!(state.indexes.get(&missing).is_none());
+        plans[0].reads.ensured.push(missing.clone());
+        state.commit_round(plans, 10_000).unwrap();
+        assert!(
+            state.indexes.get(&missing).is_some(),
+            "commit phase must replay the snapshot ensure onto the main state"
+        );
+        assert!(
+            state
+                .spec_stats
+                .map(|s| s.ensures_replayed >= 1)
+                .unwrap_or(false),
+            "replay must be counted"
+        );
+    }
+
+    /// The speculative loop must actually commit from cache (otherwise
+    /// every differential pass would be vacuously serial).
+    #[test]
+    fn speculation_commits_from_cache_and_matches_serial() {
+        let (rel, sigma) = workload();
+        let serial = batch_repair(&rel, &sigma, config(1, 0)).unwrap();
+        for (threads, k) in [(1, 4), (4, 4), (4, 16)] {
+            let spec = batch_repair(&rel, &sigma, config(threads, k)).unwrap();
+            assert_eq!(serial.stats, spec.stats, "threads={threads} k={k}");
+            for (id, t) in serial.repair.iter() {
+                assert_eq!(
+                    spec.repair.tuple(id).unwrap().to_tuple(),
+                    t.to_tuple(),
+                    "threads={threads} k={k}: {id}"
+                );
+            }
+            let sched = spec.speculation.expect("speculative stats");
+            assert!(sched.commits > 0, "no cache commits at k={k}: {sched:?}");
+            assert!(sched.rounds > 0);
+        }
+    }
+
+    /// The audit trace records commits, aborts, and ensure replays as
+    /// deterministic lines, and is identical across thread counts at
+    /// fixed k (the schedule is a pure function of the data and k).
+    #[test]
+    fn audit_trace_is_thread_count_independent() {
+        let (rel, sigma) = workload();
+        let (_, t1) = batch_repair_traced(&rel, &sigma, config(1, 8)).unwrap();
+        let (_, t8) = batch_repair_traced(&rel, &sigma, config(8, 8)).unwrap();
+        assert!(!t1.is_empty(), "speculative run produced no trace");
+        assert_eq!(t1, t8, "trace diverged across thread counts");
+        assert!(t1.iter().any(|l| l.starts_with("commit ")));
+        assert!(t1.iter().any(|l| l.starts_with("round ")));
+    }
+}

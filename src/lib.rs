@@ -55,6 +55,17 @@
 //! 300-trial differential suite and a CI thread-count matrix pin the
 //! guarantee.
 //!
+//! The resolution loop itself parallelizes *speculatively*
+//! ([`repair::speculative`], `CFD_SPECULATE`, CLI `--speculate`): shards
+//! plan their next k fixes concurrently against a frozen snapshot,
+//! recording read-sets, and a commit phase replays the plans in the
+//! serial heap order — validated plans apply without replanning, stale
+//! plans abort to an inline sequential replan — so output stays
+//! byte-identical at every thread count and speculation depth. A
+//! second 300-trial differential matrix (threads × k), a golden
+//! commit/abort audit-trace fixture, and epoch-versioned write-stamp
+//! validation ([`model::epoch`]) pin that contract too.
+//!
 //! ## Example
 //!
 //! Detect and repair the paper's Fig. 1 inconsistency:

@@ -1,0 +1,139 @@
+//! Golden pin of the speculative resolution loop's commit/abort audit
+//! trace on a small cross-shard-conflict scenario.
+//!
+//! The trace records every scheduling decision the plan/validate/commit
+//! protocol makes — which plans committed from cache, which aborted (and
+//! on which read category), which entries were replanned inline, where
+//! lazy S-set `ensure`s were replayed. Changes to the validation logic
+//! therefore show up as reviewable fixture diffs instead of silent
+//! behaviour drift. The trace is a pure function of (data, Σ, k): the
+//! accompanying differential suite pins thread-count independence, and
+//! this pin fixes the k=8 schedule itself.
+//!
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_speculative
+//! ```
+
+use std::path::Path;
+
+use cfdclean::cfd::pattern::{PatternRow, PatternValue};
+use cfdclean::cfd::{Cfd, Sigma};
+use cfdclean::model::{AttrId, Relation, Schema, Tuple, Value};
+use cfdclean::repair::{batch_repair, batch_repair_traced, BatchConfig, Parallelism};
+
+const FIXTURES: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+
+/// Cross-shard conflict scenario: five LHS groups under an FD share RHS
+/// value buckets and FINDV S-groups *across* groups (and therefore across
+/// shards), while a constant rule layer cross-cuts them — so concurrent
+/// plans constantly read state that earlier commits mutate. High abort
+/// pressure by construction.
+fn scenario() -> (Relation, Sigma) {
+    let schema = Schema::new("s", &["a", "b", "c", "d"]).unwrap();
+    let mut rel = Relation::new(schema.clone());
+    for i in 0..24u32 {
+        let mut t = Tuple::new(vec![
+            Value::str(format!("k{}", i % 5)),
+            Value::str(format!("v{}", i % 3)),
+            Value::str(format!("w{}", i % 3)),
+            Value::str(format!("z{}", i % 4)),
+        ]);
+        t.set_weight(AttrId(1), 0.2 + 0.1 * ((i % 5) as f64));
+        rel.insert(t).unwrap();
+    }
+    let fd = Cfd::standard_fd("fd", vec![AttrId(0)], vec![AttrId(1)]);
+    let cons = Cfd::new(
+        "cons",
+        vec![AttrId(3)],
+        vec![AttrId(2)],
+        vec![PatternRow::new(
+            vec![PatternValue::constant("z0")],
+            vec![PatternValue::constant("w0")],
+        )],
+    )
+    .unwrap();
+    let sigma = Sigma::normalize(schema, vec![fd, cons]).unwrap();
+    (rel, sigma)
+}
+
+fn config(threads: usize, k: usize) -> BatchConfig {
+    BatchConfig {
+        parallelism: Parallelism::threads(threads),
+        speculate: k,
+        ..Default::default()
+    }
+}
+
+fn check_or_update(name: &str, rendered: &str) {
+    let path = Path::new(FIXTURES).join(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable ({e}); run with GOLDEN_UPDATE=1"));
+    assert_eq!(
+        expected, rendered,
+        "fixture {name} diverged; \
+         if the change is intentional, regenerate with GOLDEN_UPDATE=1"
+    );
+}
+
+#[test]
+fn speculative_audit_trace_is_pinned() {
+    let (rel, sigma) = scenario();
+    let (outcome, trace) = batch_repair_traced(&rel, &sigma, config(2, 8)).unwrap();
+    // The scenario must exercise every interesting event class before
+    // the pin means anything.
+    assert!(trace.iter().any(|l| l.starts_with("commit ")), "no commits");
+    assert!(trace.iter().any(|l| l.starts_with("abort ")), "no aborts");
+    assert!(
+        trace.iter().any(|l| l.starts_with("inline-")),
+        "no inline replans"
+    );
+    let sched = outcome.speculation.expect("speculative stats");
+    let mut rendered = String::new();
+    for line in &trace {
+        rendered.push_str(line);
+        rendered.push('\n');
+    }
+    rendered.push_str(&format!(
+        "stats rounds={} planned={} hits={} commits={} aborts={} misses={} \
+         requeues={} clean={} moot={} ensures={}\n",
+        sched.rounds,
+        sched.planned,
+        sched.hits,
+        sched.commits,
+        sched.aborts,
+        sched.misses,
+        sched.requeues,
+        sched.clean_drops,
+        sched.moot,
+        sched.ensures_replayed,
+    ));
+    check_or_update("speculative_audit.txt", &rendered);
+}
+
+/// The audited run repairs identically to the untraced serial reference —
+/// the trace is an observer, never a participant.
+#[test]
+fn audited_run_matches_serial_reference() {
+    let (rel, sigma) = scenario();
+    let serial = batch_repair(&rel, &sigma, config(1, 0)).unwrap();
+    let (spec, _) = batch_repair_traced(&rel, &sigma, config(2, 8)).unwrap();
+    assert_eq!(serial.stats, spec.stats);
+    assert_eq!(
+        serial.stats.cost.to_bits(),
+        spec.stats.cost.to_bits(),
+        "cost bits diverged"
+    );
+    for (id, t) in serial.repair.iter() {
+        assert_eq!(
+            spec.repair.tuple(id).unwrap().to_tuple(),
+            t.to_tuple(),
+            "{id}"
+        );
+    }
+}

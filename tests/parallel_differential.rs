@@ -33,6 +33,9 @@ use cfdclean::repair::{
 
 const ARITY: usize = 4;
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+/// Speculation depths for the speculative differential matrix: planning
+/// windows below, at, and far above typical frontier sizes.
+const SPEC_DEPTHS: [usize; 3] = [1, 4, 16];
 
 fn schema() -> Schema {
     Schema::new("par", &["a", "b", "c", "d"]).unwrap()
@@ -173,6 +176,116 @@ fn differential_batch_both_pickers() {
                 );
             }
         }
+    });
+}
+
+/// Run one (relation, Σ) workload through the serial reference and the
+/// full speculative (threads × k) matrix, asserting byte-identical
+/// repairs and stats (exact cost bits included). `BatchStats` must not
+/// vary; only the `speculation` schedule counters may.
+fn assert_speculative_matrix(rel: &Relation, sigma: &Sigma, label: &str) {
+    let reference = batch_repair(
+        rel,
+        sigma,
+        BatchConfig {
+            parallelism: Parallelism::serial(),
+            speculate: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        reference.speculation.is_none(),
+        "serial run must not speculate"
+    );
+    for threads in THREAD_COUNTS {
+        for k in SPEC_DEPTHS {
+            let spec = batch_repair(
+                rel,
+                sigma,
+                BatchConfig {
+                    parallelism: Parallelism::threads(threads),
+                    speculate: k,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let ctx = format!("{label} threads={threads} k={k}");
+            assert_same_contents(&reference.repair, &spec.repair, &ctx);
+            assert_eq!(reference.stats, spec.stats, "{ctx}: stats");
+            assert_eq!(
+                reference.stats.cost.to_bits(),
+                spec.stats.cost.to_bits(),
+                "{ctx}: cost bits"
+            );
+            let sched = spec.speculation.expect("speculative run reports stats");
+            // Aborted or moot plans consumed a produced plan; every
+            // commit / requeue / clean-drop came from a validated hit.
+            assert!(
+                sched.aborts + sched.moot <= sched.planned,
+                "{ctx}: more discarded plans than produced ({sched:?})"
+            );
+            assert!(
+                sched.commits + sched.clean_drops + sched.requeues <= sched.hits,
+                "{ctx}: hit outcomes exceed hits ({sched:?})"
+            );
+        }
+    }
+}
+
+/// 200 trials: speculative `BATCHREPAIR` over the full (threads × k)
+/// matrix must be byte-identical to the sequential reference on the
+/// standard randomized workloads.
+#[test]
+fn differential_speculative_batch() {
+    trials(200, 0x5BEC_D1FF, |rng| {
+        let rel = rand_relation(rng);
+        let sigma = rand_sigma(rng, &schema());
+        assert_speculative_matrix(&rel, &sigma, "spec");
+    });
+}
+
+/// 100 trials on conflict-heavy workloads: a tiny key universe packs many
+/// tuples into each LHS group and many groups into each shard, so
+/// concurrent plans constantly read census groups and classes that
+/// earlier commits mutate — the high-abort-pressure regime where the
+/// validation logic earns its keep. Weights vary per cell so merge
+/// winners and FINDV prices are non-trivial.
+#[test]
+fn differential_speculative_conflict_heavy() {
+    trials(100, 0x0C0F_11C7, |rng| {
+        let mut rel = Relation::new(schema());
+        let rows = rng.gen_range(8..28usize);
+        for _ in 0..rows {
+            // Two group keys and three RHS values: nearly every tuple
+            // conflicts with half its group.
+            let key = format!("k{}", rng.gen_range(0..2u32));
+            let vals = vec![
+                Value::str(key),
+                Value::str(format!("v{}", rng.gen_range(0..3u32))),
+                Value::str(format!("w{}", rng.gen_range(0..3u32))),
+                Value::str(format!("z{}", rng.gen_range(0..4u32))),
+            ];
+            let weights = (0..ARITY)
+                .map(|_| (rng.gen_range(1..=10u32) as f64) / 10.0)
+                .collect();
+            rel.insert(Tuple::with_weights(vals, weights)).unwrap();
+        }
+        // An FD a→b (variable, always firing) plus a constant rule layer
+        // on d→c so constant and variable resolutions interleave.
+        let fd = Cfd::standard_fd("fd", vec![AttrId(0)], vec![AttrId(1)]);
+        let cons = Cfd::new(
+            "cons",
+            vec![AttrId(3)],
+            vec![AttrId(2)],
+            vec![PatternRow::new(
+                vec![PatternValue::constant("z0")],
+                vec![PatternValue::constant("w0")],
+            )],
+        )
+        .unwrap();
+        let sigma = Sigma::normalize(schema(), vec![fd, cons]).unwrap();
+        assert_speculative_matrix(&rel, &sigma, "conflict");
     });
 }
 
