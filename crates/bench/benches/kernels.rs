@@ -1,7 +1,8 @@
 //! Microbenchmarks of the hot kernels underlying both repair algorithms:
 //! DL distance, index building and violation detection (dictionary-encoded
 //! vs a string-keyed reference), equivalence-class operations, LHS-index
-//! validation, and nearest-value search.
+//! validation, nearest-value search, and cold dataset ingest (CSV
+//! re-interning vs snapshot dictionary install).
 //!
 //! The headline pair is `index_build` / `detect`: the dictionary-encoded
 //! value layer keys every hot map on `ValueId`/`IdKey` (u32s), while the
@@ -266,6 +267,7 @@ fn bench_census(h: &mut Harness) -> f64 {
 /// artifact.
 const SMOKE_MIN_DETECT_SPEEDUP: f64 = 0.95;
 const SMOKE_MIN_CENSUS_SPEEDUP: f64 = 1.0;
+const SMOKE_MIN_LOAD_SPEEDUP: f64 = 1.0;
 const SMOKE_ATTEMPTS: usize = 3;
 
 fn smoke() -> ! {
@@ -278,6 +280,7 @@ fn smoke() -> ! {
         .unwrap_or(false);
     let mut detect_ok = false;
     let mut census_ok = !multicore;
+    let mut load_ok = false;
     for attempt in 1..=SMOKE_ATTEMPTS {
         let mut h = Harness::new();
         h.batches = 7;
@@ -289,6 +292,7 @@ fn smoke() -> ! {
         // tracked per run; a wall-time gate waits until the win is
         // established on multi-core runners.
         let resolution_speedup = bench_resolution(&mut h);
+        let load_speedup = bench_load(&mut h);
         println!("{}", h.table());
         println!("index build speedup (row/columnar): {build_speedup:.2}x");
         println!("detection speedup  (row/columnar): {detect_speedup:.2}x");
@@ -296,6 +300,7 @@ fn smoke() -> ! {
         println!(
             "resolution speedup (serial/spec4x16): {resolution_speedup:.2}x (recorded, not gated)"
         );
+        println!("load speedup (csv/snapshot): {load_speedup:.2}x");
         if !multicore {
             println!("single-CPU runner: census wall-time gate not applicable");
         }
@@ -303,14 +308,19 @@ fn smoke() -> ! {
             .expect("write bench json");
         detect_ok |= detect_speedup >= SMOKE_MIN_DETECT_SPEEDUP;
         census_ok |= census_speedup >= SMOKE_MIN_CENSUS_SPEEDUP;
-        if detect_ok && census_ok {
-            println!("smoke ok: columnar detection ≥ row-major and sharded census ≥ serial");
+        load_ok |= load_speedup >= SMOKE_MIN_LOAD_SPEEDUP;
+        if detect_ok && census_ok && load_ok {
+            println!(
+                "smoke ok: columnar detection ≥ row-major, sharded census ≥ serial, \
+                 snapshot load ≥ csv re-intern load"
+            );
             std::process::exit(0);
         }
         eprintln!(
             "smoke attempt {attempt}/{SMOKE_ATTEMPTS}: detection \
              {detect_speedup:.2}x (gate {SMOKE_MIN_DETECT_SPEEDUP}x), census \
-             {census_speedup:.2}x (gate {SMOKE_MIN_CENSUS_SPEEDUP}x)"
+             {census_speedup:.2}x (gate {SMOKE_MIN_CENSUS_SPEEDUP}x), load \
+             {load_speedup:.2}x (gate {SMOKE_MIN_LOAD_SPEEDUP}x)"
         );
     }
     if !detect_ok {
@@ -325,7 +335,65 @@ fn smoke() -> ! {
              serial baseline in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
         );
     }
+    if !load_ok {
+        eprintln!(
+            "SMOKE FAIL: snapshot load regressed below the CSV re-intern \
+             load in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+        );
+    }
     std::process::exit(1);
+}
+
+/// The persistence headline: cold ingest of the same 20k-tuple dirty
+/// workload through the two paths — CSV (parse text, intern every cell)
+/// vs snapshot (verify checksums, bulk-install the dictionary, remap
+/// columns). The equality assertion pins that both paths produce the
+/// same relation before the timings mean anything. Returns the
+/// csv/snapshot median ratio (> 1 means snapshot load wins — the
+/// "skip re-interning" claim, measured).
+fn bench_load(h: &mut Harness) -> f64 {
+    use cfd_model::csv::{read_relation, write_relation};
+    use cfd_model::snapshot::{read_snapshot, snapshot_to_vec};
+
+    let w = workload(20_000, 7);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let mut csv = Vec::new();
+    write_relation(&noise.dirty, &mut csv).expect("render csv");
+    let snap = snapshot_to_vec(&noise.dirty, None);
+
+    // Sanity: the two ingest paths must agree cell for cell.
+    let via_csv = read_relation("dirty", &mut csv.as_slice()).expect("csv parses");
+    let via_snap = read_snapshot(&snap).expect("snapshot loads").relation;
+    assert_eq!(via_csv.len(), via_snap.len(), "ingest paths disagree");
+    for a in via_csv.schema().attr_ids() {
+        assert_eq!(
+            via_csv.column(a),
+            via_snap.column(a),
+            "ingest paths disagree on column {a}"
+        );
+    }
+
+    let t_csv = h.run("load/csv_reintern_20k", || {
+        read_relation("dirty", &mut black_box(csv.as_slice()))
+            .expect("csv parses")
+            .len()
+    });
+    let t_snap = h.run("load/snapshot_20k", || {
+        read_snapshot(black_box(&snap))
+            .expect("snapshot loads")
+            .relation
+            .len()
+    });
+    let speedup = t_csv.median_ns / t_snap.median_ns;
+    eprintln!("load speedup (csv/snapshot): {speedup:.2}x");
+    speedup
 }
 
 fn bench_distance(h: &mut Harness) {
@@ -542,6 +610,7 @@ fn main() {
     let (col_build_speedup, col_detect_speedup) = bench_row_vs_column(&mut h);
     let census_speedup = bench_census(&mut h);
     let resolution_speedup = bench_resolution(&mut h);
+    let load_speedup = bench_load(&mut h);
     bench_vio_of_candidate(&mut h);
     bench_equivalence(&mut h);
     bench_lhs_index(&mut h);
@@ -554,6 +623,7 @@ fn main() {
     println!("detection speedup  (row/columnar): {col_detect_speedup:.2}x");
     println!("census build speedup (serial/sharded4): {census_speedup:.2}x");
     println!("resolution speedup (serial/spec4x16): {resolution_speedup:.2}x");
+    println!("load speedup (csv/snapshot): {load_speedup:.2}x");
     if let Some(path) = json_path {
         h.write_json(&path).expect("write bench json");
         println!("wrote {path}");

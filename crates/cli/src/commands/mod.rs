@@ -8,3 +8,4 @@ pub mod discover;
 pub mod generate;
 pub mod insert;
 pub mod repair;
+pub mod snapshot;

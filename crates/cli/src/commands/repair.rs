@@ -6,39 +6,55 @@ use std::path::Path;
 use std::time::Instant;
 
 use cfd_cfd::violation::check;
-use cfd_model::diff::dif;
+use cfd_model::diff::{dif, EditLog};
 use cfd_repair::{
     batch_repair, repair_via_incremental, BatchConfig, IncConfig, Ordering, Parallelism,
     PickStrategy,
 };
 
 use crate::args::Args;
-use crate::io::{load_relation, load_sigma, load_weights, save_relation, CliError};
+use crate::io::{
+    load_edit_log, load_relation, load_sigma, load_weights, open_catalog, save_edit_log,
+    save_relation, sigma_from_text, CliError,
+};
 
-pub const USAGE: &str = "cfdclean repair --data D.csv --rules R.cfd --out REPAIRED.csv
+pub const USAGE: &str = "cfdclean repair (--data D.csv | --snapshot NAME --catalog DIR)
+                --out REPAIRED.csv [--rules R.cfd]
                 [--weights W.csv] [--algorithm batch|v-inc|w-inc|l-inc]
                 [--pick global|dependency] [--k N] [--threads N]
-                [--speculate K] [--stats]
-  Compute a repair of D satisfying the rules.
-    --data       dirty CSV file
-    --rules      CFD rule file
-    --out        where to write the repair
-    --weights    optional per-cell confidence weights (CSV, same shape)
-    --algorithm  batch (default) or an IncRepair ordering
-    --pick       BatchRepair PICKNEXT strategy (default global)
-    --k          IncRepair attribute-set size (default 2)
-    --threads    worker threads for sharded repair setup (default:
-                 CFD_THREADS under the parallel feature, else serial);
-                 the repair is byte-identical at every thread count
-    --speculate  speculative resolution window K for batch/global: plan K
-                 fixes concurrently, commit in serial order (default:
-                 CFD_SPECULATE under the parallel feature, else 0 = off);
-                 any K produces the identical repair
-    --stats      print repair statistics";
+                [--speculate K] [--emit-edits E.cfde | --apply-edits E.cfde]
+                [--stats]
+  Compute a repair of the input satisfying the rules.
+    --data        dirty CSV file
+    --snapshot    dirty dataset loaded from a catalog snapshot instead of
+                  CSV (requires --catalog; uses the snapshot's embedded
+                  rules when --rules is omitted)
+    --catalog     the snapshot catalog directory
+    --rules       CFD rule file (required with --data)
+    --out         where to write the repair
+    --weights     optional per-cell confidence weights (CSV, same shape)
+    --algorithm   batch (default) or an IncRepair ordering
+    --pick        BatchRepair PICKNEXT strategy (default global)
+    --k           IncRepair attribute-set size (default 2)
+    --threads     worker threads for sharded repair setup (default:
+                  CFD_THREADS under the parallel feature, else serial);
+                  the repair is byte-identical at every thread count
+    --speculate   speculative resolution window K for batch/global: plan K
+                  fixes concurrently, commit in serial order (default:
+                  CFD_SPECULATE under the parallel feature, else 0 = off);
+                  any K produces the identical repair
+    --emit-edits  also write the repair as an id-level edit log, replayable
+                  with --apply-edits against the same input
+    --apply-edits replay a previously emitted edit log instead of running
+                  a repair algorithm (verifies every edit's old value and
+                  that the result satisfies the rules)
+    --stats       print repair statistics";
 
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let data = args.require("data")?.to_string();
-    let rules = args.require("rules")?.to_string();
+    let data = args.get("data").map(str::to_string);
+    let snapshot = args.get("snapshot").map(str::to_string);
+    let catalog = args.get("catalog").map(str::to_string);
+    let rules = args.get("rules").map(str::to_string);
     let out_path = args.require("out")?.to_string();
     let weights = args.get("weights").map(str::to_string);
     let algorithm = args.get("algorithm").unwrap_or("batch").to_string();
@@ -55,14 +71,56 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
         None => cfd_repair::shard::speculation_from_env(),
     };
+    let emit_edits = args.get("emit-edits").map(str::to_string);
+    let apply_edits = args.get("apply-edits").map(str::to_string);
     let stats = args.switch("stats");
     args.reject_unknown()?;
 
-    let mut rel = load_relation(Path::new(&data))?;
+    if emit_edits.is_some() && apply_edits.is_some() {
+        return Err("--emit-edits and --apply-edits are mutually exclusive".into());
+    }
+
+    // The input: a CSV file or a catalog snapshot (which may carry its
+    // own rules).
+    let (mut rel, embedded_rules) = match (&data, &snapshot) {
+        (Some(_), Some(_)) => return Err("--data and --snapshot are mutually exclusive".into()),
+        (None, None) => return Err("one of --data or --snapshot is required".into()),
+        (Some(data), None) => (load_relation(Path::new(data))?, None),
+        (None, Some(name)) => {
+            let dir = catalog
+                .as_deref()
+                .ok_or("--snapshot requires --catalog DIR")?;
+            let loaded = open_catalog(dir)?
+                .load(name)
+                .map_err(|e| format!("cannot load snapshot {name:?}: {e}"))?;
+            (loaded.relation, loaded.rules)
+        }
+    };
     if let Some(w) = &weights {
         load_weights(&mut rel, Path::new(w))?;
     }
-    let sigma = load_sigma(&rel, Path::new(&rules))?;
+    let sigma = match (&rules, &embedded_rules) {
+        (Some(path), _) => load_sigma(&rel, Path::new(path))?,
+        (None, Some(text)) => sigma_from_text(
+            &rel,
+            text,
+            &format!(
+                "snapshot {:?} embedded rules",
+                snapshot.as_deref().unwrap_or("")
+            ),
+        )?,
+        (None, None) => {
+            return Err(if snapshot.is_some() {
+                "--rules is required (the input snapshot carries no embedded rules)".into()
+            } else {
+                CliError::from("--rules is required with --data")
+            })
+        }
+    };
+
+    if let Some(log_path) = &apply_edits {
+        return apply_edit_log(&rel, &sigma, log_path, &out_path, out);
+    }
 
     let t0 = Instant::now();
     let (repair, detail) = match algorithm.as_str() {
@@ -139,6 +197,11 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         return Err("internal error: repair does not satisfy the rules".into());
     }
     save_relation(&repair, Path::new(&out_path))?;
+    if let Some(log_path) = &emit_edits {
+        let log =
+            EditLog::between(&rel, &repair).map_err(|e| format!("cannot derive edit log: {e}"))?;
+        save_edit_log(&log, &rel, Path::new(log_path))?;
+    }
 
     let changes = dif(&rel, &repair);
     writeln!(
@@ -151,5 +214,62 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if stats {
         writeln!(out, "  {detail}")?;
     }
+    if let Some(log_path) = &emit_edits {
+        writeln!(out, "  edit log -> {log_path}")?;
+    }
+    Ok(())
+}
+
+/// The `--apply-edits` path: replay a previously emitted id-level edit
+/// log onto the loaded input instead of running a repair algorithm. The
+/// log's own old-value verification plus the Σ check make a stale or
+/// misaddressed log a hard error, never a silently wrong output.
+fn apply_edit_log(
+    rel: &cfd_model::Relation,
+    sigma: &cfd_cfd::Sigma,
+    log_path: &str,
+    out_path: &str,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let loaded = load_edit_log(Path::new(log_path))?;
+    if loaded.arity != rel.schema().arity() {
+        return Err(format!(
+            "edit log {log_path} was derived for arity {}, input has arity {}",
+            loaded.arity,
+            rel.schema().arity()
+        )
+        .into());
+    }
+    // Relation names are CSV file stems, so a mismatch is often benign
+    // (dirty.csv vs restored.csv of the same dataset) — surface it as a
+    // notice and let the per-edit old-value verification plus the Σ
+    // check below decide whether the log actually fits.
+    if loaded.relation != rel.schema().name() {
+        writeln!(
+            out,
+            "note: edit log {log_path} was derived for relation {:?}, input is {:?}",
+            loaded.relation,
+            rel.schema().name()
+        )?;
+    }
+    let mut repaired = rel.clone();
+    loaded
+        .log
+        .apply(&mut repaired)
+        .map_err(|e| format!("cannot replay {log_path}: {e}"))?;
+    if !check(&repaired, sigma) {
+        return Err(format!(
+            "replayed relation does not satisfy the rules \
+             (edit log {log_path} does not belong to this input/rule pair)"
+        )
+        .into());
+    }
+    save_relation(&repaired, Path::new(out_path))?;
+    writeln!(
+        out,
+        "replayed {} edit(s) from {log_path} onto {} tuples -> {out_path}",
+        loaded.log.len(),
+        rel.len()
+    )?;
     Ok(())
 }

@@ -1,0 +1,175 @@
+//! `cfdclean snapshot` — manage the persistent dataset catalog.
+//!
+//! `save` ingests a CSV (plus optional weights and rule text) once and
+//! persists it as a binary snapshot: the value dictionary, the columnar
+//! segments, and the rules travel together, so later loads skip parsing
+//! and re-interning entirely. `load` materializes a snapshot back to CSV
+//! (and weights / rules files on request); `info` describes a snapshot —
+//! or lists the whole catalog when no `--name` is given — without
+//! installing anything.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::args::Args;
+use crate::io::{load_relation, load_weights, open_catalog, save_relation, save_weights, CliError};
+
+pub const USAGE: &str = "cfdclean snapshot <save|load|info> --catalog DIR [flags]
+
+  save --catalog DIR --name NAME --data D.csv
+       [--weights W.csv] [--rules R.cfd]
+    Ingest a CSV once and persist it (dictionary + columnar segments +
+    rule text) as the named dataset.
+
+  load --catalog DIR --name NAME --out D.csv
+       [--weights-out W.csv] [--rules-out R.cfd]
+    Materialize a snapshot back to CSV without re-interning on the way
+    in; optionally export its weights and embedded rules.
+
+  info --catalog DIR [--name NAME]
+    Describe one snapshot (schema, slots, dictionary, rules), or list
+    every dataset in the catalog.";
+
+/// Dispatch one `snapshot <action>` invocation.
+pub fn run(action: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match action {
+        "save" => save(args, out),
+        "load" => load(args, out),
+        "info" => info(args, out),
+        other => Err(format!("unknown snapshot action {other:?} (save, load, info)").into()),
+    }
+}
+
+fn save(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let catalog = args.require("catalog")?.to_string();
+    let name = args.require("name")?.to_string();
+    let data = args.require("data")?.to_string();
+    let weights = args.get("weights").map(str::to_string);
+    let rules = args.get("rules").map(str::to_string);
+    args.reject_unknown()?;
+
+    let mut rel = load_relation(Path::new(&data))?;
+    if let Some(w) = &weights {
+        load_weights(&mut rel, Path::new(w))?;
+    }
+    let rules_text = match &rules {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            // Parse now so a broken rule file fails the save, not a
+            // later load.
+            crate::io::sigma_from_text(&rel, &text, path)?;
+            Some(text)
+        }
+        None => None,
+    };
+    let cat = open_catalog(&catalog)?;
+    let path = cat
+        .save(&name, &rel, rules_text.as_deref())
+        .map_err(|e| format!("cannot save snapshot {name:?}: {e}"))?;
+    writeln!(
+        out,
+        "saved {} tuple(s) as dataset {name:?} -> {}",
+        rel.len(),
+        path.display()
+    )?;
+    Ok(())
+}
+
+fn load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let catalog = args.require("catalog")?.to_string();
+    let name = args.require("name")?.to_string();
+    let out_path = args.require("out")?.to_string();
+    let weights_out = args.get("weights-out").map(str::to_string);
+    let rules_out = args.get("rules-out").map(str::to_string);
+    args.reject_unknown()?;
+
+    let cat = open_catalog(&catalog)?;
+    let loaded = cat
+        .load(&name)
+        .map_err(|e| format!("cannot load snapshot {name:?}: {e}"))?;
+    // Every requested output must be satisfiable before the first write,
+    // so a failing invocation leaves no partial files behind.
+    let rules_text = match &rules_out {
+        Some(_) => Some(
+            loaded
+                .rules
+                .as_deref()
+                .ok_or_else(|| format!("snapshot {name:?} has no embedded rules"))?,
+        ),
+        None => None,
+    };
+    save_relation(&loaded.relation, Path::new(&out_path))?;
+    if let Some(w) = &weights_out {
+        save_weights(&loaded.relation, Path::new(w))?;
+    }
+    if let (Some(r), Some(text)) = (&rules_out, rules_text) {
+        std::fs::write(r, text).map_err(|e| format!("cannot write {r}: {e}"))?;
+    }
+    writeln!(
+        out,
+        "loaded dataset {name:?}: {} tuple(s) -> {out_path}",
+        loaded.relation.len()
+    )?;
+    Ok(())
+}
+
+fn info(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let catalog = args.require("catalog")?.to_string();
+    let name = args.get("name").map(str::to_string);
+    args.reject_unknown()?;
+
+    let cat = open_catalog(&catalog)?;
+    match name {
+        Some(name) => {
+            let info = cat
+                .info(&name)
+                .map_err(|e| format!("cannot read snapshot {name:?}: {e}"))?;
+            writeln!(out, "dataset {name:?}")?;
+            writeln!(
+                out,
+                "  relation   {}({})",
+                info.relation,
+                info.attrs.join(", ")
+            )?;
+            writeln!(
+                out,
+                "  tuples     {} live / {} slot(s)",
+                info.live, info.slots
+            )?;
+            writeln!(out, "  dictionary {} distinct value(s)", info.dict_entries)?;
+            writeln!(
+                out,
+                "  rules      {}",
+                if info.has_rules { "embedded" } else { "none" }
+            )?;
+            writeln!(out, "  file       {} byte(s)", info.bytes)?;
+        }
+        None => {
+            let names = cat
+                .list()
+                .map_err(|e| format!("cannot list catalog: {e}"))?;
+            if names.is_empty() {
+                writeln!(out, "catalog {catalog} is empty")?;
+            } else {
+                for n in names {
+                    let info = cat
+                        .info(&n)
+                        .map_err(|e| format!("cannot read snapshot {n:?}: {e}"))?;
+                    writeln!(
+                        out,
+                        "{n}: {} live tuple(s), {} distinct value(s){}",
+                        info.live,
+                        info.dict_entries,
+                        if info.has_rules {
+                            ", rules embedded"
+                        } else {
+                            ""
+                        }
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -56,12 +56,44 @@ pub fn save_weights(rel: &Relation, path: &Path) -> Result<(), CliError> {
 /// Parse a rule file against `rel`'s schema and normalize it into a Σ.
 pub fn load_sigma(rel: &Relation, path: &Path) -> Result<Sigma, CliError> {
     let text = fs::read_to_string(path).map_err(|e| context("cannot read", path, e))?;
-    let cfds = parse_rules(rel.schema(), &text).map_err(|e| context("cannot parse", path, e))?;
+    sigma_from_text(rel, &text, &path.display().to_string())
+}
+
+/// Parse rule text (from a file or a snapshot's embedded RULES segment)
+/// against `rel`'s schema and normalize it into a Σ. `origin` names the
+/// source in error messages.
+pub fn sigma_from_text(rel: &Relation, text: &str, origin: &str) -> Result<Sigma, CliError> {
+    let cfds =
+        parse_rules(rel.schema(), text).map_err(|e| format!("cannot parse {origin}: {e}"))?;
     if cfds.is_empty() {
-        return Err(context("no rules in", path, "the file parsed to zero CFDs"));
+        return Err(format!("no rules in {origin}: the text parsed to zero CFDs").into());
     }
     Sigma::normalize(rel.schema().clone(), cfds)
-        .map_err(|e| context("cannot normalize rules in", path, e))
+        .map_err(|e| format!("cannot normalize rules in {origin}: {e}").into())
+}
+
+/// A handle on a snapshot catalog directory. Read operations error on a
+/// missing directory (a mistyped `--catalog` must not silently create an
+/// empty catalog); only `save` creates it.
+pub fn open_catalog(dir: &str) -> Result<cfd_model::Catalog, CliError> {
+    cfd_model::Catalog::open(dir).map_err(|e| format!("cannot open catalog {dir}: {e}").into())
+}
+
+/// Write an edit log derived against `rel` to `path`.
+pub fn save_edit_log(
+    log: &cfd_model::EditLog,
+    rel: &Relation,
+    path: &Path,
+) -> Result<(), CliError> {
+    let bytes =
+        cfd_model::snapshot::edit_log_to_vec(log, rel.schema().name(), rel.schema().arity());
+    fs::write(path, bytes).map_err(|e| context("cannot write", path, e))
+}
+
+/// Read an edit-log file.
+pub fn load_edit_log(path: &Path) -> Result<cfd_model::snapshot::LoadedEditLog, CliError> {
+    let bytes = fs::read(path).map_err(|e| context("cannot open", path, e))?;
+    cfd_model::snapshot::read_edit_log(&bytes).map_err(|e| context("cannot parse", path, e))
 }
 
 /// Render CFDs into rule-file text.

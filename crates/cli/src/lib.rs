@@ -6,11 +6,12 @@
 //! | command | purpose |
 //! |---|---|
 //! | `detect`   | report CFD violations in a CSV file |
-//! | `repair`   | whole-database repair (BATCHREPAIR / INCREPAIR §5.3) |
+//! | `repair`   | whole-database repair (BATCHREPAIR / INCREPAIR §5.3), from CSV or a snapshot, optionally emitting / replaying id-level edit logs |
 //! | `insert`   | incremental repair of inserted tuples (§5) |
 //! | `discover` | mine FDs + constant CFD rows from data |
 //! | `certify`  | §6 sampling certification of a repair |
 //! | `generate` | emit the paper's synthetic workload |
+//! | `snapshot` | save / load / describe persistent dataset snapshots |
 
 use std::io::Write;
 
@@ -45,6 +46,7 @@ commands:
   discover   mine dependencies from data
   certify    certify a repair's accuracy by stratified sampling
   generate   emit a synthetic order workload
+  snapshot   save, load, or describe persistent dataset snapshots
   help       show help (try: cfdclean help rules)
 
 run `cfdclean <command>` without flags for that command's usage";
@@ -58,7 +60,9 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
     let rest = &argv[1..];
     let usage_for = |u: &str| -> CliError { u.into() };
     match command {
-        "detect" | "repair" | "insert" | "discover" | "certify" | "generate" if rest.is_empty() => {
+        "detect" | "repair" | "insert" | "discover" | "certify" | "generate" | "snapshot"
+            if rest.is_empty() =>
+        {
             Err(usage_for(usage_of(command)))
         }
         "detect" => run_cmd(
@@ -103,6 +107,15 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
             commands::generate::run,
             commands::generate::USAGE,
         ),
+        "snapshot" => {
+            let Some(action) = rest.first().map(|s| s.as_ref()) else {
+                return Err(usage_for(commands::snapshot::USAGE));
+            };
+            let usage = commands::snapshot::USAGE;
+            let args = args::Args::parse(&rest[1..], &[]).map_err(|e| format!("{e}\n\n{usage}"))?;
+            commands::snapshot::run(action, &args, out)
+                .map_err(|e| format!("{e}\n\n{usage}").into())
+        }
         "help" => {
             match rest.first().map(|s| s.as_ref()) {
                 Some("rules") => writeln!(out, "{RULES_HELP}")?,
@@ -123,6 +136,7 @@ fn usage_of(command: &str) -> &'static str {
         "discover" => commands::discover::USAGE,
         "certify" => commands::certify::USAGE,
         "generate" => commands::generate::USAGE,
+        "snapshot" => commands::snapshot::USAGE,
         _ => USAGE,
     }
 }

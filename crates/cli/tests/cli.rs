@@ -368,6 +368,324 @@ fn help_and_error_paths() {
 }
 
 #[test]
+fn snapshot_save_load_info_round_trip() {
+    let s = Scratch::new("snapshot");
+    generate_workload(&s, 400);
+    let out = run(&[
+        "snapshot",
+        "save",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "dirty-v1",
+        "--data",
+        &s.path("dirty.csv"),
+        "--weights",
+        &s.path("dirty_weights.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+    ])
+    .unwrap();
+    assert!(out.contains("saved 400 tuple(s)"), "{out}");
+    // info describes the dataset; bare info lists the catalog
+    let out = run(&[
+        "snapshot",
+        "info",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "dirty-v1",
+    ])
+    .unwrap();
+    assert!(out.contains("400 live"), "{out}");
+    assert!(out.contains("embedded"), "{out}");
+    let out = run(&["snapshot", "info", "--catalog", &s.path("catalog")]).unwrap();
+    assert!(out.contains("dirty-v1"), "{out}");
+    // load materializes CSV + weights + rules byte-compatible with the
+    // originals
+    let out = run(&[
+        "snapshot",
+        "load",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "dirty-v1",
+        "--out",
+        &s.path("restored.csv"),
+        "--weights-out",
+        &s.path("restored_weights.csv"),
+        "--rules-out",
+        &s.path("restored.cfd"),
+    ])
+    .unwrap();
+    assert!(out.contains("loaded dataset"), "{out}");
+    assert_eq!(
+        std::fs::read(s.path("dirty.csv")).unwrap(),
+        std::fs::read(s.path("restored.csv")).unwrap(),
+        "snapshot load must reproduce the CSV byte for byte"
+    );
+    assert_eq!(
+        std::fs::read_to_string(s.path("rules.cfd")).unwrap(),
+        std::fs::read_to_string(s.path("restored.cfd")).unwrap()
+    );
+}
+
+#[test]
+fn repair_from_snapshot_matches_repair_from_csv() {
+    // The acceptance contract, end to end through the CLI: repairing the
+    // snapshot (with its embedded rules) writes the same bytes as
+    // repairing the CSV it was saved from.
+    let s = Scratch::new("snapshot-repair");
+    generate_workload(&s, 400);
+    run(&[
+        "snapshot",
+        "save",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "dirty",
+        "--data",
+        &s.path("dirty.csv"),
+        "--weights",
+        &s.path("dirty_weights.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+    ])
+    .unwrap();
+    let out = run(&[
+        "repair",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--weights",
+        &s.path("dirty_weights.csv"),
+        "--out",
+        &s.path("repaired_csv.csv"),
+    ])
+    .unwrap();
+    assert!(out.contains("repaired 400 tuples"), "{out}");
+    let out = run(&[
+        "repair",
+        "--snapshot",
+        "dirty",
+        "--catalog",
+        &s.path("catalog"),
+        "--out",
+        &s.path("repaired_snap.csv"),
+    ])
+    .unwrap();
+    assert!(out.contains("repaired 400 tuples"), "{out}");
+    assert_eq!(
+        std::fs::read(s.path("repaired_csv.csv")).unwrap(),
+        std::fs::read(s.path("repaired_snap.csv")).unwrap(),
+        "snapshot-load repair diverged from CSV-load repair"
+    );
+}
+
+#[test]
+fn repair_emit_and_apply_edits_round_trip() {
+    let s = Scratch::new("edits");
+    generate_workload(&s, 400);
+    let out = run(&[
+        "repair",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--weights",
+        &s.path("dirty_weights.csv"),
+        "--out",
+        &s.path("repaired.csv"),
+        "--emit-edits",
+        &s.path("repair.cfde"),
+    ])
+    .unwrap();
+    assert!(out.contains("edit log ->"), "{out}");
+    // replaying the log onto the same dirty input reproduces the repair
+    // byte for byte, without running the repair algorithm
+    let out = run(&[
+        "repair",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--apply-edits",
+        &s.path("repair.cfde"),
+        "--out",
+        &s.path("replayed.csv"),
+    ])
+    .unwrap();
+    assert!(out.contains("replayed"), "{out}");
+    assert_eq!(
+        std::fs::read(s.path("repaired.csv")).unwrap(),
+        std::fs::read(s.path("replayed.csv")).unwrap(),
+        "edit-log replay diverged from the repair"
+    );
+    // replaying onto the wrong base (the already repaired file) fails
+    // cleanly — unless the repair made no changes, which the workload's
+    // noise makes impossible
+    let err = run(&[
+        "repair",
+        "--data",
+        &s.path("repaired.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--apply-edits",
+        &s.path("repair.cfde"),
+        "--out",
+        &s.path("bad.csv"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("cannot replay"), "{err}");
+    // emit + apply together is rejected
+    let err = run(&[
+        "repair",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--emit-edits",
+        &s.path("x.cfde"),
+        "--apply-edits",
+        &s.path("repair.cfde"),
+        "--out",
+        &s.path("bad.csv"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+#[test]
+fn corrupt_and_unreadable_inputs_error_cleanly() {
+    let s = Scratch::new("robustness");
+    // corrupt CSV: unterminated quote
+    std::fs::write(s.path("bad.csv"), "a,b\n\"oops,1\n").unwrap();
+    std::fs::write(s.path("r.cfd"), "phi: [a] -> [b]\n").unwrap();
+    let err = run(&[
+        "detect",
+        "--data",
+        &s.path("bad.csv"),
+        "--rules",
+        &s.path("r.cfd"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("cannot parse"), "{err}");
+    // a directory where a file is expected
+    let err = run(&["detect", "--data", &s.path(""), "--rules", &s.path("r.cfd")]).unwrap_err();
+    assert!(err.contains("cannot"), "{err}");
+    // snapshot: a mistyped catalog path errors instead of silently
+    // creating an empty directory
+    let err = run(&[
+        "snapshot",
+        "load",
+        "--catalog",
+        &s.path("catalogg"),
+        "--name",
+        "nope",
+        "--out",
+        &s.path("x.csv"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("does not exist"), "{err}");
+    assert!(
+        !std::path::Path::new(&s.path("catalogg")).exists(),
+        "read path must not create the catalog directory"
+    );
+    // snapshot: missing catalog entry
+    std::fs::create_dir_all(s.path("catalog")).unwrap();
+    let err = run(&[
+        "snapshot",
+        "load",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "nope",
+        "--out",
+        &s.path("x.csv"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("no snapshot named"), "{err}");
+    // snapshot: invalid dataset name
+    std::fs::write(s.path("ok.csv"), "a,b\n1,2\n").unwrap();
+    let err = run(&[
+        "snapshot",
+        "save",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "../evil",
+        "--data",
+        &s.path("ok.csv"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("invalid dataset name"), "{err}");
+    // corrupt snapshot bytes in the catalog
+    std::fs::create_dir_all(s.path("catalog")).unwrap();
+    std::fs::write(s.path("catalog/junk.cfds"), b"CFDSNAP1garbagegarbage").unwrap();
+    let err = run(&[
+        "snapshot",
+        "load",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "junk",
+        "--out",
+        &s.path("x.csv"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("cannot load snapshot"), "{err}");
+    // load --rules-out against a rules-less snapshot fails before
+    // writing any output file
+    run(&[
+        "snapshot",
+        "save",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "plain",
+        "--data",
+        &s.path("ok.csv"),
+    ])
+    .unwrap();
+    let err = run(&[
+        "snapshot",
+        "load",
+        "--catalog",
+        &s.path("catalog"),
+        "--name",
+        "plain",
+        "--out",
+        &s.path("partial.csv"),
+        "--rules-out",
+        &s.path("partial.cfd"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("no embedded rules"), "{err}");
+    assert!(
+        !std::path::Path::new(&s.path("partial.csv")).exists(),
+        "failed load must leave no partial outputs"
+    );
+    // a CSV handed to --apply-edits is not an edit log
+    let err = run(&[
+        "repair",
+        "--data",
+        &s.path("ok.csv"),
+        "--rules",
+        &s.path("r.cfd"),
+        "--apply-edits",
+        &s.path("ok.csv"),
+        "--out",
+        &s.path("x.csv"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("not an edit-log file"), "{err}");
+    // unknown snapshot action
+    let err = run(&["snapshot", "frobnicate", "--catalog", &s.path("catalog")]).unwrap_err();
+    assert!(err.contains("unknown snapshot action"), "{err}");
+}
+
+#[test]
 fn missing_files_name_the_path() {
     let err = run(&[
         "detect",

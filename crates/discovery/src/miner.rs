@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 
 use cfd_cfd::pattern::{PatternRow, PatternValue};
 use cfd_cfd::Cfd;
-use cfd_model::{AttrId, IdKey, Relation, Value, ValueId};
+use cfd_model::{AttrId, IdKey, Relation, Value, ValueId, ValuePool};
 
 use crate::partition::{fd_holds, Partition, ProductScratch};
 
@@ -190,17 +190,87 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> Vec<Discovery> {
     out
 }
 
-/// Harvest constant rows for a non-FD candidate `X → A`.
+/// Harvest constant rows for a non-FD candidate `X → A`, reading the
+/// [`ValuePool`] frequency counters to skip hopeless groups (see
+/// [`mine_rows`]). Falls back to the unpruned walk in the rare case the
+/// counters are proven not to cover this relation's occurrences.
 fn mine_constant_rows(
     rel: &Relation,
     lhs: &[AttrId],
     rhs: AttrId,
     config: &DiscoveryConfig,
 ) -> Option<Vec<(Vec<Value>, Value)>> {
+    match mine_rows(rel, lhs, rhs, config, true) {
+        Mined::Rows(rows) => rows,
+        Mined::PruneUnsound => match mine_rows(rel, lhs, rhs, config, false) {
+            Mined::Rows(rows) => rows,
+            Mined::PruneUnsound => unreachable!("unpruned walk never bails"),
+        },
+    }
+}
+
+/// Outcome of one support-counting walk.
+enum Mined {
+    /// The candidate's mined rows (`None`: no qualifying rows).
+    Rows(Option<Vec<(Vec<Value>, Value)>>),
+    /// The pool-frequency prune observed a key value occurring at least
+    /// `min_support` times despite a below-floor global counter — the
+    /// caller must re-run without pruning.
+    PruneUnsound,
+}
+
+/// One support-counting walk over the candidate `X → A`.
+///
+/// With `prune` set, support counting feeds on the [`ValuePool`]
+/// frequency counters: a group's support (its tuple count in *this*
+/// relation) can never exceed any of its key values' global interning
+/// counts ([`ValuePool::use_count`], bumped once per loaded cell), so a
+/// tuple whose key contains a value interned fewer than `min_support`
+/// times globally is skipped — no `IdKey` projection, no group-map
+/// insertion, no RHS set. The skipped tuples belong exclusively to
+/// groups the support filter would discard anyway, so the mined rows
+/// and the coverage denominator are unchanged.
+///
+/// The counters are an upper bound only for cells that entered the
+/// relation through interning (CSV import, snapshot install, tuple
+/// construction); raw id writes (`Relation::set_value_id`, the repair
+/// hot path) bypass them. The walk therefore audits itself: it counts
+/// each below-floor value's actual occurrences among the tuples it
+/// skips, and the moment one reaches `min_support` — the bound lied —
+/// it bails with [`Mined::PruneUnsound`] so the caller can re-run
+/// unpruned. Results are thus byte-identical with and without pruning
+/// on every input.
+fn mine_rows(
+    rel: &Relation,
+    lhs: &[AttrId],
+    rhs: AttrId,
+    config: &DiscoveryConfig,
+    prune: bool,
+) -> Mined {
+    let pool = ValuePool::global();
+    let floor = config.min_support as u64;
+    let mut pruned_seen: HashMap<ValueId, u64> = HashMap::new();
     let mut groups: HashMap<IdKey, (HashSet<ValueId>, usize)> = HashMap::new();
-    for (_, t) in rel.iter() {
+    'tuples: for (_, t) in rel.iter() {
         if lhs.iter().any(|a| t.is_null(*a)) || t.is_null(rhs) {
             continue;
+        }
+        if prune {
+            let mut skip = false;
+            for a in lhs {
+                let id = t.id(*a);
+                if pool.use_count(id) < floor {
+                    skip = true;
+                    let seen = pruned_seen.entry(id).or_insert(0);
+                    *seen += 1;
+                    if *seen >= floor {
+                        return Mined::PruneUnsound;
+                    }
+                }
+            }
+            if skip {
+                continue 'tuples;
+            }
         }
         let key = t.project_key(lhs);
         let entry = groups.entry(key).or_default();
@@ -213,7 +283,7 @@ fn mine_constant_rows(
         .filter(|(_, (_, count))| *count >= config.min_support)
         .collect();
     if supported.is_empty() {
-        return None;
+        return Mined::Rows(None);
     }
     let determined: Vec<(Vec<Value>, Value)> = supported
         .iter()
@@ -227,11 +297,11 @@ fn mine_constant_rows(
         .collect();
     let coverage = determined.len() as f64 / supported.len() as f64;
     if coverage < config.min_conditional_coverage || determined.is_empty() {
-        return None;
+        return Mined::Rows(None);
     }
     let mut rows = determined;
     rows.sort();
-    Some(rows)
+    Mined::Rows(Some(rows))
 }
 
 #[cfg(test)]
@@ -384,6 +454,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn rows_of(m: Mined) -> Option<Vec<(Vec<Value>, Value)>> {
+        match m {
+            Mined::Rows(r) => r,
+            Mined::PruneUnsound => panic!("unexpected prune bail"),
+        }
+    }
+
+    #[test]
+    fn use_count_prefilter_never_changes_results() {
+        // Normal interned data, including keys above and below the
+        // support floor: the pruned and unpruned walks must agree on
+        // every candidate of the lattice.
+        let mut rows = vec![["x", "1", "p"], ["x", "2", "p"]];
+        for _ in 0..4 {
+            rows.push(["y", "7", "q"]);
+            rows.push(["z", "9", "q"]);
+        }
+        rows.push(["w", "5", "r"]); // below floor: prunable
+        let r = rel(&rows);
+        let cfg = DiscoveryConfig {
+            min_support: 3,
+            max_lhs: 2,
+            ..Default::default()
+        };
+        let attrs: Vec<AttrId> = (0..3u16).map(AttrId).collect();
+        for k in 1..=2usize {
+            for lhs in subsets(&attrs, k) {
+                for &rhs in &attrs {
+                    if lhs.contains(&rhs) {
+                        continue;
+                    }
+                    let pruned = rows_of(mine_rows(&r, &lhs, rhs, &cfg, true));
+                    let plain = rows_of(mine_rows(&r, &lhs, rhs, &cfg, false));
+                    assert_eq!(pruned, plain, "candidate {lhs:?} -> {rhs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_audits_raw_id_writes_and_falls_back() {
+        // A value written through `set_value_id` occurs 4 times in the
+        // relation but was interned only once, so its global use_count
+        // underestimates its support. The pruned walk must notice and
+        // the public entry point must still mine the row.
+        use cfd_model::{TupleId, ValuePool};
+        let schema = Schema::new("r", &["a", "b", "c"]).unwrap();
+        let mut r = Relation::new(schema);
+        for i in 0..4u32 {
+            r.insert(Tuple::from_iter([
+                format!("seed{i}"),
+                "7".to_string(),
+                "_".to_string(),
+            ]))
+            .unwrap();
+        }
+        // one ambiguous group so a → b is not an exact FD
+        r.insert(Tuple::from_iter(["amb", "1", "_"])).unwrap();
+        r.insert(Tuple::from_iter(["amb", "2", "_"])).unwrap();
+        let probe = Value::str("prune-unsound-probe-miner");
+        let probe_id = ValuePool::global().intern(&probe);
+        assert_eq!(ValuePool::global().use_count(probe_id), 1);
+        for i in 0..4u32 {
+            r.set_value_id(TupleId(i), AttrId(0), probe_id).unwrap();
+        }
+        let cfg = DiscoveryConfig {
+            min_support: 3,
+            max_lhs: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            mine_rows(&r, &[AttrId(0)], AttrId(1), &cfg, true),
+            Mined::PruneUnsound
+        ));
+        let rows = mine_constant_rows(&r, &[AttrId(0)], AttrId(1), &cfg)
+            .expect("fallback mines the under-counted group");
+        assert!(
+            rows.contains(&(vec![probe.clone()], Value::str("7"))),
+            "{rows:?}"
+        );
     }
 
     #[test]

@@ -11,8 +11,14 @@
 //! columns, each column is interned with **one**
 //! [`ValuePool::intern_column`](crate::ValuePool::intern_column) call
 //! (one lock acquisition per attribute instead of one per cell), and the
-//! resulting id columns become the relation's [`ColumnStore`] backing
-//! directly — no intermediate [`Tuple`] objects.
+//! resulting id columns are installed through the same
+//! decode→columns→install tail snapshot load uses
+//! ([`Relation::from_columns`] →
+//! [`Relation::from_store`](crate::Relation::from_store) over a
+//! [`ColumnStore`]) — no intermediate [`Tuple`] objects. The difference
+//! between the two ingest paths is only *what* feeds the install: CSV
+//! interns every cell's text, a snapshot
+//! ([`crate::snapshot`]) bulk-installs its dictionary and remaps.
 
 use std::io::{BufRead, Write};
 

@@ -29,6 +29,10 @@ pub enum ModelError {
     UnknownRelation(String),
     /// A stable tuple id did not resolve (e.g. the tuple was deleted).
     UnknownTuple(u32),
+    /// An id-level edit log could not be derived or replayed: the
+    /// relations do not share a tuple-id space, or an edit's expected
+    /// old value no longer matches the relation (a stale log).
+    EditConflict(String),
     /// CSV input could not be parsed.
     Csv {
         /// 1-based line number.
@@ -68,6 +72,7 @@ impl fmt::Display for ModelError {
             }
             ModelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
             ModelError::UnknownTuple(t) => write!(f, "no live tuple with id {t}"),
+            ModelError::EditConflict(m) => write!(f, "edit log conflict: {m}"),
             ModelError::Csv { line, message } => {
                 write!(f, "csv parse error on line {line}: {message}")
             }

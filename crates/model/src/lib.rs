@@ -53,8 +53,16 @@
 //! * [`query`] — a small selection engine (conjunctive predicates) used by
 //!   the SQL-style violation detection.
 //! * [`diff`] — `dif(D1, D2)`, the attribute-level difference measure used
-//!   for accuracy accounting, precision and recall (§7.1).
+//!   for accuracy accounting, precision and recall (§7.1), and
+//!   [`EditLog`] — a repair expressed as id-level cell edits.
 //! * [`csv`] — plain-text import/export so examples can persist datasets.
+//! * [`snapshot`] — the persistence layer: a versioned, checksummed
+//!   binary format bundling the dictionary, the columnar segments, the
+//!   schema, and rule text; the [`Catalog`] of named datasets; and the
+//!   serialized form of [`EditLog`]s. CSV import and snapshot load share
+//!   one decode→columns→install pipeline ([`Relation::from_store`]);
+//!   snapshot load skips re-interning by bulk-installing the dictionary
+//!   and remapping columns.
 
 pub mod active_domain;
 pub mod csv;
@@ -68,18 +76,21 @@ pub mod pool;
 pub mod query;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod storage;
 pub mod tuple;
 pub mod value;
 
 pub use active_domain::ActiveDomain;
 pub use database::Database;
+pub use diff::{Edit, EditLog};
 pub use epoch::{Epoch, EpochClock, VersionMap};
 pub use error::ModelError;
 pub use key::IdKey;
 pub use pool::{ValueId, ValuePool, NULL_ID};
 pub use relation::{Relation, TupleId};
 pub use schema::{AttrId, Schema};
+pub use snapshot::{Catalog, LoadedSnapshot, SnapshotError, SnapshotInfo};
 pub use storage::{ColumnStore, RowRef, StorageLayout};
 pub use tuple::{Tuple, TupleView};
 pub use value::Value;

@@ -199,6 +199,53 @@ impl ValuePool {
         out
     }
 
+    /// Bulk-install a snapshot dictionary: intern each value **without**
+    /// the implicit occurrence bump of [`intern`](ValuePool::intern), then
+    /// add `counts[i]` to its counter. Returns ids aligned with `values`.
+    ///
+    /// This is the snapshot-load fast path: where CSV import pays one hash
+    /// operation per *cell* (via [`intern_column`](ValuePool::intern_column)),
+    /// installing a dictionary pays one per *distinct value*, and the
+    /// occurrence counts recorded at save time restore exactly the
+    /// frequency signal a cell-by-cell load would have produced — so
+    /// `FINDV`'s most-common-value tie-break behaves identically on a
+    /// snapshot-loaded relation and a CSV-loaded one. `Value::Null` maps
+    /// to [`NULL_ID`] and is never counted, mirroring the intern paths.
+    ///
+    /// # Panics
+    /// Panics when `values` and `counts` lengths differ.
+    pub fn install_column(&self, values: &[Value], counts: &[u64]) -> Vec<ValueId> {
+        assert_eq!(
+            values.len(),
+            counts.len(),
+            "dictionary values and counts must align"
+        );
+        let mut inner = self.inner.write().expect("pool lock poisoned");
+        let mut out = Vec::with_capacity(values.len());
+        for (v, n) in values.iter().zip(counts) {
+            if v.is_null() {
+                out.push(NULL_ID);
+                continue;
+            }
+            let id = match inner.ids.get(v).copied() {
+                Some(id) => id,
+                None => {
+                    let id = u32::try_from(inner.values.len())
+                        .expect("value pool overflow (> 4G values)");
+                    inner.values.push(v.clone());
+                    inner.ids.insert(v.clone(), id);
+                    inner.counts.push(AtomicU64::new(0));
+                    id
+                }
+            };
+            if *n > 0 {
+                inner.counts[id as usize].fetch_add(*n, Ordering::Relaxed);
+            }
+            out.push(ValueId(id));
+        }
+        out
+    }
+
     /// How many times `id` has been interned — the global occurrence
     /// frequency signal for values loaded cell-by-cell (see
     /// [`intern`](ValuePool::intern)). Zero for ids this pool never issued.
@@ -387,6 +434,56 @@ mod tests {
         }
         // Null is never counted as an interning of a constant.
         assert_eq!(bulk.use_count(NULL_ID), scalar.use_count(NULL_ID));
+    }
+
+    #[test]
+    fn install_column_matches_cell_by_cell_interning() {
+        // A column loaded cell by cell and the same column installed as a
+        // (distinct value, occurrence count) dictionary must leave the
+        // pool in an identical state: same ids, same counts.
+        let cells: Vec<Value> = ["a", "b", "a", "c", "a", "b"]
+            .iter()
+            .map(|s| Value::str(*s))
+            .chain([Value::Null])
+            .collect();
+        let scalar = ValuePool::new();
+        let a: Vec<ValueId> = cells.iter().map(|v| scalar.intern(v)).collect();
+
+        // Dictionary in first-occurrence order, null first (slot 0).
+        let dict = [
+            Value::Null,
+            Value::str("a"),
+            Value::str("b"),
+            Value::str("c"),
+        ];
+        let counts = [0u64, 3, 2, 1];
+        let installed = ValuePool::new();
+        let ids = installed.install_column(&dict, &counts);
+        assert_eq!(ids[0], NULL_ID);
+        assert_eq!(installed.len(), scalar.len());
+        for (v, id) in dict.iter().zip(&ids) {
+            assert_eq!(installed.resolve(*id), *v);
+            assert_eq!(
+                installed.use_count(*id),
+                scalar.use_count(scalar.lookup(v).unwrap()),
+                "count of {v:?}"
+            );
+        }
+        // The cell ids the scalar pool issued are reproduced exactly,
+        // because the dictionary lists values in first-occurrence order.
+        let remapped: Vec<ValueId> = cells.iter().map(|v| installed.lookup(v).unwrap()).collect();
+        assert_eq!(remapped, a);
+    }
+
+    #[test]
+    fn install_column_on_existing_values_adds_counts_without_new_ids() {
+        let pool = ValuePool::new();
+        let x = pool.intern(&Value::str("x"));
+        assert_eq!(pool.use_count(x), 1);
+        let ids = pool.install_column(&[Value::str("x")], &[5]);
+        assert_eq!(ids, vec![x]);
+        assert_eq!(pool.use_count(x), 6);
+        assert_eq!(pool.len(), 2); // null + x
     }
 
     #[test]

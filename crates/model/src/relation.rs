@@ -83,7 +83,21 @@ impl Relation {
             });
         }
         let store = ColumnStore::from_columns(cols, weights);
-        let live = store.slot_count();
+        Relation::from_store(schema, store)
+    }
+
+    /// Install a columnar relation from a fully built [`ColumnStore`] —
+    /// the shared decode→columns→install tail of both the CSV import path
+    /// and snapshot load. Tombstones in the store are preserved (the live
+    /// count is the validity popcount).
+    pub fn from_store(schema: Schema, store: ColumnStore) -> Result<Self, ModelError> {
+        if store.arity() != schema.arity() {
+            return Err(ModelError::ArityMismatch {
+                expected: schema.arity(),
+                actual: store.arity(),
+            });
+        }
+        let live = store.live_count();
         Ok(Relation {
             schema,
             storage: Storage::Col(store),

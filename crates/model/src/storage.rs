@@ -115,6 +115,54 @@ impl ColumnStore {
             None => vec![vec![1.0; slots]; arity],
         };
         let validity = full_validity(slots);
+        ColumnStore::from_parts(slots, cols, wcols, validity)
+    }
+
+    /// Install a store from fully materialized parts — value columns,
+    /// weight columns, and a validity bitmap — without touching the value
+    /// pool. This is the snapshot bulk-install hook: the caller (snapshot
+    /// load, layout pivots) has already produced pool ids and validated
+    /// weights, and tombstoned slots are preserved exactly as given.
+    ///
+    /// `slots` is explicit rather than inferred from the columns so an
+    /// arity-0 store (no columns at all) can still carry slots — an
+    /// arity-0 relation accepts empty-tuple inserts, and its snapshot
+    /// must round-trip them.
+    ///
+    /// # Panics
+    /// Panics on columns that disagree with `slots`, a weight shape that
+    /// does not mirror the value columns, or a validity bitmap of the
+    /// wrong word count with stray bits beyond the last slot. Callers
+    /// deserializing untrusted bytes must validate shapes first and
+    /// surface typed errors.
+    pub fn from_parts(
+        slots: usize,
+        cols: Vec<Vec<ValueId>>,
+        wcols: Vec<Vec<f64>>,
+        validity: Vec<u64>,
+    ) -> Self {
+        let arity = cols.len();
+        for c in &cols {
+            assert_eq!(c.len(), slots, "ragged value columns");
+        }
+        assert_eq!(wcols.len(), arity, "weight columns must match arity");
+        for c in &wcols {
+            assert_eq!(c.len(), slots, "ragged weight columns");
+        }
+        assert_eq!(
+            validity.len(),
+            slots.div_ceil(64),
+            "validity word count must cover the slots"
+        );
+        if !slots.is_multiple_of(64) {
+            if let Some(last) = validity.last() {
+                assert_eq!(
+                    last & !((1u64 << (slots % 64)) - 1),
+                    0,
+                    "validity bits beyond the last slot must be zero"
+                );
+            }
+        }
         ColumnStore {
             arity,
             slots,
@@ -122,6 +170,17 @@ impl ColumnStore {
             wcols,
             validity,
         }
+    }
+
+    /// Count of live slots (validity popcount).
+    pub fn live_count(&self) -> usize {
+        self.validity.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of attribute columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
     }
 
     /// Number of slots, live and dead.

@@ -41,7 +41,9 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use cfd_cfd::violation::{detect_with_engine, ConstantRules, Engine, GroupIndexes};
 use cfd_cfd::{CfdId, NormalCfd, Sigma};
 use cfd_model::index::HashIndex;
-use cfd_model::{AttrId, IdKey, Relation, TupleId, TupleView, ValueId, ValuePool, NULL_ID};
+use cfd_model::{
+    AttrId, EditLog, IdKey, Relation, TupleId, TupleView, ValueId, ValuePool, NULL_ID,
+};
 
 use crate::cost::{class_assign_cost_ids, repair_cost};
 use crate::depgraph::DepGraph;
@@ -156,6 +158,17 @@ pub struct BatchOutcome {
     /// The speculative audit trace, collected only by
     /// [`batch_repair_traced`]; `None` otherwise.
     pub trace: Option<Vec<String>>,
+}
+
+impl BatchOutcome {
+    /// The repair as an id-level [`EditLog`] against the dirty input it
+    /// was computed from: snapshot + this log replays to the byte-exact
+    /// `repair` (see `cfd_model::snapshot` for the persisted form).
+    /// `BATCHREPAIR` only rewrites cells — tuple ids are preserved — so
+    /// this cannot fail for the outcome's own input.
+    pub fn edit_log(&self, original: &Relation) -> Result<EditLog, cfd_model::ModelError> {
+        EditLog::between(original, &self.repair)
+    }
 }
 
 /// A planned resolution step.

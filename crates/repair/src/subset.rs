@@ -66,6 +66,18 @@ pub struct SubsetRepairOutcome {
     pub stats: IncStats,
 }
 
+impl SubsetRepairOutcome {
+    /// The repair as an id-level [`cfd_model::EditLog`] against the dirty
+    /// input: snapshot + this log replays to the byte-exact `repair`.
+    /// Valid because §5.3 repair preserves tuple ids.
+    pub fn edit_log(
+        &self,
+        original: &Relation,
+    ) -> Result<cfd_model::EditLog, cfd_model::ModelError> {
+        cfd_model::EditLog::between(original, &self.repair)
+    }
+}
+
 /// Repair a whole dirty database with `INCREPAIR` (§5.3): the violating
 /// tuples are re-resolved one at a time against the consistent remainder.
 /// Tuple ids are preserved, so the result is directly comparable to the

@@ -26,7 +26,10 @@
 //!
 //! * [`model`] — the relational substrate (the value pool, schemas,
 //!   id-encoded weighted tuples, relations, `IdKey`-keyed hash indexes,
-//!   `dif`/precision/recall, CSV);
+//!   `dif`/precision/recall and id-level edit logs, CSV, and the
+//!   snapshot persistence layer: a checksummed on-disk dictionary +
+//!   columnar-segment format behind a catalog of named datasets, loaded
+//!   without re-interning);
 //! * [`cfd`] — CFDs: pattern tableaus (value and interned forms),
 //!   normalization, violation detection, satisfiability, implication,
 //!   rule files;
