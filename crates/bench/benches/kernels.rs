@@ -1,8 +1,12 @@
 //! Microbenchmarks of the hot kernels underlying both repair algorithms:
-//! DL distance, index building and violation detection (dictionary-encoded
-//! vs a string-keyed reference), equivalence-class operations, LHS-index
-//! validation, nearest-value search, and cold dataset ingest (CSV
-//! re-interning vs snapshot dictionary install).
+//! DL distance, batched FINDV pricing (scalar per-pair OSA vs the
+//! bit-parallel target-major kernel), the constant-pattern detection scan
+//! (scalar columnar walk vs the 8-lane key-major sweep), index building
+//! and violation detection (dictionary-encoded vs a string-keyed
+//! reference), equivalence-class operations, LHS-index validation,
+//! nearest-value search, and cold dataset ingest (CSV re-interning vs
+//! snapshot dictionary install). `meta/*` entries record the container's
+//! CPU count and live feature/kernel switches alongside the numbers.
 //!
 //! The headline pair is `index_build` / `detect`: the dictionary-encoded
 //! value layer keys every hot map on `ValueId`/`IdKey` (u32s), while the
@@ -18,15 +22,16 @@ use std::collections::HashMap;
 use cfd_bench::harness::{black_box, Harness};
 use cfd_bench::workload;
 use cfd_cfd::pattern::{values_match, PatternValue};
-use cfd_cfd::violation::detect;
+use cfd_cfd::violation::{constant_scan_with_kernel, detect, Engine};
 use cfd_cfd::Sigma;
 use cfd_gen::{inject, NoiseConfig};
 use cfd_model::index::HashIndex;
 use cfd_model::{AttrId, Relation, StorageLayout, TupleId, Value};
 use cfd_repair::cluster::ValueIndex;
-use cfd_repair::distance::{dl_distance, dl_distance_bounded};
+use cfd_repair::distance::{dl_distance, dl_distance_bounded, dl_distance_reference};
 use cfd_repair::equivalence::{Cell, EqClasses};
 use cfd_repair::lhs_index::LhsIndexes;
+use cfd_repair::pricing::TargetPricer;
 use cfd_repair::shard::{variable_shapes, GroupCensus, Parallelism};
 use cfd_repair::{batch_repair, BatchConfig};
 
@@ -268,6 +273,8 @@ fn bench_census(h: &mut Harness) -> f64 {
 const SMOKE_MIN_DETECT_SPEEDUP: f64 = 0.95;
 const SMOKE_MIN_CENSUS_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_LOAD_SPEEDUP: f64 = 1.0;
+const SMOKE_MIN_PRICING_SPEEDUP: f64 = 1.0;
+const SMOKE_MIN_CONST_SCAN_SPEEDUP: f64 = 1.0;
 const SMOKE_ATTEMPTS: usize = 3;
 
 fn smoke() -> ! {
@@ -281,10 +288,13 @@ fn smoke() -> ! {
     let mut detect_ok = false;
     let mut census_ok = !multicore;
     let mut load_ok = false;
+    let mut pricing_ok = false;
+    let mut scan_ok = false;
     for attempt in 1..=SMOKE_ATTEMPTS {
         let mut h = Harness::new();
         h.batches = 7;
         h.target_batch_ns = 2_000_000;
+        record_metadata(&mut h);
         let (build_speedup, detect_speedup) = bench_row_vs_column(&mut h);
         let census_speedup = bench_census(&mut h);
         // Recorded, not gated: the speculative resolution loop's timing
@@ -293,6 +303,9 @@ fn smoke() -> ! {
         // established on multi-core runners.
         let resolution_speedup = bench_resolution(&mut h);
         let load_speedup = bench_load(&mut h);
+        // Single-core compute kernels: gated even on a 1-CPU runner.
+        let pricing_speedup = bench_pricing(&mut h);
+        let scan_speedup = bench_constant_scan(&mut h);
         println!("{}", h.table());
         println!("index build speedup (row/columnar): {build_speedup:.2}x");
         println!("detection speedup  (row/columnar): {detect_speedup:.2}x");
@@ -301,6 +314,8 @@ fn smoke() -> ! {
             "resolution speedup (serial/spec4x16): {resolution_speedup:.2}x (recorded, not gated)"
         );
         println!("load speedup (csv/snapshot): {load_speedup:.2}x");
+        println!("pricing speedup (scalar/bit-parallel): {pricing_speedup:.2}x");
+        println!("constant scan speedup (scalar/simd): {scan_speedup:.2}x");
         if !multicore {
             println!("single-CPU runner: census wall-time gate not applicable");
         }
@@ -309,10 +324,13 @@ fn smoke() -> ! {
         detect_ok |= detect_speedup >= SMOKE_MIN_DETECT_SPEEDUP;
         census_ok |= census_speedup >= SMOKE_MIN_CENSUS_SPEEDUP;
         load_ok |= load_speedup >= SMOKE_MIN_LOAD_SPEEDUP;
-        if detect_ok && census_ok && load_ok {
+        pricing_ok |= pricing_speedup >= SMOKE_MIN_PRICING_SPEEDUP;
+        scan_ok |= scan_speedup >= SMOKE_MIN_CONST_SCAN_SPEEDUP;
+        if detect_ok && census_ok && load_ok && pricing_ok && scan_ok {
             println!(
                 "smoke ok: columnar detection ≥ row-major, sharded census ≥ serial, \
-                 snapshot load ≥ csv re-intern load"
+                 snapshot load ≥ csv re-intern load, bit-parallel pricing ≥ scalar, \
+                 simd constant scan ≥ scalar"
             );
             std::process::exit(0);
         }
@@ -320,7 +338,10 @@ fn smoke() -> ! {
             "smoke attempt {attempt}/{SMOKE_ATTEMPTS}: detection \
              {detect_speedup:.2}x (gate {SMOKE_MIN_DETECT_SPEEDUP}x), census \
              {census_speedup:.2}x (gate {SMOKE_MIN_CENSUS_SPEEDUP}x), load \
-             {load_speedup:.2}x (gate {SMOKE_MIN_LOAD_SPEEDUP}x)"
+             {load_speedup:.2}x (gate {SMOKE_MIN_LOAD_SPEEDUP}x), pricing \
+             {pricing_speedup:.2}x (gate {SMOKE_MIN_PRICING_SPEEDUP}x), \
+             constant scan {scan_speedup:.2}x (gate \
+             {SMOKE_MIN_CONST_SCAN_SPEEDUP}x)"
         );
     }
     if !detect_ok {
@@ -339,6 +360,18 @@ fn smoke() -> ! {
         eprintln!(
             "SMOKE FAIL: snapshot load regressed below the CSV re-intern \
              load in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+        );
+    }
+    if !pricing_ok {
+        eprintln!(
+            "SMOKE FAIL: bit-parallel batched pricing regressed below the \
+             scalar per-pair kernel in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+        );
+    }
+    if !scan_ok {
+        eprintln!(
+            "SMOKE FAIL: vectorized constant scan regressed below the scalar \
+             columnar walk in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
         );
     }
     std::process::exit(1);
@@ -409,6 +442,184 @@ fn bench_distance(h: &mut Harness) {
             dl_distance_bounded(black_box(a), black_box(b), 2)
         });
     }
+}
+
+/// The batched-pricing headline: `FINDV` prices one conflicting value
+/// against a whole candidate set, so the unit of work is target ×
+/// candidates, not one pair. `scalar_batch` is the pre-batch kernel —
+/// every pair collects both strings into `Vec<char>` and fills the full
+/// OSA table. `bitparallel_batch` builds the target's pattern bitmasks
+/// once per target ([`TargetPricer`]) and streams every candidate
+/// through the u64-word DP. The equality assertion pins the two kernels
+/// to the same integers before the timings mean anything. Returns the
+/// scalar/bit-parallel median ratio (> 1 means the batched kernel wins;
+/// the bar recorded in `BENCH_kernels.json` is ≥ 1.5×, gated at ≥ 1× in
+/// smoke). Pure compute on one core — the number is meaningful on a
+/// single-CPU runner, unlike the thread-scaling entries.
+fn bench_pricing(h: &mut Harness) -> f64 {
+    let w = workload(2_000, 7);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    // Candidate pool: the distinct constants of the dirty relation across
+    // every attribute (typo noise inflates the per-attribute domains),
+    // deduplicated and sorted for a deterministic workload.
+    let adom = cfd_model::ActiveDomain::of_relation(&noise.dirty);
+    let mut candidates: Vec<String> = noise
+        .dirty
+        .schema()
+        .attr_ids()
+        .flat_map(|a| adom.sorted_values(a))
+        .map(|v| v.render().into_owned())
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+    assert!(
+        candidates.len() >= 64,
+        "active domain too small to batch ({})",
+        candidates.len()
+    );
+    // Keep the timed region in the low milliseconds: thin the pool to at
+    // most ~512 candidates, spread evenly across the sorted order.
+    let step = candidates.len().div_ceil(512);
+    let candidates: Vec<String> = candidates.into_iter().step_by(step).collect();
+    // Every 21st constant as a pricing target: FINDV's shape is a handful
+    // of conflicting values each priced against the whole candidate pool.
+    let targets: Vec<String> = candidates.iter().step_by(21).cloned().collect();
+
+    // Sanity: the kernels must agree pair for pair.
+    for t in &targets {
+        let pricer = TargetPricer::with_kernel(t, true);
+        for c in &candidates {
+            assert_eq!(
+                pricer.distance(c),
+                dl_distance_reference(t, c),
+                "kernels disagree on {t:?} vs {c:?}"
+            );
+        }
+    }
+
+    let scalar = h.run("pricing/scalar_batch", || {
+        let mut sum = 0usize;
+        for t in &targets {
+            for c in &candidates {
+                sum += dl_distance_reference(black_box(t), black_box(c));
+            }
+        }
+        sum
+    });
+    let bitparallel = h.run("pricing/bitparallel_batch", || {
+        let mut sum = 0usize;
+        for t in &targets {
+            let pricer = TargetPricer::with_kernel(black_box(t), true);
+            for c in &candidates {
+                sum += pricer.distance(black_box(c));
+            }
+        }
+        sum
+    });
+    let speedup = scalar.median_ns / bitparallel.median_ns;
+    eprintln!("pricing speedup (scalar/bit-parallel): {speedup:.2}x");
+    speedup
+}
+
+/// The vectorized-detection headline: the constant-pattern scan over the
+/// same engine and columnar relation, scalar columnar walk vs the 8-lane
+/// key-major sweep. The equality assertion pins the two reports before
+/// the timings mean anything. Returns the scalar/simd median ratio
+/// (> 1 means the vectorized scan wins). Single-threaded either way, so
+/// the comparison holds on a single-CPU runner.
+///
+/// The world is deliberately compact (8 cities × 4 zips): tableau rows
+/// scale with zips/area codes, and the key-major sweep only engages when
+/// every group stays within its 64-key gate — the default §7.1 world's
+/// 320-row tableaus fall back to the tuple-major scalar probe by design.
+/// The assertion on `key_counts` keeps this bench honest: if the
+/// generator changes shape, it fails loudly rather than silently timing
+/// scalar against scalar.
+fn bench_constant_scan(h: &mut Harness) -> f64 {
+    let w = cfd_gen::generate(&cfd_gen::GenConfig {
+        n_tuples: 6_000,
+        seed: 7,
+        world: cfd_gen::WorldConfig {
+            n_cities: 8,
+            zips_per_city: 4,
+            streets_per_city: 6,
+            n_customers: 2_000,
+            n_items: 1_000,
+            ..Default::default()
+        },
+    });
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let rel = noise.dirty.to_layout(StorageLayout::Columnar);
+    let engine = Engine::build(&rel, &w.sigma);
+    assert!(
+        engine.rules.key_counts().iter().all(|&k| k <= 64),
+        "constant tableaus exceed the key-major gate — simd path disabled \
+         ({:?})",
+        engine.rules.key_counts()
+    );
+
+    let scalar_report = constant_scan_with_kernel(&rel, &w.sigma, &engine, false);
+    let simd_report = constant_scan_with_kernel(&rel, &w.sigma, &engine, true);
+    assert_eq!(simd_report, scalar_report, "simd constant scan diverged");
+    assert!(
+        scalar_report.total > 0,
+        "noisy workload has constant-CFD violations"
+    );
+
+    let scalar = h.run("detect/constant_scan_scalar", || {
+        constant_scan_with_kernel(
+            black_box(&rel),
+            black_box(&w.sigma),
+            black_box(&engine),
+            false,
+        )
+        .total
+    });
+    let simd = h.run("detect/constant_scan_simd", || {
+        constant_scan_with_kernel(
+            black_box(&rel),
+            black_box(&w.sigma),
+            black_box(&engine),
+            true,
+        )
+        .total
+    });
+    let speedup = scalar.median_ns / simd.median_ns;
+    eprintln!("constant scan speedup (scalar/simd): {speedup:.2}x");
+    speedup
+}
+
+/// Run-environment metadata, recorded into `BENCH_kernels.json` alongside
+/// the timings so the numbers carry their own context: how many CPUs the
+/// container actually had (the thread-scaling entries are only meaningful
+/// ≥ 2) and which kernel/feature switches were live.
+fn record_metadata(h: &mut Harness) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    h.record("meta/container_cpus", cpus as f64);
+    h.record(
+        "meta/feature_parallel",
+        f64::from(u8::from(cfg!(feature = "parallel"))),
+    );
+    h.record(
+        "meta/simd_enabled",
+        f64::from(u8::from(cfd_model::simd_enabled())),
+    );
 }
 
 /// The interned-vs-string headline: index build and full detection on the
@@ -605,7 +816,10 @@ fn main() {
     });
 
     let mut h = Harness::new();
+    record_metadata(&mut h);
     bench_distance(&mut h);
+    let pricing_speedup = bench_pricing(&mut h);
+    let scan_speedup = bench_constant_scan(&mut h);
     let (build_speedup, detect_speedup) = bench_interned_vs_string(&mut h);
     let (col_build_speedup, col_detect_speedup) = bench_row_vs_column(&mut h);
     let census_speedup = bench_census(&mut h);
@@ -617,6 +831,8 @@ fn main() {
     bench_value_index(&mut h);
 
     println!("\n{}", h.table());
+    println!("pricing speedup (scalar/bit-parallel): {pricing_speedup:.2}x");
+    println!("constant scan speedup (scalar/simd): {scan_speedup:.2}x");
     println!("index build speedup (string/interned): {build_speedup:.2}x");
     println!("detection speedup  (string/interned): {detect_speedup:.2}x");
     println!("index build speedup (row/columnar): {col_build_speedup:.2}x");

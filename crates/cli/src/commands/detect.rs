@@ -8,17 +8,23 @@ use cfd_cfd::violation::detect;
 use crate::args::Args;
 use crate::io::{load_relation, load_sigma, CliError};
 
-pub const USAGE: &str = "cfdclean detect --data D.csv --rules R.cfd [--limit N]
+pub const USAGE: &str = "cfdclean detect --data D.csv --rules R.cfd [--limit N] [--no-simd]
   Report which tuples violate which CFDs.
-    --data   CSV file (header = attribute names)
-    --rules  CFD rule file (see `cfdclean help rules`)
-    --limit  max violating tuples to list per CFD (default 5)";
+    --data     CSV file (header = attribute names)
+    --rules    CFD rule file (see `cfdclean help rules`)
+    --limit    max violating tuples to list per CFD (default 5)
+    --no-simd  force the scalar reference detection scan (equivalent to
+               CFD_SIMD=0); the report is identical either way";
 
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let data = args.require("data")?.to_string();
     let rules = args.require("rules")?.to_string();
     let limit: usize = args.get_parsed("limit", 5)?;
+    let no_simd = args.switch("no-simd");
     args.reject_unknown()?;
+    if no_simd {
+        cfd_model::force_simd(false);
+    }
 
     let rel = load_relation(Path::new(&data))?;
     let sigma = load_sigma(&rel, Path::new(&rules))?;

@@ -22,8 +22,8 @@ pub const USAGE: &str = "cfdclean repair (--data D.csv | --snapshot NAME --catal
                 --out REPAIRED.csv [--rules R.cfd]
                 [--weights W.csv] [--algorithm batch|v-inc|w-inc|l-inc]
                 [--pick global|dependency] [--k N] [--threads N]
-                [--speculate K] [--emit-edits E.cfde | --apply-edits E.cfde]
-                [--stats]
+                [--speculate K] [--no-simd]
+                [--emit-edits E.cfde | --apply-edits E.cfde] [--stats]
   Compute a repair of the input satisfying the rules.
     --data        dirty CSV file
     --snapshot    dirty dataset loaded from a catalog snapshot instead of
@@ -43,6 +43,9 @@ pub const USAGE: &str = "cfdclean repair (--data D.csv | --snapshot NAME --catal
                   fixes concurrently, commit in serial order (default:
                   CFD_SPECULATE under the parallel feature, else 0 = off);
                   any K produces the identical repair
+    --no-simd     force the scalar reference kernels for distance pricing
+                  and detection scans (equivalent to CFD_SIMD=0); repairs
+                  are byte-identical with the kernels on or off
     --emit-edits  also write the repair as an id-level edit log, replayable
                   with --apply-edits against the same input
     --apply-edits replay a previously emitted edit log instead of running
@@ -74,7 +77,13 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let emit_edits = args.get("emit-edits").map(str::to_string);
     let apply_edits = args.get("apply-edits").map(str::to_string);
     let stats = args.switch("stats");
+    let no_simd = args.switch("no-simd");
     args.reject_unknown()?;
+    if no_simd {
+        // First resolution wins, so force the switch before any kernel
+        // runs — same effect as launching with CFD_SIMD=0.
+        cfd_model::force_simd(false);
+    }
 
     if emit_edits.is_some() && apply_edits.is_some() {
         return Err("--emit-edits and --apply-edits are mutually exclusive".into());
@@ -137,6 +146,10 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                     pick,
                     parallelism,
                     speculate,
+                    // Explicit override in addition to force_simd: if a
+                    // loaded library already resolved the process switch,
+                    // the per-call config still wins.
+                    simd: if no_simd { Some(false) } else { None },
                     ..BatchConfig::default()
                 },
             )?;
@@ -172,6 +185,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                     k,
                     ordering,
                     parallelism,
+                    simd: if no_simd { Some(false) } else { None },
                     ..IncConfig::default()
                 },
             )?;

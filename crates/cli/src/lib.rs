@@ -67,14 +67,14 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
         }
         "detect" => run_cmd(
             rest,
-            &[],
+            &["no-simd"],
             out,
             commands::detect::run,
             commands::detect::USAGE,
         ),
         "repair" => run_cmd(
             rest,
-            &["stats"],
+            &["stats", "no-simd"],
             out,
             commands::repair::run,
             commands::repair::USAGE,

@@ -179,6 +179,67 @@ fn repair_speculate_flag_is_byte_identical() {
 }
 
 #[test]
+fn no_simd_is_a_switch_and_composes_with_later_flags() {
+    // --no-simd takes no value; flags after it must still parse. The
+    // scalar-kernel repair must write the same bytes as the default, and
+    // --stats after --no-simd must still print its counters.
+    let s = Scratch::new("no-simd-switch");
+    generate_workload(&s, 400);
+    let repair_with = |file: &str, extra: &[&str]| -> String {
+        let mut argv = [
+            "repair",
+            "--data",
+            &s.path("dirty.csv"),
+            "--rules",
+            &s.path("rules.cfd"),
+            "--weights",
+            &s.path("dirty_weights.csv"),
+            "--out",
+            &s.path(file),
+        ]
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>();
+        argv.extend(extra.iter().map(|a| a.to_string()));
+        let argv: Vec<&str> = argv.iter().map(|a| a.as_str()).collect();
+        run(&argv).unwrap()
+    };
+    repair_with("default.csv", &[]);
+    let out = repair_with(
+        "scalar.csv",
+        &[
+            "--no-simd",
+            "--threads",
+            "4",
+            "--speculate",
+            "16",
+            "--stats",
+        ],
+    );
+    assert!(
+        out.contains("steps") && out.contains("speculative rounds"),
+        "--stats after --no-simd should print counters: {out}"
+    );
+    assert_eq!(
+        std::fs::read(s.path("default.csv")).unwrap(),
+        std::fs::read(s.path("scalar.csv")).unwrap(),
+        "scalar kernels diverged from the simd default"
+    );
+    let out = run(&[
+        "detect",
+        "--data",
+        &s.path("dirty.csv"),
+        "--rules",
+        &s.path("rules.cfd"),
+        "--no-simd",
+        "--limit",
+        "3",
+    ])
+    .unwrap();
+    assert!(out.contains("violation"), "{out}");
+}
+
+#[test]
 fn repair_incremental_algorithms_also_clean() {
     let s = Scratch::new("repair-inc");
     generate_workload(&s, 400);

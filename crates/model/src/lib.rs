@@ -76,6 +76,7 @@ pub mod pool;
 pub mod query;
 pub mod relation;
 pub mod schema;
+pub mod simd;
 pub mod snapshot;
 pub mod storage;
 pub mod tuple;
@@ -87,9 +88,10 @@ pub use diff::{Edit, EditLog};
 pub use epoch::{Epoch, EpochClock, VersionMap};
 pub use error::ModelError;
 pub use key::IdKey;
-pub use pool::{ValueId, ValuePool, NULL_ID};
+pub use pool::{Rendered, ValueId, ValuePool, NULL_ID};
 pub use relation::{Relation, TupleId};
 pub use schema::{AttrId, Schema};
+pub use simd::{force_simd, simd_enabled};
 pub use snapshot::{Catalog, LoadedSnapshot, SnapshotError, SnapshotInfo};
 pub use storage::{ColumnStore, RowRef, StorageLayout};
 pub use tuple::{Tuple, TupleView};

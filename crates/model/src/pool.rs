@@ -42,7 +42,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::value::Value;
 
@@ -104,6 +104,34 @@ impl fmt::Display for ValueId {
     }
 }
 
+/// The cached rendered form of an interned value: the text the distance
+/// kernel compares, plus the two properties every pricing call needs —
+/// the character count (the `max(|v|, |v'|)` normalizer) and whether the
+/// text is pure ASCII (selects the byte-slice fast path of the
+/// bit-parallel kernel). Cheap to clone: the text is `Arc`-shared.
+#[derive(Clone, Debug)]
+pub struct Rendered {
+    /// The value's rendered text (`null` renders empty).
+    pub text: Arc<str>,
+    /// `text.chars().count()`, cached.
+    pub chars: u32,
+    /// `text.is_ascii()`, cached.
+    pub ascii: bool,
+}
+
+impl Rendered {
+    fn of(v: &Value) -> Rendered {
+        let text: Arc<str> = Arc::from(&*v.render());
+        let ascii = text.is_ascii();
+        let chars = if ascii {
+            text.len() as u32
+        } else {
+            text.chars().count() as u32
+        };
+        Rendered { text, chars, ascii }
+    }
+}
+
 struct PoolInner {
     /// id → value. Slot 0 is always `Value::Null`.
     values: Vec<Value>,
@@ -116,6 +144,13 @@ struct PoolInner {
     /// heuristic reads instead of re-counting a group. Atomic so the
     /// read-lock fast path of `intern` can bump without upgrading.
     counts: Vec<AtomicU64>,
+    /// id → lazily rendered text, aligned with `values`. Values are
+    /// immutable once interned, so each slot renders at most once per
+    /// process; the `OnceLock` lets concurrent readers fill slots under
+    /// the pool's *read* lock. This is what lets distance-cache misses
+    /// batch their renders: one lock acquisition per candidate set, no
+    /// re-render per miss.
+    renders: Vec<OnceLock<Rendered>>,
 }
 
 /// An append-only dictionary interning [`Value`]s to dense [`ValueId`]s.
@@ -133,6 +168,7 @@ impl ValuePool {
                 values: vec![Value::Null],
                 ids,
                 counts: vec![AtomicU64::new(0)],
+                renders: vec![OnceLock::new()],
             }),
         }
     }
@@ -166,6 +202,7 @@ impl ValuePool {
         inner.values.push(v.clone());
         inner.ids.insert(v.clone(), id);
         inner.counts.push(AtomicU64::new(1));
+        inner.renders.push(OnceLock::new());
         ValueId(id)
     }
 
@@ -190,6 +227,7 @@ impl ValuePool {
                     inner.values.push(v.clone());
                     inner.ids.insert(v.clone(), id);
                     inner.counts.push(AtomicU64::new(0));
+                    inner.renders.push(OnceLock::new());
                     id
                 }
             };
@@ -235,6 +273,7 @@ impl ValuePool {
                     inner.values.push(v.clone());
                     inner.ids.insert(v.clone(), id);
                     inner.counts.push(AtomicU64::new(0));
+                    inner.renders.push(OnceLock::new());
                     id
                 }
             };
@@ -271,6 +310,34 @@ impl ValuePool {
     /// Resolve without cloning, through a closure.
     pub fn with_value<R>(&self, id: ValueId, f: impl FnOnce(&Value) -> R) -> R {
         f(&self.inner.read().expect("pool lock poisoned").values[id.index()])
+    }
+
+    /// The cached rendered text of `id` (see [`Rendered`]): rendered at
+    /// most once per process, then served as an `Arc` clone under a read
+    /// lock. This is the distance kernel's entry point to value text.
+    ///
+    /// # Panics
+    /// Panics on an id this pool never issued.
+    pub fn rendered(&self, id: ValueId) -> Rendered {
+        let inner = self.inner.read().expect("pool lock poisoned");
+        inner.renders[id.index()]
+            .get_or_init(|| Rendered::of(&inner.values[id.index()]))
+            .clone()
+    }
+
+    /// [`rendered`](ValuePool::rendered) for a whole candidate set under
+    /// a single lock acquisition — the batch pricing path renders every
+    /// cache-missed candidate in one pass instead of re-locking (and
+    /// historically re-rendering) per miss. Output aligns with `ids`.
+    pub fn rendered_batch(&self, ids: &[ValueId]) -> Vec<Rendered> {
+        let inner = self.inner.read().expect("pool lock poisoned");
+        ids.iter()
+            .map(|id| {
+                inner.renders[id.index()]
+                    .get_or_init(|| Rendered::of(&inner.values[id.index()]))
+                    .clone()
+            })
+            .collect()
     }
 
     /// The id of `v` if already interned.
@@ -484,6 +551,31 @@ mod tests {
         assert_eq!(ids, vec![x]);
         assert_eq!(pool.use_count(x), 6);
         assert_eq!(pool.len(), 2); // null + x
+    }
+
+    #[test]
+    fn rendered_cache_matches_render() {
+        let pool = ValuePool::new();
+        let cases = [
+            Value::Null,
+            Value::str("NYC"),
+            Value::str("naïve café"),
+            Value::int(19014),
+            Value::str(""),
+        ];
+        let ids: Vec<ValueId> = cases.iter().map(|v| pool.intern(v)).collect();
+        for (v, id) in cases.iter().zip(&ids) {
+            let r = pool.rendered(*id);
+            assert_eq!(&*r.text, &*v.render(), "{v:?}");
+            assert_eq!(r.chars as usize, v.render().chars().count());
+            assert_eq!(r.ascii, v.render().is_ascii());
+        }
+        // The batch path serves the same cached entries.
+        let batch = pool.rendered_batch(&ids);
+        for (one, many) in ids.iter().map(|id| pool.rendered(*id)).zip(&batch) {
+            assert_eq!(&*one.text, &*many.text);
+            assert!(Arc::ptr_eq(&one.text, &many.text), "cache is shared");
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ use cfd_model::{
     AttrId, EditLog, IdKey, Relation, TupleId, TupleView, ValueId, ValuePool, NULL_ID,
 };
 
-use crate::cost::{class_assign_cost_ids, repair_cost};
+use crate::cost::{class_assign_cost_ids, class_assign_cost_ids_batch, repair_cost};
 use crate::depgraph::DepGraph;
 use crate::distance::DistanceCache;
 use crate::equivalence::{Cell, EqClasses, Target};
@@ -110,6 +110,12 @@ pub struct BatchConfig {
     /// resolves `CFD_SPECULATE` under the `parallel` feature and is `0`
     /// otherwise.
     pub speculate: usize,
+    /// Kernel selection for distance pricing: `Some(true)` forces the
+    /// bit-parallel kernel, `Some(false)` the scalar reference, `None`
+    /// (the default) follows the process-wide [`cfd_model::simd_enabled`]
+    /// switch. Repairs are byte-identical either way — this exists so the
+    /// differential suite can run both kernels in one process.
+    pub simd: Option<bool>,
 }
 
 impl Default for BatchConfig {
@@ -120,7 +126,16 @@ impl Default for BatchConfig {
             merge_pricing: MergePricing::GroupMajority,
             parallelism: Parallelism::default(),
             speculate: shard::speculation_from_env(),
+            simd: None,
         }
+    }
+}
+
+impl BatchConfig {
+    /// The effective kernel choice: the explicit override, or the
+    /// process-wide `CFD_SIMD` resolution.
+    pub(crate) fn bitparallel(&self) -> bool {
+        self.simd.unwrap_or_else(cfd_model::simd_enabled)
     }
 }
 
@@ -353,7 +368,7 @@ fn score_shard(
     eq: &EqClasses,
     pairs: &[(u32, u32)],
 ) -> (Vec<Candidate>, Vec<Vec<AttrId>>) {
-    let mut dcache = DistanceCache::new();
+    let mut dcache = DistanceCache::with_kernel(config.bitparallel());
     let mut planner = Planner {
         orig,
         work,
@@ -442,7 +457,7 @@ impl<'a> BatchState<'a> {
             dirty,
             initial_vio,
             heap: BinaryHeap::new(),
-            dcache: DistanceCache::new(),
+            dcache: DistanceCache::with_kernel(config.bitparallel()),
             stats: BatchStats::default(),
             spec_log: None,
             spec_stats: None,
@@ -787,7 +802,11 @@ impl<'p> Planner<'p> {
             .take(take)
             .collect();
         let current = t.id(b);
-        let mut best: Option<(ValueId, usize, f64)> = None;
+        // Collect the deduped candidate set first (in S-group order), then
+        // price it target-major in one batch: each class member's pattern
+        // bitmasks are built once and stream over all candidates, instead
+        // of one full DP per (member, candidate) pair.
+        let mut candidates: Vec<ValueId> = Vec::new();
         let mut seen: BTreeSet<ValueId> = BTreeSet::new();
         for cand_tid in s_group {
             if cand_tid == tid {
@@ -797,7 +816,11 @@ impl<'p> Planner<'p> {
             if v.is_null() || v == current || !seen.insert(v) {
                 continue;
             }
-            let cost = self.assign_cost(Cell::new(tid, b), v);
+            candidates.push(v);
+        }
+        let costs = self.assign_costs(Cell::new(tid, b), &candidates);
+        let mut best: Option<(ValueId, usize, f64)> = None;
+        for (&v, cost) in candidates.iter().zip(costs) {
             let residual = self.class_residual_vios(Cell::new(tid, b), v);
             // Most-common-value heuristic: exact (residual, cost) ties go
             // to the globally most frequent candidate, read straight off
@@ -887,6 +910,42 @@ impl<'p> Planner<'p> {
             })
             .collect();
         class_assign_cost_ids(members.iter().copied(), v, self.dcache)
+    }
+
+    /// [`assign_cost`](Self::assign_cost) over a whole candidate set,
+    /// target-major: one prepared distance kernel per class member streams
+    /// across all candidates. Every returned cost is bit-identical to the
+    /// corresponding single-candidate call — same member order, same
+    /// addition sequence, same memoized integers.
+    fn assign_costs(&mut self, cell: Cell, candidates: &[ValueId]) -> Vec<f64> {
+        const EXACT_LIMIT: usize = 64;
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        self.note_eq(cell);
+        if self.eq.members(cell).len() > EXACT_LIMIT {
+            let current = self.eff(cell.tuple, cell.attr);
+            let w = self.eq.weight_sum(cell);
+            let ds = self.dcache.normalized_batch(current, candidates);
+            return candidates
+                .iter()
+                .zip(ds)
+                .map(|(&v, d)| if current == v { 0.0 } else { w * d })
+                .collect();
+        }
+        let member_cells: Vec<Cell> = self.eq.members(cell).to_vec();
+        let members: Vec<(f64, ValueId)> = member_cells
+            .iter()
+            .map(|c| {
+                let w = self
+                    .orig
+                    .tuple(c.tuple)
+                    .map(|t| t.weight(c.attr))
+                    .unwrap_or(0.0);
+                (w, self.orig_id(*c))
+            })
+            .collect();
+        class_assign_cost_ids_batch(&members, candidates, self.dcache)
     }
 
     /// Plan the LHS-change resolution shared by cases 1.2 and 2.2: try a

@@ -23,8 +23,6 @@ use std::collections::BTreeMap;
 
 use cfd_model::{ActiveDomain, AttrId, Value, ValueId};
 
-use crate::distance::dl_distance_bounded;
-
 /// A queryable view of one attribute's active domain.
 #[derive(Clone, Debug, Default)]
 pub struct ValueIndex {
@@ -98,6 +96,10 @@ impl ValueIndex {
         let probe_value = probe.value();
         let probe_text = probe_value.render().into_owned();
         let probe_len = probe_value.render_len();
+        // One prepared kernel for the probe: its pattern bitmasks are
+        // built once and reused against every bucket entry, instead of a
+        // fresh DP matrix per pair.
+        let pricer = crate::pricing::TargetPricer::new(&probe_text);
         // Max-heap by (distance, value) capped at `limit`; implemented as a
         // sorted Vec because `limit` is small (≤ a few dozen).
         let mut best: Vec<(usize, &Value, ValueId)> = Vec::with_capacity(limit + 1);
@@ -136,7 +138,7 @@ impl ValueIndex {
                 } else {
                     usize::MAX - 1
                 };
-                let Some(d) = dl_distance_bounded(&probe_text, &v.render(), cutoff) else {
+                let Some(d) = pricer.distance_bounded(&v.render(), cutoff) else {
                     continue;
                 };
                 let entry = (d, v, *id);

@@ -91,6 +91,27 @@ where
         .sum()
 }
 
+/// [`class_assign_cost_ids`] for a whole candidate set at once — the
+/// target-major form `FINDV` prices with. Each member's original value is
+/// prepared once ([`DistanceCache::normalized_batch`]) and priced against
+/// every candidate; per-candidate sums accumulate in member order from
+/// `0.0`, the same addition sequence as `|v| class_assign_cost_ids(…, v)`
+/// per candidate, so every result is bit-identical to the per-pair path.
+pub fn class_assign_cost_ids_batch(
+    members: &[(f64, ValueId)],
+    candidates: &[ValueId],
+    cache: &mut DistanceCache,
+) -> Vec<f64> {
+    let mut costs = vec![0.0f64; candidates.len()];
+    for &(w, old) in members {
+        let ds = cache.normalized_batch(old, candidates);
+        for (c, (&cand, d)) in costs.iter_mut().zip(candidates.iter().zip(ds)) {
+            *c += if old == cand { 0.0 } else { w * d };
+        }
+    }
+    costs
+}
+
 /// Convenience: evaluate the cost of an in-place single-attribute change in
 /// a relation.
 pub fn cell_change_cost(rel: &Relation, id: TupleId, a: cfd_model::AttrId, to: &Value) -> f64 {

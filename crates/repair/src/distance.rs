@@ -18,8 +18,14 @@ use std::collections::HashMap;
 
 use cfd_model::{Value, ValueId, ValuePool};
 
-/// DL (optimal string alignment) distance between two char slices.
-fn osa(a: &[char], b: &[char]) -> usize {
+use crate::pricing::TargetPricer;
+use crate::shard::FnvBuildHasher;
+
+/// DL (optimal string alignment) distance between two char slices — the
+/// scalar reference kernel. The bit-parallel kernel
+/// ([`crate::pricing::TargetPricer`]) is pinned equal to this function by
+/// the property suites; keep it branch-for-branch boring.
+pub(crate) fn osa_reference(a: &[char], b: &[char]) -> usize {
     let (n, m) = (a.len(), b.len());
     if n == 0 {
         return m;
@@ -47,21 +53,10 @@ fn osa(a: &[char], b: &[char]) -> usize {
     prev[m]
 }
 
-/// DL distance between two strings (character-based).
-pub fn dl_distance(a: &str, b: &str) -> usize {
-    let ac: Vec<char> = a.chars().collect();
-    let bc: Vec<char> = b.chars().collect();
-    osa(&ac, &bc)
-}
-
-/// DL distance with a cutoff: returns `None` when the distance is
-/// guaranteed to exceed `cutoff`. The length-difference lower bound prunes
-/// without touching the matrix; inside the matrix, a row whose minimum
-/// exceeds the cutoff abandons.
-pub fn dl_distance_bounded(a: &str, b: &str, cutoff: usize) -> Option<usize> {
-    let ac: Vec<char> = a.chars().collect();
-    let bc: Vec<char> = b.chars().collect();
-    let (n, m) = (ac.len(), bc.len());
+/// Bounded scalar reference: `Some(d)` iff the true distance `d ≤ cutoff`.
+/// Abandons when a full row's minimum exceeds the cutoff.
+pub(crate) fn osa_bounded_reference(a: &[char], b: &[char], cutoff: usize) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
     if n.abs_diff(m) > cutoff {
         return None;
     }
@@ -78,9 +73,9 @@ pub fn dl_distance_bounded(a: &str, b: &str, cutoff: usize) -> Option<usize> {
         cur[0] = i;
         let mut row_min = cur[0];
         for j in 1..=m {
-            let cost = usize::from(ac[i - 1] != bc[j - 1]);
+            let cost = usize::from(a[i - 1] != b[j - 1]);
             let mut best = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
-            if i > 1 && j > 1 && ac[i - 1] == bc[j - 2] && ac[i - 2] == bc[j - 1] {
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 best = best.min(prev2[j - 2] + 1);
             }
             cur[j] = best;
@@ -93,6 +88,44 @@ pub fn dl_distance_bounded(a: &str, b: &str, cutoff: usize) -> Option<usize> {
         std::mem::swap(&mut prev, &mut cur);
     }
     Some(prev[m]).filter(|d| *d <= cutoff)
+}
+
+/// Character count without allocating: byte length for ASCII, one
+/// `chars()` pass otherwise.
+#[inline]
+pub(crate) fn char_count(s: &str) -> usize {
+    if s.is_ascii() {
+        s.len()
+    } else {
+        s.chars().count()
+    }
+}
+
+/// DL distance between two strings (character-based). Dispatches to the
+/// bit-parallel kernel when enabled ([`cfd_model::simd_enabled`]); the
+/// scalar reference is always available as [`dl_distance_reference`].
+pub fn dl_distance(a: &str, b: &str) -> usize {
+    TargetPricer::new(a).distance(b)
+}
+
+/// The scalar reference kernel on strings, regardless of `CFD_SIMD` —
+/// what the differential suites and benches compare against.
+pub fn dl_distance_reference(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    osa_reference(&ac, &bc)
+}
+
+/// DL distance with a cutoff: returns `None` when the distance is
+/// guaranteed to exceed `cutoff`. The length-difference lower bound is
+/// checked before anything is collected or built, so pruned pairs
+/// allocate nothing; past the bound, the kernel abandons as soon as the
+/// running score provably exceeds the cutoff.
+pub fn dl_distance_bounded(a: &str, b: &str, cutoff: usize) -> Option<usize> {
+    if char_count(a).abs_diff(char_count(b)) > cutoff {
+        return None;
+    }
+    TargetPricer::new(a).distance_bounded(b, cutoff)
 }
 
 /// Normalized similarity term of the cost model:
@@ -127,15 +160,36 @@ pub fn normalized_distance_ids(a: ValueId, b: ValueId) -> f64 {
 /// only on a cache miss — this is the single point where the id-encoded
 /// repair pipeline touches the text form of a value. The metric is
 /// symmetric, so pairs are stored with the smaller id first.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DistanceCache {
-    memo: HashMap<(ValueId, ValueId), f64>,
+    /// FNV-hashed memo: the keys are small fixed-width id pairs from the
+    /// interner, exactly what FNV is good at and SipHash wasteful for.
+    memo: HashMap<(ValueId, ValueId), f64, FnvBuildHasher>,
+    /// Kernel choice for misses; resolved from [`cfd_model::simd_enabled`]
+    /// by [`DistanceCache::new`], overridable per cache for the in-process
+    /// SIMD-on/off differential.
+    bitparallel: bool,
+}
+
+impl Default for DistanceCache {
+    fn default() -> Self {
+        DistanceCache::new()
+    }
 }
 
 impl DistanceCache {
-    /// An empty cache.
+    /// An empty cache pricing with the process-wide kernel selection.
     pub fn new() -> Self {
-        DistanceCache::default()
+        DistanceCache::with_kernel(cfd_model::simd_enabled())
+    }
+
+    /// An empty cache with an explicit kernel choice (`false` forces the
+    /// scalar reference on every miss).
+    pub fn with_kernel(bitparallel: bool) -> Self {
+        DistanceCache {
+            memo: HashMap::default(),
+            bitparallel,
+        }
     }
 
     /// The normalized distance between two interned values.
@@ -148,12 +202,62 @@ impl DistanceCache {
             return *d;
         }
         let pool = ValuePool::global();
-        // Resolve one side first: nesting two read locks on the pool could
-        // deadlock against a waiting writer.
-        let v = pool.resolve(key.0);
-        let d = pool.with_value(key.1, |w| normalized_distance(&v, w));
+        let ra = pool.rendered(key.0);
+        let rb = pool.rendered(key.1);
+        let max_len = ra.chars.max(rb.chars) as usize;
+        let d = if max_len == 0 {
+            0.0
+        } else {
+            let dis = TargetPricer::with_kernel(&ra.text, self.bitparallel).distance(&rb.text);
+            dis as f64 / max_len as f64
+        };
         self.memo.insert(key, d);
         d
+    }
+
+    /// Target-major batch pricing: the normalized distance from `target`
+    /// to every candidate, in candidate order. The target's pattern
+    /// bitmasks are built once and reused across all cache misses, whose
+    /// renders come back in one batch through the pool's rendered-text
+    /// cache. Each result is bit-identical to what
+    /// [`normalized`](DistanceCache::normalized) returns for that pair:
+    /// same integer distance, same cached normalizer, one IEEE division.
+    pub fn normalized_batch(&mut self, target: ValueId, candidates: &[ValueId]) -> Vec<f64> {
+        let mut out = vec![0.0f64; candidates.len()];
+        let mut misses: Vec<(usize, ValueId)> = Vec::new();
+        for (i, &c) in candidates.iter().enumerate() {
+            if c == target {
+                continue; // out[i] stays the exact 0.0 of the equal-id path
+            }
+            let key = if target < c { (target, c) } else { (c, target) };
+            match self.memo.get(&key) {
+                Some(d) => out[i] = *d,
+                None => misses.push((i, c)),
+            }
+        }
+        if misses.is_empty() {
+            return out;
+        }
+        let pool = ValuePool::global();
+        let rt = pool.rendered(target);
+        let pricer = TargetPricer::with_kernel(&rt.text, self.bitparallel);
+        let ids: Vec<ValueId> = misses.iter().map(|&(_, c)| c).collect();
+        let rendered = pool.rendered_batch(&ids);
+        for (&(i, c), rc) in misses.iter().zip(rendered.iter()) {
+            let max_len = rt.chars.max(rc.chars) as usize;
+            // The metric is symmetric (pinned by the property suite), so
+            // pricing target-major yields the single-pair number even when
+            // the memo key puts the candidate first.
+            let d = if max_len == 0 {
+                0.0
+            } else {
+                pricer.distance(&rc.text) as f64 / max_len as f64
+            };
+            let key = if target < c { (target, c) } else { (c, target) };
+            self.memo.insert(key, d);
+            out[i] = d;
+        }
+        out
     }
 
     /// Number of memoized pairs.

@@ -86,6 +86,10 @@ pub struct IncConfig {
     /// resolves `CFD_THREADS` under the `parallel` feature and is serial
     /// otherwise.
     pub parallelism: Parallelism,
+    /// Distance-kernel override, mirroring [`crate::BatchConfig::simd`]:
+    /// `None` follows the process-wide `CFD_SIMD` switch. Repairs are
+    /// byte-identical either way.
+    pub simd: Option<bool>,
 }
 
 impl Default for IncConfig {
@@ -99,6 +103,7 @@ impl Default for IncConfig {
             vio_penalty: 0.5,
             null_cost_factor: 2.0,
             parallelism: Parallelism::default(),
+            simd: None,
         }
     }
 }
@@ -182,6 +187,8 @@ impl<'a> IncState<'a> {
         let lhs = LhsIndexes::build_with(&active_view, sigma, &config.parallelism);
         let adom = ActiveDomain::of_relation(&active_view);
         let arity = work.schema().arity();
+        let dcache =
+            DistanceCache::with_kernel(config.simd.unwrap_or_else(cfd_model::simd_enabled));
         Ok(IncState {
             sigma,
             config,
@@ -190,7 +197,7 @@ impl<'a> IncState<'a> {
             lhs,
             adom,
             vidx: vec![None; arity],
-            dcache: DistanceCache::new(),
+            dcache,
             stats: IncStats::default(),
         })
     }
@@ -346,6 +353,14 @@ impl<'a> IncState<'a> {
                     .iter()
                     .map(|a| self.candidates_for(&cur, *a, c_mask))
                     .collect();
+                // Warm the distance memo target-major before the odometer:
+                // one prepared kernel per (original value, candidate list)
+                // instead of a fresh per-pair DP inside `consider`. The
+                // memoized numbers are bit-identical to the per-pair path,
+                // so this is purely a batching speedup.
+                for (a, vs) in combo.iter().zip(per_attr.iter()) {
+                    self.dcache.normalized_batch(orig.id(*a), vs);
+                }
                 let mut tried = 0usize;
                 let mut odometer = vec![0usize; k];
                 'outer: loop {

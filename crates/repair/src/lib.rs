@@ -69,6 +69,7 @@ pub mod equivalence;
 pub mod incremental;
 pub mod ind_repair;
 pub mod lhs_index;
+pub mod pricing;
 pub mod shard;
 pub mod speculative;
 pub mod subset;

@@ -285,7 +285,7 @@ struct SpecPlan {
 /// worker shares `state` immutably and keeps its own index overlay and
 /// distance memo across pairs (both semantically transparent).
 fn plan_worker(state: &BatchState<'_>, pairs: &[(u32, u32)]) -> Vec<SpecPlan> {
-    let mut dcache = DistanceCache::new();
+    let mut dcache = DistanceCache::with_kernel(state.config.bitparallel());
     let mut planner = Planner::snapshot(state, &mut dcache);
     let mut out = Vec::with_capacity(pairs.len());
     for &(cfd, tid) in pairs {
