@@ -306,6 +306,7 @@ fn smoke() -> ! {
         // Single-core compute kernels: gated even on a 1-CPU runner.
         let pricing_speedup = bench_pricing(&mut h);
         let scan_speedup = bench_constant_scan(&mut h);
+        record_pool_bytes(&mut h);
         println!("{}", h.table());
         println!("index build speedup (row/columnar): {build_speedup:.2}x");
         println!("detection speedup  (row/columnar): {detect_speedup:.2}x");
@@ -401,16 +402,23 @@ fn bench_load(h: &mut Harness) -> f64 {
     write_relation(&noise.dirty, &mut csv).expect("render csv");
     let snap = snapshot_to_vec(&noise.dirty, None);
 
-    // Sanity: the two ingest paths must agree cell for cell.
+    // Sanity: the two ingest paths must agree cell for cell. Each load
+    // interns into a pool of its own, so compare resolved values — raw
+    // ids are pool-local.
     let via_csv = read_relation("dirty", &mut csv.as_slice()).expect("csv parses");
     let via_snap = read_snapshot(&snap).expect("snapshot loads").relation;
     assert_eq!(via_csv.len(), via_snap.len(), "ingest paths disagree");
     for a in via_csv.schema().attr_ids() {
-        assert_eq!(
-            via_csv.column(a),
-            via_snap.column(a),
-            "ingest paths disagree on column {a}"
-        );
+        let cc = via_csv.column(a).expect("csv column");
+        let cs = via_snap.column(a).expect("snapshot column");
+        assert_eq!(cc.len(), cs.len(), "ingest paths disagree on column {a}");
+        for (i, (x, y)) in cc.iter().zip(cs).enumerate() {
+            assert_eq!(
+                via_csv.pool().resolve(*x),
+                via_snap.pool().resolve(*y),
+                "ingest paths disagree at column {a} row {i}"
+            );
+        }
     }
 
     let t_csv = h.run("load/csv_reintern_20k", || {
@@ -622,6 +630,17 @@ fn record_metadata(h: &mut Harness) {
     );
 }
 
+/// Interning footprint of the process-default shared pool, recorded
+/// after the workloads have run: tracks dictionary growth per bench run
+/// (dataset-scoped pools free theirs when the relation drops; the
+/// shared pool is the one that can only grow).
+fn record_pool_bytes(h: &mut Harness) {
+    h.record(
+        "meta/pool_bytes",
+        cfd_model::ValuePool::shared().approx_bytes() as f64,
+    );
+}
+
 /// The interned-vs-string headline: index build and full detection on the
 /// §7.1 generated workload at 5% noise.
 fn bench_interned_vs_string(h: &mut Harness) -> (f64, f64) {
@@ -829,6 +848,7 @@ fn main() {
     bench_equivalence(&mut h);
     bench_lhs_index(&mut h);
     bench_value_index(&mut h);
+    record_pool_bytes(&mut h);
 
     println!("\n{}", h.table());
     println!("pricing speedup (scalar/bit-parallel): {pricing_speedup:.2}x");

@@ -10,9 +10,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use cfd_model::{AttrId, ModelError, Schema, TupleView};
+use cfd_model::{AttrId, ModelError, Schema, TupleView, ValuePool};
 
-use crate::pattern::{intern_patterns, tuple_matches, PatternId, PatternRow, PatternValue};
+use crate::pattern::{
+    intern_patterns, intern_patterns_in, tuple_matches, PatternId, PatternRow, PatternValue,
+};
 
 /// A CFD in the paper's general form `(R: X → Y, Tp)`.
 #[derive(Clone, Debug)]
@@ -99,9 +101,16 @@ impl Cfd {
         Ok(())
     }
 
-    /// Expand into normal form: one [`NormalCfd`] per pattern row per RHS
-    /// attribute. Ids are assigned by the caller ([`Sigma::normalize`]).
+    /// Expand into normal form against the process-default shared pool
+    /// (compatibility shim; see [`Cfd::normalize_in`]).
     pub fn normalize(&self) -> Vec<NormalCfd> {
+        self.normalize_in(ValuePool::global())
+    }
+
+    /// Expand into normal form: one [`NormalCfd`] per pattern row per RHS
+    /// attribute, with pattern constants interned (uncounted) into
+    /// `pool`. Ids are assigned by the caller ([`Sigma::normalize_in`]).
+    pub fn normalize_in(&self, pool: &ValuePool) -> Vec<NormalCfd> {
         let mut out = Vec::with_capacity(self.tableau.len() * self.rhs.len());
         for (row_idx, row) in self.tableau.iter().enumerate() {
             for (j, rhs_attr) in self.rhs.iter().enumerate() {
@@ -109,8 +118,8 @@ impl Cfd {
                     id: CfdId(u32::MAX), // patched by Sigma::normalize
                     source: self.name.clone(),
                     source_row: row_idx,
-                    lhs_pat_ids: intern_patterns(&row.lhs),
-                    rhs_pat_id: row.rhs[j].to_id(),
+                    lhs_pat_ids: intern_patterns_in(&row.lhs, pool),
+                    rhs_pat_id: row.rhs[j].to_id_in(pool),
                     lhs: self.lhs.clone(),
                     lhs_pat: row.lhs.clone(),
                     rhs_attr: *rhs_attr,
@@ -300,10 +309,24 @@ pub struct Sigma {
 }
 
 impl Sigma {
-    /// Normalize a set of general CFDs over `schema`.
+    /// Normalize a set of general CFDs over `schema` against the
+    /// process-default shared pool (compatibility shim; see
+    /// [`Sigma::normalize_in`]).
+    pub fn normalize(schema: Schema, cfds: Vec<Cfd>) -> Result<Self, ModelError> {
+        Sigma::normalize_in(schema, cfds, ValuePool::global())
+    }
+
+    /// Normalize a set of general CFDs over `schema`, interning pattern
+    /// constants (uncounted) into `pool` — the dataset's pool, so the
+    /// hot matching paths compare ids from the same dictionary the data
+    /// was loaded into.
     ///
     /// Validates every attribute id against the schema.
-    pub fn normalize(schema: Schema, cfds: Vec<Cfd>) -> Result<Self, ModelError> {
+    pub fn normalize_in(
+        schema: Schema,
+        cfds: Vec<Cfd>,
+        pool: &ValuePool,
+    ) -> Result<Self, ModelError> {
         let mut normal = Vec::new();
         for cfd in &cfds {
             for a in cfd.lhs().iter().chain(cfd.rhs().iter()) {
@@ -314,7 +337,7 @@ impl Sigma {
                     });
                 }
             }
-            normal.extend(cfd.normalize());
+            normal.extend(cfd.normalize_in(pool));
         }
         for (i, n) in normal.iter_mut().enumerate() {
             n.id = CfdId(i as u32);
@@ -382,10 +405,19 @@ impl Sigma {
     }
 
     /// The same Σ with every tableau collapsed to its embedded FD — used by
-    /// the Fig. 8 comparison.
+    /// the Fig. 8 comparison. Shared-pool shim; see
+    /// [`Sigma::embedded_fds_in`].
     pub fn embedded_fds(&self) -> Result<Sigma, ModelError> {
+        self.embedded_fds_in(ValuePool::global())
+    }
+
+    /// [`Sigma::embedded_fds`] against a dataset's own pool. (Embedded
+    /// FDs are all-wildcard, so no constants are interned either way —
+    /// the pool parameter keeps the API symmetric with
+    /// [`Sigma::normalize_in`].)
+    pub fn embedded_fds_in(&self, pool: &ValuePool) -> Result<Sigma, ModelError> {
         let fds = self.sources.iter().map(Cfd::embedded_fd).collect();
-        Sigma::normalize(self.schema.clone(), fds)
+        Sigma::normalize_in(self.schema.clone(), fds, pool)
     }
 
     /// Count of constant (resp. variable) normal CFDs; the Fig. 14/15

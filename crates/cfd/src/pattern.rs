@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use cfd_model::{AttrId, TupleView, Value, ValueId};
+use cfd_model::{AttrId, TupleView, Value, ValueId, ValuePool};
 
 /// One cell of a pattern tuple: a constant or the unnamed variable `_`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -56,11 +56,22 @@ impl PatternValue {
         }
     }
 
-    /// Intern the constant (if any), producing the match-time form.
+    /// Intern the constant (if any) into the process-default shared pool.
+    /// Compatibility shim for pool-less tests; rule loading against a
+    /// dataset uses [`PatternValue::to_id_in`] with the dataset's pool.
     pub fn to_id(&self) -> PatternId {
+        self.to_id_in(ValuePool::global())
+    }
+
+    /// Intern the constant (if any) into `pool`, producing the match-time
+    /// form. Pattern constants are rule metadata, not data: they intern
+    /// *uncounted* ([`ValuePool::intern_uncounted`]) so loading or
+    /// re-loading rules can never perturb the occurrence counts that
+    /// drive FINDV tie-breaks and discovery support.
+    pub fn to_id_in(&self, pool: &ValuePool) -> PatternId {
         match self {
             PatternValue::Wildcard => PatternId::Wildcard,
-            PatternValue::Const(v) => PatternId::Const(ValueId::of(v)),
+            PatternValue::Const(v) => PatternId::Const(pool.intern_uncounted(v)),
         }
     }
 
@@ -196,9 +207,15 @@ pub fn values_match(vals: &[Value], pats: &[PatternValue]) -> bool {
     vals.iter().zip(pats.iter()).all(|(v, p)| p.matches(v))
 }
 
-/// Intern a pattern slice.
+/// Intern a pattern slice into the process-default shared pool
+/// (compatibility shim; see [`intern_patterns_in`]).
 pub fn intern_patterns(pats: &[PatternValue]) -> Vec<PatternId> {
-    pats.iter().map(PatternValue::to_id).collect()
+    intern_patterns_in(pats, ValuePool::global())
+}
+
+/// Intern a pattern slice into `pool`, uncounted.
+pub fn intern_patterns_in(pats: &[PatternValue], pool: &ValuePool) -> Vec<PatternId> {
+    pats.iter().map(|p| p.to_id_in(pool)).collect()
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@ use cfd_cfd::violation::{check, detect};
 use cfd_repair::{inc_repair, IncConfig, Ordering};
 
 use crate::args::Args;
-use crate::io::{load_relation, load_sigma, load_weights, save_relation, CliError};
+use crate::io::{
+    load_relation, load_relation_in, load_sigma, load_weights, save_relation, CliError,
+};
 
 pub const USAGE: &str =
     "cfdclean insert --base CLEAN.csv --updates NEW.csv --rules R.cfd --out MERGED.csv
@@ -35,7 +37,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     args.reject_unknown()?;
 
     let base = load_relation(Path::new(&base_path))?;
-    let mut updates = load_relation(Path::new(&updates_path))?;
+    // ΔD's tuples are inserted into `base`, so their values must live in
+    // the base's pool — load into it rather than a fresh one.
+    let mut updates = load_relation_in(Path::new(&updates_path), base.pool().clone())?;
     if updates.schema().arity() != base.schema().arity() {
         return Err(format!(
             "updates have {} attributes, base has {}",

@@ -245,7 +245,7 @@ fn apply_edit_log(
     out_path: &str,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let loaded = load_edit_log(Path::new(log_path))?;
+    let loaded = load_edit_log(Path::new(log_path), rel.pool())?;
     if loaded.arity != rel.schema().arity() {
         return Err(format!(
             "edit log {log_path} was derived for arity {}, input has arity {}",

@@ -7,7 +7,7 @@ use std::path::Path;
 
 use cfd_cfd::parser::parse_rules;
 use cfd_cfd::{Cfd, Sigma};
-use cfd_model::{csv, Relation};
+use cfd_model::{csv, Relation, ValuePool};
 
 /// A CLI-level error: human-readable message, exit code 1.
 pub type CliError = Box<dyn std::error::Error>;
@@ -17,14 +17,26 @@ fn context<E: std::fmt::Display>(what: &str, path: &Path, e: E) -> CliError {
 }
 
 /// Load a relation from a CSV file; the relation is named after the file
-/// stem so rule files can reference it.
+/// stem so rule files can reference it. Each load gets its own fresh
+/// [`ValuePool`], so a command's output depends only on the files it was
+/// given — never on what else the process loaded first. Commands that
+/// combine two relations (e.g. an update delta against its base) must
+/// load the second into the first's pool with [`load_relation_in`].
 pub fn load_relation(path: &Path) -> Result<Relation, CliError> {
+    load_relation_in(path, ValuePool::new_handle())
+}
+
+/// Load a relation from a CSV file into an explicit pool.
+pub fn load_relation_in(
+    path: &Path,
+    pool: std::sync::Arc<ValuePool>,
+) -> Result<Relation, CliError> {
     let file = fs::File::open(path).map_err(|e| context("cannot open", path, e))?;
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("relation");
-    csv::read_relation(name, &mut BufReader::new(file))
+    csv::read_relation_in(name, &mut BufReader::new(file), pool)
         .map_err(|e| context("cannot parse", path, e))
 }
 
@@ -60,15 +72,16 @@ pub fn load_sigma(rel: &Relation, path: &Path) -> Result<Sigma, CliError> {
 }
 
 /// Parse rule text (from a file or a snapshot's embedded RULES segment)
-/// against `rel`'s schema and normalize it into a Σ. `origin` names the
-/// source in error messages.
+/// against `rel`'s schema and normalize it into a Σ whose pattern
+/// constants live in `rel`'s pool. `origin` names the source in error
+/// messages.
 pub fn sigma_from_text(rel: &Relation, text: &str, origin: &str) -> Result<Sigma, CliError> {
     let cfds =
         parse_rules(rel.schema(), text).map_err(|e| format!("cannot parse {origin}: {e}"))?;
     if cfds.is_empty() {
         return Err(format!("no rules in {origin}: the text parsed to zero CFDs").into());
     }
-    Sigma::normalize(rel.schema().clone(), cfds)
+    Sigma::normalize_in(rel.schema().clone(), cfds, rel.pool())
         .map_err(|e| format!("cannot normalize rules in {origin}: {e}").into())
 }
 
@@ -85,15 +98,24 @@ pub fn save_edit_log(
     rel: &Relation,
     path: &Path,
 ) -> Result<(), CliError> {
-    let bytes =
-        cfd_model::snapshot::edit_log_to_vec(log, rel.schema().name(), rel.schema().arity());
+    let bytes = cfd_model::snapshot::edit_log_to_vec(
+        log,
+        rel.schema().name(),
+        rel.schema().arity(),
+        rel.pool(),
+    );
     fs::write(path, bytes).map_err(|e| context("cannot write", path, e))
 }
 
-/// Read an edit-log file.
-pub fn load_edit_log(path: &Path) -> Result<cfd_model::snapshot::LoadedEditLog, CliError> {
+/// Read an edit-log file, interning its values into `pool` — pass the
+/// pool of the relation the log will be replayed against.
+pub fn load_edit_log(
+    path: &Path,
+    pool: &ValuePool,
+) -> Result<cfd_model::snapshot::LoadedEditLog, CliError> {
     let bytes = fs::read(path).map_err(|e| context("cannot open", path, e))?;
-    cfd_model::snapshot::read_edit_log(&bytes).map_err(|e| context("cannot parse", path, e))
+    cfd_model::snapshot::read_edit_log_in(&bytes, pool)
+        .map_err(|e| context("cannot parse", path, e))
 }
 
 /// Render CFDs into rule-file text.

@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 
 use cfd_cfd::pattern::{PatternRow, PatternValue};
 use cfd_cfd::Cfd;
-use cfd_model::{AttrId, IdKey, Relation, Value, ValueId, ValuePool};
+use cfd_model::{AttrId, IdKey, Relation, Value, ValueId};
 
 use crate::partition::{fd_holds, Partition, ProductScratch};
 
@@ -191,9 +191,10 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> Vec<Discovery> {
 }
 
 /// Harvest constant rows for a non-FD candidate `X → A`, reading the
-/// [`ValuePool`] frequency counters to skip hopeless groups (see
-/// [`mine_rows`]). Falls back to the unpruned walk in the rare case the
-/// counters are proven not to cover this relation's occurrences.
+/// relation's [`ValuePool`](cfd_model::ValuePool) frequency counters to
+/// skip hopeless groups (see [`mine_rows`]). Falls back to the unpruned
+/// walk in the rare case the counters are proven not to cover this
+/// relation's occurrences.
 fn mine_constant_rows(
     rel: &Relation,
     lhs: &[AttrId],
@@ -214,22 +215,27 @@ enum Mined {
     /// The candidate's mined rows (`None`: no qualifying rows).
     Rows(Option<Vec<(Vec<Value>, Value)>>),
     /// The pool-frequency prune observed a key value occurring at least
-    /// `min_support` times despite a below-floor global counter — the
+    /// `min_support` times despite a below-floor pool counter — the
     /// caller must re-run without pruning.
     PruneUnsound,
 }
 
 /// One support-counting walk over the candidate `X → A`.
 ///
-/// With `prune` set, support counting feeds on the [`ValuePool`]
-/// frequency counters: a group's support (its tuple count in *this*
-/// relation) can never exceed any of its key values' global interning
-/// counts ([`ValuePool::use_count`], bumped once per loaded cell), so a
-/// tuple whose key contains a value interned fewer than `min_support`
-/// times globally is skipped — no `IdKey` projection, no group-map
-/// insertion, no RHS set. The skipped tuples belong exclusively to
-/// groups the support filter would discard anyway, so the mined rows
-/// and the coverage denominator are unchanged.
+/// With `prune` set, support counting feeds on the relation's own
+/// [`ValuePool`](cfd_model::ValuePool) frequency counters: a group's
+/// support (its tuple count in *this* relation) can never exceed any of
+/// its key values' occurrence counts in the dataset's pool
+/// ([`use_count`](cfd_model::ValuePool::use_count), bumped once per
+/// loaded cell), so a tuple whose key contains a value
+/// counted fewer than `min_support` times is skipped — no `IdKey`
+/// projection, no group-map insertion, no RHS set. The skipped tuples
+/// belong exclusively to groups the support filter would discard
+/// anyway, so the mined rows and the coverage denominator are
+/// unchanged. Because the pool is scoped to the dataset, another
+/// relation loaded in the same process can neither inflate a count
+/// (masking the prune) nor train it — pruning decisions depend on this
+/// relation alone.
 ///
 /// The counters are an upper bound only for cells that entered the
 /// relation through interning (CSV import, snapshot install, tuple
@@ -247,7 +253,7 @@ fn mine_rows(
     config: &DiscoveryConfig,
     prune: bool,
 ) -> Mined {
-    let pool = ValuePool::global();
+    let pool = rel.pool();
     let floor = config.min_support as u64;
     let mut pruned_seen: HashMap<ValueId, u64> = HashMap::new();
     let mut groups: HashMap<IdKey, (HashSet<ValueId>, usize)> = HashMap::new();
@@ -290,8 +296,8 @@ fn mine_rows(
         .filter(|(_, (values, _))| values.len() == 1)
         .map(|(key, (values, _))| {
             (
-                key.as_slice().iter().map(|id| id.value()).collect(),
-                values.iter().next().expect("len 1").value(),
+                key.as_slice().iter().map(|id| pool.resolve(*id)).collect(),
+                pool.resolve(*values.iter().next().expect("len 1")),
             )
         })
         .collect();
@@ -309,7 +315,7 @@ mod tests {
     use super::*;
     use cfd_cfd::violation::check;
     use cfd_cfd::Sigma;
-    use cfd_model::{Schema, Tuple};
+    use cfd_model::{Schema, Tuple, ValuePool};
 
     fn rel(rows: &[[&str; 3]]) -> Relation {
         let schema = Schema::new("r", &["a", "b", "c"]).unwrap();
@@ -498,10 +504,10 @@ mod tests {
     #[test]
     fn prune_audits_raw_id_writes_and_falls_back() {
         // A value written through `set_value_id` occurs 4 times in the
-        // relation but was interned only once, so its global use_count
+        // relation but was interned only once, so its pool use_count
         // underestimates its support. The pruned walk must notice and
         // the public entry point must still mine the row.
-        use cfd_model::{TupleId, ValuePool};
+        use cfd_model::TupleId;
         let schema = Schema::new("r", &["a", "b", "c"]).unwrap();
         let mut r = Relation::new(schema);
         for i in 0..4u32 {
@@ -516,8 +522,8 @@ mod tests {
         r.insert(Tuple::from_iter(["amb", "1", "_"])).unwrap();
         r.insert(Tuple::from_iter(["amb", "2", "_"])).unwrap();
         let probe = Value::str("prune-unsound-probe-miner");
-        let probe_id = ValuePool::global().intern(&probe);
-        assert_eq!(ValuePool::global().use_count(probe_id), 1);
+        let probe_id = r.pool().intern(&probe);
+        assert_eq!(r.pool().use_count(probe_id), 1);
         for i in 0..4u32 {
             r.set_value_id(TupleId(i), AttrId(0), probe_id).unwrap();
         }
@@ -536,6 +542,69 @@ mod tests {
             rows.contains(&(vec![probe.clone()], Value::str("7"))),
             "{rows:?}"
         );
+    }
+
+    #[test]
+    fn pruning_ignores_other_datasets_in_the_process() {
+        // Two datasets live in one process, each on its own pool, and
+        // dataset B interns the exact value dataset A's prune must see
+        // as below-floor. Under the old process-global pool B's
+        // occurrences would have lifted the counter past the floor,
+        // masking the under-count and silently changing the pruning
+        // decision; with per-dataset pools the decision depends on A
+        // alone.
+        use cfd_model::TupleId;
+        let pool_a = ValuePool::new_handle();
+        let schema = Schema::new("r", &["a", "b", "c"]).unwrap();
+        let mut a = Relation::new_in(schema, pool_a.clone());
+        let row = |pool: &ValuePool, cells: [&str; 3]| {
+            Tuple::from_ids(cells.iter().map(|c| pool.intern(&Value::str(c))).collect())
+        };
+        for i in 0..4u32 {
+            a.insert(row(&pool_a, [&format!("seed{i}"), "7", "_"]))
+                .unwrap();
+        }
+        // one ambiguous group so a → b is not an exact FD
+        a.insert(row(&pool_a, ["amb", "1", "_"])).unwrap();
+        a.insert(row(&pool_a, ["amb", "2", "_"])).unwrap();
+        let probe = Value::str("cross-dataset-probe");
+        let probe_id = pool_a.intern(&probe);
+        for i in 0..4u32 {
+            a.set_value_id(TupleId(i), AttrId(0), probe_id).unwrap();
+        }
+        let cfg = DiscoveryConfig {
+            min_support: 3,
+            max_lhs: 1,
+            ..Default::default()
+        };
+        let baseline = mine_constant_rows(&a, &[AttrId(0)], AttrId(1), &cfg);
+
+        // Dataset B, on its own pool, interns the probe value well past
+        // the support floor.
+        let pool_b = ValuePool::new_handle();
+        let mut b = Relation::new_in(Schema::new("other", &["a"]).unwrap(), pool_b.clone());
+        for _ in 0..8 {
+            b.insert(Tuple::from_ids(vec![pool_b.intern(&probe)]))
+                .unwrap();
+        }
+        assert!(pool_b.use_count(pool_b.intern_uncounted(&probe)) >= cfg.min_support as u64);
+        assert_eq!(
+            pool_a.use_count(probe_id),
+            1,
+            "B must not touch A's counters"
+        );
+
+        // A's pruned walk still sees the raw-id under-count and bails,
+        // exactly as it would in a process that never loaded B.
+        assert!(matches!(
+            mine_rows(&a, &[AttrId(0)], AttrId(1), &cfg, true),
+            Mined::PruneUnsound
+        ));
+        let after = mine_constant_rows(&a, &[AttrId(0)], AttrId(1), &cfg);
+        assert_eq!(baseline, after, "mining A is independent of B");
+        assert!(after
+            .expect("fallback mines the under-counted group")
+            .contains(&(vec![probe], Value::str("7"))));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! tests and frequency lookups hash a `u32`, and the repair algorithms
 //! move candidate ids around without touching the pool until the final
 //! distance computation.
+//!
+//! The structure itself is pool-agnostic — it stores whatever ids the
+//! caller feeds it. The *value*-level conveniences (`add`, `remove`,
+//! `update`, `contains`, `frequency`, `values`, `sorted_values`)
+//! translate through the process-default shared pool via
+//! [`ValueId::of`] / [`ValueId::value`]; for a relation on a
+//! dataset-scoped pool, use the `_id` variants with ids from that pool.
 
 use std::collections::HashMap;
 

@@ -181,11 +181,22 @@ fn field_texts(fields: Vec<Field>) -> Vec<String> {
     fields.into_iter().map(|f| f.text).collect()
 }
 
-/// Read a relation written by [`write_relation`], constructing the schema
-/// from the header and naming the relation `name`. The result is columnar:
-/// records are decoded into per-attribute columns and bulk-interned, one
-/// pool pass per column.
+/// [`read_relation_in`] on the process-default shared pool
+/// (compatibility shim — dataset paths pass the owning pool, or a fresh
+/// [`ValuePool::new_handle`], to keep ids and counts scoped).
 pub fn read_relation<R: BufRead>(name: &str, r: &mut R) -> Result<Relation, ModelError> {
+    read_relation_in(name, r, ValuePool::shared())
+}
+
+/// Read a relation written by [`write_relation`], constructing the schema
+/// from the header and naming the relation `name`, interning every cell
+/// into `pool`. The result is columnar: records are decoded into
+/// per-attribute columns and bulk-interned, one pool pass per column.
+pub fn read_relation_in<R: BufRead>(
+    name: &str,
+    r: &mut R,
+    pool: std::sync::Arc<ValuePool>,
+) -> Result<Relation, ModelError> {
     let mut lines = r.lines();
     let header = match lines.next() {
         Some(h) => h?,
@@ -221,8 +232,8 @@ pub fn read_relation<R: BufRead>(name: &str, r: &mut R) -> Result<Relation, Mode
             col.push(decode_value(f));
         }
     }
-    let id_cols = intern_columns(ValuePool::global(), &columns);
-    Relation::from_columns(schema, id_cols, None)
+    let id_cols = intern_columns(&pool, &columns);
+    Relation::from_columns_in(schema, id_cols, None, pool)
 }
 
 /// Write the per-attribute confidence weights of `rel` as CSV: the same
@@ -370,6 +381,22 @@ mod tests {
         let t1 = r2.tuple(crate::TupleId(1)).unwrap();
         assert_eq!(t1.value(AttrId(1)), Value::str("says \"hi\", eh"));
         assert_eq!(t1.value(AttrId(2)), Value::Null);
+    }
+
+    #[test]
+    fn read_relation_in_scopes_to_its_pool() {
+        let r = sample();
+        let mut buf = Vec::new();
+        write_relation(&r, &mut buf).unwrap();
+        let pool = ValuePool::new_handle();
+        let r2 = read_relation_in("order", &mut buf.as_slice(), pool.clone()).unwrap();
+        assert!(std::sync::Arc::ptr_eq(r2.pool(), &pool));
+        // Cells resolve through the scoped pool; counts reflect this
+        // dataset only.
+        let t0 = r2.tuple(crate::TupleId(0)).unwrap();
+        assert_eq!(t0.value(AttrId(0)), Value::str("a23"));
+        let id = r2.value_id(crate::TupleId(0), AttrId(0)).unwrap();
+        assert_eq!(pool.use_count(id), 1);
     }
 
     #[test]

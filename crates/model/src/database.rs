@@ -6,6 +6,7 @@
 //! the algorithms receive one [`Relation`] at a time.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::error::ModelError;
 use crate::pool::ValuePool;
@@ -14,25 +15,55 @@ use crate::schema::Schema;
 
 /// A collection of relations addressed by name.
 ///
-/// All relations share the process-wide [`ValuePool`] (see
-/// [`Database::pool`]): ids are stable across relations and databases, so
-/// repairs can move interned ids between the original, the working copy,
-/// and candidate tuples without translation.
-#[derive(Clone, Debug, Default)]
+/// Every database owns one [`ValuePool`] (see [`Database::pool`]) shared
+/// by all its relations: ids are stable across the original, the working
+/// copy, and candidate tuples *within* the database, so repairs move
+/// interned ids between structures without translation — while nothing
+/// leaks across databases. [`Database::new`] uses the process-default
+/// shared pool for compatibility with pool-less construction;
+/// [`Database::new_in`] and [`Database::around`] scope the database to a
+/// dataset's own pool. Relations inserted from a foreign pool are
+/// re-interned at the boundary ([`Relation::rekey_into`]).
+#[derive(Clone, Debug)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    pool: Arc<ValuePool>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database on the process-default shared pool
+    /// (compatibility shim — dataset paths use [`Database::new_in`] or
+    /// [`Database::around`]).
     pub fn new() -> Self {
-        Database::default()
+        Database::new_in(ValuePool::shared())
     }
 
-    /// The value pool this database's relations intern into — the
-    /// process-wide dictionary.
-    pub fn pool(&self) -> &'static ValuePool {
-        ValuePool::global()
+    /// An empty database whose relations intern into `pool`.
+    pub fn new_in(pool: Arc<ValuePool>) -> Self {
+        Database {
+            relations: BTreeMap::new(),
+            pool,
+        }
+    }
+
+    /// A database built around one relation, adopting its pool — the CLI
+    /// load path: `Database::around(csv::read_relation_in(...))` keeps
+    /// the dataset scoped to the pool it was interned into.
+    pub fn around(relation: Relation) -> Self {
+        let mut db = Database::new_in(relation.pool().clone());
+        db.put(relation);
+        db
+    }
+
+    /// The value pool this database's relations intern into.
+    pub fn pool(&self) -> &Arc<ValuePool> {
+        &self.pool
     }
 
     /// Create an empty relation for `schema`, replacing any previous
@@ -40,12 +71,17 @@ impl Database {
     /// population.
     pub fn create(&mut self, schema: Schema) -> &mut Relation {
         let name = schema.name().to_string();
-        self.relations.insert(name.clone(), Relation::new(schema));
+        self.relations
+            .insert(name.clone(), Relation::new_in(schema, self.pool.clone()));
         self.relations.get_mut(&name).expect("just inserted")
     }
 
-    /// Insert an existing relation under its schema name.
+    /// Insert an existing relation under its schema name. A relation
+    /// whose pool differs from this database's is re-interned into it
+    /// ([`Relation::rekey_into`]) so every resident relation shares one
+    /// dictionary.
     pub fn put(&mut self, relation: Relation) {
+        let relation = relation.rekey_into(&self.pool);
         self.relations
             .insert(relation.schema().name().to_string(), relation);
     }
@@ -123,6 +159,50 @@ mod tests {
         assert_eq!(r.schema().name(), "r");
         assert!(db.is_empty());
         assert!(db.drop_relation("r").is_err());
+    }
+
+    #[test]
+    fn scoped_database_rekeys_foreign_relations() {
+        use crate::relation::TupleId;
+        use crate::schema::AttrId;
+        use crate::tuple::Tuple;
+        use crate::value::Value;
+        // A relation built on its own pool, inserted into a database on a
+        // different pool, is re-interned at the boundary.
+        let src_pool = ValuePool::new_handle();
+        let mut rel = Relation::new_in(Schema::new("r", &["a"]).unwrap(), src_pool.clone());
+        let id = src_pool.intern(&Value::str("NYC"));
+        rel.insert(Tuple::from_ids(vec![id])).unwrap();
+
+        let mut db = Database::new_in(ValuePool::new_handle());
+        db.put(rel);
+        let got = db.relation("r").unwrap();
+        assert!(Arc::ptr_eq(got.pool(), db.pool()));
+        let cell = got.value_id(TupleId(0), AttrId(0)).unwrap();
+        assert_eq!(db.pool().resolve(cell), Value::str("NYC"));
+        assert_eq!(db.pool().use_count(cell), 1, "counted as a fresh load");
+        // The source pool is untouched.
+        assert_eq!(src_pool.use_count(id), 1);
+    }
+
+    #[test]
+    fn create_interns_into_database_pool() {
+        use crate::relation::TupleId;
+        use crate::schema::AttrId;
+        use crate::tuple::Tuple;
+        use crate::value::Value;
+        let mut db = Database::new_in(ValuePool::new_handle());
+        let pool = db.pool().clone();
+        let schema = Schema::new("r", &["a"]).unwrap();
+        db.create(schema)
+            .insert(Tuple::from_ids(vec![pool.intern(&Value::str("x"))]))
+            .unwrap();
+        let rel = db.relation("r").unwrap();
+        assert!(Arc::ptr_eq(rel.pool(), &pool));
+        assert_eq!(
+            rel.tuple(TupleId(0)).unwrap().value(AttrId(0)),
+            Value::str("x")
+        );
     }
 
     #[test]

@@ -24,20 +24,58 @@
 //! `Value::Null` always interns to [`NULL_ID`] (slot 0), so "is this cell
 //! null" is a single integer comparison everywhere.
 //!
-//! ## Sharing model
+//! ## Sharing model: pools are scoped to a dataset
 //!
-//! There is one process-wide pool ([`ValuePool::global`]), shared by every
-//! [`Database`](crate::Database), relation, and tuple. A single pool makes
-//! ids stable across relations — a candidate tuple built in a test, a
-//! repair's working copy, and the original database all agree on what id
-//! `"NYC"` has — which is what lets the repair algorithms move ids between
-//! structures without translation. `Database` exposes the pool it uses via
-//! [`Database::pool`](crate::Database::pool). Isolated pools (for tests of
-//! the pool itself, or for benchmarks measuring interning) can be created
-//! with [`ValuePool::new`].
+//! Pools are **per-dataset**, held behind [`Arc<ValuePool>`] handles: every
+//! [`Relation`](crate::Relation) and [`ColumnStore`](crate::ColumnStore)
+//! carries the pool its cell ids live in, a
+//! [`Database`](crate::Database) owns one pool shared by its relations,
+//! and each dataset a [`Catalog`](crate::Catalog) loads gets a fresh pool
+//! of its own. Within one dataset, a single pool is what makes ids stable
+//! across structures — the original, the repair's working copy, and every
+//! index agree on what id `"NYC"` has, so the repair algorithms move ids
+//! around without translation. *Across* datasets nothing is shared:
+//! the per-id [`use_count`](ValuePool::use_count) frequency counters that
+//! feed `FINDV`'s most-common-value tie-break and the miner's support
+//! floor count occurrences in *this* dataset only, so repair bytes depend
+//! on (dataset, rules, config) — never on what else the process loaded
+//! before. Fresh handles come from [`ValuePool::new_handle`].
 //!
-//! The pool is append-only: ids are never reused or invalidated, lookups
-//! take a read lock only, and a miss upgrades to a short write lock.
+//! Convenience constructors that take no pool ([`ValueId::of`],
+//! [`Tuple::new`](crate::Tuple::new), `Relation::new`, …) fall back to a
+//! **process-default shared pool** ([`ValuePool::shared`]) — a
+//! compatibility shim for tests and ad-hoc construction. Code on the
+//! dataset path must thread the owning pool explicitly; the only callers
+//! of [`ValuePool::global`] are these documented shims and tests.
+//!
+//! ## Occurrence counts and what bumps them
+//!
+//! `use_count` approximates a value's occurrence frequency in the
+//! dataset's *data*. Only data-loading paths bump it: cell-by-cell
+//! interning ([`intern`](ValuePool::intern), tuple construction), bulk
+//! CSV import ([`intern_column`](ValuePool::intern_column)), and snapshot
+//! install ([`install_column`](ValuePool::install_column), which restores
+//! the exact counts recorded at save time). Non-data interning — pattern
+//! constants bound at rule-load time, probes — goes through
+//! [`intern_uncounted`](ValuePool::intern_uncounted) and leaves the
+//! counters alone, so re-loading rules or repairing twice never skews a
+//! frequency tie-break.
+//!
+//! ## Reclamation
+//!
+//! Ids are stable while a dataset is resident: lookups take a read lock
+//! only, and a miss upgrades to a short write lock. Reclamation is
+//! refcount-based, for long-running processes that evict datasets:
+//! [`retire`](ValuePool::retire) gives occurrences back (the inverse of
+//! the counted intern paths), and [`compact`](ValuePool::compact) frees
+//! every count-zero slot — value payload, rendered-text cache, and
+//! dictionary entry — putting the slot id on a free list for reuse by
+//! future interns. Per-dataset pools rarely need this (dropping the last
+//! `Arc` frees the whole dictionary); it exists for session-style pools
+//! that outlive the datasets loaded into them. Callers own the safety
+//! argument: compact only when nothing still references the retired ids
+//! (snapshots make that safe — any evicted value is re-installable from
+//! its dataset's dictionary segment).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -46,11 +84,13 @@ use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::value::Value;
 
-/// Dense identifier of an interned [`Value`] within the global pool.
+/// Dense identifier of an interned [`Value`] within one pool.
 ///
 /// `Copy`, 4 bytes, hash = integer hash: exactly what hot-path keys want.
 /// Ordering is *interning order*, not value order — sort resolved values
-/// when a display-stable order is needed.
+/// when a display-stable order is needed. An id is meaningful only
+/// relative to the pool that issued it; structures that move ids around
+/// (relations, indices, fixes) stay within a single dataset's pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueId(pub u32);
 
@@ -85,13 +125,21 @@ impl ValueId {
         self == other
     }
 
-    /// Intern `v` in the global pool.
+    /// Intern `v` in the process-default shared pool.
+    ///
+    /// Compatibility shim for tests and ad-hoc construction; dataset-path
+    /// code interns into the owning pool
+    /// ([`ValuePool::intern`](ValuePool::intern)) instead.
     #[inline]
     pub fn of(v: &Value) -> ValueId {
         ValuePool::global().intern(v)
     }
 
-    /// Resolve this id from the global pool.
+    /// Resolve this id from the process-default shared pool.
+    ///
+    /// Compatibility shim, like [`ValueId::of`]; dataset-path code
+    /// resolves through the owning pool
+    /// ([`ValuePool::resolve`](ValuePool::resolve)).
     #[inline]
     pub fn value(self) -> Value {
         ValuePool::global().resolve(self)
@@ -151,9 +199,38 @@ struct PoolInner {
     /// batch their renders: one lock acquisition per candidate set, no
     /// re-render per miss.
     renders: Vec<OnceLock<Rendered>>,
+    /// Slot ids freed by [`ValuePool::compact`], available for reuse.
+    /// A freed slot holds `Value::Null` as a tombstone (real interns of
+    /// null short-circuit to slot 0, so no live slot above 0 is null).
+    free: Vec<u32>,
 }
 
-/// An append-only dictionary interning [`Value`]s to dense [`ValueId`]s.
+impl PoolInner {
+    /// Allocate a slot for a value not yet in the dictionary, reusing a
+    /// compacted slot when one is free. The slot's count starts at zero;
+    /// counted intern paths bump it afterwards.
+    fn alloc(&mut self, v: &Value) -> u32 {
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.values[slot as usize] = v.clone();
+                slot
+            }
+            None => {
+                let id =
+                    u32::try_from(self.values.len()).expect("value pool overflow (> 4G values)");
+                self.values.push(v.clone());
+                self.counts.push(AtomicU64::new(0));
+                self.renders.push(OnceLock::new());
+                id
+            }
+        };
+        self.ids.insert(v.clone(), id);
+        id
+    }
+}
+
+/// A dictionary interning [`Value`]s to dense [`ValueId`]s, scoped to one
+/// dataset (see the module docs for the sharing and reclamation model).
 pub struct ValuePool {
     inner: RwLock<PoolInner>,
 }
@@ -169,14 +246,38 @@ impl ValuePool {
                 ids,
                 counts: vec![AtomicU64::new(0)],
                 renders: vec![OnceLock::new()],
+                free: Vec::new(),
             }),
         }
     }
 
-    /// The process-wide shared pool.
+    /// A fresh pool behind the [`Arc`] handle everything threads around.
+    /// This is how a dataset gets its own dictionary: CSV import, snapshot
+    /// load, and `Database::new` all start from one of these.
+    pub fn new_handle() -> Arc<ValuePool> {
+        Arc::new(ValuePool::new())
+    }
+
+    /// A handle to the process-default shared pool — the pool the no-pool
+    /// convenience constructors ([`ValueId::of`], `Tuple::new`,
+    /// `Relation::new`) fall back to. Dataset-path code should prefer
+    /// [`new_handle`](ValuePool::new_handle) so its ids and counts stay
+    /// scoped.
+    pub fn shared() -> Arc<ValuePool> {
+        ValuePool::shared_ref().clone()
+    }
+
+    fn shared_ref() -> &'static Arc<ValuePool> {
+        static GLOBAL: OnceLock<Arc<ValuePool>> = OnceLock::new();
+        GLOBAL.get_or_init(ValuePool::new_handle)
+    }
+
+    /// Deprecated shim: the process-default shared pool by reference.
+    /// Kept for the no-pool convenience constructors and tests; new code
+    /// takes an `Arc<ValuePool>` handle ([`shared`](ValuePool::shared) or
+    /// [`new_handle`](ValuePool::new_handle)) instead.
     pub fn global() -> &'static ValuePool {
-        static GLOBAL: OnceLock<ValuePool> = OnceLock::new();
-        GLOBAL.get_or_init(ValuePool::new)
+        ValuePool::shared_ref()
     }
 
     /// Intern `v`, returning its stable id. `Value::Null` always maps to
@@ -198,12 +299,32 @@ impl ValuePool {
             inner.counts[id as usize].fetch_add(1, Ordering::Relaxed);
             return ValueId(id);
         }
-        let id = u32::try_from(inner.values.len()).expect("value pool overflow (> 4G values)");
-        inner.values.push(v.clone());
-        inner.ids.insert(v.clone(), id);
-        inner.counts.push(AtomicU64::new(1));
-        inner.renders.push(OnceLock::new());
+        let id = inner.alloc(v);
+        inner.counts[id as usize].fetch_add(1, Ordering::Relaxed);
         ValueId(id)
+    }
+
+    /// Intern `v` **without** bumping its occurrence counter. This is the
+    /// entry point for non-data interning — pattern constants bound at
+    /// rule-load time, probe values — so that loading rules (or loading
+    /// them twice) never skews the frequency signal `FINDV`'s
+    /// most-common-value tie-break reads. `Value::Null` maps to
+    /// [`NULL_ID`], as everywhere.
+    pub fn intern_uncounted(&self, v: &Value) -> ValueId {
+        if v.is_null() {
+            return NULL_ID;
+        }
+        {
+            let inner = self.inner.read().expect("pool lock poisoned");
+            if let Some(id) = inner.ids.get(v) {
+                return ValueId(*id);
+            }
+        }
+        let mut inner = self.inner.write().expect("pool lock poisoned");
+        if let Some(id) = inner.ids.get(v).copied() {
+            return ValueId(id);
+        }
+        ValueId(inner.alloc(v))
     }
 
     /// Bulk-intern one column of values under a single lock acquisition —
@@ -221,15 +342,7 @@ impl ValuePool {
             }
             let id = match inner.ids.get(v).copied() {
                 Some(id) => id,
-                None => {
-                    let id = u32::try_from(inner.values.len())
-                        .expect("value pool overflow (> 4G values)");
-                    inner.values.push(v.clone());
-                    inner.ids.insert(v.clone(), id);
-                    inner.counts.push(AtomicU64::new(0));
-                    inner.renders.push(OnceLock::new());
-                    id
-                }
+                None => inner.alloc(v),
             };
             inner.counts[id as usize].fetch_add(1, Ordering::Relaxed);
             out.push(ValueId(id));
@@ -267,15 +380,7 @@ impl ValuePool {
             }
             let id = match inner.ids.get(v).copied() {
                 Some(id) => id,
-                None => {
-                    let id = u32::try_from(inner.values.len())
-                        .expect("value pool overflow (> 4G values)");
-                    inner.values.push(v.clone());
-                    inner.ids.insert(v.clone(), id);
-                    inner.counts.push(AtomicU64::new(0));
-                    inner.renders.push(OnceLock::new());
-                    id
-                }
+                None => inner.alloc(v),
             };
             if *n > 0 {
                 inner.counts[id as usize].fetch_add(*n, Ordering::Relaxed);
@@ -285,9 +390,10 @@ impl ValuePool {
         out
     }
 
-    /// How many times `id` has been interned — the global occurrence
-    /// frequency signal for values loaded cell-by-cell (see
-    /// [`intern`](ValuePool::intern)). Zero for ids this pool never issued.
+    /// How many times `id` has been interned through a counted path — the
+    /// dataset-scoped occurrence frequency signal for values loaded
+    /// cell-by-cell (see [`intern`](ValuePool::intern)). Zero for ids
+    /// this pool never issued.
     pub fn use_count(&self, id: ValueId) -> u64 {
         self.inner
             .read()
@@ -296,6 +402,96 @@ impl ValuePool {
             .get(id.index())
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// Give back `occurrences` previously counted for `id` — the inverse
+    /// of the counted intern paths, used when a dataset is evicted from a
+    /// pool that outlives it. Saturates at zero; [`NULL_ID`] and unknown
+    /// ids are ignored.
+    pub fn retire(&self, id: ValueId, occurrences: u64) {
+        if id.is_null() || occurrences == 0 {
+            return;
+        }
+        let inner = self.inner.read().expect("pool lock poisoned");
+        if let Some(c) = inner.counts.get(id.index()) {
+            let _ = c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(occurrences))
+            });
+        }
+    }
+
+    /// [`retire`](ValuePool::retire) one occurrence per id in `ids` —
+    /// the cell-by-cell eviction path (pass every live cell id of the
+    /// relation being dropped). Occurrences are coalesced first so the
+    /// counters are touched once per distinct id.
+    pub fn retire_ids<I: IntoIterator<Item = ValueId>>(&self, ids: I) {
+        let mut occ: HashMap<u32, u64> = HashMap::new();
+        for id in ids {
+            if !id.is_null() {
+                *occ.entry(id.0).or_default() += 1;
+            }
+        }
+        for (id, n) in occ {
+            self.retire(ValueId(id), n);
+        }
+    }
+
+    /// Free every count-zero slot: drop the value payload and cached
+    /// render, remove the dictionary entry, and put the slot id on the
+    /// free list for reuse by future interns. Returns the number of slots
+    /// freed. Slot 0 (`null`) is never freed.
+    ///
+    /// The caller owns the safety argument: compact only when nothing
+    /// still holds ids for the retired values — no live relation, index,
+    /// fix list, or normalized rule set over them. Uncounted interns
+    /// (pattern constants) sit at count zero by design, so a live
+    /// `Sigma`'s constants survive only until the next compact; re-bind
+    /// rules after compacting, or keep rule lifetimes inside dataset
+    /// lifetimes (the CLI and catalog paths do the latter).
+    pub fn compact(&self) -> usize {
+        let mut inner = self.inner.write().expect("pool lock poisoned");
+        let mut freed = 0;
+        for i in 1..inner.values.len() {
+            if inner.values[i].is_null() {
+                continue; // already a free-list tombstone
+            }
+            if inner.counts[i].load(Ordering::Relaxed) != 0 {
+                continue;
+            }
+            let v = std::mem::replace(&mut inner.values[i], Value::Null);
+            inner.ids.remove(&v);
+            inner.renders[i] = OnceLock::new();
+            inner.free.push(i as u32);
+            freed += 1;
+        }
+        freed
+    }
+
+    /// Approximate resident bytes of the dictionary: per-slot fixed
+    /// overhead plus live string payloads and cached render texts.
+    /// Deterministic for a given pool state, so eviction-loop gates can
+    /// assert it returns to a baseline after
+    /// [`retire`](ValuePool::retire) + [`compact`](ValuePool::compact).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let inner = self.inner.read().expect("pool lock poisoned");
+        // Fixed per-slot overhead (value + counter + render cell), plus
+        // the map entry for each live dictionary key. The map key shares
+        // the slot's Arc<str>, so string payloads are counted once.
+        let mut total = inner.values.len()
+            * (size_of::<Value>() + size_of::<AtomicU64>() + size_of::<OnceLock<Rendered>>())
+            + inner.ids.len() * (size_of::<Value>() + size_of::<u32>());
+        for v in &inner.values {
+            if let Value::Str(s) = v {
+                total += s.len();
+            }
+        }
+        for r in &inner.renders {
+            if let Some(r) = r.get() {
+                total += r.text.len();
+            }
+        }
+        total
     }
 
     /// Resolve an id back to its value. Cheap: strings are
@@ -353,9 +549,11 @@ impl ValuePool {
             .map(|id| ValueId(*id))
     }
 
-    /// Number of distinct values interned (including `null`).
+    /// Number of distinct values interned (including `null`), excluding
+    /// slots freed by [`compact`](ValuePool::compact).
     pub fn len(&self) -> usize {
-        self.inner.read().expect("pool lock poisoned").values.len()
+        let inner = self.inner.read().expect("pool lock poisoned");
+        inner.values.len() - inner.free.len()
     }
 
     /// A pool is never empty — `null` is always present.
@@ -575,6 +773,95 @@ mod tests {
         for (one, many) in ids.iter().map(|id| pool.rendered(*id)).zip(&batch) {
             assert_eq!(&*one.text, &*many.text);
             assert!(Arc::ptr_eq(&one.text, &many.text), "cache is shared");
+        }
+    }
+
+    #[test]
+    fn intern_uncounted_leaves_counts_alone() {
+        let pool = ValuePool::new();
+        let a = pool.intern(&Value::str("NYC"));
+        assert_eq!(pool.use_count(a), 1);
+        // Re-interning the same value uncounted (a pattern constant
+        // binding against loaded data) must not skew its frequency.
+        let b = pool.intern_uncounted(&Value::str("NYC"));
+        assert_eq!(a, b);
+        assert_eq!(pool.use_count(a), 1);
+        // A fresh uncounted intern allocates a slot at count zero.
+        let c = pool.intern_uncounted(&Value::str("PHI"));
+        assert_eq!(pool.use_count(c), 0);
+        assert_eq!(pool.resolve(c), Value::str("PHI"));
+        // Null short-circuits, as on every path.
+        assert_eq!(pool.intern_uncounted(&Value::Null), NULL_ID);
+    }
+
+    #[test]
+    fn retire_and_compact_free_slots_for_reuse() {
+        let pool = ValuePool::new();
+        let a = pool.intern(&Value::str("a"));
+        let b = pool.intern(&Value::str("b"));
+        pool.intern(&Value::str("a")); // a: 2, b: 1
+        assert_eq!(pool.len(), 3);
+
+        pool.retire(a, 2);
+        assert_eq!(pool.use_count(a), 0);
+        assert_eq!(pool.compact(), 1); // only `a` is count-zero
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.lookup(&Value::str("a")), None);
+        assert_eq!(pool.use_count(b), 1, "live slots untouched");
+        assert_eq!(pool.resolve(b), Value::str("b"));
+
+        // The freed slot is reused by the next intern.
+        let c = pool.intern(&Value::str("c"));
+        assert_eq!(c, a, "freed slot id reused");
+        assert_eq!(pool.use_count(c), 1);
+        assert_eq!(pool.resolve(c), Value::str("c"));
+        assert_eq!(pool.len(), 3);
+
+        // Retiring more than counted saturates at zero; null and unknown
+        // ids are ignored.
+        pool.retire(b, 100);
+        assert_eq!(pool.use_count(b), 0);
+        pool.retire(NULL_ID, 5);
+        pool.retire(ValueId(9999), 5);
+    }
+
+    #[test]
+    fn retire_ids_coalesces_cell_occurrences() {
+        let pool = ValuePool::new();
+        let cells: Vec<Value> = ["x", "y", "x", "x"]
+            .iter()
+            .map(|s| Value::str(*s))
+            .collect();
+        let ids: Vec<ValueId> = cells.iter().map(|v| pool.intern(v)).collect();
+        pool.retire_ids(ids.iter().copied().chain([NULL_ID]));
+        for id in &ids {
+            assert_eq!(pool.use_count(*id), 0);
+        }
+        assert_eq!(pool.compact(), 2);
+        assert_eq!(pool.len(), 1); // only null remains
+    }
+
+    #[test]
+    fn evict_loop_returns_to_baseline() {
+        // The shape of the pool-growth gate: load, retire, compact, and
+        // both the slot count and the byte estimate return to baseline.
+        let pool = ValuePool::new();
+        let mut baseline = None;
+        for round in 0..5 {
+            let cells: Vec<Value> = (0..50).map(|i| Value::str(format!("v{i}"))).collect();
+            let ids = pool.intern_column(&cells);
+            // Render a few to fill the cache, as a repair would.
+            pool.rendered_batch(&ids[..10]);
+            pool.retire_ids(ids);
+            assert!(pool.compact() >= 50);
+            match baseline {
+                None => baseline = Some((pool.len(), pool.approx_bytes())),
+                Some(base) => assert_eq!(
+                    (pool.len(), pool.approx_bytes()),
+                    base,
+                    "round {round} grew the pool"
+                ),
+            }
         }
     }
 

@@ -57,8 +57,9 @@ impl BoundPred {
 }
 
 impl Pred {
-    fn bind(&self) -> BoundPred {
-        let pool = crate::pool::ValuePool::global();
+    /// Bind the constant in `pool` — the pool of the relation the
+    /// predicate will be evaluated against.
+    fn bind_in(&self, pool: &crate::pool::ValuePool) -> BoundPred {
         match self {
             Pred::Eq(a, v) => BoundPred::Eq(*a, pool.lookup(v)),
             Pred::Ne(a, v) => BoundPred::Ne(*a, pool.lookup(v)),
@@ -68,9 +69,10 @@ impl Pred {
         }
     }
 
-    /// Evaluate the predicate on `t`.
+    /// Evaluate the predicate on `t`, binding constants in the view's
+    /// own pool.
     pub fn eval<V: TupleView + ?Sized>(&self, t: &V) -> bool {
-        self.bind().eval(t)
+        self.bind_in(t.pool()).eval(t)
     }
 }
 
@@ -106,7 +108,7 @@ impl Selection {
     /// Constants are bound to ids once up front; the per-tuple work is
     /// integer comparisons only.
     pub fn scan(&self, rel: &Relation) -> Vec<TupleId> {
-        let bound: Vec<BoundPred> = self.preds.iter().map(Pred::bind).collect();
+        let bound: Vec<BoundPred> = self.preds.iter().map(|p| p.bind_in(rel.pool())).collect();
         rel.iter()
             .filter(|(_, t)| bound.iter().all(|p| p.eval(t)))
             .map(|(id, _)| id)
@@ -121,7 +123,7 @@ impl Selection {
         for a in idx.attrs() {
             match self.preds.iter().find_map(|p| match p {
                 // lookup, not intern: a never-seen constant matches nothing.
-                Pred::Eq(pa, v) if pa == a => Some(crate::pool::ValuePool::global().lookup(v)),
+                Pred::Eq(pa, v) if pa == a => Some(rel.pool().lookup(v)),
                 _ => None,
             }) {
                 Some(Some(id)) => key.push(id),
@@ -129,7 +131,7 @@ impl Selection {
                 None => return self.scan(rel),
             }
         }
-        let bound: Vec<BoundPred> = self.preds.iter().map(Pred::bind).collect();
+        let bound: Vec<BoundPred> = self.preds.iter().map(|p| p.bind_in(rel.pool())).collect();
         let mut out: Vec<TupleId> = idx
             .get(&key)
             .iter()

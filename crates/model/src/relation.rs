@@ -17,9 +17,10 @@
 //! ([`RowRef::to_tuple`]) only where a row must outlive a mutation.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::ModelError;
-use crate::pool::ValueId;
+use crate::pool::{ValueId, ValuePool};
 use crate::schema::{AttrId, Schema};
 use crate::storage::{ColumnStore, RowRef, Storage, StorageLayout};
 use crate::tuple::Tuple;
@@ -44,37 +45,69 @@ impl fmt::Display for TupleId {
 }
 
 /// A relation instance: schema plus tuples addressed by stable [`TupleId`]s.
+///
+/// Every cell id belongs to the relation's [`ValuePool`] (see
+/// [`Relation::pool`]); pool-less constructors fall back to the
+/// process-default shared pool, dataset paths use the `_in` variants.
 #[derive(Clone, Debug)]
 pub struct Relation {
     schema: Schema,
     storage: Storage,
+    pool: Arc<ValuePool>,
     live: usize,
 }
 
 impl Relation {
-    /// An empty relation over `schema` in the default (columnar) layout.
+    /// An empty relation over `schema` in the default (columnar) layout,
+    /// on the process-default shared pool (compatibility shim — dataset
+    /// paths use [`Relation::new_in`]).
     pub fn new(schema: Schema) -> Self {
         Relation::with_layout(schema, StorageLayout::Columnar)
     }
 
-    /// An empty relation in an explicit layout.
+    /// An empty columnar relation whose cell ids live in `pool`.
+    pub fn new_in(schema: Schema, pool: Arc<ValuePool>) -> Self {
+        Relation::with_layout_in(schema, StorageLayout::Columnar, pool)
+    }
+
+    /// An empty relation in an explicit layout, on the process-default
+    /// shared pool.
     pub fn with_layout(schema: Schema, layout: StorageLayout) -> Self {
+        Relation::with_layout_in(schema, layout, ValuePool::shared())
+    }
+
+    /// An empty relation in an explicit layout whose cell ids live in
+    /// `pool`.
+    pub fn with_layout_in(schema: Schema, layout: StorageLayout, pool: Arc<ValuePool>) -> Self {
         let arity = schema.arity();
         Relation {
             schema,
-            storage: Storage::new(layout, arity),
+            storage: Storage::new(layout, arity, pool.clone()),
+            pool,
             live: 0,
         }
     }
 
-    /// Build a columnar relation directly from pre-interned value columns
-    /// (the bulk CSV import path). `cols` must hold one column per schema
-    /// attribute, all of one length; `weights`, when given, mirrors that
-    /// shape.
+    /// Build a columnar relation directly from value columns pre-interned
+    /// in the process-default shared pool (compatibility shim — dataset
+    /// paths use [`Relation::from_columns_in`]).
     pub fn from_columns(
         schema: Schema,
         cols: Vec<Vec<ValueId>>,
         weights: Option<Vec<Vec<f64>>>,
+    ) -> Result<Self, ModelError> {
+        Relation::from_columns_in(schema, cols, weights, ValuePool::shared())
+    }
+
+    /// Build a columnar relation directly from value columns pre-interned
+    /// in `pool` (the bulk CSV import path). `cols` must hold one column
+    /// per schema attribute, all of one length; `weights`, when given,
+    /// mirrors that shape.
+    pub fn from_columns_in(
+        schema: Schema,
+        cols: Vec<Vec<ValueId>>,
+        weights: Option<Vec<Vec<f64>>>,
+        pool: Arc<ValuePool>,
     ) -> Result<Self, ModelError> {
         if cols.len() != schema.arity() {
             return Err(ModelError::ArityMismatch {
@@ -82,7 +115,7 @@ impl Relation {
                 actual: cols.len(),
             });
         }
-        let store = ColumnStore::from_columns(cols, weights);
+        let store = ColumnStore::from_columns_in(cols, weights, pool);
         Relation::from_store(schema, store)
     }
 
@@ -98,11 +131,60 @@ impl Relation {
             });
         }
         let live = store.live_count();
+        let pool = store.pool().clone();
         Ok(Relation {
             schema,
             storage: Storage::Col(store),
+            pool,
             live,
         })
+    }
+
+    /// The pool this relation's cell ids belong to.
+    #[inline]
+    pub fn pool(&self) -> &Arc<ValuePool> {
+        &self.pool
+    }
+
+    /// A deep copy of this relation with every cell re-interned into
+    /// `pool` — the boundary translation a [`Database`](crate::Database)
+    /// applies when a relation built on a foreign pool is inserted. Tuple
+    /// ids, tombstones, layout, and weights are preserved; live cells are
+    /// interned through the counted path, so the target pool's frequency
+    /// counters end up exactly as a cell-by-cell load would have left
+    /// them. A no-op (plain clone) when `pool` already owns the relation.
+    pub fn rekey_into(&self, pool: &Arc<ValuePool>) -> Relation {
+        if Arc::ptr_eq(&self.pool, pool) {
+            return self.clone();
+        }
+        let mut out = Relation::with_layout_in(self.schema.clone(), self.layout(), pool.clone());
+        for slot in 0..self.storage.slot_count() {
+            match self.storage.view(slot, &self.pool) {
+                Some(v) => {
+                    let ids: Vec<ValueId> = self
+                        .schema
+                        .attr_ids()
+                        .map(|a| self.pool.with_value(v.id(a), |val| pool.intern(val)))
+                        .collect();
+                    let mut t = Tuple::from_ids(ids);
+                    for a in self.schema.attr_ids() {
+                        t.set_weight(a, v.weight(a));
+                    }
+                    let id = out.insert(t).expect("same schema");
+                    debug_assert_eq!(id.index(), slot);
+                }
+                None => {
+                    // Reproduce the tombstone so ids stay aligned.
+                    let arity = self.schema.arity();
+                    let id = out
+                        .insert(Tuple::from_ids(vec![crate::pool::NULL_ID; arity]))
+                        .expect("same schema");
+                    debug_assert_eq!(id.index(), slot);
+                    out.delete(id).expect("just inserted");
+                }
+            }
+        }
+        out
     }
 
     /// This relation's physical layout.
@@ -117,9 +199,9 @@ impl Relation {
         if layout == self.layout() {
             return self.clone();
         }
-        let mut out = Relation::with_layout(self.schema.clone(), layout);
+        let mut out = Relation::with_layout_in(self.schema.clone(), layout, self.pool.clone());
         for slot in 0..self.storage.slot_count() {
-            match self.storage.view(slot) {
+            match self.storage.view(slot, &self.pool) {
                 Some(v) => {
                     let id = out.insert(v.to_tuple()).expect("same schema");
                     debug_assert_eq!(id.index(), slot);
@@ -190,7 +272,7 @@ impl Relation {
     /// A zero-copy view of a live tuple.
     #[inline]
     pub fn tuple(&self, id: TupleId) -> Option<RowRef<'_>> {
-        self.storage.view(id.index())
+        self.storage.view(id.index(), &self.pool)
     }
 
     /// A view of a live tuple, erroring on dead ids.
@@ -236,9 +318,11 @@ impl Relation {
         self.storage.weight_column(a)
     }
 
-    /// Overwrite one attribute value of a live tuple.
+    /// Overwrite one attribute value of a live tuple, interning it into
+    /// this relation's pool.
     pub fn set_value(&mut self, id: TupleId, a: AttrId, v: Value) -> Result<(), ModelError> {
-        self.set_value_id(id, a, ValueId::of(&v))
+        let vid = self.pool.intern(&v);
+        self.set_value_id(id, a, vid)
     }
 
     /// Overwrite one attribute value of a live tuple with an
@@ -281,8 +365,11 @@ impl Relation {
 
     /// Iterate over `(id, view)` pairs of live tuples in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, RowRef<'_>)> + '_ {
-        (0..self.storage.slot_count())
-            .filter_map(|slot| self.storage.view(slot).map(|v| (TupleId(slot as u32), v)))
+        (0..self.storage.slot_count()).filter_map(|slot| {
+            self.storage
+                .view(slot, &self.pool)
+                .map(|v| (TupleId(slot as u32), v))
+        })
     }
 
     /// Iterate over live tuple ids.

@@ -3,15 +3,19 @@
 //!
 //! A snapshot persists everything the pipeline needs to resume work on a
 //! dataset without re-parsing CSV or re-interning values: the relation's
-//! schema, the dictionary slice of the [`ValuePool`] its cells reference
-//! (with per-value occurrence counts, so `FINDV`'s frequency tie-break
+//! schema, the dictionary slice of its own [`ValuePool`] (with per-value
+//! occurrence counts, so `FINDV`'s frequency tie-break
 //! sees exactly the state a cell-by-cell load would have produced), the
 //! per-attribute `ValueId` and weight column segments straight out of the
 //! [`ColumnStore`], the validity bitmap, and (optionally) the CFD rule
 //! text the dataset is governed by. Loading bulk-installs the dictionary
-//! (one hash operation per *distinct* value instead of per cell) and then
-//! installs the columns by a flat local-id → pool-id remap — no parsing,
-//! no per-cell hashing.
+//! (one hash operation per *distinct* value instead of per cell) into a
+//! **fresh pool scoped to the dataset** — or an explicit pool via
+//! [`read_snapshot_in`] — and then installs the columns by a flat
+//! local-id → pool-id remap — no parsing, no per-cell hashing. A
+//! [`Catalog`] therefore gives every loaded dataset its own dictionary:
+//! nothing about a load depends on, or leaks into, the rest of the
+//! process.
 //!
 //! [`write_edit_log`] / [`read_edit_log`] persist a repair as an
 //! [`EditLog`] in the same framing: each edit names a tuple, an
@@ -486,7 +490,7 @@ pub fn write_snapshot(
 
 /// [`write_snapshot`] into a fresh buffer.
 pub fn snapshot_to_vec(rel: &Relation, rules: Option<&str>) -> Vec<u8> {
-    let pool = ValuePool::global();
+    let pool = rel.pool();
     let schema = rel.schema();
     let arity = schema.arity();
     let slots = rel.slot_count();
@@ -667,13 +671,25 @@ fn read_dict(file: &mut Cur<'_>) -> Result<(Vec<Value>, Vec<u64>), SnapshotError
     Ok((values, counts))
 }
 
-/// Parse and install a version-1 snapshot from `bytes`.
-///
-/// The dictionary is installed into the global [`ValuePool`] (occurrence
-/// counts included — see [`ValuePool::install_column`]), columns are
-/// remapped local→pool id, and the relation comes back columnar with
-/// tombstones, weights, and the stored schema intact.
+/// Parse and install a version-1 snapshot from `bytes` into a **fresh
+/// pool of its own** — the dataset-scoped default: nothing the process
+/// loaded before can influence the relation's ids or frequency counters,
+/// and evicting the dataset (dropping the relation) frees its whole
+/// dictionary.
 pub fn read_snapshot(bytes: &[u8]) -> Result<LoadedSnapshot, SnapshotError> {
+    read_snapshot_in(bytes, ValuePool::new_handle())
+}
+
+/// Parse and install a version-1 snapshot from `bytes` into `pool`.
+///
+/// The dictionary is installed into `pool` (occurrence counts included —
+/// see [`ValuePool::install_column`]), columns are remapped local→pool
+/// id, and the relation comes back columnar with tombstones, weights,
+/// and the stored schema intact.
+pub fn read_snapshot_in(
+    bytes: &[u8],
+    pool: std::sync::Arc<ValuePool>,
+) -> Result<LoadedSnapshot, SnapshotError> {
     let mut file = Cur::new(bytes, "FILE");
     check_magic(&mut file, SNAPSHOT_MAGIC, || SnapshotError::NotASnapshot)?;
     let meta = read_meta(&mut file)?;
@@ -761,17 +777,17 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<LoadedSnapshot, SnapshotError> {
 
     // Everything validated — including the schema, which must come
     // before the dictionary install: a rejected snapshot must leave the
-    // shared pool's contents and frequency counters untouched.
+    // target pool's contents and frequency counters untouched.
     let schema = Schema::new(&meta.name, &meta.attrs)?;
 
     // Install: one pool pass for the dictionary, then flat remaps for
     // the columns.
-    let pool_ids = ValuePool::global().install_column(&values, &counts);
+    let pool_ids = pool.install_column(&values, &counts);
     let cols: Vec<Vec<ValueId>> = local_cols
         .into_iter()
         .map(|locals| locals.into_iter().map(|l| pool_ids[l as usize]).collect())
         .collect();
-    let store = ColumnStore::from_parts(meta.slots, cols, weight_cols, validity);
+    let store = ColumnStore::from_parts(meta.slots, cols, weight_cols, validity, pool);
     let relation = Relation::from_store(schema, store)?;
     Ok(LoadedSnapshot { relation, rules })
 }
@@ -809,22 +825,23 @@ pub fn snapshot_info(bytes: &[u8]) -> Result<SnapshotInfo, SnapshotError> {
 // ---------------------------------------------------------------------------
 // edit logs
 
-/// Serialize an [`EditLog`] against `rel_name`/`arity` into `w`. The log
-/// carries its own dictionary of every value it touches, so it replays
-/// in any process.
+/// Serialize an [`EditLog`] against `rel_name`/`arity` into `w`. `pool`
+/// is the pool the log's ids were produced in (the repaired relation's —
+/// see [`Relation::pool`]). The log carries its own dictionary of every
+/// value it touches, so it replays in any process.
 pub fn write_edit_log(
     log: &EditLog,
     rel_name: &str,
     arity: usize,
+    pool: &ValuePool,
     w: &mut dyn Write,
 ) -> Result<(), SnapshotError> {
-    w.write_all(&edit_log_to_vec(log, rel_name, arity))?;
+    w.write_all(&edit_log_to_vec(log, rel_name, arity, pool))?;
     Ok(())
 }
 
 /// [`write_edit_log`] into a fresh buffer.
-pub fn edit_log_to_vec(log: &EditLog, rel_name: &str, arity: usize) -> Vec<u8> {
-    let pool = ValuePool::global();
+pub fn edit_log_to_vec(log: &EditLog, rel_name: &str, arity: usize, pool: &ValuePool) -> Vec<u8> {
     let mut dict = DictBuilder::new();
     let mut edits = Vec::new();
     for e in log.edits() {
@@ -863,10 +880,19 @@ pub struct LoadedEditLog {
     pub arity: usize,
 }
 
-/// Parse a version-1 edit-log file. Dictionary values are interned (with
-/// no occurrence-count contribution); edits come back in canonical order
-/// ready for [`EditLog::apply`].
+/// [`read_edit_log_in`] on the process-default shared pool
+/// (compatibility shim — pass the pool of the relation the log will be
+/// applied to, or the remapped ids will belong to the wrong dictionary).
 pub fn read_edit_log(bytes: &[u8]) -> Result<LoadedEditLog, SnapshotError> {
+    read_edit_log_in(bytes, &ValuePool::shared())
+}
+
+/// Parse a version-1 edit-log file, remapping its dictionary into
+/// `pool` — the pool of the relation the log will replay against.
+/// Dictionary values are interned (with no occurrence-count
+/// contribution); edits come back in canonical order ready for
+/// [`EditLog::apply`].
+pub fn read_edit_log_in(bytes: &[u8], pool: &ValuePool) -> Result<LoadedEditLog, SnapshotError> {
     let mut file = Cur::new(bytes, "FILE");
     check_magic(&mut file, EDIT_LOG_MAGIC, || SnapshotError::NotAnEditLog)?;
 
@@ -928,7 +954,7 @@ pub fn read_edit_log(bytes: &[u8]) -> Result<LoadedEditLog, SnapshotError> {
         detail: "trailing bytes after the last segment".into(),
     })?;
 
-    let pool_ids = ValuePool::global().install_column(&values, &counts);
+    let pool_ids = pool.install_column(&values, &counts);
     let edits: Vec<Edit> = edits
         .into_iter()
         .map(|(tuple, attr, from, to)| Edit {
@@ -1153,6 +1179,27 @@ mod tests {
     }
 
     #[test]
+    fn read_snapshot_installs_into_a_fresh_pool() {
+        let r = sample();
+        let loaded = read_snapshot(&snapshot_to_vec(&r, None)).unwrap();
+        // The dataset gets its own pool — not the process-default one —
+        // with counts exactly as a cell-by-cell load would produce.
+        assert!(!std::sync::Arc::ptr_eq(
+            loaded.relation.pool(),
+            &ValuePool::shared()
+        ));
+        let pool = loaded.relation.pool();
+        let id = pool.lookup(&Value::str("a23")).unwrap();
+        assert_eq!(pool.use_count(id), 2, "a23 occurs in two live cells");
+        // Loading again yields another independent pool.
+        let again = read_snapshot(&snapshot_to_vec(&r, None)).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(
+            again.relation.pool(),
+            loaded.relation.pool()
+        ));
+    }
+
+    #[test]
     fn snapshot_info_reports_without_installing() {
         let r = sample();
         let info = snapshot_info(&snapshot_to_vec(&r, Some("x"))).unwrap();
@@ -1221,7 +1268,7 @@ mod tests {
             .set_value(TupleId(2), AttrId(2), Value::Null)
             .unwrap();
         let log = EditLog::between(&r, &repaired).unwrap();
-        let bytes = edit_log_to_vec(&log, "order", 3);
+        let bytes = edit_log_to_vec(&log, "order", 3, r.pool());
         let loaded = read_edit_log(&bytes).unwrap();
         assert_eq!(loaded.relation, "order");
         assert_eq!(loaded.arity, 3);

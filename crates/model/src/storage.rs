@@ -33,6 +33,8 @@
 //! (`Relation::column`) therefore cover *all* slots, dead ones included —
 //! scans must either iterate live ids or consult the validity bitmap.
 
+use std::sync::Arc;
+
 use crate::key::IdKey;
 use crate::pool::{ValueId, ValuePool, NULL_ID};
 use crate::schema::AttrId;
@@ -76,25 +78,46 @@ pub struct ColumnStore {
     cols: Vec<Vec<ValueId>>,
     wcols: Vec<Vec<f64>>,
     validity: Vec<u64>,
+    /// The pool every `ValueId` in `cols` belongs to.
+    pool: Arc<ValuePool>,
 }
 
 impl ColumnStore {
-    /// An empty store of the given arity.
+    /// An empty store of the given arity over the process-default shared
+    /// pool (compatibility shim — dataset paths use
+    /// [`ColumnStore::new_in`]).
     pub fn new(arity: usize) -> Self {
+        ColumnStore::new_in(arity, ValuePool::shared())
+    }
+
+    /// An empty store of the given arity whose cell ids live in `pool`.
+    pub fn new_in(arity: usize, pool: Arc<ValuePool>) -> Self {
         ColumnStore {
             arity,
             slots: 0,
             cols: vec![Vec::new(); arity],
             wcols: vec![Vec::new(); arity],
             validity: Vec::new(),
+            pool,
         }
     }
 
-    /// Build a store directly from pre-interned value columns (all slots
-    /// live) — the bulk CSV import path. All columns must share a length;
-    /// `weights` (if given) must mirror the shape, else weights default
-    /// to 1.
+    /// Build a store directly from pre-interned value columns over the
+    /// process-default shared pool (compatibility shim — the ids must
+    /// have been interned there).
     pub fn from_columns(cols: Vec<Vec<ValueId>>, weights: Option<Vec<Vec<f64>>>) -> Self {
+        ColumnStore::from_columns_in(cols, weights, ValuePool::shared())
+    }
+
+    /// Build a store directly from value columns pre-interned in `pool`
+    /// (all slots live) — the bulk CSV import path. All columns must
+    /// share a length; `weights` (if given) must mirror the shape, else
+    /// weights default to 1.
+    pub fn from_columns_in(
+        cols: Vec<Vec<ValueId>>,
+        weights: Option<Vec<Vec<f64>>>,
+        pool: Arc<ValuePool>,
+    ) -> Self {
         let arity = cols.len();
         let slots = cols.first().map(Vec::len).unwrap_or(0);
         for c in &cols {
@@ -115,14 +138,15 @@ impl ColumnStore {
             None => vec![vec![1.0; slots]; arity],
         };
         let validity = full_validity(slots);
-        ColumnStore::from_parts(slots, cols, wcols, validity)
+        ColumnStore::from_parts(slots, cols, wcols, validity, pool)
     }
 
     /// Install a store from fully materialized parts — value columns,
     /// weight columns, and a validity bitmap — without touching the value
     /// pool. This is the snapshot bulk-install hook: the caller (snapshot
-    /// load, layout pivots) has already produced pool ids and validated
-    /// weights, and tombstoned slots are preserved exactly as given.
+    /// load, layout pivots) has already produced ids in `pool` and
+    /// validated weights, and tombstoned slots are preserved exactly as
+    /// given.
     ///
     /// `slots` is explicit rather than inferred from the columns so an
     /// arity-0 store (no columns at all) can still carry slots — an
@@ -140,6 +164,7 @@ impl ColumnStore {
         cols: Vec<Vec<ValueId>>,
         wcols: Vec<Vec<f64>>,
         validity: Vec<u64>,
+        pool: Arc<ValuePool>,
     ) -> Self {
         let arity = cols.len();
         for c in &cols {
@@ -169,7 +194,13 @@ impl ColumnStore {
             cols,
             wcols,
             validity,
+            pool,
         }
+    }
+
+    /// The pool this store's cell ids belong to.
+    pub fn pool(&self) -> &Arc<ValuePool> {
+        &self.pool
     }
 
     /// Count of live slots (validity popcount).
@@ -272,10 +303,10 @@ pub enum Storage {
 }
 
 impl Storage {
-    pub(crate) fn new(layout: StorageLayout, arity: usize) -> Self {
+    pub(crate) fn new(layout: StorageLayout, arity: usize, pool: Arc<ValuePool>) -> Self {
         match layout {
             StorageLayout::RowMajor => Storage::Row(RowStore::default()),
-            StorageLayout::Columnar => Storage::Col(ColumnStore::new(arity)),
+            StorageLayout::Columnar => Storage::Col(ColumnStore::new_in(arity, pool)),
         }
     }
 
@@ -319,12 +350,15 @@ impl Storage {
         }
     }
 
-    pub(crate) fn view(&self, slot: usize) -> Option<RowRef<'_>> {
+    pub(crate) fn view<'a>(&'a self, slot: usize, pool: &'a ValuePool) -> Option<RowRef<'a>> {
         if !self.is_live(slot) {
             return None;
         }
         Some(match self {
-            Storage::Row(s) => RowRef::Row(s.slots[slot].as_ref().expect("checked live")),
+            Storage::Row(s) => RowRef::Row {
+                tuple: s.slots[slot].as_ref().expect("checked live"),
+                pool,
+            },
             Storage::Col(s) => RowRef::Col { store: s, slot },
         })
     }
@@ -430,9 +464,14 @@ impl Storage {
 /// mutation of the relation.
 #[derive(Clone, Copy)]
 pub enum RowRef<'a> {
-    /// A view into row-major storage.
-    Row(&'a Tuple),
-    /// A view into one slot of a column store.
+    /// A view into row-major storage, paired with the relation's pool.
+    Row {
+        /// The backing row object.
+        tuple: &'a Tuple,
+        /// The pool the tuple's ids belong to.
+        pool: &'a ValuePool,
+    },
+    /// A view into one slot of a column store (which carries its pool).
     Col {
         /// The backing store.
         store: &'a ColumnStore,
@@ -442,11 +481,20 @@ pub enum RowRef<'a> {
 }
 
 impl<'a> RowRef<'a> {
+    /// The pool this row's ids resolve in.
+    #[inline]
+    pub fn pool(&self) -> &'a ValuePool {
+        match self {
+            RowRef::Row { pool, .. } => pool,
+            RowRef::Col { store, .. } => &store.pool,
+        }
+    }
+
     /// Tuple arity.
     #[inline]
     pub fn arity(&self) -> usize {
         match self {
-            RowRef::Row(t) => t.arity(),
+            RowRef::Row { tuple, .. } => tuple.arity(),
             RowRef::Col { store, .. } => store.arity,
         }
     }
@@ -455,15 +503,15 @@ impl<'a> RowRef<'a> {
     #[inline]
     pub fn id(&self, a: AttrId) -> ValueId {
         match self {
-            RowRef::Row(t) => t.id(a),
+            RowRef::Row { tuple, .. } => tuple.id(a),
             RowRef::Col { store, slot } => store.cell(*slot, a),
         }
     }
 
-    /// The value of attribute `a`, resolved from the pool.
+    /// The value of attribute `a`, resolved from the owning pool.
     #[inline]
     pub fn value(&self, a: AttrId) -> Value {
-        self.id(a).value()
+        self.pool().resolve(self.id(a))
     }
 
     /// Is `t[A]` null?
@@ -476,7 +524,7 @@ impl<'a> RowRef<'a> {
     #[inline]
     pub fn weight(&self, a: AttrId) -> f64 {
         match self {
-            RowRef::Row(t) => t.weight(a),
+            RowRef::Row { tuple, .. } => tuple.weight(a),
             RowRef::Col { store, slot } => store.weight(*slot, a),
         }
     }
@@ -542,7 +590,7 @@ impl<'a> RowRef<'a> {
     /// code that must hold the row across relation mutations.
     pub fn to_tuple(&self) -> Tuple {
         match self {
-            RowRef::Row(t) => (*t).clone(),
+            RowRef::Row { tuple, .. } => (*tuple).clone(),
             RowRef::Col { store, slot } => store.materialize(*slot),
         }
     }
@@ -605,6 +653,16 @@ impl TupleView for RowRef<'_> {
     #[inline]
     fn weight(&self, a: AttrId) -> f64 {
         RowRef::weight(self, a)
+    }
+
+    #[inline]
+    fn value(&self, a: AttrId) -> Value {
+        RowRef::value(self, a)
+    }
+
+    #[inline]
+    fn pool(&self) -> &ValuePool {
+        RowRef::pool(self)
     }
 }
 

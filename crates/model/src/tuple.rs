@@ -8,10 +8,15 @@
 //! algorithms fall back to violation counts for guidance — exactly the
 //! degenerate mode the paper evaluates.
 //!
-//! Values are stored as [`ValueId`]s interned in the global
+//! Values are stored as [`ValueId`]s interned in a
 //! [`ValuePool`](crate::pool::ValuePool): comparisons, projections and
-//! index keys are integer operations; [`Tuple::value`] resolves back to a
-//! [`Value`] at the (cold) edges that need the text form.
+//! index keys are integer operations. A `Tuple` is a *pool-agnostic id
+//! carrier* — it records which pool its ids came from nowhere; the owner
+//! (normally the [`Relation`](crate::relation::Relation) it lives in)
+//! knows. The value-level conveniences here ([`Tuple::new`],
+//! [`Tuple::value`], [`Tuple::values`]) are compatibility shims that go
+//! through the process-default shared pool; dataset-scoped code interns
+//! through its own pool and builds tuples with [`Tuple::from_ids`].
 
 use crate::key::IdKey;
 use crate::pool::{ValueId, NULL_ID};
@@ -33,6 +38,22 @@ pub trait TupleView {
     fn id(&self, a: AttrId) -> ValueId;
     /// The confidence weight `w(t, A)`.
     fn weight(&self, a: AttrId) -> f64;
+
+    /// The value of attribute `a`, resolved through the view's own pool
+    /// when it carries one ([`RowRef`](crate::storage::RowRef) does).
+    /// The default resolves through the process-default shared pool —
+    /// all an owned [`Tuple`] knows; views scoped to a dataset pool
+    /// override this.
+    fn value(&self, a: AttrId) -> Value {
+        self.id(a).value()
+    }
+
+    /// The pool this view's ids belong to. The default is the
+    /// process-default shared pool — all an owned [`Tuple`] knows;
+    /// views scoped to a dataset pool override this.
+    fn pool(&self) -> &crate::pool::ValuePool {
+        crate::pool::ValuePool::global()
+    }
 
     /// Is `t[A]` null?
     #[inline]
@@ -90,7 +111,9 @@ pub struct Tuple {
 
 impl Tuple {
     /// Build a tuple with all weights set to 1 (no confidence information),
-    /// interning every value in the global pool.
+    /// interning every value in the process-default shared pool
+    /// (compatibility shim; scoped code interns into its own pool and
+    /// uses [`Tuple::from_ids`]).
     pub fn new(values: Vec<Value>) -> Self {
         let ids = values.iter().map(ValueId::of).collect::<Vec<_>>();
         let weights = vec![1.0; ids.len()];
@@ -139,8 +162,10 @@ impl Tuple {
         self.ids[a.index()]
     }
 
-    /// The value of attribute `a`, i.e. `t[A]`, resolved from the pool.
-    /// Cheap (an `Arc` clone), but prefer [`Tuple::id`] for comparisons.
+    /// The value of attribute `a`, i.e. `t[A]`, resolved from the
+    /// process-default shared pool (shim — pool-scoped callers resolve
+    /// the id through the owning pool instead). Cheap (an `Arc` clone),
+    /// but prefer [`Tuple::id`] for comparisons.
     #[inline]
     pub fn value(&self, a: AttrId) -> Value {
         self.ids[a.index()].value()
@@ -186,7 +211,8 @@ impl Tuple {
         &self.ids
     }
 
-    /// All values in schema order, resolved from the pool. Allocates; for
+    /// All values in schema order, resolved from the process-default
+    /// shared pool (shim — see [`Tuple::value`]). Allocates; for
     /// display, CSV export and other cold paths.
     pub fn values(&self) -> Vec<Value> {
         self.ids.iter().map(|id| id.value()).collect()

@@ -49,7 +49,7 @@ fn edit_log_bytes(r: &Relation) -> Vec<u8> {
         .set_value(id, cfd_model::AttrId(2), Value::Null)
         .unwrap();
     let log = EditLog::between(r, &repaired).unwrap();
-    edit_log_to_vec(&log, "orders", 3)
+    edit_log_to_vec(&log, "orders", 3, r.pool())
 }
 
 /// The reader must reject `bytes` with a typed error. The `Err` match is

@@ -208,11 +208,16 @@ pub(crate) enum Fix {
 
 impl Fix {
     /// Stable one-line rendering for debug output and the speculative
-    /// audit trace.
-    pub(crate) fn describe(&self) -> String {
+    /// audit trace. `pool` is the dataset pool the fix's ids live in.
+    pub(crate) fn describe(&self, pool: &ValuePool) -> String {
         match self {
             Fix::SetConst { cell, v } => {
-                format!("SetConst {} {} := {}", cell.tuple, cell.attr, v.value())
+                format!(
+                    "SetConst {} {} := {}",
+                    cell.tuple,
+                    cell.attr,
+                    pool.resolve(*v)
+                )
             }
             Fix::SetNull { cell } => format!("SetNull {} {}", cell.tuple, cell.attr),
             Fix::Merge { a, b, .. } => {
@@ -281,10 +286,11 @@ pub(crate) fn cost_key(cost: f64) -> u64 {
 }
 
 /// The tie-break metadata of a planned fix: `(freq, value)` where `freq`
-/// is `u64::MAX − use_count(value)` (globally corroborated constants sort
-/// first among equal costs) and nulls/winnerless merges rank last. A pure
-/// function of the fix, never of scoring order.
-pub(crate) fn fix_meta(fix: &Fix) -> (u64, u32) {
+/// is `u64::MAX − use_count(value)` under the dataset's own pool
+/// (well-corroborated constants sort first among equal costs) and
+/// nulls/winnerless merges rank last. A pure function of the fix and the
+/// dataset, never of scoring order or process history.
+pub(crate) fn fix_meta(fix: &Fix, pool: &ValuePool) -> (u64, u32) {
     let v = match fix {
         Fix::SetConst { v, .. } => *v,
         Fix::SetNull { .. } => NULL_ID,
@@ -293,7 +299,7 @@ pub(crate) fn fix_meta(fix: &Fix) -> (u64, u32) {
     if v.is_null() {
         (u64::MAX, v.0)
     } else {
-        (u64::MAX - ValuePool::global().use_count(v), v.0)
+        (u64::MAX - pool.use_count(v), v.0)
     }
 }
 
@@ -368,7 +374,7 @@ fn score_shard(
     eq: &EqClasses,
     pairs: &[(u32, u32)],
 ) -> (Vec<Candidate>, Vec<Vec<AttrId>>) {
-    let mut dcache = DistanceCache::with_kernel(config.bitparallel());
+    let mut dcache = DistanceCache::for_pool(orig.pool().clone(), config.bitparallel());
     let mut planner = Planner {
         orig,
         work,
@@ -392,7 +398,7 @@ fn score_shard(
             .and_then(|v| planner.plan_fix(&n, TupleId(tid), &v));
         let cand = match planned {
             Some((fix, cost)) => {
-                let (freq, value) = fix_meta(&fix);
+                let (freq, value) = fix_meta(&fix, orig.pool());
                 Candidate {
                     cost: cost_key(cost),
                     freq,
@@ -457,7 +463,7 @@ impl<'a> BatchState<'a> {
             dirty,
             initial_vio,
             heap: BinaryHeap::new(),
-            dcache: DistanceCache::with_kernel(config.bitparallel()),
+            dcache: DistanceCache::for_pool(orig.pool().clone(), config.bitparallel()),
             stats: BatchStats::default(),
             spec_log: None,
             spec_stats: None,
@@ -823,15 +829,15 @@ impl<'p> Planner<'p> {
         for (&v, cost) in candidates.iter().zip(costs) {
             let residual = self.class_residual_vios(Cell::new(tid, b), v);
             // Most-common-value heuristic: exact (residual, cost) ties go
-            // to the globally most frequent candidate, read straight off
-            // the pool's per-id interning counters instead of re-counting
-            // the S-group (ROADMAP "frequency-aware interning"). The
-            // counters are process-global — they approximate data
-            // frequency, weighted by everything the process has loaded —
-            // which is acceptable for a tie-break that only fires on
-            // exact (residual, cost) equality. Remaining ties break by
-            // value order, which is independent of interning history.
-            let pool = ValuePool::global();
+            // to the most frequent candidate, read straight off the
+            // dataset pool's per-id occurrence counters instead of
+            // re-counting the S-group (ROADMAP "frequency-aware
+            // interning"). The counters are scoped to this relation's
+            // pool and only data loads bump them, so the tie-break is a
+            // pure function of the dataset — never of what else the
+            // process loaded. Remaining ties break by value order, which
+            // is independent of interning history.
+            let pool = self.orig.pool();
             let better = match &best {
                 Some((bv, br, bc)) if (residual, cost) == (*br, *bc) => {
                     match pool.use_count(v).cmp(&pool.use_count(*bv)) {
@@ -1214,7 +1220,7 @@ impl<'p> Planner<'p> {
         }
         // Weight ties break by *value* order (pool comparison), so the
         // winner does not depend on interning history.
-        let pool = ValuePool::global();
+        let pool = self.orig.pool();
         let wi = buckets
             .iter()
             .enumerate()
@@ -1329,7 +1335,7 @@ impl<'a> BatchState<'a> {
             let mut to_mark: Vec<TupleId> = vec![cell.tuple];
             if let Some(buckets) = self.census.value_buckets(n.lhs(), a, &after) {
                 if buckets.len() > 1 {
-                    let pool = ValuePool::global();
+                    let pool = self.orig.pool();
                     let majority = buckets
                         .iter()
                         .max_by(|(va, x), (vb, y)| {
@@ -1521,7 +1527,7 @@ impl<'a> BatchState<'a> {
                     continue;
                 }
             };
-            let (freq, value) = fix_meta(&fix);
+            let (freq, value) = fix_meta(&fix, self.orig.pool());
             let price: HeapKey = (cost_key(cost), freq, value, cfd_raw, tid_raw);
             if price > key {
                 // Costs rose since this entry was queued: re-queue at the
@@ -1535,7 +1541,7 @@ impl<'a> BatchState<'a> {
                     n.source_name(),
                     n.source_row(),
                     cost,
-                    fix.describe()
+                    fix.describe(self.orig.pool())
                 );
             }
             self.apply_fix(fix)?;

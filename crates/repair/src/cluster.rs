@@ -20,28 +20,56 @@
 //! id they feed straight into the id-encoded candidate machinery.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use cfd_model::{ActiveDomain, AttrId, Value, ValueId};
+use cfd_model::{ActiveDomain, AttrId, Value, ValueId, ValuePool};
 
 /// A queryable view of one attribute's active domain.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ValueIndex {
     /// Distinct values bucketed by rendered length, each bucket sorted by
     /// value for determinism.
     by_len: BTreeMap<usize, Vec<(Value, ValueId)>>,
     len: usize,
+    /// The pool probe ids and [`ValueIndex::add`]ed ids resolve through —
+    /// the pool of the relation whose active domain this indexes.
+    pool: Arc<ValuePool>,
+}
+
+impl Default for ValueIndex {
+    fn default() -> Self {
+        ValueIndex {
+            by_len: BTreeMap::new(),
+            len: 0,
+            pool: ValuePool::shared(),
+        }
+    }
 }
 
 impl ValueIndex {
-    /// Build from the distinct values of `adom(a, D)`.
+    /// Build from the distinct values of `adom(a, D)`, resolving through
+    /// the process-default shared pool (compatibility shim; see
+    /// [`ValueIndex::build_in`]).
     pub fn build(adom: &ActiveDomain, a: AttrId) -> Self {
-        Self::from_ids(adom.ids(a).map(|(id, _)| id))
+        Self::build_in(adom, a, ValuePool::shared())
     }
 
-    /// Build directly from interned ids.
+    /// Build from the distinct values of `adom(a, D)`, resolving through
+    /// the owning relation's pool.
+    pub fn build_in(adom: &ActiveDomain, a: AttrId, pool: Arc<ValuePool>) -> Self {
+        Self::from_ids_in(adom.ids(a).map(|(id, _)| id), pool)
+    }
+
+    /// Build directly from interned ids in the process-default shared
+    /// pool (compatibility shim; see [`ValueIndex::from_ids_in`]).
     pub fn from_ids<I: IntoIterator<Item = ValueId>>(ids: I) -> Self {
+        Self::from_ids_in(ids, ValuePool::shared())
+    }
+
+    /// Build directly from ids interned in `pool`.
+    pub fn from_ids_in<I: IntoIterator<Item = ValueId>>(ids: I, pool: Arc<ValuePool>) -> Self {
         let mut distinct: Vec<(Value, ValueId)> =
-            ids.into_iter().map(|id| (id.value(), id)).collect();
+            ids.into_iter().map(|id| (pool.resolve(id), id)).collect();
         distinct.sort();
         distinct.dedup();
         let mut by_len: BTreeMap<usize, Vec<(Value, ValueId)>> = BTreeMap::new();
@@ -49,10 +77,11 @@ impl ValueIndex {
         for (v, id) in distinct {
             by_len.entry(v.render_len()).or_default().push((v, id));
         }
-        ValueIndex { by_len, len }
+        ValueIndex { by_len, len, pool }
     }
 
-    /// Build directly from values (tests, ad-hoc pools).
+    /// Build directly from values (tests, ad-hoc pools), interning into
+    /// the process-default shared pool.
     pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Self {
         Self::from_ids(values.into_iter().map(|v| ValueId::of(&v)))
     }
@@ -72,7 +101,7 @@ impl ValueIndex {
         if id.is_null() {
             return;
         }
-        let v = id.value();
+        let v = self.pool.resolve(id);
         let bucket = self.by_len.entry(v.render_len()).or_default();
         let entry = (v, id);
         if let Err(pos) = bucket.binary_search(&entry) {
@@ -93,7 +122,7 @@ impl ValueIndex {
         if limit == 0 || self.len == 0 {
             return Vec::new();
         }
-        let probe_value = probe.value();
+        let probe_value = self.pool.resolve(probe);
         let probe_text = probe_value.render().into_owned();
         let probe_len = probe_value.render_len();
         // One prepared kernel for the probe: its pattern bitmasks are
@@ -163,7 +192,7 @@ impl ValueIndex {
         limit: usize,
         exclude_probe: bool,
     ) -> Vec<(ValueId, usize)> {
-        let probe_text = probe.value().render().into_owned();
+        let probe_text = self.pool.resolve(probe).render().into_owned();
         let mut all: Vec<(usize, &Value, ValueId)> = self
             .by_len
             .values()

@@ -40,14 +40,19 @@ pub fn change_cost_ids(weight: f64, from: ValueId, to: ValueId, cache: &mut Dist
 /// Cost of changing tuple `t` into `t'` (same schema): the sum of
 /// per-attribute change costs over modified attributes, using `t`'s
 /// weights.
+///
+/// Compares resolved *values*, not raw ids: each side resolves through
+/// its own pool ([`TupleView::value`]), so the comparison stays correct
+/// when `t` and `t_new` live in differently-scoped databases (e.g. a
+/// repair written to CSV and re-loaded into a fresh pool).
 pub fn tuple_cost<V: TupleView + ?Sized, W: TupleView + ?Sized>(t: &V, t_new: &W) -> f64 {
     debug_assert_eq!(t.arity(), t_new.arity());
     let mut total = 0.0;
     for i in 0..t.arity() {
         let a = cfd_model::AttrId(i as u16);
-        let (from, to) = (t.id(a), t_new.id(a));
+        let (from, to) = (t.value(a), t_new.value(a));
         if from != to {
-            total += t.weight(a) * crate::distance::normalized_distance_ids(from, to);
+            total += t.weight(a) * normalized_distance(&from, &to);
         }
     }
     total

@@ -15,6 +15,7 @@
 //! enumeration over large active domains from quadratic into near-linear.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cfd_model::{Value, ValueId, ValuePool};
 
@@ -143,13 +144,22 @@ pub fn normalized_distance(v: &Value, w: &Value) -> f64 {
     dl_distance(&a, &b) as f64 / max_len as f64
 }
 
-/// [`normalized_distance`] on interned ids, resolving through the global
-/// pool. Equal ids short-circuit to 0 without resolving.
+/// [`normalized_distance`] on interned ids, resolving through the
+/// process-default shared pool (compatibility shim; pool-scoped code
+/// uses [`normalized_distance_ids_in`] or a [`DistanceCache`] built with
+/// [`DistanceCache::for_pool`]). Equal ids short-circuit to 0 without
+/// resolving.
 pub fn normalized_distance_ids(a: ValueId, b: ValueId) -> f64 {
+    normalized_distance_ids_in(a, b, ValuePool::global())
+}
+
+/// [`normalized_distance`] on interned ids, resolving through `pool`.
+/// Equal ids short-circuit to 0 without resolving.
+pub fn normalized_distance_ids_in(a: ValueId, b: ValueId, pool: &ValuePool) -> f64 {
     if a == b {
         return 0.0;
     }
-    normalized_distance(&a.value(), &b.value())
+    normalized_distance(&pool.resolve(a), &pool.resolve(b))
 }
 
 /// Memoized `dis(v, v') / max(|v|, |v'|)` over interned id pairs.
@@ -169,6 +179,10 @@ pub struct DistanceCache {
     /// by [`DistanceCache::new`], overridable per cache for the in-process
     /// SIMD-on/off differential.
     bitparallel: bool,
+    /// The pool ids resolve through on a miss — the owning dataset's
+    /// pool, so memoized distances (and the cached renders behind them)
+    /// die with the dataset instead of accreting process-wide.
+    pool: Arc<ValuePool>,
 }
 
 impl Default for DistanceCache {
@@ -178,18 +192,31 @@ impl Default for DistanceCache {
 }
 
 impl DistanceCache {
-    /// An empty cache pricing with the process-wide kernel selection.
+    /// An empty cache on the process-default shared pool with the
+    /// process-wide kernel selection (compatibility shim; repair paths
+    /// use [`DistanceCache::for_pool`] with the dataset's pool).
     pub fn new() -> Self {
         DistanceCache::with_kernel(cfd_model::simd_enabled())
     }
 
-    /// An empty cache with an explicit kernel choice (`false` forces the
-    /// scalar reference on every miss).
+    /// An empty shared-pool cache with an explicit kernel choice
+    /// (`false` forces the scalar reference on every miss).
     pub fn with_kernel(bitparallel: bool) -> Self {
+        DistanceCache::for_pool(ValuePool::shared(), bitparallel)
+    }
+
+    /// An empty cache whose ids resolve through `pool`.
+    pub fn for_pool(pool: Arc<ValuePool>, bitparallel: bool) -> Self {
         DistanceCache {
             memo: HashMap::default(),
             bitparallel,
+            pool,
         }
+    }
+
+    /// The pool this cache resolves through.
+    pub fn pool(&self) -> &Arc<ValuePool> {
+        &self.pool
     }
 
     /// The normalized distance between two interned values.
@@ -201,7 +228,7 @@ impl DistanceCache {
         if let Some(d) = self.memo.get(&key) {
             return *d;
         }
-        let pool = ValuePool::global();
+        let pool = &self.pool;
         let ra = pool.rendered(key.0);
         let rb = pool.rendered(key.1);
         let max_len = ra.chars.max(rb.chars) as usize;
@@ -238,7 +265,7 @@ impl DistanceCache {
         if misses.is_empty() {
             return out;
         }
-        let pool = ValuePool::global();
+        let pool = &self.pool;
         let rt = pool.rendered(target);
         let pricer = TargetPricer::with_kernel(&rt.text, self.bitparallel);
         let ids: Vec<ValueId> = misses.iter().map(|&(_, c)| c).collect();

@@ -27,7 +27,7 @@ use cfd_cfd::Sigma;
 use cfd_model::{ActiveDomain, AttrId, Relation, Tuple, TupleId, ValueId, NULL_ID};
 
 use crate::cluster::ValueIndex;
-use crate::cost::{change_cost_ids, tuple_cost};
+use crate::cost::change_cost_ids;
 use crate::distance::DistanceCache;
 use crate::lhs_index::LhsIndexes;
 use crate::shard::Parallelism;
@@ -187,8 +187,10 @@ impl<'a> IncState<'a> {
         let lhs = LhsIndexes::build_with(&active_view, sigma, &config.parallelism);
         let adom = ActiveDomain::of_relation(&active_view);
         let arity = work.schema().arity();
-        let dcache =
-            DistanceCache::with_kernel(config.simd.unwrap_or_else(cfd_model::simd_enabled));
+        let dcache = DistanceCache::for_pool(
+            work.pool().clone(),
+            config.simd.unwrap_or_else(cfd_model::simd_enabled),
+        );
         Ok(IncState {
             sigma,
             config,
@@ -205,7 +207,11 @@ impl<'a> IncState<'a> {
     fn value_index(&mut self, a: AttrId) -> &ValueIndex {
         let slot = &mut self.vidx[a.index()];
         if slot.is_none() {
-            *slot = Some(ValueIndex::build(&self.adom, a));
+            *slot = Some(ValueIndex::build_in(
+                &self.adom,
+                a,
+                self.work.pool().clone(),
+            ));
         }
         slot.as_ref().expect("just built")
     }
@@ -451,7 +457,15 @@ impl<'a> IncState<'a> {
         let orig = self.work.require(id)?.to_tuple();
         let repaired = self.tuple_resolve(id, &orig);
         self.stats.processed += 1;
-        let cost = tuple_cost(&orig, &repaired);
+        // Both tuples carry ids from `work`'s pool, so price the change
+        // through the cache bound to it — an owned `Tuple` has no pool of
+        // its own, and value-level comparison would resolve through the
+        // process-shared one.
+        let mut cost = 0.0;
+        for a in 0..orig.arity() as u16 {
+            let a = AttrId(a);
+            cost += change_cost_ids(orig.weight(a), orig.id(a), repaired.id(a), &mut self.dcache);
+        }
         if cost > 0.0 || orig.attr_diff(&repaired) > 0 {
             self.stats.modified += 1;
             self.stats.cost += cost;

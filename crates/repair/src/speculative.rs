@@ -285,7 +285,7 @@ struct SpecPlan {
 /// worker shares `state` immutably and keeps its own index overlay and
 /// distance memo across pairs (both semantically transparent).
 fn plan_worker(state: &BatchState<'_>, pairs: &[(u32, u32)]) -> Vec<SpecPlan> {
-    let mut dcache = DistanceCache::with_kernel(state.config.bitparallel());
+    let mut dcache = DistanceCache::for_pool(state.orig.pool().clone(), state.config.bitparallel());
     let mut planner = Planner::snapshot(state, &mut dcache);
     let mut out = Vec::with_capacity(pairs.len());
     for &(cfd, tid) in pairs {
@@ -296,7 +296,7 @@ fn plan_worker(state: &BatchState<'_>, pairs: &[(u32, u32)]) -> Vec<SpecPlan> {
             Some(v) => match planner.plan_fix(&n, TupleId(tid), &v) {
                 None => PlanOutcome::NoPlan,
                 Some((fix, cost)) => {
-                    let (freq, value) = fix_meta(&fix);
+                    let (freq, value) = fix_meta(&fix, state.orig.pool());
                     PlanOutcome::Planned {
                         price: (cost_key(cost), freq, value, cfd, tid),
                         fix,
@@ -498,7 +498,7 @@ impl<'a> BatchState<'a> {
                                 self.tracef(|| format!("requeue {cfd_raw}:{tid_raw}"));
                                 continue;
                             }
-                            let desc = fix.describe();
+                            let desc = fix.describe(self.orig.pool());
                             self.apply_fix(fix)?;
                             self.heap.push(Reverse(price));
                             applied = true;
@@ -542,14 +542,14 @@ impl<'a> BatchState<'a> {
                             continue;
                         }
                     };
-                    let (freq, value) = fix_meta(&fix);
+                    let (freq, value) = fix_meta(&fix, self.orig.pool());
                     let price: HeapKey = (cost_key(cost), freq, value, cfd_raw, tid_raw);
                     if price > key {
                         self.heap.push(Reverse(price));
                         self.tracef(|| format!("inline-requeue {cfd_raw}:{tid_raw}"));
                         continue;
                     }
-                    let desc = fix.describe();
+                    let desc = fix.describe(self.orig.pool());
                     self.apply_fix(fix)?;
                     self.heap.push(Reverse(price));
                     applied = true;

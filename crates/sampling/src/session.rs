@@ -14,16 +14,23 @@
 
 use cfd_prng::Rng;
 
-use cfd_model::{Relation, Tuple, TupleId};
+use cfd_model::{Relation, TupleId, Value};
 
 use crate::stats::z_test_accept;
 use crate::stratified::{StratifiedPlan, StratifiedSample};
 
 /// The domain expert interface.
+///
+/// The exchange is value-level, not id-level: the repair under
+/// certification and the oracle's reference data generally live in
+/// *different* [`ValuePool`](cfd_model::ValuePool)s (each loaded dataset
+/// gets its own), so raw [`ValueId`](cfd_model::ValueId)s are not
+/// comparable across them. Each side resolves through its own pool and
+/// the boundary carries self-contained [`Value`]s.
 pub trait Oracle {
-    /// Inspect a repaired tuple; return `None` when it is accurate, or the
-    /// corrected tuple otherwise.
-    fn inspect(&mut self, id: TupleId, repaired: &Tuple) -> Option<Tuple>;
+    /// Inspect a repaired tuple's values; return `None` when it is
+    /// accurate, or the corrected values otherwise.
+    fn inspect(&mut self, id: TupleId, repaired: &[Value]) -> Option<Vec<Value>>;
 }
 
 /// An oracle that knows the ground truth `Dopt` and flags any deviation.
@@ -39,12 +46,12 @@ impl<'a> GroundTruthOracle<'a> {
 }
 
 impl Oracle for GroundTruthOracle<'_> {
-    fn inspect(&mut self, id: TupleId, repaired: &Tuple) -> Option<Tuple> {
-        let truth = self.dopt.tuple(id)?;
-        if truth.values() == repaired.values() {
+    fn inspect(&mut self, id: TupleId, repaired: &[Value]) -> Option<Vec<Value>> {
+        let truth = self.dopt.tuple(id)?.values();
+        if truth == repaired {
             None
         } else {
-            Some(truth.to_tuple())
+            Some(truth)
         }
     }
 }
@@ -80,8 +87,8 @@ pub struct CertifyOutcome {
     pub p_hat: f64,
     /// Total tuples inspected by the oracle.
     pub inspected: usize,
-    /// Inaccurate tuples found, with the oracle's corrections.
-    pub corrections: Vec<(TupleId, Tuple)>,
+    /// Inaccurate tuples found, with the oracle's corrected values.
+    pub corrections: Vec<(TupleId, Vec<Value>)>,
     /// Per-stratum error counts `e_i`.
     pub errors_per_stratum: Vec<usize>,
     /// The drawn sample (for audit).
@@ -107,12 +114,12 @@ pub fn certify<R: Rng>(
     let mut inspected = 0usize;
     for stratum in &sample.strata {
         for &id in &stratum.sample {
-            let tuple = repair
+            let values = repair
                 .tuple(id)
                 .ok_or_else(|| format!("sampled dead tuple {id}"))?
-                .to_tuple();
+                .values();
             inspected += 1;
-            if let Some(fixed) = oracle.inspect(id, &tuple) {
+            if let Some(fixed) = oracle.inspect(id, &values) {
                 errors_per_stratum[stratum.index] += 1;
                 corrections.push((id, fixed));
             }
@@ -134,7 +141,7 @@ pub fn certify<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfd_model::{Schema, Value};
+    use cfd_model::{Schema, Tuple, Value};
     use cfd_prng::ChaCha8Rng;
     use cfd_prng::SeedableRng;
 
@@ -201,7 +208,7 @@ mod tests {
         let out = certify(&repair, suspicion, &config, &mut oracle, &mut rng).unwrap();
         let (id, fixed) = &out.corrections[0];
         assert_eq!(*id, TupleId(7));
-        assert_eq!(fixed.value(cfd_model::AttrId(1)), Value::str("v7"));
+        assert_eq!(fixed[1], Value::str("v7"));
     }
 
     #[test]
@@ -223,8 +230,9 @@ mod tests {
             }
             assert!(rounds < 20, "loop failed to converge");
             for (id, fixed) in out.corrections {
-                for a in repair.schema().attr_ids().collect::<Vec<_>>() {
-                    repair.set_value(id, a, fixed.value(a).clone()).unwrap();
+                let attrs: Vec<_> = repair.schema().attr_ids().collect();
+                for (a, v) in attrs.into_iter().zip(fixed) {
+                    repair.set_value(id, a, v).unwrap();
                 }
             }
         }
@@ -232,10 +240,40 @@ mod tests {
     }
 
     #[test]
+    fn oracle_compares_across_distinct_pools() {
+        // The repair and the ground truth are loaded independently, so
+        // they live in different pools and share no ValueIds; the
+        // value-level oracle boundary must still line them up.
+        use cfd_model::ValuePool;
+        let dopt = relation(50);
+        let pool = ValuePool::new_handle();
+        let mut repair = Relation::new_in(Schema::new("r", &["a", "b"]).unwrap(), pool.clone());
+        for i in 0..50 {
+            let row = [format!("k{i}"), format!("v{i}")];
+            repair
+                .insert(Tuple::from_ids(
+                    row.iter().map(|s| pool.intern(&Value::str(s))).collect(),
+                ))
+                .unwrap();
+        }
+        repair
+            .set_value(TupleId(7), cfd_model::AttrId(1), Value::str("WRONG"))
+            .unwrap();
+        let mut oracle = GroundTruthOracle::new(&dopt);
+        let config = SamplingConfig::new(0.05, 0.95, 50);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let suspicion = |id: TupleId| usize::from(id.0 == 7);
+        let out = certify(&repair, suspicion, &config, &mut oracle, &mut rng).unwrap();
+        assert_eq!(out.corrections.len(), 1, "only the corrupted tuple differs");
+        assert_eq!(out.corrections[0].0, TupleId(7));
+        assert_eq!(out.corrections[0].1[1], Value::str("v7"));
+    }
+
+    #[test]
     fn ground_truth_oracle_passes_exact_matches() {
         let dopt = relation(10);
         let mut oracle = GroundTruthOracle::new(&dopt);
-        let t = dopt.tuple(TupleId(3)).unwrap().to_tuple();
+        let t = dopt.tuple(TupleId(3)).unwrap().values();
         assert!(oracle.inspect(TupleId(3), &t).is_none());
     }
 }

@@ -70,10 +70,9 @@ fn main() {
         // Fold the expert's corrections back in and go again.
         let mut corrected = repair;
         for (id, fixed) in outcome.corrections {
-            for a in corrected.schema().attr_ids().collect::<Vec<_>>() {
-                corrected
-                    .set_value(id, a, fixed.value(a).clone())
-                    .expect("live tuple");
+            let attrs: Vec<_> = corrected.schema().attr_ids().collect();
+            for (a, v) in attrs.into_iter().zip(fixed) {
+                corrected.set_value(id, a, v).expect("live tuple");
             }
         }
         db = corrected;

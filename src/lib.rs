@@ -6,19 +6,34 @@
 //!
 //! ## The dictionary-encoded value layer
 //!
-//! Every attribute value is interned exactly once in a process-wide
-//! dictionary ([`model::ValuePool`]) and handled as a dense
-//! [`model::ValueId`] (`u32`) everywhere above storage. All hot paths —
-//! violation detection, the LHS-indices driving `INCREPAIR`,
-//! `BATCHREPAIR`'s equivalence-class targets and group censuses, and the
-//! discovery partitions — compare, hash, and group integers; pattern
-//! constants are interned once at rule-load time; strings are resolved
-//! only at the edges (the `dis(v, v')` distance kernel, memoized per id
-//! pair, plus display and CSV). The paper's §3.1 null semantics survive
-//! the encoding verbatim: interning is injective, `null` is always id 0,
-//! and `sql_eq`/`strict_eq`/pattern matching exist in id form with
-//! property tests pinning their agreement with the value-level
-//! definitions.
+//! Every attribute value is interned in a dictionary
+//! ([`model::ValuePool`]) and handled as a dense [`model::ValueId`]
+//! (`u32`) everywhere above storage. Pools are **dataset-scoped**: each
+//! CSV import and each snapshot install interns into a pool of its own
+//! (`Arc<ValuePool>`, carried by the [`model::Relation`]), so ids are
+//! meaningful only within their pool, and everything a repair computes
+//! — including the `use_count` frequencies that break `FINDV` candidate
+//! ties — depends only on (dataset, rules, config), never on what else
+//! the process loaded (`tests/pool_scoping_differential.rs` pins this).
+//! All hot paths — violation detection, the LHS-indices driving
+//! `INCREPAIR`, `BATCHREPAIR`'s equivalence-class targets and group
+//! censuses, and the discovery partitions — compare, hash, and group
+//! integers; pattern constants are interned (uncounted) into the
+//! relation's pool at rule-bind time ([`cfd::Sigma::normalize_in`]);
+//! strings are resolved only at the edges (the `dis(v, v')` distance
+//! kernel, memoized per id pair and bound to one pool, plus display and
+//! CSV) and at the few deliberate cross-pool seams, which exchange
+//! [`model::Value`]s rather than ids (the sampling oracle, edit-log
+//! parsing, `Relation::rekey_into`). Pool-less constructors remain as
+//! compatibility shims over a process-default shared pool
+//! (`ValuePool::shared`). Pools reclaim: occurrence counts maintained
+//! by interning feed `retire`/`retire_ids` + `compact`, so a
+//! long-running process can evict a dataset and get its dictionary
+//! memory back (the ROADMAP's resident-server enabler). The paper's
+//! §3.1 null semantics survive the encoding verbatim: interning is
+//! injective, `null` is always id 0 in every pool, and
+//! `sql_eq`/`strict_eq`/pattern matching exist in id form with property
+//! tests pinning their agreement with the value-level definitions.
 //!
 //! ## Crates
 //!

@@ -21,7 +21,7 @@ use std::path::Path;
 
 use cfdclean::model::csv::{read_relation, read_weights, write_relation};
 use cfdclean::model::snapshot::{
-    edit_log_to_vec, read_edit_log, read_snapshot, snapshot_info, snapshot_to_vec,
+    edit_log_to_vec, read_edit_log_in, read_snapshot, snapshot_info, snapshot_to_vec,
 };
 use cfdclean::model::{Relation, Schema};
 use cfdclean::repair::{batch_repair, BatchConfig};
@@ -106,8 +106,14 @@ fn golden_snapshot_and_edit_log_are_pinned() {
     // CSV path (`cust_repaired.csv`, pinned by golden_running_example).
     let cfds = cfdclean::cfd::parser::parse_rules(loaded.relation.schema(), &rules)
         .expect("embedded rules parse");
-    let sigma = cfdclean::cfd::Sigma::normalize(loaded.relation.schema().clone(), cfds)
-        .expect("embedded rules normalize");
+    // The snapshot loads into its own pool, so the rules' pattern
+    // constants must be interned there too.
+    let sigma = cfdclean::cfd::Sigma::normalize_in(
+        loaded.relation.schema().clone(),
+        cfds,
+        loaded.relation.pool(),
+    )
+    .expect("embedded rules normalize");
     let out = batch_repair(&loaded.relation, &sigma, BatchConfig::default()).unwrap();
     let mut repaired_csv = Vec::new();
     write_relation(&out.repair, &mut repaired_csv).unwrap();
@@ -122,11 +128,17 @@ fn golden_snapshot_and_edit_log_are_pinned() {
     let log = out
         .edit_log(&loaded.relation)
         .expect("repair preserves ids");
-    let log_bytes = edit_log_to_vec(&log, "cust", loaded.relation.schema().arity());
+    let log_bytes = edit_log_to_vec(
+        &log,
+        "cust",
+        loaded.relation.schema().arity(),
+        loaded.relation.pool(),
+    );
     check_or_update_bytes("cust_repair.cfde", &log_bytes);
     let committed_log = std::fs::read(fixture_path("cust_repair.cfde")).expect("edit-log fixture");
-    let parsed = read_edit_log(&committed_log).expect("fixture edit log parses");
     let mut replayed = read_snapshot(&committed).expect("loads again").relation;
+    let parsed =
+        read_edit_log_in(&committed_log, replayed.pool()).expect("fixture edit log parses");
     parsed.log.apply(&mut replayed).expect("log replays");
     let mut replayed_csv = Vec::new();
     write_relation(&replayed, &mut replayed_csv).unwrap();

@@ -25,8 +25,11 @@ use cfd_prng::{trials, ChaCha8Rng, Rng};
 
 use cfdclean::cfd::pattern::{PatternRow, PatternValue};
 use cfdclean::cfd::{Cfd, Sigma};
-use cfdclean::model::csv::{read_relation, write_relation};
-use cfdclean::model::snapshot::{edit_log_to_vec, read_edit_log, read_snapshot, snapshot_to_vec};
+use cfdclean::model::csv::{read_relation_in, write_relation};
+use cfdclean::model::snapshot::{
+    edit_log_to_vec, read_edit_log_in, read_snapshot, snapshot_to_vec,
+};
+use cfdclean::model::ValuePool;
 use cfdclean::model::{AttrId, Relation, Schema, Tuple, TupleId, Value};
 use cfdclean::repair::{
     batch_repair, repair_via_incremental, BatchConfig, IncConfig, PickStrategy,
@@ -59,9 +62,11 @@ fn rand_tuple(rng: &mut ChaCha8Rng, weights: bool) -> Tuple {
     }
 }
 
-/// Random Σ mixing a wildcard FD row with constant rows, like the paper's
-/// tableaus.
-fn rand_sigma(rng: &mut ChaCha8Rng, schema: &Schema) -> Sigma {
+/// Random CFDs mixing a wildcard FD row with constant rows, like the
+/// paper's tableaus. Returned un-normalized so each relation under test
+/// can normalize them into its *own* pool (snapshot loads get a fresh
+/// pool per load).
+fn rand_cfds(rng: &mut ChaCha8Rng) -> Vec<Cfd> {
     let n = rng.gen_range(1..=3usize);
     let mut cfds = Vec::new();
     for i in 0..n {
@@ -88,7 +93,12 @@ fn rand_sigma(rng: &mut ChaCha8Rng, schema: &Schema) -> Sigma {
             .unwrap(),
         );
     }
-    Sigma::normalize(schema.clone(), cfds).unwrap()
+    cfds
+}
+
+/// Normalize `cfds` against `rel`'s schema into `rel`'s pool.
+fn sigma_for(rel: &Relation, cfds: &[Cfd]) -> Sigma {
+    Sigma::normalize_in(rel.schema().clone(), cfds.to_vec(), rel.pool()).unwrap()
 }
 
 /// Bit-level equality of two relations through the public API: same id
@@ -136,7 +146,11 @@ fn differential_snapshot_round_trip_and_repair() {
             let id = TupleId(rng.gen_range(0..rel.slot_count() as u32));
             let _ = rel.delete(id);
         }
-        let sigma = rand_sigma(rng, &schema());
+        // Move off the process-shared pool (whose frequency counters
+        // accumulate across trials) onto a dataset-scoped one, matching
+        // what any ingest path produces.
+        let rel = rel.rekey_into(&ValuePool::new_handle());
+        let cfds = rand_cfds(rng);
 
         // Round trip, including canonical re-encoding.
         let bytes = snapshot_to_vec(&rel, Some("embedded rule text"));
@@ -149,14 +163,20 @@ fn differential_snapshot_round_trip_and_repair() {
             "re-saving the loaded relation must be byte-identical"
         );
 
-        // Repairs run *after* both ingests, so both see the same pool
-        // state: bit-identical repairs, stats, and cost bits required.
+        // The loaded relation lives in its own pool, so each side
+        // normalizes Σ into its own dictionary: repairs must still be
+        // bit-identical, stats and cost bits included.
         let config = BatchConfig {
             pick: rand_pick(rng),
             ..Default::default()
         };
-        let out_a = batch_repair(&rel, &sigma, config.clone()).unwrap();
-        let out_b = batch_repair(&loaded.relation, &sigma, config).unwrap();
+        let out_a = batch_repair(&rel, &sigma_for(&rel, &cfds), config.clone()).unwrap();
+        let out_b = batch_repair(
+            &loaded.relation,
+            &sigma_for(&loaded.relation, &cfds),
+            config,
+        )
+        .unwrap();
         assert_same_contents(&out_a.repair, &out_b.repair, "batch repair");
         assert_eq!(out_a.stats, out_b.stats, "batch stats");
         assert_eq!(
@@ -168,11 +188,15 @@ fn differential_snapshot_round_trip_and_repair() {
         // The repair as a persisted edit log: snapshot + log replays to
         // the byte-exact repair.
         let log = out_a.edit_log(&rel).expect("repair preserves ids");
-        let log_bytes = edit_log_to_vec(&log, rel.schema().name(), ARITY);
-        let parsed = read_edit_log(&log_bytes).expect("valid log parses");
+        let log_bytes = edit_log_to_vec(&log, rel.schema().name(), ARITY, rel.pool());
+        // Round trip through the pool the log was derived in: identical
+        // ids; then re-read into the snapshot's pool to replay there.
+        let parsed = read_edit_log_in(&log_bytes, rel.pool()).expect("valid log parses");
         assert_eq!(parsed.log, log, "edit log round trip");
         let mut replayed = loaded.relation.clone();
-        parsed.log.apply(&mut replayed).expect("log replays");
+        let parsed_b =
+            read_edit_log_in(&log_bytes, replayed.pool()).expect("valid log parses again");
+        parsed_b.log.apply(&mut replayed).expect("log replays");
         assert_same_contents(&out_a.repair, &replayed, "snapshot + edit log");
     });
 }
@@ -187,24 +211,28 @@ fn differential_csv_vs_snapshot_ingest() {
         for _ in 0..rng.gen_range(2..14usize) {
             built.insert(rand_tuple(rng, false)).unwrap();
         }
-        let sigma = rand_sigma(rng, &schema());
+        let cfds = rand_cfds(rng);
         let mut csv = Vec::new();
         write_relation(&built, &mut csv).unwrap();
 
-        // Path A: CSV load (per-cell interning).
-        let via_csv = read_relation("diff", &mut csv.as_slice()).unwrap();
-        // Path B: snapshot save → load (dictionary install + remap).
+        // Path A: CSV load (per-cell interning, fresh pool per load).
+        let via_csv =
+            read_relation_in("diff", &mut csv.as_slice(), ValuePool::new_handle()).unwrap();
+        // Path B: snapshot save → load (dictionary install + remap,
+        // into a pool of its own).
         let via_snap = read_snapshot(&snapshot_to_vec(&via_csv, None))
             .expect("valid snapshot loads")
             .relation;
         assert_same_contents(&via_csv, &via_snap, "ingest");
+        let sigma_csv = sigma_for(&via_csv, &cfds);
+        let sigma_snap = sigma_for(&via_snap, &cfds);
 
         let config = BatchConfig {
             pick: rand_pick(rng),
             ..Default::default()
         };
-        let out_csv = batch_repair(&via_csv, &sigma, config.clone()).unwrap();
-        let out_snap = batch_repair(&via_snap, &sigma, config).unwrap();
+        let out_csv = batch_repair(&via_csv, &sigma_csv, config.clone()).unwrap();
+        let out_snap = batch_repair(&via_snap, &sigma_snap, config).unwrap();
         assert_same_contents(&out_csv.repair, &out_snap.repair, "batch repair");
         assert_eq!(out_csv.stats, out_snap.stats, "batch stats");
         assert_eq!(
@@ -214,8 +242,9 @@ fn differential_csv_vs_snapshot_ingest() {
         );
 
         // The §5.3 incremental bridge must be ingest-blind too.
-        let inc_csv = repair_via_incremental(&via_csv, &sigma, IncConfig::default()).unwrap();
-        let inc_snap = repair_via_incremental(&via_snap, &sigma, IncConfig::default()).unwrap();
+        let inc_csv = repair_via_incremental(&via_csv, &sigma_csv, IncConfig::default()).unwrap();
+        let inc_snap =
+            repair_via_incremental(&via_snap, &sigma_snap, IncConfig::default()).unwrap();
         assert_same_contents(&inc_csv.repair, &inc_snap.repair, "incremental repair");
         assert_eq!(inc_csv.reinserted, inc_snap.reinserted, "reinserted ids");
         assert_eq!(inc_csv.stats, inc_snap.stats, "incremental stats");
@@ -223,9 +252,9 @@ fn differential_csv_vs_snapshot_ingest() {
         // And the incremental repair's edit log replays on the snapshot
         // side as well.
         let log = inc_csv.edit_log(&via_csv).expect("§5.3 preserves ids");
-        let parsed =
-            read_edit_log(&edit_log_to_vec(&log, "diff", ARITY)).expect("valid log parses");
+        let log_bytes = edit_log_to_vec(&log, "diff", ARITY, via_csv.pool());
         let mut replayed = via_snap.clone();
+        let parsed = read_edit_log_in(&log_bytes, replayed.pool()).expect("valid log parses");
         parsed.log.apply(&mut replayed).expect("log replays");
         assert_same_contents(&inc_csv.repair, &replayed, "snapshot + inc edit log");
     });
