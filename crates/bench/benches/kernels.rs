@@ -275,6 +275,7 @@ const SMOKE_MIN_CENSUS_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_LOAD_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_PRICING_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_CONST_SCAN_SPEEDUP: f64 = 1.0;
+const SMOKE_MIN_SERVER_SPEEDUP: f64 = 1.0;
 const SMOKE_ATTEMPTS: usize = 3;
 
 fn smoke() -> ! {
@@ -290,6 +291,7 @@ fn smoke() -> ! {
     let mut load_ok = false;
     let mut pricing_ok = false;
     let mut scan_ok = false;
+    let mut server_ok = false;
     for attempt in 1..=SMOKE_ATTEMPTS {
         let mut h = Harness::new();
         h.batches = 7;
@@ -306,6 +308,9 @@ fn smoke() -> ! {
         // Single-core compute kernels: gated even on a 1-CPU runner.
         let pricing_speedup = bench_pricing(&mut h);
         let scan_speedup = bench_constant_scan(&mut h);
+        // The daemon's warm-vs-cold request latency: loopback RTT against
+        // a resident dataset must beat re-parsing + re-indexing per call.
+        let server_speedup = bench_server_latency(&mut h);
         record_pool_bytes(&mut h);
         println!("{}", h.table());
         println!("index build speedup (row/columnar): {build_speedup:.2}x");
@@ -317,6 +322,7 @@ fn smoke() -> ! {
         println!("load speedup (csv/snapshot): {load_speedup:.2}x");
         println!("pricing speedup (scalar/bit-parallel): {pricing_speedup:.2}x");
         println!("constant scan speedup (scalar/simd): {scan_speedup:.2}x");
+        println!("request latency (cold one-shot / warm daemon): {server_speedup:.2}x");
         if !multicore {
             println!("single-CPU runner: census wall-time gate not applicable");
         }
@@ -327,11 +333,12 @@ fn smoke() -> ! {
         load_ok |= load_speedup >= SMOKE_MIN_LOAD_SPEEDUP;
         pricing_ok |= pricing_speedup >= SMOKE_MIN_PRICING_SPEEDUP;
         scan_ok |= scan_speedup >= SMOKE_MIN_CONST_SCAN_SPEEDUP;
-        if detect_ok && census_ok && load_ok && pricing_ok && scan_ok {
+        server_ok |= server_speedup >= SMOKE_MIN_SERVER_SPEEDUP;
+        if detect_ok && census_ok && load_ok && pricing_ok && scan_ok && server_ok {
             println!(
                 "smoke ok: columnar detection ≥ row-major, sharded census ≥ serial, \
                  snapshot load ≥ csv re-intern load, bit-parallel pricing ≥ scalar, \
-                 simd constant scan ≥ scalar"
+                 simd constant scan ≥ scalar, warm daemon detect ≥ cold one-shot"
             );
             std::process::exit(0);
         }
@@ -342,7 +349,8 @@ fn smoke() -> ! {
              {load_speedup:.2}x (gate {SMOKE_MIN_LOAD_SPEEDUP}x), pricing \
              {pricing_speedup:.2}x (gate {SMOKE_MIN_PRICING_SPEEDUP}x), \
              constant scan {scan_speedup:.2}x (gate \
-             {SMOKE_MIN_CONST_SCAN_SPEEDUP}x)"
+             {SMOKE_MIN_CONST_SCAN_SPEEDUP}x), server \
+             {server_speedup:.2}x (gate {SMOKE_MIN_SERVER_SPEEDUP}x)"
         );
     }
     if !detect_ok {
@@ -373,6 +381,12 @@ fn smoke() -> ! {
         eprintln!(
             "SMOKE FAIL: vectorized constant scan regressed below the scalar \
              columnar walk in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+        );
+    }
+    if !server_ok {
+        eprintln!(
+            "SMOKE FAIL: warm daemon detect regressed below the cold one-shot \
+             path in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
         );
     }
     std::process::exit(1);
@@ -611,6 +625,114 @@ fn bench_constant_scan(h: &mut Harness) -> f64 {
     speedup
 }
 
+/// The residency headline: request latency against a warm `cfd-server`
+/// daemon over loopback TCP vs the cold one-shot path that re-parses,
+/// re-interns, and rebuilds the detection index on every invocation
+/// (what a fresh CLI process pays). The equality assertion pins that the
+/// daemon's answer is byte-identical to the one-shot facade before the
+/// timings mean anything. Also records the raw ping round trip (the
+/// framing + socket floor) and a warm whole-repair round trip. Returns
+/// the cold/warm detect median ratio (> 1 means residency wins).
+fn bench_server_latency(h: &mut Harness) -> f64 {
+    use cfd_server::{Client, RepairSpec, Request, Response, Server, ServerConfig};
+
+    let w = workload(2_000, 7);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let mut csv_bytes = Vec::new();
+    cfd_model::csv::write_relation(&noise.dirty, &mut csv_bytes).expect("render csv");
+    let rules_text: String = w
+        .sigma
+        .sources()
+        .iter()
+        .map(|c| cfd_cfd::parser::render_cfd(w.dopt.schema(), c) + "\n")
+        .collect();
+
+    // The cold kernel is the exact facade path a one-shot CLI invocation
+    // runs: fresh pool, re-intern, rebind, rebuild the detection index.
+    let open_cold = || {
+        let mut handle =
+            cfdclean::DatasetHandle::from_csv("bench", &csv_bytes).expect("workload csv");
+        handle
+            .bind_rules(&rules_text, "bench rules")
+            .expect("workload rules");
+        handle
+    };
+    let expected = open_cold().detect_report(5).expect("one-shot detect");
+
+    let server = std::sync::Arc::new(Server::new(ServerConfig::default()).expect("server"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let serve = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.serve_tcp(listener).expect("serve loop"))
+    };
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    fn ok_text(resp: Response) -> String {
+        match resp {
+            Response::Ok { text, .. } => text,
+            Response::Err { kind, message } => panic!("daemon error {kind:?}: {message}"),
+        }
+    }
+    ok_text(
+        client
+            .request(&Request::Open {
+                name: "bench".into(),
+                csv: csv_bytes.clone(),
+                rules: Some(rules_text.clone()),
+                weights: None,
+            })
+            .expect("open"),
+    );
+    let detect_req = Request::Detect {
+        dataset: "bench".into(),
+        limit: 5,
+    };
+    let warm_answer = ok_text(client.request(&detect_req).expect("daemon detect"));
+    assert_eq!(
+        warm_answer, expected,
+        "daemon detect diverged from the one-shot facade"
+    );
+
+    h.run("server/rtt_ping", || {
+        ok_text(client.request(black_box(&Request::Ping)).expect("ping")).len()
+    });
+    let warm = h.run("server/detect_warm_2k", || {
+        ok_text(client.request(black_box(&detect_req)).expect("detect")).len()
+    });
+    let cold = h.run("server/detect_oneshot_cold_2k", || {
+        open_cold()
+            .detect_report(black_box(5))
+            .expect("detect")
+            .len()
+    });
+    h.run("server/repair_warm_2k", || {
+        match client
+            .request(black_box(&Request::Repair {
+                dataset: "bench".into(),
+                spec: RepairSpec::default(),
+                want_edits: false,
+                want_stats: false,
+            }))
+            .expect("repair")
+        {
+            Response::Ok { blobs, .. } => blobs[0].len(),
+            Response::Err { kind, message } => panic!("daemon error {kind:?}: {message}"),
+        }
+    });
+    ok_text(client.request(&Request::Shutdown).expect("shutdown"));
+    serve.join().expect("serve thread");
+    let speedup = cold.median_ns / warm.median_ns;
+    eprintln!("request latency (cold one-shot / warm daemon detect): {speedup:.2}x");
+    speedup
+}
+
 /// Run-environment metadata, recorded into `BENCH_kernels.json` alongside
 /// the timings so the numbers carry their own context: how many CPUs the
 /// container actually had (the thread-scaling entries are only meaningful
@@ -844,6 +966,7 @@ fn main() {
     let census_speedup = bench_census(&mut h);
     let resolution_speedup = bench_resolution(&mut h);
     let load_speedup = bench_load(&mut h);
+    let server_speedup = bench_server_latency(&mut h);
     bench_vio_of_candidate(&mut h);
     bench_equivalence(&mut h);
     bench_lhs_index(&mut h);
@@ -860,6 +983,7 @@ fn main() {
     println!("census build speedup (serial/sharded4): {census_speedup:.2}x");
     println!("resolution speedup (serial/spec4x16): {resolution_speedup:.2}x");
     println!("load speedup (csv/snapshot): {load_speedup:.2}x");
+    println!("request latency (cold one-shot / warm daemon): {server_speedup:.2}x");
     if let Some(path) = json_path {
         h.write_json(&path).expect("write bench json");
         println!("wrote {path}");

@@ -104,7 +104,7 @@ impl Cfd {
     /// Expand into normal form against the process-default shared pool
     /// (compatibility shim; see [`Cfd::normalize_in`]).
     pub fn normalize(&self) -> Vec<NormalCfd> {
-        self.normalize_in(ValuePool::global())
+        self.normalize_in(&ValuePool::shared())
     }
 
     /// Expand into normal form: one [`NormalCfd`] per pattern row per RHS
@@ -313,7 +313,7 @@ impl Sigma {
     /// process-default shared pool (compatibility shim; see
     /// [`Sigma::normalize_in`]).
     pub fn normalize(schema: Schema, cfds: Vec<Cfd>) -> Result<Self, ModelError> {
-        Sigma::normalize_in(schema, cfds, ValuePool::global())
+        Sigma::normalize_in(schema, cfds, &ValuePool::shared())
     }
 
     /// Normalize a set of general CFDs over `schema`, interning pattern
@@ -408,7 +408,7 @@ impl Sigma {
     /// the Fig. 8 comparison. Shared-pool shim; see
     /// [`Sigma::embedded_fds_in`].
     pub fn embedded_fds(&self) -> Result<Sigma, ModelError> {
-        self.embedded_fds_in(ValuePool::global())
+        self.embedded_fds_in(&ValuePool::shared())
     }
 
     /// [`Sigma::embedded_fds`] against a dataset's own pool. (Embedded

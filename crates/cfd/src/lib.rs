@@ -40,4 +40,7 @@ pub mod violation;
 pub use cfd::{Cfd, CfdId, NormalCfd, Sigma};
 pub use ind::Ind;
 pub use pattern::{PatternRow, PatternValue};
-pub use violation::{check, constant_scan_with_kernel, detect, vio_of_tuple, ViolationReport};
+pub use violation::{
+    check, constant_scan_with_kernel, detect, detect_with_parts, vio_of_tuple, Engine, EngineParts,
+    ViolationReport,
+};

@@ -60,7 +60,7 @@ impl PatternValue {
     /// Compatibility shim for pool-less tests; rule loading against a
     /// dataset uses [`PatternValue::to_id_in`] with the dataset's pool.
     pub fn to_id(&self) -> PatternId {
-        self.to_id_in(ValuePool::global())
+        self.to_id_in(&ValuePool::shared())
     }
 
     /// Intern the constant (if any) into `pool`, producing the match-time
@@ -210,7 +210,7 @@ pub fn values_match(vals: &[Value], pats: &[PatternValue]) -> bool {
 /// Intern a pattern slice into the process-default shared pool
 /// (compatibility shim; see [`intern_patterns_in`]).
 pub fn intern_patterns(pats: &[PatternValue]) -> Vec<PatternId> {
-    intern_patterns_in(pats, ValuePool::global())
+    intern_patterns_in(pats, &ValuePool::shared())
 }
 
 /// Intern a pattern slice into `pool`, uncounted.

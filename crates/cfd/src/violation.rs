@@ -362,6 +362,22 @@ fn variable_group_conflicts(
     out
 }
 
+/// The owned, Σ-independent detection state of an [`Engine`]: group
+/// indexes, hash-indexed constant rules, and the subsumption-minimal
+/// variable CFD ids. `Engine` borrows its Σ, so long-lived owners (a
+/// resident dataset handle, `BATCHREPAIR`'s working state) hold an
+/// `EngineParts` next to their owned `Sigma` and reconstitute a borrowed
+/// [`Engine`] — or call [`detect_with_parts`] directly — per operation.
+#[derive(Clone)]
+pub struct EngineParts {
+    /// Group indexes for every LHS attribute list.
+    pub indexes: GroupIndexes,
+    /// Hash-indexed constant rules.
+    pub rules: ConstantRules,
+    /// Ids of the subsumption-minimal variable normal CFDs.
+    pub variable_ids: Vec<CfdId>,
+}
+
 /// All read-only state needed to evaluate violations efficiently: group
 /// indexes for the variable CFDs plus the hash-indexed constant rules.
 pub struct Engine<'a> {
@@ -440,6 +456,32 @@ impl<'a> Engine<'a> {
         (self.indexes, self.rules, self.variable_ids)
     }
 
+    /// [`Engine::into_parts`] as an owned [`EngineParts`].
+    pub fn to_parts(self) -> EngineParts {
+        EngineParts {
+            indexes: self.indexes,
+            rules: self.rules,
+            variable_ids: self.variable_ids,
+        }
+    }
+
+    /// Reconstitute an engine from previously built [`EngineParts`] and
+    /// the Σ they were built against. The caller owns the pairing: parts
+    /// built for one Σ reused against another produce garbage.
+    pub fn from_parts(sigma: &'a Sigma, parts: EngineParts) -> Self {
+        Engine {
+            sigma,
+            indexes: parts.indexes,
+            rules: parts.rules,
+            variable_ids: parts.variable_ids,
+        }
+    }
+
+    /// Ids of the subsumption-minimal variable normal CFDs.
+    pub fn variable_ids(&self) -> &[CfdId] {
+        &self.variable_ids
+    }
+
     /// The variable normal CFDs of Σ.
     pub fn variable_cfds(&self) -> impl Iterator<Item = &NormalCfd> + '_ {
         self.variable_ids.iter().map(|id| self.sigma.get(*id))
@@ -505,26 +547,26 @@ const PARALLEL_SCAN_THRESHOLD: usize = 8_192;
 
 /// The constant-rule pass of full detection: for every live tuple, count
 /// the fired-but-unsatisfied constant rules into `report`.
-fn constant_scan(rel: &Relation, engine: &Engine<'_>, report: &mut ViolationReport) {
+fn constant_scan(rel: &Relation, rules: &ConstantRules, report: &mut ViolationReport) {
     #[cfg(feature = "parallel")]
     if rel.len() >= PARALLEL_SCAN_THRESHOLD {
-        constant_scan_parallel(rel, engine, report);
+        constant_scan_parallel(rel, rules, report);
         return;
     }
-    if cfd_model::simd_enabled() && constant_scan_simd(rel, engine, report) {
+    if cfd_model::simd_enabled() && constant_scan_simd(rel, rules, report) {
         return;
     }
-    if constant_scan_columnar(rel, engine, report) {
+    if constant_scan_columnar(rel, rules, report) {
         return;
     }
-    constant_scan_rows(rel, engine, report);
+    constant_scan_rows(rel, rules, report);
 }
 
 /// Row-major reference scan — the fallback for relations without columns,
 /// and the baseline every other constant-scan path must agree with.
-fn constant_scan_rows(rel: &Relation, engine: &Engine<'_>, report: &mut ViolationReport) {
+fn constant_scan_rows(rel: &Relation, rules: &ConstantRules, report: &mut ViolationReport) {
     for (id, t) in rel.iter() {
-        engine.rules.for_each_fired(&t, |_, r| {
+        rules.for_each_fired(&t, |_, r| {
             if !r.rhs.satisfied_by_id(t.id(r.rhs_attr)) {
                 *report.per_tuple.entry(id).or_insert(0) += 1;
                 report.per_cfd[r.id.index()].push(id);
@@ -540,14 +582,14 @@ fn constant_scan_rows(rel: &Relation, engine: &Engine<'_>, report: &mut Violatio
 /// false when `rel` has no columns (row-major layout).
 fn constant_scan_columnar(
     rel: &Relation,
-    engine: &Engine<'_>,
+    rules: &ConstantRules,
     report: &mut ViolationReport,
 ) -> bool {
     if rel.schema().arity() > 0 && rel.column(AttrId(0)).is_none() {
         return false;
     }
     let live: Vec<TupleId> = rel.ids().collect();
-    for g in &engine.rules.groups {
+    for g in &rules.groups {
         let lhs_cols: Vec<&[ValueId]> = g
             .lhs
             .iter()
@@ -597,15 +639,14 @@ fn constant_scan_columnar(
 ///
 /// Returns false (nothing recorded) when the relation has no columns or
 /// a key column is too sparse to pay off, letting the scalar paths run.
-fn constant_scan_simd(rel: &Relation, engine: &Engine<'_>, report: &mut ViolationReport) -> bool {
+fn constant_scan_simd(rel: &Relation, rules: &ConstantRules, report: &mut ViolationReport) -> bool {
     if rel.schema().arity() == 0 || rel.column(AttrId(0)).is_none() {
         return false;
     }
     // Key-major is a win when keys are few (constant tableaux are small in
     // practice); with many distinct keys the per-tuple hash probe wins.
     const MAX_KEYS_PER_GROUP: usize = 64;
-    if engine
-        .rules
+    if rules
         .groups
         .iter()
         .any(|g| g.map.len() > MAX_KEYS_PER_GROUP)
@@ -619,7 +660,7 @@ fn constant_scan_simd(rel: &Relation, engine: &Engine<'_>, report: &mut Violatio
     for id in rel.ids() {
         live[id.index() >> 6] |= 1u64 << (id.index() & 63);
     }
-    for g in &engine.rules.groups {
+    for g in &rules.groups {
         if g.map.is_empty() {
             continue;
         }
@@ -764,7 +805,7 @@ fn collect_set_bits(mask: &[u64], slots: usize, hits: &mut Vec<u32>) {
 /// per-shard hit lists (cheap `Copy` ids only) that are merged in tuple-id
 /// order, so the result is identical to the serial scan.
 #[cfg(feature = "parallel")]
-fn constant_scan_parallel(rel: &Relation, engine: &Engine<'_>, report: &mut ViolationReport) {
+fn constant_scan_parallel(rel: &Relation, rules: &ConstantRules, report: &mut ViolationReport) {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -779,7 +820,7 @@ fn constant_scan_parallel(rel: &Relation, engine: &Engine<'_>, report: &mut Viol
                     let mut hits = Vec::new();
                     for id in part {
                         let t = rel.tuple(*id).expect("listed id is live");
-                        engine.rules.for_each_fired(&t, |_, r| {
+                        rules.for_each_fired(&t, |_, r| {
                             if !r.rhs.satisfied_by_id(t.id(r.rhs_attr)) {
                                 hits.push((*id, r.id));
                             }
@@ -806,16 +847,46 @@ fn constant_scan_parallel(rel: &Relation, engine: &Engine<'_>, report: &mut Viol
 /// Full violation detection: compute [`ViolationReport`] for `rel` w.r.t.
 /// `sigma`, reusing a prebuilt [`Engine`].
 pub fn detect_with_engine(rel: &Relation, sigma: &Sigma, engine: &Engine<'_>) -> ViolationReport {
+    detect_inner(
+        rel,
+        sigma,
+        &engine.indexes,
+        &engine.rules,
+        &engine.variable_ids,
+    )
+}
+
+/// Full violation detection against borrowed [`EngineParts`] — the
+/// resident-dataset entry point: a warm handle keeps one `EngineParts`
+/// alive across requests and detects without rebuilding or cloning any
+/// index.
+pub fn detect_with_parts(rel: &Relation, sigma: &Sigma, parts: &EngineParts) -> ViolationReport {
+    detect_inner(
+        rel,
+        sigma,
+        &parts.indexes,
+        &parts.rules,
+        &parts.variable_ids,
+    )
+}
+
+fn detect_inner(
+    rel: &Relation,
+    sigma: &Sigma,
+    indexes: &GroupIndexes,
+    rules: &ConstantRules,
+    variable_ids: &[CfdId],
+) -> ViolationReport {
     let mut report = ViolationReport {
         per_cfd: vec![Vec::new(); sigma.len()],
         ..Default::default()
     };
     // Constant rules: one indexed pass over the tuples (sharded across
     // threads under the `parallel` feature — each worker only reads ids).
-    constant_scan(rel, engine, &mut report);
+    constant_scan(rel, rules, &mut report);
     // Variable CFDs: group analysis.
-    for n in engine.variable_cfds() {
-        let idx = engine.indexes.for_lhs(n.lhs());
+    for n in variable_ids.iter().map(|id| sigma.get(*id)) {
+        let idx = indexes.for_lhs(n.lhs());
         for (key, group) in idx.groups() {
             if group.len() < 2 || !ids_match(key.as_slice(), n.lhs_pattern_ids()) {
                 continue;
@@ -850,9 +921,9 @@ pub fn constant_scan_with_kernel(
         per_cfd: vec![Vec::new(); sigma.len()],
         ..Default::default()
     };
-    let done = simd && constant_scan_simd(rel, engine, &mut report);
-    if !done && !constant_scan_columnar(rel, engine, &mut report) {
-        constant_scan_rows(rel, engine, &mut report);
+    let done = simd && constant_scan_simd(rel, &engine.rules, &mut report);
+    if !done && !constant_scan_columnar(rel, &engine.rules, &mut report) {
+        constant_scan_rows(rel, &engine.rules, &mut report);
     }
     for ids in &mut report.per_cfd {
         ids.sort();

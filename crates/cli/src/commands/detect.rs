@@ -1,12 +1,18 @@
 //! `cfdclean detect` — report CFD violations in a CSV file.
+//!
+//! Routed through the [`cfdclean::Session`] facade: the command builds a
+//! one-shot [`DatasetHandle`] and prints its
+//! [`detect_report`](DatasetHandle::detect_report) — the same rendering
+//! the resident `cfd-server` daemon returns, so the two front ends are
+//! byte-identical by construction.
 
 use std::io::Write;
 use std::path::Path;
 
-use cfd_cfd::violation::detect;
+use cfdclean::DatasetHandle;
 
 use crate::args::Args;
-use crate::io::{load_relation, load_sigma, CliError};
+use crate::io::{load_relation, read_rules_text, CliError};
 
 pub const USAGE: &str = "cfdclean detect --data D.csv --rules R.cfd [--limit N] [--no-simd]
   Report which tuples violate which CFDs.
@@ -27,43 +33,10 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
 
     let rel = load_relation(Path::new(&data))?;
-    let sigma = load_sigma(&rel, Path::new(&rules))?;
-    let report = detect(&rel, &sigma);
-
-    writeln!(out, "{} tuples, {} normalized CFDs", rel.len(), sigma.len())?;
-    if report.total == 0 {
-        writeln!(out, "clean: D |= \u{3a3}")?;
-        return Ok(());
-    }
-    writeln!(
-        out,
-        "dirty: {} violations across {} tuples",
-        report.total,
-        report.per_tuple.len()
-    )?;
-    // Group the normalized rows back by their source CFD for readability.
-    let mut by_source: std::collections::BTreeMap<&str, (usize, Vec<cfd_model::TupleId>)> =
-        std::collections::BTreeMap::new();
-    for (idx, ids) in report.per_cfd.iter().enumerate() {
-        if ids.is_empty() {
-            continue;
-        }
-        let n = sigma.get(cfd_cfd::CfdId(idx as u32));
-        let entry = by_source.entry(n.source_name()).or_default();
-        entry.0 += ids.len();
-        for id in ids.iter().take(limit) {
-            if entry.1.len() < limit && !entry.1.contains(id) {
-                entry.1.push(*id);
-            }
-        }
-    }
-    for (name, (count, examples)) in by_source {
-        writeln!(out, "  {name}: {count} violating tuple(s)")?;
-        for id in examples {
-            let t = rel.tuple(id).expect("reported tuple is live");
-            let rendered: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
-            writeln!(out, "    #{} = ({})", id.0, rendered.join(", "))?;
-        }
-    }
+    let name = rel.schema().name().to_string();
+    let mut handle = DatasetHandle::from_relation(name, rel);
+    let rules_text = read_rules_text(Path::new(&rules))?;
+    handle.bind_rules(&rules_text, &rules)?;
+    write!(out, "{}", handle.detect_report(limit)?)?;
     Ok(())
 }

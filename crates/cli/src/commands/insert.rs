@@ -1,17 +1,22 @@
 //! `cfdclean insert` — incremental repair: clean a batch of new tuples
 //! against a clean base (§5's INCREPAIR in its native setting).
+//!
+//! Routed through the [`cfdclean::Session`] facade's
+//! [`DatasetHandle::insert`], which fixes the canonical pool
+//! id-assignment order: base CSV first, then the rules' pattern
+//! constants (bound before ΔD arrives), then the update values — the
+//! same order the resident `cfd-server` daemon interns in, so both
+//! front ends produce byte-identical merges.
 
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
-use cfd_cfd::violation::{check, detect};
-use cfd_repair::{inc_repair, IncConfig, Ordering};
+use cfd_repair::Ordering;
+use cfdclean::DatasetHandle;
 
 use crate::args::Args;
-use crate::io::{
-    load_relation, load_relation_in, load_sigma, load_weights, save_relation, CliError,
-};
+use crate::io::{load_relation, read_rules_text, CliError};
 
 pub const USAGE: &str =
     "cfdclean insert --base CLEAN.csv --updates NEW.csv --rules R.cfd --out MERGED.csv
@@ -36,66 +41,35 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let k: usize = args.get_parsed("k", 2)?;
     args.reject_unknown()?;
 
-    let base = load_relation(Path::new(&base_path))?;
-    // ΔD's tuples are inserted into `base`, so their values must live in
-    // the base's pool — load into it rather than a fresh one.
-    let mut updates = load_relation_in(Path::new(&updates_path), base.pool().clone())?;
-    if updates.schema().arity() != base.schema().arity() {
-        return Err(format!(
-            "updates have {} attributes, base has {}",
-            updates.schema().arity(),
-            base.schema().arity()
-        )
-        .into());
-    }
-    if let Some(w) = &weights {
-        load_weights(&mut updates, Path::new(w))?;
-    }
-    let sigma = load_sigma(&base, Path::new(&rules))?;
-
-    // The paper's contract: D |= Σ before ΔD arrives.
-    let base_report = detect(&base, &sigma);
-    if base_report.total > 0 {
-        return Err(format!(
-            "base is not clean: {} violation(s); run `cfdclean repair` on it first",
-            base_report.total
-        )
-        .into());
-    }
-
-    let delta: Vec<cfd_model::Tuple> = updates.iter().map(|(_, t)| t.to_tuple()).collect();
-    let t0 = Instant::now();
     let ordering = match ordering.as_str() {
         "v" => Ordering::Violations,
         "w" => Ordering::Weight,
         "l" => Ordering::Linear,
         other => return Err(format!("unknown --ordering {other:?} (v, w, l)").into()),
     };
-    let outcome = inc_repair(
-        &base,
-        &delta,
-        &sigma,
-        IncConfig {
-            k,
-            ordering,
-            ..IncConfig::default()
-        },
-    )?;
+
+    let base = load_relation(Path::new(&base_path))?;
+    let name = base.schema().name().to_string();
+    let mut handle = DatasetHandle::from_relation(name, base);
+    let rules_text = read_rules_text(Path::new(&rules))?;
+    handle.bind_rules(&rules_text, &rules)?;
+
+    let updates_csv =
+        std::fs::read(&updates_path).map_err(|e| format!("cannot open {updates_path}: {e}"))?;
+    let weights_csv = match &weights {
+        Some(w) => Some(std::fs::read(w).map_err(|e| format!("cannot open {w}: {e}"))?),
+        None => None,
+    };
+
+    let t0 = Instant::now();
+    let run = handle.insert(&updates_csv, weights_csv.as_deref(), ordering, k)?;
     let elapsed = t0.elapsed();
 
-    if !check(&outcome.repair, &sigma) {
-        return Err("internal error: merged relation does not satisfy the rules".into());
-    }
-    save_relation(&outcome.repair, Path::new(&out_path))?;
+    std::fs::write(&out_path, &run.csv).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     writeln!(
         out,
         "inserted {} tuple(s) into {} base rows: {} modified, {} null(s), cost {:.3}, {:.2?} -> {out_path}",
-        delta.len(),
-        base.len(),
-        outcome.stats.modified,
-        outcome.stats.nulls_introduced,
-        outcome.stats.cost,
-        elapsed
+        run.inserted, run.base_rows, run.modified, run.nulls, run.cost, elapsed
     )?;
     Ok(())
 }

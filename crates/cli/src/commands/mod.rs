@@ -3,9 +3,11 @@
 //! without spawning processes.
 
 pub mod certify;
+pub mod client;
 pub mod detect;
 pub mod discover;
 pub mod generate;
 pub mod insert;
 pub mod repair;
+pub mod serve;
 pub mod snapshot;

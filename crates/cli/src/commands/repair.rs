@@ -1,21 +1,24 @@
 //! `cfdclean repair` — whole-database repair (BATCHREPAIR or an
 //! INCREPAIR variant in §5.3 mode).
+//!
+//! Routed through the [`cfdclean::Session`] facade: flags lower onto
+//! [`cfd_repair::RepairOptions`] and the repair runs on a one-shot
+//! [`DatasetHandle`] — the identical path the `cfd-server` daemon
+//! serves, so the written CSV and edit-log bytes match a daemon answer
+//! for the same input and options.
 
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
 use cfd_cfd::violation::check;
-use cfd_model::diff::{dif, EditLog};
-use cfd_repair::{
-    batch_repair, repair_via_incremental, BatchConfig, IncConfig, Ordering, Parallelism,
-    PickStrategy,
-};
+use cfd_repair::{Algorithm, Ordering, PickStrategy, RepairOptions};
+use cfdclean::DatasetHandle;
 
 use crate::args::Args;
 use crate::io::{
-    load_edit_log, load_relation, load_sigma, load_weights, open_catalog, save_edit_log,
-    save_relation, sigma_from_text, CliError,
+    load_edit_log, load_relation, load_weights, open_catalog, read_rules_text, save_relation,
+    CliError,
 };
 
 pub const USAGE: &str = "cfdclean repair (--data D.csv | --snapshot NAME --catalog DIR)
@@ -63,16 +66,13 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let algorithm = args.get("algorithm").unwrap_or("batch").to_string();
     let pick = args.get("pick").unwrap_or("global").to_string();
     let k: usize = args.get_parsed("k", 2)?;
-    let parallelism = match args.get("threads") {
-        Some(_) => Parallelism::threads(args.get_parsed("threads", 1)?),
-        None => Parallelism::default(),
+    let threads = match args.get("threads") {
+        Some(_) => Some(args.get_parsed("threads", 1usize)?),
+        None => None,
     };
     let speculate = match args.get("speculate") {
-        Some(_) => {
-            let k: usize = args.get_parsed("speculate", 0)?;
-            k.min(cfd_repair::shard::MAX_SPECULATE)
-        }
-        None => cfd_repair::shard::speculation_from_env(),
+        Some(_) => Some(args.get_parsed("speculate", 0usize)?),
+        None => None,
     };
     let emit_edits = args.get("emit-edits").map(str::to_string);
     let apply_edits = args.get("apply-edits").map(str::to_string);
@@ -87,6 +87,36 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     if emit_edits.is_some() && apply_edits.is_some() {
         return Err("--emit-edits and --apply-edits are mutually exclusive".into());
+    }
+
+    let algorithm = match algorithm.as_str() {
+        "batch" => Algorithm::Batch,
+        "v-inc" => Algorithm::Incremental(Ordering::Violations),
+        "w-inc" => Algorithm::Incremental(Ordering::Weight),
+        "l-inc" => Algorithm::Incremental(Ordering::Linear),
+        other => {
+            return Err(
+                format!("unknown --algorithm {other:?} (batch, v-inc, w-inc, l-inc)").into(),
+            )
+        }
+    };
+    let pick = match pick.as_str() {
+        "global" => PickStrategy::GlobalBest,
+        "dependency" => PickStrategy::DependencyOrdered,
+        other => return Err(format!("unknown --pick {other:?}").into()),
+    };
+    let mut opts = RepairOptions::new().algorithm(algorithm).pick(pick).k(k);
+    if let Some(n) = threads {
+        opts = opts.threads(n);
+    }
+    if let Some(s) = speculate {
+        opts = opts.speculate(s);
+    }
+    if no_simd {
+        // Explicit override in addition to force_simd: if a loaded
+        // library already resolved the process switch, the per-call
+        // config still wins.
+        opts = opts.simd(false);
     }
 
     // The input: a CSV file or a catalog snapshot (which may carry its
@@ -108,10 +138,14 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(w) = &weights {
         load_weights(&mut rel, Path::new(w))?;
     }
-    let sigma = match (&rules, &embedded_rules) {
-        (Some(path), _) => load_sigma(&rel, Path::new(path))?,
-        (None, Some(text)) => sigma_from_text(
-            &rel,
+    let name = rel.schema().name().to_string();
+    let mut handle = DatasetHandle::from_relation(name, rel);
+    match (&rules, &embedded_rules) {
+        (Some(path), _) => {
+            let text = read_rules_text(Path::new(path))?;
+            handle.bind_rules(&text, path)?;
+        }
+        (None, Some(text)) => handle.bind_rules(
             text,
             &format!(
                 "snapshot {:?} embedded rules",
@@ -125,108 +159,28 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 CliError::from("--rules is required with --data")
             })
         }
-    };
+    }
 
     if let Some(log_path) = &apply_edits {
-        return apply_edit_log(&rel, &sigma, log_path, &out_path, out);
+        return apply_edit_log(handle.relation(), handle.sigma()?, log_path, &out_path, out);
     }
 
     let t0 = Instant::now();
-    let (repair, detail) = match algorithm.as_str() {
-        "batch" => {
-            let pick = match pick.as_str() {
-                "global" => PickStrategy::GlobalBest,
-                "dependency" => PickStrategy::DependencyOrdered,
-                other => return Err(format!("unknown --pick {other:?}").into()),
-            };
-            let outcome = batch_repair(
-                &rel,
-                &sigma,
-                BatchConfig {
-                    pick,
-                    parallelism,
-                    speculate,
-                    // Explicit override in addition to force_simd: if a
-                    // loaded library already resolved the process switch,
-                    // the per-call config still wins.
-                    simd: if no_simd { Some(false) } else { None },
-                    ..BatchConfig::default()
-                },
-            )?;
-            let mut d = format!(
-                "steps {} merges {} consts {} nulls {} cost {:.3}",
-                outcome.stats.steps,
-                outcome.stats.merges,
-                outcome.stats.consts_set,
-                outcome.stats.nulls_set,
-                outcome.stats.cost
-            );
-            if let Some(s) = outcome.speculation {
-                d.push_str(&format!(
-                    " | speculative rounds {} commits {} aborts {} (rate {:.2})",
-                    s.rounds,
-                    s.commits,
-                    s.aborts,
-                    s.abort_rate()
-                ));
-            }
-            (outcome.repair, d)
-        }
-        "v-inc" | "w-inc" | "l-inc" => {
-            let ordering = match algorithm.as_str() {
-                "v-inc" => Ordering::Violations,
-                "w-inc" => Ordering::Weight,
-                _ => Ordering::Linear,
-            };
-            let outcome = repair_via_incremental(
-                &rel,
-                &sigma,
-                IncConfig {
-                    k,
-                    ordering,
-                    parallelism,
-                    simd: if no_simd { Some(false) } else { None },
-                    ..IncConfig::default()
-                },
-            )?;
-            let d = format!(
-                "reinserted {} modified {} nulls {} cost {:.3}",
-                outcome.reinserted.len(),
-                outcome.stats.modified,
-                outcome.stats.nulls_introduced,
-                outcome.stats.cost
-            );
-            (outcome.repair, d)
-        }
-        other => {
-            return Err(
-                format!("unknown --algorithm {other:?} (batch, v-inc, w-inc, l-inc)").into(),
-            )
-        }
-    };
+    let run = handle.repair(&opts, emit_edits.is_some())?;
     let elapsed = t0.elapsed();
 
-    // The repair theorem guarantees this; verify anyway before writing.
-    if !check(&repair, &sigma) {
-        return Err("internal error: repair does not satisfy the rules".into());
-    }
-    save_relation(&repair, Path::new(&out_path))?;
-    if let Some(log_path) = &emit_edits {
-        let log =
-            EditLog::between(&rel, &repair).map_err(|e| format!("cannot derive edit log: {e}"))?;
-        save_edit_log(&log, &rel, Path::new(log_path))?;
+    save_relation(&run.repair, Path::new(&out_path))?;
+    if let (Some(log_path), Some(bytes)) = (&emit_edits, &run.edit_log) {
+        std::fs::write(log_path, bytes).map_err(|e| format!("cannot write {log_path}: {e}"))?;
     }
 
-    let changes = dif(&rel, &repair);
     writeln!(
         out,
-        "repaired {} tuples with {algorithm}: {} cell(s) changed in {:.2?} -> {out_path}",
-        rel.len(),
-        changes,
-        elapsed
+        "repaired {} tuples with {}: {} cell(s) changed in {:.2?} -> {out_path}",
+        run.tuples, run.algorithm, run.cells_changed, elapsed
     )?;
     if stats {
-        writeln!(out, "  {detail}")?;
+        writeln!(out, "  {}", run.detail)?;
     }
     if let Some(log_path) = &emit_edits {
         writeln!(out, "  edit log -> {log_path}")?;

@@ -1,0 +1,91 @@
+//! `cfdclean serve` — run the resident repair daemon.
+//!
+//! A thin shell over [`cfd_server::Server`]: parse the listen address
+//! and session bounds, bind, and block in the serve loop until a client
+//! sends `shutdown`.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cfd_server::{Server, ServerConfig, DEFAULT_MAX_FRAME};
+
+use crate::args::Args;
+use crate::io::CliError;
+
+pub const USAGE: &str = "cfdclean serve (--tcp ADDR | --unix PATH)
+                [--catalog DIR] [--capacity N]
+                [--max-frame BYTES] [--timeout-ms N]
+  Run the resident repair daemon: datasets stay open (relation, value
+  dictionary, detection index) across requests; clients drive it with
+  `cfdclean client <op>`. Results are byte-identical to the equivalent
+  one-shot commands.
+    --tcp         listen address, e.g. 127.0.0.1:7744
+    --unix        listen on a Unix-domain socket at PATH (stale socket
+                  files are replaced)
+    --catalog     snapshot catalog directory (enables the snapshot ops)
+    --capacity    max resident datasets; the least-recently-used one is
+                  evicted (memory provably returned) to admit new opens
+    --max-frame   per-connection frame-size limit in bytes (default 32 MiB)
+    --timeout-ms  per-request deadline; a request past it answers a
+                  Timeout error while the work completes in background";
+
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let tcp = args.get("tcp").map(str::to_string);
+    let unix = args.get("unix").map(str::to_string);
+    let catalog = args.get("catalog").map(str::to_string);
+    let capacity = match args.get("capacity") {
+        Some(_) => Some(args.get_parsed("capacity", 1usize)?),
+        None => None,
+    };
+    let max_frame: usize = args.get_parsed("max-frame", DEFAULT_MAX_FRAME)?;
+    let timeout_ms = match args.get("timeout-ms") {
+        Some(_) => Some(args.get_parsed("timeout-ms", 0u64)?),
+        None => None,
+    };
+    args.reject_unknown()?;
+
+    let config = ServerConfig {
+        catalog: catalog.map(PathBuf::from),
+        capacity,
+        max_frame,
+        request_timeout: timeout_ms.map(Duration::from_millis),
+    };
+    let server = Server::new(config)?;
+
+    match (tcp, unix) {
+        (Some(_), Some(_)) => Err("--tcp and --unix are mutually exclusive".into()),
+        (None, None) => Err("one of --tcp or --unix is required".into()),
+        (Some(addr), None) => {
+            let listener =
+                TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            writeln!(out, "listening on tcp {local}")?;
+            out.flush()?;
+            server.serve_tcp(listener)?;
+            writeln!(out, "shut down")?;
+            Ok(())
+        }
+        (None, Some(path)) => {
+            #[cfg(unix)]
+            {
+                // A dead daemon leaves its socket file behind; replace it.
+                let _ = std::fs::remove_file(&path);
+                let listener = std::os::unix::net::UnixListener::bind(&path)
+                    .map_err(|e| format!("cannot bind {path}: {e}"))?;
+                writeln!(out, "listening on unix {path}")?;
+                out.flush()?;
+                server.serve_unix(listener, PathBuf::from(&path))?;
+                let _ = std::fs::remove_file(&path);
+                writeln!(out, "shut down")?;
+                Ok(())
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err("--unix is not supported on this platform".into())
+            }
+        }
+    }
+}

@@ -67,8 +67,14 @@ pub fn save_weights(rel: &Relation, path: &Path) -> Result<(), CliError> {
 
 /// Parse a rule file against `rel`'s schema and normalize it into a Σ.
 pub fn load_sigma(rel: &Relation, path: &Path) -> Result<Sigma, CliError> {
-    let text = fs::read_to_string(path).map_err(|e| context("cannot read", path, e))?;
+    let text = read_rules_text(path)?;
     sigma_from_text(rel, &text, &path.display().to_string())
+}
+
+/// Read a rule file's text; parsing happens where the rules are bound
+/// (the [`cfdclean::Session`] facade names this path in its errors).
+pub fn read_rules_text(path: &Path) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| context("cannot read", path, e))
 }
 
 /// Parse rule text (from a file or a snapshot's embedded RULES segment)

@@ -12,6 +12,8 @@
 //! | `certify`  | §6 sampling certification of a repair |
 //! | `generate` | emit the paper's synthetic workload |
 //! | `snapshot` | save / load / describe persistent dataset snapshots |
+//! | `serve`    | run the resident repair daemon (datasets stay warm) |
+//! | `client`   | drive a running daemon |
 
 use std::io::Write;
 
@@ -47,6 +49,8 @@ commands:
   certify    certify a repair's accuracy by stratified sampling
   generate   emit a synthetic order workload
   snapshot   save, load, or describe persistent dataset snapshots
+  serve      run the resident repair daemon
+  client     drive a running daemon (same ops, results byte-identical)
   help       show help (try: cfdclean help rules)
 
 run `cfdclean <command>` without flags for that command's usage";
@@ -61,6 +65,7 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
     let usage_for = |u: &str| -> CliError { u.into() };
     match command {
         "detect" | "repair" | "insert" | "discover" | "certify" | "generate" | "snapshot"
+        | "serve" | "client"
             if rest.is_empty() =>
         {
             Err(usage_for(usage_of(command)))
@@ -116,6 +121,16 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
             commands::snapshot::run(action, &args, out)
                 .map_err(|e| format!("{e}\n\n{usage}").into())
         }
+        "serve" => run_cmd(rest, &[], out, commands::serve::run, commands::serve::USAGE),
+        "client" => {
+            let Some(op) = rest.first().map(|s| s.as_ref()) else {
+                return Err(usage_for(commands::client::USAGE));
+            };
+            let usage = commands::client::USAGE;
+            let args = args::Args::parse(&rest[1..], &["no-simd", "stats"])
+                .map_err(|e| format!("{e}\n\n{usage}"))?;
+            commands::client::run(op, &args, out).map_err(|e| format!("{e}\n\n{usage}").into())
+        }
         "help" => {
             match rest.first().map(|s| s.as_ref()) {
                 Some("rules") => writeln!(out, "{RULES_HELP}")?,
@@ -137,6 +152,8 @@ fn usage_of(command: &str) -> &'static str {
         "certify" => commands::certify::USAGE,
         "generate" => commands::generate::USAGE,
         "snapshot" => commands::snapshot::USAGE,
+        "serve" => commands::serve::USAGE,
+        "client" => commands::client::USAGE,
         _ => USAGE,
     }
 }

@@ -42,8 +42,8 @@
 //!   tuple can be tracked through repairs even as its values change (the
 //!   "temporary unique tuple id" of §3.1); layout-selectable via
 //!   [`StorageLayout`] and pivotable with `Relation::to_layout`.
-//! * [`Database`] — named relations sharing the global pool (exposed via
-//!   [`Database::pool`]).
+//! * [`Database`] — named relations sharing one database-owned pool
+//!   (exposed via [`Database::pool`]).
 //! * [`ActiveDomain`] — `adom(A, D)` as an id multiset, the candidate pool
 //!   repairs draw new values from (the algorithms never invent values).
 //! * [`index::HashIndex`] — hash indexes over attribute lists keyed on

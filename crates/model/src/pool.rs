@@ -46,7 +46,9 @@
 //! **process-default shared pool** ([`ValuePool::shared`]) — a
 //! compatibility shim for tests and ad-hoc construction. Code on the
 //! dataset path must thread the owning pool explicitly; the only callers
-//! of [`ValuePool::global`] are these documented shims and tests.
+//! of [`ValuePool::shared`] are these documented shims and tests. (The
+//! old `ValuePool::global()` by-reference shim is gone; take a
+//! [`shared`](ValuePool::shared) handle instead.)
 //!
 //! ## Occurrence counts and what bumps them
 //!
@@ -132,7 +134,7 @@ impl ValueId {
     /// ([`ValuePool::intern`](ValuePool::intern)) instead.
     #[inline]
     pub fn of(v: &Value) -> ValueId {
-        ValuePool::global().intern(v)
+        ValuePool::shared_ref().intern(v)
     }
 
     /// Resolve this id from the process-default shared pool.
@@ -142,7 +144,7 @@ impl ValueId {
     /// ([`ValuePool::resolve`](ValuePool::resolve)).
     #[inline]
     pub fn value(self) -> Value {
-        ValuePool::global().resolve(self)
+        ValuePool::shared_ref().resolve(self)
     }
 }
 
@@ -203,6 +205,13 @@ struct PoolInner {
     /// A freed slot holds `Value::Null` as a tombstone (real interns of
     /// null short-circuit to slot 0, so no live slot above 0 is null).
     free: Vec<u32>,
+    /// Slot ids tombstoned by [`ValuePool::seal_ids`]: payload and
+    /// dictionary entry dropped like a compacted slot, but deliberately
+    /// kept **off** the free list so subsequent interns stay in append
+    /// order (free-list reuse is LIFO, which would permute `ValueId`
+    /// tie-break order relative to a fresh pool). The next
+    /// [`ValuePool::compact`] drains these onto the free list.
+    sealed: Vec<u32>,
 }
 
 impl PoolInner {
@@ -247,6 +256,7 @@ impl ValuePool {
                 counts: vec![AtomicU64::new(0)],
                 renders: vec![OnceLock::new()],
                 free: Vec::new(),
+                sealed: Vec::new(),
             }),
         }
     }
@@ -267,17 +277,9 @@ impl ValuePool {
         ValuePool::shared_ref().clone()
     }
 
-    fn shared_ref() -> &'static Arc<ValuePool> {
+    pub(crate) fn shared_ref() -> &'static Arc<ValuePool> {
         static GLOBAL: OnceLock<Arc<ValuePool>> = OnceLock::new();
         GLOBAL.get_or_init(ValuePool::new_handle)
-    }
-
-    /// Deprecated shim: the process-default shared pool by reference.
-    /// Kept for the no-pool convenience constructors and tests; new code
-    /// takes an `Arc<ValuePool>` handle ([`shared`](ValuePool::shared) or
-    /// [`new_handle`](ValuePool::new_handle)) instead.
-    pub fn global() -> &'static ValuePool {
-        ValuePool::shared_ref()
     }
 
     /// Intern `v`, returning its stable id. `Value::Null` always maps to
@@ -436,10 +438,53 @@ impl ValuePool {
         }
     }
 
+    /// Tombstone every count-zero slot in `ids` **without** putting it on
+    /// the free list: the value payload, cached render, and dictionary
+    /// entry are dropped (so the text could be re-interned later under a
+    /// fresh id), but the slot id is not reused until the next
+    /// [`compact`](ValuePool::compact). Returns the number of slots
+    /// sealed; ids with a nonzero count, already-freed slots, [`NULL_ID`],
+    /// and ids this pool never issued are skipped.
+    ///
+    /// This is the resident-service ΔD hygiene path: after an `INCREPAIR`
+    /// insert request, the delta's values must release their memory, yet
+    /// later requests must keep **append-order** id assignment — free-list
+    /// reuse hands slots back in LIFO order, which would permute the
+    /// `(cost, use_count, ValueId, …)` repair tie-break relative to the
+    /// equivalent one-shot run. The caller owns the exclusion argument:
+    /// count-zero ids still referenced by live state (a bound `Sigma`'s
+    /// uncounted pattern constants, probe values) **will** be sealed if
+    /// passed here, so filter them out first.
+    pub fn seal_ids<I: IntoIterator<Item = ValueId>>(&self, ids: I) -> usize {
+        let mut inner = self.inner.write().expect("pool lock poisoned");
+        let mut seen = std::collections::HashSet::new();
+        let mut sealed = 0;
+        for id in ids {
+            let i = id.index();
+            if id.is_null() || i >= inner.values.len() || !seen.insert(i) {
+                continue;
+            }
+            if inner.values[i].is_null() {
+                continue; // freed or already sealed
+            }
+            if inner.counts[i].load(Ordering::Relaxed) != 0 {
+                continue;
+            }
+            let v = std::mem::replace(&mut inner.values[i], Value::Null);
+            inner.ids.remove(&v);
+            inner.renders[i] = OnceLock::new();
+            inner.sealed.push(i as u32);
+            sealed += 1;
+        }
+        sealed
+    }
+
     /// Free every count-zero slot: drop the value payload and cached
     /// render, remove the dictionary entry, and put the slot id on the
-    /// free list for reuse by future interns. Returns the number of slots
-    /// freed. Slot 0 (`null`) is never freed.
+    /// free list for reuse by future interns (sealed slots — see
+    /// [`seal_ids`](ValuePool::seal_ids) — are drained onto the free list
+    /// here too). Returns the number of slots freed. Slot 0 (`null`) is
+    /// never freed.
     ///
     /// The caller owns the safety argument: compact only when nothing
     /// still holds ids for the retired values — no live relation, index,
@@ -450,7 +495,11 @@ impl ValuePool {
     /// lifetimes (the CLI and catalog paths do the latter).
     pub fn compact(&self) -> usize {
         let mut inner = self.inner.write().expect("pool lock poisoned");
-        let mut freed = 0;
+        // Sealed slots already gave up their payloads; compacting is when
+        // they finally become reusable.
+        let sealed = std::mem::take(&mut inner.sealed);
+        let mut freed = sealed.len();
+        inner.free.extend(sealed);
         for i in 1..inner.values.len() {
             if inner.values[i].is_null() {
                 continue; // already a free-list tombstone
@@ -550,10 +599,11 @@ impl ValuePool {
     }
 
     /// Number of distinct values interned (including `null`), excluding
-    /// slots freed by [`compact`](ValuePool::compact).
+    /// slots freed by [`compact`](ValuePool::compact) or tombstoned by
+    /// [`seal_ids`](ValuePool::seal_ids).
     pub fn len(&self) -> usize {
         let inner = self.inner.read().expect("pool lock poisoned");
-        inner.values.len() - inner.free.len()
+        inner.values.len() - inner.free.len() - inner.sealed.len()
     }
 
     /// A pool is never empty — `null` is always present.
@@ -839,6 +889,40 @@ mod tests {
         }
         assert_eq!(pool.compact(), 2);
         assert_eq!(pool.len(), 1); // only null remains
+    }
+
+    #[test]
+    fn seal_ids_releases_memory_but_keeps_append_order() {
+        let pool = ValuePool::new();
+        let base = pool.intern(&Value::str("base"));
+        let d1 = pool.intern(&Value::str("delta-1"));
+        let d2 = pool.intern(&Value::str("delta-2"));
+        let probe = pool.intern_uncounted(&Value::str("probe"));
+
+        // Retire the delta occurrences and seal their slots; `base` keeps
+        // its count and survives, `probe` is excluded by the caller.
+        pool.retire_ids([d1, d2]);
+        assert_eq!(pool.seal_ids([base, d1, d2, NULL_ID, ValueId(9999)]), 2);
+        assert_eq!(pool.len(), 3, "null + base + probe remain");
+        assert_eq!(pool.lookup(&Value::str("delta-1")), None);
+        assert_eq!(pool.resolve(base), Value::str("base"));
+        assert_eq!(pool.resolve(probe), Value::str("probe"));
+
+        // Sealed slots are NOT reused: new interns append, and re-interning
+        // sealed text gets a fresh append-order id — so the relative id
+        // order of any two new values matches a pool that never held the
+        // delta at all.
+        let fresh = pool.intern(&Value::str("fresh"));
+        let again = pool.intern(&Value::str("delta-2"));
+        assert!(fresh.0 > d2.0, "appended past the sealed region");
+        assert!(again.0 > fresh.0, "re-intern appends in arrival order");
+        // Sealing twice is a no-op; compact finally recycles the slots.
+        assert_eq!(pool.seal_ids([d1, d2]), 0);
+        pool.retire_ids([fresh, again]);
+        // 2 sealed + 2 retired + the uncounted probe (count zero, as
+        // compact has always treated it).
+        assert_eq!(pool.compact(), 5);
+        assert_eq!(pool.len(), 2, "null + base remain");
     }
 
     #[test]

@@ -724,9 +724,11 @@ mod tests {
 
     #[test]
     fn from_columns_marks_all_live() {
-        let pool = ValuePool::global();
+        // `materialize` hands back owned `Tuple`s, which resolve through
+        // the process-default shared pool — intern there.
+        let pool = ValuePool::shared();
         let cols = intern_columns(
-            pool,
+            &pool,
             &[
                 vec![Value::str("a"), Value::str("b")],
                 vec![Value::int(1), Value::int(2)],

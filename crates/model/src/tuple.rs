@@ -52,7 +52,7 @@ pub trait TupleView {
     /// process-default shared pool — all an owned [`Tuple`] knows;
     /// views scoped to a dataset pool override this.
     fn pool(&self) -> &crate::pool::ValuePool {
-        crate::pool::ValuePool::global()
+        crate::pool::ValuePool::shared_ref()
     }
 
     /// Is `t[A]` null?

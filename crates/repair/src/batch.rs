@@ -38,7 +38,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
-use cfd_cfd::violation::{detect_with_engine, ConstantRules, Engine, GroupIndexes};
+use cfd_cfd::violation::{detect_with_parts, ConstantRules, Engine, EngineParts, GroupIndexes};
 use cfd_cfd::{CfdId, NormalCfd, Sigma};
 use cfd_model::index::HashIndex;
 use cfd_model::{
@@ -429,6 +429,20 @@ fn score_shard(
 
 impl<'a> BatchState<'a> {
     pub(crate) fn new(orig: &'a Relation, sigma: &'a Sigma, config: BatchConfig) -> Self {
+        // Index contents are identical at any thread count, and `work`
+        // below is an id-stable clone of `orig`, so building against the
+        // original here equals building against the working copy — which
+        // is what lets a resident dataset hand in prebuilt parts.
+        let parts = Engine::build_with_threads(orig, sigma, config.parallelism.get()).to_parts();
+        Self::new_with_parts(orig, sigma, config, parts)
+    }
+
+    pub(crate) fn new_with_parts(
+        orig: &'a Relation,
+        sigma: &'a Sigma,
+        config: BatchConfig,
+        parts: EngineParts,
+    ) -> Self {
         let work = orig.clone();
         let arity = orig.schema().arity();
         // Cell grid covers the id space including tombstones; dead slots
@@ -437,8 +451,7 @@ impl<'a> BatchState<'a> {
         let eq = EqClasses::new(slots, arity, |tid, a| {
             orig.tuple(tid).map(|t| t.weight(a)).unwrap_or(0.0)
         });
-        let engine = Engine::build_with_threads(&work, sigma, config.parallelism.get());
-        let report = detect_with_engine(&work, sigma, &engine);
+        let report = detect_with_parts(&work, sigma, &parts);
         let dirty = report
             .per_cfd
             .iter()
@@ -448,7 +461,11 @@ impl<'a> BatchState<'a> {
         // Reuse the detection engine's structures instead of rebuilding:
         // the group indexes and hashed constant rules are exactly what the
         // repair loop needs.
-        let (indexes, rules, variable_ids) = engine.into_parts();
+        let EngineParts {
+            indexes,
+            rules,
+            variable_ids,
+        } = parts;
         let shapes = shard::variable_shapes(sigma);
         let census = GroupCensus::build(&work, &shapes, &config.parallelism);
         let mut state = BatchState {
@@ -1657,6 +1674,23 @@ pub fn batch_repair(
     config: BatchConfig,
 ) -> Result<BatchOutcome, RepairError> {
     let state = BatchState::new(d, sigma, config);
+    let outcome = state.run()?;
+    debug_assert!(cfd_cfd::check(&outcome.repair, sigma));
+    Ok(outcome)
+}
+
+/// [`batch_repair`] reusing prebuilt detection [`EngineParts`] — the
+/// resident-dataset entry point. A warm handle keeps the parts built at
+/// rule-bind time and clones them per repair, skipping the index
+/// rebuild. Parts contents are thread-count-independent, so the result
+/// is byte-identical to [`batch_repair`] with the same config.
+pub fn batch_repair_with_parts(
+    d: &Relation,
+    sigma: &Sigma,
+    parts: EngineParts,
+    config: BatchConfig,
+) -> Result<BatchOutcome, RepairError> {
+    let state = BatchState::new_with_parts(d, sigma, config, parts);
     let outcome = state.run()?;
     debug_assert!(cfd_cfd::check(&outcome.repair, sigma));
     Ok(outcome)

@@ -150,7 +150,7 @@ pub fn normalized_distance(v: &Value, w: &Value) -> f64 {
 /// [`DistanceCache::for_pool`]). Equal ids short-circuit to 0 without
 /// resolving.
 pub fn normalized_distance_ids(a: ValueId, b: ValueId) -> f64 {
-    normalized_distance_ids_in(a, b, ValuePool::global())
+    normalized_distance_ids_in(a, b, &ValuePool::shared())
 }
 
 /// [`normalized_distance`] on interned ids, resolving through `pool`.

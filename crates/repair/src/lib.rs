@@ -69,20 +69,31 @@ pub mod equivalence;
 pub mod incremental;
 pub mod ind_repair;
 pub mod lhs_index;
+pub mod options;
 pub mod pricing;
 pub mod shard;
 pub mod speculative;
 pub mod subset;
 
 pub use batch::{
-    batch_repair, batch_repair_traced, BatchConfig, BatchOutcome, BatchStats, MergePricing,
-    PickStrategy,
+    batch_repair, batch_repair_traced, batch_repair_with_parts, BatchOutcome, BatchStats,
+    MergePricing, PickStrategy,
 };
-pub use incremental::{inc_repair, IncConfig, IncOutcome, Ordering};
+pub use incremental::{inc_repair, IncOutcome, Ordering};
 pub use ind_repair::{repair_ind, repair_inds, IndRepairConfig, IndRepairStats};
-pub use shard::Parallelism;
+pub use options::{Algorithm, RepairOptions};
 pub use speculative::SpecStats;
 pub use subset::{consistent_subset, repair_via_incremental};
+
+// Deprecated configuration re-exports, kept working for one release:
+// [`RepairOptions`] is the one knob surface now — it lowers to these
+// structs ([`RepairOptions::batch_config`] / [`RepairOptions::inc_config`])
+// and owns the `CFD_THREADS` / `CFD_SPECULATE` environment resolution.
+// Construct them directly only for expert fields the builder does not
+// surface.
+pub use batch::BatchConfig;
+pub use incremental::IncConfig;
+pub use shard::Parallelism;
 
 /// Errors surfaced by the repair algorithms.
 #[derive(Debug)]

@@ -1,0 +1,328 @@
+//! One knob surface for both repair algorithms: [`RepairOptions`].
+//!
+//! Historically every entry point took its own config struct —
+//! [`BatchConfig`](crate::BatchConfig) for `BATCHREPAIR`,
+//! [`IncConfig`](crate::IncConfig) for `INCREPAIR` — and each resolved
+//! the `CFD_THREADS` / `CFD_SPECULATE` environment defaults on its own.
+//! Callers that expose both algorithms behind one switch (the CLI
+//! `repair` command, the `cfd-server` daemon) had to duplicate the
+//! mapping from user-facing flags to per-algorithm fields.
+//!
+//! [`RepairOptions`] is that mapping, written once: a small builder over
+//! the *shared* determinism axes (algorithm, picker, `k`, threads,
+//! speculation depth, distance-kernel override) that lowers to either
+//! legacy config via [`RepairOptions::batch_config`] /
+//! [`RepairOptions::inc_config`]. Unset axes defer to the environment,
+//! and the environment is parsed **here and only here** —
+//! [`Parallelism::from_env`](crate::Parallelism::from_env) and
+//! [`speculation_from_env`](crate::shard::speculation_from_env) are
+//! delegating shims kept for one release. (The third axis, `CFD_SIMD`,
+//! is process-wide kernel selection and stays with
+//! [`cfd_model::simd_enabled`]; `simd(bool)` here is the per-call
+//! override threaded into the configs.)
+//!
+//! The old structs remain exported and functional — construct them
+//! directly only when poking fields `RepairOptions` deliberately does
+//! not surface (`findv_candidates`, `vio_penalty`, …).
+
+use crate::batch::{BatchConfig, PickStrategy};
+use crate::incremental::{IncConfig, Ordering};
+use crate::shard::{Parallelism, MAX_SPECULATE, MAX_THREADS};
+
+/// Resolved `CFD_THREADS`: under the `parallel` feature, the variable
+/// when set (clamped to `1..=64`), else the machine's available
+/// parallelism capped at 8; without the feature, 1. Parsed once per
+/// process — the sole reader of the variable.
+pub(crate) fn env_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        /// Threads the auto-detected default will not exceed.
+        const MAX_AUTO_THREADS: usize = 8;
+        static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *RESOLVED.get_or_init(|| {
+            if let Ok(raw) = std::env::var("CFD_THREADS") {
+                if let Ok(n) = raw.trim().parse::<usize>() {
+                    return n.clamp(1, MAX_THREADS);
+                }
+            }
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, MAX_AUTO_THREADS)
+        })
+    }
+    #[cfg(not(feature = "parallel"))]
+    1
+}
+
+/// Resolved `CFD_SPECULATE`: under the `parallel` feature, the variable
+/// when set (clamped to `0..=1024`), else 0. Parsed once per process —
+/// the sole reader of the variable.
+pub(crate) fn env_speculation() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *RESOLVED.get_or_init(|| {
+            std::env::var("CFD_SPECULATE")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<usize>().ok())
+                .map(|n| n.min(MAX_SPECULATE))
+                .unwrap_or(0)
+        })
+    }
+    #[cfg(not(feature = "parallel"))]
+    0
+}
+
+/// Which repair algorithm to run — the paper's two flavors, with the
+/// incremental one carrying its §5.2 tuple-processing order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// `BATCHREPAIR` (§4): equivalence-class whole-database repair.
+    Batch,
+    /// `INCREPAIR` (§5) over a consistent subset
+    /// ([`crate::repair_via_incremental`]), with the given ordering.
+    Incremental(Ordering),
+}
+
+impl Algorithm {
+    /// The CLI spelling: `batch`, `v-inc`, `w-inc`, or `l-inc`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Algorithm::Batch => "batch",
+            Algorithm::Incremental(Ordering::Violations) => "v-inc",
+            Algorithm::Incremental(Ordering::Weight) => "w-inc",
+            Algorithm::Incremental(Ordering::Linear) => "l-inc",
+        }
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "batch" => Ok(Algorithm::Batch),
+            "v-inc" => Ok(Algorithm::Incremental(Ordering::Violations)),
+            "w-inc" => Ok(Algorithm::Incremental(Ordering::Weight)),
+            "l-inc" => Ok(Algorithm::Incremental(Ordering::Linear)),
+            other => Err(format!(
+                "unknown algorithm {other:?} (expected batch, v-inc, w-inc, or l-inc)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Builder over the shared repair knobs, lowering to [`BatchConfig`] or
+/// [`IncConfig`]. Unset axes resolve from the environment exactly once
+/// per process; two `RepairOptions` that compare equal produce
+/// byte-identical repairs on the same dataset, whatever the thread or
+/// speculation settings — that is the determinism contract the
+/// differential suites pin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepairOptions {
+    algorithm: Algorithm,
+    pick: PickStrategy,
+    k: usize,
+    threads: Option<usize>,
+    speculate: Option<usize>,
+    simd: Option<bool>,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            algorithm: Algorithm::Batch,
+            pick: PickStrategy::GlobalBest,
+            k: 1,
+            threads: None,
+            speculate: None,
+            simd: None,
+        }
+    }
+}
+
+impl RepairOptions {
+    /// Batch algorithm, global-best picker, `k = 1`, everything else
+    /// deferred to the environment.
+    pub fn new() -> Self {
+        RepairOptions::default()
+    }
+
+    /// Select the algorithm.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// `PICKNEXT` variant for the batch algorithm.
+    pub fn pick(mut self, p: PickStrategy) -> Self {
+        self.pick = p;
+        self
+    }
+
+    /// `TUPLERESOLVE` attribute-set size for the incremental algorithm.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k.max(1);
+        self
+    }
+
+    /// Explicit worker-thread count (clamped to `1..=64`), overriding
+    /// `CFD_THREADS`. Repairs are byte-identical at every count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.clamp(1, MAX_THREADS));
+        self
+    }
+
+    /// Explicit speculation depth (clamped to `0..=1024`), overriding
+    /// `CFD_SPECULATE`. Repairs are byte-identical at every depth.
+    pub fn speculate(mut self, k: usize) -> Self {
+        self.speculate = Some(k.min(MAX_SPECULATE));
+        self
+    }
+
+    /// Distance-kernel override: `true` forces the bit-parallel kernel,
+    /// `false` the scalar reference. Unset follows the process-wide
+    /// [`cfd_model::simd_enabled`] switch. Byte-identical either way.
+    pub fn simd(mut self, on: bool) -> Self {
+        self.simd = Some(on);
+        self
+    }
+
+    /// The selected algorithm.
+    pub fn algorithm_choice(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The selected picker.
+    pub fn pick_choice(&self) -> PickStrategy {
+        self.pick
+    }
+
+    /// The selected `k`.
+    pub fn k_choice(&self) -> usize {
+        self.k
+    }
+
+    /// The explicit thread override, if any.
+    pub fn threads_override(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The explicit speculation override, if any.
+    pub fn speculate_override(&self) -> Option<usize> {
+        self.speculate
+    }
+
+    /// The explicit kernel override, if any.
+    pub fn simd_override(&self) -> Option<bool> {
+        self.simd
+    }
+
+    /// The effective thread count: the override, or the environment.
+    pub fn parallelism(&self) -> Parallelism {
+        match self.threads {
+            Some(n) => Parallelism::threads(n),
+            None => Parallelism::from_env(),
+        }
+    }
+
+    /// The effective speculation depth: the override, or the environment.
+    pub fn speculation(&self) -> usize {
+        self.speculate.unwrap_or_else(env_speculation)
+    }
+
+    /// Lower to the `BATCHREPAIR` config.
+    pub fn batch_config(&self) -> BatchConfig {
+        BatchConfig {
+            pick: self.pick,
+            parallelism: self.parallelism(),
+            speculate: self.speculation(),
+            simd: self.simd,
+            ..BatchConfig::default()
+        }
+    }
+
+    /// Lower to the `INCREPAIR` config. For [`Algorithm::Batch`] the
+    /// ordering falls back to the `IncConfig` default (violations-first).
+    pub fn inc_config(&self) -> IncConfig {
+        let ordering = match self.algorithm {
+            Algorithm::Incremental(o) => o,
+            Algorithm::Batch => IncConfig::default().ordering,
+        };
+        IncConfig {
+            k: self.k,
+            ordering,
+            parallelism: self.parallelism(),
+            simd: self.simd,
+            ..IncConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_round_trips_through_strings() {
+        for name in ["batch", "v-inc", "w-inc", "l-inc"] {
+            let a: Algorithm = name.parse().unwrap();
+            assert_eq!(a.as_str(), name);
+        }
+        assert!("bogus".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn overrides_lower_into_both_configs() {
+        let opts = RepairOptions::new()
+            .algorithm(Algorithm::Incremental(Ordering::Weight))
+            .k(3)
+            .threads(2)
+            .speculate(4)
+            .simd(false);
+        let b = opts.batch_config();
+        assert_eq!(b.parallelism.get(), 2);
+        assert_eq!(b.speculate, 4);
+        assert_eq!(b.simd, Some(false));
+        let i = opts.inc_config();
+        assert_eq!(i.k, 3);
+        assert_eq!(i.ordering, Ordering::Weight);
+        assert_eq!(i.parallelism.get(), 2);
+        assert_eq!(i.simd, Some(false));
+    }
+
+    #[test]
+    fn unset_axes_match_the_legacy_env_defaults() {
+        let opts = RepairOptions::new();
+        assert_eq!(opts.parallelism(), Parallelism::from_env());
+        assert_eq!(
+            opts.speculation(),
+            crate::shard::speculation_from_env(),
+            "speculation default must match the legacy resolver"
+        );
+        assert_eq!(
+            opts.batch_config().speculate,
+            BatchConfig::default().speculate
+        );
+    }
+
+    #[test]
+    fn clamps_match_the_legacy_structs() {
+        assert_eq!(
+            RepairOptions::new().threads(10_000).parallelism(),
+            Parallelism::threads(10_000)
+        );
+        assert_eq!(
+            RepairOptions::new().speculate(1 << 20).speculation(),
+            MAX_SPECULATE
+        );
+        assert_eq!(RepairOptions::new().k(0).k_choice(), 1);
+    }
+}

@@ -41,11 +41,7 @@ use cfd_cfd::Sigma;
 use cfd_model::{AttrId, IdKey, Relation, TupleId, TupleView, ValueId};
 
 /// Upper bound on configurable threads; far above any sensible fan-out.
-const MAX_THREADS: usize = 64;
-
-/// Threads the auto-detected default will not exceed.
-#[cfg(feature = "parallel")]
-const MAX_AUTO_THREADS: usize = 8;
+pub(crate) const MAX_THREADS: usize = 64;
 
 /// Thread-count configuration for the repair layer.
 ///
@@ -74,26 +70,13 @@ impl Parallelism {
 
     /// The environment default: under the `parallel` feature, honour
     /// `CFD_THREADS` when set, otherwise use the machine's available
-    /// parallelism (capped at 8); without the feature, serial.
+    /// parallelism (capped at 8); without the feature, serial. The
+    /// variable itself is parsed in [`crate::options`] — the one place
+    /// environment defaults resolve.
     pub fn from_env() -> Self {
-        #[cfg(feature = "parallel")]
-        {
-            static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-            let threads = *RESOLVED.get_or_init(|| {
-                if let Ok(raw) = std::env::var("CFD_THREADS") {
-                    if let Ok(n) = raw.trim().parse::<usize>() {
-                        return n.clamp(1, MAX_THREADS);
-                    }
-                }
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .clamp(1, MAX_AUTO_THREADS)
-            });
-            Parallelism { threads }
+        Parallelism {
+            threads: crate::options::env_threads(),
         }
-        #[cfg(not(feature = "parallel"))]
-        Parallelism::serial()
     }
 
     /// The resolved thread count (≥ 1).
@@ -122,22 +105,11 @@ pub const MAX_SPECULATE: usize = 1_024;
 /// (`crate::batch::BatchConfig`): under the `parallel` feature, honour
 /// `CFD_SPECULATE` when set (clamped to `0..=1024`); otherwise `0`
 /// (the sequential resolution loop). Like `CFD_THREADS`, the variable is
-/// resolved once per process — the CI determinism matrix sets it to
-/// exercise every default-config repair speculatively.
+/// resolved once per process, in [`crate::options`] — this is a
+/// delegating shim kept for one release; new code reads
+/// [`RepairOptions::speculation`](crate::RepairOptions::speculation).
 pub fn speculation_from_env() -> usize {
-    #[cfg(feature = "parallel")]
-    {
-        static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-        *RESOLVED.get_or_init(|| {
-            std::env::var("CFD_SPECULATE")
-                .ok()
-                .and_then(|raw| raw.trim().parse::<usize>().ok())
-                .map(|n| n.min(MAX_SPECULATE))
-                .unwrap_or(0)
-        })
-    }
-    #[cfg(not(feature = "parallel"))]
-    0
+    crate::options::env_speculation()
 }
 
 /// Shard index of a group key: a stable FNV-1a hash of the id run, reduced

@@ -1,0 +1,160 @@
+//! A blocking client for the daemon: connect, send framed requests,
+//! read framed responses. The batching entry point
+//! ([`Client::batch`]) is client-side pipelining — all request frames
+//! are written before any response is read, so a sequence of small
+//! operations pays one round-trip, not N.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ProtoError, Request, Response,
+    DEFAULT_MAX_FRAME,
+};
+
+/// Client-side failures: transport, codec, or the server hanging up
+/// between a request and its response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection could not be established or the stream failed.
+    Io(io::Error),
+    /// A response frame could not be decoded.
+    Proto(ProtoError),
+    /// The server closed the connection before answering.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            ClientError::Disconnected => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// The transport under a client — TCP everywhere, Unix-domain sockets
+/// where the platform has them.
+enum Transport {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a `cfd-server` daemon.
+pub struct Client {
+    stream: Transport,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream: Transport::Tcp(stream),
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Connect over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        Ok(Client {
+            stream: Transport::Unix(UnixStream::connect(path)?),
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Override the frame-size limit (both directions). Must match the
+    /// server's or large payloads will be refused.
+    pub fn max_frame(mut self, max: usize) -> Client {
+        self.max_frame = max;
+        self
+    }
+
+    /// Send one request, wait for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req), self.max_frame)?;
+        self.read_response()
+    }
+
+    /// Pipeline a batch: write every request frame, then read every
+    /// response. Responses come back in request order; the server
+    /// executes them sequentially on this connection.
+    pub fn batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ClientError> {
+        for req in reqs {
+            write_frame(&mut self.stream, &encode_request(req), self.max_frame)?;
+        }
+        let mut responses = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            responses.push(self.read_response()?);
+        }
+        Ok(responses)
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(frame) => Ok(decode_response(&frame)?),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! # cfd-server
+//!
+//! A resident repair daemon over the [`cfdclean::Session`] facade: it
+//! keeps datasets' relations, their dataset-scoped value-pool
+//! dictionaries, and their built detection indexes warm in memory, and
+//! serves detect / repair / insert / snapshot / evict operations over a
+//! framed socket protocol — TCP or (on Unix) Unix-domain. One-shot CLI
+//! runs re-parse the CSV, re-intern the dictionary, and rebuild the
+//! violation-detection index on every invocation; the daemon pays those
+//! costs once per `open` and amortizes them across every subsequent
+//! request.
+//!
+//! Everything is hand-rolled over `std` — `std::net` listeners, one
+//! thread per connection, `mpsc` channels for the timeout plumbing — so
+//! the crate adds no dependencies beyond the workspace.
+//!
+//! ## Determinism
+//!
+//! A sequence of requests against a daemon produces **byte-identical**
+//! results to the equivalent sequence of one-shot CLI invocations, at
+//! every `CFD_THREADS` × `CFD_SPECULATE` × `CFD_SIMD` setting — repair
+//! CSVs, edit logs, violation reports, all of it
+//! (`tests/server_differential.rs` pins the matrix). Two properties
+//! carry the contract:
+//!
+//! * repairs never mutate the resident relation (they return fresh
+//!   output), so a dataset's state is a function of its open + insert
+//!   history, not of what was detected or repaired in between;
+//! * inserts seal their delta dictionary entries
+//!   ([`cfd_model::ValuePool::seal_ids`]) instead of free-listing them,
+//!   so the pool's append-order id assignment — which the repair
+//!   algorithms' `FINDV` tie-breaks observe — matches a fresh process
+//!   run for run.
+//!
+//! ## Concurrency
+//!
+//! Datasets live behind per-dataset reader/writer locks inside the
+//! shared [`Session`](cfdclean::Session): detects and repairs on the
+//! same dataset share its warm engine concurrently; inserts and evicts
+//! take the write side and serialize. Requests on one connection run in
+//! order; parallelism across datasets comes from opening multiple
+//! connections. An optional LRU capacity bound auto-evicts the
+//! least-recently-used dataset — eviction retires the dataset's
+//! dictionary entries and compacts the pool, returning its memory.
+//!
+//! ## Wire protocol
+//!
+//! The protocol is a synchronous request/response exchange of
+//! length-prefixed frames. It has no version negotiation, no
+//! compression, and no encryption — it is a loopback/localhost protocol
+//! for tooling, not an internet-facing service.
+//!
+//! ### Framing
+//!
+//! ```text
+//! frame := len:u32-LE payload:[u8; len]
+//! ```
+//!
+//! `len` counts payload bytes only. Frames above the server's limit
+//! (default 32 MiB, hard ceiling 64 MiB) are refused before allocation
+//! and the connection closes, since the boundary of the unread payload
+//! is lost. EOF exactly at a frame boundary is a clean disconnect; EOF
+//! inside a frame is an error. A malformed payload inside an intact
+//! frame gets an `Err` response of kind `Protocol` and the connection
+//! continues.
+//!
+//! ### Primitives
+//!
+//! All integers little-endian.
+//!
+//! ```text
+//! u8, u32      fixed-width integers
+//! bool         u8: 0 | 1
+//! bytes        len:u32 data:[u8; len]
+//! str          bytes, UTF-8 validated
+//! opt<T>       tag:u8 (0 = absent | 1 = present) [T]
+//! ```
+//!
+//! ### Requests
+//!
+//! First byte is the opcode; fields follow in order.
+//!
+//! ```text
+//! 0x01 Ping
+//! 0x02 Open          name:str csv:bytes rules:opt<str> weights:opt<bytes>
+//! 0x03 OpenSnapshot  name:str
+//! 0x04 Detect        dataset:str limit:u32
+//! 0x05 Repair        dataset:str algorithm:str pick:str k:u32
+//!                    threads:opt<u32> speculate:opt<u32> simd:opt<bool>
+//!                    want_edits:bool want_stats:bool
+//! 0x06 Insert        dataset:str csv:bytes weights:opt<bytes>
+//!                    ordering:u8 ('v'|'w'|'l') k:u32
+//! 0x07 SnapshotSave  dataset:str as_name:str
+//! 0x08 SnapshotInfo  name:opt<str>          (absent = list the catalog)
+//! 0x09 Evict         dataset:str
+//! 0x0a List
+//! 0x0b Stats
+//! 0x0c Shutdown
+//! ```
+//!
+//! `algorithm` is the CLI spelling (`batch`, `v-inc`, `w-inc`,
+//! `l-inc`); `pick` is `global` or `dependency`; unset `threads` /
+//! `speculate` / `simd` defer to the daemon's environment exactly as
+//! the CLI's unset flags do.
+//!
+//! ### Responses
+//!
+//! ```text
+//! ok  := 0x00 text:str nblobs:u8 blob:bytes ...
+//! err := 0x01 kind:u8 message:str
+//! ```
+//!
+//! `text` is the human-readable result (identical to the corresponding
+//! CLI command's output where one exists). `blobs` carry binary
+//! attachments: `Repair` → `[repaired_csv]` or
+//! `[repaired_csv, edit_log]`; `Insert` → `[merged_csv]`; every other
+//! opcode sends none. Error kinds:
+//!
+//! ```text
+//! 0 UnknownDataset  1 AlreadyOpen  2 Evicted    3 NoRules
+//! 4 NoCatalog       5 Data         6 Rules      7 Snapshot
+//! 8 Repair          9 Internal    10 Protocol  11 Timeout
+//! ```
+//!
+//! `Timeout` (the per-request deadline passed; the work keeps running
+//! and later requests on the connection queue behind it) and
+//! `Protocol` are daemon-only; the rest map 1:1 onto
+//! [`cfdclean::SessionError`].
+//!
+//! ### Batching
+//!
+//! Batching is client-side pipelining: write N request frames, then
+//! read N response frames ([`client::Client::batch`]). The server
+//! processes each connection's requests strictly in order, so the
+//! responses arrive in request order.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorKind, ProtoError, RepairSpec, Request, Response, DEFAULT_MAX_FRAME, MAX_FRAME,
+};
+pub use server::{Server, ServerConfig};

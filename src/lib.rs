@@ -29,11 +29,46 @@
 //! (`ValuePool::shared`). Pools reclaim: occurrence counts maintained
 //! by interning feed `retire`/`retire_ids` + `compact`, so a
 //! long-running process can evict a dataset and get its dictionary
-//! memory back (the ROADMAP's resident-server enabler). The paper's
+//! memory back — exactly what the resident server's evictions do. The paper's
 //! §3.1 null semantics survive the encoding verbatim: interning is
 //! injective, `null` is always id 0 in every pool, and
 //! `sql_eq`/`strict_eq`/pattern matching exist in id form with property
 //! tests pinning their agreement with the value-level definitions.
+//!
+//! ## The `Session` facade and the resident server
+//!
+//! [`session`] is the single owner of the dataset lifecycle. A
+//! [`DatasetHandle`] packages one dataset — a relation over its own
+//! pool, optionally bound rules, and the **resident detection index**
+//! ([`cfd::violation::EngineParts`]), built exactly once at bind time:
+//! detect requests run against the warm parts with zero rebuild, and
+//! each `BATCHREPAIR` seeds its state from a clone of them. A
+//! [`Session`] is a named collection of handles behind per-dataset
+//! reader/writer locks, optionally backed by a snapshot catalog and
+//! bounded by an LRU capacity whose evictions provably return pool
+//! memory. Every front end routes through it:
+//!
+//! * the one-shot CLI (`cfdclean detect|repair|insert|snapshot`), which
+//!   builds a fresh handle per invocation;
+//! * the resident daemon (`crates/server`, CLI `cfdclean serve` /
+//!   `cfdclean client`), which keeps handles warm across requests and
+//!   serves them over a hand-rolled length-prefixed framed protocol
+//!   (TCP or Unix socket; the byte-level spec lives in `cfd-server`'s
+//!   crate docs) with client-side request pipelining and per-request
+//!   timeouts.
+//!
+//! The contract that makes residency safe is **process-history
+//! independence**: a warm handle answers byte-identically to a fresh
+//! one-shot process, over any request history. Opens intern into a
+//! brand-new pool in canonical order (CSV column-major, then the rules'
+//! pattern constants, uncounted); insert requests retire **and seal**
+//! ΔD's transient values ([`model::ValuePool::seal_ids`] — released
+//! without free-list reuse, so later interns still get append-order
+//! ids); eviction retires + compacts the whole dictionary back to
+//! baseline. The server integration suite pins daemon answers against
+//! the one-shot facade across the thread-count × speculation × SIMD
+//! corner matrix, and a CI smoke job diffs a real daemon's output
+//! against the committed golden fixtures.
 //!
 //! ## Crates
 //!
@@ -56,11 +91,13 @@
 //! * [`discovery`] — FD / constant-CFD-row mining over position-list
 //!   indexes (the paper's §9 future-work direction).
 //!
-//! The workspace also ships a command-line tool (`crates/cli`, binary
-//! `cfdclean`) that exposes detect / repair / insert / discover /
-//! certify / generate over CSV and rule files, and a dependency-free
-//! seedable PRNG (`cfd-prng`) backing the generator and the randomized
-//! test suites.
+//! The workspace also ships the resident repair daemon
+//! (`crates/server`, crate `cfd-server`: the framed wire protocol, the
+//! serve loop, and a blocking client), a command-line tool
+//! (`crates/cli`, binary `cfdclean`) that exposes detect / repair /
+//! insert / discover / certify / generate / snapshot / serve / client
+//! over CSV and rule files, and a dependency-free seedable PRNG
+//! (`cfd-prng`) backing the generator and the randomized test suites.
 //!
 //! The `parallel` feature shards index builds, full-relation violation
 //! scans, and the repair layer's setup — `BATCHREPAIR`'s group census
@@ -110,9 +147,16 @@
 //! assert!(violation::check(&out.repair, &sigma));
 //! ```
 
+pub mod session;
+
 pub use cfd_cfd as cfd;
 pub use cfd_discovery as discovery;
 pub use cfd_gen as gen;
 pub use cfd_model as model;
 pub use cfd_repair as repair;
 pub use cfd_sampling as sampling;
+
+pub use session::{
+    DatasetCell, DatasetHandle, DatasetRef, EvictReport, InsertRun, Installed, RepairRun, Session,
+    SessionError, SessionStats,
+};
