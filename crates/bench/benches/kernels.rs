@@ -4,9 +4,12 @@
 //! (scalar columnar walk vs the 8-lane key-major sweep), index building
 //! and violation detection (dictionary-encoded vs a string-keyed
 //! reference), equivalence-class operations, LHS-index validation,
-//! nearest-value search, and cold dataset ingest (CSV re-interning vs
-//! snapshot dictionary install). `meta/*` entries record the container's
-//! CPU count and live feature/kernel switches alongside the numbers.
+//! nearest-value search, cold dataset ingest (CSV re-interning vs
+//! snapshot dictionary install), daemon request latency (warm resident
+//! dataset vs cold one-shot open), and streaming window latency (a warm
+//! `RepairSession` cycle vs the cold per-window one-shot insert).
+//! `meta/*` entries record the container's CPU count and live
+//! feature/kernel switches alongside the numbers.
 //!
 //! The headline pair is `index_build` / `detect`: the dictionary-encoded
 //! value layer keys every hot map on `ValueId`/`IdKey` (u32s), while the
@@ -33,7 +36,7 @@ use cfd_repair::equivalence::{Cell, EqClasses};
 use cfd_repair::lhs_index::LhsIndexes;
 use cfd_repair::pricing::TargetPricer;
 use cfd_repair::shard::{variable_shapes, GroupCensus, Parallelism};
-use cfd_repair::{batch_repair, BatchConfig};
+use cfd_repair::{batch_repair, BatchConfig, Ordering};
 
 /// The pre-dictionary tuple representation: values stored inline, read
 /// without any pool access. Reference rows are materialized once,
@@ -276,6 +279,7 @@ const SMOKE_MIN_LOAD_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_PRICING_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_CONST_SCAN_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_SERVER_SPEEDUP: f64 = 1.0;
+const SMOKE_MIN_STREAM_SPEEDUP: f64 = 1.0;
 const SMOKE_ATTEMPTS: usize = 3;
 
 fn smoke() -> ! {
@@ -292,6 +296,7 @@ fn smoke() -> ! {
     let mut pricing_ok = false;
     let mut scan_ok = false;
     let mut server_ok = false;
+    let mut stream_ok = false;
     for attempt in 1..=SMOKE_ATTEMPTS {
         let mut h = Harness::new();
         h.batches = 7;
@@ -311,6 +316,9 @@ fn smoke() -> ! {
         // The daemon's warm-vs-cold request latency: loopback RTT against
         // a resident dataset must beat re-parsing + re-indexing per call.
         let server_speedup = bench_server_latency(&mut h);
+        // Streaming window latency: a warm RepairSession cycle must beat
+        // the cold per-window one-shot (open + insert) path.
+        let stream_speedup = bench_stream(&mut h);
         record_pool_bytes(&mut h);
         println!("{}", h.table());
         println!("index build speedup (row/columnar): {build_speedup:.2}x");
@@ -323,6 +331,7 @@ fn smoke() -> ! {
         println!("pricing speedup (scalar/bit-parallel): {pricing_speedup:.2}x");
         println!("constant scan speedup (scalar/simd): {scan_speedup:.2}x");
         println!("request latency (cold one-shot / warm daemon): {server_speedup:.2}x");
+        println!("window latency (cold one-shot / warm stream): {stream_speedup:.2}x");
         if !multicore {
             println!("single-CPU runner: census wall-time gate not applicable");
         }
@@ -334,11 +343,13 @@ fn smoke() -> ! {
         pricing_ok |= pricing_speedup >= SMOKE_MIN_PRICING_SPEEDUP;
         scan_ok |= scan_speedup >= SMOKE_MIN_CONST_SCAN_SPEEDUP;
         server_ok |= server_speedup >= SMOKE_MIN_SERVER_SPEEDUP;
-        if detect_ok && census_ok && load_ok && pricing_ok && scan_ok && server_ok {
+        stream_ok |= stream_speedup >= SMOKE_MIN_STREAM_SPEEDUP;
+        if detect_ok && census_ok && load_ok && pricing_ok && scan_ok && server_ok && stream_ok {
             println!(
                 "smoke ok: columnar detection ≥ row-major, sharded census ≥ serial, \
                  snapshot load ≥ csv re-intern load, bit-parallel pricing ≥ scalar, \
-                 simd constant scan ≥ scalar, warm daemon detect ≥ cold one-shot"
+                 simd constant scan ≥ scalar, warm daemon detect ≥ cold one-shot, \
+                 warm stream window ≥ cold one-shot insert"
             );
             std::process::exit(0);
         }
@@ -350,7 +361,8 @@ fn smoke() -> ! {
              {pricing_speedup:.2}x (gate {SMOKE_MIN_PRICING_SPEEDUP}x), \
              constant scan {scan_speedup:.2}x (gate \
              {SMOKE_MIN_CONST_SCAN_SPEEDUP}x), server \
-             {server_speedup:.2}x (gate {SMOKE_MIN_SERVER_SPEEDUP}x)"
+             {server_speedup:.2}x (gate {SMOKE_MIN_SERVER_SPEEDUP}x), stream \
+             {stream_speedup:.2}x (gate {SMOKE_MIN_STREAM_SPEEDUP}x)"
         );
     }
     if !detect_ok {
@@ -387,6 +399,12 @@ fn smoke() -> ! {
         eprintln!(
             "SMOKE FAIL: warm daemon detect regressed below the cold one-shot \
              path in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+        );
+    }
+    if !stream_ok {
+        eprintln!(
+            "SMOKE FAIL: the warm streaming window cycle regressed below the \
+             cold one-shot insert path in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
         );
     }
     std::process::exit(1);
@@ -733,6 +751,136 @@ fn bench_server_latency(h: &mut Harness) -> f64 {
     speedup
 }
 
+/// The streaming headline: steady-state window latency against a warm
+/// `RepairSession` — feed a fixed batch of dirty inserts plus the
+/// deletes that undo the previous cycle, advance the watermark, repair
+/// the closed windows over the resident detection index — vs the cold
+/// per-window one-shot path a scheduled batch job pays (fresh handle:
+/// re-parse the base CSV, re-intern the dictionary, rebuild the index,
+/// insert the same batch). Each warm cycle inserts then deletes the
+/// same eight rows, so the relation and pool footprint are identical at
+/// every iteration and the timings measure a steady state. Returns the
+/// cold/warm median ratio (> 1 means the resident session wins). Both
+/// kernels are single-threaded at the default config, so the number is
+/// meaningful on a 1-CPU runner, unlike the thread-scaling entries.
+fn bench_stream(h: &mut Harness) -> f64 {
+    use cfdclean::{DatasetHandle, StreamConfig};
+    use std::cell::Cell;
+
+    let w = workload(2_000, 7);
+    let noise = inject(
+        &w.dopt,
+        &w.world,
+        &NoiseConfig {
+            rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let mut clean_csv = Vec::new();
+    cfd_model::csv::write_relation(&w.dopt, &mut clean_csv).expect("render clean csv");
+    let mut dirty_csv = Vec::new();
+    cfd_model::csv::write_relation(&noise.dirty, &mut dirty_csv).expect("render dirty csv");
+    let rules_text: String = w
+        .sigma
+        .sources()
+        .iter()
+        .map(|c| cfd_cfd::parser::render_cfd(w.dopt.schema(), c) + "\n")
+        .collect();
+    // The event batch: eight rows the noise actually perturbed, so every
+    // window has repair work to do (a clean row would only exercise the
+    // staging path).
+    let clean_text = String::from_utf8(clean_csv.clone()).expect("utf8 csv");
+    let dirty_text = String::from_utf8(dirty_csv).expect("utf8 csv");
+    let header = clean_text.lines().next().expect("csv header").to_string();
+    let rows: Vec<String> = clean_text
+        .lines()
+        .zip(dirty_text.lines())
+        .skip(1)
+        .filter(|(c, d)| c != d)
+        .map(|(_, d)| d.to_string())
+        .take(8)
+        .collect();
+    assert_eq!(rows.len(), 8, "5% noise must perturb at least eight rows");
+    let batch_csv = format!("{header}\n{}\n", rows.join("\n")).into_bytes();
+
+    let mut handle = DatasetHandle::from_csv("stream-bench", &clean_csv).expect("workload csv");
+    handle
+        .bind_rules(&rules_text, "bench rules")
+        .expect("workload rules");
+    let base_rows = handle.relation().len();
+    let pool_baseline = handle.relation().pool().len();
+    handle
+        .open_stream(StreamConfig::tumbling(16))
+        .expect("open stream");
+
+    // One cycle: inserts land in window e/16, the deletes undoing them in
+    // window e/16 + 1, and one advance closes both — so every iteration
+    // leaves the relation exactly as it found it.
+    let epoch = Cell::new(0u64);
+    let cycle = |handle: &mut DatasetHandle| {
+        let e = epoch.get();
+        let base = handle.stream_info().expect("stream open").next_tuple_id;
+        let mut ev = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            ev.push_str(&format!("i {} {row}\n", e + 1 + i as u64));
+        }
+        for i in 0..rows.len() as u32 {
+            ev.push_str(&format!("d {} {}\n", e + 17 + u64::from(i), base + i));
+        }
+        handle.stream_feed(&ev).expect("feed");
+        let closed = handle.stream_advance(e + 32).expect("advance");
+        epoch.set(e + 32);
+        closed
+    };
+
+    // Sanity, un-timed: the batch repairs (every insert commits, edits
+    // flow) and the delete window restores the baseline.
+    let first = cycle(&mut handle);
+    assert_eq!(first.len(), 2, "one cycle closes two windows");
+    assert_eq!(
+        first.iter().map(|r| r.cancelled).sum::<usize>(),
+        0,
+        "the bench batch must commit in full"
+    );
+    assert!(
+        first.iter().map(|r| r.edits).sum::<usize>() > 0,
+        "dirty arrivals must produce window edits"
+    );
+    assert_eq!(
+        handle.relation().len(),
+        base_rows,
+        "delete window must restore the relation"
+    );
+
+    let warm = h.run("stream/window_warm_8ev_2k", || {
+        cycle(black_box(&mut handle))
+            .iter()
+            .map(|r| r.edits)
+            .sum::<usize>()
+    });
+    let (flushed, report) = handle.stream_close().expect("close stream");
+    assert!(flushed.is_empty(), "all windows were advanced");
+    assert_eq!(
+        handle.relation().pool().len(),
+        pool_baseline,
+        "closing the stream must return the pool to its pre-stream footprint \
+         ({})",
+        report.summary()
+    );
+
+    let cold = h.run("stream/window_cold_oneshot_8ev_2k", || {
+        let mut cold = DatasetHandle::from_csv("stream-bench", &clean_csv).expect("workload csv");
+        cold.bind_rules(&rules_text, "bench rules")
+            .expect("workload rules");
+        cold.insert(black_box(&batch_csv), None, Ordering::Violations, 1)
+            .expect("insert")
+            .modified
+    });
+    let speedup = cold.median_ns / warm.median_ns;
+    eprintln!("window latency (cold one-shot / warm stream): {speedup:.2}x");
+    speedup
+}
+
 /// Run-environment metadata, recorded into `BENCH_kernels.json` alongside
 /// the timings so the numbers carry their own context: how many CPUs the
 /// container actually had (the thread-scaling entries are only meaningful
@@ -967,6 +1115,7 @@ fn main() {
     let resolution_speedup = bench_resolution(&mut h);
     let load_speedup = bench_load(&mut h);
     let server_speedup = bench_server_latency(&mut h);
+    let stream_speedup = bench_stream(&mut h);
     bench_vio_of_candidate(&mut h);
     bench_equivalence(&mut h);
     bench_lhs_index(&mut h);
@@ -984,6 +1133,7 @@ fn main() {
     println!("resolution speedup (serial/spec4x16): {resolution_speedup:.2}x");
     println!("load speedup (csv/snapshot): {load_speedup:.2}x");
     println!("request latency (cold one-shot / warm daemon): {server_speedup:.2}x");
+    println!("window latency (cold one-shot / warm stream): {stream_speedup:.2}x");
     if let Some(path) = json_path {
         h.write_json(&path).expect("write bench json");
         println!("wrote {path}");

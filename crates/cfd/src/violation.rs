@@ -191,6 +191,18 @@ impl GroupIndexes {
             idx.insert(id, t);
         }
     }
+
+    /// Drop a tuple from every index, given its *current* contents (the
+    /// caller must remove before mutating or deleting the tuple). The
+    /// inverse of [`GroupIndexes::insert`] — streaming deletions use this
+    /// to keep a resident index in step with the relation without a
+    /// rebuild.
+    pub fn remove<V: TupleView + ?Sized>(&mut self, id: TupleId, t: &V) {
+        self.assert_thawed("remove");
+        for idx in self.by_lhs.values_mut() {
+            idx.remove(id, t);
+        }
+    }
 }
 
 /// A hash index over the *constant* normal CFDs of a Σ.
@@ -490,6 +502,14 @@ impl<'a> Engine<'a> {
     /// Register a tuple newly inserted into the underlying relation.
     pub fn insert<V: TupleView + ?Sized>(&mut self, id: TupleId, t: &V) {
         self.indexes.insert(id, t);
+    }
+
+    /// Drop a tuple from the group indexes, given its current contents
+    /// (call before the relation deletes it). Deletions never violate
+    /// CFDs (§3.3), so this is pure index maintenance — no re-detection
+    /// is needed afterwards.
+    pub fn remove<V: TupleView + ?Sized>(&mut self, id: TupleId, t: &V) {
+        self.indexes.remove(id, t);
     }
 
     /// Propagate an in-place tuple update to the group indexes.

@@ -25,6 +25,11 @@ pub const USAGE: &str = "cfdclean client <op> (--tcp ADDR | --unix PATH) [flags]
                    [--speculate K] [--no-simd] [--emit-edits E.cfde] [--stats]
     insert         --name N --updates U.csv --out M.csv
                    [--weights W.csv] [--ordering v|w|l] [--k N]
+    stream-open    --name N [--window W] [--slide S] [--ordering v|w|l] [--k N]
+    stream-feed    --name N --events EV.txt  queue timestamped events
+    stream-advance --name N --watermark TS --out-dir DIR
+                                             close windows, write their .cfde logs
+    stream-close   --name N --out-dir DIR    flush remaining windows + shut down
     save           --name N [--as NAME]      persist to the daemon's catalog
     info           [--name N]                describe / list catalog snapshots
     evict          --name N                  close + reclaim pool memory
@@ -66,6 +71,9 @@ fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
 pub fn run(op: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let tcp = args.get("tcp").map(str::to_string);
     let unix = args.get("unix").map(str::to_string);
+    // Stream window logs go to a directory (one .cfde per closed
+    // window, named by window number) instead of fixed blob paths.
+    let mut out_dir: Option<String> = None;
     // Build the request (and remember where its attachments go) before
     // connecting, so flag errors don't need a live daemon.
     let (req, blob_paths): (Request, Vec<String>) = match op {
@@ -167,6 +175,58 @@ pub fn run(op: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 vec![out_path],
             )
         }
+        "stream-open" => {
+            let window: u64 = args.get_parsed("window", 10)?;
+            let ordering = match args.get("ordering").unwrap_or("v") {
+                "v" => b'v',
+                "w" => b'w',
+                "l" => b'l',
+                other => return Err(format!("unknown --ordering {other:?} (v, w, l)").into()),
+            };
+            (
+                Request::StreamOpen {
+                    dataset: args.require("name")?.to_string(),
+                    size: window,
+                    slide: args.get_parsed("slide", window)?,
+                    ordering,
+                    k: args.get_parsed("k", 1u32)?,
+                },
+                vec![],
+            )
+        }
+        "stream-feed" => {
+            let events = args.require("events")?.to_string();
+            (
+                Request::StreamFeed {
+                    dataset: args.require("name")?.to_string(),
+                    events: read_file(&events)?,
+                },
+                vec![],
+            )
+        }
+        "stream-advance" => {
+            out_dir = Some(args.require("out-dir")?.to_string());
+            let watermark = args.require("watermark")?;
+            let watermark: u64 = watermark
+                .parse()
+                .map_err(|_| format!("--watermark {watermark:?} is not a timestamp"))?;
+            (
+                Request::StreamAdvance {
+                    dataset: args.require("name")?.to_string(),
+                    watermark,
+                },
+                vec![],
+            )
+        }
+        "stream-close" => {
+            out_dir = Some(args.require("out-dir")?.to_string());
+            (
+                Request::StreamClose {
+                    dataset: args.require("name")?.to_string(),
+                },
+                vec![],
+            )
+        }
         "save" => {
             let name = args.require("name")?.to_string();
             let as_name = args.get("as").unwrap_or(&name).to_string();
@@ -196,7 +256,8 @@ pub fn run(op: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         other => {
             return Err(format!(
                 "unknown client op {other:?} (ping, open, open-snapshot, detect, repair, \
-                 insert, save, info, evict, list, stats, shutdown)"
+                 insert, stream-open, stream-feed, stream-advance, stream-close, save, \
+                 info, evict, list, stats, shutdown)"
             )
             .into())
         }
@@ -206,6 +267,34 @@ pub fn run(op: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut client = connect(tcp, unix)?;
     match client.request(&req).map_err(|e| e.to_string())? {
         Response::Ok { text, blobs } => {
+            if let Some(dir) = &out_dir {
+                // Window summaries pair with blobs in order; everything
+                // else in the text (e.g. the close report) passes through.
+                if !blobs.is_empty() {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("cannot create {dir}: {e}"))?;
+                }
+                let mut logs = blobs.iter();
+                for line in text.lines() {
+                    match line
+                        .strip_prefix("window ")
+                        .and_then(|rest| rest.split(' ').next())
+                        .and_then(|_| logs.next())
+                    {
+                        Some(bytes) => {
+                            let k = line["window ".len()..]
+                                .split(' ')
+                                .next()
+                                .expect("window summary names its number");
+                            let path = format!("{dir}/window-{k}.cfde");
+                            write_file(&path, bytes)?;
+                            writeln!(out, "{line} -> {path}")?;
+                        }
+                        None => writeln!(out, "{line}")?,
+                    }
+                }
+                return Ok(());
+            }
             for (path, bytes) in blob_paths.iter().zip(&blobs) {
                 write_file(path, bytes)?;
             }

@@ -11,3 +11,4 @@ pub mod insert;
 pub mod repair;
 pub mod serve;
 pub mod snapshot;
+pub mod stream;

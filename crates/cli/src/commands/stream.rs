@@ -1,0 +1,103 @@
+//! `cfdclean stream` — windowed INCREPAIR over a timestamped event log:
+//! feed inserts and deletes into a streaming repair session over a clean
+//! base, close tumbling or sliding windows, and write one id-stable
+//! `.cfde` edit log per closed window — the same durable artifacts a
+//! resident `cfd-server` stream emits, byte for byte.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use cfd_repair::Ordering;
+use cfdclean::model::csv;
+use cfdclean::{DatasetHandle, StreamConfig};
+
+use crate::args::Args;
+use crate::io::{load_relation, read_rules_text, CliError};
+
+pub const USAGE: &str =
+    "cfdclean stream --base CLEAN.csv --rules R.cfd --events EV.txt --out-dir DIR
+                [--window W] [--slide S] [--ordering v|w|l] [--k N] [--final F.csv]
+  Replay a timestamped event log through a windowed streaming repair
+  session. Every closed window emits DIR/window-<k>.cfde (an id-level
+  edit log of the repairs applied to that window's arrivals); the base
+  file is never modified.
+    --base      clean CSV file (must satisfy the rules)
+    --events    event log: one event per line, `#` comments —
+                  i <ts> <csv row>      insert the row at timestamp <ts>
+                  d <ts> <tuple id>     delete a live tuple
+    --rules     CFD rule file
+    --out-dir   directory for the per-window edit logs (created)
+    --window    window size W in timestamp units (default 10)
+    --slide     window slide S, 1 <= S <= W (default W: tumbling)
+    --ordering  v = fewest violations first (default), w = weight, l = linear
+    --k         TUPLERESOLVE attribute-set size (default 1)
+    --final     also write the stream's final relation as CSV";
+
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let base_path = args.require("base")?.to_string();
+    let events_path = args.require("events")?.to_string();
+    let rules = args.require("rules")?.to_string();
+    let out_dir = PathBuf::from(args.require("out-dir")?);
+    let window: u64 = args.get_parsed("window", 10)?;
+    let slide: u64 = args.get_parsed("slide", window)?;
+    let ordering = args.get("ordering").unwrap_or("v").to_string();
+    let k: usize = args.get_parsed("k", 1)?;
+    let final_path = args.get("final").map(str::to_string);
+    args.reject_unknown()?;
+
+    let ordering = match ordering.as_str() {
+        "v" => Ordering::Violations,
+        "w" => Ordering::Weight,
+        "l" => Ordering::Linear,
+        other => return Err(format!("unknown --ordering {other:?} (v, w, l)").into()),
+    };
+
+    let base = load_relation(Path::new(&base_path))?;
+    let name = base.schema().name().to_string();
+    let mut handle = DatasetHandle::from_relation(name, base);
+    let rules_text = read_rules_text(Path::new(&rules))?;
+    handle.bind_rules(&rules_text, &rules)?;
+
+    let events = std::fs::read_to_string(&events_path)
+        .map_err(|e| format!("cannot open {events_path}: {e}"))?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+
+    let info = handle.open_stream(StreamConfig {
+        size: window,
+        slide,
+        ordering,
+        k,
+    })?;
+    writeln!(out, "{}", info.summary())?;
+    let accepted = handle.stream_feed(&events)?;
+    writeln!(out, "accepted {accepted} event(s) from {events_path}")?;
+
+    // Drain every queued window, then capture the final relation while
+    // the stream still owns it; `stream_close` reclaims the pool slots.
+    let results = handle.stream_advance(u64::MAX)?;
+    let final_csv = match &final_path {
+        Some(_) => {
+            let mut buf = Vec::new();
+            csv::write_relation(handle.stream()?.relation(), &mut buf)
+                .map_err(|e| format!("cannot render final relation: {e}"))?;
+            Some(buf)
+        }
+        None => None,
+    };
+    let (flushed, report) = handle.stream_close()?;
+    debug_assert!(flushed.is_empty(), "advance(u64::MAX) drained the queue");
+
+    for r in &results {
+        let path = out_dir.join(format!("window-{}.cfde", r.window));
+        std::fs::write(&path, &r.edit_log)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        writeln!(out, "{} -> {}", r.summary(), path.display())?;
+    }
+    if let (Some(path), Some(bytes)) = (&final_path, &final_csv) {
+        std::fs::write(path, bytes).map_err(|e| format!("cannot create {path}: {e}"))?;
+        writeln!(out, "final relation -> {path}")?;
+    }
+    writeln!(out, "{}", report.summary())?;
+    Ok(())
+}

@@ -8,6 +8,7 @@
 //! | `detect`   | report CFD violations in a CSV file |
 //! | `repair`   | whole-database repair (BATCHREPAIR / INCREPAIR §5.3), from CSV or a snapshot, optionally emitting / replaying id-level edit logs |
 //! | `insert`   | incremental repair of inserted tuples (§5) |
+//! | `stream`   | windowed streaming repair over a timestamped event log |
 //! | `discover` | mine FDs + constant CFD rows from data |
 //! | `certify`  | §6 sampling certification of a repair |
 //! | `generate` | emit the paper's synthetic workload |
@@ -45,6 +46,7 @@ commands:
   detect     report CFD violations in a CSV file
   repair     repair a CSV file against a rule file
   insert     insert + repair new tuples against a clean base
+  stream     windowed streaming repair over a timestamped event log
   discover   mine dependencies from data
   certify    certify a repair's accuracy by stratified sampling
   generate   emit a synthetic order workload
@@ -64,8 +66,8 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
     let rest = &argv[1..];
     let usage_for = |u: &str| -> CliError { u.into() };
     match command {
-        "detect" | "repair" | "insert" | "discover" | "certify" | "generate" | "snapshot"
-        | "serve" | "client"
+        "detect" | "repair" | "insert" | "stream" | "discover" | "certify" | "generate"
+        | "snapshot" | "serve" | "client"
             if rest.is_empty() =>
         {
             Err(usage_for(usage_of(command)))
@@ -90,6 +92,13 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
             out,
             commands::insert::run,
             commands::insert::USAGE,
+        ),
+        "stream" => run_cmd(
+            rest,
+            &[],
+            out,
+            commands::stream::run,
+            commands::stream::USAGE,
         ),
         "discover" => run_cmd(
             rest,
@@ -148,6 +157,7 @@ fn usage_of(command: &str) -> &'static str {
         "detect" => commands::detect::USAGE,
         "repair" => commands::repair::USAGE,
         "insert" => commands::insert::USAGE,
+        "stream" => commands::stream::USAGE,
         "discover" => commands::discover::USAGE,
         "certify" => commands::certify::USAGE,
         "generate" => commands::generate::USAGE,

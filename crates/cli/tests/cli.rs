@@ -322,6 +322,77 @@ fn insert_repairs_updates_and_refuses_dirty_base() {
 }
 
 #[test]
+fn stream_replays_an_event_log_into_window_edit_logs() {
+    let s = Scratch::new("stream");
+    let fixtures = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures");
+    let base = format!("{fixtures}/cust_repaired.csv");
+    let rules = format!("{fixtures}/cust_rules.txt");
+    let events = s.path("events.txt");
+    // Two dirty arrivals, one per tumbling window: AC 212 pins NYC/NY,
+    // zip 19014 pins PHI/PA.
+    std::fs::write(
+        &events,
+        "# window 0\n\
+         i 1 c7,Quinn,9.99,212,5550001,Fifth,PHI,PA,10012\n\
+         # window 1\n\
+         i 12 c8,Ray,5.00,215,5550002,Walnut,NYC,NY,19014\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "stream",
+        "--base",
+        &base,
+        "--rules",
+        &rules,
+        "--events",
+        &events,
+        "--out-dir",
+        &s.path("windows"),
+        "--window",
+        "10",
+        "--final",
+        &s.path("final.csv"),
+    ])
+    .unwrap();
+    assert!(out.contains("accepted 2 event(s)"), "{out}");
+    assert!(out.contains("stream closed"), "{out}");
+    for w in ["window-0.cfde", "window-1.cfde"] {
+        let log = std::fs::read(s.path(&format!("windows/{w}"))).expect(w);
+        assert!(!log.is_empty(), "{w} must hold the window's edits");
+    }
+    // Both arrivals were repaired on the way in: the final relation is
+    // clean under the same rules.
+    let detect = run(&["detect", "--data", &s.path("final.csv"), "--rules", &rules]).unwrap();
+    assert!(detect.contains("clean"), "{detect}");
+    let final_csv = std::fs::read_to_string(s.path("final.csv")).unwrap();
+    assert!(final_csv.contains("c7,Quinn"), "{final_csv}");
+    assert_eq!(
+        final_csv.lines().count(),
+        1 + 4 + 2,
+        "header + base + arrivals"
+    );
+
+    // Bad geometry answers the usage error, not a panic.
+    let err = run(&[
+        "stream",
+        "--base",
+        &base,
+        "--rules",
+        &rules,
+        "--events",
+        &events,
+        "--out-dir",
+        &s.path("w2"),
+        "--window",
+        "5",
+        "--slide",
+        "9",
+    ])
+    .unwrap_err();
+    assert!(err.contains("slide"), "{err}");
+}
+
+#[test]
 fn certify_accepts_good_repair_and_rejects_the_dirty_input() {
     let s = Scratch::new("certify");
     generate_workload(&s, 800);

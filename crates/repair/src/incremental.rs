@@ -22,7 +22,7 @@
 //! in O(1) per CFD, and the cost-based value index enumerates candidate
 //! values in increasing DL distance.
 
-use cfd_cfd::violation::Engine;
+use cfd_cfd::violation::{Engine, EngineParts};
 use cfd_cfd::Sigma;
 use cfd_model::{ActiveDomain, AttrId, Relation, Tuple, TupleId, ValueId, NULL_ID};
 
@@ -556,6 +556,75 @@ impl<'a> IncState<'a> {
                 }
             }
         }
+    }
+}
+
+/// Owned snapshot of an [`IncState`] with the Σ borrow severed: everything
+/// a resident stream driver keeps warm between repair rounds so no index
+/// is rebuilt at a window boundary. [`IncState::resume`] /
+/// [`IncState::suspend`] convert between the two forms; the round-trip is
+/// exact, so a resumed state repairs byte-identically to one that was
+/// never suspended.
+pub(crate) struct ResidentParts {
+    pub(crate) work: Relation,
+    pub(crate) engine: EngineParts,
+    pub(crate) lhs: LhsIndexes,
+    pub(crate) adom: ActiveDomain,
+    pub(crate) vidx: Vec<Option<ValueIndex>>,
+    pub(crate) dcache: DistanceCache,
+}
+
+impl ResidentParts {
+    /// Drop a live *active* tuple from the relation and every index.
+    /// Deletions never violate CFDs (§3.3), so no re-repair is needed.
+    /// The active domain (and the value indexes over it) is append-only
+    /// by design: values only the departed tuple contributed remain
+    /// candidates, which is sound — candidates are suggestions, never
+    /// obligations — and keeps removal O(indexes) instead of O(relation).
+    pub(crate) fn remove_active(
+        &mut self,
+        sigma: &Sigma,
+        id: TupleId,
+    ) -> Result<Tuple, RepairError> {
+        let t = self.work.require(id)?.to_tuple();
+        self.engine.indexes.remove(id, &t);
+        self.lhs.remove(sigma, &t);
+        Ok(self.work.delete(id)?)
+    }
+}
+
+impl<'a> IncState<'a> {
+    /// Reconstitute a driver from suspended parts. Stats restart at zero —
+    /// each resume covers one repair round; callers accumulate across
+    /// rounds.
+    pub(crate) fn resume(parts: ResidentParts, sigma: &'a Sigma, config: IncConfig) -> Self {
+        IncState {
+            sigma,
+            config,
+            work: parts.work,
+            engine: Engine::from_parts(sigma, parts.engine),
+            lhs: parts.lhs,
+            adom: parts.adom,
+            vidx: parts.vidx,
+            dcache: parts.dcache,
+            stats: IncStats::default(),
+        }
+    }
+
+    /// Sever the Σ borrow, returning the owned parts plus this round's
+    /// counters.
+    pub(crate) fn suspend(self) -> (ResidentParts, IncStats) {
+        (
+            ResidentParts {
+                work: self.work,
+                engine: self.engine.to_parts(),
+                lhs: self.lhs,
+                adom: self.adom,
+                vidx: self.vidx,
+                dcache: self.dcache,
+            },
+            self.stats,
+        )
     }
 }
 

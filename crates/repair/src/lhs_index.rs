@@ -292,6 +292,26 @@ impl LhsIndexes {
         }
     }
 
+    /// Drop a tuple from every shape's group, given its *current*
+    /// contents (call before the relation deletes it). The inverse of
+    /// [`LhsIndexes::insert`]: group counts decrement, and a pin whose
+    /// count reaches zero clears, so a later insert can re-pin the group
+    /// to a different value. Sound only for tuples of the indexed clean
+    /// portion — every non-null RHS in a group equals the pin there.
+    pub fn remove<V: TupleView + ?Sized>(&mut self, _sigma: &Sigma, t: &V) {
+        assert!(
+            !self.frozen.load(std::sync::atomic::Ordering::Acquire),
+            "LhsIndexes::remove during a frozen (read-only parallel) phase: \
+             index maintenance must run on the main state in event order"
+        );
+        for ((lhs, rhs_attr), idx) in self.shapes.iter_mut() {
+            let key = t.project_key(lhs);
+            if let Some(state) = idx.map.get_mut(&key) {
+                LhsIndex::account(state, t.id(*rhs_attr), -1);
+            }
+        }
+    }
+
     /// Does the candidate tuple `t` satisfy normal CFD `n` against the
     /// indexed relation? Checks both the pattern (constant CFDs) and the
     /// group pin (variable CFDs). §3.1's null semantics apply: a null among
@@ -435,6 +455,28 @@ mod tests {
         let probe = Tuple::from_iter(["415", "2", "LA"]);
         assert_eq!(idx.pinned_id(var, &probe), Some(vid("SF")));
         assert!(!idx.satisfies(var, &probe));
+    }
+
+    #[test]
+    fn remove_undoes_insert_and_releases_pins() {
+        let (rel, sigma) = setup();
+        let mut idx = LhsIndexes::build(&rel, &sigma);
+        let var = sigma.get(cfd_cfd::CfdId(0));
+        let fresh = Tuple::from_iter(["415", "1", "SF"]);
+        idx.insert(&sigma, &fresh);
+        let probe = Tuple::from_iter(["415", "2", "LA"]);
+        assert_eq!(idx.pinned_id(var, &probe), Some(vid("SF")));
+        // Removing the only member clears the pin entirely.
+        idx.remove(&sigma, &fresh);
+        assert_eq!(idx.pinned_id(var, &probe), None);
+        assert!(idx.satisfies(var, &probe));
+        // A later insert re-pins the group to the new value.
+        idx.insert(&sigma, &probe);
+        assert_eq!(idx.pinned_id(var, &fresh), Some(vid("LA")));
+        // Counts are per-member: with two members, one removal keeps the pin.
+        idx.insert(&sigma, &Tuple::from_iter(["415", "3", "LA"]));
+        idx.remove(&sigma, &probe);
+        assert_eq!(idx.pinned_id(var, &fresh), Some(vid("LA")));
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod ind_repair;
 pub mod lhs_index;
 pub mod options;
 pub mod pricing;
+pub mod resident;
 pub mod shard;
 pub mod speculative;
 pub mod subset;
@@ -79,9 +80,10 @@ pub use batch::{
     batch_repair, batch_repair_traced, batch_repair_with_parts, BatchOutcome, BatchStats,
     MergePricing, PickStrategy,
 };
-pub use incremental::{inc_repair, IncOutcome, Ordering};
+pub use incremental::{inc_repair, IncOutcome, IncStats, Ordering};
 pub use ind_repair::{repair_ind, repair_inds, IndRepairConfig, IndRepairStats};
 pub use options::{Algorithm, RepairOptions};
+pub use resident::StreamRepairer;
 pub use speculative::SpecStats;
 pub use subset::{consistent_subset, repair_via_incremental};
 

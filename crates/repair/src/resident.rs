@@ -1,0 +1,241 @@
+//! Resident `INCREPAIR` driver for streaming sessions.
+//!
+//! A one-shot [`crate::inc_repair`] rebuilds every index per call — fine
+//! for a batch, ruinous for a stream that repairs a small ΔD every window.
+//! [`StreamRepairer`] keeps the whole `IncState` machinery warm between
+//! repair rounds: the violation-engine group indexes (as owned
+//! `EngineParts`), the LHS-indices, the active domain, the lazily-built
+//! nearest-value indexes and the distance memo all persist, and each round
+//! reconstitutes a borrowing [`IncState`](crate::incremental::IncState)
+//! around them for the duration of one `resolve` call.
+//!
+//! The determinism contract carries over unchanged: a resume/suspend
+//! round-trip moves owned state verbatim, so a stream of rounds repairs
+//! byte-identically to one-shot `inc_repair` calls that replayed the same
+//! history — the property the stream differential suite pins.
+//!
+//! Two divergences from the one-shot path, both deliberate:
+//!
+//! * **Deletions are index maintenance only.** Deletions never violate
+//!   CFDs (§3.3), so [`StreamRepairer::remove_active`] drops the tuple
+//!   from the relation, the group indexes and the LHS-indices and stops
+//!   there — no re-repair of tuples that conflicted with the departed one.
+//! * **The active domain is append-only.** Values contributed solely by
+//!   since-deleted tuples remain repair *candidates*. Candidates are
+//!   suggestions, never obligations (feasibility always re-checks against
+//!   live indexes), so this is sound; it keeps removal cheap and the
+//!   nearest-value indexes incremental.
+
+use cfd_cfd::Sigma;
+use cfd_model::{Relation, Tuple, TupleId};
+
+use crate::incremental::{IncConfig, IncState, IncStats, ResidentParts};
+use crate::RepairError;
+
+/// A resident incremental repairer: owns a working relation plus every
+/// index `INCREPAIR` needs, across an unbounded sequence of repair rounds.
+///
+/// Holds no borrow of Σ — each method takes it fresh, so the owner (a
+/// session, a daemon) can store the repairer and the [`Sigma`] side by
+/// side without self-reference.
+///
+/// Tuples are in one of two states: **active** (part of the clean
+/// portion, visible to every index) or **staged** (inserted into the
+/// relation but invisible to the indexes, awaiting
+/// [`resolve_pending`](StreamRepairer::resolve_pending)). The caller —
+/// the windowing layer — tracks which ids are staged.
+pub struct StreamRepairer {
+    /// `None` only transiently inside `resolve_pending`; a panic there
+    /// leaves the repairer unusable, which the session layer surfaces as
+    /// a poisoned dataset.
+    parts: Option<ResidentParts>,
+    config: IncConfig,
+}
+
+impl StreamRepairer {
+    /// Build a repairer over a clean base (`D |= Σ`). Cost mirrors one
+    /// `IncState::new`: every later round is index-rebuild-free.
+    pub fn new(base: Relation, sigma: &Sigma, config: IncConfig) -> Result<Self, RepairError> {
+        let state = IncState::new(base, &[], sigma, config.clone())?;
+        let (parts, _) = state.suspend();
+        Ok(StreamRepairer {
+            parts: Some(parts),
+            config,
+        })
+    }
+
+    fn parts(&self) -> &ResidentParts {
+        self.parts
+            .as_ref()
+            .expect("repairer lost in a failed round")
+    }
+
+    fn parts_mut(&mut self) -> &mut ResidentParts {
+        self.parts
+            .as_mut()
+            .expect("repairer lost in a failed round")
+    }
+
+    /// The working relation: active tuples carry repaired values, staged
+    /// tuples their original (possibly dirty) ones.
+    pub fn work(&self) -> &Relation {
+        &self.parts().work
+    }
+
+    /// Stage a tuple: append it to the relation (fresh id, input order)
+    /// without touching any index. Staged tuples exert no pressure on
+    /// anyone — one dirty arrival must not smear violations over the
+    /// innocent members of its groups before resolution assigns blame.
+    pub fn stage(&mut self, t: Tuple) -> Result<TupleId, RepairError> {
+        Ok(self.parts_mut().work.insert(t)?)
+    }
+
+    /// Withdraw a *staged* tuple (an in-window delete cancelling a
+    /// not-yet-resolved insert). No index ever saw it, so this is a plain
+    /// relation delete. Returns the staged contents.
+    pub fn unstage(&mut self, id: TupleId) -> Result<Tuple, RepairError> {
+        Ok(self.parts_mut().work.delete(id)?)
+    }
+
+    /// Drop an *active* tuple from the relation and every index. See the
+    /// module docs for the deletion semantics.
+    pub fn remove_active(&mut self, sigma: &Sigma, id: TupleId) -> Result<Tuple, RepairError> {
+        self.parts_mut().remove_active(sigma, id)
+    }
+
+    /// One repair round: order `pending` (staged ids) per the configured
+    /// [`Ordering`](crate::Ordering), resolve each via `TUPLERESOLVE`,
+    /// and activate the repaired tuples in every index. `pending` is
+    /// reordered in place to the processing order. Returns this round's
+    /// counters.
+    pub fn resolve_pending(
+        &mut self,
+        sigma: &Sigma,
+        pending: &mut [TupleId],
+    ) -> Result<IncStats, RepairError> {
+        let parts = self.parts.take().expect("repairer lost in a failed round");
+        let mut state = IncState::resume(parts, sigma, self.config.clone());
+        state.order_pending(pending);
+        let mut failed = None;
+        for id in pending.iter() {
+            if let Err(e) = state.resolve_and_activate(*id) {
+                failed = Some(e);
+                break;
+            }
+        }
+        let (parts, stats) = state.suspend();
+        self.parts = Some(parts);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_cfd::Cfd;
+    use cfd_model::{Schema, Value};
+
+    fn kv_sigma(schema: &Schema) -> Sigma {
+        let fd = Cfd::standard_fd(
+            "kv",
+            vec![schema.attr("k").unwrap()],
+            vec![schema.attr("v").unwrap()],
+        );
+        Sigma::normalize(schema.clone(), vec![fd]).unwrap()
+    }
+
+    fn base() -> (Relation, Sigma) {
+        let schema = Schema::new("r", &["k", "v"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        rel.insert(Tuple::from_iter(["k0", "alpha"])).unwrap();
+        rel.insert(Tuple::from_iter(["k1", "beta"])).unwrap();
+        let sigma = kv_sigma(&schema);
+        (rel, sigma)
+    }
+
+    /// Streamed rounds must equal one-shot `inc_repair` over the same
+    /// history: round boundaries are invisible to the repair outcome.
+    #[test]
+    fn rounds_match_one_shot_inc_repair() {
+        let (rel, sigma) = base();
+        let d1 = Tuple::from_iter(["k0", "alphb"]); // conflicts with base pin
+        let d2 = Tuple::from_iter(["k2", "gamma"]); // clean
+        let d3 = Tuple::from_iter(["k2", "gamm"]); // conflicts with d2's pin
+
+        // One-shot references: repair [d1, d2] first, then [d3] on top.
+        let cfg = IncConfig::default();
+        let one = inc_oneshot(&rel, &[d1.clone(), d2.clone()], &sigma, &cfg);
+        let two = inc_oneshot(&one, std::slice::from_ref(&d3), &sigma, &cfg);
+
+        let mut r = StreamRepairer::new(rel, &sigma, cfg).unwrap();
+        let mut round1 = vec![r.stage(d1).unwrap(), r.stage(d2).unwrap()];
+        r.resolve_pending(&sigma, &mut round1).unwrap();
+        let mut round2 = vec![r.stage(d3).unwrap()];
+        r.resolve_pending(&sigma, &mut round2).unwrap();
+
+        assert_eq!(r.work().len(), two.len());
+        for (id, t) in two.iter() {
+            assert_eq!(r.work().tuple(id).unwrap(), t, "tuple {id} diverged");
+        }
+    }
+
+    fn inc_oneshot(d: &Relation, delta: &[Tuple], sigma: &Sigma, cfg: &IncConfig) -> Relation {
+        crate::inc_repair(d, delta, sigma, cfg.clone())
+            .unwrap()
+            .repair
+    }
+
+    /// Deleting an active tuple releases its LHS pin: a later arrival
+    /// re-pins the group to its own value instead of the departed one's.
+    #[test]
+    fn remove_active_releases_group_pin() {
+        let (rel, sigma) = base();
+        let v = rel.schema().attr("v").unwrap();
+        let mut r = StreamRepairer::new(rel, &sigma, IncConfig::default()).unwrap();
+
+        let mut ids = vec![r.stage(Tuple::from_iter(["k9", "delta"])).unwrap()];
+        r.resolve_pending(&sigma, &mut ids).unwrap();
+        let pinner = ids[0];
+
+        // While the pinner lives, a conflicting arrival follows its value.
+        let mut ids = vec![r.stage(Tuple::from_iter(["k9", "delte"])).unwrap()];
+        r.resolve_pending(&sigma, &mut ids).unwrap();
+        assert_eq!(
+            r.work().require(ids[0]).unwrap().value(v),
+            Value::str("delta")
+        );
+
+        // Remove both members; the group is empty, so the pin must clear.
+        r.remove_active(&sigma, pinner).unwrap();
+        r.remove_active(&sigma, ids[0]).unwrap();
+        let mut ids = vec![r.stage(Tuple::from_iter(["k9", "epsilon"])).unwrap()];
+        r.resolve_pending(&sigma, &mut ids).unwrap();
+        assert_eq!(
+            r.work().require(ids[0]).unwrap().value(v),
+            Value::str("epsilon"),
+            "stale pin survived removal of every group member"
+        );
+    }
+
+    /// A staged tuple withdrawn before resolution leaves no trace in any
+    /// index — the relation slot dies and later rounds are unaffected.
+    #[test]
+    fn unstage_cancels_cleanly() {
+        let (rel, sigma) = base();
+        let mut r = StreamRepairer::new(rel, &sigma, IncConfig::default()).unwrap();
+        let id = r.stage(Tuple::from_iter(["k0", "zzz"])).unwrap();
+        let t = r.unstage(id).unwrap();
+        assert_eq!(t.value(rel_attr(&r, "v")), Value::str("zzz"));
+        assert!(r.work().tuple(id).is_none());
+        // An empty round is a no-op.
+        let stats = r.resolve_pending(&sigma, &mut []).unwrap();
+        assert_eq!(stats.processed, 0);
+    }
+
+    fn rel_attr(r: &StreamRepairer, name: &str) -> cfd_model::AttrId {
+        r.work().schema().attr(name).unwrap()
+    }
+}

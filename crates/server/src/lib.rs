@@ -96,12 +96,30 @@
 //! 0x0a List
 //! 0x0b Stats
 //! 0x0c Shutdown
+//! 0x0d StreamOpen    dataset:str size:u64 slide:u64
+//!                    ordering:u8 ('v'|'w'|'l') k:u32
+//! 0x0e StreamFeed    dataset:str events:bytes
+//! 0x0f StreamAdvance dataset:str watermark:u64
+//! 0x10 StreamClose   dataset:str
 //! ```
 //!
 //! `algorithm` is the CLI spelling (`batch`, `v-inc`, `w-inc`,
 //! `l-inc`); `pick` is `global` or `dependency`; unset `threads` /
 //! `speculate` / `simd` defer to the daemon's environment exactly as
 //! the CLI's unset flags do.
+//!
+//! The stream opcodes drive a windowed repair session
+//! ([`cfdclean::RepairSession`], at most one per dataset, opened on a
+//! clean base with bound rules). `StreamFeed`'s `events` payload is the
+//! UTF-8 text event format — `i <ts> <csv-row>` / `d <ts> <tuple-id>`,
+//! one event per line, `#` comments — queued without repairing.
+//! `StreamAdvance` closes every window ending at or before `watermark`
+//! and repairs each closed window's arrivals; `StreamClose` flushes all
+//! remaining queued windows and reclaims the stream's dictionary slots.
+//! All four take the dataset's write lock (they mutate stream state),
+//! so they serialize with inserts and with each other; detects and
+//! repairs on the same dataset keep answering from the unmodified
+//! resident relation throughout.
 //!
 //! ### Responses
 //!
@@ -113,19 +131,28 @@
 //! `text` is the human-readable result (identical to the corresponding
 //! CLI command's output where one exists). `blobs` carry binary
 //! attachments: `Repair` → `[repaired_csv]` or
-//! `[repaired_csv, edit_log]`; `Insert` → `[merged_csv]`; every other
-//! opcode sends none. Error kinds:
+//! `[repaired_csv, edit_log]`; `Insert` → `[merged_csv]`;
+//! `StreamAdvance` and `StreamClose` → one `.cfde` edit log per closed
+//! window, paired in order with the `window k [...]` summary lines of
+//! `text` (`nblobs` is a `u8`, so an advance that would close more than
+//! 255 event-bearing windows is refused with a `Stream` error — advance
+//! in smaller watermark steps); every other opcode sends none. Error
+//! kinds:
 //!
 //! ```text
 //! 0 UnknownDataset  1 AlreadyOpen  2 Evicted    3 NoRules
 //! 4 NoCatalog       5 Data         6 Rules      7 Snapshot
 //! 8 Repair          9 Internal    10 Protocol  11 Timeout
+//! 12 Poisoned      13 Stream
 //! ```
 //!
 //! `Timeout` (the per-request deadline passed; the work keeps running
 //! and later requests on the connection queue behind it) and
 //! `Protocol` are daemon-only; the rest map 1:1 onto
-//! [`cfdclean::SessionError`].
+//! [`cfdclean::SessionError`]. `Poisoned` means a previous request
+//! panicked while holding the dataset's lock — the dataset answers this
+//! kind until it is evicted (eviction always succeeds and reclaims its
+//! memory); other datasets are unaffected.
 //!
 //! ### Batching
 //!

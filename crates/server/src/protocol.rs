@@ -143,6 +143,10 @@ impl Enc {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
 
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn bool(&mut self, v: bool) {
         self.0.push(v as u8);
     }
@@ -212,6 +216,13 @@ impl<'a> Dec<'a> {
         let chunk = self.buf.get(self.pos..end).ok_or(ProtoError::Truncated)?;
         self.pos = end;
         Ok(u32::from_le_bytes(chunk.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let end = self.pos.checked_add(8).ok_or(ProtoError::Truncated)?;
+        let chunk = self.buf.get(self.pos..end).ok_or(ProtoError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte slice")))
     }
 
     fn bool(&mut self) -> Result<bool, ProtoError> {
@@ -356,6 +367,25 @@ pub enum Request {
     Stats,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
+    /// Open a windowed streaming repair session on a dataset.
+    StreamOpen {
+        dataset: String,
+        /// Window size `W` in timestamp units.
+        size: u64,
+        /// Window slide `S` (`1 ≤ S ≤ W`; `S = W` is tumbling).
+        slide: u64,
+        /// `b'v'`, `b'w'`, or `b'l'`.
+        ordering: u8,
+        k: u32,
+    },
+    /// Queue a batch of timestamped events (the `i <ts> <csv-row>` /
+    /// `d <ts> <tuple-id>` text format) into the dataset's stream.
+    StreamFeed { dataset: String, events: Vec<u8> },
+    /// Advance the stream's watermark, closing and repairing every
+    /// window that ends at or before it.
+    StreamAdvance { dataset: String, watermark: u64 },
+    /// Flush all queued windows and shut the dataset's stream down.
+    StreamClose { dataset: String },
 }
 
 const OP_PING: u8 = 0x01;
@@ -370,6 +400,10 @@ const OP_EVICT: u8 = 0x09;
 const OP_LIST: u8 = 0x0a;
 const OP_STATS: u8 = 0x0b;
 const OP_SHUTDOWN: u8 = 0x0c;
+const OP_STREAM_OPEN: u8 = 0x0d;
+const OP_STREAM_FEED: u8 = 0x0e;
+const OP_STREAM_ADVANCE: u8 = 0x0f;
+const OP_STREAM_CLOSE: u8 = 0x10;
 
 /// Encode a request payload (the frame body, without the length prefix).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -451,6 +485,38 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::List => Enc::new(OP_LIST).0,
         Request::Stats => Enc::new(OP_STATS).0,
         Request::Shutdown => Enc::new(OP_SHUTDOWN).0,
+        Request::StreamOpen {
+            dataset,
+            size,
+            slide,
+            ordering,
+            k,
+        } => {
+            let mut e = Enc::new(OP_STREAM_OPEN);
+            e.str(dataset);
+            e.u64(*size);
+            e.u64(*slide);
+            e.u8(*ordering);
+            e.u32(*k);
+            e.0
+        }
+        Request::StreamFeed { dataset, events } => {
+            let mut e = Enc::new(OP_STREAM_FEED);
+            e.str(dataset);
+            e.bytes(events);
+            e.0
+        }
+        Request::StreamAdvance { dataset, watermark } => {
+            let mut e = Enc::new(OP_STREAM_ADVANCE);
+            e.str(dataset);
+            e.u64(*watermark);
+            e.0
+        }
+        Request::StreamClose { dataset } => {
+            let mut e = Enc::new(OP_STREAM_CLOSE);
+            e.str(dataset);
+            e.0
+        }
     }
 }
 
@@ -507,6 +573,24 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         OP_LIST => Request::List,
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_STREAM_OPEN => Request::StreamOpen {
+            dataset: d.str()?.to_string(),
+            size: d.u64()?,
+            slide: d.u64()?,
+            ordering: d.u8()?,
+            k: d.u32()?,
+        },
+        OP_STREAM_FEED => Request::StreamFeed {
+            dataset: d.str()?.to_string(),
+            events: d.bytes()?.to_vec(),
+        },
+        OP_STREAM_ADVANCE => Request::StreamAdvance {
+            dataset: d.str()?.to_string(),
+            watermark: d.u64()?,
+        },
+        OP_STREAM_CLOSE => Request::StreamClose {
+            dataset: d.str()?.to_string(),
+        },
         other => return Err(ProtoError::BadOpcode(other)),
     };
     d.finish()?;
@@ -534,6 +618,12 @@ pub enum ErrorKind {
     Protocol,
     /// The request exceeded the server's per-request timeout.
     Timeout,
+    /// The dataset's lock is poisoned by a panicked request; evicting
+    /// it recovers.
+    Poisoned,
+    /// A streaming-session failure: no stream open, already open, bad
+    /// window geometry, malformed or late events, bad delete targets.
+    Stream,
 }
 
 impl ErrorKind {
@@ -551,6 +641,8 @@ impl ErrorKind {
             ErrorKind::Internal => 9,
             ErrorKind::Protocol => 10,
             ErrorKind::Timeout => 11,
+            ErrorKind::Poisoned => 12,
+            ErrorKind::Stream => 13,
         }
     }
 
@@ -568,6 +660,8 @@ impl ErrorKind {
             9 => ErrorKind::Internal,
             10 => ErrorKind::Protocol,
             11 => ErrorKind::Timeout,
+            12 => ErrorKind::Poisoned,
+            13 => ErrorKind::Stream,
             t => return Err(ProtoError::BadTag(t)),
         })
     }
@@ -713,6 +807,24 @@ mod tests {
         round_trip(Request::List);
         round_trip(Request::Stats);
         round_trip(Request::Shutdown);
+        round_trip(Request::StreamOpen {
+            dataset: "cust".into(),
+            size: u64::MAX,
+            slide: 7,
+            ordering: b'v',
+            k: 1,
+        });
+        round_trip(Request::StreamFeed {
+            dataset: "cust".into(),
+            events: b"i 3 212,5556611,NYC,NY,10012\nd 5 0\n".to_vec(),
+        });
+        round_trip(Request::StreamAdvance {
+            dataset: "cust".into(),
+            watermark: 1 << 40,
+        });
+        round_trip(Request::StreamClose {
+            dataset: "cust".into(),
+        });
     }
 
     #[test]
@@ -725,6 +837,8 @@ mod tests {
             },
             Response::err(ErrorKind::UnknownDataset, "no dataset named \"x\" is open"),
             Response::err(ErrorKind::Timeout, "request timed out"),
+            Response::err(ErrorKind::Poisoned, "dataset \"x\" is poisoned"),
+            Response::err(ErrorKind::Stream, "window 3: late event"),
         ] {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp);

@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use cfd_model::Catalog;
 use cfd_repair::{Algorithm, Ordering, PickStrategy, RepairOptions};
-use cfdclean::{Session, SessionError};
+use cfdclean::{read_cell, write_cell, Session, SessionError, StreamConfig, WindowResult};
 
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, ErrorKind, ProtoError, RepairSpec,
@@ -320,7 +320,52 @@ fn kind_of(e: &SessionError) -> ErrorKind {
         SessionError::Snapshot(_) => ErrorKind::Snapshot,
         SessionError::Repair(_) => ErrorKind::Repair,
         SessionError::Internal(_) => ErrorKind::Internal,
+        SessionError::Poisoned(_) => ErrorKind::Poisoned,
+        SessionError::Stream(_) => ErrorKind::Stream,
     }
+}
+
+fn parse_ordering(byte: u8) -> Result<Ordering, SessionError> {
+    match byte {
+        b'v' => Ok(Ordering::Violations),
+        b'w' => Ok(Ordering::Weight),
+        b'l' => Ok(Ordering::Linear),
+        other => Err(SessionError::Data(format!(
+            "unknown ordering {:?} (v, w, l)",
+            other as char
+        ))),
+    }
+}
+
+/// Pack closed-window results into one response: summaries (plus an
+/// optional trailer line) as the text, one `.cfde` edit log per window
+/// as the blobs. The blob count field is a `u8`, so more than 255
+/// event-bearing windows cannot ride one response — the caller must
+/// advance in smaller watermark steps.
+fn window_response(
+    results: Vec<WindowResult>,
+    trailer: Option<String>,
+) -> Result<Response, SessionError> {
+    if results.len() > 255 {
+        return Err(SessionError::Stream(format!(
+            "{} windows closed at once; a response carries at most 255 — advance in smaller watermark steps",
+            results.len()
+        )));
+    }
+    let mut lines: Vec<String> = Vec::new();
+    let mut blobs = Vec::with_capacity(results.len());
+    if results.is_empty() {
+        lines.push("no window closed".to_string());
+    }
+    for r in results {
+        lines.push(r.summary());
+        blobs.push(r.edit_log);
+    }
+    lines.extend(trailer);
+    Ok(Response::Ok {
+        text: lines.join("\n"),
+        blobs,
+    })
 }
 
 /// Lower a wire [`RepairSpec`] to [`RepairOptions`], rejecting unknown
@@ -375,7 +420,7 @@ fn run(session: &Session, req: &Request) -> Result<Response, SessionError> {
         } => {
             let installed = session.open_csv(name, csv, rules.as_deref(), weights.as_deref())?;
             let tuples = {
-                let cell = installed.entry.read().unwrap_or_else(|e| e.into_inner());
+                let cell = read_cell(&installed.entry)?;
                 cell.handle()?.relation().len()
             };
             let mut text = format!("opened {name:?}: {tuples} tuple(s)");
@@ -387,7 +432,7 @@ fn run(session: &Session, req: &Request) -> Result<Response, SessionError> {
         Request::OpenSnapshot { name } => {
             let installed = session.open_snapshot(name)?;
             let tuples = {
-                let cell = installed.entry.read().unwrap_or_else(|e| e.into_inner());
+                let cell = read_cell(&installed.entry)?;
                 cell.handle()?.relation().len()
             };
             let mut text = format!("opened snapshot {name:?}: {tuples} tuple(s)");
@@ -398,7 +443,7 @@ fn run(session: &Session, req: &Request) -> Result<Response, SessionError> {
         }
         Request::Detect { dataset, limit } => {
             let entry = session.get(dataset)?;
-            let cell = entry.read().unwrap_or_else(|e| e.into_inner());
+            let cell = read_cell(&entry)?;
             let text = cell.handle()?.detect_report(*limit as usize)?;
             Ok(Response::ok(text))
         }
@@ -410,7 +455,7 @@ fn run(session: &Session, req: &Request) -> Result<Response, SessionError> {
         } => {
             let opts = spec_to_options(spec)?;
             let entry = session.get(dataset)?;
-            let cell = entry.read().unwrap_or_else(|e| e.into_inner());
+            let cell = read_cell(&entry)?;
             let run = cell.handle()?.repair(&opts, *want_edits)?;
             let mut text = run.summary();
             if *want_stats {
@@ -429,19 +474,9 @@ fn run(session: &Session, req: &Request) -> Result<Response, SessionError> {
             ordering,
             k,
         } => {
-            let ordering = match ordering {
-                b'v' => Ordering::Violations,
-                b'w' => Ordering::Weight,
-                b'l' => Ordering::Linear,
-                other => {
-                    return Err(SessionError::Data(format!(
-                        "unknown ordering {:?} (v, w, l)",
-                        *other as char
-                    )))
-                }
-            };
+            let ordering = parse_ordering(*ordering)?;
             let entry = session.get(dataset)?;
-            let mut cell = entry.write().unwrap_or_else(|e| e.into_inner());
+            let mut cell = write_cell(&entry)?;
             let run = cell
                 .handle_mut()?
                 .insert(csv, weights.as_deref(), ordering, *k as usize)?;
@@ -481,6 +516,44 @@ fn run(session: &Session, req: &Request) -> Result<Response, SessionError> {
         // Never reaches the worker: the I/O thread answers shutdown
         // inline so the reply cannot race the process exiting.
         Request::Shutdown => Ok(Response::ok("shutting down")),
+        Request::StreamOpen {
+            dataset,
+            size,
+            slide,
+            ordering,
+            k,
+        } => {
+            let ordering = parse_ordering(*ordering)?;
+            let entry = session.get(dataset)?;
+            let mut cell = write_cell(&entry)?;
+            let info = cell.handle_mut()?.open_stream(StreamConfig {
+                size: *size,
+                slide: *slide,
+                ordering,
+                k: *k as usize,
+            })?;
+            Ok(Response::ok(info.summary()))
+        }
+        Request::StreamFeed { dataset, events } => {
+            let events = std::str::from_utf8(events)
+                .map_err(|_| SessionError::Data("event batch is not valid UTF-8".to_string()))?;
+            let entry = session.get(dataset)?;
+            let mut cell = write_cell(&entry)?;
+            let accepted = cell.handle_mut()?.stream_feed(events)?;
+            Ok(Response::ok(format!("accepted {accepted} event(s)")))
+        }
+        Request::StreamAdvance { dataset, watermark } => {
+            let entry = session.get(dataset)?;
+            let mut cell = write_cell(&entry)?;
+            let results = cell.handle_mut()?.stream_advance(*watermark)?;
+            window_response(results, None)
+        }
+        Request::StreamClose { dataset } => {
+            let entry = session.get(dataset)?;
+            let mut cell = write_cell(&entry)?;
+            let (flushed, report) = cell.handle_mut()?.stream_close()?;
+            window_response(flushed, Some(report.summary()))
+        }
     }
 }
 

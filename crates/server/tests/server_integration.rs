@@ -511,6 +511,110 @@ fn malformed_oversized_and_disconnecting_peers_never_wedge_the_daemon() {
 }
 
 #[test]
+fn daemon_streams_equal_in_process_sessions_byte_for_byte() {
+    use cfdclean::StreamConfig;
+
+    // Clean base (streams demand one) + the same fixture rules.
+    let open_clean = Request::Open {
+        name: "live".into(),
+        csv: fixture("cust_repaired.csv"),
+        rules: Some(rules_text()),
+        weights: None,
+    };
+    // Window 0: one dirty arrival (AC 212 pins NYC/NY) and one clean.
+    // Window 1: another dirty arrival plus a delete of the w0 clean one.
+    let w0 = "i 1 c7,Quinn,9.99,212,5550001,Fifth,PHI,PA,10012\n\
+              i 4 c8,Ray,5.00,212,5550002,Fifth,NYC,NY,10012\n";
+    let w1 = "i 12 c9,Sam,7.50,215,5550003,Walnut,NYC,NY,19014\n";
+
+    // The in-process reference run.
+    let mut h = DatasetHandle::from_csv("live", &fixture("cust_repaired.csv")).unwrap();
+    h.bind_rules(&rules_text(), "rules").unwrap();
+    let info = h.open_stream(StreamConfig::tumbling(10)).unwrap();
+    let delete_clean = format!("d 13 {}\n", info.next_tuple_id + 1);
+    let accepted0 = h.stream_feed(w0).unwrap();
+    let local_w0 = h.stream_advance(10).unwrap();
+    let accepted1 = h.stream_feed(&format!("{w1}{delete_clean}")).unwrap();
+    let (local_flushed, local_report) = h.stream_close().unwrap();
+    assert_eq!(local_w0.len(), 1);
+    assert_eq!(local_flushed.len(), 1);
+    assert!(local_w0[0].edits > 0, "the dirty arrival must be repaired");
+
+    // The same sequence over the wire.
+    let daemon = start(ServerConfig::default());
+    let mut c = daemon.client();
+    ok(c.request(&open_clean).unwrap());
+    let (open_text, _) = ok(c
+        .request(&Request::StreamOpen {
+            dataset: "live".into(),
+            size: 10,
+            slide: 10,
+            ordering: b'v',
+            k: 1,
+        })
+        .unwrap());
+    assert_eq!(open_text, info.summary());
+    let (feed_text, _) = ok(c
+        .request(&Request::StreamFeed {
+            dataset: "live".into(),
+            events: w0.as_bytes().to_vec(),
+        })
+        .unwrap());
+    assert_eq!(feed_text, format!("accepted {accepted0} event(s)"));
+    let (advance_text, advance_blobs) = ok(c
+        .request(&Request::StreamAdvance {
+            dataset: "live".into(),
+            watermark: 10,
+        })
+        .unwrap());
+    assert_eq!(advance_text, local_w0[0].summary());
+    assert_eq!(
+        advance_blobs,
+        vec![local_w0[0].edit_log.clone()],
+        "window 0 edit log diverged from the in-process stream"
+    );
+    let (feed_text, _) = ok(c
+        .request(&Request::StreamFeed {
+            dataset: "live".into(),
+            events: format!("{w1}{delete_clean}").into_bytes(),
+        })
+        .unwrap());
+    assert_eq!(feed_text, format!("accepted {accepted1} event(s)"));
+    let (close_text, close_blobs) = ok(c
+        .request(&Request::StreamClose {
+            dataset: "live".into(),
+        })
+        .unwrap());
+    assert_eq!(
+        close_text,
+        format!("{}\n{}", local_flushed[0].summary(), local_report.summary())
+    );
+    assert_eq!(close_blobs, vec![local_flushed[0].edit_log.clone()]);
+
+    // Stream ops on a streamless dataset answer the typed kind.
+    let (kind, _) = err(c
+        .request(&Request::StreamFeed {
+            dataset: "live".into(),
+            events: b"i 1 x".to_vec(),
+        })
+        .unwrap());
+    assert_eq!(kind, ErrorKind::Stream);
+    // An advance past u8::MAX windows of queued events is impossible to
+    // ship; geometry errors are typed too.
+    let (kind, _) = err(c
+        .request(&Request::StreamOpen {
+            dataset: "live".into(),
+            size: 5,
+            slide: 9,
+            ordering: b'v',
+            k: 1,
+        })
+        .unwrap());
+    assert_eq!(kind, ErrorKind::Stream);
+    daemon.stop();
+}
+
+#[test]
 fn zero_timeout_answers_typed_timeout_without_wedging_the_connection() {
     let daemon = start(ServerConfig {
         request_timeout: Some(Duration::ZERO),

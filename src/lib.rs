@@ -65,10 +65,47 @@
 //! ΔD's transient values ([`model::ValuePool::seal_ids`] — released
 //! without free-list reuse, so later interns still get append-order
 //! ids); eviction retires + compacts the whole dictionary back to
-//! baseline. The server integration suite pins daemon answers against
+//! baseline. A request that panics inside a dataset's lock poisons only
+//! that dataset: subsequent requests on it get a typed
+//! [`SessionError::Poisoned`] instead of a wedged session, siblings
+//! proceed untouched, and eviction still succeeds and reclaims the
+//! memory. The server integration suite pins daemon answers against
 //! the one-shot facade across the thread-count × speculation × SIMD
 //! corner matrix, and a CI smoke job diffs a real daemon's output
 //! against the committed golden fixtures.
+//!
+//! ## Streaming repair sessions
+//!
+//! [`stream`] layers *continuous* repair on top of the resident
+//! machinery. A [`RepairSession`] (one per dataset, opened on a clean
+//! base with bound rules via `DatasetHandle::open_stream`) accepts
+//! timestamped events — `i <ts> <csv-row>` inserts and `d <ts>
+//! <tuple-id>` deletes — and windows them by a [`StreamConfig`]:
+//! tumbling (`slide == size`) or sliding (`slide < size`), where window
+//! `k` covers `[k·slide, k·slide + size)` and an event commits in the
+//! *first* window whose close covers its timestamp (deterministic under
+//! overlap; events at or below the watermark are rejected as late at
+//! feed time, so replaying a log always yields the same assignment).
+//! Advancing the watermark closes due windows in order. Each close
+//! stages that window's arrivals against the evolved base (base +
+//! every previously committed window), runs `INCREPAIR` over the warm
+//! [`cfd::violation::EngineParts`] — the resident index is *updated*,
+//! never rebuilt, as tuples arrive and leave — and emits one id-stable
+//! `.cfde` edit log, so replaying the per-window logs onto the initial
+//! snapshot reconstructs the live relation exactly
+//! (`tests/stream_differential.rs` pins this, plus
+//! stream-vs-one-shot-`INCREPAIR` byte equality per window and
+//! sliding-with-`slide == size` ≡ tumbling). Pool hygiene follows the
+//! insert path's discipline per window: a closing window's rejected
+//! values are retired and **sealed** — never free-listed mid-stream, so
+//! ids stay append-ordered and `FINDV` tie-breaks match a fresh process
+//! — and closing the stream (or evicting the dataset, which aborts an
+//! open stream) returns the pool to its pre-stream footprint. All
+//! three front ends expose it: the facade (`open_stream` /
+//! `stream_feed` / `stream_advance` / `stream_close`), the daemon
+//! (opcodes `0x0d`–`0x10`), and the CLI (`cfdclean stream` one-shot
+//! replay, `cfdclean client stream-*` against a live daemon), with
+//! daemon-fed streams byte-identical to in-process sessions.
 //!
 //! ## Crates
 //!
@@ -95,8 +132,8 @@
 //! (`crates/server`, crate `cfd-server`: the framed wire protocol, the
 //! serve loop, and a blocking client), a command-line tool
 //! (`crates/cli`, binary `cfdclean`) that exposes detect / repair /
-//! insert / discover / certify / generate / snapshot / serve / client
-//! over CSV and rule files, and a dependency-free seedable PRNG
+//! insert / stream / discover / certify / generate / snapshot / serve /
+//! client over CSV and rule files, and a dependency-free seedable PRNG
 //! (`cfd-prng`) backing the generator and the randomized test suites.
 //!
 //! The `parallel` feature shards index builds, full-relation violation
@@ -148,6 +185,7 @@
 //! ```
 
 pub mod session;
+pub mod stream;
 
 pub use cfd_cfd as cfd;
 pub use cfd_discovery as discovery;
@@ -157,6 +195,7 @@ pub use cfd_repair as repair;
 pub use cfd_sampling as sampling;
 
 pub use session::{
-    DatasetCell, DatasetHandle, DatasetRef, EvictReport, InsertRun, Installed, RepairRun, Session,
-    SessionError, SessionStats,
+    read_cell, write_cell, DatasetCell, DatasetHandle, DatasetRef, EvictReport, InsertRun,
+    Installed, RepairRun, Session, SessionError, SessionStats,
 };
+pub use stream::{RepairSession, StreamCloseReport, StreamConfig, StreamInfo, WindowResult};

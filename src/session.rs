@@ -61,6 +61,8 @@ use cfd_repair::{
     Parallelism, RepairError, RepairOptions,
 };
 
+use crate::stream::{RepairSession, StreamCloseReport, StreamConfig, StreamInfo, WindowResult};
+
 /// Typed errors for every facade operation. Front ends render these with
 /// `Display`; the daemon maps them onto wire-protocol error frames
 /// without losing the kind.
@@ -84,6 +86,13 @@ pub enum SessionError {
     Snapshot(String),
     /// The repair algorithm itself failed.
     Repair(String),
+    /// A streaming-session operation failed (no stream open, a stream
+    /// already open, a late event, a bad delete target).
+    Stream(String),
+    /// The dataset's lock was poisoned by a panicking request. The
+    /// dataset is wedged until evicted (eviction recovers the guard and
+    /// reclaims the pool); every other dataset keeps answering.
+    Poisoned(String),
     /// An internal invariant failed — a bug, never bad user input.
     Internal(String),
 }
@@ -99,7 +108,12 @@ impl fmt::Display for SessionError {
             SessionError::Data(m)
             | SessionError::Rules(m)
             | SessionError::Snapshot(m)
-            | SessionError::Repair(m) => f.write_str(m),
+            | SessionError::Repair(m)
+            | SessionError::Stream(m) => f.write_str(m),
+            SessionError::Poisoned(n) => write!(
+                f,
+                "dataset {n:?} is poisoned by a panicked request; evict it to recover"
+            ),
             SessionError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -129,6 +143,10 @@ pub struct DatasetHandle {
     relation: Relation,
     rules_text: Option<String>,
     bound: Option<BoundRules>,
+    /// At most one open streaming session per dataset. The stream works
+    /// a clone of the relation sharing the dataset pool; eviction aborts
+    /// it so the pool-reclamation proof still holds.
+    stream: Option<RepairSession>,
 }
 
 /// The result of a repair request: the repaired relation, its rendered
@@ -228,6 +246,7 @@ impl DatasetHandle {
             relation,
             rules_text: None,
             bound: None,
+            stream: None,
         }
     }
 
@@ -253,6 +272,12 @@ impl DatasetHandle {
     /// `"snapshot \"x\" embedded rules"`). Rebinding replaces any
     /// previous rules and rebuilds the index.
     pub fn bind_rules(&mut self, text: &str, origin: &str) -> Result<(), SessionError> {
+        if self.stream.is_some() {
+            return Err(SessionError::Stream(format!(
+                "dataset {:?} has an open stream; close it before rebinding rules",
+                self.name
+            )));
+        }
         let cfds = parse_rules(self.relation.schema(), text)
             .map_err(|e| SessionError::Rules(format!("cannot parse {origin}: {e}")))?;
         if cfds.is_empty() {
@@ -545,6 +570,75 @@ impl DatasetHandle {
         })
     }
 
+    /// Open a windowed streaming repair session over this dataset (at
+    /// most one per dataset; rules must be bound and the base clean).
+    /// The stream works a clone of the resident relation — one-shot
+    /// detect/repair/insert requests keep answering from the unmodified
+    /// resident state while the stream evolves its own.
+    pub fn open_stream(&mut self, config: StreamConfig) -> Result<StreamInfo, SessionError> {
+        if self.stream.is_some() {
+            return Err(SessionError::Stream(format!(
+                "dataset {:?} already has an open stream",
+                self.name
+            )));
+        }
+        let bound = self.bound()?;
+        let session = RepairSession::open(
+            self.name.clone(),
+            self.relation.clone(),
+            bound.sigma.clone(),
+            constant_ids(&bound.sigma),
+            config,
+        )?;
+        let info = session.info();
+        self.stream = Some(session);
+        Ok(info)
+    }
+
+    /// Shared access to the open stream (status endpoints, tests), or
+    /// [`SessionError::Stream`].
+    pub fn stream(&self) -> Result<&RepairSession, SessionError> {
+        self.stream.as_ref().ok_or_else(|| {
+            SessionError::Stream(format!("dataset {:?} has no open stream", self.name))
+        })
+    }
+
+    /// The open stream, or [`SessionError::Stream`].
+    fn stream_mut(&mut self) -> Result<&mut RepairSession, SessionError> {
+        self.stream.as_mut().ok_or_else(|| {
+            SessionError::Stream(format!("dataset {:?} has no open stream", self.name))
+        })
+    }
+
+    /// Feed events into the open stream (see
+    /// [`RepairSession::feed`] for the line format). Returns the number
+    /// of events accepted; a rejected batch queues nothing.
+    pub fn stream_feed(&mut self, events: &str) -> Result<usize, SessionError> {
+        self.stream_mut()?.feed(events)
+    }
+
+    /// Advance the open stream's watermark, closing due windows.
+    pub fn stream_advance(&mut self, watermark: u64) -> Result<Vec<WindowResult>, SessionError> {
+        self.stream_mut()?.advance(watermark)
+    }
+
+    /// The open stream's descriptor.
+    pub fn stream_info(&self) -> Result<StreamInfo, SessionError> {
+        self.stream.as_ref().map(|s| s.info()).ok_or_else(|| {
+            SessionError::Stream(format!("dataset {:?} has no open stream", self.name))
+        })
+    }
+
+    /// Close the open stream: flush every queued window and run the
+    /// final pool hygiene, returning the flushed results and the close
+    /// report.
+    pub fn stream_close(&mut self) -> Result<(Vec<WindowResult>, StreamCloseReport), SessionError> {
+        let stream = self.stream.take().ok_or_else(|| {
+            SessionError::Stream(format!("dataset {:?} has no open stream", self.name))
+        })?;
+        stream.close()
+    }
+
     /// Tear the dataset down and prove its memory came back: retire
     /// every live cell occurrence, drop the relation, rules, and index,
     /// compact the pool, and report the end state. After this, `pool_len`
@@ -555,7 +649,14 @@ impl DatasetHandle {
             relation,
             rules_text,
             bound,
+            stream,
         } = self;
+        // An open stream holds pool counts for its live arrivals; abort
+        // runs its hygiene (retire + seal) so the compact below still
+        // returns the dictionary to baseline.
+        if let Some(s) = stream {
+            s.abort();
+        }
         let pool = relation.pool().clone();
         let live = live_cell_ids(&relation);
         let retired_cells = live.len();
@@ -636,6 +737,29 @@ impl DatasetCell {
 
 /// The shared reference request handlers hold while working a dataset.
 pub type DatasetRef = Arc<RwLock<DatasetCell>>;
+
+/// Take the read side of a dataset cell, surfacing a poisoned lock as
+/// [`SessionError::Poisoned`] instead of recovering the guard: a panic
+/// mid-`insert` (or mid-stream) can leave the handle's pool ledger
+/// half-updated, so the poisoned dataset answers a typed error until
+/// eviction rebuilds it — while every *other* dataset keeps answering.
+pub fn read_cell(
+    entry: &DatasetRef,
+) -> Result<std::sync::RwLockReadGuard<'_, DatasetCell>, SessionError> {
+    entry
+        .read()
+        .map_err(|e| SessionError::Poisoned(e.into_inner().name.clone()))
+}
+
+/// Take the write side of a dataset cell; see [`read_cell`] for the
+/// poison policy.
+pub fn write_cell(
+    entry: &DatasetRef,
+) -> Result<std::sync::RwLockWriteGuard<'_, DatasetCell>, SessionError> {
+    entry
+        .write()
+        .map_err(|e| SessionError::Poisoned(e.into_inner().name.clone()))
+}
 
 /// An [`install`](Session::install) result: the new dataset's cell plus
 /// any datasets the LRU capacity pushed out to make room.
@@ -831,7 +955,7 @@ impl Session {
     ) -> Result<(PathBuf, usize), SessionError> {
         let catalog = self.catalog.as_ref().ok_or(SessionError::NoCatalog)?;
         let entry = self.get(dataset)?;
-        let cell = entry.read().unwrap_or_else(|e| e.into_inner());
+        let cell = read_cell(&entry)?;
         let h = cell.handle()?;
         let path = catalog
             .save(as_name, h.relation(), h.rules_text())
@@ -978,6 +1102,122 @@ mod tests {
             .unwrap();
         assert_eq!(again.csv, run.csv);
         assert_eq!(again.summary(), run.summary());
+    }
+
+    /// Regression pin for the insert error path (audited for PR 9): ΔD
+    /// is interned into the resident pool *before* `insert_inner` can
+    /// fail, so every error exit — wrong arity, unparsable weights, a
+    /// dirty base — must still retire **and seal** ΔD's slots. The path
+    /// was already correct (`insert` collects `delta_ids` up front and
+    /// runs the hygiene unconditionally after the inner call); this test
+    /// keeps it that way.
+    #[test]
+    fn failed_inserts_release_every_delta_intern() {
+        let session = Session::new();
+        let entry = open(&session, "orders"); // CSV base is dirty under phi
+        let mut cell = entry.write().unwrap();
+        let handle = cell.handle_mut().unwrap();
+        let baseline = handle.relation().pool().len();
+
+        // Wrong arity: rejected after ΔD interned two fresh values.
+        let narrow = "AC,PN\n999,1112223\n";
+        let err = handle
+            .insert(narrow.as_bytes(), None, Ordering::Violations, 1)
+            .err()
+            .expect("arity mismatch must be rejected");
+        assert!(matches!(err, SessionError::Data(_)), "{err}");
+        assert_eq!(
+            handle.relation().pool().len(),
+            baseline,
+            "arity error leaked ΔD"
+        );
+
+        // Unparsable weights: rejected after ΔD *and* the weight header
+        // were read.
+        let updates = "AC,PN,CT,ST,zip\n999,1112223,LA,CA,90001\n";
+        let err = handle
+            .insert(
+                updates.as_bytes(),
+                Some(b"not,a,weights,file"),
+                Ordering::Violations,
+                1,
+            )
+            .err()
+            .expect("bad weights must be rejected");
+        assert!(matches!(err, SessionError::Data(_)), "{err}");
+        assert_eq!(
+            handle.relation().pool().len(),
+            baseline,
+            "weights error leaked ΔD"
+        );
+
+        // Dirty base: the §5 precondition check fires last, deepest into
+        // the request.
+        let err = handle
+            .insert(updates.as_bytes(), None, Ordering::Violations, 1)
+            .err()
+            .expect("dirty base must be rejected");
+        assert!(
+            matches!(&err, SessionError::Data(m) if m.contains("base is not clean")),
+            "{err}"
+        );
+        assert_eq!(
+            handle.relation().pool().len(),
+            baseline,
+            "dirty-base error leaked ΔD"
+        );
+
+        // And the failures left id assignment undisturbed: repairing the
+        // resident relation now answers exactly what a fresh handle says.
+        let run = handle.repair(&RepairOptions::new(), false).unwrap();
+        drop(cell);
+        let fresh = Session::new();
+        let entry = open(&fresh, "orders");
+        let cell = entry.read().unwrap();
+        let fresh_run = cell
+            .handle()
+            .unwrap()
+            .repair(&RepairOptions::new(), false)
+            .unwrap();
+        assert_eq!(run.summary(), fresh_run.summary());
+    }
+
+    /// A request that panics while holding a dataset's write lock must
+    /// not wedge the session: the poisoned dataset answers a typed
+    /// [`SessionError::Poisoned`], other datasets keep serving, and
+    /// eviction still reclaims the slot.
+    #[test]
+    fn poisoned_dataset_answers_typed_errors_and_evicts_cleanly() {
+        let session = Session::new();
+        let entry = open(&session, "orders");
+        let other = open(&session, "backup");
+
+        let victim = entry.clone();
+        std::thread::spawn(move || {
+            let _guard = victim.write().unwrap();
+            panic!("simulated mid-insert failure");
+        })
+        .join()
+        .unwrap_err();
+
+        assert!(matches!(read_cell(&entry), Err(SessionError::Poisoned(ref n)) if n == "orders"));
+        assert!(matches!(write_cell(&entry), Err(SessionError::Poisoned(ref n)) if n == "orders"));
+
+        // The sibling dataset is untouched.
+        let cell = read_cell(&other).unwrap();
+        assert!(cell.handle().unwrap().detect().unwrap().total > 0);
+        drop(cell);
+
+        // Eviction recovers the poisoned slot and its pool, and frees
+        // the name for reuse.
+        let report = session.evict("orders").unwrap();
+        assert_eq!(
+            report.pool_len,
+            1,
+            "poisoned evict still reclaims: {}",
+            report.summary()
+        );
+        open(&session, "orders");
     }
 
     #[test]

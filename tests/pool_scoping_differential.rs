@@ -267,6 +267,59 @@ fn repeat_repair_is_byte_identical() {
     }
 }
 
+/// Seal / compact interaction under many rounds of churn — the
+/// discipline the streaming sessions (`cfdclean::stream`) lean on.
+/// Sealed slots must drain exactly once: re-sealing a sealed slot is a
+/// skip, compact drains the accumulated seals in one sweep, and a second
+/// compact finds nothing. Values re-arriving while their old slot is
+/// sealed (but not yet compacted) get fresh **append-order** ids — which
+/// is exactly why a stream seals per window but never compacts
+/// mid-flight: compaction opens the free list and its LIFO reuse would
+/// make id assignment depend on reclamation history.
+#[test]
+fn many_round_seal_compact_churn_drains_each_slot_once() {
+    let pool = ValuePool::new_handle();
+    let anchor = pool.intern(&Value::str("anchor"));
+    let baseline = pool.len();
+    let mut sealed_total = 0usize;
+    let mut last_id = anchor;
+    for round in 0..5 {
+        let a = pool.intern(&Value::str(format!("r{round}-a").as_str()));
+        let b = pool.intern(&Value::str(format!("r{round}-b").as_str()));
+        assert!(a > last_id && b > a, "round {round}: interns must append");
+        pool.retire(a, 1);
+        pool.retire(b, 1);
+        assert_eq!(pool.seal_ids([a, b]), 2, "round {round}: both slots seal");
+        assert_eq!(pool.len(), baseline, "round {round}: len back to baseline");
+        // Re-sealing sealed slots, live slots, or null is a no-op skip.
+        assert_eq!(pool.seal_ids([a, b, anchor, ValueId(0)]), 0);
+        // The value re-arrives while its old slot is still sealed: it
+        // must get a fresh append-ordered id, not the tombstoned one.
+        let a2 = pool.intern(&Value::str(format!("r{round}-a").as_str()));
+        assert!(a2 > b, "round {round}: re-arrival must not reuse the seal");
+        assert_eq!(
+            pool.lookup(&Value::str(format!("r{round}-a").as_str())),
+            Some(a2)
+        );
+        pool.retire(a2, 1);
+        assert_eq!(pool.seal_ids([a2]), 1);
+        sealed_total += 3;
+        last_id = a2;
+    }
+    // One compact drains every accumulated seal, exactly once.
+    assert_eq!(pool.compact(), sealed_total);
+    assert_eq!(pool.compact(), 0, "drained slots must not drain again");
+    assert_eq!(pool.len(), baseline);
+    // Post-compact the free list is open: new interns recycle ids below
+    // the append frontier. Legal for request-scoped churn, fatal for an
+    // open stream — hence seal-without-compact while streaming.
+    let recycled = pool.intern(&Value::str("fresh-after-compact"));
+    assert_eq!(
+        recycled, last_id,
+        "free list reuse is LIFO: last sealed, first out"
+    );
+}
+
 /// Pool-growth gate: load, repair, and evict the same dataset over one
 /// long-lived pool; slot count and byte estimate must return to the
 /// post-first-round baseline every round. Eviction retires one
