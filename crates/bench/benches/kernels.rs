@@ -276,6 +276,7 @@ fn bench_census(h: &mut Harness) -> f64 {
 const SMOKE_MIN_DETECT_SPEEDUP: f64 = 0.95;
 const SMOKE_MIN_CENSUS_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_LOAD_SPEEDUP: f64 = 1.0;
+const SMOKE_MIN_MMAP_LOAD_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_PRICING_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_CONST_SCAN_SPEEDUP: f64 = 1.0;
 const SMOKE_MIN_SERVER_SPEEDUP: f64 = 1.0;
@@ -293,6 +294,7 @@ fn smoke() -> ! {
     let mut detect_ok = false;
     let mut census_ok = !multicore;
     let mut load_ok = false;
+    let mut mmap_ok = false;
     let mut pricing_ok = false;
     let mut scan_ok = false;
     let mut server_ok = false;
@@ -309,7 +311,7 @@ fn smoke() -> ! {
         // tracked per run; a wall-time gate waits until the win is
         // established on multi-core runners.
         let resolution_speedup = bench_resolution(&mut h);
-        let load_speedup = bench_load(&mut h);
+        let (load_speedup, mmap_speedup) = bench_load(&mut h);
         // Single-core compute kernels: gated even on a 1-CPU runner.
         let pricing_speedup = bench_pricing(&mut h);
         let scan_speedup = bench_constant_scan(&mut h);
@@ -320,6 +322,7 @@ fn smoke() -> ! {
         // the cold per-window one-shot (open + insert) path.
         let stream_speedup = bench_stream(&mut h);
         record_pool_bytes(&mut h);
+        record_peak_rss(&mut h);
         println!("{}", h.table());
         println!("index build speedup (row/columnar): {build_speedup:.2}x");
         println!("detection speedup  (row/columnar): {detect_speedup:.2}x");
@@ -328,6 +331,7 @@ fn smoke() -> ! {
             "resolution speedup (serial/spec4x16): {resolution_speedup:.2}x (recorded, not gated)"
         );
         println!("load speedup (csv/snapshot): {load_speedup:.2}x");
+        println!("snapshot open speedup (eager/mmap): {mmap_speedup:.2}x");
         println!("pricing speedup (scalar/bit-parallel): {pricing_speedup:.2}x");
         println!("constant scan speedup (scalar/simd): {scan_speedup:.2}x");
         println!("request latency (cold one-shot / warm daemon): {server_speedup:.2}x");
@@ -340,14 +344,24 @@ fn smoke() -> ! {
         detect_ok |= detect_speedup >= SMOKE_MIN_DETECT_SPEEDUP;
         census_ok |= census_speedup >= SMOKE_MIN_CENSUS_SPEEDUP;
         load_ok |= load_speedup >= SMOKE_MIN_LOAD_SPEEDUP;
+        mmap_ok |= mmap_speedup >= SMOKE_MIN_MMAP_LOAD_SPEEDUP;
         pricing_ok |= pricing_speedup >= SMOKE_MIN_PRICING_SPEEDUP;
         scan_ok |= scan_speedup >= SMOKE_MIN_CONST_SCAN_SPEEDUP;
         server_ok |= server_speedup >= SMOKE_MIN_SERVER_SPEEDUP;
         stream_ok |= stream_speedup >= SMOKE_MIN_STREAM_SPEEDUP;
-        if detect_ok && census_ok && load_ok && pricing_ok && scan_ok && server_ok && stream_ok {
+        if detect_ok
+            && census_ok
+            && load_ok
+            && mmap_ok
+            && pricing_ok
+            && scan_ok
+            && server_ok
+            && stream_ok
+        {
             println!(
                 "smoke ok: columnar detection ≥ row-major, sharded census ≥ serial, \
-                 snapshot load ≥ csv re-intern load, bit-parallel pricing ≥ scalar, \
+                 snapshot load ≥ csv re-intern load, mmap snapshot open ≥ eager, \
+                 bit-parallel pricing ≥ scalar, \
                  simd constant scan ≥ scalar, warm daemon detect ≥ cold one-shot, \
                  warm stream window ≥ cold one-shot insert"
             );
@@ -357,7 +371,8 @@ fn smoke() -> ! {
             "smoke attempt {attempt}/{SMOKE_ATTEMPTS}: detection \
              {detect_speedup:.2}x (gate {SMOKE_MIN_DETECT_SPEEDUP}x), census \
              {census_speedup:.2}x (gate {SMOKE_MIN_CENSUS_SPEEDUP}x), load \
-             {load_speedup:.2}x (gate {SMOKE_MIN_LOAD_SPEEDUP}x), pricing \
+             {load_speedup:.2}x (gate {SMOKE_MIN_LOAD_SPEEDUP}x), mmap open \
+             {mmap_speedup:.2}x (gate {SMOKE_MIN_MMAP_LOAD_SPEEDUP}x), pricing \
              {pricing_speedup:.2}x (gate {SMOKE_MIN_PRICING_SPEEDUP}x), \
              constant scan {scan_speedup:.2}x (gate \
              {SMOKE_MIN_CONST_SCAN_SPEEDUP}x), server \
@@ -381,6 +396,12 @@ fn smoke() -> ! {
         eprintln!(
             "SMOKE FAIL: snapshot load regressed below the CSV re-intern \
              load in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
+        );
+    }
+    if !mmap_ok {
+        eprintln!(
+            "SMOKE FAIL: the mapped snapshot open regressed below the eager \
+             reader in {SMOKE_ATTEMPTS}/{SMOKE_ATTEMPTS} attempts"
         );
     }
     if !pricing_ok {
@@ -411,15 +432,19 @@ fn smoke() -> ! {
 }
 
 /// The persistence headline: cold ingest of the same 20k-tuple dirty
-/// workload through the two paths — CSV (parse text, intern every cell)
-/// vs snapshot (verify checksums, bulk-install the dictionary, remap
-/// columns). The equality assertion pins that both paths produce the
-/// same relation before the timings mean anything. Returns the
-/// csv/snapshot median ratio (> 1 means snapshot load wins — the
-/// "skip re-interning" claim, measured).
-fn bench_load(h: &mut Harness) -> f64 {
+/// workload through three paths — CSV (parse text, intern every cell),
+/// eager snapshot (verify checksums, bulk-install the dictionary, copy
+/// columns), and mapped snapshot (map the file, verify checksums in
+/// place, borrow the id columns zero-copy). The equality assertions pin
+/// that all paths produce the same relation before the timings mean
+/// anything. Returns `(csv/snapshot, snapshot/mmap)` median ratios
+/// (> 1 means the later path wins), and records the mapped reader's
+/// borrowed-vs-owned byte split plus a two-open kernel where both opens
+/// share one cached mapping.
+fn bench_load(h: &mut Harness) -> (f64, f64) {
     use cfd_model::csv::{read_relation, write_relation};
-    use cfd_model::snapshot::{read_snapshot, snapshot_to_vec};
+    use cfd_model::snapshot::{read_snapshot, read_snapshot_mapped, snapshot_to_vec};
+    use cfd_model::MappingCache;
 
     let w = workload(20_000, 7);
     let noise = inject(
@@ -453,6 +478,36 @@ fn bench_load(h: &mut Harness) -> f64 {
         }
     }
 
+    // The mapped path opens a real file per iteration (mmap + in-place
+    // checksum walk + zero-copy borrow), so the kernel measures the
+    // whole open, not just the decode.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("cfd-bench-snap-{}.cfds", std::process::id()));
+    std::fs::write(&path, &snap).expect("write snapshot file");
+
+    // Sanity: the mapped reader agrees with the eager one cell for cell,
+    // and actually borrows the id columns from the mapping.
+    let map = cfd_model::Mapping::open(&path).expect("map snapshot");
+    let via_map = read_snapshot_mapped(&map)
+        .expect("mapped snapshot loads")
+        .relation;
+    assert_eq!(via_snap.len(), via_map.len(), "mapped reader disagrees");
+    for a in via_snap.schema().attr_ids() {
+        let ce = via_snap.column(a).expect("eager column");
+        let cm = via_map.column(a).expect("mapped column");
+        for (i, (x, y)) in ce.iter().zip(cm).enumerate() {
+            assert_eq!(
+                via_snap.pool().resolve(*x),
+                via_map.pool().resolve(*y),
+                "mapped reader disagrees at column {a} row {i}"
+            );
+        }
+    }
+    h.record("meta/snapshot_mapped_bytes", via_map.mapped_bytes() as f64);
+    h.record("meta/snapshot_owned_bytes", via_map.owned_bytes() as f64);
+    drop(via_map);
+    drop(map);
+
     let t_csv = h.run("load/csv_reintern_20k", || {
         read_relation("dirty", &mut black_box(csv.as_slice()))
             .expect("csv parses")
@@ -464,9 +519,55 @@ fn bench_load(h: &mut Harness) -> f64 {
             .relation
             .len()
     });
+    let t_mmap = h.run("load/snapshot_mmap_20k", || {
+        let map = cfd_model::Mapping::open(black_box(&path)).expect("map snapshot");
+        read_snapshot_mapped(&map)
+            .expect("mapped snapshot loads")
+            .relation
+            .len()
+    });
+    // Two datasets opened from the same snapshot file through the cache
+    // share one mapping — the resident-service open path.
+    h.run("load/snapshot_mmap_shared_2x_20k", || {
+        let cache = MappingCache::new();
+        let m1 = cache.get_or_open(black_box(&path)).expect("map snapshot");
+        let m2 = cache.get_or_open(black_box(&path)).expect("map snapshot");
+        assert!(
+            std::sync::Arc::ptr_eq(&m1, &m2),
+            "cache must share the mapping"
+        );
+        let a = read_snapshot_mapped(&m1)
+            .expect("mapped snapshot loads")
+            .relation;
+        let b = read_snapshot_mapped(&m2)
+            .expect("mapped snapshot loads")
+            .relation;
+        a.len() + b.len()
+    });
+    let _ = std::fs::remove_file(&path);
     let speedup = t_csv.median_ns / t_snap.median_ns;
+    let mmap_speedup = t_snap.median_ns / t_mmap.median_ns;
     eprintln!("load speedup (csv/snapshot): {speedup:.2}x");
-    speedup
+    eprintln!("snapshot open speedup (eager/mmap): {mmap_speedup:.2}x");
+    (speedup, mmap_speedup)
+}
+
+/// Peak resident set size of this bench process, from
+/// `/proc/self/status` `VmHWM` (kB). Recorded so the mapped reader's
+/// memory claim is visible next to its timings; 0 where the proc
+/// interface is unavailable.
+fn record_peak_rss(h: &mut Harness) {
+    let kb = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<f64>().ok())
+            })
+        })
+        .unwrap_or(0.0);
+    h.record("meta/peak_rss_kb", kb);
 }
 
 fn bench_distance(h: &mut Harness) {
@@ -1113,7 +1214,7 @@ fn main() {
     let (col_build_speedup, col_detect_speedup) = bench_row_vs_column(&mut h);
     let census_speedup = bench_census(&mut h);
     let resolution_speedup = bench_resolution(&mut h);
-    let load_speedup = bench_load(&mut h);
+    let (load_speedup, mmap_speedup) = bench_load(&mut h);
     let server_speedup = bench_server_latency(&mut h);
     let stream_speedup = bench_stream(&mut h);
     bench_vio_of_candidate(&mut h);
@@ -1121,6 +1222,7 @@ fn main() {
     bench_lhs_index(&mut h);
     bench_value_index(&mut h);
     record_pool_bytes(&mut h);
+    record_peak_rss(&mut h);
 
     println!("\n{}", h.table());
     println!("pricing speedup (scalar/bit-parallel): {pricing_speedup:.2}x");
@@ -1132,6 +1234,7 @@ fn main() {
     println!("census build speedup (serial/sharded4): {census_speedup:.2}x");
     println!("resolution speedup (serial/spec4x16): {resolution_speedup:.2}x");
     println!("load speedup (csv/snapshot): {load_speedup:.2}x");
+    println!("snapshot open speedup (eager/mmap): {mmap_speedup:.2}x");
     println!("request latency (cold one-shot / warm daemon): {server_speedup:.2}x");
     println!("window latency (cold one-shot / warm stream): {stream_speedup:.2}x");
     if let Some(path) = json_path {

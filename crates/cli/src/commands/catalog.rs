@@ -1,0 +1,86 @@
+//! `cfdclean catalog` — operations over the catalog that combine a
+//! snapshot with its derived artifacts.
+//!
+//! `diff` answers "what would switching from edit log A to edit log B
+//! actually change?" without materializing either repair to CSV: both
+//! logs replay onto (copies of) the named base snapshot, and the
+//! resulting relations are differenced with [`EditLog::between`] — the
+//! same canonical `(tuple, attr)`-ordered cell walk the repair pipeline
+//! uses. Because `EditLog::apply` verifies every expected old value, a
+//! log addressed at the wrong base fails loudly here too.
+
+use std::io::Write;
+use std::path::Path;
+
+use cfd_model::EditLog;
+
+use crate::args::Args;
+use crate::io::{load_edit_log, open_catalog, CliError};
+
+pub const USAGE: &str = "cfdclean catalog <diff> --catalog DIR [flags]
+
+  diff --catalog DIR --name NAME --a A.cfde --b B.cfde
+    Replay two edit logs onto the named base snapshot and print the
+    cell-level difference between the resulting repairs (the edits that
+    turn repair A into repair B), in canonical (tuple, attr) order.";
+
+/// Dispatch one `catalog <action>` invocation.
+pub fn run(action: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match action {
+        "diff" => diff(args, out),
+        other => Err(format!("unknown catalog action {other:?} (diff)").into()),
+    }
+}
+
+fn diff(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let catalog = args.require("catalog")?.to_string();
+    let name = args.require("name")?.to_string();
+    let a_path = args.require("a")?.to_string();
+    let b_path = args.require("b")?.to_string();
+    args.reject_unknown()?;
+
+    let cat = open_catalog(&catalog)?;
+    let loaded = cat
+        .load(&name)
+        .map_err(|e| format!("cannot load snapshot {name:?}: {e}"))?;
+    let base = loaded.relation;
+
+    let apply = |path: &str| -> Result<cfd_model::Relation, CliError> {
+        let log = load_edit_log(Path::new(path), base.pool())?;
+        if log.arity != base.schema().arity() {
+            return Err(format!(
+                "edit log {path} was derived for arity {} but snapshot {name:?} has arity {}",
+                log.arity,
+                base.schema().arity()
+            )
+            .into());
+        }
+        let mut rel = base.clone();
+        log.log
+            .apply(&mut rel)
+            .map_err(|e| format!("cannot apply {path} to snapshot {name:?}: {e}"))?;
+        Ok(rel)
+    };
+    let a = apply(&a_path)?;
+    let b = apply(&b_path)?;
+
+    let delta = EditLog::between(&a, &b).map_err(|e| format!("cannot diff repairs: {e}"))?;
+    let pool = base.pool();
+    let schema = base.schema();
+    for e in delta.edits() {
+        writeln!(
+            out,
+            "{} {}: {} -> {}",
+            e.tuple,
+            schema.attr_name(e.attr),
+            pool.resolve(e.from),
+            pool.resolve(e.to)
+        )?;
+    }
+    writeln!(
+        out,
+        "{} cell(s) differ between {a_path} and {b_path} over snapshot {name:?}",
+        delta.len()
+    )?;
+    Ok(())
+}

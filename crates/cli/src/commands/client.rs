@@ -18,7 +18,7 @@ pub const USAGE: &str = "cfdclean client <op> (--tcp ADDR | --unix PATH) [flags]
   ops (all take the connection flags; --name addresses an open dataset):
     ping
     open           --name N --data D.csv [--rules R.cfd] [--weights W.csv]
-    open-snapshot  --name N
+    open-snapshot  --name N [--as NAME]
     detect         --name N [--limit N]
     repair         --name N --out R.csv [--algorithm batch|v-inc|w-inc|l-inc]
                    [--pick global|dependency] [--k N] [--threads N]
@@ -104,6 +104,7 @@ pub fn run(op: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "open-snapshot" => (
             Request::OpenSnapshot {
                 name: args.require("name")?.to_string(),
+                as_name: args.get("as").map(str::to_string),
             },
             vec![],
         ),

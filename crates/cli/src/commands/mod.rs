@@ -2,6 +2,7 @@
 //! Write)` plus a `USAGE` string, so integration tests can drive commands
 //! without spawning processes.
 
+pub mod catalog;
 pub mod certify;
 pub mod client;
 pub mod detect;

@@ -27,8 +27,9 @@ pub const USAGE: &str = "cfdclean snapshot <save|load|info> --catalog DIR [flags
     in; optionally export its weights and embedded rules.
 
   info --catalog DIR [--name NAME]
-    Describe one snapshot (schema, slots, dictionary, rules), or list
-    every dataset in the catalog.";
+    Describe one snapshot (schema, slots, dictionary, rules, and the
+    per-segment byte/checksum layout), or list every dataset in the
+    catalog.";
 
 /// Dispatch one `snapshot <action>` invocation.
 pub fn run(action: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -144,6 +145,18 @@ fn info(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 if info.has_rules { "embedded" } else { "none" }
             )?;
             writeln!(out, "  file       {} byte(s)", info.bytes)?;
+            let segments = cat
+                .segments(&name)
+                .map_err(|e| format!("cannot read snapshot {name:?}: {e}"))?;
+            for seg in segments {
+                writeln!(
+                    out,
+                    "  segment    {:<8} {} byte(s), checksum {}",
+                    seg.name,
+                    seg.payload_bytes,
+                    if seg.checksum_ok { "ok" } else { "BAD" }
+                )?;
+            }
         }
         None => {
             let names = cat

@@ -13,6 +13,7 @@
 //! | `certify`  | §6 sampling certification of a repair |
 //! | `generate` | emit the paper's synthetic workload |
 //! | `snapshot` | save / load / describe persistent dataset snapshots |
+//! | `catalog`  | combine a snapshot with its derived artifacts (diff two edit logs over one base) |
 //! | `serve`    | run the resident repair daemon (datasets stay warm) |
 //! | `client`   | drive a running daemon |
 
@@ -51,6 +52,7 @@ commands:
   certify    certify a repair's accuracy by stratified sampling
   generate   emit a synthetic order workload
   snapshot   save, load, or describe persistent dataset snapshots
+  catalog    operations over snapshots + edit logs (diff two repairs)
   serve      run the resident repair daemon
   client     drive a running daemon (same ops, results byte-identical)
   help       show help (try: cfdclean help rules)
@@ -67,7 +69,7 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
     let usage_for = |u: &str| -> CliError { u.into() };
     match command {
         "detect" | "repair" | "insert" | "stream" | "discover" | "certify" | "generate"
-        | "snapshot" | "serve" | "client"
+        | "snapshot" | "catalog" | "serve" | "client"
             if rest.is_empty() =>
         {
             Err(usage_for(usage_of(command)))
@@ -130,6 +132,14 @@ pub fn dispatch<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), Cl
             commands::snapshot::run(action, &args, out)
                 .map_err(|e| format!("{e}\n\n{usage}").into())
         }
+        "catalog" => {
+            let Some(action) = rest.first().map(|s| s.as_ref()) else {
+                return Err(usage_for(commands::catalog::USAGE));
+            };
+            let usage = commands::catalog::USAGE;
+            let args = args::Args::parse(&rest[1..], &[]).map_err(|e| format!("{e}\n\n{usage}"))?;
+            commands::catalog::run(action, &args, out).map_err(|e| format!("{e}\n\n{usage}").into())
+        }
         "serve" => run_cmd(rest, &[], out, commands::serve::run, commands::serve::USAGE),
         "client" => {
             let Some(op) = rest.first().map(|s| s.as_ref()) else {
@@ -162,6 +172,7 @@ fn usage_of(command: &str) -> &'static str {
         "certify" => commands::certify::USAGE,
         "generate" => commands::generate::USAGE,
         "snapshot" => commands::snapshot::USAGE,
+        "catalog" => commands::catalog::USAGE,
         "serve" => commands::serve::USAGE,
         "client" => commands::client::USAGE,
         _ => USAGE,

@@ -72,6 +72,7 @@ pub mod epoch;
 pub mod error;
 pub mod index;
 pub mod key;
+pub mod mapping;
 pub mod pool;
 pub mod query;
 pub mod relation;
@@ -88,11 +89,12 @@ pub use diff::{Edit, EditLog};
 pub use epoch::{Epoch, EpochClock, VersionMap};
 pub use error::ModelError;
 pub use key::IdKey;
+pub use mapping::{Mapping, MappingCache};
 pub use pool::{Rendered, ValueId, ValuePool, NULL_ID};
 pub use relation::{Relation, TupleId};
 pub use schema::{AttrId, Schema};
 pub use simd::{force_simd, simd_enabled};
-pub use snapshot::{Catalog, LoadedSnapshot, SnapshotError, SnapshotInfo};
-pub use storage::{ColumnStore, RowRef, StorageLayout};
+pub use snapshot::{Catalog, LoadedSnapshot, SegmentInfo, SnapshotError, SnapshotInfo};
+pub use storage::{ColumnStore, IdColumn, RowRef, StorageLayout};
 pub use tuple::{Tuple, TupleView};
 pub use value::Value;

@@ -146,6 +146,19 @@ impl Relation {
         &self.pool
     }
 
+    /// Column bytes still borrowed zero-copy from a snapshot mapping —
+    /// 0 for eagerly loaded relations, and it only shrinks as repairs
+    /// write (COW promotes whole columns to owned).
+    pub fn mapped_bytes(&self) -> usize {
+        self.storage.mapped_bytes()
+    }
+
+    /// Owned column bytes (materialized value columns, weight columns,
+    /// validity bitmap); the counterpart of [`Relation::mapped_bytes`].
+    pub fn owned_bytes(&self) -> usize {
+        self.storage.owned_bytes()
+    }
+
     /// A deep copy of this relation with every cell re-interned into
     /// `pool` — the boundary translation a [`Database`](crate::Database)
     /// applies when a relation built on a foreign pool is inserted. Tuple

@@ -83,6 +83,53 @@
 //! versa) fails with [`SnapshotError::NotASnapshot`] /
 //! [`SnapshotError::NotAnEditLog`] rather than a confusing checksum
 //! error.
+//!
+//! # Mapped reader
+//!
+//! [`read_snapshot_mapped`] opens the *same* version-1 format in place
+//! over a file [`Mapping`](crate::mapping::Mapping) (mmap-backed on
+//! unix, owned-buffer elsewhere and under `CFD_MMAP=0` — see
+//! [`crate::mapping`]). Nothing about the bytes changes: checksums are
+//! verified against the mapped bytes and every length/id/weight is
+//! validated exactly as the eager reader does *before* any segment is
+//! trusted; every corrupt or truncated file surfaces as the same typed
+//! [`SnapshotError`], and a rejected file installs nothing. What changes
+//! is what gets copied:
+//!
+//! * **Column segments borrow.** Each attribute's `slots × u32` local-id
+//!   run inside COLS becomes a borrowed slice over the mapping
+//!   ([`crate::storage::IdColumn`]) instead of a copied `Vec` — sound
+//!   because local ids in a canonical file are assigned in
+//!   first-occurrence order, which is exactly the id order a fresh pool's
+//!   bulk install produces, so the on-disk ids *are* the pool ids (the
+//!   reader verifies this identity after the install and falls back to
+//!   an owned remap for checksum-valid but non-canonical files, e.g.
+//!   duplicate dictionary entries). The mapped reader therefore always
+//!   installs into a fresh pool of its own.
+//! * **Alignment.** The segment framing is unpadded, so a run's 4-byte
+//!   alignment depends on the preceding variable-length segments; each
+//!   column borrows only when its actual mapped pointer is aligned (and
+//!   the host is little-endian), falling back to an owned copy per
+//!   column otherwise. Weight columns and the validity bitmap are always
+//!   owned — they are parsed and validated element-wise anyway.
+//! * **COW on write.** A borrowed column is promoted to an owned copy on
+//!   its first mutation (`set_cell`, `push`, `compact`), column by
+//!   column — repairs mutate freely while sibling datasets borrowing the
+//!   same mapping keep reading the original bytes. The mapping is
+//!   released (and the file unmapped) when the last borrowing dataset
+//!   drops.
+//! * **The dictionary installs lazily where it can.** Ids and occurrence
+//!   counts install eagerly (they seed `FINDV`'s frequency tie-break);
+//!   rendered text is materialized on demand through the pool's
+//!   [`rendered`](crate::pool::ValuePool::rendered) cache, so opening a
+//!   snapshot does not pay for strings no repair ever looks at.
+//!
+//! A [`Catalog`] deduplicates concurrent opens through a
+//! [`MappingCache`](crate::mapping::MappingCache): two datasets opened
+//! from the same snapshot file share one `Arc<Mapping>` — one physical
+//! copy of the column bytes across workers. The compatibility policy is
+//! unchanged: the mapped reader reads exactly `FORMAT_VERSION` 1, the
+//! writer is untouched, and snapshot bytes stay canonical.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -92,10 +139,11 @@ use std::path::{Path, PathBuf};
 
 use crate::diff::{Edit, EditLog};
 use crate::error::ModelError;
+use crate::mapping::{Mapping, MappingCache};
 use crate::pool::{ValueId, ValuePool, NULL_ID};
 use crate::relation::{Relation, TupleId};
 use crate::schema::{AttrId, Schema};
-use crate::storage::ColumnStore;
+use crate::storage::{ColumnStore, IdColumn};
 use crate::value::Value;
 
 /// Magic bytes opening a snapshot file.
@@ -792,6 +840,143 @@ pub fn read_snapshot_in(
     Ok(LoadedSnapshot { relation, rules })
 }
 
+/// Parse and install a version-1 snapshot **in place** over `map` — the
+/// zero-copy open. Validation is byte-for-byte the eager reader's
+/// (checksums against the mapped bytes, every id/weight/bitmap bound
+/// checked, typed errors, nothing installed on rejection); the column
+/// segments then borrow from the mapping instead of being copied, COW on
+/// first write. Always installs into a fresh pool of its own — the
+/// identity between on-disk local ids and fresh-pool ids is what makes
+/// the borrow sound (see the module docs' *Mapped reader* section).
+pub fn read_snapshot_mapped(
+    map: &std::sync::Arc<Mapping>,
+) -> Result<LoadedSnapshot, SnapshotError> {
+    let bytes = map.bytes();
+    let base = bytes.as_ptr() as usize;
+    let mut file = Cur::new(bytes, "FILE");
+    check_magic(&mut file, SNAPSHOT_MAGIC, || SnapshotError::NotASnapshot)?;
+    let meta = read_meta(&mut file)?;
+    let arity = meta.attrs.len();
+
+    let rules = if meta.has_rules {
+        let mut seg = read_segment(&mut file, SEG_RULES, "RULES")?;
+        let text = seg.string()?;
+        seg.finish()?;
+        Some(text)
+    } else {
+        None
+    };
+
+    let (values, counts) = read_dict(&mut file)?;
+    let dict_len = values.len();
+
+    let cols_seg = read_segment(&mut file, SEG_COLS, "COLS")?;
+    let expected = arity
+        .checked_mul(meta.slots)
+        .and_then(|n| n.checked_mul(12))
+        .ok_or_else(|| cols_seg.corrupt("column extent overflows".into()))?;
+    if cols_seg.bytes.len() != expected {
+        return Err(cols_seg.corrupt(format!(
+            "column payload is {} bytes, expected {expected}",
+            cols_seg.bytes.len()
+        )));
+    }
+    // Where the COLS payload sits in the file: attribute `a`'s id run is
+    // `cols_offset + a·slots·12`, its weight run 4·slots bytes later.
+    let cols_offset = cols_seg.bytes.as_ptr() as usize - base;
+    // Validate every local id and weight against the mapped bytes — the
+    // same domain checks as the eager reader, minus its copies.
+    let mut weight_cols: Vec<Vec<f64>> = Vec::with_capacity(arity);
+    for a in 0..arity {
+        let run = a * meta.slots * 12;
+        let ids = &cols_seg.bytes[run..run + meta.slots * 4];
+        for (slot, chunk) in ids.chunks_exact(4).enumerate() {
+            let l = u32::from_le_bytes(chunk.try_into().unwrap());
+            if l as usize >= dict_len {
+                return Err(cols_seg.corrupt(format!(
+                    "attribute {a} slot {slot} references dictionary entry {l} of {dict_len}"
+                )));
+            }
+        }
+        let wbytes = &cols_seg.bytes[run + meta.slots * 4..run + meta.slots * 12];
+        let mut weights = Vec::with_capacity(meta.slots);
+        for (slot, chunk) in wbytes.chunks_exact(8).enumerate() {
+            let wt = f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap()));
+            if !wt.is_finite() || !(0.0..=1.0).contains(&wt) {
+                return Err(cols_seg.corrupt(format!(
+                    "attribute {a} slot {slot} weight {wt} outside [0, 1]"
+                )));
+            }
+            weights.push(wt);
+        }
+        weight_cols.push(weights);
+    }
+
+    let mut validity_seg = read_segment(&mut file, SEG_VALIDITY, "VALIDITY")?;
+    let words = meta.slots.div_ceil(64);
+    let mut validity = Vec::with_capacity(words);
+    for _ in 0..words {
+        validity.push(validity_seg.u64()?);
+    }
+    validity_seg.finish()?;
+    let live: usize = validity.iter().map(|w| w.count_ones() as usize).sum();
+    if live != meta.live {
+        return Err(SnapshotError::Corrupt {
+            segment: "VALIDITY",
+            detail: format!("bitmap has {live} live slots, META declares {}", meta.live),
+        });
+    }
+    if !meta.slots.is_multiple_of(64) {
+        if let Some(last) = validity.last() {
+            if last & !((1u64 << (meta.slots % 64)) - 1) != 0 {
+                return Err(SnapshotError::Corrupt {
+                    segment: "VALIDITY",
+                    detail: "bits set beyond the last slot".into(),
+                });
+            }
+        }
+    }
+    file.finish().map_err(|_| SnapshotError::Corrupt {
+        segment: "FILE",
+        detail: "trailing bytes after the last segment".into(),
+    })?;
+
+    let schema = Schema::new(&meta.name, &meta.attrs)?;
+
+    let pool = ValuePool::new_handle();
+    let pool_ids = pool.install_column(&values, &counts);
+    // The writer assigns local ids in first-occurrence order — exactly
+    // the order a fresh pool's install interns, so on a canonical file
+    // the install is the identity map and the on-disk u32 runs *are*
+    // valid pool-id columns. Verified, not assumed: a checksum-valid but
+    // hand-crafted file can carry duplicate dictionary entries, which
+    // the install dedupes into a non-identity map — those fall back to
+    // the eager owned remap.
+    let identity = pool_ids.iter().enumerate().all(|(i, id)| id.index() == i);
+    let cols: Vec<IdColumn> = (0..arity)
+        .map(|a| {
+            let offset = cols_offset + a * meta.slots * 12;
+            if identity {
+                // Borrow when aligned (and little-endian); per-column
+                // owned fallback otherwise.
+                if let Some(col) = IdColumn::mapped(std::sync::Arc::clone(map), offset, meta.slots)
+                {
+                    return col;
+                }
+            }
+            let run = &bytes[offset..offset + meta.slots * 4];
+            IdColumn::Owned(
+                run.chunks_exact(4)
+                    .map(|c| pool_ids[u32::from_le_bytes(c.try_into().unwrap()) as usize])
+                    .collect(),
+            )
+        })
+        .collect();
+    let store = ColumnStore::from_id_columns(meta.slots, cols, weight_cols, validity, pool);
+    let relation = Relation::from_store(schema, store)?;
+    Ok(LoadedSnapshot { relation, rules })
+}
+
 /// Read a snapshot's self-description without installing anything.
 ///
 /// The whole file is still frame-walked — every segment checksum is
@@ -820,6 +1005,58 @@ pub fn snapshot_info(bytes: &[u8]) -> Result<SnapshotInfo, SnapshotError> {
         has_rules: meta.has_rules,
         bytes: bytes.len(),
     })
+}
+
+/// One framed segment as the diagnostic walker saw it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Segment name from its tag (`"UNKNOWN"` for a corrupted tag byte).
+    pub name: &'static str,
+    /// Payload size in bytes (framing excluded).
+    pub payload_bytes: usize,
+    /// Whether the stored checksum matches the payload.
+    pub checksum_ok: bool,
+}
+
+/// Walk a snapshot's frames for diagnostics: per-segment payload sizes
+/// and checksum status. Unlike [`snapshot_info`] (which is strict — a
+/// corrupt file errors), this keeps walking past checksum mismatches so
+/// `snapshot info` can say *which* segment of a damaged file is bad;
+/// only structural damage (bad magic/version, a truncated frame) is a
+/// typed error.
+pub fn snapshot_segments(bytes: &[u8]) -> Result<Vec<SegmentInfo>, SnapshotError> {
+    let mut file = Cur::new(bytes, "FILE");
+    check_magic(&mut file, SNAPSHOT_MAGIC, || SnapshotError::NotASnapshot)?;
+    let mut out = Vec::new();
+    while file.pos < file.bytes.len() {
+        let tag = file.u8()?;
+        let name = match tag {
+            SEG_META => "META",
+            SEG_RULES => "RULES",
+            SEG_DICT => "DICT",
+            SEG_COLS => "COLS",
+            SEG_VALIDITY => "VALIDITY",
+            SEG_EDITS => "EDITS",
+            _ => "UNKNOWN",
+        };
+        let len_bytes: [u8; 8] = file.take(8)?.try_into().unwrap();
+        let len = u64::from_le_bytes(len_bytes);
+        let len = usize::try_from(len).map_err(|_| SnapshotError::Corrupt {
+            segment: "FILE",
+            detail: format!("segment length {len} overflows"),
+        })?;
+        if len > file.bytes.len() - file.pos {
+            return Err(SnapshotError::Truncated { offset: file.pos });
+        }
+        let payload = file.take(len)?;
+        let stored = file.u64()?;
+        out.push(SegmentInfo {
+            name,
+            payload_bytes: len,
+            checksum_ok: fnv1a(&[&[tag], &len_bytes, payload]) == stored,
+        });
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -987,6 +1224,10 @@ pub fn read_edit_log_in(bytes: &[u8], pool: &ValuePool) -> Result<LoadedEditLog,
 #[derive(Clone, Debug)]
 pub struct Catalog {
     dir: PathBuf,
+    /// Live file mappings, shared across clones of this catalog handle:
+    /// two datasets opened from the same snapshot file borrow one
+    /// `Arc<Mapping>`.
+    mappings: std::sync::Arc<MappingCache>,
 }
 
 impl Catalog {
@@ -996,7 +1237,10 @@ impl Catalog {
     /// exist — a mistyped `--catalog` path must not silently create an
     /// empty catalog — and only [`Catalog::save`] creates it.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Catalog, SnapshotError> {
-        Ok(Catalog { dir: dir.into() })
+        Ok(Catalog {
+            dir: dir.into(),
+            mappings: std::sync::Arc::new(MappingCache::new()),
+        })
     }
 
     fn require_dir(&self) -> Result<(), SnapshotError> {
@@ -1061,14 +1305,43 @@ impl Catalog {
         Ok(path)
     }
 
-    /// Load the dataset `name`.
+    /// Load the dataset `name` through the eager (copying) reader — the
+    /// differential baseline for [`Catalog::load_mapped`].
     pub fn load(&self, name: &str) -> Result<LoadedSnapshot, SnapshotError> {
         read_snapshot(&self.read_file(name)?)
+    }
+
+    /// Load the dataset `name` zero-copy: the snapshot file is mapped
+    /// (shared with any dataset already open from the same file — see
+    /// [`MappingCache`]) and installed in place via
+    /// [`read_snapshot_mapped`]. The returned mapping keeps the file's
+    /// bytes alive; hold it alongside the relation.
+    pub fn load_mapped(
+        &self,
+        name: &str,
+    ) -> Result<(LoadedSnapshot, std::sync::Arc<Mapping>), SnapshotError> {
+        let path = self.snapshot_path(name)?;
+        self.require_dir()?;
+        let map = self.mappings.get_or_open(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                SnapshotError::UnknownDataset(name.to_string())
+            } else {
+                SnapshotError::from(e)
+            }
+        })?;
+        let loaded = read_snapshot_mapped(&map)?;
+        Ok((loaded, map))
     }
 
     /// Describe the dataset `name` without installing it.
     pub fn info(&self, name: &str) -> Result<SnapshotInfo, SnapshotError> {
         snapshot_info(&self.read_file(name)?)
+    }
+
+    /// Per-segment byte sizes and checksum status of `name`'s snapshot
+    /// file — [`snapshot_segments`] over the catalog file.
+    pub fn segments(&self, name: &str) -> Result<Vec<SegmentInfo>, SnapshotError> {
+        snapshot_segments(&self.read_file(name)?)
     }
 
     /// Dataset names present in the catalog, sorted.
@@ -1334,6 +1607,119 @@ mod tests {
         cat.save("d", &sample(), None).unwrap();
         assert!(dir.is_dir());
         assert_eq!(cat.list().unwrap(), vec!["d".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_reader_round_trips_and_borrows() {
+        let r = sample();
+        let bytes = snapshot_to_vec(&r, Some("phi: [id] -> [name]"));
+        let map = Mapping::from_bytes(bytes.clone());
+        let loaded = read_snapshot_mapped(&map).unwrap();
+        assert_same(&r, &loaded.relation);
+        assert_eq!(loaded.rules.as_deref(), Some("phi: [id] -> [name]"));
+        // On a little-endian host with aligned segments the id columns
+        // borrow straight from the mapping; weights and validity are
+        // always owned. Alignment depends on the variable-length DICT
+        // payload, so per-column fallback to owned is legal — but the
+        // *sum* of mapped + owned must cover every id column either way.
+        let mapped = loaded.relation.mapped_bytes();
+        let owned = loaded.relation.owned_bytes();
+        assert!(mapped + owned > 0);
+        if cfg!(target_endian = "little") {
+            // The writer pads nothing, so at least one of the 4-byte id
+            // runs in this fixture lands aligned.
+            assert_eq!(mapped % 4, 0);
+        }
+        // Re-save straight off the borrowed columns: byte-identical.
+        assert_eq!(
+            bytes,
+            snapshot_to_vec(&loaded.relation, Some("phi: [id] -> [name]"))
+        );
+    }
+
+    #[test]
+    fn mapped_reader_copy_on_write_isolates_datasets() {
+        let r = sample();
+        let map = Mapping::from_bytes(snapshot_to_vec(&r, None));
+        let mut a = read_snapshot_mapped(&map).unwrap().relation;
+        let b = read_snapshot_mapped(&map).unwrap().relation;
+        a.set_value(TupleId(0), AttrId(0), Value::str("MUT"))
+            .unwrap();
+        assert_eq!(
+            a.tuple(TupleId(0)).unwrap().value(AttrId(0)),
+            Value::str("MUT")
+        );
+        // The sibling over the same mapping still reads the original.
+        assert_eq!(
+            b.tuple(TupleId(0)).unwrap().value(AttrId(0)),
+            Value::str("a23")
+        );
+        // Promotion moves bytes from mapped to owned without changing
+        // the total; the writer never gains mapped bytes. (Whether the
+        // written column *was* mapped depends on its alignment in the
+        // file, so only the direction is asserted, not strictness.)
+        assert!(a.mapped_bytes() <= b.mapped_bytes());
+        assert_eq!(
+            a.mapped_bytes() + a.owned_bytes(),
+            b.mapped_bytes() + b.owned_bytes()
+        );
+    }
+
+    #[test]
+    fn snapshot_segments_lists_frames_in_file_order() {
+        let r = sample();
+        let bytes = snapshot_to_vec(&r, Some("x"));
+        let segs = snapshot_segments(&bytes).unwrap();
+        let names: Vec<&str> = segs.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["META", "RULES", "DICT", "COLS", "VALIDITY"]);
+        assert!(segs.iter().all(|s| s.checksum_ok));
+        // Payload bytes + framing must account for the whole file.
+        let framed: usize = segs.iter().map(|s| s.payload_bytes + 1 + 8 + 8).sum();
+        assert_eq!(framed + SNAPSHOT_MAGIC.len() + 4, bytes.len());
+        // A payload flip marks exactly the damaged segment; the walk
+        // still completes (best effort) so info can say *which* one.
+        let rules_off = SNAPSHOT_MAGIC.len() + 4 + 1 + 8 + segs[0].payload_bytes + 8 + 1 + 8;
+        let mut corrupt = bytes.clone();
+        corrupt[rules_off] ^= 0x01;
+        let segs = snapshot_segments(&corrupt).unwrap();
+        assert!(!segs[1].checksum_ok, "RULES must report BAD");
+        assert!(segs[0].checksum_ok && segs[2].checksum_ok);
+        // Structural damage stays a typed error.
+        assert!(snapshot_segments(&bytes[..bytes.len() - 3]).is_err());
+        assert!(snapshot_segments(b"junk").is_err());
+    }
+
+    #[test]
+    fn catalog_load_mapped_shares_one_mapping_per_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "cfd-catalog-mapped-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let cat = Catalog::open(&dir).unwrap();
+        let r = sample();
+        cat.save("orders", &r, None).unwrap();
+        let (l1, m1) = cat.load_mapped("orders").unwrap();
+        let (l2, m2) = cat.load_mapped("orders").unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&m1, &m2),
+            "same file, same session: one mapping"
+        );
+        assert_same(&r, &l1.relation);
+        assert_same(&r, &l2.relation);
+        // Re-saving under the same name (tmp + rename) gives later opens
+        // a fresh mapping; the old Arc keeps the old bytes alive.
+        cat.save("orders", &r, Some("now with rules")).unwrap();
+        let (l3, m3) = cat.load_mapped("orders").unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&m1, &m3), "re-save must remap");
+        assert_eq!(l3.rules.as_deref(), Some("now with rules"));
+        assert_same(&r, &l1.relation);
+        assert!(matches!(
+            cat.load_mapped("missing"),
+            Err(SnapshotError::UnknownDataset(_))
+        ));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -16,9 +16,10 @@
 //! loudly here, not intermittently in production.)
 
 use cfd_model::snapshot::{
-    edit_log_to_vec, read_edit_log, read_snapshot, snapshot_info, snapshot_to_vec, SnapshotError,
+    edit_log_to_vec, read_edit_log, read_snapshot, read_snapshot_mapped, snapshot_info,
+    snapshot_segments, snapshot_to_vec, SnapshotError,
 };
-use cfd_model::{EditLog, Relation, Schema, Tuple, TupleId, Value};
+use cfd_model::{EditLog, Mapping, Relation, Schema, Tuple, TupleId, Value};
 use cfd_prng::{trials, Rng};
 
 fn sample(rows: usize) -> Relation {
@@ -54,7 +55,9 @@ fn edit_log_bytes(r: &Relation) -> Vec<u8> {
 
 /// The reader must reject `bytes` with a typed error. The `Err` match is
 /// the whole point: a panic aborts the test, an `Ok` is a silent
-/// mis-load.
+/// mis-load. The mapped reader walks the same frames over the same
+/// bytes (here through an owned-backing [`Mapping`]) and must reject
+/// with the same error classes — no panic, no partial install.
 fn assert_snapshot_rejected(bytes: &[u8], ctx: &str) {
     match read_snapshot(bytes) {
         Err(
@@ -68,8 +71,24 @@ fn assert_snapshot_rejected(bytes: &[u8], ctx: &str) {
         Err(other) => panic!("{ctx}: unexpected error class {other:?}"),
         Ok(_) => panic!("{ctx}: corrupted snapshot loaded successfully"),
     }
+    match read_snapshot_mapped(&Mapping::from_bytes(bytes.to_vec())) {
+        Err(
+            SnapshotError::NotASnapshot
+            | SnapshotError::UnsupportedVersion(_)
+            | SnapshotError::Truncated { .. }
+            | SnapshotError::Checksum { .. }
+            | SnapshotError::Corrupt { .. }
+            | SnapshotError::Model(_),
+        ) => {}
+        Err(other) => panic!("{ctx}: mapped reader: unexpected error class {other:?}"),
+        Ok(_) => panic!("{ctx}: mapped reader loaded a corrupted snapshot"),
+    }
     // `info` walks the same frames and must agree.
     assert!(snapshot_info(bytes).is_err(), "{ctx}: info accepted it");
+    // The best-effort segment walker tolerates bad checksums (it exists
+    // to *report* them) but must never panic, and structural damage
+    // (truncation, bad magic, bad lengths) stays a typed error.
+    let _ = snapshot_segments(bytes);
 }
 
 fn assert_edit_log_rejected(bytes: &[u8], ctx: &str) {

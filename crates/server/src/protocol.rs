@@ -335,8 +335,13 @@ pub enum Request {
         rules: Option<String>,
         weights: Option<Vec<u8>>,
     },
-    /// Load a catalog snapshot as a resident dataset.
-    OpenSnapshot { name: String },
+    /// Load a catalog snapshot as a resident dataset, optionally under
+    /// a different dataset name (so one snapshot file can back several
+    /// resident datasets sharing a single zero-copy mapping).
+    OpenSnapshot {
+        name: String,
+        as_name: Option<String>,
+    },
     /// Render the violation report for an open dataset.
     Detect { dataset: String, limit: u32 },
     /// Run a repair; the resident dataset is not mutated.
@@ -422,9 +427,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             e.opt_bytes(weights.as_deref());
             e.0
         }
-        Request::OpenSnapshot { name } => {
+        Request::OpenSnapshot { name, as_name } => {
             let mut e = Enc::new(OP_OPEN_SNAPSHOT);
             e.str(name);
+            e.opt_str(as_name.as_deref());
             e.0
         }
         Request::Detect { dataset, limit } => {
@@ -535,6 +541,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         },
         OP_OPEN_SNAPSHOT => Request::OpenSnapshot {
             name: d.str()?.to_string(),
+            as_name: d.opt_str()?.map(str::to_string),
         },
         OP_DETECT => Request::Detect {
             dataset: d.str()?.to_string(),
@@ -768,7 +775,14 @@ mod tests {
             rules: Some("phi: [a] -> [b]".into()),
             weights: None,
         });
-        round_trip(Request::OpenSnapshot { name: "x".into() });
+        round_trip(Request::OpenSnapshot {
+            name: "x".into(),
+            as_name: None,
+        });
+        round_trip(Request::OpenSnapshot {
+            name: "x".into(),
+            as_name: Some("y".into()),
+        });
         round_trip(Request::Detect {
             dataset: "cust".into(),
             limit: 5,

@@ -429,13 +429,18 @@ fn run(session: &Session, req: &Request) -> Result<Response, SessionError> {
             }
             Ok(Response::ok(text))
         }
-        Request::OpenSnapshot { name } => {
-            let installed = session.open_snapshot(name)?;
+        Request::OpenSnapshot { name, as_name } => {
+            let installed = session.open_snapshot_as(name, as_name.as_deref())?;
             let tuples = {
                 let cell = read_cell(&installed.entry)?;
                 cell.handle()?.relation().len()
             };
-            let mut text = format!("opened snapshot {name:?}: {tuples} tuple(s)");
+            let mut text = match as_name {
+                Some(alias) => {
+                    format!("opened snapshot {name:?} as {alias:?}: {tuples} tuple(s)")
+                }
+                None => format!("opened snapshot {name:?}: {tuples} tuple(s)"),
+            };
             for report in &installed.evicted {
                 let _ = write!(text, "\n{}", report.summary());
             }
@@ -511,6 +516,16 @@ fn run(session: &Session, req: &Request) -> Result<Response, SessionError> {
                 None => text.push_str("\ncapacity unbounded"),
             }
             let _ = write!(text, "\nauto-evictions {}", stats.auto_evictions);
+            // Mapping accounting appends only when something is mapped,
+            // so the baseline stats text (pinned by golden fixtures and
+            // the LRU integration test) is unchanged for CSV-only use.
+            if stats.mappings > 0 {
+                let _ = write!(
+                    text,
+                    "\nmappings {}: {} dataset(s) mapped, {} mapped byte(s), {} owned byte(s)",
+                    stats.mappings, stats.mapped_datasets, stats.mapped_bytes, stats.owned_bytes
+                );
+            }
             Ok(Response::ok(text))
         }
         // Never reaches the worker: the I/O thread answers shutdown
@@ -584,6 +599,15 @@ fn snapshot_info_text(session: &Session, name: &Option<String>) -> Result<String
                 if info.has_rules { "embedded" } else { "none" }
             );
             let _ = writeln!(out, "  file       {} byte(s)", info.bytes);
+            for seg in session.snapshot_segments(name)? {
+                let _ = writeln!(
+                    out,
+                    "  segment    {:<8} {} byte(s), checksum {}",
+                    seg.name,
+                    seg.payload_bytes,
+                    if seg.checksum_ok { "ok" } else { "BAD" }
+                );
+            }
         }
         None => {
             let names = session.snapshot_names()?;

@@ -398,6 +398,7 @@ fn snapshot_save_evict_reload_round_trips_through_the_catalog() {
     let (text, _) = ok(c
         .request(&Request::OpenSnapshot {
             name: "gold".into(),
+            as_name: None,
         })
         .unwrap());
     assert_eq!(text, "opened snapshot \"gold\": 4 tuple(s)");
@@ -418,8 +419,116 @@ fn snapshot_save_evict_reload_round_trips_through_the_catalog() {
         .unwrap());
     assert!(info.starts_with("dataset \"gold\"\n"));
     assert!(info.contains("rules      embedded"));
+    // Satellite of the zero-copy reader: per-segment byte sizes and
+    // checksum status, one line per frame in file order.
+    for seg in ["META", "RULES", "DICT", "COLS", "VALIDITY"] {
+        assert!(
+            info.contains(&format!("segment    {seg:<8}")),
+            "info must list the {seg} segment, got:\n{info}"
+        );
+    }
+    assert!(info.contains("checksum ok"));
+    assert!(!info.contains("checksum BAD"));
     let (listing, _) = ok(c.request(&Request::SnapshotInfo { name: None }).unwrap());
     assert!(listing.starts_with("gold: 4 live tuple(s)"));
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_snapshot_opens_share_one_mapping() {
+    let dir = std::env::temp_dir().join(format!("cfd-server-mapshare-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let daemon = start(ServerConfig {
+        catalog: Some(PathBuf::from(&dir)),
+        ..ServerConfig::default()
+    });
+    let mut c = daemon.client();
+    ok(c.request(&open_cust_request("cust")).unwrap());
+    ok(c.request(&Request::SnapshotSave {
+        dataset: "cust".into(),
+        as_name: "gold".into(),
+    })
+    .unwrap());
+    ok(c.request(&Request::Evict {
+        dataset: "cust".into(),
+    })
+    .unwrap());
+
+    // Open the same snapshot twice: once under its own name, once under
+    // an alias. The session's mapping cache must share one file mapping
+    // between them.
+    let (text, _) = ok(c
+        .request(&Request::OpenSnapshot {
+            name: "gold".into(),
+            as_name: None,
+        })
+        .unwrap());
+    assert_eq!(text, "opened snapshot \"gold\": 4 tuple(s)");
+    let (text, _) = ok(c
+        .request(&Request::OpenSnapshot {
+            name: "gold".into(),
+            as_name: Some("gold2".into()),
+        })
+        .unwrap());
+    assert_eq!(text, "opened snapshot \"gold\" as \"gold2\": 4 tuple(s)");
+
+    let (stats, _) = ok(c.request(&Request::Stats).unwrap());
+    assert!(
+        stats.contains("\nmappings 1: 2 dataset(s) mapped, "),
+        "both datasets must share one mapping, got: {stats}"
+    );
+
+    // Both datasets answer identical repairs — and repairing one (a
+    // read-only operation over the resident relation) leaves the
+    // sibling's borrowed bytes untouched.
+    let mut repairs = Vec::new();
+    for name in ["gold", "gold2"] {
+        let (_, blobs) = ok(c
+            .request(&Request::Repair {
+                dataset: name.into(),
+                spec: RepairSpec::default(),
+                want_edits: false,
+                want_stats: false,
+            })
+            .unwrap());
+        assert_eq!(blobs[0], fixture("cust_repaired.csv"), "repair of {name}");
+        repairs.push(blobs[0].clone());
+    }
+    assert_eq!(repairs[0], repairs[1]);
+
+    // Evicting one dataset keeps the shared mapping alive for the other.
+    ok(c.request(&Request::Evict {
+        dataset: "gold".into(),
+    })
+    .unwrap());
+    let (stats, _) = ok(c.request(&Request::Stats).unwrap());
+    assert!(
+        stats.contains("\nmappings 1: 1 dataset(s) mapped, "),
+        "the survivor still holds the mapping, got: {stats}"
+    );
+    let (_, blobs) = ok(c
+        .request(&Request::Repair {
+            dataset: "gold2".into(),
+            spec: RepairSpec::default(),
+            want_edits: false,
+            want_stats: false,
+        })
+        .unwrap());
+    assert_eq!(blobs[0], fixture("cust_repaired.csv"));
+
+    // And after the last mapped dataset goes, the stats line disappears
+    // (the baseline text is pinned by other tests).
+    ok(c.request(&Request::Evict {
+        dataset: "gold2".into(),
+    })
+    .unwrap());
+    let (stats, _) = ok(c.request(&Request::Stats).unwrap());
+    assert!(
+        !stats.contains("mappings"),
+        "no mapping line once nothing is mapped, got: {stats}"
+    );
 
     daemon.stop();
     let _ = std::fs::remove_dir_all(&dir);

@@ -55,7 +55,7 @@ use cfd_cfd::violation::{self, EngineParts, ViolationReport};
 use cfd_cfd::{CfdId, Engine, Sigma};
 use cfd_model::diff::{dif, EditLog};
 use cfd_model::snapshot::{edit_log_to_vec, SnapshotInfo};
-use cfd_model::{csv, Catalog, Relation, Tuple, TupleId, ValueId, ValuePool};
+use cfd_model::{csv, Catalog, Mapping, Relation, Tuple, TupleId, ValueId, ValuePool};
 use cfd_repair::{
     batch_repair_with_parts, inc_repair, repair_via_incremental, Algorithm, IncConfig, Ordering,
     Parallelism, RepairError, RepairOptions,
@@ -147,6 +147,12 @@ pub struct DatasetHandle {
     /// a clone of the relation sharing the dataset pool; eviction aborts
     /// it so the pool-reclamation proof still holds.
     stream: Option<RepairSession>,
+    /// The snapshot file mapping backing this dataset's zero-copy
+    /// columns, when it was opened through [`Catalog::load_mapped`].
+    /// Kept so the mapping outlives every borrowed segment, and so two
+    /// datasets opened from the same snapshot file share one mapping
+    /// (the stats report counts distinct mappings by pointer).
+    mapping: Option<Arc<Mapping>>,
 }
 
 /// The result of a repair request: the repaired relation, its rendered
@@ -247,7 +253,14 @@ impl DatasetHandle {
             rules_text: None,
             bound: None,
             stream: None,
+            mapping: None,
         }
+    }
+
+    /// The shared snapshot mapping backing this dataset, if it was
+    /// opened zero-copy.
+    pub fn mapping(&self) -> Option<&Arc<Mapping>> {
+        self.mapping.as_ref()
     }
 
     /// Parse CSV bytes into a fresh pool. `name` becomes both the
@@ -650,6 +663,7 @@ impl DatasetHandle {
             rules_text,
             bound,
             stream,
+            mapping,
         } = self;
         // An open stream holds pool counts for its live arrivals; abort
         // runs its hygiene (retire + seal) so the compact below still
@@ -665,6 +679,11 @@ impl DatasetHandle {
         drop(relation);
         drop(bound);
         drop(rules_text);
+        // The mapping must not be unmapped before the relation's
+        // borrowed columns are gone; dropping it after the relation
+        // releases the file bytes (or keeps them alive for a sibling
+        // dataset sharing the same snapshot mapping).
+        drop(mapping);
         pool.retire_ids(live);
         let freed_slots = pool.compact();
         EvictReport {
@@ -779,6 +798,15 @@ pub struct SessionStats {
     pub capacity: Option<usize>,
     /// Datasets evicted automatically by the LRU policy so far.
     pub auto_evictions: u64,
+    /// Distinct snapshot file mappings alive in the session (two
+    /// datasets opened from the same snapshot count once).
+    pub mappings: usize,
+    /// Resident datasets backed by a snapshot mapping.
+    pub mapped_datasets: usize,
+    /// Bytes the resident relations borrow from snapshot mappings.
+    pub mapped_bytes: usize,
+    /// Bytes the resident relations hold in owned column buffers.
+    pub owned_bytes: usize,
 }
 
 struct SessionInner {
@@ -935,11 +963,28 @@ impl Session {
     /// rules when present. The snapshot installs into a fresh pool, so
     /// the handle obeys the same determinism contract as a CSV open.
     pub fn open_snapshot(&self, name: &str) -> Result<Installed, SessionError> {
+        self.open_snapshot_as(name, None)
+    }
+
+    /// Like [`open_snapshot`](Session::open_snapshot), but install the
+    /// dataset under `as_name` when given — the move that lets one
+    /// snapshot file back two resident datasets. Opens go through the
+    /// catalog's mapping cache, so both datasets borrow their id
+    /// columns from a single shared file mapping (copy-on-write: the
+    /// first cell write to either promotes only that dataset's column
+    /// to an owned buffer).
+    pub fn open_snapshot_as(
+        &self,
+        name: &str,
+        as_name: Option<&str>,
+    ) -> Result<Installed, SessionError> {
         let catalog = self.catalog.as_ref().ok_or(SessionError::NoCatalog)?;
-        let loaded = catalog
-            .load(name)
+        let (loaded, map) = catalog
+            .load_mapped(name)
             .map_err(|e| SessionError::Snapshot(format!("cannot load snapshot {name:?}: {e}")))?;
-        let mut handle = DatasetHandle::from_relation(name, loaded.relation);
+        let install_as = as_name.unwrap_or(name);
+        let mut handle = DatasetHandle::from_relation(install_as, loaded.relation);
+        handle.mapping = Some(map);
         if let Some(text) = loaded.rules {
             handle.bind_rules(&text, &format!("snapshot {name:?} embedded rules"))?;
         }
@@ -973,6 +1018,21 @@ impl Session {
             .map_err(|e| SessionError::Snapshot(format!("cannot read snapshot {name:?}: {e}")))
     }
 
+    /// The per-segment layout of a catalog snapshot: name, payload
+    /// bytes, and checksum status for every frame in file order.
+    /// Best-effort on checksums (a corrupt segment reports
+    /// `checksum_ok: false` instead of erroring) so `snapshot info`
+    /// can show *which* segment went bad.
+    pub fn snapshot_segments(
+        &self,
+        name: &str,
+    ) -> Result<Vec<cfd_model::SegmentInfo>, SessionError> {
+        let catalog = self.catalog.as_ref().ok_or(SessionError::NoCatalog)?;
+        catalog
+            .segments(name)
+            .map_err(|e| SessionError::Snapshot(format!("cannot read snapshot {name:?}: {e}")))
+    }
+
     /// The catalog's dataset names, sorted.
     pub fn snapshot_names(&self) -> Result<Vec<String>, SessionError> {
         let catalog = self.catalog.as_ref().ok_or(SessionError::NoCatalog)?;
@@ -989,15 +1049,36 @@ impl Session {
         names
     }
 
-    /// A point-in-time status view.
+    /// A point-in-time status view. Takes each dataset's read lock
+    /// briefly (session mutex → dataset lock is the sanctioned order);
+    /// poisoned or mid-eviction datasets are skipped in the byte
+    /// accounting rather than wedging the report.
     pub fn stats(&self) -> SessionStats {
         let inner = self.lock();
         let mut resident: Vec<String> = inner.datasets.keys().cloned().collect();
         resident.sort();
+        let mut distinct: HashSet<*const Mapping> = HashSet::new();
+        let mut mapped_datasets = 0;
+        let mut mapped_bytes = 0;
+        let mut owned_bytes = 0;
+        for entry in inner.datasets.values() {
+            let Ok(cell) = read_cell(entry) else { continue };
+            let Ok(h) = cell.handle() else { continue };
+            if let Some(map) = h.mapping() {
+                mapped_datasets += 1;
+                distinct.insert(Arc::as_ptr(map));
+            }
+            mapped_bytes += h.relation().mapped_bytes();
+            owned_bytes += h.relation().owned_bytes();
+        }
         SessionStats {
             resident,
             capacity: self.capacity,
             auto_evictions: inner.auto_evictions,
+            mappings: distinct.len(),
+            mapped_datasets,
+            mapped_bytes,
+            owned_bytes,
         }
     }
 }

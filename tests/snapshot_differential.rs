@@ -27,10 +27,10 @@ use cfdclean::cfd::pattern::{PatternRow, PatternValue};
 use cfdclean::cfd::{Cfd, Sigma};
 use cfdclean::model::csv::{read_relation_in, write_relation};
 use cfdclean::model::snapshot::{
-    edit_log_to_vec, read_edit_log_in, read_snapshot, snapshot_to_vec,
+    edit_log_to_vec, read_edit_log_in, read_snapshot, read_snapshot_mapped, snapshot_to_vec,
 };
 use cfdclean::model::ValuePool;
-use cfdclean::model::{AttrId, Relation, Schema, Tuple, TupleId, Value};
+use cfdclean::model::{AttrId, Mapping, MappingCache, Relation, Schema, Tuple, TupleId, Value};
 use cfdclean::repair::{
     batch_repair, repair_via_incremental, BatchConfig, IncConfig, PickStrategy,
 };
@@ -258,6 +258,134 @@ fn differential_csv_vs_snapshot_ingest() {
         parsed.log.apply(&mut replayed).expect("log replays");
         assert_same_contents(&inc_csv.repair, &replayed, "snapshot + inc edit log");
     });
+}
+
+/// The zero-copy reader is indistinguishable from the eager one: 300
+/// seeded trials where the same snapshot bytes are opened through both
+/// paths. The mapped relation must be cell-, weight-, and
+/// liveness-identical, produce bit-identical repairs (stats and cost
+/// bits included, at whatever `CFD_THREADS`/`CFD_SPECULATE`/`CFD_SIMD`
+/// corner the suite runs under), re-save byte-identically, and honor
+/// copy-on-write: a cell write to one mapped dataset must not leak into
+/// a sibling opened over the very same mapping.
+#[test]
+fn differential_mapped_vs_eager_open() {
+    trials(300, 0x3A99_ED0F, |rng| {
+        let mut rel = Relation::new(schema());
+        for _ in 0..rng.gen_range(2..14usize) {
+            let weighted = rng.gen_bool(0.5);
+            rel.insert(rand_tuple(rng, weighted)).unwrap();
+        }
+        for _ in 0..rng.gen_range(0..3usize) {
+            let id = TupleId(rng.gen_range(0..rel.slot_count() as u32));
+            let _ = rel.delete(id);
+        }
+        let rel = rel.rekey_into(&ValuePool::new_handle());
+        let cfds = rand_cfds(rng);
+        let bytes = snapshot_to_vec(&rel, None);
+
+        let eager = read_snapshot(&bytes).expect("eager load").relation;
+        let map = Mapping::from_bytes(bytes.clone());
+        let mapped = read_snapshot_mapped(&map).expect("mapped load").relation;
+        assert_same_contents(&eager, &mapped, "mapped vs eager contents");
+
+        // Re-saving the mapped relation must reproduce the input bytes —
+        // the canonical-encoding proof, through borrowed columns.
+        assert_eq!(
+            bytes,
+            snapshot_to_vec(&mapped, None),
+            "re-saving the mapped relation must be byte-identical"
+        );
+
+        // Bit-identical repairs across the two ingest paths.
+        let config = BatchConfig {
+            pick: rand_pick(rng),
+            ..Default::default()
+        };
+        let out_eager = batch_repair(&eager, &sigma_for(&eager, &cfds), config.clone()).unwrap();
+        let out_mapped = batch_repair(&mapped, &sigma_for(&mapped, &cfds), config).unwrap();
+        assert_same_contents(&out_eager.repair, &out_mapped.repair, "mapped batch repair");
+        assert_eq!(out_eager.stats, out_mapped.stats, "mapped batch stats");
+        assert_eq!(
+            out_eager.stats.cost.to_bits(),
+            out_mapped.stats.cost.to_bits(),
+            "mapped cost bits"
+        );
+
+        // Copy-on-write isolation: two datasets over ONE mapping; a cell
+        // write to the first must leave the second (and a fresh third
+        // open of the same mapping) untouched.
+        let mut first = read_snapshot_mapped(&map).expect("mapped load").relation;
+        let second = read_snapshot_mapped(&map).expect("mapped load").relation;
+        let first_id = first.ids().next();
+        if let Some(id) = first_id {
+            let attr = AttrId(rng.gen_range(0..ARITY as u64) as u16);
+            first.set_value(id, attr, Value::str("COW")).unwrap();
+            assert_eq!(
+                first.tuple(id).unwrap().value(attr),
+                Value::str("COW"),
+                "write must land in the writer"
+            );
+            assert_same_contents(&second, &mapped, "sibling after COW write");
+            let third = read_snapshot_mapped(&map).expect("mapped load").relation;
+            assert_same_contents(&third, &mapped, "fresh open after COW write");
+        }
+    });
+}
+
+/// File-backed mapped opens through the [`MappingCache`]: two opens of
+/// the same snapshot file share one mapping (`Arc::ptr_eq`), both read
+/// identically to the eager path, and a COW write to one dataset leaves
+/// the other — borrowing the very same file bytes — unchanged.
+#[test]
+fn mapped_open_shares_one_file_mapping() {
+    let mut rel = Relation::new(schema());
+    for i in 0..10 {
+        rel.insert(Tuple::new(vec![
+            Value::str(format!("k{i}")),
+            Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+            Value::int(i),
+            Value::Null,
+        ]))
+        .unwrap();
+    }
+    let rel = rel.rekey_into(&ValuePool::new_handle());
+    let bytes = snapshot_to_vec(&rel, Some("phi: [a] -> [b]"));
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("cfd-diff-snap-{}.cfds", std::process::id()));
+    std::fs::write(&path, &bytes).unwrap();
+
+    let cache = MappingCache::new();
+    let m1 = cache.get_or_open(&path).unwrap();
+    let m2 = cache.get_or_open(&path).unwrap();
+    assert!(
+        std::sync::Arc::ptr_eq(&m1, &m2),
+        "cache must hand out one shared mapping per file"
+    );
+
+    let eager = read_snapshot(&bytes).unwrap().relation;
+    let mut a = read_snapshot_mapped(&m1).unwrap().relation;
+    let b = read_snapshot_mapped(&m2).unwrap().relation;
+    assert_same_contents(&eager, &a, "file-mapped a");
+    assert_same_contents(&eager, &b, "file-mapped b");
+
+    a.set_value(TupleId(0), AttrId(1), Value::str("MUT"))
+        .unwrap();
+    assert_same_contents(&eager, &b, "b unchanged after a's COW write");
+    assert_eq!(
+        a.tuple(TupleId(0)).unwrap().value(AttrId(1)),
+        Value::str("MUT")
+    );
+
+    // The mutated dataset re-saves to different bytes; the untouched one
+    // re-saves byte-identically straight off the mapping.
+    assert_eq!(bytes, snapshot_to_vec(&b, Some("phi: [a] -> [b]")));
+    assert_ne!(bytes, snapshot_to_vec(&a, Some("phi: [a] -> [b]")));
+
+    drop(a);
+    drop(b);
+    drop((m1, m2));
+    let _ = std::fs::remove_file(&path);
 }
 
 /// Degenerate shapes survive persistence: empty relations, all-null
